@@ -1,0 +1,99 @@
+// Ablation: how the stability model's two hyper-parameters shape detection.
+//
+//  - alpha controls how fast significance accrues and decays: larger alpha
+//    weights long-standing habits more heavily, smaller alpha reacts faster
+//    but is noisier.
+//  - window span trades detection latency (long windows report late)
+//    against within-window noise (short windows miss slow shoppers).
+//
+// Prints the post-onset detection AUROC trajectory for each combination on
+// a shared dataset.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "core/stability_model.h"
+#include "datagen/scenario.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+
+namespace {
+
+churnlab::Status Run() {
+  using namespace churnlab;
+
+  datagen::PaperScenarioConfig scenario;
+  scenario.population.num_loyal = 800;
+  scenario.population.num_defecting = 800;
+  scenario.seed = 42;
+  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset,
+                            datagen::MakePaperDataset(scenario));
+  const int32_t onset = scenario.population.attrition.onset_month;
+
+  const std::vector<double> alphas = {1.25, 2.0, 4.0};
+  const std::vector<int32_t> spans = {1, 2, 3};
+  const std::vector<int32_t> report_months = {16, 18, 20, 22, 24};
+
+  std::printf("=== Ablation: alpha x window span (onset month %d) ===\n\n",
+              onset);
+  std::vector<std::string> headers = {"window", "alpha"};
+  for (const int32_t month : report_months) {
+    headers.push_back("AUROC@" + std::to_string(month));
+  }
+  eval::TextTable table(headers);
+
+  for (const int32_t span : spans) {
+    for (const double alpha : alphas) {
+      core::StabilityModelOptions options;
+      options.significance.alpha = alpha;
+      options.window_span_months = span;
+      CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel model,
+                                core::StabilityModel::Make(options));
+      CHURNLAB_ASSIGN_OR_RETURN(const core::ScoreMatrix scores,
+                                model.ScoreDataset(dataset));
+      CHURNLAB_ASSIGN_OR_RETURN(
+          const std::vector<eval::WindowAuroc> series,
+          eval::AurocPerWindow(dataset, scores,
+                               eval::ScoreOrientation::kLowerIsPositive,
+                               span));
+      std::vector<std::string> row = {std::to_string(span),
+                                      FormatDouble(alpha, 2)};
+      for (const int32_t month : report_months) {
+        // Use the latest window whose report month does not exceed `month`
+        // (spans that do not divide the month report the covering window).
+        double auroc = 0.5;
+        bool found = false;
+        for (const eval::WindowAuroc& point : series) {
+          if (point.report_month <= month) {
+            auroc = point.auroc;
+            found = true;
+          }
+        }
+        row.push_back(found ? FormatDouble(auroc, 3) : "-");
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nreading guide: short windows react at month %d already; longer\n"
+      "windows and larger alpha smooth the pre-onset baseline toward 0.5\n"
+      "at the cost of slower post-onset rise.\n",
+      onset + 1);
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  const churnlab::Status status = Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "ablation_alpha_window failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation: product- vs segment-granularity observation.
+//
+// The paper's dataset abstracts 4M products into 3,388 segments via the
+// retailer taxonomy, and the experiments run at segment level. This
+// ablation quantifies why: at raw product granularity a customer switching
+// brands within a segment looks like a loss + an adoption, diluting the
+// attrition signal; the taxonomy removes that within-segment substitution
+// noise.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "core/stability_model.h"
+#include "datagen/scenario.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+
+namespace {
+
+churnlab::Status Run() {
+  using namespace churnlab;
+
+  datagen::PaperScenarioConfig scenario;
+  scenario.population.num_loyal = 800;
+  scenario.population.num_defecting = 800;
+  scenario.seed = 42;
+  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset,
+                            datagen::MakePaperDataset(scenario));
+
+  std::printf("=== Ablation: observation granularity ===\n\n");
+  eval::TextTable table({"month", "AUROC (segments)", "AUROC (products)"});
+
+  std::vector<std::vector<eval::WindowAuroc>> series_by_granularity;
+  for (const retail::Granularity granularity :
+       {retail::Granularity::kSegment, retail::Granularity::kProduct}) {
+    core::StabilityModelOptions options;
+    options.significance.alpha = 2.0;
+    options.window_span_months = 2;
+    options.granularity = granularity;
+    CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel model,
+                              core::StabilityModel::Make(options));
+    CHURNLAB_ASSIGN_OR_RETURN(const core::ScoreMatrix scores,
+                              model.ScoreDataset(dataset));
+    CHURNLAB_ASSIGN_OR_RETURN(
+        std::vector<eval::WindowAuroc> series,
+        eval::AurocPerWindow(dataset, scores,
+                             eval::ScoreOrientation::kLowerIsPositive, 2));
+    series_by_granularity.push_back(std::move(series));
+  }
+
+  for (size_t i = 0; i < series_by_granularity[0].size(); ++i) {
+    const int32_t month = series_by_granularity[0][i].report_month;
+    if (month < 12 || month > 24) continue;
+    table.AddRow({std::to_string(month),
+                  FormatDouble(series_by_granularity[0][i].auroc, 3),
+                  FormatDouble(series_by_granularity[1][i].auroc, 3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\npaper setting: segment granularity (3,388 segments for 4M "
+              "products).\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  const churnlab::Status status = Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "ablation_granularity failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Ablation: robustness to shopping-rhythm noise.
+//
+// Customers do not visit at constant rates; personal seasonality (holiday
+// cycles, pay cycles, vacations) modulates visit frequency. Rhythm noise
+// looks like churn to frequency-based signals (RFM's R and F families) but
+// leaves basket *content* untouched, which is what the stability model
+// reads. This ablation sweeps the rhythm amplitude and reports both
+// models' detection AUROC.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "core/stability_model.h"
+#include "datagen/scenario.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "rfm/rfm_model.h"
+
+namespace {
+
+churnlab::Status Run() {
+  using namespace churnlab;
+
+  std::printf("=== Ablation: shopping-rhythm (seasonality) noise ===\n\n");
+  eval::TextTable table({"rhythm amplitude", "stability AUROC@20",
+                         "stability AUROC@22", "RFM AUROC@20",
+                         "RFM AUROC@22"});
+
+  for (const double amplitude : {0.0, 0.3, 0.6, 0.9}) {
+    datagen::PaperScenarioConfig scenario;
+    scenario.population.num_loyal = 800;
+    scenario.population.num_defecting = 800;
+    scenario.population.seasonal_amplitude_max = amplitude;
+    scenario.seed = 42;
+    CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset,
+                              datagen::MakePaperDataset(scenario));
+
+    core::StabilityModelOptions stability_options;
+    stability_options.significance.alpha = 2.0;
+    stability_options.window_span_months = 2;
+    CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel stability_model,
+                              core::StabilityModel::Make(stability_options));
+    CHURNLAB_ASSIGN_OR_RETURN(const core::ScoreMatrix stability_scores,
+                              stability_model.ScoreDataset(dataset));
+    CHURNLAB_ASSIGN_OR_RETURN(
+        const auto stability_series,
+        eval::AurocPerWindow(dataset, stability_scores,
+                             eval::ScoreOrientation::kLowerIsPositive, 2));
+
+    CHURNLAB_ASSIGN_OR_RETURN(const rfm::RfmModel rfm_model,
+                              rfm::RfmModel::Make(rfm::RfmModelOptions{}));
+    CHURNLAB_ASSIGN_OR_RETURN(const core::ScoreMatrix rfm_scores,
+                              rfm_model.ScoreDataset(dataset));
+    CHURNLAB_ASSIGN_OR_RETURN(
+        const auto rfm_series,
+        eval::AurocPerWindow(dataset, rfm_scores,
+                             eval::ScoreOrientation::kHigherIsPositive, 2));
+
+    const auto at = [](const std::vector<eval::WindowAuroc>& series,
+                       int32_t month) {
+      for (const eval::WindowAuroc& point : series) {
+        if (point.report_month == month) return point.auroc;
+      }
+      return 0.5;
+    };
+    table.AddRow({FormatDouble(amplitude, 1),
+                  FormatDouble(at(stability_series, 20), 3),
+                  FormatDouble(at(stability_series, 22), 3),
+                  FormatDouble(at(rfm_series, 20), 3),
+                  FormatDouble(at(rfm_series, 22), 3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nreading guide: rhythm noise degrades the frequency-driven RFM\n"
+      "signal faster than the content-driven stability signal — basket\n"
+      "composition survives an irregular calendar; visit counts do not.\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  const churnlab::Status status = Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "ablation_seasonality failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

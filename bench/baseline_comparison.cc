@@ -1,0 +1,96 @@
+// Three-way comparison: the paper's stability model, the paper's evaluated
+// baseline (RFM logistic regression), and a category-sequence-similarity
+// baseline in the spirit of Miguéis et al. 2012 (cited as related work:
+// sequence models "improved attrition detection" over RFM). Extends the
+// paper's Figure 1 with the missing related-work column.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "core/stability_model.h"
+#include "datagen/scenario.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "rfm/rfm_model.h"
+#include "rfm/sequence_model.h"
+
+namespace {
+
+churnlab::Status Run() {
+  using namespace churnlab;
+
+  datagen::PaperScenarioConfig scenario;
+  scenario.population.num_loyal = 1000;
+  scenario.population.num_defecting = 1000;
+  scenario.seed = 42;
+  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset,
+                            datagen::MakePaperDataset(scenario));
+
+  core::StabilityModelOptions stability_options;
+  stability_options.significance.alpha = 2.0;
+  stability_options.window_span_months = 2;
+  CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel stability_model,
+                            core::StabilityModel::Make(stability_options));
+  CHURNLAB_ASSIGN_OR_RETURN(const core::ScoreMatrix stability_scores,
+                            stability_model.ScoreDataset(dataset));
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const auto stability_series,
+      eval::AurocPerWindow(dataset, stability_scores,
+                           eval::ScoreOrientation::kLowerIsPositive, 2));
+
+  CHURNLAB_ASSIGN_OR_RETURN(const rfm::RfmModel rfm_model,
+                            rfm::RfmModel::Make(rfm::RfmModelOptions{}));
+  CHURNLAB_ASSIGN_OR_RETURN(const core::ScoreMatrix rfm_scores,
+                            rfm_model.ScoreDataset(dataset));
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const auto rfm_series,
+      eval::AurocPerWindow(dataset, rfm_scores,
+                           eval::ScoreOrientation::kHigherIsPositive, 2));
+
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const rfm::SequenceModel sequence_model,
+      rfm::SequenceModel::Make(rfm::SequenceModelOptions{}));
+  CHURNLAB_ASSIGN_OR_RETURN(const core::ScoreMatrix sequence_scores,
+                            sequence_model.ScoreDataset(dataset));
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const auto sequence_series,
+      eval::AurocPerWindow(dataset, sequence_scores,
+                           eval::ScoreOrientation::kHigherIsPositive, 2));
+
+  std::printf("=== Baseline comparison: detection AUROC by month ===\n\n");
+  eval::TextTable table(
+      {"month", "stability (paper)", "RFM (paper baseline)",
+       "sequence similarity"});
+  for (size_t i = 0; i < stability_series.size(); ++i) {
+    const int32_t month = stability_series[i].report_month;
+    if (month < 12 || month > 24) continue;
+    table.AddRow({std::to_string(month),
+                  FormatDouble(stability_series[i].auroc, 3),
+                  FormatDouble(rfm_series[i].auroc, 3),
+                  FormatDouble(sequence_series[i].auroc, 3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nreading guide: the *trained* sequence baseline detects at least as\n"
+      "well as the untrained stability score (it also sees which categories\n"
+      "recent baskets cover) — consistent with the related work's claim of\n"
+      "improving on RFM. What it cannot do is the paper's selling point:\n"
+      "its similarity scalar names no products, while every stability drop\n"
+      "decomposes into the exact items lost (see explanation_quality).\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  const churnlab::Status status = Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "baseline_comparison failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

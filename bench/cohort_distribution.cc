@@ -1,0 +1,70 @@
+// Population-level companion to Figure 2: per-window stability quantiles of
+// the loyal and defecting cohorts. Shows *when* and *how cleanly* the two
+// distributions separate — the statistical backdrop behind the single
+// customer trajectory the paper plots.
+
+#include <cstdio>
+#include <string>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "core/stability_model.h"
+#include "datagen/scenario.h"
+#include "eval/distribution.h"
+#include "eval/report.h"
+
+namespace {
+
+churnlab::Status Run() {
+  using namespace churnlab;
+
+  datagen::PaperScenarioConfig scenario;
+  scenario.population.num_loyal = 1000;
+  scenario.population.num_defecting = 1000;
+  scenario.seed = 42;
+  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset,
+                            datagen::MakePaperDataset(scenario));
+
+  core::StabilityModelOptions options;
+  options.significance.alpha = 2.0;
+  options.window_span_months = 2;
+  CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel model,
+                            core::StabilityModel::Make(options));
+  CHURNLAB_ASSIGN_OR_RETURN(const core::ScoreMatrix scores,
+                            model.ScoreDataset(dataset));
+  CHURNLAB_ASSIGN_OR_RETURN(const eval::CohortDistribution distribution,
+                            eval::ComputeCohortDistribution(dataset, scores,
+                                                            2));
+
+  std::printf("=== Stability distribution by cohort and month ===\n\n");
+  eval::TextTable table({"month", "loyal p25", "loyal median", "loyal p75",
+                         "defect p25", "defect median", "defect p75"});
+  for (size_t k = 0; k < distribution.loyal.size(); ++k) {
+    const eval::CohortQuantiles& loyal = distribution.loyal[k];
+    const eval::CohortQuantiles& defecting = distribution.defecting[k];
+    if (loyal.report_month < 10 || loyal.report_month > 26) continue;
+    table.AddRow({std::to_string(loyal.report_month),
+                  FormatDouble(loyal.p25, 3), FormatDouble(loyal.median, 3),
+                  FormatDouble(loyal.p75, 3), FormatDouble(defecting.p25, 3),
+                  FormatDouble(defecting.median, 3),
+                  FormatDouble(defecting.p75, 3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nreading guide: through month 18 the quartile ranges coincide; from\n"
+      "month 20 the defecting cohort's quartiles fall away while the loyal\n"
+      "cohort's stay near 1 — the population view behind Figures 1 and 2.\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  const churnlab::Status status = Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "cohort_distribution failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Extension: realistic cohort imbalance.
+//
+// The paper's cohorts are retailer-provided and effectively balanced; a
+// deployed screen faces a few percent of defectors. AUROC barely moves
+// under imbalance (it is prevalence-free) while average precision and
+// campaign lift collapse toward the base rate — the operational metrics a
+// retailer actually budgets with. This harness re-runs detection at
+// decreasing defector fractions.
+
+#include <cstdio>
+#include <string>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "core/stability_model.h"
+#include "datagen/scenario.h"
+#include "eval/metrics.h"
+#include "eval/pr_curve.h"
+#include "eval/report.h"
+#include "eval/roc.h"
+
+namespace {
+
+churnlab::Status Run() {
+  using namespace churnlab;
+
+  std::printf("=== Detection under cohort imbalance (month 22 scores) ===\n\n");
+  eval::TextTable table({"defector share", "AUROC", "avg precision",
+                         "lift@10%", "base rate"});
+
+  for (const double share : {0.5, 0.2, 0.1, 0.05, 0.02}) {
+    const size_t total = 3000;
+    datagen::PaperScenarioConfig scenario;
+    scenario.population.num_defecting =
+        static_cast<size_t>(share * static_cast<double>(total));
+    scenario.population.num_loyal = total - scenario.population.num_defecting;
+    scenario.seed = 42;
+    CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset,
+                              datagen::MakePaperDataset(scenario));
+
+    core::StabilityModelOptions options;
+    options.significance.alpha = 2.0;
+    options.window_span_months = 2;
+    CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel model,
+                              core::StabilityModel::Make(options));
+    CHURNLAB_ASSIGN_OR_RETURN(const core::ScoreMatrix scores,
+                              model.ScoreDataset(dataset));
+
+    // Window reported at month 22 (onset + 4).
+    const int32_t window = 22 / 2 - 1;
+    std::vector<double> window_scores;
+    std::vector<int> labels;
+    for (size_t row = 0; row < scores.num_rows(); ++row) {
+      const retail::Cohort cohort =
+          dataset.LabelOf(scores.customers()[row]).cohort;
+      if (cohort == retail::Cohort::kUnlabeled) continue;
+      window_scores.push_back(scores.At(row, window));
+      labels.push_back(cohort == retail::Cohort::kDefecting ? 1 : 0);
+    }
+    CHURNLAB_ASSIGN_OR_RETURN(
+        const double auroc,
+        eval::Auroc(window_scores, labels,
+                    eval::ScoreOrientation::kLowerIsPositive));
+    CHURNLAB_ASSIGN_OR_RETURN(
+        const double average_precision,
+        eval::AveragePrecision(window_scores, labels,
+                               eval::ScoreOrientation::kLowerIsPositive));
+    CHURNLAB_ASSIGN_OR_RETURN(
+        const double lift,
+        eval::LiftAtFraction(window_scores, labels, 0.10,
+                             eval::ScoreOrientation::kLowerIsPositive));
+    table.AddRow({FormatDouble(share, 2), FormatDouble(auroc, 3),
+                  FormatDouble(average_precision, 3), FormatDouble(lift, 2),
+                  FormatDouble(share, 2)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nreading guide: AUROC is stable across prevalence (ranking quality\n"
+      "is unchanged) while average precision tracks the shrinking base\n"
+      "rate; lift@10%% saturates at 1/0.10 = 10 once all defectors fit in\n"
+      "the top decile — the number that prices a retention campaign.\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  const churnlab::Status status = Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "cohort_imbalance failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

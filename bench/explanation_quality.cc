@@ -1,0 +1,74 @@
+// Quantitative version of section 3.2: the paper demonstrates explanation
+// quality on one case study (Figure 2); here every defector's explanations
+// are graded against the simulator's ground truth — when the model blames
+// products for a stability drop, did the customer really stop buying them?
+//
+// Metrics:
+//   precision      reported newly-missing products that are true losses
+//   top-1 accuracy windows where the argmax missing product (the paper's
+//                  primary explanation) is a true loss
+//   recall         true lost segments that some graded window reported
+
+#include <cstdio>
+#include <string>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "datagen/scenario.h"
+#include "eval/explanation_quality.h"
+#include "eval/report.h"
+
+namespace {
+
+churnlab::Status Run() {
+  using namespace churnlab;
+
+  datagen::PaperScenarioConfig config;
+  config.population.num_loyal = 400;
+  config.population.num_defecting = 400;
+  config.seed = 42;
+  CHURNLAB_ASSIGN_OR_RETURN(const datagen::PaperScenarioOutput scenario,
+                            datagen::MakePaperScenario(config));
+
+  std::printf("=== Explanation correctness vs simulator ground truth ===\n\n");
+  eval::TextTable table({"top-k", "min drop", "windows graded", "precision",
+                         "top-1 accuracy", "recall of losses"});
+  for (const size_t top_k : {1u, 3u, 5u}) {
+    for (const double min_drop : {0.05, 0.15}) {
+      eval::ExplanationQualityOptions options;
+      options.stability.significance.alpha = 2.0;
+      options.stability.window_span_months = 2;
+      options.top_k = top_k;
+      options.min_drop = min_drop;
+      CHURNLAB_ASSIGN_OR_RETURN(
+          const eval::ExplanationQualityResult result,
+          eval::ExplanationQuality::Run(scenario, options));
+      table.AddRow({std::to_string(top_k), FormatDouble(min_drop, 2),
+                    std::to_string(result.windows_graded),
+                    FormatDouble(result.precision, 3),
+                    FormatDouble(result.top1_accuracy, 3),
+                    FormatDouble(result.recall, 3)});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nreading guide: precision ~1 would mean every blamed product was a\n"
+      "genuine loss; the gap is trip noise (significant products missed in\n"
+      "a window without being abandoned) plus visit-rate decay, both of\n"
+      "which the model cannot distinguish from true losses at window\n"
+      "granularity. The paper's single case study corresponds to the top-1\n"
+      "row.\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  const churnlab::Status status = Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "explanation_quality failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Reproduces Figure 2 of the paper: the stability trajectory of one
+// defecting customer, with each drop attributed to the habitual products
+// that disappeared from the basket.
+//
+// The scripted customer buys a steady 12-segment basket, stops buying
+// coffee during the window reported at month 20, and loses milk, sponge and
+// cheese during the window reported at month 22 — the paper's annotations.
+//
+// Usage: fig2_trajectory [csv_output_path]
+
+#include <cstdio>
+#include <string>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "core/stability_model.h"
+#include "datagen/scenario.h"
+#include "eval/ascii_chart.h"
+#include "eval/report.h"
+
+namespace {
+
+std::string AsciiBar(double value, size_t width) {
+  const size_t filled = static_cast<size_t>(value * static_cast<double>(width));
+  std::string bar(filled, '#');
+  bar.resize(width, ' ');
+  return bar;
+}
+
+churnlab::Status Run(const char* csv_path) {
+  using namespace churnlab;
+
+  CHURNLAB_ASSIGN_OR_RETURN(const datagen::Figure2Scenario scenario,
+                            datagen::MakeFigure2Scenario());
+
+  core::StabilityModelOptions options;
+  options.significance.alpha = 2.0;
+  options.window_span_months = 2;
+  options.explanation.top_k = 6;
+  CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel model,
+                            core::StabilityModel::Make(options));
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const core::CustomerReport report,
+      model.AnalyzeCustomer(scenario.dataset, scenario.customer));
+
+  std::printf("=== Figure 2: defecting customer stability trajectory ===\n\n");
+  eval::TextTable table({"month", "stability", "", "newly lost products"});
+  for (const core::CustomerWindowReport& window : report.windows) {
+    const int32_t report_month = window.end_month;
+    std::string lost;
+    for (const core::NamedMissingProduct& missing : window.missing) {
+      if (!missing.newly_missing) continue;
+      if (!lost.empty()) lost += ", ";
+      lost += missing.name;
+      lost += " (share " + FormatDouble(missing.significance_share, 2) + ")";
+    }
+    table.AddRow({std::to_string(report_month),
+                  FormatDouble(window.stability, 3),
+                  AsciiBar(window.stability, 30), lost});
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  eval::ChartSeries stability_series;
+  stability_series.label = "stability value";
+  stability_series.glyph = '*';
+  for (const core::CustomerWindowReport& window : report.windows) {
+    stability_series.xs.push_back(window.end_month);
+    stability_series.ys.push_back(window.stability);
+  }
+  eval::AsciiChartOptions chart_options;
+  chart_options.height = 14;
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const std::string chart,
+      eval::RenderAsciiChart({stability_series}, chart_options));
+  std::printf("\n%s", chart.c_str());
+
+  std::printf(
+      "\npaper reference: stability ~1 while loyal; the month-20 decrease\n"
+      "links to a coffee loss and the sharper month-22 decrease to losing\n"
+      "milk, sponge and cheese.\n");
+
+  if (csv_path != nullptr) {
+    CHURNLAB_RETURN_NOT_OK(table.WriteCsv(csv_path));
+    std::printf("wrote %s\n", csv_path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const churnlab::Status status = Run(argc > 1 ? argv[1] : nullptr);
+  if (!status.ok()) {
+    std::fprintf(stderr, "fig2_trajectory failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Extension experiment (abstract claim): "this model is able to identify
+// customers that are likely to defect in the future months."
+//
+// A spread-onset scenario (onsets uniform over months 13..23) is scored by
+// the stability forecaster at several decision months: at each decision
+// month the forecaster sees stability data up to that month only and
+// predicts which not-yet-defecting customers start defecting within the
+// next 6 months. Out-of-fold AUROC against ground-truth onsets is
+// reported.
+//
+// Expected shape: near-chance for decision months far before any onset
+// (nothing has changed yet), rising as the prodrome (pre-onset visit
+// disengagement) of nearby onsets becomes visible.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "datagen/scenario.h"
+#include "eval/forecaster.h"
+#include "eval/report.h"
+
+namespace {
+
+churnlab::Status Run() {
+  using namespace churnlab;
+
+  datagen::PaperScenarioConfig scenario;
+  scenario.population.num_loyal = 1200;
+  scenario.population.num_defecting = 1200;
+  scenario.population.attrition.onset_month = 18;
+  scenario.population.attrition.onset_jitter_months = 5;  // onsets 13..23
+  // Pronounced smoldering phase: weakly attached items start dropping four
+  // months before the declared onset — the content signal the forecaster
+  // hunts for.
+  scenario.population.attrition.early_loss_months = 4;
+  scenario.population.attrition.early_loss_quantile = 0.35;
+  scenario.seed = 42;
+  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset,
+                            datagen::MakePaperDataset(scenario));
+
+  std::printf("=== Forecasting future defection (lead-time sweep) ===\n\n");
+  std::printf("onsets spread over months 13..23; horizon = 6 months\n\n");
+  eval::TextTable table({"decision month", "AUROC (pooled)", "lead 1-2 mo",
+                         "lead 3-4 mo", "lead 5-6 mo", "future defectors",
+                         "already defecting"});
+  const auto bucket_pair = [](const eval::ForecastResult& forecast,
+                              size_t first) -> std::string {
+    // Average the two adjacent per-lead AUROCs, weighted by defector count.
+    double weighted = 0.0;
+    size_t count = 0;
+    for (size_t i = first; i < first + 2 && i < forecast.by_lead.size();
+         ++i) {
+      const auto& bucket = forecast.by_lead[i];
+      if (bucket.auroc < 0.0) continue;
+      weighted += bucket.auroc * static_cast<double>(bucket.num_defectors);
+      count += bucket.num_defectors;
+    }
+    if (count == 0) return "-";
+    return FormatDouble(weighted / static_cast<double>(count), 3);
+  };
+  for (const int32_t decision : {12, 14, 16, 18, 20}) {
+    eval::ForecastOptions options;
+    options.decision_month = decision;
+    options.horizon_months = 6;
+    const Result<eval::ForecastResult> result =
+        eval::StabilityForecaster::Run(dataset, options);
+    if (!result.ok()) {
+      table.AddRow({std::to_string(decision),
+                    "n/a (" + result.status().message() + ")"});
+      continue;
+    }
+    const eval::ForecastResult& forecast = result.ValueOrDie();
+    table.AddRow({std::to_string(decision), FormatDouble(forecast.auroc, 3),
+                  bucket_pair(forecast, 0), bucket_pair(forecast, 2),
+                  bucket_pair(forecast, 4),
+                  std::to_string(forecast.num_future_defectors),
+                  std::to_string(forecast.num_already_defecting)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nreading guide: the signal concentrates in the 1-2 month lead "
+      "bucket\n(the smoldering-attrition phase); defection further out is "
+      "near-chance,\nwhich bounds how early any behavioural model can "
+      "warn.\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  const churnlab::Status status = Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "forecast_leadtime failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Microbenchmarks of the RFM baseline: feature extraction and logistic
+// training (both solvers).
+
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "datagen/scenario.h"
+#include "rfm/features.h"
+#include "rfm/logistic.h"
+#include "rfm/scaler.h"
+
+namespace churnlab {
+namespace {
+
+const retail::Dataset& SharedDataset() {
+  static const retail::Dataset* const kDataset = [] {
+    datagen::PaperScenarioConfig scenario;
+    scenario.population.num_loyal = 300;
+    scenario.population.num_defecting = 300;
+    scenario.seed = 5;
+    auto result = datagen::MakePaperDataset(scenario);
+    result.status().Abort("paper dataset");
+    return new retail::Dataset(std::move(result).ValueOrDie());
+  }();
+  return *kDataset;
+}
+
+void BM_RfmExtract(benchmark::State& state) {
+  const retail::Dataset& dataset = SharedDataset();
+  auto extractor_result = rfm::RfmFeatureExtractor::Make({});
+  const rfm::RfmFeatureExtractor& extractor = extractor_result.ValueOrDie();
+  for (auto _ : state) {
+    auto features = extractor.Extract(dataset);
+    benchmark::DoNotOptimize(features);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(dataset.store().num_receipts()));
+}
+BENCHMARK(BM_RfmExtract)->Unit(benchmark::kMillisecond);
+
+// Synthetic linearly separable-ish training set.
+void MakeTrainingSet(size_t n, size_t d,
+                     std::vector<std::vector<double>>* rows,
+                     std::vector<int>* labels) {
+  Rng rng(13);
+  rows->clear();
+  labels->clear();
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> row(d);
+    double score = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      row[j] = rng.Normal();
+      score += (j % 2 == 0 ? 1.0 : -0.5) * row[j];
+    }
+    labels->push_back(rng.Bernoulli(1.0 / (1.0 + std::exp(-score))) ? 1 : 0);
+    rows->push_back(std::move(row));
+  }
+}
+
+void BM_LogisticIrls(benchmark::State& state) {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  MakeTrainingSet(static_cast<size_t>(state.range(0)), 6, &rows, &labels);
+  rfm::LogisticRegressionOptions options;
+  options.solver = rfm::LogisticSolver::kIrls;
+  for (auto _ : state) {
+    rfm::LogisticRegression model(options);
+    model.Fit(rows, labels).Abort("fit");
+    benchmark::DoNotOptimize(model.weights());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LogisticIrls)->Arg(1000)->Arg(5000);
+
+void BM_LogisticGradientDescent(benchmark::State& state) {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  MakeTrainingSet(static_cast<size_t>(state.range(0)), 6, &rows, &labels);
+  rfm::LogisticRegressionOptions options;
+  options.solver = rfm::LogisticSolver::kGradientDescent;
+  options.max_iterations = 200;
+  for (auto _ : state) {
+    rfm::LogisticRegression model(options);
+    model.Fit(rows, labels).Abort("fit");
+    benchmark::DoNotOptimize(model.weights());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LogisticGradientDescent)->Arg(1000);
+
+void BM_ScalerFitTransform(benchmark::State& state) {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  MakeTrainingSet(static_cast<size_t>(state.range(0)), 6, &rows, &labels);
+  for (auto _ : state) {
+    std::vector<std::vector<double>> copy = rows;
+    rfm::StandardScaler scaler;
+    scaler.Fit(copy).Abort("fit");
+    scaler.Transform(&copy).Abort("transform");
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScalerFitTransform)->Arg(5000);
+
+}  // namespace
+}  // namespace churnlab

@@ -1,0 +1,138 @@
+// Attrition screening: the retailer workflow the paper motivates.
+//
+// Scores a customer base, ranks customers by current stability, prints the
+// top at-risk list with the products each one stopped buying (the
+// actionable output: "target your marketing on significant products that
+// this customer is not buying anymore"), and summarises screening quality
+// (confusion matrix at the chosen beta threshold, lift of the top decile).
+//
+// Usage: attrition_screening [num_customers_per_cohort] [beta]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "core/stability_model.h"
+#include "datagen/scenario.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "eval/threshold.h"
+
+namespace {
+
+churnlab::Status Run(size_t cohort_size, double beta) {
+  using namespace churnlab;
+
+  datagen::PaperScenarioConfig scenario;
+  scenario.population.num_loyal = cohort_size;
+  scenario.population.num_defecting = cohort_size;
+  scenario.seed = 99;
+  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset,
+                            datagen::MakePaperDataset(scenario));
+
+  core::StabilityModelOptions options;
+  options.significance.alpha = 2.0;
+  options.window_span_months = 2;
+  CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel model,
+                            core::StabilityModel::Make(options));
+  CHURNLAB_ASSIGN_OR_RETURN(const core::ScoreMatrix scores,
+                            model.ScoreDataset(dataset));
+  const int32_t last_window = scores.num_windows() - 1;
+
+  // Rank ascending by current stability: least stable first.
+  std::vector<size_t> ranking(scores.num_rows());
+  for (size_t i = 0; i < ranking.size(); ++i) ranking[i] = i;
+  std::sort(ranking.begin(), ranking.end(), [&](size_t a, size_t b) {
+    return scores.At(a, last_window) < scores.At(b, last_window);
+  });
+
+  std::printf("=== At-risk customers (lowest current stability) ===\n\n");
+  eval::TextTable table({"rank", "customer", "stability", "ground truth",
+                         "recently lost significant products"});
+  for (size_t rank = 0; rank < std::min<size_t>(15, ranking.size()); ++rank) {
+    const size_t row = ranking[rank];
+    const retail::CustomerId customer = scores.customers()[row];
+    CHURNLAB_ASSIGN_OR_RETURN(const core::CustomerReport report,
+                              model.AnalyzeCustomer(dataset, customer));
+    // Collect the newly-missing products of the last two windows.
+    std::string lost;
+    for (size_t w = report.windows.size() >= 2 ? report.windows.size() - 2
+                                               : 0;
+         w < report.windows.size(); ++w) {
+      for (const core::NamedMissingProduct& missing :
+           report.windows[w].missing) {
+        if (!missing.newly_missing) continue;
+        if (!lost.empty()) lost += ", ";
+        lost += missing.name;
+      }
+    }
+    table.AddRow(
+        {std::to_string(rank + 1), std::to_string(customer),
+         FormatDouble(scores.At(row, last_window), 3),
+         std::string(retail::CohortToString(dataset.LabelOf(customer).cohort)),
+         lost.substr(0, 60)});
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  // Screening quality at the beta threshold ("defecting if stability <=
+  // beta") and the marketing lift of mailing the bottom decile.
+  std::vector<double> current_scores;
+  std::vector<int> labels;
+  for (size_t row = 0; row < scores.num_rows(); ++row) {
+    const retail::Cohort cohort =
+        dataset.LabelOf(scores.customers()[row]).cohort;
+    if (cohort == retail::Cohort::kUnlabeled) continue;
+    current_scores.push_back(scores.At(row, last_window));
+    labels.push_back(cohort == retail::Cohort::kDefecting ? 1 : 0);
+  }
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const eval::ConfusionMatrix confusion,
+      eval::ConfusionAtThreshold(current_scores, labels, beta,
+                                 eval::ScoreOrientation::kLowerIsPositive));
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const double lift,
+      eval::LiftAtFraction(current_scores, labels, 0.10,
+                           eval::ScoreOrientation::kLowerIsPositive));
+  std::printf("\nscreening at beta = %.2f: %s\n", beta,
+              confusion.ToString().c_str());
+  std::printf("precision %.3f, recall %.3f, F1 %.3f\n", confusion.Precision(),
+              confusion.Recall(), confusion.F1());
+  std::printf("lift of bottom stability decile: %.2fx over random mailing\n",
+              lift);
+
+  // Data-driven alternatives to the hand-picked beta.
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const eval::OperatingPoint best_f1,
+      eval::SelectMaxF1(current_scores, labels,
+                        eval::ScoreOrientation::kLowerIsPositive));
+  std::printf("\nbeta maximising F1:           %.3f (precision %.3f, "
+              "recall %.3f, F1 %.3f)\n",
+              best_f1.threshold, best_f1.precision, best_f1.recall,
+              best_f1.f1);
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const eval::OperatingPoint recall_target,
+      eval::SelectForRecall(current_scores, labels,
+                            eval::ScoreOrientation::kLowerIsPositive, 0.9));
+  std::printf("beta catching 90%% of churners: %.3f (precision %.3f, "
+              "FPR %.3f)\n",
+              recall_target.threshold, recall_target.precision,
+              recall_target.false_positive_rate);
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t cohort = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 400;
+  const double beta = argc > 2 ? std::strtod(argv[2], nullptr) : 0.6;
+  const churnlab::Status status = Run(cohort, beta);
+  if (!status.ok()) {
+    std::fprintf(stderr, "attrition_screening failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Streaming monitoring: the production deployment pattern.
+//
+// Receipts arrive one at a time (here: replayed from a simulated dataset);
+// each customer has a StabilityMonitor that scores windows as they close
+// and raises debounced alerts when stability crosses the beta threshold or
+// drops sharply. The example replays a small population and prints the
+// alert log with ground truth alongside.
+//
+// Usage: streaming_monitor [beta]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/monitor.h"
+#include "core/symbol_mapper.h"
+#include "datagen/scenario.h"
+
+namespace {
+
+churnlab::Status Run(double beta) {
+  using namespace churnlab;
+
+  datagen::PaperScenarioConfig scenario;
+  scenario.population.num_loyal = 60;
+  scenario.population.num_defecting = 60;
+  scenario.seed = 17;
+  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset,
+                            datagen::MakePaperDataset(scenario));
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const core::SymbolMapper mapper,
+      core::SymbolMapper::Make(retail::Granularity::kSegment,
+                               &dataset.taxonomy()));
+
+  core::OnlineStabilityScorer::Options scorer_options;
+  scorer_options.significance.alpha = 2.0;
+  scorer_options.window_span_days = 2 * retail::kDaysPerMonth;
+
+  core::MonitorPolicy policy;
+  policy.beta = beta;
+  policy.consecutive_windows = 1;
+  policy.drop_threshold = 0.35;
+  policy.warmup_windows = 2;
+
+  // One monitor per customer; receipts replayed per customer in order
+  // (a real deployment would key a receipt stream by customer id).
+  size_t alerts_on_defectors = 0;
+  size_t alerts_on_loyal = 0;
+  size_t alerted_defectors = 0;
+  std::vector<std::string> sample_log;
+
+  for (const retail::CustomerId customer : dataset.store().Customers()) {
+    CHURNLAB_ASSIGN_OR_RETURN(
+        core::StabilityMonitor monitor,
+        core::StabilityMonitor::Make(scorer_options, policy));
+    bool alerted = false;
+    for (const retail::Receipt& receipt : dataset.store().History(customer)) {
+      std::vector<core::Symbol> symbols;
+      symbols.reserve(receipt.items.size());
+      for (const retail::ItemId item : receipt.items) {
+        symbols.push_back(mapper.Map(item));
+      }
+      std::sort(symbols.begin(), symbols.end());
+      CHURNLAB_ASSIGN_OR_RETURN(const auto alerts,
+                                monitor.Observe(receipt.day, symbols));
+      for (const core::StabilityAlert& alert : alerts) {
+        const retail::Cohort cohort = dataset.LabelOf(customer).cohort;
+        if (cohort == retail::Cohort::kDefecting) {
+          ++alerts_on_defectors;
+          alerted = true;
+        } else {
+          ++alerts_on_loyal;
+        }
+        if (sample_log.size() < 12) {
+          sample_log.push_back(
+              "customer " + std::to_string(customer) + " (" +
+              std::string(retail::CohortToString(cohort)) + "): " +
+              alert.ToString());
+        }
+      }
+    }
+    if (alerted) ++alerted_defectors;
+  }
+
+  std::printf("=== Streaming monitor replay (beta = %.2f) ===\n\n", beta);
+  for (const std::string& line : sample_log) {
+    std::printf("  %s\n", line.c_str());
+  }
+  std::printf("  ...\n\n");
+  std::printf("alerts on defecting customers: %zu (%zu of 60 defectors "
+              "flagged)\n",
+              alerts_on_defectors, alerted_defectors);
+  std::printf("alerts on loyal customers:     %zu (false alarms)\n",
+              alerts_on_loyal);
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double beta = argc > 1 ? std::strtod(argv[1], nullptr) : 0.55;
+  const churnlab::Status status = Run(beta);
+  if (!status.ok()) {
+    std::fprintf(stderr, "streaming_monitor failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerates every paper figure/table and ablation into results/.
+#
+# Usage: scripts/run_experiments.sh [build_dir] [results_dir]
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+RESULTS_DIR=${2:-results}
+
+if [[ ! -d "${BUILD_DIR}/bench" ]]; then
+  echo "bench binaries not found; run:" >&2
+  echo "  cmake -B ${BUILD_DIR} -G Ninja && cmake --build ${BUILD_DIR}" >&2
+  exit 1
+fi
+
+mkdir -p "${RESULTS_DIR}"
+for bench in "${BUILD_DIR}"/bench/*; do
+  name=$(basename "${bench}")
+  echo "== ${name} =="
+  case "${name}" in
+    fig1_auroc|fig2_trajectory|param_search)
+      # These accept an optional CSV output path.
+      "${bench}" "${RESULTS_DIR}/${name}.csv" | tee "${RESULTS_DIR}/${name}.txt"
+      ;;
+    micro_*)
+      "${bench}" --benchmark_min_time=0.1 | tee "${RESULTS_DIR}/${name}.txt"
+      ;;
+    *)
+      "${bench}" | tee "${RESULTS_DIR}/${name}.txt"
+      ;;
+  esac
+  echo
+done
+
+echo "results written to ${RESULTS_DIR}/"

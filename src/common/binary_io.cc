@@ -1,0 +1,99 @@
+#include "common/binary_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace churnlab {
+
+void BinaryWriter::WriteVarint(uint64_t value) {
+  while (value >= 0x80) {
+    buffer_ += static_cast<char>((value & 0x7F) | 0x80);
+    value >>= 7;
+  }
+  buffer_ += static_cast<char>(value);
+}
+
+void BinaryWriter::WriteSignedVarint(int64_t value) {
+  const uint64_t zigzag =
+      (static_cast<uint64_t>(value) << 1) ^
+      static_cast<uint64_t>(value >> 63);
+  WriteVarint(zigzag);
+}
+
+void BinaryWriter::WriteDouble(double value) {
+  static_assert(sizeof(double) == 8);
+  char bytes[8];
+  std::memcpy(bytes, &value, 8);
+  buffer_.append(bytes, 8);
+}
+
+void BinaryWriter::WriteString(std::string_view value) {
+  WriteVarint(value.size());
+  buffer_.append(value.data(), value.size());
+}
+
+void BinaryWriter::WriteBytes(const void* data, size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+Status BinaryWriter::SaveToFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IOError("cannot open '" + path + "' for writing");
+  file.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  file.close();
+  if (file.fail()) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<BinaryReader> BinaryReader::OpenFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IOError("cannot open '" + path + "' for reading");
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  if (file.bad()) return Status::IOError("error while reading '" + path + "'");
+  return BinaryReader(std::move(contents).str());
+}
+
+Result<uint64_t> BinaryReader::ReadVarint() {
+  uint64_t value = 0;
+  int shift = 0;
+  while (pos_ < buffer_.size()) {
+    const uint8_t byte = static_cast<uint8_t>(buffer_[pos_++]);
+    if (shift >= 64 || (shift == 63 && (byte & 0x7F) > 1)) {
+      return Status::OutOfRange("varint overflows 64 bits");
+    }
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  return Status::OutOfRange("truncated varint at end of buffer");
+}
+
+Result<int64_t> BinaryReader::ReadSignedVarint() {
+  CHURNLAB_ASSIGN_OR_RETURN(const uint64_t zigzag, ReadVarint());
+  return static_cast<int64_t>((zigzag >> 1) ^ (~(zigzag & 1) + 1));
+}
+
+Result<double> BinaryReader::ReadDouble() {
+  if (remaining() < 8) {
+    return Status::OutOfRange("truncated double at end of buffer");
+  }
+  double value;
+  std::memcpy(&value, buffer_.data() + pos_, 8);
+  pos_ += 8;
+  return value;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  CHURNLAB_ASSIGN_OR_RETURN(const uint64_t size, ReadVarint());
+  if (remaining() < size) {
+    return Status::OutOfRange("truncated string at end of buffer");
+  }
+  std::string value = buffer_.substr(pos_, size);
+  pos_ += size;
+  return value;
+}
+
+}  // namespace churnlab

@@ -1,0 +1,66 @@
+#ifndef CHURNLAB_COMMON_BINARY_IO_H_
+#define CHURNLAB_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace churnlab {
+
+/// \brief Growable little-endian binary output buffer used by the dataset
+/// binary format.
+///
+/// Integers are written as LEB128 varints (datasets are mostly small ids, so
+/// varints roughly halve file size versus fixed width); doubles as raw IEEE
+/// bytes; strings as varint length + bytes.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void WriteVarint(uint64_t value);
+  /// ZigZag-encoded signed varint.
+  void WriteSignedVarint(int64_t value);
+  void WriteDouble(double value);
+  void WriteString(std::string_view value);
+  void WriteBytes(const void* data, size_t size);
+
+  const std::string& buffer() const { return buffer_; }
+
+  /// Writes the accumulated buffer to `path` (truncating).
+  Status SaveToFile(const std::string& path) const;
+
+ private:
+  std::string buffer_;
+};
+
+/// \brief Reader over a binary buffer produced by BinaryWriter.
+///
+/// All reads are bounds-checked and return OutOfRange on truncated input.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string buffer) : buffer_(std::move(buffer)) {}
+
+  /// Loads the whole file at `path` into a reader.
+  static Result<BinaryReader> OpenFile(const std::string& path);
+
+  Result<uint64_t> ReadVarint();
+  Result<int64_t> ReadSignedVarint();
+  Result<double> ReadDouble();
+  Result<std::string> ReadString();
+
+  /// True when the whole buffer has been consumed.
+  bool AtEnd() const { return pos_ >= buffer_.size(); }
+  size_t remaining() const { return buffer_.size() - pos_; }
+
+ private:
+  std::string buffer_;
+  size_t pos_ = 0;
+};
+
+}  // namespace churnlab
+
+#endif  // CHURNLAB_COMMON_BINARY_IO_H_

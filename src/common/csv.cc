@@ -1,0 +1,137 @@
+#include "common/csv.h"
+
+#include <sstream>
+
+namespace churnlab {
+
+Result<CsvReader> CsvReader::Open(const std::string& path, char delimiter) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  if (file.bad()) {
+    return Status::IOError("error while reading '" + path + "'");
+  }
+  return CsvReader(std::move(contents).str(), delimiter);
+}
+
+CsvReader CsvReader::FromString(std::string text, char delimiter) {
+  return CsvReader(std::move(text), delimiter);
+}
+
+bool CsvReader::ReadRow(std::vector<std::string>* row) {
+  row->clear();
+  if (!status_.ok() || pos_ >= text_.size()) return false;
+
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+
+  while (pos_ < text_.size()) {
+    const char c = text_[pos_];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '"') {
+          field += '"';
+          pos_ += 2;
+        } else {
+          in_quotes = false;
+          ++pos_;
+        }
+      } else {
+        field += c;
+        ++pos_;
+      }
+      continue;
+    }
+    if (c == '"' && field.empty() && !field_was_quoted) {
+      in_quotes = true;
+      field_was_quoted = true;
+      ++pos_;
+    } else if (c == delimiter_) {
+      row->push_back(std::move(field));
+      field.clear();
+      field_was_quoted = false;
+      ++pos_;
+    } else if (c == '\n' || c == '\r') {
+      ++pos_;
+      if (c == '\r' && pos_ < text_.size() && text_[pos_] == '\n') ++pos_;
+      row->push_back(std::move(field));
+      ++row_number_;
+      return true;
+    } else {
+      field += c;
+      ++pos_;
+    }
+  }
+
+  if (in_quotes) {
+    status_ = Status::InvalidArgument(
+        "unterminated quoted CSV field at end of input (row " +
+        std::to_string(row_number_ + 1) + ")");
+    return false;
+  }
+  // Final row without trailing newline.
+  row->push_back(std::move(field));
+  ++row_number_;
+  return true;
+}
+
+Result<CsvWriter> CsvWriter::Open(const std::string& path, char delimiter) {
+  CsvWriter writer(delimiter);
+  writer.file_.open(path, std::ios::binary | std::ios::trunc);
+  if (!writer.file_) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  writer.to_file_ = true;
+  return writer;
+}
+
+CsvWriter CsvWriter::ToStringBuffer(char delimiter) {
+  return CsvWriter(delimiter);
+}
+
+void CsvWriter::AppendField(std::string_view field) {
+  const bool needs_quoting =
+      field.find_first_of("\"\r\n") != std::string_view::npos ||
+      field.find(delimiter_) != std::string_view::npos;
+  if (!needs_quoting) {
+    buffer_.append(field);
+    return;
+  }
+  buffer_ += '"';
+  for (char c : field) {
+    if (c == '"') buffer_ += '"';
+    buffer_ += c;
+  }
+  buffer_ += '"';
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) buffer_ += delimiter_;
+    AppendField(fields[i]);
+  }
+  buffer_ += '\n';
+  if (to_file_ && buffer_.size() >= size_t{1} << 20) {
+    file_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+    if (!file_) return Status::IOError("CSV write failed");
+  }
+  return Status::OK();
+}
+
+Status CsvWriter::Close() {
+  if (!to_file_) return Status::OK();
+  if (!buffer_.empty()) {
+    file_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+  }
+  file_.close();
+  if (file_.fail()) return Status::IOError("CSV close failed");
+  return Status::OK();
+}
+
+}  // namespace churnlab

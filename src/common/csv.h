@@ -1,0 +1,99 @@
+#ifndef CHURNLAB_COMMON_CSV_H_
+#define CHURNLAB_COMMON_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace churnlab {
+
+/// \brief Incremental RFC-4180-style CSV reader over a file or in-memory
+/// text.
+///
+/// Supports quoted fields (embedded delimiters, quotes doubled as `""`,
+/// embedded newlines inside quotes) and both `\n` and `\r\n` row endings.
+/// Rows are surfaced as vectors of decoded field strings:
+/// \code
+///   CHURNLAB_ASSIGN_OR_RETURN(CsvReader reader, CsvReader::Open(path));
+///   std::vector<std::string> row;
+///   while (reader.ReadRow(&row)) { ... }
+///   CHURNLAB_RETURN_NOT_OK(reader.status());
+/// \endcode
+class CsvReader {
+ public:
+  /// Opens `path` for reading. Fails with IOError if unreadable.
+  static Result<CsvReader> Open(const std::string& path, char delimiter = ',');
+
+  /// Wraps in-memory CSV text (copied).
+  static CsvReader FromString(std::string text, char delimiter = ',');
+
+  CsvReader(CsvReader&&) = default;
+  CsvReader& operator=(CsvReader&&) = default;
+  CsvReader(const CsvReader&) = delete;
+  CsvReader& operator=(const CsvReader&) = delete;
+
+  /// Reads the next row into `*row` (cleared first). Returns false at end of
+  /// input or on malformed input; check `status()` to distinguish.
+  bool ReadRow(std::vector<std::string>* row);
+
+  /// OK unless a malformed record (e.g. unterminated quote) was hit.
+  const Status& status() const { return status_; }
+
+  /// 1-based number of the last row returned (0 before the first ReadRow).
+  size_t row_number() const { return row_number_; }
+
+ private:
+  CsvReader(std::string text, char delimiter)
+      : text_(std::move(text)), delimiter_(delimiter) {}
+
+  std::string text_;
+  size_t pos_ = 0;
+  char delimiter_;
+  size_t row_number_ = 0;
+  Status status_;
+};
+
+/// \brief CSV writer with RFC-4180 quoting.
+///
+/// Fields containing the delimiter, a quote, or a newline are quoted with
+/// internal quotes doubled. Rows end with a single `\n`.
+class CsvWriter {
+ public:
+  /// Opens `path` for (truncating) write.
+  static Result<CsvWriter> Open(const std::string& path, char delimiter = ',');
+
+  /// Collects output in memory; retrieve it with `ToString()`.
+  static CsvWriter ToStringBuffer(char delimiter = ',');
+
+  CsvWriter(CsvWriter&&) = default;
+  CsvWriter& operator=(CsvWriter&&) = default;
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Appends one row.
+  Status WriteRow(const std::vector<std::string>& fields);
+
+  /// Flushes and closes the underlying file (no-op for string buffers).
+  Status Close();
+
+  /// Buffered output for ToStringBuffer writers.
+  const std::string& ToString() const { return buffer_; }
+
+ private:
+  explicit CsvWriter(char delimiter) : delimiter_(delimiter) {}
+
+  void AppendField(std::string_view field);
+
+  char delimiter_;
+  std::string buffer_;
+  std::ofstream file_;
+  bool to_file_ = false;
+};
+
+}  // namespace churnlab
+
+#endif  // CHURNLAB_COMMON_CSV_H_

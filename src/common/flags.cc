@@ -1,0 +1,145 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace churnlab {
+
+FlagParser::FlagParser(std::string description)
+    : description_(std::move(description)) {}
+
+void FlagParser::Register(const std::string& name, Kind kind, void* target,
+                          std::string help, std::string default_text) {
+  const auto [it, inserted] = flags_.emplace(
+      name, Flag{kind, target, std::move(help), std::move(default_text)});
+  (void)it;
+  if (!inserted) {
+    std::fprintf(stderr, "duplicate flag registration: --%s\n", name.c_str());
+    std::abort();
+  }
+}
+
+void FlagParser::AddString(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help, std::string* target) {
+  *target = default_value;
+  Register(name, Kind::kString, target, help, "\"" + default_value + "\"");
+}
+
+void FlagParser::AddInt64(const std::string& name, int64_t default_value,
+                          const std::string& help, int64_t* target) {
+  *target = default_value;
+  Register(name, Kind::kInt64, target, help, std::to_string(default_value));
+}
+
+void FlagParser::AddUint64(const std::string& name, uint64_t default_value,
+                           const std::string& help, uint64_t* target) {
+  *target = default_value;
+  Register(name, Kind::kUint64, target, help, std::to_string(default_value));
+}
+
+void FlagParser::AddDouble(const std::string& name, double default_value,
+                           const std::string& help, double* target) {
+  *target = default_value;
+  Register(name, Kind::kDouble, target, help, FormatDouble(default_value, 3));
+}
+
+void FlagParser::AddBool(const std::string& name, bool default_value,
+                         const std::string& help, bool* target) {
+  *target = default_value;
+  Register(name, Kind::kBool, target, help, default_value ? "true" : "false");
+}
+
+Status FlagParser::Assign(const std::string& name, const std::string& value) {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name + "\n" + Usage());
+  }
+  Flag& flag = it->second;
+  switch (flag.kind) {
+    case Kind::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return Status::OK();
+    case Kind::kInt64: {
+      CHURNLAB_ASSIGN_OR_RETURN(*static_cast<int64_t*>(flag.target),
+                                ParseInt64(value));
+      return Status::OK();
+    }
+    case Kind::kUint64: {
+      CHURNLAB_ASSIGN_OR_RETURN(*static_cast<uint64_t*>(flag.target),
+                                ParseUint64(value));
+      return Status::OK();
+    }
+    case Kind::kDouble: {
+      CHURNLAB_ASSIGN_OR_RETURN(*static_cast<double*>(flag.target),
+                                ParseDouble(value));
+      return Status::OK();
+    }
+    case Kind::kBool: {
+      const std::string lowered = AsciiToLower(value);
+      if (lowered == "true" || lowered == "1" || lowered.empty()) {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (lowered == "false" || lowered == "0") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        return Status::InvalidArgument("cannot parse bool flag --" + name +
+                                       " from '" + value + "'");
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable flag kind");
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv, int begin) {
+  positional_.clear();
+  for (int i = begin; i < argc; ++i) {
+    const std::string argument = argv[i];
+    if (argument == "--help" || argument == "-h") {
+      std::fprintf(stderr, "%s", Usage().c_str());
+      return Status::Cancelled("help requested");
+    }
+    if (!StartsWith(argument, "--")) {
+      positional_.push_back(argument);
+      continue;
+    }
+    const std::string body = argument.substr(2);
+    const size_t equals = body.find('=');
+    if (equals != std::string::npos) {
+      CHURNLAB_RETURN_NOT_OK(
+          Assign(body.substr(0, equals), body.substr(equals + 1)));
+      continue;
+    }
+    // `--name value` form, except bool flags which may stand alone.
+    const auto it = flags_.find(body);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + body + "\n" +
+                                     Usage());
+    }
+    if (it->second.kind == Kind::kBool) {
+      *static_cast<bool*>(it->second.target) = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag --" + body + " expects a value");
+    }
+    CHURNLAB_RETURN_NOT_OK(Assign(body, argv[++i]));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Usage() const {
+  std::ostringstream out;
+  out << description_ << "\n";
+  for (const auto& [name, flag] : flags_) {
+    out << "  --" << name << "  (default " << flag.default_text << ")\n"
+        << "      " << flag.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace churnlab

@@ -1,0 +1,76 @@
+#ifndef CHURNLAB_COMMON_FLAGS_H_
+#define CHURNLAB_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace churnlab {
+
+/// \brief Minimal command-line flag parser for the CLI tool and harnesses.
+///
+/// Supports `--name=value`, `--name value`, bare `--bool_flag`, and `--help`
+/// (which makes Parse return Cancelled after printing usage). Arguments not
+/// starting with `--` are collected as positionals.
+///
+/// \code
+///   FlagParser parser("score a dataset");
+///   std::string data;
+///   double alpha = 2.0;
+///   parser.AddString("data", "", "dataset path (.clb or CSV prefix)", &data);
+///   parser.AddDouble("alpha", alpha, "significance alpha", &alpha);
+///   CHURNLAB_RETURN_NOT_OK(parser.Parse(argc, argv));
+/// \endcode
+class FlagParser {
+ public:
+  explicit FlagParser(std::string description);
+
+  /// Registers a flag bound to `*target` (which also provides the default).
+  /// Names must be unique; registration aborts on duplicates.
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help, std::string* target);
+  void AddInt64(const std::string& name, int64_t default_value,
+                const std::string& help, int64_t* target);
+  void AddUint64(const std::string& name, uint64_t default_value,
+                 const std::string& help, uint64_t* target);
+  void AddDouble(const std::string& name, double default_value,
+                 const std::string& help, double* target);
+  /// Boolean flags accept `--flag`, `--flag=true/false`, `--flag=1/0`.
+  void AddBool(const std::string& name, bool default_value,
+               const std::string& help, bool* target);
+
+  /// Parses `argv[begin..argc)`. Returns InvalidArgument on unknown flags
+  /// or unparsable values, Cancelled if `--help` was requested (usage is
+  /// printed to stderr).
+  Status Parse(int argc, const char* const* argv, int begin = 1);
+
+  /// Arguments that did not look like flags, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Human-readable flag summary.
+  std::string Usage() const;
+
+ private:
+  enum class Kind { kString, kInt64, kUint64, kDouble, kBool };
+  struct Flag {
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_text;
+  };
+
+  void Register(const std::string& name, Kind kind, void* target,
+                std::string help, std::string default_text);
+  Status Assign(const std::string& name, const std::string& value);
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace churnlab
+
+#endif  // CHURNLAB_COMMON_FLAGS_H_

@@ -1,0 +1,49 @@
+#include "common/kfold.h"
+
+#include <algorithm>
+#include <map>
+
+namespace churnlab {
+
+Result<StratifiedKFold> StratifiedKFold::Make(const std::vector<int>& labels,
+                                              size_t k, uint64_t seed) {
+  if (k < 2) {
+    return Status::InvalidArgument("k must be >= 2");
+  }
+  if (labels.size() < k) {
+    return Status::InvalidArgument("need at least k examples");
+  }
+
+  // Group indices by class, shuffle within class, deal round-robin.
+  std::map<int, std::vector<size_t>> by_class;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    by_class[labels[i]].push_back(i);
+  }
+  Rng rng(seed);
+  std::vector<std::vector<size_t>> folds(k);
+  size_t next_fold = 0;
+  for (auto& [label, indices] : by_class) {
+    (void)label;
+    rng.Shuffle(&indices);
+    for (const size_t index : indices) {
+      folds[next_fold].push_back(index);
+      next_fold = (next_fold + 1) % k;
+    }
+  }
+  for (std::vector<size_t>& fold : folds) {
+    std::sort(fold.begin(), fold.end());
+  }
+  return StratifiedKFold(std::move(folds));
+}
+
+std::vector<size_t> StratifiedKFold::TrainIndices(size_t fold) const {
+  std::vector<size_t> train;
+  for (size_t f = 0; f < folds_.size(); ++f) {
+    if (f == fold) continue;
+    train.insert(train.end(), folds_[f].begin(), folds_[f].end());
+  }
+  std::sort(train.begin(), train.end());
+  return train;
+}
+
+}  // namespace churnlab

@@ -1,0 +1,45 @@
+#ifndef CHURNLAB_COMMON_KFOLD_H_
+#define CHURNLAB_COMMON_KFOLD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace churnlab {
+
+/// \brief Stratified k-fold splitter.
+///
+/// Partitions example indices [0, labels.size()) into `k` folds whose class
+/// proportions match the full set (binary or multi-class integer labels).
+/// Used for the paper's 5-fold cross-validation: both the (w, alpha)
+/// parameter search and the held-out scoring of the RFM logistic baseline.
+class StratifiedKFold {
+ public:
+  /// Builds the folds. Requires 2 <= k <= labels.size(); shuffling is
+  /// deterministic given `seed`.
+  static Result<StratifiedKFold> Make(const std::vector<int>& labels,
+                                      size_t k, uint64_t seed);
+
+  size_t num_folds() const { return folds_.size(); }
+
+  /// Example indices of fold `fold` (the test split of that round).
+  const std::vector<size_t>& TestIndices(size_t fold) const {
+    return folds_.at(fold);
+  }
+
+  /// Example indices of every fold except `fold` (the train split),
+  /// ascending order.
+  std::vector<size_t> TrainIndices(size_t fold) const;
+
+ private:
+  explicit StratifiedKFold(std::vector<std::vector<size_t>> folds)
+      : folds_(std::move(folds)) {}
+
+  std::vector<std::vector<size_t>> folds_;
+};
+
+}  // namespace churnlab
+
+#endif  // CHURNLAB_COMMON_KFOLD_H_

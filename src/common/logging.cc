@@ -1,0 +1,60 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+
+namespace churnlab {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+
+std::string_view Basename(std::string_view path) {
+  const size_t pos = path.find_last_of('/');
+  return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+}  // namespace
+
+std::string_view LogLevelToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void Logger::SetLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Logger::GetLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+bool Logger::IsEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         g_level.load(std::memory_order_relaxed);
+}
+
+void Logger::Log(LogLevel level, std::string_view file, int line,
+                 std::string_view message) {
+  if (!IsEnabled(level)) return;
+  const std::string_view base = Basename(file);
+  const std::string_view name = LogLevelToString(level);
+  // One fprintf per message keeps interleaving at line granularity.
+  std::fprintf(stderr, "[churnlab %.*s %.*s:%d] %.*s\n",
+               static_cast<int>(name.size()), name.data(),
+               static_cast<int>(base.size()), base.data(), line,
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace churnlab

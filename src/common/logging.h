@@ -1,0 +1,80 @@
+#ifndef CHURNLAB_COMMON_LOGGING_H_
+#define CHURNLAB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace churnlab {
+
+/// Severity levels for the library logger, in increasing order.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+std::string_view LogLevelToString(LogLevel level);
+
+/// \brief Minimal leveled logger writing to stderr.
+///
+/// The logger is process-global and thread-safe (each message is formatted
+/// into a single write). Verbosity defaults to kWarning so library internals
+/// stay quiet unless callers opt in:
+/// \code
+///   Logger::SetLevel(LogLevel::kInfo);
+///   CHURNLAB_LOG(INFO) << "simulated " << n << " receipts";
+/// \endcode
+class Logger {
+ public:
+  /// Sets the global minimum level; messages below it are dropped.
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+
+  /// True iff a message at `level` would be emitted.
+  static bool IsEnabled(LogLevel level);
+
+  /// Emits one message. Prefer the CHURNLAB_LOG macro.
+  static void Log(LogLevel level, std::string_view file, int line,
+                  std::string_view message);
+};
+
+/// Implementation detail of CHURNLAB_LOG: collects stream output and emits
+/// it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Logger::Log(level_, file_, line_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+#define CHURNLAB_LOG(severity)                                             \
+  if (!::churnlab::Logger::IsEnabled(::churnlab::LogLevel::k##severity)) { \
+  } else                                                                   \
+    ::churnlab::LogMessage(::churnlab::LogLevel::k##severity, __FILE__,    \
+                           __LINE__)
+
+#define CHURNLAB_LOG_DEBUG() CHURNLAB_LOG(Debug)
+#define CHURNLAB_LOG_INFO() CHURNLAB_LOG(Info)
+#define CHURNLAB_LOG_WARNING() CHURNLAB_LOG(Warning)
+#define CHURNLAB_LOG_ERROR() CHURNLAB_LOG(Error)
+
+}  // namespace churnlab
+
+#endif  // CHURNLAB_COMMON_LOGGING_H_

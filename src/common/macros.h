@@ -1,0 +1,47 @@
+#ifndef CHURNLAB_COMMON_MACROS_H_
+#define CHURNLAB_COMMON_MACROS_H_
+
+#include <utility>
+
+#include "common/status.h"
+
+/// \file
+/// Control-flow helpers for Status / Result plumbing, mirroring the
+/// Arrow-style `RETURN_NOT_OK` / `ASSIGN_OR_RAISE` idioms.
+
+#define CHURNLAB_CONCAT_IMPL(x, y) x##y
+#define CHURNLAB_CONCAT(x, y) CHURNLAB_CONCAT_IMPL(x, y)
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define CHURNLAB_RETURN_NOT_OK(expr)                       \
+  do {                                                     \
+    ::churnlab::Status churnlab_status_macro__ = (expr);   \
+    if (!churnlab_status_macro__.ok()) {                   \
+      return churnlab_status_macro__;                      \
+    }                                                      \
+  } while (false)
+
+/// Evaluates `rexpr` (a Result<T> expression); on failure returns its status
+/// from the enclosing function, on success assigns the value to `lhs` (which
+/// may be a declaration such as `auto v`).
+#define CHURNLAB_ASSIGN_OR_RETURN(lhs, rexpr) \
+  CHURNLAB_ASSIGN_OR_RETURN_IMPL(             \
+      CHURNLAB_CONCAT(churnlab_result_macro__, __COUNTER__), lhs, rexpr)
+
+#define CHURNLAB_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto&& result_name = (rexpr);                                 \
+  if (!result_name.ok()) {                                      \
+    return result_name.status();                                \
+  }                                                             \
+  lhs = std::move(result_name).ValueOrDie()
+
+/// Aborts the process if `expr` is not OK. For contexts with no error
+/// channel (main(), benchmarks).
+#define CHURNLAB_CHECK_OK(expr)                          \
+  do {                                                   \
+    ::churnlab::Status churnlab_status_macro__ = (expr); \
+    churnlab_status_macro__.Abort(#expr);                \
+  } while (false)
+
+#endif  // CHURNLAB_COMMON_MACROS_H_

@@ -1,0 +1,139 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace churnlab {
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+double Log1pExp(double x) {
+  if (x > 35.0) return x;           // exp(-x) below double epsilon
+  if (x < -35.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+double ClampedPow(double base, double exponent, double max_abs_exponent) {
+  assert(base > 0.0);
+  assert(max_abs_exponent >= 0.0);
+  const double log_base = std::log(base);
+  double log_value = exponent * log_base;
+  const double limit = max_abs_exponent * std::abs(log_base);
+  log_value = std::clamp(log_value, -limit, limit);
+  return std::exp(log_value);
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double sum = 0.0;
+  for (double v : values) sum += (v - mean) * (v - mean);
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
+}
+
+double Clamp(double value, double lo, double hi) {
+  return std::clamp(value, lo, hi);
+}
+
+bool AlmostEqual(double a, double b, double tolerance) {
+  return std::abs(a - b) <= tolerance;
+}
+
+Result<std::vector<double>> SolveLinearSystem(std::vector<double> a,
+                                              std::vector<double> b) {
+  const size_t n = b.size();
+  if (a.size() != n * n) {
+    return Status::InvalidArgument("matrix is not n x n for n = rhs size");
+  }
+  // Forward elimination with partial pivoting.
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    double best = std::abs(a[col * n + col]);
+    for (size_t row = col + 1; row < n; ++row) {
+      const double candidate = std::abs(a[row * n + col]);
+      if (candidate > best) {
+        best = candidate;
+        pivot = row;
+      }
+    }
+    if (best < 1e-300) {
+      return Status::Internal("singular matrix in SolveLinearSystem");
+    }
+    if (pivot != col) {
+      for (size_t k = col; k < n; ++k) {
+        std::swap(a[col * n + k], a[pivot * n + k]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv_diag = 1.0 / a[col * n + col];
+    for (size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] * inv_diag;
+      if (factor == 0.0) continue;
+      a[row * n + col] = 0.0;
+      for (size_t k = col + 1; k < n; ++k) {
+        a[row * n + k] -= factor * a[col * n + k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (size_t row_plus_1 = n; row_plus_1 > 0; --row_plus_1) {
+    const size_t row = row_plus_1 - 1;
+    double sum = b[row];
+    for (size_t k = row + 1; k < n; ++k) {
+      sum -= a[row * n + k] * x[k];
+    }
+    x[row] = sum / a[row * n + row];
+  }
+  return x;
+}
+
+std::vector<double> FractionalRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Positions i..j (0-based) share the average of 1-based ranks i+1..j+1.
+    const double avg_rank = (static_cast<double>(i) +
+                             static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace churnlab

@@ -1,0 +1,55 @@
+#ifndef CHURNLAB_COMMON_MATH_UTIL_H_
+#define CHURNLAB_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace churnlab {
+
+/// Numerically stable logistic sigmoid 1 / (1 + exp(-x)).
+double Sigmoid(double x);
+
+/// log(1 + exp(x)) without overflow for large |x|.
+double Log1pExp(double x);
+
+/// base^exponent computed as exp(exponent * ln(base)) with the exponent
+/// clamped to [-`max_abs_exponent`, +`max_abs_exponent`] so significance
+/// weights of very long purchase histories cannot overflow or underflow.
+/// Requires base > 0.
+double ClampedPow(double base, double exponent, double max_abs_exponent);
+
+/// Dot product of equally-sized vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& values);
+
+/// Population variance (divides by N); 0 for fewer than 2 values.
+double Variance(const std::vector<double>& values);
+
+/// Population standard deviation.
+double StdDev(const std::vector<double>& values);
+
+/// Clamps `value` to [lo, hi].
+double Clamp(double value, double lo, double hi);
+
+/// True iff |a - b| <= tolerance.
+bool AlmostEqual(double a, double b, double tolerance = 1e-9);
+
+/// Ranks of `values` with ties averaged (1-based, "fractional ranking"),
+/// as used by the Mann-Whitney formulation of AUROC.
+std::vector<double> FractionalRanks(const std::vector<double>& values);
+
+/// Solves the dense linear system A x = b for x, where `a` is an n x n
+/// matrix in row-major order and `b` has n entries. Gaussian elimination
+/// with partial pivoting — appropriate for the small (<= ~10 unknowns)
+/// Newton steps of the logistic solver. Fails with InvalidArgument on shape
+/// mismatch and Internal on a (numerically) singular matrix.
+Result<std::vector<double>> SolveLinearSystem(std::vector<double> a,
+                                              std::vector<double> b);
+
+}  // namespace churnlab
+
+#endif  // CHURNLAB_COMMON_MATH_UTIL_H_

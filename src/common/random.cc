@@ -1,0 +1,288 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace churnlab {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+  // A theoretically possible all-zero state would make xoshiro degenerate.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 0x9E3779B97F4A7C15ULL;
+  }
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless unbiased bounded sampling.
+  uint64_t x = NextUint64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    const uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = NextUint64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  if (span == 0) return static_cast<int64_t>(NextUint64());
+  return lo + static_cast<int64_t>(NextUint64(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = UniformDouble(-1.0, 1.0);
+    v = UniformDouble(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return u * factor;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::Exponential(double lambda) {
+  assert(lambda > 0.0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u == 0.0);
+  return -std::log(u) / lambda;
+}
+
+int64_t Rng::Poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction; error is negligible
+    // relative to the simulator's own stochasticity at these means.
+    const double draw = Normal(mean, std::sqrt(mean));
+    return std::max<int64_t>(0, static_cast<int64_t>(std::llround(draw)));
+  }
+  const double limit = std::exp(-mean);
+  int64_t count = -1;
+  double product = 1.0;
+  do {
+    ++count;
+    product *= NextDouble();
+  } while (product > limit);
+  return count;
+}
+
+double Rng::Gamma(double shape, double scale) {
+  assert(shape > 0.0 && scale > 0.0);
+  if (shape < 1.0) {
+    // Boost to shape+1 then apply the standard power correction.
+    const double u = std::max(NextDouble(), 1e-300);
+    return Gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia-Tsang squeeze method.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = Normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  k = std::min(k, n);
+  std::vector<size_t> result;
+  result.reserve(k);
+  if (k == 0) return result;
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher-Yates over all indices.
+    std::vector<size_t> indices(n);
+    std::iota(indices.begin(), indices.end(), size_t{0});
+    for (size_t i = 0; i < k; ++i) {
+      const size_t j = i + static_cast<size_t>(NextUint64(n - i));
+      std::swap(indices[i], indices[j]);
+      result.push_back(indices[i]);
+    }
+    return result;
+  }
+  // Sparse case: Floyd's algorithm, then shuffle for uniform order.
+  std::vector<size_t> chosen;
+  chosen.reserve(k);
+  for (size_t j = n - k; j < n; ++j) {
+    const size_t t = static_cast<size_t>(NextUint64(j + 1));
+    if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+      chosen.push_back(t);
+    } else {
+      chosen.push_back(j);
+    }
+  }
+  Shuffle(&chosen);
+  return chosen;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+// ---------------------------------------------------------------------------
+// ZipfDistribution — Hörmann rejection-inversion ("Rejection-inversion to
+// generate variates from monotone discrete distributions", 1996), following
+// the layout used by absl and the JDK. Internally samples k in [1, n] and
+// returns k - 1.
+// ---------------------------------------------------------------------------
+
+namespace {
+// (exp(x) - 1) / x with the x -> 0 limit handled.
+double ExpM1OverX(double x) {
+  return std::abs(x) > 1e-8 ? std::expm1(x) / x : 1.0 + x / 2.0;
+}
+}  // namespace
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) : n_(n), s_(s) {
+  assert(n >= 1);
+  assert(s >= 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n_) + 0.5);
+  threshold_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -s_));
+}
+
+// H(x) = integral of x^-s: ((x)^(1-s) - 1)/(1-s), with the s == 1 log limit.
+double ZipfDistribution::H(double x) const {
+  const double log_x = std::log(x);
+  return ExpM1OverX((1.0 - s_) * log_x) * log_x;
+}
+
+double ZipfDistribution::HInverse(double x) const {
+  if (std::abs(1.0 - s_) < 1e-12) return std::exp(x);
+  // Solve ((t)^(1-s) - 1) / (1-s) = x  =>  t = (1 + x(1-s))^(1/(1-s)).
+  const double t = std::max(1.0 + x * (1.0 - s_), 1e-300);
+  return std::pow(t, 1.0 / (1.0 - s_));
+}
+
+size_t ZipfDistribution::Sample(Rng* rng) const {
+  if (n_ == 1) return 0;
+  for (;;) {
+    const double u = h_n_ + rng->NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+    if (k - x <= threshold_ ||
+        u >= H(k + 0.5) - std::exp(-std::log(k) * s_)) {
+      return static_cast<size_t>(k) - 1;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DiscreteDistribution — Walker/Vose alias method.
+// ---------------------------------------------------------------------------
+
+DiscreteDistribution::DiscreteDistribution(
+    const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  assert(n > 0);
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+size_t DiscreteDistribution::Sample(Rng* rng) const {
+  const size_t column = static_cast<size_t>(rng->NextUint64(prob_.size()));
+  return rng->NextDouble() < prob_[column] ? column : alias_[column];
+}
+
+}  // namespace churnlab

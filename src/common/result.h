@@ -1,0 +1,97 @@
+#ifndef CHURNLAB_COMMON_RESULT_H_
+#define CHURNLAB_COMMON_RESULT_H_
+
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "common/status.h"
+
+namespace churnlab {
+
+/// \brief A value-or-error discriminated union, Arrow-style.
+///
+/// `Result<T>` holds either a `T` (success) or a non-OK `Status` (failure).
+/// Functions that logically return a value but can fail should return
+/// `Result<T>`:
+/// \code
+///   Result<Dataset> LoadCsv(const std::string& path);
+///
+///   auto res = LoadCsv(path);
+///   if (!res.ok()) return res.status();
+///   Dataset ds = std::move(res).ValueOrDie();
+/// \endcode
+/// or with the convenience macro:
+/// \code
+///   CHURNLAB_ASSIGN_OR_RETURN(Dataset ds, LoadCsv(path));
+/// \endcode
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  using ValueType = T;
+
+  /// Constructs a failed result. `status` must not be OK; an OK status is
+  /// converted to an Internal error since there is no value to hold.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept(std::is_nothrow_move_constructible_v<T>) = default;
+  Result& operator=(Result&&) noexcept(
+      std::is_nothrow_move_assignable_v<T>) = default;
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; aborts if this result holds an error.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    DieIfError();
+    return std::move(*value_);
+  }
+
+  /// Alias for ValueOrDie, mirroring std::expected::value naming.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `fallback` if this result holds an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+  T ValueOr(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
+  }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) status_.Abort("Result::ValueOrDie on error");
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace churnlab
+
+#endif  // CHURNLAB_COMMON_RESULT_H_

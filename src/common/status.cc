@@ -1,0 +1,70 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace churnlab {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kInternal:
+      return "Internal error";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  if (code != StatusCode::kOk) {
+    state_ = std::make_shared<const State>(State{code, std::move(message)});
+  }
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code()));
+  if (!message().empty()) {
+    out += ": ";
+    out += message();
+  }
+  return out;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return *this;
+  std::string combined(context);
+  combined += ": ";
+  combined += message();
+  return Status(code(), std::move(combined));
+}
+
+void Status::Abort() const { Abort(""); }
+
+void Status::Abort(std::string_view context) const {
+  if (ok()) return;
+  if (context.empty()) {
+    std::fprintf(stderr, "churnlab fatal: %s\n", ToString().c_str());
+  } else {
+    std::fprintf(stderr, "churnlab fatal: %.*s: %s\n",
+                 static_cast<int>(context.size()), context.data(),
+                 ToString().c_str());
+  }
+  std::abort();
+}
+
+}  // namespace churnlab

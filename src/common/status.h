@@ -1,0 +1,144 @@
+#ifndef CHURNLAB_COMMON_STATUS_H_
+#define CHURNLAB_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace churnlab {
+
+/// \brief Machine-readable category of a Status.
+///
+/// Mirrors the Arrow/RocksDB convention: a small closed enumeration of error
+/// classes, with free-form detail text carried alongside.
+enum class StatusCode : char {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIOError = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kOutOfRange = 5,
+  kNotImplemented = 6,
+  kInternal = 7,
+  kCancelled = 8,
+};
+
+/// \brief Returns a human-readable name for a status code ("OK",
+/// "Invalid argument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation that can fail.
+///
+/// `Status` is the library-wide error-reporting type: public APIs that can
+/// fail return `Status` (or `Result<T>`, see result.h) instead of throwing.
+/// The OK status is represented by a null internal state so that success is a
+/// single pointer comparison and costs no allocation.
+///
+/// Typical usage:
+/// \code
+///   Status st = dataset.SaveCsv(path);
+///   if (!st.ok()) return st;
+/// \endcode
+/// or with the convenience macro:
+/// \code
+///   CHURNLAB_RETURN_NOT_OK(dataset.SaveCsv(path));
+/// \endcode
+class Status {
+ public:
+  /// Creates an OK status.
+  Status() = default;
+
+  /// Creates a status with the given code and message. `code` must not be
+  /// `StatusCode::kOk`; use the default constructor for success.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other) = default;
+  Status& operator=(const Status& other) = default;
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status IOError(std::string message) {
+    return Status(StatusCode::kIOError, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status NotImplemented(std::string message) {
+    return Status(StatusCode::kNotImplemented, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
+
+  /// True iff the status is success.
+  bool ok() const { return state_ == nullptr; }
+
+  /// Status code; `kOk` for success.
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+
+  /// Detail message; empty for success.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ == nullptr ? kEmpty : state_->message;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `context` prepended to the message,
+  /// e.g. `st.WithContext("loading dataset")`. OK statuses pass through.
+  Status WithContext(std::string_view context) const;
+
+  /// Aborts the process with the status text if not OK. Intended for
+  /// callers that have no error channel (tests, example main()s).
+  void Abort() const;
+  void Abort(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+  friend bool operator!=(const Status& a, const Status& b) { return !(a == b); }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // Null iff OK. Shared so copies are cheap; Status is immutable once built.
+  std::shared_ptr<const State> state_;
+};
+
+}  // namespace churnlab
+
+#endif  // CHURNLAB_COMMON_STATUS_H_

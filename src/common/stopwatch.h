@@ -1,0 +1,31 @@
+#ifndef CHURNLAB_COMMON_STOPWATCH_H_
+#define CHURNLAB_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace churnlab {
+
+/// \brief Wall-clock stopwatch for coarse timing in harnesses and reports.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction / last Reset.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace churnlab
+
+#endif  // CHURNLAB_COMMON_STOPWATCH_H_

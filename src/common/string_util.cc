@@ -1,0 +1,130 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace churnlab {
+
+std::vector<std::string_view> Split(std::string_view text, char delimiter) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  for (;;) {
+    const size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += separator;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view StripAsciiWhitespace(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string AsciiToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  const std::string_view stripped = StripAsciiWhitespace(text);
+  int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(stripped.data(), stripped.data() + stripped.size(),
+                      value);
+  if (ec != std::errc() || ptr != stripped.data() + stripped.size()) {
+    return Status::InvalidArgument("cannot parse int64 from '" +
+                                   std::string(text) + "'");
+  }
+  return value;
+}
+
+Result<uint64_t> ParseUint64(std::string_view text) {
+  const std::string_view stripped = StripAsciiWhitespace(text);
+  uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(stripped.data(), stripped.data() + stripped.size(),
+                      value);
+  if (ec != std::errc() || ptr != stripped.data() + stripped.size()) {
+    return Status::InvalidArgument("cannot parse uint64 from '" +
+                                   std::string(text) + "'");
+  }
+  return value;
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  const std::string_view stripped = StripAsciiWhitespace(text);
+  if (stripped.empty()) {
+    return Status::InvalidArgument("cannot parse double from empty string");
+  }
+  // std::from_chars for double is not available in all libstdc++ configs we
+  // target, so go through strtod with an explicit end check.
+  const std::string buffer(stripped);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (errno == ERANGE || end != buffer.c_str() + buffer.size()) {
+    return Status::InvalidArgument("cannot parse double from '" +
+                                   std::string(text) + "'");
+  }
+  return value;
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+std::string FormatWithThousandsSeparators(int64_t value) {
+  const bool negative = value < 0;
+  std::string digits = std::to_string(negative ? -value : value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  const size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group) out += ',';
+    out += digits[i];
+  }
+  return negative ? "-" + out : out;
+}
+
+}  // namespace churnlab

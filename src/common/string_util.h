@@ -1,0 +1,44 @@
+#ifndef CHURNLAB_COMMON_STRING_UTIL_H_
+#define CHURNLAB_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace churnlab {
+
+/// Splits `text` on `delimiter`, keeping empty fields ("a,,b" -> 3 fields).
+std::vector<std::string_view> Split(std::string_view text, char delimiter);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view text);
+
+/// True iff `text` begins with `prefix` / ends with `suffix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// ASCII lower-casing (locale independent).
+std::string AsciiToLower(std::string_view text);
+
+/// Strict full-string numeric parsers: the entire (whitespace-stripped)
+/// input must be consumed, otherwise InvalidArgument is returned.
+Result<int64_t> ParseInt64(std::string_view text);
+Result<uint64_t> ParseUint64(std::string_view text);
+Result<double> ParseDouble(std::string_view text);
+
+/// Formats `value` with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+/// Renders 1234567 as "1,234,567" for report output.
+std::string FormatWithThousandsSeparators(int64_t value);
+
+}  // namespace churnlab
+
+#endif  // CHURNLAB_COMMON_STRING_UTIL_H_

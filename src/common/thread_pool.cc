@@ -1,0 +1,81 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace churnlab {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = std::max<size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(size_t begin, size_t end, size_t num_threads,
+                 const std::function<void(size_t)>& body) {
+  if (begin >= end) return;
+  const size_t count = end - begin;
+  if (num_threads <= 1 || count < 2) {
+    for (size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  num_threads = std::min(num_threads, count);
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  const size_t chunk = (count + num_threads - 1) / num_threads;
+  for (size_t t = 0; t < num_threads; ++t) {
+    const size_t lo = begin + t * chunk;
+    const size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    threads.emplace_back([lo, hi, &body] {
+      for (size_t i = lo; i < hi; ++i) body(i);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+}
+
+}  // namespace churnlab

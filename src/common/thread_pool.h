@@ -1,0 +1,58 @@
+#ifndef CHURNLAB_COMMON_THREAD_POOL_H_
+#define CHURNLAB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace churnlab {
+
+/// \brief Fixed-size worker pool for data-parallel scoring of customers.
+///
+/// Tasks are arbitrary `std::function<void()>`s executed FIFO. The pool is
+/// deliberately simple (single mutex-protected queue); churnlab's parallel
+/// sections are coarse-grained per-customer chunks, so queue contention is
+/// negligible.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1; 0 is clamped to 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs `body(i)` for every i in [begin, end), splitting the range into
+/// contiguous chunks across `num_threads` threads. Executes inline when the
+/// range is small or num_threads <= 1. `body` must be safe to invoke
+/// concurrently for distinct i.
+void ParallelFor(size_t begin, size_t end, size_t num_threads,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace churnlab
+
+#endif  // CHURNLAB_COMMON_THREAD_POOL_H_

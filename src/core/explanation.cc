@@ -1,0 +1,65 @@
+#include "core/explanation.h"
+
+#include <algorithm>
+
+namespace churnlab {
+namespace core {
+
+ExplanationEngine::ExplanationEngine(SignificanceOptions significance_options,
+                                     ExplanationOptions options)
+    : significance_options_(significance_options), options_(options) {}
+
+std::vector<WindowExplanation> ExplanationEngine::Explain(
+    const WindowedHistory& history) const {
+  std::vector<WindowExplanation> explanations;
+  explanations.reserve(history.windows.size());
+
+  StabilityComputer computer(significance_options_);
+  const Window* previous_window = nullptr;
+
+  const StabilitySeries series = computer.ComputeWithCallback(
+      history,
+      [&](int32_t k, const SignificanceTracker& tracker, const Window& window) {
+        WindowExplanation explanation;
+        explanation.window_index = k;
+
+        const double total = tracker.TotalSignificance();
+        if (total > 0.0) {
+          for (const Symbol symbol : tracker.SeenSymbols()) {
+            if (window.Contains(symbol)) continue;
+            const double significance = tracker.SignificanceOf(symbol);
+            const double share = significance / total;
+            if (share < options_.min_significance_share) continue;
+            MissingSymbol missing;
+            missing.symbol = symbol;
+            missing.significance = significance;
+            missing.significance_share = share;
+            missing.newly_missing =
+                previous_window != nullptr && previous_window->Contains(symbol);
+            explanation.missing.push_back(missing);
+          }
+          std::stable_sort(explanation.missing.begin(),
+                           explanation.missing.end(),
+                           [](const MissingSymbol& a, const MissingSymbol& b) {
+                             return a.significance > b.significance;
+                           });
+          if (explanation.missing.size() > options_.top_k) {
+            explanation.missing.resize(options_.top_k);
+          }
+        }
+        previous_window = &window;
+        explanations.push_back(std::move(explanation));
+      });
+
+  // Stitch in stability values and drops now that the series is complete.
+  for (size_t k = 0; k < explanations.size(); ++k) {
+    explanations[k].stability = series.points[k].stability;
+    explanations[k].drop_from_previous =
+        k == 0 ? 0.0
+               : series.points[k - 1].stability - series.points[k].stability;
+  }
+  return explanations;
+}
+
+}  // namespace core
+}  // namespace churnlab

@@ -1,0 +1,94 @@
+#include "core/monitor.h"
+
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace churnlab {
+namespace core {
+
+std::string StabilityAlert::ToString() const {
+  std::ostringstream out;
+  out << (kind == Kind::kLowStability ? "LOW_STABILITY" : "SHARP_DROP")
+      << " window=" << window_index
+      << " stability=" << FormatDouble(stability, 3)
+      << " drop=" << FormatDouble(drop, 3);
+  return out.str();
+}
+
+Result<StabilityMonitor> StabilityMonitor::Make(
+    OnlineStabilityScorer::Options options, MonitorPolicy policy) {
+  if (policy.beta < 0.0 || policy.beta > 1.0) {
+    return Status::InvalidArgument("beta must be in [0, 1]");
+  }
+  if (policy.consecutive_windows < 1) {
+    return Status::InvalidArgument("consecutive_windows must be >= 1");
+  }
+  if (policy.warmup_windows < 0) {
+    return Status::InvalidArgument("warmup_windows must be >= 0");
+  }
+  CHURNLAB_ASSIGN_OR_RETURN(OnlineStabilityScorer scorer,
+                            OnlineStabilityScorer::Make(options));
+  return StabilityMonitor(std::move(scorer), policy);
+}
+
+std::vector<StabilityAlert> StabilityMonitor::Evaluate(
+    const std::vector<StabilityPoint>& points) {
+  std::vector<StabilityAlert> alerts;
+  for (const StabilityPoint& point : points) {
+    const double drop =
+        has_previous_ ? last_stability_ - point.stability : 0.0;
+    const bool in_warmup = point.window_index < policy_.warmup_windows;
+
+    if (!in_warmup && point.has_history) {
+      if (point.stability <= policy_.beta) {
+        ++low_streak_;
+      } else {
+        low_streak_ = 0;
+      }
+      if (low_streak_ == policy_.consecutive_windows) {
+        StabilityAlert alert;
+        alert.kind = StabilityAlert::Kind::kLowStability;
+        alert.window_index = point.window_index;
+        alert.stability = point.stability;
+        alert.drop = drop;
+        alerts.push_back(alert);
+        // Re-arm only after recovery: keep the streak saturated so a long
+        // low spell raises exactly one alert.
+      }
+      if (low_streak_ > policy_.consecutive_windows) {
+        low_streak_ = policy_.consecutive_windows;  // saturate
+      }
+      if (policy_.drop_threshold <= 1.0 && has_previous_ &&
+          drop > policy_.drop_threshold) {
+        StabilityAlert alert;
+        alert.kind = StabilityAlert::Kind::kSharpDrop;
+        alert.window_index = point.window_index;
+        alert.stability = point.stability;
+        alert.drop = drop;
+        alerts.push_back(alert);
+      }
+    }
+    last_stability_ = point.stability;
+    has_previous_ = true;
+  }
+  return alerts;
+}
+
+Result<std::vector<StabilityAlert>> StabilityMonitor::Observe(
+    retail::Day day, const std::vector<Symbol>& symbols) {
+  CHURNLAB_ASSIGN_OR_RETURN(const std::vector<StabilityPoint> points,
+                            scorer_.Observe(day, symbols));
+  return Evaluate(points);
+}
+
+Result<std::vector<StabilityAlert>> StabilityMonitor::AdvanceTo(
+    retail::Day day) {
+  CHURNLAB_ASSIGN_OR_RETURN(const std::vector<StabilityPoint> points,
+                            scorer_.AdvanceTo(day));
+  return Evaluate(points);
+}
+
+}  // namespace core
+}  // namespace churnlab

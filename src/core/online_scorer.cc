@@ -1,0 +1,91 @@
+#include "core/online_scorer.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace churnlab {
+namespace core {
+
+Result<OnlineStabilityScorer> OnlineStabilityScorer::Make(Options options) {
+  if (options.window_span_days <= 0) {
+    return Status::InvalidArgument("window_span_days must be positive");
+  }
+  if (options.origin_day < 0) {
+    return Status::InvalidArgument("origin_day must be >= 0");
+  }
+  CHURNLAB_ASSIGN_OR_RETURN(const SignificanceTracker tracker,
+                            SignificanceTracker::Make(options.significance));
+  (void)tracker;
+  return OnlineStabilityScorer(options);
+}
+
+StabilityPoint OnlineStabilityScorer::CloseCurrentWindow() {
+  StabilityPoint point;
+  point.window_index = current_window_;
+  point.total_significance = tracker_.TotalSignificance();
+  double present = 0.0;
+  for (const Symbol symbol : current_symbols_) {
+    present += tracker_.SignificanceOf(symbol);
+  }
+  point.present_significance = present;
+  if (point.total_significance > 0.0) {
+    point.has_history = true;
+    point.stability = present / point.total_significance;
+  } else {
+    point.has_history = false;
+    point.stability = 1.0;
+  }
+  tracker_.AdvanceWindow(current_symbols_);
+  current_symbols_.clear();
+  ++current_window_;
+  return point;
+}
+
+Result<std::vector<StabilityPoint>> OnlineStabilityScorer::AdvanceTo(
+    retail::Day day) {
+  if (day < options_.origin_day) {
+    return Status::InvalidArgument("day precedes the window origin");
+  }
+  if (day < last_observed_day_) {
+    return Status::InvalidArgument(
+        "stream is not chronological: day " + std::to_string(day) +
+        " after day " + std::to_string(last_observed_day_));
+  }
+  last_observed_day_ = day;
+  const int32_t target_window =
+      (day - options_.origin_day) / options_.window_span_days;
+  std::vector<StabilityPoint> emitted;
+  while (current_window_ < target_window) {
+    emitted.push_back(CloseCurrentWindow());
+  }
+  return emitted;
+}
+
+Result<std::vector<StabilityPoint>> OnlineStabilityScorer::Observe(
+    retail::Day day, const std::vector<Symbol>& symbols) {
+  CHURNLAB_ASSIGN_OR_RETURN(std::vector<StabilityPoint> emitted,
+                            AdvanceTo(day));
+  // Merge the observation into the current window's sorted union.
+  for (const Symbol symbol : symbols) {
+    if (symbol == kInvalidSymbol) continue;
+    const auto it = std::lower_bound(current_symbols_.begin(),
+                                     current_symbols_.end(), symbol);
+    if (it == current_symbols_.end() || *it != symbol) {
+      current_symbols_.insert(it, symbol);
+    }
+  }
+  return emitted;
+}
+
+StabilityPoint OnlineStabilityScorer::Finish() {
+  // The next acceptable observation starts at the next window boundary.
+  last_observed_day_ =
+      std::max(last_observed_day_,
+               options_.origin_day +
+                   (current_window_ + 1) * options_.window_span_days - 1);
+  return CloseCurrentWindow();
+}
+
+}  // namespace core
+}  // namespace churnlab

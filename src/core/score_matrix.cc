@@ -1,0 +1,140 @@
+#include "core/score_matrix.h"
+
+#include <cassert>
+#include <cstdio>
+#include <string>
+
+#include "common/csv.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace churnlab {
+namespace core {
+
+ScoreMatrix::ScoreMatrix(std::vector<retail::CustomerId> customers,
+                         int32_t num_windows)
+    : customers_(std::move(customers)),
+      num_windows_(num_windows) {
+  assert(num_windows >= 0);
+  row_index_.reserve(customers_.size());
+  for (size_t i = 0; i < customers_.size(); ++i) {
+    row_index_.emplace(customers_[i], i);
+  }
+  scores_.assign(customers_.size() * static_cast<size_t>(num_windows_), 0.0);
+}
+
+double ScoreMatrix::At(size_t row, int32_t window) const {
+  assert(row < customers_.size());
+  assert(window >= 0 && window < num_windows_);
+  return scores_[row * static_cast<size_t>(num_windows_) +
+                 static_cast<size_t>(window)];
+}
+
+void ScoreMatrix::Set(size_t row, int32_t window, double score) {
+  assert(row < customers_.size());
+  assert(window >= 0 && window < num_windows_);
+  scores_[row * static_cast<size_t>(num_windows_) +
+          static_cast<size_t>(window)] = score;
+}
+
+double* ScoreMatrix::Row(size_t row) {
+  assert(row < customers_.size());
+  return scores_.data() + row * static_cast<size_t>(num_windows_);
+}
+
+const double* ScoreMatrix::Row(size_t row) const {
+  assert(row < customers_.size());
+  return scores_.data() + row * static_cast<size_t>(num_windows_);
+}
+
+Result<size_t> ScoreMatrix::RowOf(retail::CustomerId customer) const {
+  const auto it = row_index_.find(customer);
+  if (it == row_index_.end()) {
+    return Status::NotFound("customer " + std::to_string(customer) +
+                            " not in score matrix");
+  }
+  return it->second;
+}
+
+Result<double> ScoreMatrix::ScoreOf(retail::CustomerId customer,
+                                    int32_t window) const {
+  CHURNLAB_ASSIGN_OR_RETURN(const size_t row, RowOf(customer));
+  if (window < 0 || window >= num_windows_) {
+    return Status::OutOfRange("window " + std::to_string(window) +
+                              " outside [0, " + std::to_string(num_windows_) +
+                              ")");
+  }
+  return At(row, window);
+}
+
+Status ScoreMatrix::SaveCsv(const std::string& path) const {
+  CHURNLAB_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open(path));
+  std::vector<std::string> header = {"customer"};
+  for (int32_t window = 0; window < num_windows_; ++window) {
+    header.push_back("w" + std::to_string(window));
+  }
+  CHURNLAB_RETURN_NOT_OK(writer.WriteRow(header));
+  std::vector<std::string> cells;
+  for (size_t row = 0; row < customers_.size(); ++row) {
+    cells.clear();
+    cells.push_back(std::to_string(customers_[row]));
+    for (int32_t window = 0; window < num_windows_; ++window) {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.17g", At(row, window));
+      cells.emplace_back(buffer);
+    }
+    CHURNLAB_RETURN_NOT_OK(writer.WriteRow(cells));
+  }
+  return writer.Close();
+}
+
+Result<ScoreMatrix> ScoreMatrix::LoadCsv(const std::string& path) {
+  CHURNLAB_ASSIGN_OR_RETURN(CsvReader reader, CsvReader::Open(path));
+  std::vector<std::string> row;
+  if (!reader.ReadRow(&row) || row.empty()) {
+    return Status::InvalidArgument("score CSV has no header");
+  }
+  const int32_t num_windows = static_cast<int32_t>(row.size()) - 1;
+
+  std::vector<retail::CustomerId> customers;
+  std::vector<std::vector<double>> rows;
+  while (reader.ReadRow(&row)) {
+    if (row.size() != static_cast<size_t>(num_windows) + 1) {
+      return Status::InvalidArgument(
+          "score CSV row " + std::to_string(reader.row_number()) +
+          " has inconsistent width");
+    }
+    CHURNLAB_ASSIGN_OR_RETURN(const uint64_t customer, ParseUint64(row[0]));
+    customers.push_back(static_cast<retail::CustomerId>(customer));
+    std::vector<double> values;
+    values.reserve(static_cast<size_t>(num_windows));
+    for (int32_t window = 0; window < num_windows; ++window) {
+      CHURNLAB_ASSIGN_OR_RETURN(const double value,
+                                ParseDouble(row[window + 1]));
+      values.push_back(value);
+    }
+    rows.push_back(std::move(values));
+  }
+  CHURNLAB_RETURN_NOT_OK(reader.status());
+
+  ScoreMatrix matrix(customers, num_windows);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (int32_t window = 0; window < num_windows; ++window) {
+      matrix.Set(r, window, rows[r][window]);
+    }
+  }
+  return matrix;
+}
+
+std::vector<double> ScoreMatrix::WindowColumn(int32_t window) const {
+  assert(window >= 0 && window < num_windows_);
+  std::vector<double> column;
+  column.reserve(customers_.size());
+  for (size_t row = 0; row < customers_.size(); ++row) {
+    column.push_back(At(row, window));
+  }
+  return column;
+}
+
+}  // namespace core
+}  // namespace churnlab

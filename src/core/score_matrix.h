@@ -1,0 +1,69 @@
+#ifndef CHURNLAB_CORE_SCORE_MATRIX_H_
+#define CHURNLAB_CORE_SCORE_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "retail/types.h"
+
+namespace churnlab {
+namespace core {
+
+/// \brief Dense customer-by-window score matrix.
+///
+/// Both the stability model and the RFM baseline emit one score per
+/// (customer, window); evaluation consumes them uniformly through this
+/// type. Row order is the customer vector passed at construction; rows are
+/// addressable by position or by customer id.
+class ScoreMatrix {
+ public:
+  ScoreMatrix() = default;
+
+  /// Creates a zero-initialised matrix for `customers` x `num_windows`.
+  ScoreMatrix(std::vector<retail::CustomerId> customers, int32_t num_windows);
+
+  size_t num_rows() const { return customers_.size(); }
+  int32_t num_windows() const { return num_windows_; }
+
+  const std::vector<retail::CustomerId>& customers() const {
+    return customers_;
+  }
+
+  /// Score of row `row` at window `window`; bounds-checked by assert.
+  double At(size_t row, int32_t window) const;
+  void Set(size_t row, int32_t window, double score);
+
+  /// Mutable pointer to a full row (num_windows doubles).
+  double* Row(size_t row);
+  const double* Row(size_t row) const;
+
+  /// Row position of `customer`, or NotFound.
+  Result<size_t> RowOf(retail::CustomerId customer) const;
+
+  /// Score of `customer` at `window`, resolving the row by id.
+  Result<double> ScoreOf(retail::CustomerId customer, int32_t window) const;
+
+  /// One window's scores across all rows, in row order.
+  std::vector<double> WindowColumn(int32_t window) const;
+
+  /// Writes the matrix as CSV: header `customer,w0,w1,...`, one row per
+  /// customer. The export format of the CLI's `score --out`.
+  Status SaveCsv(const std::string& path) const;
+
+  /// Reads a CSV written by SaveCsv.
+  static Result<ScoreMatrix> LoadCsv(const std::string& path);
+
+ private:
+  std::vector<retail::CustomerId> customers_;
+  std::unordered_map<retail::CustomerId, size_t> row_index_;
+  int32_t num_windows_ = 0;
+  std::vector<double> scores_;  // row-major
+};
+
+}  // namespace core
+}  // namespace churnlab
+
+#endif  // CHURNLAB_CORE_SCORE_MATRIX_H_

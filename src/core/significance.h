@@ -1,0 +1,101 @@
+#ifndef CHURNLAB_CORE_SIGNIFICANCE_H_
+#define CHURNLAB_CORE_SIGNIFICANCE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/window.h"
+
+namespace churnlab {
+namespace core {
+
+/// Which significance weighting to use.
+enum class SignificanceKind : uint8_t {
+  /// The paper's S(p,k) = alpha^(c(k) - l(k)).
+  kAlphaPower = 0,
+  /// Exponentially-weighted moving average of window presence:
+  /// s_k = lambda * s_{k-1} + (1 - lambda) * [p in u_{k-1}], s in (0, 1].
+  /// An extension for the ablation study: recent windows dominate, old
+  /// history is forgotten at a fixed rate rather than the paper's
+  /// count-difference rule.
+  kEwma = 1,
+};
+
+/// Parameters of the significance weighting S(p,k) = alpha^(c(k) - l(k)).
+struct SignificanceOptions {
+  SignificanceKind kind = SignificanceKind::kAlphaPower;
+  /// The paper's alpha. Must be > 0; the usual regime is alpha > 1 so that
+  /// repeated purchases increase significance. The paper's experiments use
+  /// alpha = 2 (chosen by 5-fold cross-validation).
+  double alpha = 2.0;
+  /// |c - l| is clamped to this bound before exponentiation so significance
+  /// stays finite for arbitrarily long histories. 500 is far beyond the
+  /// paper's 14-window horizon and exact for it.
+  double max_abs_exponent = 500.0;
+  /// Memory of the kEwma variant, in (0, 1). Larger = longer memory.
+  double ewma_lambda = 0.7;
+};
+
+/// \brief Incremental per-customer significance table (section 2 of the
+/// paper).
+///
+/// For item p at window k, let c(k) = number of windows *before* k
+/// containing p and l(k) = number of windows before k not containing p.
+/// Since every prior window either contains p or not, c(k) + l(k) = k, so
+/// the tracker stores only c(k) per symbol and the current window count.
+/// The significance is
+///
+///   S(p,k) = alpha^(c(k) - l(k)) = alpha^(2*c(k) - k)   if c(k) > 0
+///   S(p,k) = 0                                           otherwise.
+///
+/// Usage: for each window k in order, query significances (they reflect
+/// windows 0..k-1), then call `AdvanceWindow(u_k)`.
+class SignificanceTracker {
+ public:
+  explicit SignificanceTracker(SignificanceOptions options);
+
+  /// Validates options (alpha > 0, max_abs_exponent >= 0).
+  static Result<SignificanceTracker> Make(SignificanceOptions options);
+
+  /// S(p, current window). Zero for never-seen symbols.
+  double SignificanceOf(Symbol symbol) const;
+
+  /// c(current window) for `symbol` — number of past windows containing it.
+  int32_t ContainCount(Symbol symbol) const;
+
+  /// l(current window) for `symbol`. Zero for never-seen symbols (their
+  /// significance is 0 regardless).
+  int32_t MissCount(Symbol symbol) const;
+
+  /// Sum of S(p, current window) over every symbol in I. Only symbols with
+  /// c > 0 contribute (all others have S = 0), so this is a scan of the
+  /// seen-symbol table.
+  double TotalSignificance() const;
+
+  /// All symbols with c > 0, ascending. (Stable ordering for reports.)
+  std::vector<Symbol> SeenSymbols() const;
+
+  /// Folds window k's symbol set into the counters, making the tracker
+  /// reflect window k+1. `window_symbols` must be sorted and deduplicated
+  /// (as produced by Windower).
+  void AdvanceWindow(const std::vector<Symbol>& window_symbols);
+
+  /// Number of windows folded in so far (the current k).
+  int32_t windows_seen() const { return windows_seen_; }
+
+  const SignificanceOptions& options() const { return options_; }
+
+ private:
+  SignificanceOptions options_;
+  std::unordered_map<Symbol, int32_t> contain_counts_;
+  /// kEwma only: the running presence average per seen symbol.
+  std::unordered_map<Symbol, double> ewma_scores_;
+  int32_t windows_seen_ = 0;
+};
+
+}  // namespace core
+}  // namespace churnlab
+
+#endif  // CHURNLAB_CORE_SIGNIFICANCE_H_

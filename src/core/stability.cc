@@ -1,0 +1,14 @@
+#include "core/stability.h"
+
+namespace churnlab {
+namespace core {
+
+StabilitySeries StabilityComputer::Compute(
+    const WindowedHistory& history) const {
+  return ComputeWithCallback(
+      history,
+      [](int32_t, const SignificanceTracker&, const Window&) {});
+}
+
+}  // namespace core
+}  // namespace churnlab

@@ -1,0 +1,106 @@
+#ifndef CHURNLAB_CORE_STABILITY_H_
+#define CHURNLAB_CORE_STABILITY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/significance.h"
+#include "core/window.h"
+
+namespace churnlab {
+namespace core {
+
+/// Stability of one window of one customer.
+struct StabilityPoint {
+  int32_t window_index = 0;
+  /// Stability_i^k in [0, 1].
+  double stability = 1.0;
+  /// False when the significance table was empty (window 0, or no purchase
+  /// ever observed before this window). The paper's formula is 0/0 there;
+  /// we define stability = 1 — "no evidence of change" — and flag it so
+  /// evaluations can skip burn-in windows.
+  bool has_history = false;
+  /// Numerator sum_{p in u_k} S(p,k) and denominator sum_{p in I} S(p,k),
+  /// kept for diagnostics and tests.
+  double present_significance = 0.0;
+  double total_significance = 0.0;
+};
+
+/// A customer's stability series plus per-window context.
+struct StabilitySeries {
+  std::vector<StabilityPoint> points;
+
+  size_t size() const { return points.size(); }
+  double StabilityAt(size_t window) const {
+    return points.at(window).stability;
+  }
+};
+
+/// \brief Computes the per-window stability series of section 2:
+///
+///   Stability_i^k = sum_{p in u_k} S(p,k) / sum_{p in I} S(p,k).
+///
+/// Stability is 1 when every significant product reappears in window k and
+/// decreases by the significance share of each missing product.
+class StabilityComputer {
+ public:
+  explicit StabilityComputer(SignificanceOptions options)
+      : options_(options) {}
+
+  /// Computes the stability series of `history`. The companion overload
+  /// also exposes the tracker state at each window for explanation.
+  StabilitySeries Compute(const WindowedHistory& history) const;
+
+  /// Like Compute, but invokes `on_window(k, tracker, window)` for every
+  /// window *before* the tracker advances past it, i.e. with S(p,k) as seen
+  /// by window k. Used by the ExplanationEngine.
+  template <typename WindowFn>
+  StabilitySeries ComputeWithCallback(const WindowedHistory& history,
+                                      WindowFn&& on_window) const;
+
+  const SignificanceOptions& options() const { return options_; }
+
+ private:
+  SignificanceOptions options_;
+};
+
+// ---------------------------------------------------------------------------
+// Template implementation
+// ---------------------------------------------------------------------------
+
+template <typename WindowFn>
+StabilitySeries StabilityComputer::ComputeWithCallback(
+    const WindowedHistory& history, WindowFn&& on_window) const {
+  StabilitySeries series;
+  series.points.reserve(history.windows.size());
+  SignificanceTracker tracker(options_);
+  for (const Window& window : history.windows) {
+    StabilityPoint point;
+    point.window_index = window.index;
+    point.total_significance = tracker.TotalSignificance();
+    double present = 0.0;
+    const Symbol* previous = nullptr;  // tolerate duplicate neighbours
+    for (const Symbol& symbol : window.symbols) {
+      if (previous != nullptr && *previous == symbol) continue;
+      present += tracker.SignificanceOf(symbol);
+      previous = &symbol;
+    }
+    point.present_significance = present;
+    if (point.total_significance > 0.0) {
+      point.has_history = true;
+      point.stability = present / point.total_significance;
+    } else {
+      point.has_history = false;
+      point.stability = 1.0;
+    }
+    on_window(window.index, tracker, window);
+    series.points.push_back(point);
+    tracker.AdvanceWindow(window.symbols);
+  }
+  return series;
+}
+
+}  // namespace core
+}  // namespace churnlab
+
+#endif  // CHURNLAB_CORE_STABILITY_H_

@@ -1,0 +1,213 @@
+#include "core/stability_model.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace churnlab {
+namespace core {
+
+std::string CustomerReport::ToString() const {
+  std::ostringstream out;
+  out << "customer " << customer << "\n";
+  out << "window  months   stability  drop     receipts  lost products\n";
+  for (const CustomerWindowReport& window : windows) {
+    out << "  " << window.window_index << "\t[" << window.begin_month << ","
+        << window.end_month << ")\t" << FormatDouble(window.stability, 3)
+        << "\t" << FormatDouble(window.drop_from_previous, 3) << "\t"
+        << window.num_receipts << "\t";
+    bool first = true;
+    for (const NamedMissingProduct& missing : window.missing) {
+      if (!missing.newly_missing) continue;
+      if (!first) out << ", ";
+      out << missing.name << " (share "
+          << FormatDouble(missing.significance_share, 3) << ")";
+      first = false;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<StabilityModel> StabilityModel::Make(StabilityModelOptions options) {
+  if (options.window_span_months <= 0) {
+    return Status::InvalidArgument("window_span_months must be positive");
+  }
+  // Surface bad significance options eagerly.
+  CHURNLAB_ASSIGN_OR_RETURN(const SignificanceTracker tracker,
+                            SignificanceTracker::Make(options.significance));
+  (void)tracker;
+  if (options.num_threads == 0) options.num_threads = 1;
+  return StabilityModel(options);
+}
+
+Result<Windower> StabilityModel::MakeWindower(
+    const retail::Dataset& dataset) const {
+  if (!dataset.store().finalized()) {
+    return Status::InvalidArgument("dataset store is not finalized");
+  }
+  WindowerOptions window_options;
+  window_options.window_span_days =
+      options_.window_span_months * retail::kDaysPerMonth;
+  window_options.origin_day = 0;
+  window_options.num_windows = NumWindowsFor(dataset);
+  return Windower::Make(window_options);
+}
+
+int32_t StabilityModel::NumWindowsFor(const retail::Dataset& dataset) const {
+  if (options_.num_windows >= 0) return options_.num_windows;
+  const retail::Day span_days =
+      options_.window_span_months * retail::kDaysPerMonth;
+  const retail::Day last_day = dataset.store().max_day();
+  if (last_day < 0) return 0;
+  return last_day / span_days + 1;
+}
+
+Result<ScoreMatrix> StabilityModel::ScoreDataset(
+    const retail::Dataset& dataset) const {
+  CHURNLAB_ASSIGN_OR_RETURN(const Windower windower, MakeWindower(dataset));
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const SymbolMapper mapper,
+      SymbolMapper::Make(options_.granularity, &dataset.taxonomy()));
+
+  const std::vector<retail::CustomerId>& customers =
+      dataset.store().Customers();
+  const int32_t num_windows = NumWindowsFor(dataset);
+  ScoreMatrix matrix(customers, num_windows);
+
+  const StabilityComputer computer(options_.significance);
+  const auto score_one = [&](size_t row) {
+    const auto history = windower.Build(
+        dataset.store().History(customers[row]),
+        [&](retail::ItemId item) { return mapper.Map(item); });
+    const StabilitySeries series = computer.Compute(history);
+    double* out = matrix.Row(row);
+    for (size_t k = 0; k < series.points.size(); ++k) {
+      out[k] = series.points[k].stability;
+    }
+  };
+
+  ParallelFor(0, customers.size(), options_.num_threads, score_one);
+  return matrix;
+}
+
+Result<StabilitySeries> StabilityModel::ScoreCustomer(
+    const retail::Dataset& dataset, retail::CustomerId customer) const {
+  CHURNLAB_ASSIGN_OR_RETURN(const Windower windower, MakeWindower(dataset));
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const SymbolMapper mapper,
+      SymbolMapper::Make(options_.granularity, &dataset.taxonomy()));
+  const auto receipts = dataset.store().History(customer);
+  if (receipts.empty()) {
+    return Status::NotFound("customer " + std::to_string(customer) +
+                            " has no receipts");
+  }
+  const auto history = windower.Build(
+      receipts, [&](retail::ItemId item) { return mapper.Map(item); });
+  return StabilityComputer(options_.significance).Compute(history);
+}
+
+Result<CustomerReport> StabilityModel::AnalyzeCustomer(
+    const retail::Dataset& dataset, retail::CustomerId customer) const {
+  CHURNLAB_ASSIGN_OR_RETURN(const Windower windower, MakeWindower(dataset));
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const SymbolMapper mapper,
+      SymbolMapper::Make(options_.granularity, &dataset.taxonomy()));
+  const auto receipts = dataset.store().History(customer);
+  if (receipts.empty()) {
+    return Status::NotFound("customer " + std::to_string(customer) +
+                            " has no receipts");
+  }
+  const auto history = windower.Build(
+      receipts, [&](retail::ItemId item) { return mapper.Map(item); });
+
+  const ExplanationEngine engine(options_.significance, options_.explanation);
+  const std::vector<WindowExplanation> explanations = engine.Explain(history);
+
+  CustomerReport report;
+  report.customer = customer;
+  report.windows.reserve(explanations.size());
+  for (size_t k = 0; k < explanations.size(); ++k) {
+    const WindowExplanation& explanation = explanations[k];
+    const Window& window = history.windows[k];
+    CustomerWindowReport window_report;
+    window_report.window_index = explanation.window_index;
+    window_report.begin_month = retail::DayToMonth(window.begin_day);
+    window_report.end_month = retail::DayToMonth(window.end_day - 1) + 1;
+    window_report.stability = explanation.stability;
+    window_report.drop_from_previous = explanation.drop_from_previous;
+    window_report.num_receipts = window.num_receipts;
+    window_report.basket_union_size = window.symbols.size();
+    for (const MissingSymbol& missing : explanation.missing) {
+      NamedMissingProduct named;
+      named.name = mapper.SymbolName(missing.symbol, dataset.items());
+      named.significance = missing.significance;
+      named.significance_share = missing.significance_share;
+      named.newly_missing = missing.newly_missing;
+      window_report.missing.push_back(std::move(named));
+    }
+    report.windows.push_back(std::move(window_report));
+  }
+  return report;
+}
+
+Result<SignificanceProfile> StabilityModel::ProfileCustomer(
+    const retail::Dataset& dataset, retail::CustomerId customer,
+    int32_t window) const {
+  CHURNLAB_ASSIGN_OR_RETURN(const Windower windower, MakeWindower(dataset));
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const SymbolMapper mapper,
+      SymbolMapper::Make(options_.granularity, &dataset.taxonomy()));
+  const auto receipts = dataset.store().History(customer);
+  if (receipts.empty()) {
+    return Status::NotFound("customer " + std::to_string(customer) +
+                            " has no receipts");
+  }
+  const auto history = windower.Build(
+      receipts, [&](retail::ItemId item) { return mapper.Map(item); });
+  const int32_t num_windows = static_cast<int32_t>(history.num_windows());
+  if (window < 0) window = num_windows - 1;
+  if (window < 0 || window >= num_windows) {
+    return Status::OutOfRange("window " + std::to_string(window) +
+                              " outside [0, " + std::to_string(num_windows) +
+                              ")");
+  }
+
+  // Replay the tracker up to (not including) the profiled window.
+  SignificanceTracker tracker(options_.significance);
+  for (int32_t k = 0; k < window; ++k) {
+    tracker.AdvanceWindow(history.windows[static_cast<size_t>(k)].symbols);
+  }
+  const Window& profiled = history.windows[static_cast<size_t>(window)];
+
+  SignificanceProfile profile;
+  profile.customer = customer;
+  profile.window_index = window;
+  profile.total_significance = tracker.TotalSignificance();
+  for (const Symbol symbol : tracker.SeenSymbols()) {
+    SignificantProduct product;
+    product.symbol = symbol;
+    product.name = mapper.SymbolName(symbol, dataset.items());
+    product.contain_count = tracker.ContainCount(symbol);
+    product.miss_count = tracker.MissCount(symbol);
+    product.significance = tracker.SignificanceOf(symbol);
+    product.significance_share =
+        profile.total_significance > 0.0
+            ? product.significance / profile.total_significance
+            : 0.0;
+    product.present_in_window = profiled.Contains(symbol);
+    profile.products.push_back(std::move(product));
+  }
+  std::stable_sort(profile.products.begin(), profile.products.end(),
+                   [](const SignificantProduct& a,
+                      const SignificantProduct& b) {
+                     return a.significance > b.significance;
+                   });
+  return profile;
+}
+
+}  // namespace core
+}  // namespace churnlab

@@ -1,0 +1,29 @@
+#include "core/symbol_mapper.h"
+
+namespace churnlab {
+namespace core {
+
+Result<SymbolMapper> SymbolMapper::Make(retail::Granularity granularity,
+                                        const retail::Taxonomy* taxonomy) {
+  if (granularity == retail::Granularity::kSegment) {
+    if (taxonomy == nullptr) {
+      return Status::InvalidArgument(
+          "segment granularity requires a taxonomy");
+    }
+    return SymbolMapper(granularity, taxonomy,
+                        static_cast<Symbol>(taxonomy->num_segments()));
+  }
+  return SymbolMapper(granularity, nullptr, kInvalidSymbol);
+}
+
+std::string SymbolMapper::SymbolName(
+    Symbol symbol, const retail::ItemDictionary& items) const {
+  if (granularity_ == retail::Granularity::kProduct) {
+    return items.NameOrPlaceholder(symbol);
+  }
+  if (symbol == unsegmented_bucket_) return "(unsegmented)";
+  return taxonomy_->SegmentNameOrPlaceholder(symbol);
+}
+
+}  // namespace core
+}  // namespace churnlab

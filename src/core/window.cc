@@ -1,0 +1,38 @@
+#include "core/window.h"
+
+#include <algorithm>
+
+namespace churnlab {
+namespace core {
+
+bool Window::Contains(Symbol symbol) const {
+  return std::binary_search(symbols.begin(), symbols.end(), symbol);
+}
+
+Windower::Windower(WindowerOptions options) : options_(options) {}
+
+Result<Windower> Windower::Make(WindowerOptions options) {
+  if (options.window_span_days <= 0) {
+    return Status::InvalidArgument(
+        "window_span_days must be positive, got " +
+        std::to_string(options.window_span_days));
+  }
+  if (options.origin_day < 0) {
+    return Status::InvalidArgument("origin_day must be >= 0, got " +
+                                   std::to_string(options.origin_day));
+  }
+  return Windower(options);
+}
+
+int32_t Windower::WindowsToCover(retail::Day last_day) const {
+  if (last_day < options_.origin_day) return 0;
+  return (last_day - options_.origin_day) / options_.window_span_days + 1;
+}
+
+int32_t Windower::WindowIndexOf(retail::Day day) const {
+  if (day < options_.origin_day) return -1;
+  return (day - options_.origin_day) / options_.window_span_days;
+}
+
+}  // namespace core
+}  // namespace churnlab

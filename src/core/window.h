@@ -1,0 +1,140 @@
+#ifndef CHURNLAB_CORE_WINDOW_H_
+#define CHURNLAB_CORE_WINDOW_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "retail/types.h"
+
+namespace churnlab {
+namespace core {
+
+/// Symbols are what the stability model observes: raw product ids at
+/// product granularity, segment ids at segment granularity (see
+/// SymbolMapper). They share the integer domain of retail ids.
+using Symbol = uint32_t;
+
+/// One window of the windowed database D^w_i: the half-open day interval
+/// [begin_day, end_day) and the set `u_k` of symbols bought inside it.
+struct Window {
+  int32_t index = 0;
+  retail::Day begin_day = 0;
+  retail::Day end_day = 0;
+  /// Union of symbols bought in the window, sorted and deduplicated.
+  std::vector<Symbol> symbols;
+  /// Number of receipts that fell into the window (0 = no visit).
+  size_t num_receipts = 0;
+  /// Total monetary spend inside the window.
+  double spend = 0.0;
+
+  /// Binary-search membership test on the sorted symbol set.
+  bool Contains(Symbol symbol) const;
+};
+
+/// A customer's full windowed history D^w_i: consecutive, non-overlapping,
+/// equal-span windows anchored at a common origin. Windows with no receipts
+/// are materialised with an empty symbol set — an empty `u_k` is meaningful
+/// (it is maximal instability), not missing data.
+struct WindowedHistory {
+  std::vector<Window> windows;
+
+  size_t num_windows() const { return windows.size(); }
+};
+
+/// Options controlling how purchase histories are windowed.
+struct WindowerOptions {
+  /// Width of each window in days. The paper's experiments use 2 months
+  /// (see retail::kDaysPerMonth).
+  retail::Day window_span_days = 2 * retail::kDaysPerMonth;
+  /// Day at which window 0 begins. Using a dataset-global origin keeps
+  /// window indices comparable across customers.
+  retail::Day origin_day = 0;
+  /// Number of windows to materialise. Negative = derive from the last
+  /// receipt (enough windows to cover it).
+  int32_t num_windows = -1;
+};
+
+/// \brief Splits a chronological receipt span into the windowed database of
+/// section 2 of the paper.
+///
+/// The symbol for each purchased item is produced by a caller-supplied
+/// mapper (identity for product granularity, taxonomy lookup for segment
+/// granularity); see SymbolMapper.
+class Windower {
+ public:
+  explicit Windower(WindowerOptions options);
+
+  /// Validates the options (span > 0, origin >= 0).
+  static Result<Windower> Make(WindowerOptions options);
+
+  /// Builds the windowed history of one customer. `receipts` must be
+  /// chronologically sorted (TransactionStore::History guarantees this).
+  /// `map_symbol` converts an ItemId to the model's symbol space; it may
+  /// return kInvalidSymbol to drop an item.
+  template <typename SymbolFn>
+  WindowedHistory Build(std::span<const retail::Receipt> receipts,
+                        SymbolFn&& map_symbol) const;
+
+  const WindowerOptions& options() const { return options_; }
+
+  /// Number of windows needed to cover day `last_day` (>= 1 when
+  /// last_day >= origin).
+  int32_t WindowsToCover(retail::Day last_day) const;
+
+  /// Index of the window containing `day`, or -1 if before the origin.
+  int32_t WindowIndexOf(retail::Day day) const;
+
+ private:
+  WindowerOptions options_;
+};
+
+inline constexpr Symbol kInvalidSymbol = retail::kInvalidItem;
+
+// ---------------------------------------------------------------------------
+// Template implementation
+// ---------------------------------------------------------------------------
+
+template <typename SymbolFn>
+WindowedHistory Windower::Build(std::span<const retail::Receipt> receipts,
+                                SymbolFn&& map_symbol) const {
+  WindowedHistory history;
+  int32_t num_windows = options_.num_windows;
+  if (num_windows < 0) {
+    num_windows = receipts.empty()
+                      ? 0
+                      : WindowsToCover(receipts.back().day);
+  }
+  history.windows.resize(static_cast<size_t>(std::max(0, num_windows)));
+  for (int32_t k = 0; k < num_windows; ++k) {
+    Window& window = history.windows[static_cast<size_t>(k)];
+    window.index = k;
+    window.begin_day = options_.origin_day + k * options_.window_span_days;
+    window.end_day = window.begin_day + options_.window_span_days;
+  }
+  for (const retail::Receipt& receipt : receipts) {
+    const int32_t k = WindowIndexOf(receipt.day);
+    if (k < 0 || k >= num_windows) continue;
+    Window& window = history.windows[static_cast<size_t>(k)];
+    ++window.num_receipts;
+    window.spend += receipt.spend;
+    for (const retail::ItemId item : receipt.items) {
+      const Symbol symbol = map_symbol(item);
+      if (symbol != kInvalidSymbol) window.symbols.push_back(symbol);
+    }
+  }
+  for (Window& window : history.windows) {
+    std::sort(window.symbols.begin(), window.symbols.end());
+    window.symbols.erase(
+        std::unique(window.symbols.begin(), window.symbols.end()),
+        window.symbols.end());
+  }
+  return history;
+}
+
+}  // namespace core
+}  // namespace churnlab
+
+#endif  // CHURNLAB_CORE_WINDOW_H_

@@ -1,0 +1,97 @@
+#include "datagen/attrition.h"
+
+#include <algorithm>
+
+namespace churnlab {
+namespace datagen {
+
+Result<AttritionInjector> AttritionInjector::Make(AttritionConfig config) {
+  if (config.onset_month < 0) {
+    return Status::InvalidArgument("onset_month must be >= 0");
+  }
+  if (config.onset_jitter_months < 0) {
+    return Status::InvalidArgument("onset_jitter_months must be >= 0");
+  }
+  if (config.item_loss_probability_per_month <= 0.0 ||
+      config.item_loss_probability_per_month > 1.0) {
+    return Status::InvalidArgument(
+        "item_loss_probability_per_month must be in (0, 1]");
+  }
+  if (config.visit_decay_per_month <= 0.0 ||
+      config.visit_decay_per_month > 1.0) {
+    return Status::InvalidArgument("visit_decay_per_month must be in (0, 1]");
+  }
+  if (config.prodrome_months < 0) {
+    return Status::InvalidArgument("prodrome_months must be >= 0");
+  }
+  if (config.prodrome_visit_factor <= 0.0 ||
+      config.prodrome_visit_factor > 1.0) {
+    return Status::InvalidArgument(
+        "prodrome_visit_factor must be in (0, 1]");
+  }
+  if (config.early_loss_months < 0) {
+    return Status::InvalidArgument("early_loss_months must be >= 0");
+  }
+  if (config.early_loss_quantile < 0.0 || config.early_loss_quantile > 1.0) {
+    return Status::InvalidArgument("early_loss_quantile must be in [0, 1]");
+  }
+  return AttritionInjector(config);
+}
+
+void AttritionInjector::Inject(CustomerProfile* profile,
+                               int32_t horizon_months, Rng* rng) const {
+  const int32_t onset = std::max<int32_t>(
+      0, static_cast<int32_t>(rng->UniformInt(
+             config_.onset_month - config_.onset_jitter_months,
+             config_.onset_month + config_.onset_jitter_months)));
+  profile->cohort = retail::Cohort::kDefecting;
+  profile->attrition_onset_month = onset;
+  profile->visit_decay_per_month = config_.visit_decay_per_month;
+  profile->prodrome_months = config_.prodrome_months;
+  profile->prodrome_visit_factor = config_.prodrome_visit_factor;
+
+  // Weakly attached items (lowest trip probabilities) begin losing ground
+  // before the declared onset.
+  double early_loss_threshold = 0.0;
+  if (config_.early_loss_quantile > 0.0 && !profile->repertoire.empty()) {
+    std::vector<double> probabilities;
+    probabilities.reserve(profile->repertoire.size());
+    for (const RepertoireEntry& entry : profile->repertoire) {
+      probabilities.push_back(entry.trip_probability);
+    }
+    std::sort(probabilities.begin(), probabilities.end());
+    const size_t index = std::min(
+        probabilities.size() - 1,
+        static_cast<size_t>(config_.early_loss_quantile *
+                            static_cast<double>(probabilities.size())));
+    early_loss_threshold = probabilities[index];
+  }
+
+  for (RepertoireEntry& entry : profile->repertoire) {
+    const bool early =
+        config_.early_loss_quantile > 0.0 &&
+        entry.trip_probability <= early_loss_threshold;
+    const int32_t clock_start =
+        early ? std::max(0, onset - config_.early_loss_months) : onset;
+    // Geometric number of whole months the item survives past the start of
+    // its loss clock. An item lost "at" month m disappears from baskets
+    // from month m onwards.
+    int32_t survived = 0;
+    while (!rng->Bernoulli(config_.item_loss_probability_per_month)) {
+      ++survived;
+      if (clock_start + survived >= horizon_months) break;
+    }
+    int32_t loss_month = clock_start + survived;
+    if (loss_month >= horizon_months) loss_month = -1;
+    // Overlay on any natural-turnover loss already present: whichever
+    // abandonment comes first wins.
+    if (entry.loss_month >= 0 &&
+        (loss_month < 0 || entry.loss_month < loss_month)) {
+      loss_month = entry.loss_month;
+    }
+    entry.loss_month = loss_month;
+  }
+}
+
+}  // namespace datagen
+}  // namespace churnlab

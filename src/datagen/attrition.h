@@ -1,0 +1,72 @@
+#ifndef CHURNLAB_DATAGEN_ATTRITION_H_
+#define CHURNLAB_DATAGEN_ATTRITION_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "datagen/profiles.h"
+
+namespace churnlab {
+namespace datagen {
+
+/// How a defecting customer's behaviour degrades. Grocery attrition is
+/// *partial* (Buckinx & Van den Poel 2005; section 1 of the paper): the
+/// customer keeps visiting but progressively stops buying habitual items
+/// and comes less often — never a single hard cut-off.
+struct AttritionConfig {
+  /// Month at which defection starts (the paper's retailer reports month 18
+  /// of the 28-month span).
+  int32_t onset_month = 18;
+  /// Uniform jitter applied to the onset per customer: actual onset is
+  /// drawn from [onset_month - jitter, onset_month + jitter].
+  int32_t onset_jitter_months = 1;
+  /// Per month after onset, each remaining repertoire item is lost with
+  /// this probability (geometric loss schedule).
+  double item_loss_probability_per_month = 0.18;
+  /// Monthly multiplicative decay of the visit rate after onset.
+  double visit_decay_per_month = 0.90;
+  /// Pre-onset disengagement phase: for this many months before the onset
+  /// the visit rate is multiplied by `prodrome_visit_factor` (< 1 = the
+  /// customer starts coming slightly less often before the basket content
+  /// changes). 0 months disables the prodrome.
+  int32_t prodrome_months = 2;
+  double prodrome_visit_factor = 0.8;
+  /// Smoldering-attrition phase: the customer's most weakly attached
+  /// repertoire items (the `early_loss_quantile` fraction with the lowest
+  /// trip probability) start their loss clock `early_loss_months` before
+  /// the declared onset. The retailer's onset label marks when defection
+  /// became obvious; the early content losses are the signal a
+  /// forward-looking model can pick up.
+  int32_t early_loss_months = 0;  // disabled by default
+  double early_loss_quantile = 0.2;
+};
+
+/// \brief Applies partial-attrition dynamics to customer profiles.
+///
+/// For each repertoire entry an independent geometric loss month is drawn:
+/// loss_month = onset + Geometric(item_loss_probability). Entries whose
+/// sampled month exceeds the horizon keep loss_month = -1 (they survive).
+/// The injector also stamps cohort, onset and visit decay onto the profile.
+class AttritionInjector {
+ public:
+  /// Validates the config.
+  static Result<AttritionInjector> Make(AttritionConfig config);
+
+  /// Marks `profile` as defecting and injects its loss schedule.
+  /// `horizon_months` bounds the simulation; losses beyond it are dropped.
+  void Inject(CustomerProfile* profile, int32_t horizon_months,
+              Rng* rng) const;
+
+  const AttritionConfig& config() const { return config_; }
+
+ private:
+  explicit AttritionInjector(AttritionConfig config) : config_(config) {}
+
+  AttritionConfig config_;
+};
+
+}  // namespace datagen
+}  // namespace churnlab
+
+#endif  // CHURNLAB_DATAGEN_ATTRITION_H_

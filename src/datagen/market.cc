@@ -1,0 +1,120 @@
+#include "datagen/market.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace churnlab {
+namespace datagen {
+
+const std::vector<std::string>& MarketGenerator::GrocerySegmentNames() {
+  static const std::vector<std::string>* const kNames =
+      new std::vector<std::string>{
+          // The four products of the paper's Figure 2 come first so they are
+          // always present, even in tiny test markets.
+          "coffee", "milk", "sponge", "cheese",
+          "bread", "butter", "yogurt", "eggs", "pasta", "rice",
+          "flour", "sugar", "salt", "pepper", "olive-oil", "vinegar",
+          "cereal", "jam", "honey", "chocolate", "biscuits", "crackers",
+          "chips", "nuts", "apples", "bananas", "oranges", "grapes",
+          "tomatoes", "potatoes", "onions", "carrots", "lettuce", "cucumber",
+          "beef", "pork", "chicken", "ham", "sausage", "fish",
+          "shrimp", "tofu", "beans", "lentils", "soup", "pizza",
+          "ice-cream", "frozen-vegetables", "juice", "soda", "water", "beer",
+          "wine", "tea", "detergent", "soap", "shampoo", "toothpaste",
+          "toilet-paper", "paper-towels", "trash-bags", "dish-soap",
+          "cat-food", "dog-food", "diapers", "baby-food",
+      };
+  return *kNames;
+}
+
+retail::SegmentId Market::FindSegment(std::string_view name) const {
+  for (retail::SegmentId s = 0;
+       s < static_cast<retail::SegmentId>(taxonomy.num_segments()); ++s) {
+    if (taxonomy.SegmentNameOrPlaceholder(s) == name) return s;
+  }
+  return retail::kInvalidSegment;
+}
+
+Result<Market> MarketGenerator::Generate(const MarketConfig& config,
+                                         Rng* rng) {
+  if (config.num_departments == 0 || config.num_segments == 0 ||
+      config.num_products == 0) {
+    return Status::InvalidArgument(
+        "market needs at least one department, segment and product");
+  }
+  if (config.num_products < config.num_segments) {
+    return Status::InvalidArgument(
+        "num_products must be >= num_segments so every segment has a "
+        "product");
+  }
+  if (config.segment_zipf_s < 0.0 || config.product_zipf_s < 0.0) {
+    return Status::InvalidArgument("zipf exponents must be >= 0");
+  }
+
+  Market market;
+
+  for (size_t d = 0; d < config.num_departments; ++d) {
+    market.taxonomy.AddDepartment("department-" + std::to_string(d));
+  }
+
+  const std::vector<std::string>& grocery_names = GrocerySegmentNames();
+  market.segment_items.resize(config.num_segments);
+  market.segment_popularity.resize(config.num_segments);
+  for (size_t s = 0; s < config.num_segments; ++s) {
+    const std::string name = s < grocery_names.size()
+                                 ? grocery_names[s]
+                                 : "segment-" + std::to_string(s);
+    const retail::DepartmentId department =
+        static_cast<retail::DepartmentId>(s % config.num_departments);
+    CHURNLAB_ASSIGN_OR_RETURN(const retail::SegmentId segment,
+                              market.taxonomy.AddSegment(name, department));
+    (void)segment;
+    // Zipf-like segment popularity: weight ~ 1 / (rank+1)^s, with mild
+    // multiplicative noise so popularity is not perfectly rank-ordered.
+    const double rank_weight =
+        std::pow(1.0 / static_cast<double>(s + 1), config.segment_zipf_s);
+    market.segment_popularity[s] =
+        rank_weight * std::exp(rng->Normal(0.0, 0.25));
+  }
+
+  // Distribute products over segments: every segment gets one product,
+  // the remainder go to Zipf-popular segments.
+  std::vector<size_t> products_per_segment(config.num_segments, 1);
+  {
+    const ZipfDistribution segment_zipf(config.num_segments,
+                                        config.segment_zipf_s);
+    for (size_t extra = config.num_segments; extra < config.num_products;
+         ++extra) {
+      ++products_per_segment[segment_zipf.Sample(rng)];
+    }
+  }
+
+  market.item_prices.reserve(config.num_products);
+  market.item_popularity.reserve(config.num_products);
+  for (size_t s = 0; s < config.num_segments; ++s) {
+    const std::string segment_name =
+        market.taxonomy.SegmentNameOrPlaceholder(
+            static_cast<retail::SegmentId>(s));
+    for (size_t p = 0; p < products_per_segment[s]; ++p) {
+      const std::string item_name =
+          segment_name + "-" + std::to_string(p);
+      const retail::ItemId item = market.items.GetOrAdd(item_name);
+      CHURNLAB_RETURN_NOT_OK(market.taxonomy.AssignItem(
+          item, static_cast<retail::SegmentId>(s)));
+      market.segment_items[s].push_back(item);
+      market.item_prices.push_back(
+          std::exp(rng->Normal(config.price_log_mu, config.price_log_sigma)));
+      // Within-segment product popularity follows its own Zipf rank.
+      market.item_popularity.push_back(
+          std::pow(1.0 / static_cast<double>(p + 1), config.product_zipf_s));
+    }
+  }
+
+  CHURNLAB_RETURN_NOT_OK(market.taxonomy.Validate());
+  return market;
+}
+
+}  // namespace datagen
+}  // namespace churnlab

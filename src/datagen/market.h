@@ -1,0 +1,87 @@
+#ifndef CHURNLAB_DATAGEN_MARKET_H_
+#define CHURNLAB_DATAGEN_MARKET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "retail/item_dictionary.h"
+#include "retail/taxonomy.h"
+#include "retail/types.h"
+
+namespace churnlab {
+namespace datagen {
+
+/// Shape of the synthetic product catalogue. Defaults are a laptop-scale
+/// rendition of the paper's retailer (4M products / 3,388 segments /
+/// unspecified departments); the ratios, not the absolute counts, carry the
+/// behaviour.
+struct MarketConfig {
+  size_t num_departments = 12;
+  size_t num_segments = 120;
+  size_t num_products = 2400;
+  /// Zipf skew of segment popularity (how concentrated demand is across
+  /// segments) and of product popularity within a segment.
+  double segment_zipf_s = 0.8;
+  double product_zipf_s = 1.1;
+  /// Item prices are lognormal: exp(Normal(mu, sigma)).
+  double price_log_mu = 0.8;
+  double price_log_sigma = 0.7;
+};
+
+/// The generated catalogue: taxonomy + named items + prices + popularity.
+///
+/// Segment popularity weights drive which segments a customer adopts into
+/// their repertoire; product popularity weights pick the representative
+/// product inside an adopted segment.
+struct Market {
+  retail::ItemDictionary items;
+  retail::Taxonomy taxonomy;
+  /// Price of each item, indexed by ItemId.
+  std::vector<double> item_prices;
+  /// Unnormalised popularity of each segment, indexed by SegmentId.
+  std::vector<double> segment_popularity;
+  /// Items of each segment, indexed by SegmentId.
+  std::vector<std::vector<retail::ItemId>> segment_items;
+  /// Unnormalised popularity of each item within its segment.
+  std::vector<double> item_popularity;
+
+  size_t num_products() const { return items.size(); }
+  size_t num_segments() const { return taxonomy.num_segments(); }
+
+  /// Price of `item`; 0 for unknown ids.
+  double PriceOf(retail::ItemId item) const {
+    return item < item_prices.size() ? item_prices[item] : 0.0;
+  }
+
+  /// Finds an item by name (kInvalidItem when absent) — used by scripted
+  /// scenarios that need "coffee", "milk", etc.
+  retail::ItemId FindItem(std::string_view name) const {
+    return items.Find(name);
+  }
+
+  /// Finds a segment by name, kInvalidSegment when absent.
+  retail::SegmentId FindSegment(std::string_view name) const;
+};
+
+/// \brief Builds a Market from a MarketConfig.
+///
+/// Segment names are drawn from a built-in list of real grocery segments
+/// ("coffee", "milk", "cheese", "sponge", ...) so that explanations read
+/// like the paper's Figure 2; once the list is exhausted names continue as
+/// "segment-NNN". Product names are "<segment>-<i>".
+class MarketGenerator {
+ public:
+  /// Generates a market. Deterministic given `rng`'s state.
+  static Result<Market> Generate(const MarketConfig& config, Rng* rng);
+
+  /// The built-in grocery segment name list (exposed for tests).
+  static const std::vector<std::string>& GrocerySegmentNames();
+};
+
+}  // namespace datagen
+}  // namespace churnlab
+
+#endif  // CHURNLAB_DATAGEN_MARKET_H_

@@ -1,0 +1,168 @@
+#include "datagen/population.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace churnlab {
+namespace datagen {
+
+namespace {
+Status ValidateConfig(const PopulationConfig& config, const Market& market) {
+  if (config.num_loyal + config.num_defecting == 0) {
+    return Status::InvalidArgument("population is empty");
+  }
+  if (config.mean_visits_per_month <= 0.0) {
+    return Status::InvalidArgument("mean_visits_per_month must be > 0");
+  }
+  if (config.visits_gamma_shape <= 0.0) {
+    return Status::InvalidArgument("visits_gamma_shape must be > 0");
+  }
+  if (config.min_repertoire_segments == 0 ||
+      config.min_repertoire_segments > config.max_repertoire_segments) {
+    return Status::InvalidArgument(
+        "need 0 < min_repertoire_segments <= max_repertoire_segments");
+  }
+  if (config.max_repertoire_segments > market.num_segments()) {
+    return Status::InvalidArgument(
+        "max_repertoire_segments exceeds the market's segment count");
+  }
+  if (config.trip_probability_min <= 0.0 ||
+      config.trip_probability_min > config.trip_probability_max ||
+      config.trip_probability_max > 1.0) {
+    return Status::InvalidArgument(
+        "need 0 < trip_probability_min <= trip_probability_max <= 1");
+  }
+  if (config.exploration_items_per_trip < 0.0) {
+    return Status::InvalidArgument("exploration_items_per_trip must be >= 0");
+  }
+  if (config.brand_switch_probability < 0.0 ||
+      config.brand_switch_probability > 1.0) {
+    return Status::InvalidArgument(
+        "brand_switch_probability must be in [0, 1]");
+  }
+  if (config.seasonal_amplitude_max < 0.0 ||
+      config.seasonal_amplitude_max > 1.0) {
+    return Status::InvalidArgument(
+        "seasonal_amplitude_max must be in [0, 1]");
+  }
+  if (config.natural_loss_hazard_per_month < 0.0 ||
+      config.natural_loss_hazard_per_month >= 1.0) {
+    return Status::InvalidArgument(
+        "natural_loss_hazard_per_month must be in [0, 1)");
+  }
+  if (config.late_adoption_fraction < 0.0 ||
+      config.late_adoption_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "late_adoption_fraction must be in [0, 1]");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<CustomerProfile> PopulationBuilder::BuildOne(
+    const PopulationConfig& config, const Market& market,
+    retail::CustomerId customer, int32_t horizon_months, Rng* rng) {
+  CHURNLAB_RETURN_NOT_OK(ValidateConfig(config, market));
+
+  CustomerProfile profile;
+  profile.customer = customer;
+  profile.cohort = retail::Cohort::kLoyal;
+  profile.attrition_onset_month = -1;
+  // Gamma(shape, mean/shape) has the configured mean with CV =
+  // 1/sqrt(shape); floor at a token rate so nobody is generated inactive.
+  profile.visits_per_month = std::max(
+      0.5, rng->Gamma(config.visits_gamma_shape,
+                      config.mean_visits_per_month /
+                          config.visits_gamma_shape));
+  profile.exploration_items_per_trip = config.exploration_items_per_trip;
+  profile.brand_switch_probability = config.brand_switch_probability;
+  profile.spend_noise_sigma = config.spend_noise_sigma;
+  if (config.seasonal_amplitude_max > 0.0) {
+    profile.seasonal_amplitude =
+        rng->UniformDouble(0.0, config.seasonal_amplitude_max);
+    profile.seasonal_phase_months = rng->UniformDouble(0.0, 12.0);
+  }
+
+  const size_t repertoire_size = static_cast<size_t>(rng->UniformInt(
+      static_cast<int64_t>(config.min_repertoire_segments),
+      static_cast<int64_t>(config.max_repertoire_segments)));
+
+  const DiscreteDistribution segment_sampler(market.segment_popularity);
+  std::unordered_set<retail::SegmentId> adopted;
+  adopted.reserve(repertoire_size * 2);
+  profile.repertoire.reserve(repertoire_size);
+  // Rejection loop over popular segments; bounded because repertoire_size
+  // <= num_segments.
+  size_t guard = 0;
+  const size_t guard_limit = 200 * market.num_segments() + 1000;
+  while (adopted.size() < repertoire_size && guard++ < guard_limit) {
+    const retail::SegmentId segment =
+        static_cast<retail::SegmentId>(segment_sampler.Sample(rng));
+    if (!adopted.insert(segment).second) continue;
+    const std::vector<retail::ItemId>& items = market.segment_items[segment];
+    // Pick the representative product by within-segment popularity.
+    std::vector<double> weights;
+    weights.reserve(items.size());
+    for (const retail::ItemId item : items) {
+      weights.push_back(market.item_popularity[item]);
+    }
+    const DiscreteDistribution item_sampler(weights);
+    RepertoireEntry entry;
+    entry.item = items[item_sampler.Sample(rng)];
+    entry.trip_probability = rng->UniformDouble(config.trip_probability_min,
+                                                config.trip_probability_max);
+    entry.adoption_month = 0;
+    entry.loss_month = -1;
+    // Natural turnover: some items are adopted mid-period, some are
+    // abandoned for reasons unrelated to defection.
+    if (horizon_months > 1 &&
+        rng->Bernoulli(config.late_adoption_fraction)) {
+      entry.adoption_month =
+          static_cast<int32_t>(rng->UniformInt(1, horizon_months - 1));
+    }
+    if (config.natural_loss_hazard_per_month > 0.0) {
+      int32_t month = entry.adoption_month + 1;
+      while (month < horizon_months) {
+        if (rng->Bernoulli(config.natural_loss_hazard_per_month)) {
+          entry.loss_month = month;
+          break;
+        }
+        ++month;
+      }
+    }
+    profile.repertoire.push_back(entry);
+  }
+  if (adopted.size() < repertoire_size) {
+    return Status::Internal(
+        "segment adoption did not converge; popularity weights may be "
+        "degenerate");
+  }
+  return profile;
+}
+
+Result<std::vector<CustomerProfile>> PopulationBuilder::Build(
+    const PopulationConfig& config, const Market& market,
+    int32_t horizon_months, Rng* rng) {
+  CHURNLAB_RETURN_NOT_OK(ValidateConfig(config, market));
+  CHURNLAB_ASSIGN_OR_RETURN(const AttritionInjector injector,
+                            AttritionInjector::Make(config.attrition));
+
+  std::vector<CustomerProfile> profiles;
+  profiles.reserve(config.num_loyal + config.num_defecting);
+  for (size_t i = 0; i < config.num_loyal + config.num_defecting; ++i) {
+    CHURNLAB_ASSIGN_OR_RETURN(
+        CustomerProfile profile,
+        BuildOne(config, market, static_cast<retail::CustomerId>(i),
+                 horizon_months, rng));
+    if (i >= config.num_loyal) {
+      injector.Inject(&profile, horizon_months, rng);
+    }
+    profiles.push_back(std::move(profile));
+  }
+  return profiles;
+}
+
+}  // namespace datagen
+}  // namespace churnlab

@@ -1,0 +1,92 @@
+#ifndef CHURNLAB_DATAGEN_POPULATION_H_
+#define CHURNLAB_DATAGEN_POPULATION_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "datagen/attrition.h"
+#include "datagen/market.h"
+#include "datagen/profiles.h"
+
+namespace churnlab {
+namespace datagen {
+
+/// Shape of the simulated customer base. The paper's cohorts — loyal
+/// customers and loyal customers that defected in the last six months —
+/// are generated directly, with the defectors produced by applying
+/// AttritionInjector to otherwise-loyal profiles (defectors *were* loyal
+/// before the onset, which is exactly the paper's setting).
+struct PopulationConfig {
+  size_t num_loyal = 1500;
+  size_t num_defecting = 1500;
+
+  /// Customer visit rates are Gamma-heterogeneous around this mean.
+  double mean_visits_per_month = 4.0;
+  double visits_gamma_shape = 6.0;
+
+  /// Habitual repertoire: number of segments adopted per customer.
+  size_t min_repertoire_segments = 12;
+  size_t max_repertoire_segments = 40;
+
+  /// Per-trip purchase probability of a repertoire item (uniform range).
+  double trip_probability_min = 0.25;
+  double trip_probability_max = 0.90;
+
+  /// Mean one-off exploration items per trip.
+  double exploration_items_per_trip = 0.6;
+
+  /// Per-purchase probability of substituting a same-segment product
+  /// (brand switching).
+  double brand_switch_probability = 0.2;
+
+  /// Per-customer shopping-rhythm noise: each customer's seasonal
+  /// amplitude is uniform in [0, seasonal_amplitude_max] with a uniform
+  /// random phase. 0 disables (the default; the paper's scenario has no
+  /// stated seasonality).
+  double seasonal_amplitude_max = 0.0;
+
+  /// Natural repertoire turnover, applied to *every* customer (loyal ones
+  /// included): per month, each habitual item is abandoned with this hazard
+  /// (tastes change even without defection). This is what keeps loyal
+  /// customers' stability below a perfect 1.0 and makes detection around
+  /// the onset non-trivial, as in real data.
+  double natural_loss_hazard_per_month = 0.015;
+  /// Fraction of a customer's repertoire that is adopted after the start of
+  /// the observation period (uniform adoption month) instead of being
+  /// habitual from day one.
+  double late_adoption_fraction = 0.2;
+
+  /// Lognormal sigma of basket spend noise.
+  double spend_noise_sigma = 0.1;
+
+  /// Defection dynamics (applies to the defecting cohort only).
+  AttritionConfig attrition;
+};
+
+/// \brief Generates customer profiles over a market.
+///
+/// Each customer adopts a random number of popular segments; inside each
+/// adopted segment the representative product is drawn by within-segment
+/// popularity. Defecting customers get an attrition schedule injected.
+class PopulationBuilder {
+ public:
+  /// Builds num_loyal + num_defecting profiles with customer ids
+  /// 0..n-1 (loyal first). Deterministic given `rng`.
+  static Result<std::vector<CustomerProfile>> Build(
+      const PopulationConfig& config, const Market& market,
+      int32_t horizon_months, Rng* rng);
+
+  /// Builds a single (loyal) profile, including natural repertoire
+  /// turnover within `horizon_months`; the building block of Build and of
+  /// scripted scenarios.
+  static Result<CustomerProfile> BuildOne(const PopulationConfig& config,
+                                          const Market& market,
+                                          retail::CustomerId customer,
+                                          int32_t horizon_months, Rng* rng);
+};
+
+}  // namespace datagen
+}  // namespace churnlab
+
+#endif  // CHURNLAB_DATAGEN_POPULATION_H_

@@ -1,0 +1,116 @@
+#ifndef CHURNLAB_DATAGEN_PROFILES_H_
+#define CHURNLAB_DATAGEN_PROFILES_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "retail/types.h"
+
+namespace churnlab {
+namespace datagen {
+
+/// One item a customer habitually buys.
+struct RepertoireEntry {
+  retail::ItemId item = retail::kInvalidItem;
+  /// Probability the item lands in the basket of a given shopping trip.
+  double trip_probability = 0.5;
+  /// First month the customer buys the item (0 = habitual from the start;
+  /// later months model naturally adopted products).
+  int32_t adoption_month = 0;
+  /// Month index from which the customer stops buying the item; -1 = never.
+  /// Loyal customers may carry *natural-turnover* losses here; attrition
+  /// injection overlays the defection losses on top (taking the minimum).
+  int32_t loss_month = -1;
+};
+
+/// Complete behavioural description of a simulated customer. Profiles are
+/// pure data: the simulator turns them into receipts, the injector edits
+/// loss_month / visit decay, tests can build them by hand.
+struct CustomerProfile {
+  retail::CustomerId customer = retail::kInvalidCustomer;
+  retail::Cohort cohort = retail::Cohort::kUnlabeled;
+  /// Ground-truth attrition onset month; -1 for non-defectors.
+  int32_t attrition_onset_month = -1;
+
+  /// Mean shopping trips per month (Poisson).
+  double visits_per_month = 4.0;
+  /// After onset, the visit rate is multiplied by
+  /// visit_decay_per_month^(month - onset + 1); 1.0 = no decay.
+  double visit_decay_per_month = 1.0;
+
+  /// Pre-onset disengagement: during the `prodrome_months` months before
+  /// the onset, the visit rate is multiplied by `prodrome_visit_factor`.
+  /// Models the early, weak warning signal that makes forecasting future
+  /// defection possible at all.
+  int32_t prodrome_months = 0;
+  double prodrome_visit_factor = 1.0;
+
+  /// Personal shopping rhythm: the visit rate is multiplied by
+  /// 1 + seasonal_amplitude * sin(2*pi*(month + seasonal_phase)/12).
+  /// Amplitude 0 disables. Rhythm noise confounds frequency-based churn
+  /// signals (RFM) but not content-based ones (stability) — see
+  /// bench/ablation_seasonality.
+  double seasonal_amplitude = 0.0;
+  double seasonal_phase_months = 0.0;
+
+  /// The customer's habitual items.
+  std::vector<RepertoireEntry> repertoire;
+
+  /// Mean number of one-off exploration items added per trip (Poisson),
+  /// drawn from market-wide popularity.
+  double exploration_items_per_trip = 0.5;
+
+  /// Per-month probability that the customer's preferred brand within a
+  /// repertoire segment is re-chosen (sticky brand switching: the new brand
+  /// persists until the next switch). Invisible at segment granularity; at
+  /// product granularity it reads as churn noise — the reason the paper
+  /// abstracts products into segments.
+  double brand_switch_probability = 0.2;
+
+  /// Multiplicative basket-spend noise sigma (lognormal).
+  double spend_noise_sigma = 0.1;
+
+  /// Effective visit rate at `month` given rhythm, prodrome, onset and
+  /// decay. Never negative (the seasonal factor is floored at 0).
+  double VisitRateAt(int32_t month) const {
+    double rate = visits_per_month * SeasonalFactorAt(month);
+    if (attrition_onset_month < 0) return rate;
+    if (month < attrition_onset_month) {
+      if (month >= attrition_onset_month - prodrome_months) {
+        rate *= prodrome_visit_factor;
+      }
+      return rate;
+    }
+    for (int32_t m = attrition_onset_month; m <= month; ++m) {
+      rate *= visit_decay_per_month;
+    }
+    return rate;
+  }
+
+  /// The rhythm multiplier alone.
+  double SeasonalFactorAt(int32_t month) const {
+    if (seasonal_amplitude == 0.0) return 1.0;
+    constexpr double kTwoPi = 6.283185307179586;
+    const double factor =
+        1.0 + seasonal_amplitude *
+                  std::sin(kTwoPi *
+                           (static_cast<double>(month) +
+                            seasonal_phase_months) /
+                           12.0);
+    return factor > 0.0 ? factor : 0.0;
+  }
+
+  /// True iff repertoire entry `index` is active at `month` (already
+  /// adopted, not yet lost).
+  bool EntryActiveAt(size_t index, int32_t month) const {
+    const RepertoireEntry& entry = repertoire[index];
+    return month >= entry.adoption_month &&
+           (entry.loss_month < 0 || month < entry.loss_month);
+  }
+};
+
+}  // namespace datagen
+}  // namespace churnlab
+
+#endif  // CHURNLAB_DATAGEN_PROFILES_H_

@@ -1,0 +1,111 @@
+#include "datagen/scenario.h"
+
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace churnlab {
+namespace datagen {
+
+Result<PaperScenarioOutput> MakePaperScenario(
+    const PaperScenarioConfig& config) {
+  Rng rng(config.seed);
+  PaperScenarioOutput output;
+  CHURNLAB_ASSIGN_OR_RETURN(output.market,
+                            MarketGenerator::Generate(config.market, &rng));
+  CHURNLAB_ASSIGN_OR_RETURN(
+      output.profiles,
+      PopulationBuilder::Build(config.population, output.market,
+                               config.num_months, &rng));
+  CHURNLAB_ASSIGN_OR_RETURN(
+      output.dataset,
+      RetailSimulator::Simulate(output.market, output.profiles,
+                                config.num_months, &rng));
+  return output;
+}
+
+Result<retail::Dataset> MakePaperDataset(const PaperScenarioConfig& config) {
+  CHURNLAB_ASSIGN_OR_RETURN(PaperScenarioOutput output,
+                            MakePaperScenario(config));
+  return std::move(output.dataset);
+}
+
+Result<retail::Dataset> MakePaperDataset() {
+  return MakePaperDataset(PaperScenarioConfig{});
+}
+
+Result<Figure2Scenario> MakeFigure2Scenario(
+    const Figure2ScenarioConfig& config) {
+  Rng rng(config.seed);
+  // A compact market; the named grocery segments come first by
+  // construction, so "coffee"/"milk"/"sponge"/"cheese" exist.
+  MarketConfig market_config;
+  market_config.num_departments = 6;
+  market_config.num_segments = 60;
+  market_config.num_products = 300;
+  CHURNLAB_ASSIGN_OR_RETURN(const Market market,
+                            MarketGenerator::Generate(market_config, &rng));
+
+  PopulationConfig population_config;
+  population_config.num_loyal = config.num_background_customers;
+  population_config.num_defecting = 0;
+  population_config.min_repertoire_segments = 10;
+  population_config.max_repertoire_segments = 20;
+
+  std::vector<CustomerProfile> profiles;
+  if (config.num_background_customers > 0) {
+    CHURNLAB_ASSIGN_OR_RETURN(
+        profiles, PopulationBuilder::Build(population_config, market,
+                                           config.num_months, &rng));
+  }
+
+  // The scripted customer. Their habitual basket covers 12 named segments
+  // bought with high regularity; the only attrition events are the two the
+  // figure annotates.
+  CustomerProfile scripted;
+  scripted.customer = static_cast<retail::CustomerId>(profiles.size());
+  scripted.cohort = retail::Cohort::kDefecting;
+  scripted.attrition_onset_month = config.coffee_loss_month;
+  scripted.visits_per_month = 5.0;
+  scripted.visit_decay_per_month = 1.0;  // content-only attrition
+  scripted.exploration_items_per_trip = 0.15;
+  scripted.brand_switch_probability = 0.0;  // keep the explanations crisp
+
+  const std::vector<std::string> staple_segments = {
+      "coffee", "milk",  "sponge", "cheese", "bread",     "butter",
+      "yogurt", "pasta", "rice",   "juice",  "chocolate", "eggs"};
+  for (const std::string& segment_name : staple_segments) {
+    const retail::SegmentId segment = market.FindSegment(segment_name);
+    if (segment == retail::kInvalidSegment ||
+        market.segment_items[segment].empty()) {
+      return Status::Internal("market is missing staple segment '" +
+                              segment_name + "'");
+    }
+    RepertoireEntry entry;
+    entry.item = market.segment_items[segment].front();
+    entry.trip_probability = 0.85;
+    entry.loss_month = -1;
+    if (segment_name == "coffee") entry.loss_month = config.coffee_loss_month;
+    if (segment_name == "milk" || segment_name == "sponge" ||
+        segment_name == "cheese") {
+      entry.loss_month = config.dairy_loss_month;
+    }
+    scripted.repertoire.push_back(entry);
+  }
+  profiles.push_back(std::move(scripted));
+
+  Figure2Scenario scenario;
+  CHURNLAB_ASSIGN_OR_RETURN(
+      scenario.dataset,
+      RetailSimulator::Simulate(market, profiles, config.num_months, &rng));
+  scenario.customer = static_cast<retail::CustomerId>(profiles.size() - 1);
+  return scenario;
+}
+
+Result<Figure2Scenario> MakeFigure2Scenario() {
+  return MakeFigure2Scenario(Figure2ScenarioConfig{});
+}
+
+}  // namespace datagen
+}  // namespace churnlab

@@ -1,0 +1,137 @@
+#include "datagen/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/macros.h"
+
+namespace churnlab {
+namespace datagen {
+
+Result<retail::Dataset> RetailSimulator::Simulate(
+    const Market& market, const std::vector<CustomerProfile>& profiles,
+    int32_t num_months, Rng* rng) {
+  if (num_months <= 0) {
+    return Status::InvalidArgument("num_months must be positive");
+  }
+  if (profiles.empty()) {
+    return Status::InvalidArgument("no customer profiles to simulate");
+  }
+  for (const CustomerProfile& profile : profiles) {
+    for (const RepertoireEntry& entry : profile.repertoire) {
+      if (entry.item >= market.num_products()) {
+        return Status::InvalidArgument(
+            "profile of customer " + std::to_string(profile.customer) +
+            " references item " + std::to_string(entry.item) +
+            " outside the market");
+      }
+    }
+  }
+
+  retail::Dataset dataset;
+  dataset.mutable_items() = market.items;
+  dataset.mutable_taxonomy() = market.taxonomy;
+
+  // Global exploration distribution: popularity of an item is its segment's
+  // popularity times its within-segment popularity.
+  std::vector<double> global_weights(market.num_products(), 0.0);
+  for (size_t s = 0; s < market.num_segments(); ++s) {
+    for (const retail::ItemId item : market.segment_items[s]) {
+      global_weights[item] =
+          market.segment_popularity[s] * market.item_popularity[item];
+    }
+  }
+  const DiscreteDistribution exploration_sampler(global_weights);
+
+  // Per-segment samplers for brand switching (built lazily; only segments
+  // that actually appear in repertoires are materialised).
+  std::vector<std::unique_ptr<DiscreteDistribution>> segment_samplers(
+      market.num_segments());
+  const auto sample_same_segment = [&](retail::ItemId item,
+                                       Rng* rng_ptr) -> retail::ItemId {
+    const retail::SegmentId segment = market.taxonomy.SegmentOf(item);
+    if (segment == retail::kInvalidSegment) return item;
+    const std::vector<retail::ItemId>& segment_items =
+        market.segment_items[segment];
+    if (segment_items.size() < 2) return item;
+    if (segment_samplers[segment] == nullptr) {
+      std::vector<double> weights;
+      weights.reserve(segment_items.size());
+      for (const retail::ItemId candidate : segment_items) {
+        weights.push_back(market.item_popularity[candidate]);
+      }
+      segment_samplers[segment] =
+          std::make_unique<DiscreteDistribution>(weights);
+    }
+    return segment_items[segment_samplers[segment]->Sample(rng_ptr)];
+  };
+
+  for (const CustomerProfile& profile : profiles) {
+    // Independent stream per customer: profile order cannot perturb other
+    // customers' draws.
+    Rng customer_rng = rng->Fork();
+    // Sticky per-segment brand preference, re-rolled monthly.
+    std::vector<retail::ItemId> current_brand;
+    current_brand.reserve(profile.repertoire.size());
+    for (const RepertoireEntry& entry : profile.repertoire) {
+      current_brand.push_back(entry.item);
+    }
+    for (int32_t month = 0; month < num_months; ++month) {
+      for (size_t i = 0; i < current_brand.size(); ++i) {
+        if (customer_rng.Bernoulli(profile.brand_switch_probability)) {
+          current_brand[i] =
+              sample_same_segment(profile.repertoire[i].item, &customer_rng);
+        }
+      }
+      const double rate = profile.VisitRateAt(month);
+      const int64_t trips = customer_rng.Poisson(rate);
+      for (int64_t trip = 0; trip < trips; ++trip) {
+        retail::Receipt receipt;
+        receipt.customer = profile.customer;
+        receipt.day = retail::MonthToFirstDay(month) +
+                      static_cast<retail::Day>(
+                          customer_rng.NextUint64(retail::kDaysPerMonth));
+        for (size_t i = 0; i < profile.repertoire.size(); ++i) {
+          if (!profile.EntryActiveAt(i, month)) continue;
+          const RepertoireEntry& entry = profile.repertoire[i];
+          if (customer_rng.Bernoulli(entry.trip_probability)) {
+            receipt.items.push_back(current_brand[i]);
+          }
+        }
+        const int64_t exploration =
+            customer_rng.Poisson(profile.exploration_items_per_trip);
+        for (int64_t e = 0; e < exploration; ++e) {
+          receipt.items.push_back(static_cast<retail::ItemId>(
+              exploration_sampler.Sample(&customer_rng)));
+        }
+        if (receipt.items.empty()) {
+          // A trip always buys something; fall back to one popular item.
+          receipt.items.push_back(static_cast<retail::ItemId>(
+              exploration_sampler.Sample(&customer_rng)));
+        }
+        double spend = 0.0;
+        for (const retail::ItemId item : receipt.items) {
+          spend += market.PriceOf(item);
+        }
+        spend *= std::exp(
+            customer_rng.Normal(0.0, profile.spend_noise_sigma));
+        receipt.spend = spend;
+        CHURNLAB_RETURN_NOT_OK(dataset.mutable_store().Append(
+            std::move(receipt)));
+      }
+    }
+    dataset.SetLabel(profile.customer,
+                     {profile.cohort, profile.attrition_onset_month});
+  }
+
+  dataset.Finalize();
+  CHURNLAB_LOG(Info) << "simulated " << dataset.store().num_receipts()
+                     << " receipts for " << profiles.size()
+                     << " customers over " << num_months << " months";
+  return dataset;
+}
+
+}  // namespace datagen
+}  // namespace churnlab

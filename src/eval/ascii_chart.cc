@@ -1,0 +1,115 @@
+#include "eval/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace churnlab {
+namespace eval {
+
+Result<std::string> RenderAsciiChart(const std::vector<ChartSeries>& series,
+                                     const AsciiChartOptions& options) {
+  if (series.empty()) {
+    return Status::InvalidArgument("no series to plot");
+  }
+  if (options.width < 8 || options.height < 4) {
+    return Status::InvalidArgument("chart must be at least 8x4");
+  }
+  if (!(options.y_max > options.y_min)) {
+    return Status::InvalidArgument("need y_max > y_min");
+  }
+
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -std::numeric_limits<double>::infinity();
+  for (const ChartSeries& s : series) {
+    if (s.xs.size() != s.ys.size()) {
+      return Status::InvalidArgument("series '" + s.label +
+                                     "' has mismatched xs/ys");
+    }
+    for (const double x : s.xs) {
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+    }
+  }
+  if (!(x_max > x_min)) {
+    return Status::InvalidArgument("need at least two distinct x values");
+  }
+
+  const size_t width = options.width;
+  const size_t height = options.height;
+  std::vector<std::string> grid(height, std::string(width, ' '));
+
+  const auto column_of = [&](double x) {
+    const double t = (x - x_min) / (x_max - x_min);
+    return static_cast<size_t>(std::lround(
+        std::clamp(t, 0.0, 1.0) * static_cast<double>(width - 1)));
+  };
+  const auto row_of = [&](double y) {
+    const double t =
+        (y - options.y_min) / (options.y_max - options.y_min);
+    const size_t from_bottom = static_cast<size_t>(std::lround(
+        std::clamp(t, 0.0, 1.0) * static_cast<double>(height - 1)));
+    return height - 1 - from_bottom;
+  };
+
+  // Vertical marker first so data overdraws it.
+  if (std::isfinite(options.x_marker) && options.x_marker >= x_min &&
+      options.x_marker <= x_max) {
+    const size_t column = column_of(options.x_marker);
+    for (size_t row = 0; row < height; ++row) grid[row][column] = '|';
+  }
+
+  for (const ChartSeries& s : series) {
+    // Draw segments between consecutive points with linear interpolation,
+    // one glyph per column so lines stay readable.
+    for (size_t i = 0; i + 1 < s.xs.size(); ++i) {
+      const size_t c0 = column_of(s.xs[i]);
+      const size_t c1 = column_of(s.xs[i + 1]);
+      const size_t begin = std::min(c0, c1);
+      const size_t end = std::max(c0, c1);
+      for (size_t column = begin; column <= end; ++column) {
+        const double t =
+            end == begin
+                ? 0.0
+                : static_cast<double>(column - begin) /
+                      static_cast<double>(end - begin);
+        const double y = c0 <= c1 ? s.ys[i] + t * (s.ys[i + 1] - s.ys[i])
+                                  : s.ys[i + 1] +
+                                        t * (s.ys[i] - s.ys[i + 1]);
+        grid[row_of(y)][column] = s.glyph;
+      }
+    }
+    if (s.xs.size() == 1) {
+      grid[row_of(s.ys[0])][column_of(s.xs[0])] = s.glyph;
+    }
+  }
+
+  std::ostringstream out;
+  for (size_t row = 0; row < height; ++row) {
+    const double y = options.y_max -
+                     (options.y_max - options.y_min) *
+                         static_cast<double>(row) /
+                         static_cast<double>(height - 1);
+    out << FormatDouble(y, 2) << " +" << grid[row] << "\n";
+  }
+  out << "     +" << std::string(width, '-') << "\n";
+  std::string x_axis(width + 6, ' ');
+  const std::string left = FormatDouble(x_min, 0);
+  const std::string right = FormatDouble(x_max, 0);
+  x_axis.replace(6, left.size(), left);
+  if (width + 6 > right.size()) {
+    x_axis.replace(width + 6 - right.size(), right.size(), right);
+  }
+  out << x_axis << "  (" << options.x_label << ")\n";
+  out << "     legend:";
+  for (const ChartSeries& s : series) {
+    out << "  " << s.glyph << " = " << s.label;
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace eval
+}  // namespace churnlab

@@ -1,0 +1,45 @@
+#ifndef CHURNLAB_EVAL_ASCII_CHART_H_
+#define CHURNLAB_EVAL_ASCII_CHART_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace churnlab {
+namespace eval {
+
+/// One plotted series: (x, y) points and the glyph that draws it.
+struct ChartSeries {
+  std::string label;
+  char glyph = '*';
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+struct AsciiChartOptions {
+  size_t width = 64;
+  size_t height = 16;
+  /// Y-axis range; defaults fit AUROC / stability plots.
+  double y_min = 0.0;
+  double y_max = 1.0;
+  /// Optional vertical marker (e.g. the attrition onset month); NaN = none.
+  double x_marker = std::numeric_limits<double>::quiet_NaN();
+  std::string x_label = "month";
+};
+
+/// \brief Renders line series as a monospace chart — the terminal rendition
+/// of the paper's figures.
+///
+/// Output: a height x width grid with y-axis tick labels, one glyph per
+/// series (later series overdraw earlier ones), an optional vertical
+/// marker column of '|', an x-axis with min/max labels and a legend line.
+/// Points outside the ranges are clamped to the border.
+Result<std::string> RenderAsciiChart(const std::vector<ChartSeries>& series,
+                                     const AsciiChartOptions& options);
+
+}  // namespace eval
+}  // namespace churnlab
+
+#endif  // CHURNLAB_EVAL_ASCII_CHART_H_

@@ -1,0 +1,71 @@
+#include "eval/bootstrap.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace churnlab {
+namespace eval {
+
+Result<ConfidenceInterval> BootstrapAuroc(const std::vector<double>& scores,
+                                          const std::vector<int>& labels,
+                                          ScoreOrientation orientation,
+                                          const BootstrapOptions& options) {
+  if (options.resamples == 0) {
+    return Status::InvalidArgument("resamples must be positive");
+  }
+  if (options.confidence <= 0.0 || options.confidence >= 1.0) {
+    return Status::InvalidArgument("confidence must be in (0, 1)");
+  }
+  ConfidenceInterval interval;
+  interval.confidence = options.confidence;
+  CHURNLAB_ASSIGN_OR_RETURN(interval.estimate,
+                            Auroc(scores, labels, orientation));
+
+  Rng rng(options.seed);
+  const size_t n = scores.size();
+  std::vector<double> resample_scores(n);
+  std::vector<int> resample_labels(n);
+  std::vector<double> statistics;
+  statistics.reserve(options.resamples);
+
+  for (size_t b = 0; b < options.resamples; ++b) {
+    // Redraw degenerate (single-class) resamples a bounded number of times.
+    bool computed = false;
+    for (int attempt = 0; attempt < 16 && !computed; ++attempt) {
+      for (size_t i = 0; i < n; ++i) {
+        const size_t pick = static_cast<size_t>(rng.NextUint64(n));
+        resample_scores[i] = scores[pick];
+        resample_labels[i] = labels[pick];
+      }
+      const Result<double> auroc =
+          Auroc(resample_scores, resample_labels, orientation);
+      if (auroc.ok()) {
+        statistics.push_back(auroc.ValueOrDie());
+        computed = true;
+      }
+    }
+  }
+  if (statistics.empty()) {
+    return Status::Internal("every bootstrap resample was degenerate");
+  }
+
+  std::sort(statistics.begin(), statistics.end());
+  const double tail = (1.0 - options.confidence) / 2.0;
+  const auto quantile_at = [&](double q) {
+    const double position =
+        q * static_cast<double>(statistics.size() - 1);
+    const size_t lower_index = static_cast<size_t>(position);
+    const double fraction = position - static_cast<double>(lower_index);
+    if (lower_index + 1 >= statistics.size()) return statistics.back();
+    return statistics[lower_index] * (1.0 - fraction) +
+           statistics[lower_index + 1] * fraction;
+  };
+  interval.lower = quantile_at(tail);
+  interval.upper = quantile_at(1.0 - tail);
+  return interval;
+}
+
+}  // namespace eval
+}  // namespace churnlab

@@ -1,0 +1,47 @@
+#ifndef CHURNLAB_EVAL_BOOTSTRAP_H_
+#define CHURNLAB_EVAL_BOOTSTRAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "eval/roc.h"
+
+namespace churnlab {
+namespace eval {
+
+/// A point estimate with a percentile-bootstrap confidence interval.
+struct ConfidenceInterval {
+  double estimate = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+  /// Nominal coverage, e.g. 0.95.
+  double confidence = 0.95;
+};
+
+struct BootstrapOptions {
+  /// Number of bootstrap resamples.
+  size_t resamples = 1000;
+  /// Two-sided confidence level in (0, 1).
+  double confidence = 0.95;
+  uint64_t seed = 2016;
+};
+
+/// \brief Percentile-bootstrap confidence interval for AUROC.
+///
+/// Resamples (score, label) pairs with replacement `resamples` times and
+/// takes the empirical quantiles of the resampled AUROCs. Resamples that
+/// draw a single class are redrawn (up to a bounded number of retries;
+/// beyond that the resample is skipped). Deterministic given the seed.
+///
+/// The paper reports bare AUROC values; the interval quantifies how much
+/// of a reproduction gap is within sampling noise.
+Result<ConfidenceInterval> BootstrapAuroc(const std::vector<double>& scores,
+                                          const std::vector<int>& labels,
+                                          ScoreOrientation orientation,
+                                          const BootstrapOptions& options);
+
+}  // namespace eval
+}  // namespace churnlab
+
+#endif  // CHURNLAB_EVAL_BOOTSTRAP_H_

@@ -1,0 +1,91 @@
+#include "eval/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/math_util.h"
+
+namespace churnlab {
+namespace eval {
+
+Result<double> Quantile(std::vector<double> values, double q) {
+  if (values.empty()) {
+    return Status::InvalidArgument("quantile of empty sample");
+  }
+  if (q < 0.0 || q > 1.0) {
+    return Status::InvalidArgument("q must be in [0, 1]");
+  }
+  std::sort(values.begin(), values.end());
+  const double position = q * static_cast<double>(values.size() - 1);
+  const size_t lower = static_cast<size_t>(position);
+  const double fraction = position - static_cast<double>(lower);
+  if (lower + 1 >= values.size()) return values.back();
+  return values[lower] * (1.0 - fraction) + values[lower + 1] * fraction;
+}
+
+namespace {
+Result<CohortQuantiles> Summarise(const std::vector<double>& values,
+                                  int32_t window,
+                                  int32_t window_span_months) {
+  CohortQuantiles quantiles;
+  quantiles.window = window;
+  quantiles.report_month = (window + 1) * window_span_months;
+  quantiles.count = values.size();
+  CHURNLAB_ASSIGN_OR_RETURN(quantiles.p10, Quantile(values, 0.10));
+  CHURNLAB_ASSIGN_OR_RETURN(quantiles.p25, Quantile(values, 0.25));
+  CHURNLAB_ASSIGN_OR_RETURN(quantiles.median, Quantile(values, 0.50));
+  CHURNLAB_ASSIGN_OR_RETURN(quantiles.p75, Quantile(values, 0.75));
+  CHURNLAB_ASSIGN_OR_RETURN(quantiles.p90, Quantile(values, 0.90));
+  quantiles.mean = Mean(values);
+  return quantiles;
+}
+}  // namespace
+
+Result<CohortDistribution> ComputeCohortDistribution(
+    const retail::Dataset& dataset, const core::ScoreMatrix& scores,
+    int32_t window_span_months) {
+  if (window_span_months <= 0) {
+    return Status::InvalidArgument("window_span_months must be positive");
+  }
+  std::vector<size_t> loyal_rows;
+  std::vector<size_t> defecting_rows;
+  for (size_t row = 0; row < scores.customers().size(); ++row) {
+    switch (dataset.LabelOf(scores.customers()[row]).cohort) {
+      case retail::Cohort::kLoyal:
+        loyal_rows.push_back(row);
+        break;
+      case retail::Cohort::kDefecting:
+        defecting_rows.push_back(row);
+        break;
+      case retail::Cohort::kUnlabeled:
+        break;
+    }
+  }
+  if (loyal_rows.empty() || defecting_rows.empty()) {
+    return Status::InvalidArgument(
+        "need at least one loyal and one defecting customer");
+  }
+
+  CohortDistribution distribution;
+  std::vector<double> values;
+  for (int32_t window = 0; window < scores.num_windows(); ++window) {
+    values.clear();
+    for (const size_t row : loyal_rows) values.push_back(scores.At(row, window));
+    CHURNLAB_ASSIGN_OR_RETURN(CohortQuantiles loyal,
+                              Summarise(values, window, window_span_months));
+    distribution.loyal.push_back(loyal);
+
+    values.clear();
+    for (const size_t row : defecting_rows) {
+      values.push_back(scores.At(row, window));
+    }
+    CHURNLAB_ASSIGN_OR_RETURN(CohortQuantiles defecting,
+                              Summarise(values, window, window_span_months));
+    distribution.defecting.push_back(defecting);
+  }
+  return distribution;
+}
+
+}  // namespace eval
+}  // namespace churnlab

@@ -1,0 +1,49 @@
+#ifndef CHURNLAB_EVAL_DISTRIBUTION_H_
+#define CHURNLAB_EVAL_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/score_matrix.h"
+#include "retail/dataset.h"
+
+namespace churnlab {
+namespace eval {
+
+/// Quantile summary of one cohort's scores at one window.
+struct CohortQuantiles {
+  int32_t window = 0;
+  int32_t report_month = 0;
+  size_t count = 0;
+  double p10 = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double mean = 0.0;
+};
+
+/// Per-window quantiles of both cohorts — the population-level view of
+/// Figure 2: where the loyal and defecting stability distributions sit and
+/// when they separate.
+struct CohortDistribution {
+  std::vector<CohortQuantiles> loyal;
+  std::vector<CohortQuantiles> defecting;
+};
+
+/// Empirical quantile (linear interpolation between order statistics) of
+/// `values`; `q` in [0, 1]. Fails on empty input or q outside [0, 1].
+Result<double> Quantile(std::vector<double> values, double q);
+
+/// Computes per-window score quantiles for the loyal and defecting cohorts
+/// of `dataset` from a score matrix. `window_span_months` sets the
+/// report-month axis.
+Result<CohortDistribution> ComputeCohortDistribution(
+    const retail::Dataset& dataset, const core::ScoreMatrix& scores,
+    int32_t window_span_months);
+
+}  // namespace eval
+}  // namespace churnlab
+
+#endif  // CHURNLAB_EVAL_DISTRIBUTION_H_

@@ -1,0 +1,144 @@
+#include "eval/experiment.h"
+
+#include <vector>
+
+#include "common/macros.h"
+#include "eval/bootstrap.h"
+
+namespace churnlab {
+namespace eval {
+
+Figure1Options::Figure1Options() {
+  // Paper settings: alpha = 2, window span = 2 months, segment granularity.
+  stability.significance.alpha = 2.0;
+  stability.window_span_months = 2;
+  stability.granularity = retail::Granularity::kSegment;
+  rfm.features.window_span_months = 2;
+}
+
+Result<std::vector<WindowAuroc>> AurocPerWindow(
+    const retail::Dataset& dataset, const core::ScoreMatrix& scores,
+    ScoreOrientation orientation, int32_t window_span_months) {
+  if (window_span_months <= 0) {
+    return Status::InvalidArgument("window_span_months must be positive");
+  }
+  // Labelled rows only.
+  std::vector<size_t> rows;
+  std::vector<int> labels;
+  for (size_t row = 0; row < scores.customers().size(); ++row) {
+    const retail::Cohort cohort =
+        dataset.LabelOf(scores.customers()[row]).cohort;
+    if (cohort == retail::Cohort::kUnlabeled) continue;
+    rows.push_back(row);
+    labels.push_back(cohort == retail::Cohort::kDefecting ? 1 : 0);
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("dataset has no labelled customers");
+  }
+
+  std::vector<WindowAuroc> series;
+  series.reserve(static_cast<size_t>(scores.num_windows()));
+  std::vector<double> window_scores(rows.size());
+  for (int32_t window = 0; window < scores.num_windows(); ++window) {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      window_scores[i] = scores.At(rows[i], window);
+    }
+    WindowAuroc point;
+    point.window = window;
+    point.report_month = (window + 1) * window_span_months;
+    CHURNLAB_ASSIGN_OR_RETURN(point.auroc,
+                              Auroc(window_scores, labels, orientation));
+    series.push_back(point);
+  }
+  return series;
+}
+
+Result<Figure1Result> ExperimentRunner::RunFigure1(
+    const Figure1Options& options) {
+  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset,
+                            datagen::MakePaperDataset(options.scenario));
+  return RunFigure1OnDataset(dataset, options);
+}
+
+Result<Figure1Result> ExperimentRunner::RunFigure1OnDataset(
+    const retail::Dataset& dataset, const Figure1Options& options) {
+  if (options.stability.window_span_months !=
+      options.rfm.features.window_span_months) {
+    return Status::InvalidArgument(
+        "stability and RFM models must share one window span so their "
+        "AUROC series are comparable");
+  }
+
+  CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel stability_model,
+                            core::StabilityModel::Make(options.stability));
+  CHURNLAB_ASSIGN_OR_RETURN(const core::ScoreMatrix stability_scores,
+                            stability_model.ScoreDataset(dataset));
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const std::vector<WindowAuroc> stability_series,
+      AurocPerWindow(dataset, stability_scores,
+                     ScoreOrientation::kLowerIsPositive,
+                     options.stability.window_span_months));
+
+  CHURNLAB_ASSIGN_OR_RETURN(const rfm::RfmModel rfm_model,
+                            rfm::RfmModel::Make(options.rfm));
+  CHURNLAB_ASSIGN_OR_RETURN(const core::ScoreMatrix rfm_scores,
+                            rfm_model.ScoreDataset(dataset));
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const std::vector<WindowAuroc> rfm_series,
+      AurocPerWindow(dataset, rfm_scores, ScoreOrientation::kHigherIsPositive,
+                     options.rfm.features.window_span_months));
+
+  if (stability_series.size() != rfm_series.size()) {
+    return Status::Internal("model window counts diverged");
+  }
+
+  Figure1Result result;
+  result.stats = dataset.ComputeStats();
+  result.onset_month = options.scenario.population.attrition.onset_month;
+
+  // Labelled rows, reused by the per-window bootstrap.
+  std::vector<size_t> labelled_rows;
+  std::vector<int> labels;
+  if (options.bootstrap_resamples > 0) {
+    for (size_t row = 0; row < stability_scores.customers().size(); ++row) {
+      const retail::Cohort cohort =
+          dataset.LabelOf(stability_scores.customers()[row]).cohort;
+      if (cohort == retail::Cohort::kUnlabeled) continue;
+      labelled_rows.push_back(row);
+      labels.push_back(cohort == retail::Cohort::kDefecting ? 1 : 0);
+    }
+  }
+
+  for (size_t i = 0; i < stability_series.size(); ++i) {
+    const int32_t month = stability_series[i].report_month;
+    if (month < options.first_report_month ||
+        month > options.last_report_month) {
+      continue;
+    }
+    Figure1Row row;
+    row.report_month = month;
+    row.stability_auroc = stability_series[i].auroc;
+    row.rfm_auroc = rfm_series[i].auroc;
+    if (options.bootstrap_resamples > 0) {
+      std::vector<double> window_scores;
+      window_scores.reserve(labelled_rows.size());
+      for (const size_t labelled_row : labelled_rows) {
+        window_scores.push_back(
+            stability_scores.At(labelled_row, stability_series[i].window));
+      }
+      BootstrapOptions bootstrap;
+      bootstrap.resamples = options.bootstrap_resamples;
+      CHURNLAB_ASSIGN_OR_RETURN(
+          const ConfidenceInterval interval,
+          BootstrapAuroc(window_scores, labels,
+                         ScoreOrientation::kLowerIsPositive, bootstrap));
+      row.stability_auroc_lower = interval.lower;
+      row.stability_auroc_upper = interval.upper;
+    }
+    result.rows.push_back(row);
+  }
+  return result;
+}
+
+}  // namespace eval
+}  // namespace churnlab

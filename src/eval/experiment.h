@@ -1,0 +1,86 @@
+#ifndef CHURNLAB_EVAL_EXPERIMENT_H_
+#define CHURNLAB_EVAL_EXPERIMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/score_matrix.h"
+#include "core/stability_model.h"
+#include "datagen/scenario.h"
+#include "eval/roc.h"
+#include "retail/dataset.h"
+#include "rfm/rfm_model.h"
+
+namespace churnlab {
+namespace eval {
+
+/// AUROC of one model at one window.
+///
+/// `report_month` is the month at which the window's data is complete
+/// (window end). Figure 1's x-axis uses this convention: a window covering
+/// months [18, 20) is reported at month 20, which is why the paper reads
+/// "two months after the start of attrition (month 18), AUROC = 0.79".
+struct WindowAuroc {
+  int32_t window = 0;
+  int32_t report_month = 0;
+  double auroc = 0.5;
+};
+
+/// Computes the per-window AUROC series of a score matrix against the
+/// dataset's cohort labels (defecting = positive class). Unlabelled
+/// customers are excluded.
+Result<std::vector<WindowAuroc>> AurocPerWindow(
+    const retail::Dataset& dataset, const core::ScoreMatrix& scores,
+    ScoreOrientation orientation, int32_t window_span_months);
+
+/// Options for the Figure 1 reproduction: the paper's headline experiment
+/// (stability vs RFM detection AUROC over the months around the attrition
+/// onset).
+struct Figure1Options {
+  datagen::PaperScenarioConfig scenario;
+  core::StabilityModelOptions stability;
+  rfm::RfmModelOptions rfm;
+  /// Report months to include (inclusive bounds; the paper plots 12..24).
+  int32_t first_report_month = 12;
+  int32_t last_report_month = 24;
+  /// Bootstrap resamples for the stability AUROC confidence interval;
+  /// 0 disables (bounds stay at [0, 1]).
+  size_t bootstrap_resamples = 0;
+
+  Figure1Options();
+};
+
+struct Figure1Row {
+  int32_t report_month = 0;
+  double stability_auroc = 0.5;
+  double rfm_auroc = 0.5;
+  /// 95% bootstrap interval of the stability AUROC (present when
+  /// Figure1Options::bootstrap_resamples > 0).
+  double stability_auroc_lower = 0.0;
+  double stability_auroc_upper = 1.0;
+};
+
+struct Figure1Result {
+  std::vector<Figure1Row> rows;
+  retail::DatasetStats stats;
+  /// Nominal onset month of the scenario (the figure's vertical line).
+  int32_t onset_month = 18;
+};
+
+/// \brief End-to-end experiment drivers.
+class ExperimentRunner {
+ public:
+  /// Generates the paper scenario and evaluates both models on it.
+  static Result<Figure1Result> RunFigure1(const Figure1Options& options);
+
+  /// Evaluates both models on a caller-provided dataset (e.g. one loaded
+  /// from disk) with the same reporting as RunFigure1.
+  static Result<Figure1Result> RunFigure1OnDataset(
+      const retail::Dataset& dataset, const Figure1Options& options);
+};
+
+}  // namespace eval
+}  // namespace churnlab
+
+#endif  // CHURNLAB_EVAL_EXPERIMENT_H_

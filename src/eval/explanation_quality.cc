@@ -1,0 +1,134 @@
+#include "eval/explanation_quality.h"
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace churnlab {
+namespace eval {
+
+namespace {
+/// Ground-truth losses of one customer at segment granularity: segment ->
+/// earliest loss month among its repertoire entries.
+std::unordered_map<retail::SegmentId, int32_t> TrueLossesOf(
+    const datagen::CustomerProfile& profile, const datagen::Market& market) {
+  std::unordered_map<retail::SegmentId, int32_t> losses;
+  for (const datagen::RepertoireEntry& entry : profile.repertoire) {
+    if (entry.loss_month < 0) continue;
+    const retail::SegmentId segment = market.taxonomy.SegmentOf(entry.item);
+    if (segment == retail::kInvalidSegment) continue;
+    const auto it = losses.find(segment);
+    if (it == losses.end() || entry.loss_month < it->second) {
+      losses[segment] = entry.loss_month;
+    }
+  }
+  return losses;
+}
+}  // namespace
+
+Result<ExplanationQualityResult> ExplanationQuality::Run(
+    const datagen::PaperScenarioOutput& scenario,
+    const ExplanationQualityOptions& options) {
+  if (options.top_k == 0) {
+    return Status::InvalidArgument("top_k must be positive");
+  }
+  if (options.windows_after_onset <= 0) {
+    return Status::InvalidArgument("windows_after_onset must be positive");
+  }
+  if (options.stability.granularity != retail::Granularity::kSegment) {
+    return Status::InvalidArgument(
+        "explanation grading runs at segment granularity (ground truth is "
+        "segment-level)");
+  }
+  core::StabilityModelOptions model_options = options.stability;
+  model_options.explanation.top_k = options.top_k;
+  CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel model,
+                            core::StabilityModel::Make(model_options));
+
+  const int32_t span = options.stability.window_span_months;
+  ExplanationQualityResult result;
+  size_t correct_reported = 0;
+  size_t correct_top1 = 0;
+  size_t top1_graded = 0;
+  size_t recalled_losses = 0;
+
+  for (const datagen::CustomerProfile& profile : scenario.profiles) {
+    if (profile.cohort != retail::Cohort::kDefecting) continue;
+    if (profile.attrition_onset_month < 0) continue;
+    const auto true_losses = TrueLossesOf(profile, scenario.market);
+    if (true_losses.empty()) continue;
+
+    CHURNLAB_ASSIGN_OR_RETURN(
+        const core::CustomerReport report,
+        model.AnalyzeCustomer(scenario.dataset, profile.customer));
+
+    // First graded window: the first whose end month exceeds the onset.
+    const int32_t first_window = profile.attrition_onset_month / span;
+    const int32_t last_window =
+        first_window + options.windows_after_onset - 1;
+
+    bool graded_any = false;
+    std::set<retail::SegmentId> reported_true_losses;
+    for (const core::CustomerWindowReport& window : report.windows) {
+      if (window.window_index < first_window ||
+          window.window_index > last_window) {
+        continue;
+      }
+      if (window.drop_from_previous < options.min_drop) continue;
+
+      graded_any = true;
+      ++result.windows_graded;
+      bool is_top1 = true;
+      for (const core::NamedMissingProduct& missing : window.missing) {
+        if (!missing.newly_missing) continue;
+        ++result.reported_products;
+        // Resolve the reported segment by name.
+        const retail::SegmentId segment =
+            scenario.market.FindSegment(missing.name);
+        const auto truth = true_losses.find(segment);
+        const bool correct =
+            truth != true_losses.end() &&
+            truth->second >= window.begin_month - span &&
+            truth->second < window.end_month;
+        if (correct) {
+          ++correct_reported;
+          reported_true_losses.insert(segment);
+          if (is_top1) ++correct_top1;
+        }
+        if (is_top1) {
+          ++top1_graded;
+          is_top1 = false;
+        }
+      }
+    }
+    if (graded_any) ++result.customers_graded;
+
+    // Recall: true losses within the graded horizon that got reported.
+    const int32_t horizon_begin = first_window * span;
+    const int32_t horizon_end = (last_window + 1) * span;
+    for (const auto& [segment, loss_month] : true_losses) {
+      if (loss_month < horizon_begin || loss_month >= horizon_end) continue;
+      ++result.true_losses_in_horizon;
+      if (reported_true_losses.count(segment)) ++recalled_losses;
+    }
+  }
+
+  if (result.reported_products > 0) {
+    result.precision = static_cast<double>(correct_reported) /
+                       static_cast<double>(result.reported_products);
+  }
+  if (top1_graded > 0) {
+    result.top1_accuracy = static_cast<double>(correct_top1) /
+                           static_cast<double>(top1_graded);
+  }
+  if (result.true_losses_in_horizon > 0) {
+    result.recall = static_cast<double>(recalled_losses) /
+                    static_cast<double>(result.true_losses_in_horizon);
+  }
+  return result;
+}
+
+}  // namespace eval
+}  // namespace churnlab

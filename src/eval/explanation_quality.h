@@ -1,0 +1,63 @@
+#ifndef CHURNLAB_EVAL_EXPLANATION_QUALITY_H_
+#define CHURNLAB_EVAL_EXPLANATION_QUALITY_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/stability_model.h"
+#include "datagen/scenario.h"
+
+namespace churnlab {
+namespace eval {
+
+/// Options for grading explanation correctness against simulator ground
+/// truth.
+struct ExplanationQualityOptions {
+  core::StabilityModelOptions stability;
+  /// Explanations graded per window: the top_k newly-missing products.
+  size_t top_k = 3;
+  /// Windows inspected per defector, starting at the first window whose
+  /// end month is past the customer's onset.
+  int32_t windows_after_onset = 3;
+  /// Only windows whose stability dropped at least this much are graded
+  /// (the paper's workflow: explain *decreases*).
+  double min_drop = 0.05;
+};
+
+/// Aggregate explanation-correctness metrics.
+///
+/// A reported product is *correct* when the customer's ground-truth
+/// repertoire really lost an item of that segment around the graded window
+/// (loss month within one window span of it). Ground truth includes
+/// attrition-injected and natural-turnover losses alike.
+struct ExplanationQualityResult {
+  size_t customers_graded = 0;
+  size_t windows_graded = 0;
+  /// Fraction of reported top-k newly-missing products that are true
+  /// losses.
+  double precision = 0.0;
+  /// Fraction of graded windows whose single most significant newly-missing
+  /// product is a true loss.
+  double top1_accuracy = 0.0;
+  /// Fraction of true lost segments (loss month within the graded horizon)
+  /// that some graded window reported in its top-k.
+  double recall = 0.0;
+  size_t reported_products = 0;
+  size_t true_losses_in_horizon = 0;
+};
+
+/// \brief Grades section 3.2's claim quantitatively: when the model blames
+/// products for a stability drop, are those the products the customer
+/// actually stopped buying? Requires the scenario's generating profiles
+/// (ground truth), hence a PaperScenarioOutput.
+class ExplanationQuality {
+ public:
+  static Result<ExplanationQualityResult> Run(
+      const datagen::PaperScenarioOutput& scenario,
+      const ExplanationQualityOptions& options);
+};
+
+}  // namespace eval
+}  // namespace churnlab
+
+#endif  // CHURNLAB_EVAL_EXPLANATION_QUALITY_H_

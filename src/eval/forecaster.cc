@@ -1,0 +1,174 @@
+#include "eval/forecaster.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/kfold.h"
+#include "common/macros.h"
+#include "eval/roc.h"
+#include "rfm/scaler.h"
+
+namespace churnlab {
+namespace eval {
+
+Result<ForecastResult> StabilityForecaster::Run(
+    const retail::Dataset& dataset, const ForecastOptions& options) {
+  if (options.decision_month <= 0 || options.horizon_months <= 0) {
+    return Status::InvalidArgument(
+        "decision_month and horizon_months must be positive");
+  }
+  if (options.feature_windows < 1) {
+    return Status::InvalidArgument("feature_windows must be >= 1");
+  }
+  if (options.cv_folds < 2) {
+    return Status::InvalidArgument("cv_folds must be >= 2");
+  }
+
+  CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel model,
+                            core::StabilityModel::Make(options.stability));
+  CHURNLAB_ASSIGN_OR_RETURN(const core::ScoreMatrix scores,
+                            model.ScoreDataset(dataset));
+
+  const int32_t span = options.stability.window_span_months;
+  // Last window whose report month does not exceed the decision month.
+  const int32_t last_window = options.decision_month / span - 1;
+  if (last_window < options.feature_windows - 1 ||
+      last_window >= scores.num_windows()) {
+    return Status::InvalidArgument(
+        "decision_month leaves too few complete windows for the requested "
+        "feature_windows");
+  }
+
+  ForecastResult result;
+  std::vector<std::vector<double>> design;
+  std::vector<int> targets;
+  std::vector<int32_t> onsets;  // parallel to design; -1 for loyal
+  for (size_t row = 0; row < scores.customers().size(); ++row) {
+    const retail::CustomerLabel label =
+        dataset.LabelOf(scores.customers()[row]);
+    int target;
+    if (label.cohort == retail::Cohort::kLoyal) {
+      target = 0;
+    } else if (label.cohort == retail::Cohort::kDefecting) {
+      if (label.attrition_onset_month >= 0 &&
+          label.attrition_onset_month <= options.decision_month) {
+        ++result.num_already_defecting;
+        continue;  // detection case, not forecasting
+      }
+      if (label.attrition_onset_month < 0 ||
+          label.attrition_onset_month >
+              options.decision_month + options.horizon_months) {
+        continue;  // defects beyond the horizon: out of scope either way
+      }
+      target = 1;
+    } else {
+      continue;  // unlabeled
+    }
+
+    std::vector<double> features;
+    features.reserve(static_cast<size_t>(options.feature_windows) + 2);
+    double minimum = 1.0;
+    for (int32_t w = last_window - options.feature_windows + 1;
+         w <= last_window; ++w) {
+      const double value = scores.At(row, w);
+      features.push_back(value);
+      minimum = std::min(minimum, value);
+    }
+    const double trend =
+        options.feature_windows >= 2
+            ? scores.At(row, last_window) - scores.At(row, last_window - 1)
+            : 0.0;
+    features.push_back(trend);
+    features.push_back(minimum);
+
+    if (options.use_visit_counts) {
+      const retail::Day span_days = span * retail::kDaysPerMonth;
+      std::vector<double> counts(
+          static_cast<size_t>(options.feature_windows), 0.0);
+      const retail::Day range_begin =
+          (last_window - options.feature_windows + 1) * span_days;
+      for (const retail::Receipt& receipt :
+           dataset.store().History(scores.customers()[row])) {
+        if (receipt.day < range_begin ||
+            receipt.day >= (last_window + 1) * span_days) {
+          continue;
+        }
+        ++counts[static_cast<size_t>((receipt.day - range_begin) /
+                                     span_days)];
+      }
+      features.insert(features.end(), counts.begin(), counts.end());
+    }
+
+    design.push_back(std::move(features));
+    targets.push_back(target);
+    onsets.push_back(target == 1 ? label.attrition_onset_month : -1);
+    if (target == 1) {
+      ++result.num_future_defectors;
+    } else {
+      ++result.num_loyal;
+    }
+  }
+
+  if (result.num_future_defectors < options.cv_folds ||
+      result.num_loyal < options.cv_folds) {
+    return Status::InvalidArgument(
+        "too few future defectors or loyal customers for " +
+        std::to_string(options.cv_folds) + "-fold scoring");
+  }
+
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const StratifiedKFold folds,
+      StratifiedKFold::Make(targets, options.cv_folds, options.cv_seed));
+  std::vector<double> out_of_fold(design.size(), 0.0);
+  for (size_t fold = 0; fold < folds.num_folds(); ++fold) {
+    std::vector<std::vector<double>> train_rows;
+    std::vector<int> train_labels;
+    for (const size_t index : folds.TrainIndices(fold)) {
+      train_rows.push_back(design[index]);
+      train_labels.push_back(targets[index]);
+    }
+    rfm::StandardScaler scaler;
+    CHURNLAB_RETURN_NOT_OK(scaler.Fit(train_rows));
+    CHURNLAB_RETURN_NOT_OK(scaler.Transform(&train_rows));
+    rfm::LogisticRegression logistic(options.logistic);
+    CHURNLAB_RETURN_NOT_OK(logistic.Fit(train_rows, train_labels));
+    for (const size_t index : folds.TestIndices(fold)) {
+      std::vector<double> row = design[index];
+      CHURNLAB_RETURN_NOT_OK(scaler.Transform(&row));
+      out_of_fold[index] = logistic.PredictProbability(row);
+    }
+  }
+
+  CHURNLAB_ASSIGN_OR_RETURN(
+      result.auroc,
+      Auroc(out_of_fold, targets, ScoreOrientation::kHigherIsPositive));
+
+  // Lead-time decomposition: defectors whose onset is exactly `lead` months
+  // out, against the full loyal cohort.
+  for (int32_t lead = 1; lead <= options.horizon_months; ++lead) {
+    ForecastResult::LeadBucket bucket;
+    bucket.lead_months = lead;
+    std::vector<double> bucket_scores;
+    std::vector<int> bucket_labels;
+    for (size_t i = 0; i < design.size(); ++i) {
+      if (targets[i] == 0) {
+        bucket_scores.push_back(out_of_fold[i]);
+        bucket_labels.push_back(0);
+      } else if (onsets[i] == options.decision_month + lead) {
+        bucket_scores.push_back(out_of_fold[i]);
+        bucket_labels.push_back(1);
+        ++bucket.num_defectors;
+      }
+    }
+    if (bucket.num_defectors > 0) {
+      const Result<double> auroc = Auroc(
+          bucket_scores, bucket_labels, ScoreOrientation::kHigherIsPositive);
+      if (auroc.ok()) bucket.auroc = auroc.ValueOrDie();
+    }
+    result.by_lead.push_back(bucket);
+  }
+  return result;
+}
+
+}  // namespace eval
+}  // namespace churnlab

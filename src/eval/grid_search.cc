@@ -1,0 +1,122 @@
+#include "eval/grid_search.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/kfold.h"
+#include "common/logging.h"
+#include "common/macros.h"
+#include "common/math_util.h"
+#include "core/stability_model.h"
+#include "eval/roc.h"
+
+namespace churnlab {
+namespace eval {
+
+Result<GridSearchResult> StabilityGridSearch::Run(
+    const retail::Dataset& dataset, const GridSearchOptions& options) {
+  if (options.window_spans_months.empty() || options.alphas.empty()) {
+    return Status::InvalidArgument("empty parameter grid");
+  }
+  if (options.folds < 2) {
+    return Status::InvalidArgument("folds must be >= 2");
+  }
+
+  // Labelled customers and their targets.
+  std::vector<retail::CustomerId> labelled;
+  std::vector<int> targets;
+  for (const retail::CustomerId customer : dataset.store().Customers()) {
+    const retail::Cohort cohort = dataset.LabelOf(customer).cohort;
+    if (cohort == retail::Cohort::kUnlabeled) continue;
+    labelled.push_back(customer);
+    targets.push_back(cohort == retail::Cohort::kDefecting ? 1 : 0);
+  }
+  if (labelled.size() < options.folds) {
+    return Status::InvalidArgument("not enough labelled customers for folds");
+  }
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const StratifiedKFold folds,
+      StratifiedKFold::Make(targets, options.folds, options.seed));
+
+  GridSearchResult result;
+  for (const int32_t span : options.window_spans_months) {
+    for (const double alpha : options.alphas) {
+      core::StabilityModelOptions model_options;
+      model_options.significance.alpha = alpha;
+      model_options.window_span_months = span;
+      model_options.granularity = options.granularity;
+      CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel model,
+                                core::StabilityModel::Make(model_options));
+      CHURNLAB_ASSIGN_OR_RETURN(const core::ScoreMatrix scores,
+                                model.ScoreDataset(dataset));
+
+      // Windows contributing to the objective.
+      std::vector<int32_t> objective_windows;
+      for (int32_t window = 0; window < scores.num_windows(); ++window) {
+        const int32_t report_month = (window + 1) * span;
+        if (report_month > options.onset_month &&
+            report_month <=
+                options.onset_month + options.objective_horizon_months) {
+          objective_windows.push_back(window);
+        }
+      }
+      if (objective_windows.empty()) {
+        return Status::InvalidArgument(
+            "no windows fall in the objective horizon for span " +
+            std::to_string(span));
+      }
+
+      std::vector<double> fold_objectives;
+      fold_objectives.reserve(folds.num_folds());
+      for (size_t fold = 0; fold < folds.num_folds(); ++fold) {
+        const std::vector<size_t>& test = folds.TestIndices(fold);
+        double auroc_sum = 0.0;
+        size_t auroc_count = 0;
+        for (const int32_t window : objective_windows) {
+          std::vector<double> fold_scores;
+          std::vector<int> fold_labels;
+          fold_scores.reserve(test.size());
+          fold_labels.reserve(test.size());
+          for (const size_t index : test) {
+            CHURNLAB_ASSIGN_OR_RETURN(
+                const double score, scores.ScoreOf(labelled[index], window));
+            fold_scores.push_back(score);
+            fold_labels.push_back(targets[index]);
+          }
+          const Result<double> auroc =
+              Auroc(fold_scores, fold_labels,
+                    ScoreOrientation::kLowerIsPositive);
+          if (!auroc.ok()) continue;  // single-class fold at this window
+          auroc_sum += auroc.ValueOrDie();
+          ++auroc_count;
+        }
+        if (auroc_count > 0) {
+          fold_objectives.push_back(auroc_sum /
+                                    static_cast<double>(auroc_count));
+        }
+      }
+      if (fold_objectives.empty()) {
+        return Status::Internal("every fold was degenerate in grid search");
+      }
+
+      GridSearchCell cell;
+      cell.window_span_months = span;
+      cell.alpha = alpha;
+      cell.mean_auroc = Mean(fold_objectives);
+      cell.std_auroc = StdDev(fold_objectives);
+      CHURNLAB_LOG(Debug) << "grid cell w=" << span << " alpha=" << alpha
+                          << " auroc=" << cell.mean_auroc << " +- "
+                          << cell.std_auroc;
+      result.cells.push_back(cell);
+    }
+  }
+
+  result.best = result.cells.front();
+  for (const GridSearchCell& cell : result.cells) {
+    if (cell.mean_auroc > result.best.mean_auroc) result.best = cell;
+  }
+  return result;
+}
+
+}  // namespace eval
+}  // namespace churnlab

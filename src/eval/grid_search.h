@@ -1,0 +1,60 @@
+#ifndef CHURNLAB_EVAL_GRID_SEARCH_H_
+#define CHURNLAB_EVAL_GRID_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "retail/dataset.h"
+#include "retail/types.h"
+
+namespace churnlab {
+namespace eval {
+
+/// Options of the (window span, alpha) cross-validated parameter search
+/// (section 3.1: "These values were chosen after performing a 5-fold
+/// cross-validation search", yielding w = 2 months, alpha = 2).
+struct GridSearchOptions {
+  std::vector<int32_t> window_spans_months = {1, 2, 3};
+  std::vector<double> alphas = {1.25, 1.5, 2.0, 3.0, 4.0};
+  size_t folds = 5;
+  uint64_t seed = 99;
+  /// Objective: mean detection AUROC over the windows whose report month
+  /// falls in (onset_month, onset_month + objective_horizon_months].
+  int32_t onset_month = 18;
+  int32_t objective_horizon_months = 6;
+  retail::Granularity granularity = retail::Granularity::kSegment;
+};
+
+/// One grid cell's cross-validated objective.
+struct GridSearchCell {
+  int32_t window_span_months = 0;
+  double alpha = 0.0;
+  /// Mean / standard deviation of the fold objectives.
+  double mean_auroc = 0.0;
+  double std_auroc = 0.0;
+};
+
+struct GridSearchResult {
+  std::vector<GridSearchCell> cells;
+  /// The argmax cell by mean AUROC.
+  GridSearchCell best;
+};
+
+/// \brief 5-fold cross-validated grid search over the stability model's
+/// hyper-parameters.
+///
+/// The stability model has no trained weights, so "cross-validation" here
+/// is pure model selection: each fold's customers are scored by the model
+/// and the fold AUROC is recorded; the objective is the fold mean, and its
+/// spread shows the selection's stability.
+class StabilityGridSearch {
+ public:
+  static Result<GridSearchResult> Run(const retail::Dataset& dataset,
+                                      const GridSearchOptions& options);
+};
+
+}  // namespace eval
+}  // namespace churnlab
+
+#endif  // CHURNLAB_EVAL_GRID_SEARCH_H_

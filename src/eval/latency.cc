@@ -1,0 +1,71 @@
+#include "eval/latency.h"
+
+#include "common/macros.h"
+#include "common/math_util.h"
+#include "eval/distribution.h"
+
+namespace churnlab {
+namespace eval {
+
+Result<LatencyResult> MeasureDetectionLatency(
+    const retail::Dataset& dataset, const core::ScoreMatrix& scores,
+    const LatencyOptions& options) {
+  if (options.window_span_months <= 0) {
+    return Status::InvalidArgument("window_span_months must be positive");
+  }
+  if (options.warmup_windows < 0) {
+    return Status::InvalidArgument("warmup_windows must be >= 0");
+  }
+
+  LatencyResult result;
+  for (size_t row = 0; row < scores.customers().size(); ++row) {
+    const retail::CustomerLabel label =
+        dataset.LabelOf(scores.customers()[row]);
+    if (label.cohort == retail::Cohort::kUnlabeled) continue;
+
+    // First flagged window, if any.
+    int32_t flagged_window = -1;
+    for (int32_t window = options.warmup_windows;
+         window < scores.num_windows(); ++window) {
+      const double score = scores.At(row, window);
+      const bool flagged =
+          options.orientation == ScoreOrientation::kLowerIsPositive
+              ? score <= options.beta
+              : score >= options.beta;
+      if (flagged) {
+        flagged_window = window;
+        break;
+      }
+    }
+
+    if (label.cohort == retail::Cohort::kLoyal) {
+      ++result.loyal;
+      if (flagged_window >= 0) ++result.loyal_flagged;
+      continue;
+    }
+    ++result.defectors;
+    if (flagged_window < 0) continue;
+    ++result.defectors_flagged;
+    if (label.attrition_onset_month >= 0) {
+      const int32_t report_month =
+          (flagged_window + 1) * options.window_span_months;
+      result.lags_months.push_back(
+          static_cast<double>(report_month - label.attrition_onset_month));
+    }
+  }
+  if (result.defectors == 0 || result.loyal == 0) {
+    return Status::InvalidArgument(
+        "latency needs labelled loyal and defecting customers");
+  }
+  if (!result.lags_months.empty()) {
+    CHURNLAB_ASSIGN_OR_RETURN(result.median_lag_months,
+                              Quantile(result.lags_months, 0.5));
+    result.mean_lag_months = Mean(result.lags_months);
+  }
+  result.false_alarm_rate = static_cast<double>(result.loyal_flagged) /
+                            static_cast<double>(result.loyal);
+  return result;
+}
+
+}  // namespace eval
+}  // namespace churnlab

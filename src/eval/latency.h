@@ -1,0 +1,59 @@
+#ifndef CHURNLAB_EVAL_LATENCY_H_
+#define CHURNLAB_EVAL_LATENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/score_matrix.h"
+#include "eval/roc.h"
+#include "retail/dataset.h"
+
+namespace churnlab {
+namespace eval {
+
+/// Options for detection-latency measurement.
+struct LatencyOptions {
+  /// Flag a customer at the first window whose oriented score crosses this
+  /// threshold (for kLowerIsPositive: score <= beta).
+  double beta = 0.6;
+  ScoreOrientation orientation = ScoreOrientation::kLowerIsPositive;
+  /// Windows ignored at the start (burn-in; no significance history).
+  int32_t warmup_windows = 2;
+  /// Months per window, for converting window indices to months.
+  int32_t window_span_months = 2;
+};
+
+/// How long after their ground-truth onset defectors get flagged, and how
+/// often loyal customers are flagged at all.
+struct LatencyResult {
+  size_t defectors = 0;
+  /// Defectors flagged at some window.
+  size_t defectors_flagged = 0;
+  /// Lag in months from onset to the flagging window's report month, one
+  /// entry per flagged defector (negative = flagged before the declared
+  /// onset, possible with early losses / prodromes).
+  std::vector<double> lags_months;
+  double median_lag_months = 0.0;
+  double mean_lag_months = 0.0;
+  size_t loyal = 0;
+  /// Loyal customers flagged at least once (lifetime false alarms).
+  size_t loyal_flagged = 0;
+  double false_alarm_rate = 0.0;
+};
+
+/// \brief Measures when the beta rule first fires for each customer.
+///
+/// The AUROC view (Figure 1) asks "how separable are the cohorts at month
+/// m"; the latency view asks the operational question — "how many months
+/// after a customer starts defecting does the screen catch them, and what
+/// does that cost in false alarms". Requires ground-truth onset months in
+/// the dataset labels.
+Result<LatencyResult> MeasureDetectionLatency(const retail::Dataset& dataset,
+                                              const core::ScoreMatrix& scores,
+                                              const LatencyOptions& options);
+
+}  // namespace eval
+}  // namespace churnlab
+
+#endif  // CHURNLAB_EVAL_LATENCY_H_

@@ -1,0 +1,136 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace churnlab {
+namespace eval {
+
+double ConfusionMatrix::Accuracy() const {
+  const size_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(true_positives + true_negatives) /
+         static_cast<double>(n);
+}
+
+double ConfusionMatrix::Precision() const {
+  const size_t predicted_positive = true_positives + false_positives;
+  if (predicted_positive == 0) return 0.0;
+  return static_cast<double>(true_positives) /
+         static_cast<double>(predicted_positive);
+}
+
+double ConfusionMatrix::Recall() const {
+  const size_t actual_positive = true_positives + false_negatives;
+  if (actual_positive == 0) return 0.0;
+  return static_cast<double>(true_positives) /
+         static_cast<double>(actual_positive);
+}
+
+double ConfusionMatrix::FalsePositiveRate() const {
+  const size_t actual_negative = false_positives + true_negatives;
+  if (actual_negative == 0) return 0.0;
+  return static_cast<double>(false_positives) /
+         static_cast<double>(actual_negative);
+}
+
+double ConfusionMatrix::F1() const {
+  const double precision = Precision();
+  const double recall = Recall();
+  if (precision + recall == 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+double ConfusionMatrix::BalancedAccuracy() const {
+  return (Recall() + (1.0 - FalsePositiveRate())) / 2.0;
+}
+
+std::string ConfusionMatrix::ToString() const {
+  std::ostringstream out;
+  out << "TP=" << true_positives << " FP=" << false_positives
+      << " TN=" << true_negatives << " FN=" << false_negatives;
+  return out.str();
+}
+
+Result<ConfusionMatrix> ConfusionAtThreshold(const std::vector<double>& scores,
+                                             const std::vector<int>& labels,
+                                             double threshold,
+                                             ScoreOrientation orientation) {
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument("scores / labels size mismatch");
+  }
+  ConfusionMatrix confusion;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (labels[i] != 0 && labels[i] != 1) {
+      return Status::InvalidArgument("labels must be 0 or 1");
+    }
+    const bool predicted_positive =
+        orientation == ScoreOrientation::kHigherIsPositive
+            ? scores[i] >= threshold
+            : scores[i] <= threshold;
+    if (predicted_positive) {
+      if (labels[i] == 1) {
+        ++confusion.true_positives;
+      } else {
+        ++confusion.false_positives;
+      }
+    } else {
+      if (labels[i] == 1) {
+        ++confusion.false_negatives;
+      } else {
+        ++confusion.true_negatives;
+      }
+    }
+  }
+  return confusion;
+}
+
+Result<double> LiftAtFraction(const std::vector<double>& scores,
+                              const std::vector<int>& labels, double fraction,
+                              ScoreOrientation orientation) {
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument("scores / labels size mismatch");
+  }
+  if (scores.empty()) {
+    return Status::InvalidArgument("empty input");
+  }
+  if (fraction <= 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("fraction must be in (0, 1]");
+  }
+  size_t positives = 0;
+  for (const int label : labels) {
+    if (label != 0 && label != 1) {
+      return Status::InvalidArgument("labels must be 0 or 1");
+    }
+    positives += static_cast<size_t>(label);
+  }
+  if (positives == 0) {
+    return Status::InvalidArgument("lift undefined with no positives");
+  }
+
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return orientation == ScoreOrientation::kHigherIsPositive
+               ? scores[a] > scores[b]
+               : scores[a] < scores[b];
+  });
+
+  const size_t head = std::max<size_t>(
+      1, static_cast<size_t>(fraction * static_cast<double>(scores.size())));
+  size_t head_positives = 0;
+  for (size_t i = 0; i < head; ++i) {
+    head_positives += static_cast<size_t>(labels[order[i]]);
+  }
+  const double head_rate =
+      static_cast<double>(head_positives) / static_cast<double>(head);
+  const double base_rate =
+      static_cast<double>(positives) / static_cast<double>(scores.size());
+  return head_rate / base_rate;
+}
+
+}  // namespace eval
+}  // namespace churnlab

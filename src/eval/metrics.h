@@ -1,0 +1,59 @@
+#ifndef CHURNLAB_EVAL_METRICS_H_
+#define CHURNLAB_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "eval/roc.h"
+
+namespace churnlab {
+namespace eval {
+
+/// Standard binary confusion counts at one operating threshold.
+struct ConfusionMatrix {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t true_negatives = 0;
+  size_t false_negatives = 0;
+
+  size_t total() const {
+    return true_positives + false_positives + true_negatives +
+           false_negatives;
+  }
+  double Accuracy() const;
+  /// Precision = TP / (TP + FP); 0 when no positive predictions.
+  double Precision() const;
+  /// Recall (true-positive rate) = TP / (TP + FN); 0 when no positives.
+  double Recall() const;
+  /// False-positive rate = FP / (FP + TN); 0 when no negatives.
+  double FalsePositiveRate() const;
+  double F1() const;
+  /// Mean of recall and true-negative rate.
+  double BalancedAccuracy() const;
+
+  std::string ToString() const;
+};
+
+/// Computes the confusion matrix classifying positive when the *oriented*
+/// score passes `threshold` (i.e. for kLowerIsPositive — the stability
+/// model's beta rule "defecting if Stability <= beta" — an example is
+/// positive when score <= threshold).
+Result<ConfusionMatrix> ConfusionAtThreshold(const std::vector<double>& scores,
+                                             const std::vector<int>& labels,
+                                             double threshold,
+                                             ScoreOrientation orientation);
+
+/// Lift of the top `fraction` of examples by oriented score: the positive
+/// rate inside the selected head divided by the overall positive rate. The
+/// retail-marketing view of ranking quality (lift 3 at 10% = mailing the
+/// top decile reaches 3x the churners of a random mailing).
+Result<double> LiftAtFraction(const std::vector<double>& scores,
+                              const std::vector<int>& labels, double fraction,
+                              ScoreOrientation orientation);
+
+}  // namespace eval
+}  // namespace churnlab
+
+#endif  // CHURNLAB_EVAL_METRICS_H_

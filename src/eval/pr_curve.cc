@@ -1,0 +1,82 @@
+#include "eval/pr_curve.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace churnlab {
+namespace eval {
+
+Result<std::vector<PrPoint>> PrCurve(const std::vector<double>& scores,
+                                     const std::vector<int>& labels,
+                                     ScoreOrientation orientation) {
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument("scores / labels size mismatch");
+  }
+  if (scores.empty()) {
+    return Status::InvalidArgument("empty input");
+  }
+  size_t positives = 0;
+  for (const int label : labels) {
+    if (label != 0 && label != 1) {
+      return Status::InvalidArgument("labels must be 0 or 1");
+    }
+    positives += static_cast<size_t>(label);
+  }
+  if (positives == 0) {
+    return Status::InvalidArgument("PR curve needs at least one positive");
+  }
+
+  std::vector<double> oriented(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    oriented[i] = orientation == ScoreOrientation::kHigherIsPositive
+                      ? scores[i]
+                      : -scores[i];
+  }
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return oriented[a] > oriented[b];
+  });
+
+  std::vector<PrPoint> curve;
+  curve.push_back(PrPoint{oriented[order.front()] + 1.0, 0.0, 1.0});
+  size_t true_positives = 0;
+  size_t predicted_positives = 0;
+  size_t i = 0;
+  while (i < order.size()) {
+    const double threshold = oriented[order[i]];
+    while (i < order.size() && oriented[order[i]] == threshold) {
+      true_positives += static_cast<size_t>(labels[order[i]]);
+      ++predicted_positives;
+      ++i;
+    }
+    PrPoint point;
+    point.threshold = orientation == ScoreOrientation::kHigherIsPositive
+                          ? threshold
+                          : -threshold;
+    point.recall = static_cast<double>(true_positives) /
+                   static_cast<double>(positives);
+    point.precision = static_cast<double>(true_positives) /
+                      static_cast<double>(predicted_positives);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+Result<double> AveragePrecision(const std::vector<double>& scores,
+                                const std::vector<int>& labels,
+                                ScoreOrientation orientation) {
+  CHURNLAB_ASSIGN_OR_RETURN(const std::vector<PrPoint> curve,
+                            PrCurve(scores, labels, orientation));
+  double average_precision = 0.0;
+  for (size_t i = 1; i < curve.size(); ++i) {
+    average_precision +=
+        (curve[i].recall - curve[i - 1].recall) * curve[i].precision;
+  }
+  return average_precision;
+}
+
+}  // namespace eval
+}  // namespace churnlab

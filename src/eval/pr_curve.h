@@ -1,0 +1,41 @@
+#ifndef CHURNLAB_EVAL_PR_CURVE_H_
+#define CHURNLAB_EVAL_PR_CURVE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "eval/roc.h"
+
+namespace churnlab {
+namespace eval {
+
+/// One operating point of a precision-recall curve.
+struct PrPoint {
+  double threshold = 0.0;
+  double recall = 0.0;
+  double precision = 1.0;
+};
+
+/// \brief Precision-recall curve, ordered by increasing recall.
+///
+/// The paper evaluates with ROC/AUROC on balanced retailer-provided
+/// cohorts; deployed churn screening is heavily imbalanced (a few percent
+/// defectors), where precision-recall is the informative view — AUROC is
+/// insensitive to the false-positive *count* that dominates campaign cost.
+/// Ties share one point, endpoints included: recall 0 at the conservative
+/// end (precision defined as 1 there by convention) through recall 1.
+Result<std::vector<PrPoint>> PrCurve(const std::vector<double>& scores,
+                                     const std::vector<int>& labels,
+                                     ScoreOrientation orientation);
+
+/// Average precision: the step-function integral
+/// AP = sum_i (R_i - R_{i-1}) * P_i over the PR curve. Equals 1 for a
+/// perfect ranking; equals the positive base rate for a random one.
+Result<double> AveragePrecision(const std::vector<double>& scores,
+                                const std::vector<int>& labels,
+                                ScoreOrientation orientation);
+
+}  // namespace eval
+}  // namespace churnlab
+
+#endif  // CHURNLAB_EVAL_PR_CURVE_H_

@@ -1,0 +1,67 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/macros.h"
+
+namespace churnlab {
+namespace eval {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  while (headers_.size() < cells.size()) {
+    headers_.emplace_back();
+  }
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t j = 0; j < headers_.size(); ++j) {
+    widths[j] = headers_[j].size();
+  }
+  for (const std::vector<std::string>& row : rows_) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      widths[j] = std::max(widths[j], row[j].size());
+    }
+  }
+
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t j = 0; j < cells.size(); ++j) {
+      if (j > 0) out << "  ";
+      out << cells[j];
+      if (j + 1 < cells.size()) {
+        out << std::string(widths[j] - cells[j].size(), ' ');
+      }
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  size_t separator_width = 0;
+  for (size_t j = 0; j < widths.size(); ++j) {
+    separator_width += widths[j] + (j > 0 ? 2 : 0);
+  }
+  out << std::string(separator_width, '-') << "\n";
+  for (const std::vector<std::string>& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+Status TextTable::WriteCsv(const std::string& path) const {
+  CHURNLAB_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open(path));
+  CHURNLAB_RETURN_NOT_OK(writer.WriteRow(headers_));
+  for (const std::vector<std::string>& row : rows_) {
+    CHURNLAB_RETURN_NOT_OK(writer.WriteRow(row));
+  }
+  return writer.Close();
+}
+
+}  // namespace eval
+}  // namespace churnlab

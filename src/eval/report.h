@@ -1,0 +1,44 @@
+#ifndef CHURNLAB_EVAL_REPORT_H_
+#define CHURNLAB_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace churnlab {
+namespace eval {
+
+/// \brief Column-aligned text table for experiment output, with CSV export.
+///
+/// \code
+///   TextTable table({"month", "stability AUROC", "RFM AUROC"});
+///   table.AddRow({"12", "0.51", "0.50"});
+///   std::cout << table.ToString();
+///   table.WriteCsv("fig1.csv");
+/// \endcode
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; short rows are padded with empty cells, long rows
+  /// extend the column count.
+  void AddRow(std::vector<std::string> cells);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with right-padded columns and a header separator line.
+  std::string ToString() const;
+
+  /// Writes header + rows as CSV.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eval
+}  // namespace churnlab
+
+#endif  // CHURNLAB_EVAL_REPORT_H_

@@ -1,0 +1,123 @@
+#include "eval/roc.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+#include "common/math_util.h"
+
+namespace churnlab {
+namespace eval {
+
+namespace {
+Status ValidateInput(const std::vector<double>& scores,
+                     const std::vector<int>& labels, size_t* num_positive,
+                     size_t* num_negative) {
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument("scores / labels size mismatch");
+  }
+  if (scores.empty()) {
+    return Status::InvalidArgument("empty input");
+  }
+  size_t positives = 0;
+  for (const int label : labels) {
+    if (label != 0 && label != 1) {
+      return Status::InvalidArgument("labels must be 0 or 1");
+    }
+    positives += static_cast<size_t>(label);
+  }
+  if (positives == 0 || positives == labels.size()) {
+    return Status::InvalidArgument(
+        "AUROC needs at least one positive and one negative example");
+  }
+  *num_positive = positives;
+  *num_negative = labels.size() - positives;
+  return Status::OK();
+}
+
+std::vector<double> Orient(const std::vector<double>& scores,
+                           ScoreOrientation orientation) {
+  if (orientation == ScoreOrientation::kHigherIsPositive) return scores;
+  std::vector<double> oriented(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) oriented[i] = -scores[i];
+  return oriented;
+}
+}  // namespace
+
+Result<double> Auroc(const std::vector<double>& scores,
+                     const std::vector<int>& labels,
+                     ScoreOrientation orientation) {
+  size_t num_positive = 0;
+  size_t num_negative = 0;
+  CHURNLAB_RETURN_NOT_OK(
+      ValidateInput(scores, labels, &num_positive, &num_negative));
+
+  const std::vector<double> oriented = Orient(scores, orientation);
+  const std::vector<double> ranks = FractionalRanks(oriented);
+  double positive_rank_sum = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == 1) positive_rank_sum += ranks[i];
+  }
+  const double n_pos = static_cast<double>(num_positive);
+  const double n_neg = static_cast<double>(num_negative);
+  const double u_statistic =
+      positive_rank_sum - n_pos * (n_pos + 1.0) / 2.0;
+  return u_statistic / (n_pos * n_neg);
+}
+
+Result<std::vector<RocPoint>> RocCurve(const std::vector<double>& scores,
+                                       const std::vector<int>& labels,
+                                       ScoreOrientation orientation) {
+  size_t num_positive = 0;
+  size_t num_negative = 0;
+  CHURNLAB_RETURN_NOT_OK(
+      ValidateInput(scores, labels, &num_positive, &num_negative));
+
+  const std::vector<double> oriented = Orient(scores, orientation);
+  std::vector<size_t> order(oriented.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return oriented[a] > oriented[b];
+  });
+
+  std::vector<RocPoint> curve;
+  curve.push_back(RocPoint{oriented[order.front()] + 1.0, 0.0, 0.0});
+
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  const double n_pos = static_cast<double>(num_positive);
+  const double n_neg = static_cast<double>(num_negative);
+  size_t i = 0;
+  while (i < order.size()) {
+    const double threshold = oriented[order[i]];
+    // Consume the whole tie group before emitting a point so ties share one
+    // operating point (classify-positive-at-threshold includes all of them).
+    while (i < order.size() && oriented[order[i]] == threshold) {
+      if (labels[order[i]] == 1) {
+        ++true_positives;
+      } else {
+        ++false_positives;
+      }
+      ++i;
+    }
+    curve.push_back(RocPoint{threshold,
+                             static_cast<double>(false_positives) / n_neg,
+                             static_cast<double>(true_positives) / n_pos});
+  }
+  return curve;
+}
+
+double TrapezoidalArea(const std::vector<RocPoint>& curve) {
+  double area = 0.0;
+  for (size_t i = 1; i < curve.size(); ++i) {
+    const double width =
+        curve[i].false_positive_rate - curve[i - 1].false_positive_rate;
+    const double height =
+        (curve[i].true_positive_rate + curve[i - 1].true_positive_rate) / 2.0;
+    area += width * height;
+  }
+  return area;
+}
+
+}  // namespace eval
+}  // namespace churnlab

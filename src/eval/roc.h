@@ -1,0 +1,55 @@
+#ifndef CHURNLAB_EVAL_ROC_H_
+#define CHURNLAB_EVAL_ROC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace churnlab {
+namespace eval {
+
+/// Which direction of a score indicates the positive (defecting) class.
+/// The stability model emits *loyalty* scores (low stability = defecting,
+/// so kLowerIsPositive); the RFM baseline emits defection probabilities
+/// (kHigherIsPositive).
+enum class ScoreOrientation : uint8_t {
+  kHigherIsPositive = 0,
+  kLowerIsPositive = 1,
+};
+
+/// One operating point of a ROC curve.
+struct RocPoint {
+  /// Classify positive when the oriented score is >= this threshold.
+  double threshold = 0.0;
+  double false_positive_rate = 0.0;
+  double true_positive_rate = 0.0;
+};
+
+/// \brief Area under the ROC curve via the rank (Mann-Whitney U) statistic,
+/// with fractional ranks handling ties exactly.
+///
+/// `labels` are 0/1 with 1 = positive. Requires at least one example of
+/// each class (AUROC is undefined otherwise). The result is in [0, 1];
+/// 0.5 = chance.
+Result<double> Auroc(const std::vector<double>& scores,
+                     const std::vector<int>& labels,
+                     ScoreOrientation orientation);
+
+/// \brief Full ROC curve: one point per distinct score threshold, endpoints
+/// (0,0) and (1,1) included, ordered by ascending false-positive rate.
+///
+/// This is the curve whose area `Auroc` summarises and whose threshold
+/// sweep corresponds to the paper's beta parameter on customer stability.
+Result<std::vector<RocPoint>> RocCurve(const std::vector<double>& scores,
+                                       const std::vector<int>& labels,
+                                       ScoreOrientation orientation);
+
+/// Trapezoidal area under an ROC curve produced by RocCurve — used by tests
+/// to cross-check the rank-based Auroc.
+double TrapezoidalArea(const std::vector<RocPoint>& curve);
+
+}  // namespace eval
+}  // namespace churnlab
+
+#endif  // CHURNLAB_EVAL_ROC_H_

@@ -1,0 +1,101 @@
+#include "eval/threshold.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace churnlab {
+namespace eval {
+
+Result<std::vector<OperatingPoint>> EnumerateOperatingPoints(
+    const std::vector<double>& scores, const std::vector<int>& labels,
+    ScoreOrientation orientation) {
+  // Reuse the ROC machinery: every ROC point is one threshold.
+  CHURNLAB_ASSIGN_OR_RETURN(const std::vector<RocPoint> curve,
+                            RocCurve(scores, labels, orientation));
+  std::vector<OperatingPoint> points;
+  points.reserve(curve.size());
+  for (const RocPoint& roc_point : curve) {
+    // Skip the synthetic pre-curve point (threshold above every score).
+    // It predicts nothing positive; keep it anyway as the most
+    // conservative option with zero recall.
+    const double oriented_threshold = roc_point.threshold;
+    const double threshold =
+        orientation == ScoreOrientation::kHigherIsPositive
+            ? oriented_threshold
+            : -oriented_threshold;
+    CHURNLAB_ASSIGN_OR_RETURN(
+        const ConfusionMatrix confusion,
+        ConfusionAtThreshold(scores, labels, threshold, orientation));
+    OperatingPoint point;
+    point.threshold = threshold;
+    point.precision = confusion.Precision();
+    point.recall = confusion.Recall();
+    point.false_positive_rate = confusion.FalsePositiveRate();
+    point.f1 = confusion.F1();
+    point.accuracy = confusion.Accuracy();
+    points.push_back(point);
+  }
+  return points;
+}
+
+Result<OperatingPoint> SelectMaxF1(const std::vector<double>& scores,
+                                   const std::vector<int>& labels,
+                                   ScoreOrientation orientation) {
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const std::vector<OperatingPoint> points,
+      EnumerateOperatingPoints(scores, labels, orientation));
+  const OperatingPoint* best = &points.front();
+  for (const OperatingPoint& point : points) {
+    if (point.f1 > best->f1) best = &point;
+  }
+  return *best;
+}
+
+Result<OperatingPoint> SelectForRecall(const std::vector<double>& scores,
+                                       const std::vector<int>& labels,
+                                       ScoreOrientation orientation,
+                                       double target_recall) {
+  if (target_recall < 0.0 || target_recall > 1.0) {
+    return Status::InvalidArgument("target_recall must be in [0, 1]");
+  }
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const std::vector<OperatingPoint> points,
+      EnumerateOperatingPoints(scores, labels, orientation));
+  // Points are ordered conservative -> aggressive; recall is
+  // non-decreasing along that order. Take the first that reaches target.
+  for (const OperatingPoint& point : points) {
+    if (point.recall >= target_recall) return point;
+  }
+  return Status::NotFound("no threshold reaches recall " +
+                          std::to_string(target_recall));
+}
+
+Result<OperatingPoint> SelectForPrecision(const std::vector<double>& scores,
+                                          const std::vector<int>& labels,
+                                          ScoreOrientation orientation,
+                                          double target_precision) {
+  if (target_precision < 0.0 || target_precision > 1.0) {
+    return Status::InvalidArgument("target_precision must be in [0, 1]");
+  }
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const std::vector<OperatingPoint> points,
+      EnumerateOperatingPoints(scores, labels, orientation));
+  // Scan aggressive -> conservative, remember the most aggressive point
+  // meeting the precision bar (precision is not monotone, so scan all).
+  const OperatingPoint* best = nullptr;
+  for (const OperatingPoint& point : points) {
+    if (point.precision >= target_precision &&
+        (point.recall > 0.0 || point.precision > 0.0)) {
+      if (best == nullptr || point.recall > best->recall) best = &point;
+    }
+  }
+  if (best == nullptr) {
+    return Status::NotFound("no threshold reaches precision " +
+                            std::to_string(target_precision));
+  }
+  return *best;
+}
+
+}  // namespace eval
+}  // namespace churnlab

@@ -1,0 +1,56 @@
+#ifndef CHURNLAB_EVAL_THRESHOLD_H_
+#define CHURNLAB_EVAL_THRESHOLD_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "eval/metrics.h"
+#include "eval/roc.h"
+
+namespace churnlab {
+namespace eval {
+
+/// One classifier operating point: a threshold (the paper's beta on
+/// customer stability) and the metrics it induces.
+struct OperatingPoint {
+  double threshold = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double false_positive_rate = 0.0;
+  double f1 = 0.0;
+  double accuracy = 0.0;
+};
+
+/// All distinct operating points of a score set, ordered from the most
+/// conservative (fewest positive predictions) to the most aggressive.
+Result<std::vector<OperatingPoint>> EnumerateOperatingPoints(
+    const std::vector<double>& scores, const std::vector<int>& labels,
+    ScoreOrientation orientation);
+
+/// Picks the operating point with maximal F1 (ties: the more conservative
+/// one).
+Result<OperatingPoint> SelectMaxF1(const std::vector<double>& scores,
+                                   const std::vector<int>& labels,
+                                   ScoreOrientation orientation);
+
+/// Picks the most conservative operating point whose recall reaches
+/// `target_recall` — "catch at least X% of defectors with the fewest false
+/// alarms", the retention-campaign budgeting question. Fails when even the
+/// most aggressive threshold misses the target (only possible for
+/// target > 1).
+Result<OperatingPoint> SelectForRecall(const std::vector<double>& scores,
+                                       const std::vector<int>& labels,
+                                       ScoreOrientation orientation,
+                                       double target_recall);
+
+/// Picks the most aggressive operating point whose precision still reaches
+/// `target_precision`. Fails when no threshold achieves it.
+Result<OperatingPoint> SelectForPrecision(const std::vector<double>& scores,
+                                          const std::vector<int>& labels,
+                                          ScoreOrientation orientation,
+                                          double target_precision);
+
+}  // namespace eval
+}  // namespace churnlab
+
+#endif  // CHURNLAB_EVAL_THRESHOLD_H_

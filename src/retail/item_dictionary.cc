@@ -1,0 +1,33 @@
+#include "retail/item_dictionary.h"
+
+namespace churnlab {
+namespace retail {
+
+ItemId ItemDictionary::GetOrAdd(std::string_view name) {
+  const auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  const ItemId id = static_cast<ItemId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+ItemId ItemDictionary::Find(std::string_view name) const {
+  const auto it = index_.find(std::string(name));
+  return it == index_.end() ? kInvalidItem : it->second;
+}
+
+Result<std::string> ItemDictionary::Name(ItemId id) const {
+  if (id >= names_.size()) {
+    return Status::OutOfRange("unknown item id " + std::to_string(id));
+  }
+  return names_[id];
+}
+
+std::string ItemDictionary::NameOrPlaceholder(ItemId id) const {
+  if (id < names_.size()) return names_[id];
+  return "item#" + std::to_string(id);
+}
+
+}  // namespace retail
+}  // namespace churnlab

@@ -1,0 +1,55 @@
+#ifndef CHURNLAB_RETAIL_ITEM_DICTIONARY_H_
+#define CHURNLAB_RETAIL_ITEM_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "retail/types.h"
+
+namespace churnlab {
+namespace retail {
+
+/// \brief Interns product names to dense `ItemId`s (dictionary encoding).
+///
+/// Receipts store integer ids only; names live here once. Ids are assigned
+/// contiguously from 0 in first-seen order, so they can index plain vectors
+/// in the models.
+class ItemDictionary {
+ public:
+  ItemDictionary() = default;
+
+  /// Returns the id of `name`, interning it if new.
+  ItemId GetOrAdd(std::string_view name);
+
+  /// Returns the id of `name` or kInvalidItem if absent.
+  ItemId Find(std::string_view name) const;
+
+  /// True iff `name` is interned.
+  bool Contains(std::string_view name) const {
+    return Find(name) != kInvalidItem;
+  }
+
+  /// Name of `id`; fails with OutOfRange for unknown ids.
+  Result<std::string> Name(ItemId id) const;
+
+  /// Name of `id`; "item#<id>" for unknown ids (report-friendly).
+  std::string NameOrPlaceholder(ItemId id) const;
+
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+  /// All names, indexable by ItemId.
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, ItemId> index_;
+};
+
+}  // namespace retail
+}  // namespace churnlab
+
+#endif  // CHURNLAB_RETAIL_ITEM_DICTIONARY_H_

@@ -1,0 +1,109 @@
+#include "retail/taxonomy.h"
+
+namespace churnlab {
+namespace retail {
+
+DepartmentId Taxonomy::AddDepartment(std::string name) {
+  const DepartmentId id = static_cast<DepartmentId>(department_names_.size());
+  department_names_.push_back(std::move(name));
+  return id;
+}
+
+Result<SegmentId> Taxonomy::AddSegment(std::string name,
+                                       DepartmentId department) {
+  if (department >= department_names_.size()) {
+    return Status::OutOfRange("unknown department id " +
+                              std::to_string(department));
+  }
+  const SegmentId id = static_cast<SegmentId>(segment_names_.size());
+  segment_names_.push_back(std::move(name));
+  segment_department_.push_back(department);
+  return id;
+}
+
+Status Taxonomy::AssignItem(ItemId item, SegmentId segment) {
+  if (segment >= segment_names_.size()) {
+    return Status::OutOfRange("unknown segment id " + std::to_string(segment));
+  }
+  if (item >= item_segment_.size()) {
+    item_segment_.resize(item + 1, kInvalidSegment);
+  }
+  if (item_segment_[item] != kInvalidSegment) {
+    if (item_segment_[item] == segment) return Status::OK();
+    return Status::AlreadyExists(
+        "item " + std::to_string(item) + " already assigned to segment " +
+        std::to_string(item_segment_[item]));
+  }
+  item_segment_[item] = segment;
+  ++num_assigned_;
+  return Status::OK();
+}
+
+SegmentId Taxonomy::SegmentOf(ItemId item) const {
+  if (item >= item_segment_.size()) return kInvalidSegment;
+  return item_segment_[item];
+}
+
+Result<DepartmentId> Taxonomy::DepartmentOf(SegmentId segment) const {
+  if (segment >= segment_department_.size()) {
+    return Status::OutOfRange("unknown segment id " + std::to_string(segment));
+  }
+  return segment_department_[segment];
+}
+
+bool Taxonomy::HasItem(ItemId item) const {
+  return SegmentOf(item) != kInvalidSegment;
+}
+
+Result<std::string> Taxonomy::SegmentName(SegmentId segment) const {
+  if (segment >= segment_names_.size()) {
+    return Status::OutOfRange("unknown segment id " + std::to_string(segment));
+  }
+  return segment_names_[segment];
+}
+
+Result<std::string> Taxonomy::DepartmentName(DepartmentId department) const {
+  if (department >= department_names_.size()) {
+    return Status::OutOfRange("unknown department id " +
+                              std::to_string(department));
+  }
+  return department_names_[department];
+}
+
+std::string Taxonomy::SegmentNameOrPlaceholder(SegmentId segment) const {
+  if (segment < segment_names_.size()) return segment_names_[segment];
+  return "segment#" + std::to_string(segment);
+}
+
+std::vector<ItemId> Taxonomy::ItemsOfSegment(SegmentId segment) const {
+  std::vector<ItemId> items;
+  for (ItemId item = 0; item < item_segment_.size(); ++item) {
+    if (item_segment_[item] == segment) items.push_back(item);
+  }
+  return items;
+}
+
+Status Taxonomy::Validate() const {
+  if (segment_department_.size() != segment_names_.size()) {
+    return Status::Internal("segment arrays out of sync");
+  }
+  for (size_t s = 0; s < segment_department_.size(); ++s) {
+    if (segment_department_[s] >= department_names_.size()) {
+      return Status::Internal("segment " + std::to_string(s) +
+                              " references unknown department " +
+                              std::to_string(segment_department_[s]));
+    }
+  }
+  for (size_t i = 0; i < item_segment_.size(); ++i) {
+    const SegmentId s = item_segment_[i];
+    if (s != kInvalidSegment && s >= segment_names_.size()) {
+      return Status::Internal("item " + std::to_string(i) +
+                              " references unknown segment " +
+                              std::to_string(s));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace retail
+}  // namespace churnlab

@@ -1,0 +1,78 @@
+#ifndef CHURNLAB_RETAIL_TAXONOMY_H_
+#define CHURNLAB_RETAIL_TAXONOMY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "retail/types.h"
+
+namespace churnlab {
+namespace retail {
+
+/// \brief Three-level product taxonomy: product -> segment -> department.
+///
+/// The paper's retailer provides a taxonomy that "enables abstracting
+/// products in segments" (4M products grouped into 3,388 segments); the
+/// stability model is evaluated at segment granularity. This class stores
+/// the two upward mappings plus display names, and offers the abstraction
+/// operation models need (`SegmentOf`).
+///
+/// Segments and departments use dense ids assigned via AddDepartment /
+/// AddSegment; products are attached with AssignItem. The structure is
+/// append-only.
+class Taxonomy {
+ public:
+  Taxonomy() = default;
+
+  /// Registers a department, returning its id.
+  DepartmentId AddDepartment(std::string name);
+
+  /// Registers a segment under `department` (must exist), returning its id.
+  Result<SegmentId> AddSegment(std::string name, DepartmentId department);
+
+  /// Maps product `item` to `segment` (must exist). Re-assigning an item to
+  /// a different segment fails with AlreadyExists; assigning the same
+  /// segment twice is a no-op.
+  Status AssignItem(ItemId item, SegmentId segment);
+
+  /// Segment of `item`, or kInvalidSegment when the item was never assigned.
+  SegmentId SegmentOf(ItemId item) const;
+
+  /// Department of `segment`; fails with OutOfRange for unknown segments.
+  Result<DepartmentId> DepartmentOf(SegmentId segment) const;
+
+  /// True iff `item` has a segment assignment.
+  bool HasItem(ItemId item) const;
+
+  Result<std::string> SegmentName(SegmentId segment) const;
+  Result<std::string> DepartmentName(DepartmentId department) const;
+  std::string SegmentNameOrPlaceholder(SegmentId segment) const;
+
+  size_t num_departments() const { return department_names_.size(); }
+  size_t num_segments() const { return segment_names_.size(); }
+  /// Number of products with a segment assignment.
+  size_t num_assigned_items() const { return num_assigned_; }
+
+  /// Items of `segment` in id order (O(total items) scan; intended for
+  /// reports, not hot paths).
+  std::vector<ItemId> ItemsOfSegment(SegmentId segment) const;
+
+  /// Verifies referential integrity (every segment's department exists,
+  /// every assigned item's segment exists).
+  Status Validate() const;
+
+ private:
+  std::vector<std::string> department_names_;
+  std::vector<std::string> segment_names_;
+  std::vector<DepartmentId> segment_department_;
+  // Indexed by ItemId; kInvalidSegment = unassigned. Grown on demand.
+  std::vector<SegmentId> item_segment_;
+  size_t num_assigned_ = 0;
+};
+
+}  // namespace retail
+}  // namespace churnlab
+
+#endif  // CHURNLAB_RETAIL_TAXONOMY_H_

@@ -1,0 +1,78 @@
+#ifndef CHURNLAB_RETAIL_TYPES_H_
+#define CHURNLAB_RETAIL_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace churnlab {
+namespace retail {
+
+/// Dense identifier of a product (SKU). Ids are assigned by the
+/// ItemDictionary in insertion order.
+using ItemId = uint32_t;
+/// Identifier of a taxonomy segment (group of products).
+using SegmentId = uint32_t;
+/// Identifier of a taxonomy department (group of segments).
+using DepartmentId = uint32_t;
+/// Identifier of a customer. Customers need not be dense; the
+/// TransactionStore indexes them by hash.
+using CustomerId = uint32_t;
+
+inline constexpr ItemId kInvalidItem = std::numeric_limits<ItemId>::max();
+inline constexpr SegmentId kInvalidSegment =
+    std::numeric_limits<SegmentId>::max();
+inline constexpr CustomerId kInvalidCustomer =
+    std::numeric_limits<CustomerId>::max();
+
+/// Timestamps are day indices from the start of the observation period
+/// (day 0 = first day). The paper's dataset spans May 2012 - Aug 2014 in
+/// calendar months; we use fixed 30-day months, which keeps windowing exact
+/// and deterministic while preserving the month granularity of the paper's
+/// figures.
+using Day = int32_t;
+
+inline constexpr Day kDaysPerMonth = 30;
+
+/// Month index containing `day` (floor division; negative days map to
+/// negative months).
+constexpr int32_t DayToMonth(Day day) {
+  return day >= 0 ? day / kDaysPerMonth
+                  : -((-day + kDaysPerMonth - 1) / kDaysPerMonth);
+}
+
+/// First day of month `month`.
+constexpr Day MonthToFirstDay(int32_t month) { return month * kDaysPerMonth; }
+
+/// One timestamped shopping basket.
+///
+/// `items` is kept sorted and deduplicated by the TransactionStore
+/// (the stability model treats baskets as item *sets*, per the paper).
+/// `spend` is the basket's monetary total, used by the RFM baseline.
+struct Receipt {
+  CustomerId customer = kInvalidCustomer;
+  Day day = 0;
+  double spend = 0.0;
+  std::vector<ItemId> items;
+};
+
+/// Ground-truth cohort of a customer, mirroring the labels the paper's
+/// retailer provided (loyal vs loyal-but-defected-in-the-last-6-months).
+enum class Cohort : uint8_t {
+  kUnlabeled = 0,
+  kLoyal = 1,
+  kDefecting = 2,
+};
+
+/// Granularity at which models observe purchases: raw products, or products
+/// abstracted into taxonomy segments (the paper's experiments run at segment
+/// level: 4M products -> 3,388 segments).
+enum class Granularity : uint8_t {
+  kProduct = 0,
+  kSegment = 1,
+};
+
+}  // namespace retail
+}  // namespace churnlab
+
+#endif  // CHURNLAB_RETAIL_TYPES_H_

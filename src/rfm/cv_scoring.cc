@@ -1,0 +1,94 @@
+#include "rfm/cv_scoring.h"
+
+#include "common/kfold.h"
+#include "common/macros.h"
+#include "rfm/scaler.h"
+
+namespace churnlab {
+namespace rfm {
+
+namespace {
+Status FitAndScore(const std::vector<std::vector<double>>& design,
+                   const std::vector<int>& targets,
+                   const std::vector<size_t>& matrix_rows,
+                   const std::vector<size_t>& train_positions,
+                   const std::vector<size_t>& test_positions,
+                   const LogisticRegressionOptions& logistic_options,
+                   int32_t window, core::ScoreMatrix* matrix) {
+  std::vector<std::vector<double>> train_rows;
+  std::vector<int> train_labels;
+  train_rows.reserve(train_positions.size());
+  train_labels.reserve(train_positions.size());
+  for (const size_t position : train_positions) {
+    train_rows.push_back(design[position]);
+    train_labels.push_back(targets[position]);
+  }
+  StandardScaler scaler;
+  CHURNLAB_RETURN_NOT_OK(scaler.Fit(train_rows));
+  CHURNLAB_RETURN_NOT_OK(scaler.Transform(&train_rows));
+  LogisticRegression model(logistic_options);
+  CHURNLAB_RETURN_NOT_OK(model.Fit(train_rows, train_labels));
+  for (const size_t position : test_positions) {
+    std::vector<double> row = design[position];
+    CHURNLAB_RETURN_NOT_OK(scaler.Transform(&row));
+    matrix->Set(matrix_rows[position], window, model.PredictProbability(row));
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Status ScoreWindowWithCv(
+    const std::vector<std::vector<double>>& labelled_design,
+    const std::vector<int>& targets,
+    const std::vector<size_t>& labelled_rows,
+    const std::vector<std::vector<double>>& unlabelled_design,
+    const std::vector<size_t>& unlabelled_rows,
+    const LogisticRegressionOptions& logistic_options, size_t cv_folds,
+    uint64_t cv_seed, bool cross_validate, int32_t window,
+    core::ScoreMatrix* matrix) {
+  if (labelled_design.empty()) {
+    return Status::InvalidArgument("no labelled examples to train on");
+  }
+  if (labelled_design.size() != targets.size() ||
+      labelled_design.size() != labelled_rows.size() ||
+      unlabelled_design.size() != unlabelled_rows.size()) {
+    return Status::InvalidArgument("design/target/row size mismatch");
+  }
+
+  if (cross_validate) {
+    CHURNLAB_ASSIGN_OR_RETURN(const StratifiedKFold folds,
+                              StratifiedKFold::Make(targets, cv_folds,
+                                                    cv_seed));
+    for (size_t fold = 0; fold < folds.num_folds(); ++fold) {
+      CHURNLAB_RETURN_NOT_OK(FitAndScore(
+          labelled_design, targets, labelled_rows, folds.TrainIndices(fold),
+          folds.TestIndices(fold), logistic_options, window, matrix));
+    }
+  } else {
+    std::vector<size_t> all_positions(labelled_design.size());
+    for (size_t i = 0; i < all_positions.size(); ++i) all_positions[i] = i;
+    CHURNLAB_RETURN_NOT_OK(FitAndScore(labelled_design, targets,
+                                       labelled_rows, all_positions,
+                                       all_positions, logistic_options,
+                                       window, matrix));
+  }
+
+  if (!unlabelled_design.empty()) {
+    // Full model over every labelled row scores the unlabelled ones.
+    std::vector<std::vector<double>> train_rows = labelled_design;
+    StandardScaler scaler;
+    CHURNLAB_RETURN_NOT_OK(scaler.Fit(train_rows));
+    CHURNLAB_RETURN_NOT_OK(scaler.Transform(&train_rows));
+    LogisticRegression model(logistic_options);
+    CHURNLAB_RETURN_NOT_OK(model.Fit(train_rows, targets));
+    for (size_t i = 0; i < unlabelled_design.size(); ++i) {
+      std::vector<double> row = unlabelled_design[i];
+      CHURNLAB_RETURN_NOT_OK(scaler.Transform(&row));
+      matrix->Set(unlabelled_rows[i], window, model.PredictProbability(row));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rfm
+}  // namespace churnlab

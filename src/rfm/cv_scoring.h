@@ -1,0 +1,39 @@
+#ifndef CHURNLAB_RFM_CV_SCORING_H_
+#define CHURNLAB_RFM_CV_SCORING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/score_matrix.h"
+#include "rfm/logistic.h"
+
+namespace churnlab {
+namespace rfm {
+
+/// \brief Shared out-of-fold scoring step for the trained baselines
+/// (RfmModel, SequenceModel).
+///
+/// For one window: standardises features on each training fold, fits a
+/// logistic regression, writes out-of-fold P(defecting) for labelled rows
+/// and full-model probabilities for unlabelled rows into `matrix` at
+/// column `window`. When `cross_validate` is false (too few labelled
+/// examples for honest folds), labelled rows are scored in-sample instead.
+///
+/// `labelled_design[i]` is the feature row of the example whose ScoreMatrix
+/// row is `labelled_rows[i]` and whose 0/1 target is `targets[i]`;
+/// `unlabelled_design` / `unlabelled_rows` likewise.
+Status ScoreWindowWithCv(const std::vector<std::vector<double>>& labelled_design,
+                         const std::vector<int>& targets,
+                         const std::vector<size_t>& labelled_rows,
+                         const std::vector<std::vector<double>>& unlabelled_design,
+                         const std::vector<size_t>& unlabelled_rows,
+                         const LogisticRegressionOptions& logistic_options,
+                         size_t cv_folds, uint64_t cv_seed,
+                         bool cross_validate, int32_t window,
+                         core::ScoreMatrix* matrix);
+
+}  // namespace rfm
+}  // namespace churnlab
+
+#endif  // CHURNLAB_RFM_CV_SCORING_H_

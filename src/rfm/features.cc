@@ -1,0 +1,160 @@
+#include "rfm/features.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/macros.h"
+
+namespace churnlab {
+namespace rfm {
+
+RfmFeatureMatrix::RfmFeatureMatrix(std::vector<retail::CustomerId> customers,
+                                   int32_t num_windows, size_t num_features)
+    : customers_(std::move(customers)),
+      num_windows_(num_windows),
+      num_features_(num_features) {
+  assert(num_windows >= 0);
+  values_.assign(customers_.size() * static_cast<size_t>(num_windows_) *
+                     num_features_,
+                 0.0);
+}
+
+double* RfmFeatureMatrix::Features(size_t row, int32_t window) {
+  assert(row < customers_.size());
+  assert(window >= 0 && window < num_windows_);
+  return values_.data() +
+         (row * static_cast<size_t>(num_windows_) +
+          static_cast<size_t>(window)) *
+             num_features_;
+}
+
+const double* RfmFeatureMatrix::Features(size_t row, int32_t window) const {
+  return const_cast<RfmFeatureMatrix*>(this)->Features(row, window);
+}
+
+std::vector<double> RfmFeatureMatrix::FeatureVector(size_t row,
+                                                    int32_t window) const {
+  const double* begin = Features(row, window);
+  return std::vector<double>(begin, begin + num_features_);
+}
+
+Result<RfmFeatureExtractor> RfmFeatureExtractor::Make(
+    RfmFeatureOptions options) {
+  if (options.window_span_months <= 0) {
+    return Status::InvalidArgument("window_span_months must be positive");
+  }
+  if (!options.use_recency && !options.use_frequency &&
+      !options.use_monetary) {
+    return Status::InvalidArgument(
+        "at least one RFM feature family must be enabled");
+  }
+  return RfmFeatureExtractor(options);
+}
+
+std::vector<std::string> RfmFeatureExtractor::FeatureNames() const {
+  std::vector<std::string> names;
+  if (options_.use_recency) {
+    names.push_back("recency_days");
+    names.push_back("recency_over_mean_gap");
+  }
+  if (options_.use_frequency) {
+    names.push_back("frequency_window");
+    names.push_back("frequency_mean_history");
+  }
+  if (options_.use_monetary) {
+    names.push_back("monetary_window");
+    names.push_back("monetary_mean_history");
+  }
+  return names;
+}
+
+size_t RfmFeatureExtractor::NumFeatures() const {
+  return FeatureNames().size();
+}
+
+int32_t RfmFeatureExtractor::NumWindowsFor(
+    const retail::Dataset& dataset) const {
+  if (options_.num_windows >= 0) return options_.num_windows;
+  const retail::Day span_days =
+      options_.window_span_months * retail::kDaysPerMonth;
+  const retail::Day last_day = dataset.store().max_day();
+  if (last_day < 0) return 0;
+  return last_day / span_days + 1;
+}
+
+Result<RfmFeatureMatrix> RfmFeatureExtractor::Extract(
+    const retail::Dataset& dataset) const {
+  if (!dataset.store().finalized()) {
+    return Status::InvalidArgument("dataset store is not finalized");
+  }
+  const retail::Day span_days =
+      options_.window_span_months * retail::kDaysPerMonth;
+  const int32_t num_windows = NumWindowsFor(dataset);
+  const std::vector<retail::CustomerId>& customers =
+      dataset.store().Customers();
+
+  RfmFeatureMatrix matrix(customers, num_windows, NumFeatures());
+
+  for (size_t row = 0; row < customers.size(); ++row) {
+    const auto receipts = dataset.store().History(customers[row]);
+    size_t next_receipt = 0;
+
+    // Running history state up to the current window end.
+    retail::Day last_receipt_day = -1;
+    retail::Day first_receipt_day = -1;
+    size_t receipts_so_far = 0;
+    double spend_so_far = 0.0;
+
+    for (int32_t k = 0; k < num_windows; ++k) {
+      const retail::Day window_end = (k + 1) * span_days;  // exclusive
+      size_t receipts_in_window = 0;
+      double spend_in_window = 0.0;
+      while (next_receipt < receipts.size() &&
+             receipts[next_receipt].day < window_end) {
+        const retail::Receipt& receipt = receipts[next_receipt];
+        if (first_receipt_day < 0) first_receipt_day = receipt.day;
+        last_receipt_day = receipt.day;
+        ++receipts_so_far;
+        spend_so_far += receipt.spend;
+        ++receipts_in_window;
+        spend_in_window += receipt.spend;
+        ++next_receipt;
+      }
+
+      double* out = matrix.Features(row, k);
+      size_t f = 0;
+      if (options_.use_recency) {
+        // Customers never seen get the maximal recency (whole span so far).
+        const double recency_days =
+            last_receipt_day < 0
+                ? static_cast<double>(window_end)
+                : static_cast<double>(window_end - 1 - last_receipt_day);
+        out[f++] = recency_days;
+        double mean_gap;
+        if (receipts_so_far >= 2) {
+          mean_gap = static_cast<double>(last_receipt_day -
+                                         first_receipt_day) /
+                     static_cast<double>(receipts_so_far - 1);
+          mean_gap = std::max(mean_gap, 0.5);
+        } else {
+          mean_gap = static_cast<double>(span_days);
+        }
+        out[f++] = recency_days / mean_gap;
+      }
+      if (options_.use_frequency) {
+        out[f++] = static_cast<double>(receipts_in_window);
+        out[f++] = static_cast<double>(receipts_so_far) /
+                   static_cast<double>(k + 1);
+      }
+      if (options_.use_monetary) {
+        out[f++] = spend_in_window;
+        out[f++] = spend_so_far / static_cast<double>(k + 1);
+      }
+      assert(f == NumFeatures());
+    }
+  }
+  return matrix;
+}
+
+}  // namespace rfm
+}  // namespace churnlab

@@ -1,0 +1,94 @@
+#ifndef CHURNLAB_RFM_FEATURES_H_
+#define CHURNLAB_RFM_FEATURES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "retail/dataset.h"
+#include "retail/types.h"
+
+namespace churnlab {
+namespace rfm {
+
+/// Which predictor families to extract — the R, F and M of Shepard's RFM
+/// model, per Buckinx & Van den Poel 2005. Ablation benches toggle these.
+struct RfmFeatureOptions {
+  /// Window span in months; aligned with the stability model's windows so
+  /// both models are evaluated at the same instants.
+  int32_t window_span_months = 2;
+  /// Number of windows; negative = cover the dataset.
+  int32_t num_windows = -1;
+  bool use_recency = true;
+  bool use_frequency = true;
+  bool use_monetary = true;
+};
+
+/// Per-customer, per-window feature rows.
+///
+/// Features at window k describe behaviour observed in [0, end of window k)
+/// — everything an analyst would know at that instant:
+///  - recency:   days between the last receipt and the window end, and the
+///               same normalised by the customer's mean inter-purchase gap;
+///  - frequency: receipts inside window k, and mean receipts per window
+///               over the history so far;
+///  - monetary:  spend inside window k, and mean spend per window so far.
+class RfmFeatureMatrix {
+ public:
+  RfmFeatureMatrix(std::vector<retail::CustomerId> customers,
+                   int32_t num_windows, size_t num_features);
+
+  size_t num_rows() const { return customers_.size(); }
+  int32_t num_windows() const { return num_windows_; }
+  size_t num_features() const { return num_features_; }
+
+  const std::vector<retail::CustomerId>& customers() const {
+    return customers_;
+  }
+
+  /// Feature vector of (row, window) as a mutable pointer of
+  /// num_features() doubles.
+  double* Features(size_t row, int32_t window);
+  const double* Features(size_t row, int32_t window) const;
+
+  /// Copies one (row, window) feature vector.
+  std::vector<double> FeatureVector(size_t row, int32_t window) const;
+
+ private:
+  std::vector<retail::CustomerId> customers_;
+  int32_t num_windows_ = 0;
+  size_t num_features_ = 0;
+  std::vector<double> values_;  // [row][window][feature]
+};
+
+/// \brief Extracts RFM feature matrices from a dataset.
+class RfmFeatureExtractor {
+ public:
+  /// Validates options (at least one family enabled, positive span).
+  static Result<RfmFeatureExtractor> Make(RfmFeatureOptions options);
+
+  /// Names of the extracted features, in column order.
+  std::vector<std::string> FeatureNames() const;
+
+  size_t NumFeatures() const;
+
+  /// Number of windows materialised for `dataset`.
+  int32_t NumWindowsFor(const retail::Dataset& dataset) const;
+
+  /// Extracts features for every customer and window.
+  Result<RfmFeatureMatrix> Extract(const retail::Dataset& dataset) const;
+
+  const RfmFeatureOptions& options() const { return options_; }
+
+ private:
+  explicit RfmFeatureExtractor(RfmFeatureOptions options)
+      : options_(options) {}
+
+  RfmFeatureOptions options_;
+};
+
+}  // namespace rfm
+}  // namespace churnlab
+
+#endif  // CHURNLAB_RFM_FEATURES_H_

@@ -1,0 +1,183 @@
+#include "rfm/logistic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/math_util.h"
+
+namespace churnlab {
+namespace rfm {
+
+namespace {
+Status ValidateTrainingData(const std::vector<std::vector<double>>& rows,
+                            const std::vector<int>& labels) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("no training rows");
+  }
+  if (rows.size() != labels.size()) {
+    return Status::InvalidArgument("rows / labels size mismatch");
+  }
+  const size_t width = rows.front().size();
+  for (const std::vector<double>& row : rows) {
+    if (row.size() != width) {
+      return Status::InvalidArgument("ragged training rows");
+    }
+    for (const double v : row) {
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument("non-finite feature value");
+      }
+    }
+  }
+  for (const int label : labels) {
+    if (label != 0 && label != 1) {
+      return Status::InvalidArgument("labels must be 0 or 1");
+    }
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Status LogisticRegression::Fit(const std::vector<std::vector<double>>& rows,
+                               const std::vector<int>& labels) {
+  CHURNLAB_RETURN_NOT_OK(ValidateTrainingData(rows, labels));
+  weights_.assign(rows.front().size(), 0.0);
+  intercept_ = 0.0;
+  fitted_ = false;
+  Status status = options_.solver == LogisticSolver::kIrls
+                      ? FitIrls(rows, labels)
+                      : FitGradientDescent(rows, labels);
+  if (!status.ok()) return status;
+  fitted_ = true;
+  final_loss_ = ComputeLoss(rows, labels);
+  return Status::OK();
+}
+
+double LogisticRegression::DecisionFunction(
+    const std::vector<double>& features) const {
+  assert(features.size() == weights_.size());
+  return Dot(weights_, features) + intercept_;
+}
+
+double LogisticRegression::PredictProbability(
+    const std::vector<double>& features) const {
+  return Sigmoid(DecisionFunction(features));
+}
+
+double LogisticRegression::ComputeLoss(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<int>& labels) const {
+  double loss = 0.0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const double z = DecisionFunction(rows[i]);
+    // -log p(y|z) = log(1+exp(z)) - y z, numerically stable via Log1pExp.
+    loss += Log1pExp(z) - (labels[i] == 1 ? z : 0.0);
+  }
+  loss /= static_cast<double>(rows.size());
+  double penalty = 0.0;
+  for (const double w : weights_) penalty += w * w;
+  return loss + 0.5 * options_.l2 * penalty;
+}
+
+Status LogisticRegression::FitIrls(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<int>& labels) {
+  const size_t n = rows.size();
+  const size_t d = weights_.size();
+  const size_t dim = d + 1;  // parameters: weights + intercept (last slot)
+
+  std::vector<double> gradient(dim, 0.0);
+  std::vector<double> hessian(dim * dim, 0.0);
+
+  for (iterations_used_ = 0; iterations_used_ < options_.max_iterations;
+       ++iterations_used_) {
+    std::fill(gradient.begin(), gradient.end(), 0.0);
+    std::fill(hessian.begin(), hessian.end(), 0.0);
+
+    for (size_t i = 0; i < n; ++i) {
+      const double p = PredictProbability(rows[i]);
+      const double residual = p - static_cast<double>(labels[i]);
+      // IRLS weight; floor keeps the Hessian positive definite when the
+      // classes separate perfectly.
+      const double w = std::max(p * (1.0 - p), 1e-10);
+      for (size_t a = 0; a < d; ++a) {
+        gradient[a] += residual * rows[i][a];
+        for (size_t b = a; b < d; ++b) {
+          hessian[a * dim + b] += w * rows[i][a] * rows[i][b];
+        }
+        hessian[a * dim + d] += w * rows[i][a];
+      }
+      gradient[d] += residual;
+      hessian[d * dim + d] += w;
+    }
+
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (size_t a = 0; a < dim; ++a) gradient[a] *= inv_n;
+    for (size_t a = 0; a < dim; ++a) {
+      for (size_t b = a; b < dim; ++b) {
+        hessian[a * dim + b] *= inv_n;
+        hessian[b * dim + a] = hessian[a * dim + b];
+      }
+    }
+    // L2 term (weights only, not intercept).
+    for (size_t a = 0; a < d; ++a) {
+      gradient[a] += options_.l2 * weights_[a];
+      hessian[a * dim + a] += options_.l2;
+    }
+    // Tiny ridge on the full Hessian for numerical safety.
+    for (size_t a = 0; a < dim; ++a) hessian[a * dim + a] += 1e-12;
+
+    CHURNLAB_ASSIGN_OR_RETURN(const std::vector<double> step,
+                              SolveLinearSystem(hessian, gradient));
+    double max_update = 0.0;
+    for (size_t a = 0; a < d; ++a) {
+      weights_[a] -= step[a];
+      max_update = std::max(max_update, std::abs(step[a]));
+    }
+    intercept_ -= step[d];
+    max_update = std::max(max_update, std::abs(step[d]));
+    if (max_update < options_.tolerance) {
+      ++iterations_used_;
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status LogisticRegression::FitGradientDescent(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<int>& labels) {
+  const size_t n = rows.size();
+  const size_t d = weights_.size();
+  std::vector<double> gradient(d + 1, 0.0);
+
+  for (iterations_used_ = 0; iterations_used_ < options_.max_iterations;
+       ++iterations_used_) {
+    std::fill(gradient.begin(), gradient.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const double residual =
+          PredictProbability(rows[i]) - static_cast<double>(labels[i]);
+      for (size_t a = 0; a < d; ++a) gradient[a] += residual * rows[i][a];
+      gradient[d] += residual;
+    }
+    const double inv_n = 1.0 / static_cast<double>(n);
+    double max_update = 0.0;
+    for (size_t a = 0; a < d; ++a) {
+      const double g = gradient[a] * inv_n + options_.l2 * weights_[a];
+      weights_[a] -= options_.learning_rate * g;
+      max_update = std::max(max_update, std::abs(options_.learning_rate * g));
+    }
+    const double g0 = gradient[d] * inv_n;
+    intercept_ -= options_.learning_rate * g0;
+    max_update = std::max(max_update, std::abs(options_.learning_rate * g0));
+    if (max_update < options_.tolerance) {
+      ++iterations_used_;
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rfm
+}  // namespace churnlab

@@ -1,0 +1,90 @@
+#ifndef CHURNLAB_RFM_LOGISTIC_H_
+#define CHURNLAB_RFM_LOGISTIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace churnlab {
+namespace rfm {
+
+/// Training algorithm for the logistic solver.
+enum class LogisticSolver : uint8_t {
+  /// Newton / iteratively-reweighted least squares. Quadratic convergence;
+  /// the default for RFM's handful of features.
+  kIrls = 0,
+  /// Plain batch gradient descent with a fixed learning rate. Used as a
+  /// fallback and by tests as an independent cross-check of IRLS.
+  kGradientDescent = 1,
+};
+
+struct LogisticRegressionOptions {
+  LogisticSolver solver = LogisticSolver::kIrls;
+  /// L2 penalty on the weights (not the intercept).
+  double l2 = 1e-3;
+  size_t max_iterations = 100;
+  /// Convergence threshold on the max absolute parameter update.
+  double tolerance = 1e-8;
+  /// Gradient-descent step size (ignored by IRLS).
+  double learning_rate = 0.1;
+};
+
+/// \brief Binary L2-regularised logistic regression, the model class of the
+/// paper's RFM baseline ("built using a logistic regression on these three
+/// types of variables").
+///
+/// \code
+///   LogisticRegression model(options);
+///   CHURNLAB_RETURN_NOT_OK(model.Fit(rows, labels));
+///   double p = model.PredictProbability(features);
+/// \endcode
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(LogisticRegressionOptions options = {})
+      : options_(options) {}
+
+  /// Fits on `rows` (one feature vector per example, all the same width)
+  /// and binary `labels` (0/1). Inputs are used as-is; standardise first
+  /// (see StandardScaler). Fails on empty/ragged input, labels of one
+  /// class only is allowed (the intercept absorbs it).
+  Status Fit(const std::vector<std::vector<double>>& rows,
+             const std::vector<int>& labels);
+
+  /// P(label = 1 | features). Requires a successful Fit.
+  double PredictProbability(const std::vector<double>& features) const;
+
+  /// Decision-function value w . x + b.
+  double DecisionFunction(const std::vector<double>& features) const;
+
+  bool fitted() const { return fitted_; }
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+  /// Iterations the last Fit used.
+  size_t iterations_used() const { return iterations_used_; }
+
+  /// Mean negative log-likelihood (with L2 term) of the last Fit's data at
+  /// the current parameters — exposed for convergence tests.
+  double final_loss() const { return final_loss_; }
+
+ private:
+  Status FitIrls(const std::vector<std::vector<double>>& rows,
+                 const std::vector<int>& labels);
+  Status FitGradientDescent(const std::vector<std::vector<double>>& rows,
+                            const std::vector<int>& labels);
+  double ComputeLoss(const std::vector<std::vector<double>>& rows,
+                     const std::vector<int>& labels) const;
+
+  LogisticRegressionOptions options_;
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+  bool fitted_ = false;
+  size_t iterations_used_ = 0;
+  double final_loss_ = 0.0;
+};
+
+}  // namespace rfm
+}  // namespace churnlab
+
+#endif  // CHURNLAB_RFM_LOGISTIC_H_

@@ -1,0 +1,77 @@
+#include "rfm/rfm_model.h"
+
+#include <vector>
+
+#include "common/macros.h"
+#include "rfm/cv_scoring.h"
+
+namespace churnlab {
+namespace rfm {
+
+Result<RfmModel> RfmModel::Make(RfmModelOptions options) {
+  if (options.cv_folds < 2) {
+    return Status::InvalidArgument("cv_folds must be >= 2");
+  }
+  CHURNLAB_ASSIGN_OR_RETURN(RfmFeatureExtractor extractor,
+                            RfmFeatureExtractor::Make(options.features));
+  return RfmModel(options, std::move(extractor));
+}
+
+int32_t RfmModel::NumWindowsFor(const retail::Dataset& dataset) const {
+  return extractor_.NumWindowsFor(dataset);
+}
+
+Result<core::ScoreMatrix> RfmModel::ScoreDataset(
+    const retail::Dataset& dataset) const {
+  CHURNLAB_ASSIGN_OR_RETURN(const RfmFeatureMatrix features,
+                            extractor_.Extract(dataset));
+  const std::vector<retail::CustomerId>& customers = features.customers();
+  const int32_t num_windows = features.num_windows();
+  core::ScoreMatrix matrix(customers, num_windows);
+
+  // Split rows into labelled (train pool) and unlabelled.
+  std::vector<size_t> labelled_rows;
+  std::vector<int> labelled_targets;
+  std::vector<size_t> unlabelled_rows;
+  size_t positives = 0;
+  for (size_t row = 0; row < customers.size(); ++row) {
+    const retail::Cohort cohort = dataset.LabelOf(customers[row]).cohort;
+    if (cohort == retail::Cohort::kUnlabeled) {
+      unlabelled_rows.push_back(row);
+    } else {
+      labelled_rows.push_back(row);
+      const int target = cohort == retail::Cohort::kDefecting ? 1 : 0;
+      positives += static_cast<size_t>(target);
+      labelled_targets.push_back(target);
+    }
+  }
+  if (labelled_rows.empty()) {
+    return Status::InvalidArgument(
+        "RFM baseline needs labelled customers to train on");
+  }
+  const size_t negatives = labelled_rows.size() - positives;
+  const bool can_cross_validate = positives >= options_.cv_folds &&
+                                  negatives >= options_.cv_folds;
+
+  for (int32_t window = 0; window < num_windows; ++window) {
+    // Materialise this window's design matrices once.
+    std::vector<std::vector<double>> labelled_design;
+    labelled_design.reserve(labelled_rows.size());
+    for (const size_t row : labelled_rows) {
+      labelled_design.push_back(features.FeatureVector(row, window));
+    }
+    std::vector<std::vector<double>> unlabelled_design;
+    unlabelled_design.reserve(unlabelled_rows.size());
+    for (const size_t row : unlabelled_rows) {
+      unlabelled_design.push_back(features.FeatureVector(row, window));
+    }
+    CHURNLAB_RETURN_NOT_OK(ScoreWindowWithCv(
+        labelled_design, labelled_targets, labelled_rows, unlabelled_design,
+        unlabelled_rows, options_.logistic, options_.cv_folds,
+        options_.cv_seed, can_cross_validate, window, &matrix));
+  }
+  return matrix;
+}
+
+}  // namespace rfm
+}  // namespace churnlab

@@ -1,0 +1,62 @@
+#ifndef CHURNLAB_RFM_RFM_MODEL_H_
+#define CHURNLAB_RFM_RFM_MODEL_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/score_matrix.h"
+#include "retail/dataset.h"
+#include "rfm/features.h"
+#include "rfm/logistic.h"
+
+namespace churnlab {
+namespace rfm {
+
+/// Configuration of the RFM baseline (Buckinx & Van den Poel 2005, as
+/// described in section 3.1 of the paper: "a logistic regression on these
+/// three types of variables").
+struct RfmModelOptions {
+  RfmFeatureOptions features;
+  LogisticRegressionOptions logistic;
+  /// Folds for out-of-fold scoring of labelled customers (paper: 5).
+  size_t cv_folds = 5;
+  uint64_t cv_seed = 1234;
+};
+
+/// \brief The RFM attrition baseline with honest cross-validated scoring.
+///
+/// For each window k the model extracts R/F/M features from behaviour up to
+/// the window's end, standardises them, and fits a logistic regression of
+/// cohort (loyal = 0, defecting = 1) on the features. Labelled customers
+/// receive *out-of-fold* probabilities (each fold scored by a model that
+/// never saw it); unlabelled customers are scored by a model trained on all
+/// labelled rows.
+///
+/// Scores are P(defecting): **higher = more likely defecting** — the
+/// opposite orientation of StabilityModel's scores. Evaluation code passes
+/// the orientation explicitly (see eval::AurocOptions).
+class RfmModel {
+ public:
+  static Result<RfmModel> Make(RfmModelOptions options);
+
+  int32_t NumWindowsFor(const retail::Dataset& dataset) const;
+
+  /// Scores every customer at every window. Requires a finalized dataset
+  /// with at least cv_folds labelled customers of each cohort; with fewer,
+  /// it degrades to in-sample scoring (train on all labelled rows).
+  Result<core::ScoreMatrix> ScoreDataset(const retail::Dataset& dataset) const;
+
+  const RfmModelOptions& options() const { return options_; }
+
+ private:
+  explicit RfmModel(RfmModelOptions options, RfmFeatureExtractor extractor)
+      : options_(options), extractor_(std::move(extractor)) {}
+
+  RfmModelOptions options_;
+  RfmFeatureExtractor extractor_;
+};
+
+}  // namespace rfm
+}  // namespace churnlab
+
+#endif  // CHURNLAB_RFM_RFM_MODEL_H_

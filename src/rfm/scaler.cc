@@ -1,0 +1,62 @@
+#include "rfm/scaler.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace churnlab {
+namespace rfm {
+
+Status StandardScaler::Fit(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("cannot fit scaler on zero rows");
+  }
+  const size_t width = rows.front().size();
+  means_.assign(width, 0.0);
+  scales_.assign(width, 1.0);
+  for (const std::vector<double>& row : rows) {
+    if (row.size() != width) {
+      means_.clear();
+      scales_.clear();
+      return Status::InvalidArgument("ragged feature rows");
+    }
+    for (size_t j = 0; j < width; ++j) means_[j] += row[j];
+  }
+  const double n = static_cast<double>(rows.size());
+  for (double& mean : means_) mean /= n;
+  std::vector<double> sq(width, 0.0);
+  for (const std::vector<double>& row : rows) {
+    for (size_t j = 0; j < width; ++j) {
+      const double centered = row[j] - means_[j];
+      sq[j] += centered * centered;
+    }
+  }
+  for (size_t j = 0; j < width; ++j) {
+    const double stddev = std::sqrt(sq[j] / n);
+    scales_[j] = stddev > 1e-12 ? stddev : 1.0;
+  }
+  return Status::OK();
+}
+
+Status StandardScaler::Transform(std::vector<double>* row) const {
+  if (!fitted()) {
+    return Status::InvalidArgument("scaler not fitted");
+  }
+  if (row->size() != means_.size()) {
+    return Status::InvalidArgument("row width does not match scaler");
+  }
+  for (size_t j = 0; j < row->size(); ++j) {
+    (*row)[j] = ((*row)[j] - means_[j]) / scales_[j];
+  }
+  return Status::OK();
+}
+
+Status StandardScaler::Transform(std::vector<std::vector<double>>* rows) const {
+  for (std::vector<double>& row : *rows) {
+    CHURNLAB_RETURN_NOT_OK(Transform(&row));
+  }
+  return Status::OK();
+}
+
+}  // namespace rfm
+}  // namespace churnlab

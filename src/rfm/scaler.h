@@ -1,0 +1,41 @@
+#ifndef CHURNLAB_RFM_SCALER_H_
+#define CHURNLAB_RFM_SCALER_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace churnlab {
+namespace rfm {
+
+/// \brief Per-feature standardisation (zero mean, unit variance) fitted on
+/// training rows and applied to train and test alike — keeps the logistic
+/// solver well-conditioned regardless of feature units (days vs euros).
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+
+  /// Computes per-column mean and standard deviation from `rows` (all rows
+  /// must share one width). Constant columns get scale 1 (they transform to
+  /// zero). Fails on empty or ragged input.
+  Status Fit(const std::vector<std::vector<double>>& rows);
+
+  /// Transforms one row in place. Requires Fit; width must match.
+  Status Transform(std::vector<double>* row) const;
+
+  /// Transforms many rows in place.
+  Status Transform(std::vector<std::vector<double>>* rows) const;
+
+  bool fitted() const { return !means_.empty(); }
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& scales() const { return scales_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> scales_;
+};
+
+}  // namespace rfm
+}  // namespace churnlab
+
+#endif  // CHURNLAB_RFM_SCALER_H_

@@ -1,0 +1,230 @@
+#include "rfm/sequence_model.h"
+
+#include <algorithm>
+#include <set>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "rfm/cv_scoring.h"
+
+namespace churnlab {
+namespace rfm {
+
+std::vector<std::string> SequenceModel::FeatureNames() {
+  return {"jaccard_last_vs_profile", "profile_coverage",
+          "off_profile_fraction",    "recent_basket_ratio",
+          "receipts_in_window"};
+}
+
+Result<SequenceModel> SequenceModel::Make(SequenceModelOptions options) {
+  if (options.window_span_months <= 0) {
+    return Status::InvalidArgument("window_span_months must be positive");
+  }
+  if (options.last_receipts == 0) {
+    return Status::InvalidArgument("last_receipts must be positive");
+  }
+  if (options.profile_segments == 0) {
+    return Status::InvalidArgument("profile_segments must be positive");
+  }
+  if (options.cv_folds < 2) {
+    return Status::InvalidArgument("cv_folds must be >= 2");
+  }
+  return SequenceModel(options);
+}
+
+int32_t SequenceModel::NumWindowsFor(const retail::Dataset& dataset) const {
+  if (options_.num_windows >= 0) return options_.num_windows;
+  const retail::Day span_days =
+      options_.window_span_months * retail::kDaysPerMonth;
+  const retail::Day last_day = dataset.store().max_day();
+  if (last_day < 0) return 0;
+  return last_day / span_days + 1;
+}
+
+namespace {
+
+/// Per-customer feature extraction state, advanced window by window.
+class SequenceState {
+ public:
+  SequenceState(const retail::Dataset& dataset, size_t last_receipts,
+                size_t profile_segments)
+      : dataset_(dataset),
+        last_receipts_(last_receipts),
+        profile_segments_(profile_segments) {}
+
+  /// Consumes receipts with day < window_end and returns this window's
+  /// feature row.
+  std::vector<double> Advance(std::span<const retail::Receipt> receipts,
+                              size_t* next_receipt, retail::Day window_end) {
+    size_t receipts_in_window = 0;
+    while (*next_receipt < receipts.size() &&
+           receipts[*next_receipt].day < window_end) {
+      const retail::Receipt& receipt = receipts[*next_receipt];
+      std::set<retail::SegmentId> segments;
+      for (const retail::ItemId item : receipt.items) {
+        const retail::SegmentId segment =
+            dataset_.taxonomy().SegmentOf(item);
+        if (segment != retail::kInvalidSegment) segments.insert(segment);
+      }
+      for (const retail::SegmentId segment : segments) {
+        ++historical_counts_[segment];
+      }
+      total_items_ += receipt.items.size();
+      ++total_receipts_;
+      receipt_segments_.push_back(std::move(segments));
+      ++receipts_in_window;
+      ++(*next_receipt);
+    }
+
+    std::vector<double> features(5, 0.0);
+    features[4] = static_cast<double>(receipts_in_window);
+    if (receipt_segments_.empty()) {
+      features[3] = 1.0;  // no evidence of basket shrinkage
+      return features;
+    }
+
+    // Last sequence: union of the most recent `last_receipts_` receipts.
+    std::set<retail::SegmentId> last_sequence;
+    const size_t begin =
+        receipt_segments_.size() > last_receipts_
+            ? receipt_segments_.size() - last_receipts_
+            : 0;
+    size_t last_items = 0;
+    for (size_t i = begin; i < receipt_segments_.size(); ++i) {
+      last_sequence.insert(receipt_segments_[i].begin(),
+                           receipt_segments_[i].end());
+      last_items += receipt_segments_[i].size();
+    }
+    const size_t last_count = receipt_segments_.size() - begin;
+
+    // Long-run profile: historically most frequent segments.
+    std::vector<std::pair<int, retail::SegmentId>> ranked;
+    ranked.reserve(historical_counts_.size());
+    for (const auto& [segment, count] : historical_counts_) {
+      ranked.emplace_back(-count, segment);  // negative: ascending sort
+    }
+    const size_t profile_size =
+        std::min(profile_segments_, ranked.size());
+    std::partial_sort(ranked.begin(), ranked.begin() + profile_size,
+                      ranked.end());
+    std::set<retail::SegmentId> profile;
+    for (size_t i = 0; i < profile_size; ++i) {
+      profile.insert(ranked[i].second);
+    }
+
+    size_t intersection = 0;
+    for (const retail::SegmentId segment : last_sequence) {
+      if (profile.count(segment)) ++intersection;
+    }
+    const size_t union_size =
+        last_sequence.size() + profile.size() - intersection;
+    features[0] = union_size > 0 ? static_cast<double>(intersection) /
+                                       static_cast<double>(union_size)
+                                 : 0.0;
+    features[1] = profile.empty()
+                      ? 0.0
+                      : static_cast<double>(intersection) /
+                            static_cast<double>(profile.size());
+    features[2] = last_sequence.empty()
+                      ? 0.0
+                      : 1.0 - static_cast<double>(intersection) /
+                                  static_cast<double>(last_sequence.size());
+    const double historical_mean_basket =
+        total_receipts_ > 0 ? static_cast<double>(total_items_) /
+                                  static_cast<double>(total_receipts_)
+                            : 1.0;
+    const double recent_mean_basket =
+        last_count > 0 ? static_cast<double>(last_items) /
+                             static_cast<double>(last_count)
+                       : 0.0;
+    features[3] = historical_mean_basket > 0.0
+                      ? recent_mean_basket / historical_mean_basket
+                      : 1.0;
+    return features;
+  }
+
+ private:
+  const retail::Dataset& dataset_;
+  size_t last_receipts_;
+  size_t profile_segments_;
+  std::unordered_map<retail::SegmentId, int> historical_counts_;
+  std::vector<std::set<retail::SegmentId>> receipt_segments_;
+  size_t total_items_ = 0;
+  size_t total_receipts_ = 0;
+};
+
+}  // namespace
+
+Result<core::ScoreMatrix> SequenceModel::ScoreDataset(
+    const retail::Dataset& dataset) const {
+  if (!dataset.store().finalized()) {
+    return Status::InvalidArgument("dataset store is not finalized");
+  }
+  const std::vector<retail::CustomerId>& customers =
+      dataset.store().Customers();
+  const int32_t num_windows = NumWindowsFor(dataset);
+  const retail::Day span_days =
+      options_.window_span_months * retail::kDaysPerMonth;
+  core::ScoreMatrix matrix(customers, num_windows);
+
+  // Extract features for everyone: [row][window] -> feature vector.
+  std::vector<std::vector<std::vector<double>>> features(customers.size());
+  for (size_t row = 0; row < customers.size(); ++row) {
+    SequenceState state(dataset, options_.last_receipts,
+                        options_.profile_segments);
+    const auto receipts = dataset.store().History(customers[row]);
+    size_t next_receipt = 0;
+    features[row].reserve(static_cast<size_t>(num_windows));
+    for (int32_t window = 0; window < num_windows; ++window) {
+      features[row].push_back(
+          state.Advance(receipts, &next_receipt, (window + 1) * span_days));
+    }
+  }
+
+  // Partition rows, then reuse the shared CV scorer per window.
+  std::vector<size_t> labelled_rows;
+  std::vector<int> targets;
+  std::vector<size_t> unlabelled_rows;
+  size_t positives = 0;
+  for (size_t row = 0; row < customers.size(); ++row) {
+    const retail::Cohort cohort = dataset.LabelOf(customers[row]).cohort;
+    if (cohort == retail::Cohort::kUnlabeled) {
+      unlabelled_rows.push_back(row);
+    } else {
+      labelled_rows.push_back(row);
+      const int target = cohort == retail::Cohort::kDefecting ? 1 : 0;
+      positives += static_cast<size_t>(target);
+      targets.push_back(target);
+    }
+  }
+  if (labelled_rows.empty()) {
+    return Status::InvalidArgument(
+        "sequence baseline needs labelled customers to train on");
+  }
+  const size_t negatives = labelled_rows.size() - positives;
+  const bool cross_validate = positives >= options_.cv_folds &&
+                              negatives >= options_.cv_folds;
+
+  for (int32_t window = 0; window < num_windows; ++window) {
+    std::vector<std::vector<double>> labelled_design;
+    labelled_design.reserve(labelled_rows.size());
+    for (const size_t row : labelled_rows) {
+      labelled_design.push_back(features[row][window]);
+    }
+    std::vector<std::vector<double>> unlabelled_design;
+    unlabelled_design.reserve(unlabelled_rows.size());
+    for (const size_t row : unlabelled_rows) {
+      unlabelled_design.push_back(features[row][window]);
+    }
+    CHURNLAB_RETURN_NOT_OK(ScoreWindowWithCv(
+        labelled_design, targets, labelled_rows, unlabelled_design,
+        unlabelled_rows, options_.logistic, options_.cv_folds,
+        options_.cv_seed, cross_validate, window, &matrix));
+  }
+  return matrix;
+}
+
+}  // namespace rfm
+}  // namespace churnlab

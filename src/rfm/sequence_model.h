@@ -1,0 +1,71 @@
+#ifndef CHURNLAB_RFM_SEQUENCE_MODEL_H_
+#define CHURNLAB_RFM_SEQUENCE_MODEL_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/score_matrix.h"
+#include "retail/dataset.h"
+#include "rfm/logistic.h"
+
+namespace churnlab {
+namespace rfm {
+
+/// Options of the sequence-similarity baseline.
+struct SequenceModelOptions {
+  /// Window span in months (aligned with the other models).
+  int32_t window_span_months = 2;
+  int32_t num_windows = -1;
+  /// Number of most recent receipts forming the "last sequence".
+  size_t last_receipts = 6;
+  /// Number of historically most frequent segments forming the customer's
+  /// long-run category profile.
+  size_t profile_segments = 15;
+  LogisticRegressionOptions logistic;
+  size_t cv_folds = 5;
+  uint64_t cv_seed = 4321;
+};
+
+/// \brief Category-sequence similarity baseline, in the spirit of Miguéis,
+/// Van den Poel, Camanho & Falcão e Cunha (2012) — the related work the
+/// paper cites for sequence-based partial-churn models.
+///
+/// The paper only *evaluates* against RFM; this third model widens the
+/// comparison. For each customer and window it compares the *last sequence*
+/// (the segments of the most recent `last_receipts` receipts up to the
+/// window end) against the customer's long-run category profile (their
+/// historically most frequent segments):
+///
+///  - Jaccard similarity of last-sequence segments vs profile;
+///  - coverage: fraction of the profile present in the last sequence;
+///  - novelty: fraction of last-sequence segments never bought before;
+///  - recent basket size relative to the historical mean;
+///  - receipts inside the window.
+///
+/// A cross-validated logistic regression maps the features to P(defecting):
+/// **higher = more likely defecting**, like RfmModel.
+class SequenceModel {
+ public:
+  static Result<SequenceModel> Make(SequenceModelOptions options);
+
+  int32_t NumWindowsFor(const retail::Dataset& dataset) const;
+
+  /// Scores every customer at every window (out-of-fold for labelled
+  /// customers; in-sample fallback for tiny cohorts, as RfmModel).
+  Result<core::ScoreMatrix> ScoreDataset(const retail::Dataset& dataset) const;
+
+  /// Names of the extracted features, in column order (exposed for tests).
+  static std::vector<std::string> FeatureNames();
+
+  const SequenceModelOptions& options() const { return options_; }
+
+ private:
+  explicit SequenceModel(SequenceModelOptions options) : options_(options) {}
+
+  SequenceModelOptions options_;
+};
+
+}  // namespace rfm
+}  // namespace churnlab
+
+#endif  // CHURNLAB_RFM_SEQUENCE_MODEL_H_

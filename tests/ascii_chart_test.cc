@@ -1,0 +1,107 @@
+#include "eval/ascii_chart.h"
+
+#include <gtest/gtest.h>
+
+namespace churnlab {
+namespace eval {
+namespace {
+
+ChartSeries LineSeries(const char* label, char glyph,
+                       std::vector<double> xs, std::vector<double> ys) {
+  ChartSeries series;
+  series.label = label;
+  series.glyph = glyph;
+  series.xs = std::move(xs);
+  series.ys = std::move(ys);
+  return series;
+}
+
+TEST(AsciiChart, RendersLegendAxesAndGlyphs) {
+  const auto chart = RenderAsciiChart(
+      {LineSeries("rising", '*', {0, 1, 2, 3}, {0.1, 0.4, 0.7, 0.9})},
+      AsciiChartOptions{});
+  ASSERT_TRUE(chart.ok()) << chart.status().ToString();
+  const std::string& text = chart.ValueOrDie();
+  EXPECT_NE(text.find('*'), std::string::npos);
+  EXPECT_NE(text.find("legend:"), std::string::npos);
+  EXPECT_NE(text.find("rising"), std::string::npos);
+  EXPECT_NE(text.find("1.00"), std::string::npos);
+  EXPECT_NE(text.find("0.00"), std::string::npos);
+  EXPECT_NE(text.find("(month)"), std::string::npos);
+}
+
+TEST(AsciiChart, HighValuesAboveLowValues) {
+  const auto chart =
+      RenderAsciiChart({LineSeries("s", 'a', {0, 10}, {0.9, 0.9}),
+                        LineSeries("t", 'b', {0, 10}, {0.1, 0.1})},
+                       AsciiChartOptions{});
+  ASSERT_TRUE(chart.ok());
+  const std::string& text = chart.ValueOrDie();
+  EXPECT_LT(text.find('a'), text.find('b'));  // 'a' on an earlier (higher) row
+}
+
+TEST(AsciiChart, MarkerColumnDrawn) {
+  AsciiChartOptions options;
+  options.x_marker = 5.0;
+  const auto chart = RenderAsciiChart(
+      {LineSeries("s", '*', {0, 10}, {0.5, 0.5})}, options);
+  ASSERT_TRUE(chart.ok());
+  EXPECT_NE(chart.ValueOrDie().find('|'), std::string::npos);
+}
+
+TEST(AsciiChart, MarkerOutsideRangeIgnored) {
+  AsciiChartOptions options;
+  options.x_marker = 99.0;
+  const auto chart = RenderAsciiChart(
+      {LineSeries("s", '*', {0, 10}, {0.5, 0.5})}, options);
+  ASSERT_TRUE(chart.ok());
+  EXPECT_EQ(chart.ValueOrDie().find('|'), std::string::npos);
+}
+
+TEST(AsciiChart, ValuesOutsideYRangeClamped) {
+  const auto chart = RenderAsciiChart(
+      {LineSeries("s", '*', {0, 1}, {-5.0, 5.0})}, AsciiChartOptions{});
+  ASSERT_TRUE(chart.ok());  // no crash; glyphs land on the borders
+}
+
+TEST(AsciiChart, LaterSeriesOverdrawEarlier) {
+  const auto chart =
+      RenderAsciiChart({LineSeries("under", 'u', {0, 10}, {0.5, 0.5}),
+                        LineSeries("over", 'o', {0, 10}, {0.5, 0.5})},
+                       AsciiChartOptions{});
+  ASSERT_TRUE(chart.ok());
+  const std::string& text = chart.ValueOrDie();
+  // The overlapping line is drawn entirely with the later glyph: the grid
+  // (everything before the legend) contains 'o' but no 'u'.
+  const std::string grid = text.substr(0, text.find("legend:"));
+  EXPECT_EQ(grid.find('u'), std::string::npos);
+  EXPECT_NE(grid.find('o'), std::string::npos);
+}
+
+TEST(AsciiChart, ValidationErrors) {
+  EXPECT_FALSE(RenderAsciiChart({}, AsciiChartOptions{}).ok());
+  // Mismatched xs/ys.
+  ChartSeries bad;
+  bad.xs = {1, 2};
+  bad.ys = {1};
+  EXPECT_FALSE(RenderAsciiChart({bad}, AsciiChartOptions{}).ok());
+  // Single x value.
+  EXPECT_FALSE(
+      RenderAsciiChart({LineSeries("s", '*', {3}, {0.5})}, AsciiChartOptions{})
+          .ok());
+  // Degenerate geometry.
+  AsciiChartOptions tiny;
+  tiny.width = 2;
+  EXPECT_FALSE(
+      RenderAsciiChart({LineSeries("s", '*', {0, 1}, {0, 1})}, tiny).ok());
+  AsciiChartOptions bad_range;
+  bad_range.y_min = 1.0;
+  bad_range.y_max = 0.0;
+  EXPECT_FALSE(
+      RenderAsciiChart({LineSeries("s", '*', {0, 1}, {0, 1})}, bad_range)
+          .ok());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace churnlab

@@ -1,0 +1,219 @@
+#include "datagen/attrition.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace churnlab {
+namespace datagen {
+namespace {
+
+CustomerProfile MakeLoyalProfile(size_t repertoire_size) {
+  CustomerProfile profile;
+  profile.customer = 1;
+  profile.cohort = retail::Cohort::kLoyal;
+  profile.visits_per_month = 4.0;
+  for (size_t i = 0; i < repertoire_size; ++i) {
+    RepertoireEntry entry;
+    entry.item = static_cast<retail::ItemId>(i);
+    entry.trip_probability = 0.3 + 0.6 * static_cast<double>(i) /
+                                       static_cast<double>(repertoire_size);
+    profile.repertoire.push_back(entry);
+  }
+  return profile;
+}
+
+AttritionConfig DefaultConfig() {
+  AttritionConfig config;
+  config.onset_month = 18;
+  config.onset_jitter_months = 1;
+  config.item_loss_probability_per_month = 0.25;
+  config.visit_decay_per_month = 0.85;
+  return config;
+}
+
+TEST(AttritionInjector, MakeValidatesConfig) {
+  AttritionConfig negative_onset = DefaultConfig();
+  negative_onset.onset_month = -1;
+  EXPECT_FALSE(AttritionInjector::Make(negative_onset).ok());
+  AttritionConfig bad_loss = DefaultConfig();
+  bad_loss.item_loss_probability_per_month = 0.0;
+  EXPECT_FALSE(AttritionInjector::Make(bad_loss).ok());
+  AttritionConfig bad_decay = DefaultConfig();
+  bad_decay.visit_decay_per_month = 1.5;
+  EXPECT_FALSE(AttritionInjector::Make(bad_decay).ok());
+  AttritionConfig bad_quantile = DefaultConfig();
+  bad_quantile.early_loss_quantile = 2.0;
+  EXPECT_FALSE(AttritionInjector::Make(bad_quantile).ok());
+  EXPECT_TRUE(AttritionInjector::Make(DefaultConfig()).ok());
+}
+
+TEST(AttritionInjector, StampsCohortOnsetAndDecay) {
+  const auto injector = AttritionInjector::Make(DefaultConfig()).ValueOrDie();
+  CustomerProfile profile = MakeLoyalProfile(20);
+  Rng rng(1);
+  injector.Inject(&profile, 28, &rng);
+  EXPECT_EQ(profile.cohort, retail::Cohort::kDefecting);
+  EXPECT_GE(profile.attrition_onset_month, 17);
+  EXPECT_LE(profile.attrition_onset_month, 19);
+  EXPECT_DOUBLE_EQ(profile.visit_decay_per_month, 0.85);
+  EXPECT_EQ(profile.prodrome_months, DefaultConfig().prodrome_months);
+}
+
+TEST(AttritionInjector, LossMonthsAtOrAfterOnsetWithoutEarlyLosses) {
+  AttritionConfig config = DefaultConfig();
+  config.early_loss_months = 0;  // plain injection
+  const auto injector = AttritionInjector::Make(config).ValueOrDie();
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    CustomerProfile profile = MakeLoyalProfile(30);
+    Rng rng(seed);
+    injector.Inject(&profile, 28, &rng);
+    for (const RepertoireEntry& entry : profile.repertoire) {
+      if (entry.loss_month < 0) continue;
+      EXPECT_GE(entry.loss_month, profile.attrition_onset_month);
+      EXPECT_LT(entry.loss_month, 28);
+    }
+  }
+}
+
+TEST(AttritionInjector, MostItemsEventuallyLostWithHighHazard) {
+  AttritionConfig config = DefaultConfig();
+  config.onset_month = 5;
+  config.item_loss_probability_per_month = 0.5;
+  const auto injector = AttritionInjector::Make(config).ValueOrDie();
+  CustomerProfile profile = MakeLoyalProfile(100);
+  Rng rng(7);
+  injector.Inject(&profile, 28, &rng);
+  size_t lost = 0;
+  for (const RepertoireEntry& entry : profile.repertoire) {
+    if (entry.loss_month >= 0) ++lost;
+  }
+  EXPECT_GT(lost, 90u);  // 22 post-onset months at p=0.5
+}
+
+TEST(AttritionInjector, EarlyLossesOnlyForWeaklyAttachedItems) {
+  AttritionConfig config = DefaultConfig();
+  config.onset_jitter_months = 0;
+  config.early_loss_months = 4;
+  config.early_loss_quantile = 0.25;
+  const auto injector = AttritionInjector::Make(config).ValueOrDie();
+  bool saw_early_loss = false;
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    CustomerProfile profile = MakeLoyalProfile(40);
+    Rng rng(seed);
+    injector.Inject(&profile, 28, &rng);
+    // Threshold = 25th percentile of trip probabilities.
+    std::vector<double> probabilities;
+    for (const auto& entry : profile.repertoire) {
+      probabilities.push_back(entry.trip_probability);
+    }
+    std::sort(probabilities.begin(), probabilities.end());
+    const double threshold = probabilities[probabilities.size() / 4];
+    for (const RepertoireEntry& entry : profile.repertoire) {
+      if (entry.loss_month >= 0 && entry.loss_month < 18) {
+        saw_early_loss = true;
+        EXPECT_LE(entry.trip_probability, threshold);
+        EXPECT_GE(entry.loss_month, 18 - 4);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_early_loss);
+}
+
+TEST(AttritionInjector, PreservesNaturalLossIfEarlier) {
+  AttritionConfig config = DefaultConfig();
+  config.onset_jitter_months = 0;
+  const auto injector = AttritionInjector::Make(config).ValueOrDie();
+  CustomerProfile profile = MakeLoyalProfile(5);
+  profile.repertoire[0].loss_month = 3;  // natural turnover before onset
+  Rng rng(11);
+  injector.Inject(&profile, 28, &rng);
+  EXPECT_EQ(profile.repertoire[0].loss_month, 3);
+}
+
+TEST(AttritionInjector, OnsetClampedToZero) {
+  AttritionConfig config = DefaultConfig();
+  config.onset_month = 0;
+  config.onset_jitter_months = 2;
+  const auto injector = AttritionInjector::Make(config).ValueOrDie();
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    CustomerProfile profile = MakeLoyalProfile(5);
+    Rng rng(seed);
+    injector.Inject(&profile, 28, &rng);
+    EXPECT_GE(profile.attrition_onset_month, 0);
+  }
+}
+
+TEST(CustomerProfile, VisitRateReflectsProdromeAndDecay) {
+  CustomerProfile profile;
+  profile.visits_per_month = 4.0;
+  profile.attrition_onset_month = 10;
+  profile.visit_decay_per_month = 0.5;
+  profile.prodrome_months = 2;
+  profile.prodrome_visit_factor = 0.8;
+  EXPECT_DOUBLE_EQ(profile.VisitRateAt(0), 4.0);
+  EXPECT_DOUBLE_EQ(profile.VisitRateAt(7), 4.0);
+  EXPECT_DOUBLE_EQ(profile.VisitRateAt(8), 3.2);   // prodrome
+  EXPECT_DOUBLE_EQ(profile.VisitRateAt(9), 3.2);   // prodrome
+  EXPECT_DOUBLE_EQ(profile.VisitRateAt(10), 2.0);  // decay month 1
+  EXPECT_DOUBLE_EQ(profile.VisitRateAt(11), 1.0);  // decay month 2
+}
+
+TEST(CustomerProfile, SeasonalFactorModulatesRate) {
+  CustomerProfile profile;
+  profile.visits_per_month = 4.0;
+  profile.seasonal_amplitude = 0.5;
+  profile.seasonal_phase_months = 3.0;  // sin peak at month 0
+  // Month 0: sin(2*pi*3/12) = sin(pi/2) = 1 -> factor 1.5.
+  EXPECT_NEAR(profile.VisitRateAt(0), 6.0, 1e-9);
+  // Month 6: sin(2*pi*9/12) = -1 -> factor 0.5.
+  EXPECT_NEAR(profile.VisitRateAt(6), 2.0, 1e-9);
+  // Period 12: month 12 equals month 0.
+  EXPECT_NEAR(profile.VisitRateAt(12), profile.VisitRateAt(0), 1e-9);
+}
+
+TEST(CustomerProfile, SeasonalFactorNeverNegative) {
+  CustomerProfile profile;
+  profile.visits_per_month = 4.0;
+  profile.seasonal_amplitude = 1.0;
+  for (int32_t month = 0; month < 24; ++month) {
+    EXPECT_GE(profile.VisitRateAt(month), 0.0);
+  }
+}
+
+TEST(CustomerProfile, SeasonalityComposesWithAttrition) {
+  CustomerProfile profile;
+  profile.visits_per_month = 4.0;
+  profile.seasonal_amplitude = 0.5;
+  profile.seasonal_phase_months = 3.0;
+  profile.attrition_onset_month = 6;
+  profile.visit_decay_per_month = 0.5;
+  // Month 6 factor 0.5, one decay step -> 4 * 0.5 * 0.5 = 1.0.
+  EXPECT_NEAR(profile.VisitRateAt(6), 1.0, 1e-9);
+}
+
+TEST(CustomerProfile, LoyalVisitRateConstant) {
+  CustomerProfile profile;
+  profile.visits_per_month = 3.0;
+  for (int32_t month = 0; month < 30; ++month) {
+    EXPECT_DOUBLE_EQ(profile.VisitRateAt(month), 3.0);
+  }
+}
+
+TEST(CustomerProfile, EntryActiveRespectsAdoptionAndLoss) {
+  CustomerProfile profile;
+  RepertoireEntry entry;
+  entry.adoption_month = 5;
+  entry.loss_month = 10;
+  profile.repertoire.push_back(entry);
+  EXPECT_FALSE(profile.EntryActiveAt(0, 4));
+  EXPECT_TRUE(profile.EntryActiveAt(0, 5));
+  EXPECT_TRUE(profile.EntryActiveAt(0, 9));
+  EXPECT_FALSE(profile.EntryActiveAt(0, 10));
+  EXPECT_FALSE(profile.EntryActiveAt(0, 20));
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace churnlab

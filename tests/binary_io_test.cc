@@ -1,0 +1,138 @@
+#include "common/binary_io.h"
+
+#include <cstdio>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace churnlab {
+namespace {
+
+TEST(BinaryIo, VarintRoundTripSmall) {
+  BinaryWriter writer;
+  writer.WriteVarint(0);
+  writer.WriteVarint(1);
+  writer.WriteVarint(127);
+  writer.WriteVarint(128);
+  writer.WriteVarint(300);
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(reader.ReadVarint().ValueOrDie(), 0u);
+  EXPECT_EQ(reader.ReadVarint().ValueOrDie(), 1u);
+  EXPECT_EQ(reader.ReadVarint().ValueOrDie(), 127u);
+  EXPECT_EQ(reader.ReadVarint().ValueOrDie(), 128u);
+  EXPECT_EQ(reader.ReadVarint().ValueOrDie(), 300u);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BinaryIo, VarintRoundTripMax) {
+  BinaryWriter writer;
+  writer.WriteVarint(std::numeric_limits<uint64_t>::max());
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(reader.ReadVarint().ValueOrDie(),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(BinaryIo, VarintEncodingIsCompact) {
+  BinaryWriter writer;
+  writer.WriteVarint(5);
+  EXPECT_EQ(writer.buffer().size(), 1u);
+  BinaryWriter writer2;
+  writer2.WriteVarint(128);
+  EXPECT_EQ(writer2.buffer().size(), 2u);
+}
+
+TEST(BinaryIo, SignedVarintRoundTrip) {
+  BinaryWriter writer;
+  const int64_t values[] = {0, -1, 1, -64, 63, -1000000,
+                            std::numeric_limits<int64_t>::max(),
+                            std::numeric_limits<int64_t>::min()};
+  for (const int64_t value : values) writer.WriteSignedVarint(value);
+  BinaryReader reader(writer.buffer());
+  for (const int64_t value : values) {
+    EXPECT_EQ(reader.ReadSignedVarint().ValueOrDie(), value);
+  }
+}
+
+TEST(BinaryIo, ZigZagKeepsSmallMagnitudesSmall) {
+  BinaryWriter writer;
+  writer.WriteSignedVarint(-1);
+  EXPECT_EQ(writer.buffer().size(), 1u);
+}
+
+TEST(BinaryIo, DoubleRoundTrip) {
+  BinaryWriter writer;
+  const double values[] = {0.0, -0.0, 3.141592653589793, -1e300, 1e-300,
+                           std::numeric_limits<double>::infinity()};
+  for (const double value : values) writer.WriteDouble(value);
+  BinaryReader reader(writer.buffer());
+  for (const double value : values) {
+    EXPECT_EQ(reader.ReadDouble().ValueOrDie(), value);
+  }
+}
+
+TEST(BinaryIo, StringRoundTrip) {
+  BinaryWriter writer;
+  writer.WriteString("");
+  writer.WriteString("hello");
+  writer.WriteString(std::string("with\0null", 9));
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(reader.ReadString().ValueOrDie(), "");
+  EXPECT_EQ(reader.ReadString().ValueOrDie(), "hello");
+  EXPECT_EQ(reader.ReadString().ValueOrDie(), std::string("with\0null", 9));
+}
+
+TEST(BinaryIo, TruncatedVarintFails) {
+  BinaryReader reader(std::string("\x80", 1));  // continuation, no next byte
+  EXPECT_TRUE(reader.ReadVarint().status().IsOutOfRange());
+}
+
+TEST(BinaryIo, OverlongVarintFails) {
+  // 11 bytes of continuation overflows 64 bits.
+  BinaryReader reader(std::string(11, '\xFF'));
+  EXPECT_TRUE(reader.ReadVarint().status().IsOutOfRange());
+}
+
+TEST(BinaryIo, TruncatedDoubleFails) {
+  BinaryReader reader(std::string(4, 'x'));
+  EXPECT_TRUE(reader.ReadDouble().status().IsOutOfRange());
+}
+
+TEST(BinaryIo, TruncatedStringFails) {
+  BinaryWriter writer;
+  writer.WriteVarint(100);  // declares 100 bytes, provides none
+  BinaryReader reader(writer.buffer());
+  EXPECT_TRUE(reader.ReadString().status().IsOutOfRange());
+}
+
+TEST(BinaryIo, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/churnlab_binary_test.bin";
+  BinaryWriter writer;
+  writer.WriteVarint(7);
+  writer.WriteString("disk");
+  ASSERT_TRUE(writer.SaveToFile(path).ok());
+  auto reader = BinaryReader::OpenFile(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->ReadVarint().ValueOrDie(), 7u);
+  EXPECT_EQ(reader->ReadString().ValueOrDie(), "disk");
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIo, OpenMissingFileFails) {
+  EXPECT_TRUE(
+      BinaryReader::OpenFile("/nonexistent/nope.bin").status().IsIOError());
+}
+
+TEST(BinaryIo, RemainingTracksConsumption) {
+  BinaryWriter writer;
+  writer.WriteDouble(1.0);
+  writer.WriteDouble(2.0);
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(reader.remaining(), 16u);
+  ASSERT_TRUE(reader.ReadDouble().ok());
+  EXPECT_EQ(reader.remaining(), 8u);
+  ASSERT_TRUE(reader.ReadDouble().ok());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+}  // namespace
+}  // namespace churnlab

@@ -1,0 +1,113 @@
+#include "eval/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace churnlab {
+namespace eval {
+namespace {
+
+constexpr auto kHigher = ScoreOrientation::kHigherIsPositive;
+
+void MakeSample(size_t n, double separation, std::vector<double>* scores,
+                std::vector<int>* labels, uint64_t seed = 3) {
+  Rng rng(seed);
+  scores->clear();
+  labels->clear();
+  for (size_t i = 0; i < n; ++i) {
+    const int label = rng.Bernoulli(0.5) ? 1 : 0;
+    scores->push_back(rng.Normal(label * separation, 1.0));
+    labels->push_back(label);
+  }
+}
+
+TEST(BootstrapAuroc, IntervalContainsEstimate) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  MakeSample(300, 1.0, &scores, &labels);
+  const ConfidenceInterval interval =
+      BootstrapAuroc(scores, labels, kHigher, BootstrapOptions{})
+          .ValueOrDie();
+  EXPECT_LE(interval.lower, interval.estimate);
+  EXPECT_GE(interval.upper, interval.estimate);
+  EXPECT_GE(interval.lower, 0.0);
+  EXPECT_LE(interval.upper, 1.0);
+  EXPECT_DOUBLE_EQ(interval.confidence, 0.95);
+}
+
+TEST(BootstrapAuroc, DeterministicGivenSeed) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  MakeSample(200, 0.8, &scores, &labels);
+  const auto a =
+      BootstrapAuroc(scores, labels, kHigher, BootstrapOptions{}).ValueOrDie();
+  const auto b =
+      BootstrapAuroc(scores, labels, kHigher, BootstrapOptions{}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(BootstrapAuroc, WidthShrinksWithSampleSize) {
+  std::vector<double> small_scores, large_scores;
+  std::vector<int> small_labels, large_labels;
+  MakeSample(100, 0.8, &small_scores, &small_labels, 5);
+  MakeSample(4000, 0.8, &large_scores, &large_labels, 5);
+  BootstrapOptions options;
+  options.resamples = 400;
+  const auto small_interval =
+      BootstrapAuroc(small_scores, small_labels, kHigher, options)
+          .ValueOrDie();
+  const auto large_interval =
+      BootstrapAuroc(large_scores, large_labels, kHigher, options)
+          .ValueOrDie();
+  EXPECT_LT(large_interval.upper - large_interval.lower,
+            small_interval.upper - small_interval.lower);
+}
+
+TEST(BootstrapAuroc, CoversTrueValueOnRandomScores) {
+  // Scores independent of labels: true AUROC = 0.5; the 95% interval
+  // should include it.
+  std::vector<double> scores;
+  std::vector<int> labels;
+  MakeSample(500, 0.0, &scores, &labels, 7);
+  const ConfidenceInterval interval =
+      BootstrapAuroc(scores, labels, kHigher, BootstrapOptions{})
+          .ValueOrDie();
+  EXPECT_LT(interval.lower, 0.5);
+  EXPECT_GT(interval.upper, 0.5);
+}
+
+TEST(BootstrapAuroc, ConfidenceLevelChangesWidth) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  MakeSample(300, 0.8, &scores, &labels, 11);
+  BootstrapOptions narrow;
+  narrow.confidence = 0.5;
+  BootstrapOptions wide;
+  wide.confidence = 0.99;
+  const auto narrow_interval =
+      BootstrapAuroc(scores, labels, kHigher, narrow).ValueOrDie();
+  const auto wide_interval =
+      BootstrapAuroc(scores, labels, kHigher, wide).ValueOrDie();
+  EXPECT_LT(narrow_interval.upper - narrow_interval.lower,
+            wide_interval.upper - wide_interval.lower);
+}
+
+TEST(BootstrapAuroc, ValidationErrors) {
+  std::vector<double> scores = {0.1, 0.9};
+  std::vector<int> labels = {0, 1};
+  BootstrapOptions zero_resamples;
+  zero_resamples.resamples = 0;
+  EXPECT_FALSE(BootstrapAuroc(scores, labels, kHigher, zero_resamples).ok());
+  BootstrapOptions bad_confidence;
+  bad_confidence.confidence = 1.0;
+  EXPECT_FALSE(BootstrapAuroc(scores, labels, kHigher, bad_confidence).ok());
+  // Degenerate labels propagate the AUROC error.
+  EXPECT_FALSE(
+      BootstrapAuroc({0.5, 0.6}, {1, 1}, kHigher, BootstrapOptions{}).ok());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace churnlab

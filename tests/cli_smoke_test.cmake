@@ -1,0 +1,46 @@
+# Smoke test of the churnlab CLI: simulate a tiny corpus, then run every
+# read-side subcommand against it. Any non-zero exit fails the test.
+#
+# Invoked by CTest with -DCLI=<binary> -DWORK_DIR=<scratch dir>.
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(DATASET ${WORK_DIR}/smoke.clb)
+
+function(run_cli)
+  execute_process(COMMAND ${CLI} ${ARGN}
+                  RESULT_VARIABLE exit_code
+                  OUTPUT_VARIABLE output
+                  ERROR_VARIABLE errors)
+  if(NOT exit_code EQUAL 0)
+    message(FATAL_ERROR
+      "churnlab ${ARGN} failed (${exit_code}):\n${output}\n${errors}")
+  endif()
+endfunction()
+
+run_cli(simulate --out ${DATASET} --loyal 40 --defecting 40 --seed 9)
+run_cli(stats --data ${DATASET})
+run_cli(score --data ${DATASET} --out ${WORK_DIR}/scores.csv)
+run_cli(explain --data ${DATASET} --customer 50)
+run_cli(profile --data ${DATASET} --customer 50)
+run_cli(profile --data ${DATASET} --customer 50 --at 6 --top 5)
+run_cli(evaluate --data ${DATASET} --first_month 12 --last_month 24)
+run_cli(forecast --data ${DATASET} --decision 14 --horizon 6)
+
+# CSV round trip through the CLI.
+run_cli(simulate --out ${WORK_DIR}/smoke_csv --csv --loyal 20 --defecting 20
+        --seed 10)
+run_cli(stats --data ${WORK_DIR}/smoke_csv)
+
+# Unknown flags and subcommands must fail.
+execute_process(COMMAND ${CLI} stats --bogus-flag x
+                RESULT_VARIABLE exit_code OUTPUT_QUIET ERROR_QUIET)
+if(exit_code EQUAL 0)
+  message(FATAL_ERROR "unknown flag was accepted")
+endif()
+execute_process(COMMAND ${CLI} frobnicate
+                RESULT_VARIABLE exit_code OUTPUT_QUIET ERROR_QUIET)
+if(exit_code EQUAL 0)
+  message(FATAL_ERROR "unknown subcommand was accepted")
+endif()
+
+file(REMOVE_RECURSE ${WORK_DIR})

@@ -1,0 +1,151 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace churnlab {
+namespace {
+
+std::vector<std::vector<std::string>> ReadAll(CsvReader* reader) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  while (reader->ReadRow(&row)) rows.push_back(row);
+  return rows;
+}
+
+TEST(CsvReader, SimpleRows) {
+  CsvReader reader = CsvReader::FromString("a,b,c\n1,2,3\n");
+  const auto rows = ReadAll(&reader);
+  ASSERT_TRUE(reader.status().ok());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvReader, MissingFinalNewline) {
+  CsvReader reader = CsvReader::FromString("a,b\nc,d");
+  const auto rows = ReadAll(&reader);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvReader, CrLfLineEndings) {
+  CsvReader reader = CsvReader::FromString("a,b\r\nc,d\r\n");
+  const auto rows = ReadAll(&reader);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvReader, QuotedFieldWithDelimiter) {
+  CsvReader reader = CsvReader::FromString("\"a,b\",c\n");
+  const auto rows = ReadAll(&reader);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a,b", "c"}));
+}
+
+TEST(CsvReader, EscapedQuotes) {
+  CsvReader reader = CsvReader::FromString("\"say \"\"hi\"\"\",x\n");
+  const auto rows = ReadAll(&reader);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvReader, NewlineInsideQuotes) {
+  CsvReader reader = CsvReader::FromString("\"line1\nline2\",x\n");
+  const auto rows = ReadAll(&reader);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "line1\nline2");
+}
+
+TEST(CsvReader, EmptyFields) {
+  CsvReader reader = CsvReader::FromString(",,\n");
+  const auto rows = ReadAll(&reader);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvReader, UnterminatedQuoteSetsError) {
+  CsvReader reader = CsvReader::FromString("\"oops");
+  std::vector<std::string> row;
+  EXPECT_FALSE(reader.ReadRow(&row));
+  EXPECT_TRUE(reader.status().IsInvalidArgument());
+}
+
+TEST(CsvReader, CustomDelimiter) {
+  CsvReader reader = CsvReader::FromString("a;b;c\n", ';');
+  const auto rows = ReadAll(&reader);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].size(), 3u);
+}
+
+TEST(CsvReader, RowNumberTracksRows) {
+  CsvReader reader = CsvReader::FromString("a\nb\nc\n");
+  std::vector<std::string> row;
+  EXPECT_EQ(reader.row_number(), 0u);
+  reader.ReadRow(&row);
+  EXPECT_EQ(reader.row_number(), 1u);
+  reader.ReadRow(&row);
+  reader.ReadRow(&row);
+  EXPECT_EQ(reader.row_number(), 3u);
+}
+
+TEST(CsvReader, OpenMissingFileFails) {
+  EXPECT_TRUE(CsvReader::Open("/nonexistent/nope.csv").status().IsIOError());
+}
+
+TEST(CsvWriter, QuotesOnlyWhenNeeded) {
+  CsvWriter writer = CsvWriter::ToStringBuffer();
+  ASSERT_TRUE(writer.WriteRow({"plain", "with,comma", "with\"quote",
+                               "with\nnewline"}).ok());
+  EXPECT_EQ(writer.ToString(),
+            "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(CsvWriter, RoundTripsThroughReader) {
+  CsvWriter writer = CsvWriter::ToStringBuffer();
+  const std::vector<std::vector<std::string>> original = {
+      {"a", "b,c", "d\"e"},
+      {"", "multi\nline", "z"},
+  };
+  for (const auto& row : original) ASSERT_TRUE(writer.WriteRow(row).ok());
+  CsvReader reader = CsvReader::FromString(writer.ToString());
+  EXPECT_EQ(ReadAll(&reader), original);
+  EXPECT_TRUE(reader.status().ok());
+}
+
+TEST(CsvWriter, FileWriteAndReadBack) {
+  const std::string path = testing::TempDir() + "/churnlab_csv_test.csv";
+  {
+    auto writer = CsvWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->WriteRow({"x", "y"}).ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  auto reader = CsvReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  const auto rows = ReadAll(&reader.ValueOrDie());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"x", "y"}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, LargeOutputFlushesIncrementally) {
+  const std::string path = testing::TempDir() + "/churnlab_csv_large.csv";
+  {
+    auto writer = CsvWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    const std::string big_cell(4096, 'x');
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_TRUE(writer->WriteRow({big_cell}).ok());
+    }
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  std::ifstream file(path, std::ios::ate | std::ios::binary);
+  EXPECT_GT(file.tellg(), 4096 * 1000);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace churnlab

@@ -1,0 +1,107 @@
+#include "rfm/cv_scoring.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace churnlab {
+namespace rfm {
+namespace {
+
+// Separable 1-D data: feature > 0 <=> target 1.
+void MakeData(size_t n, std::vector<std::vector<double>>* design,
+              std::vector<int>* targets, std::vector<size_t>* rows,
+              size_t row_offset = 0) {
+  Rng rng(11);
+  design->clear();
+  targets->clear();
+  rows->clear();
+  for (size_t i = 0; i < n; ++i) {
+    const int target = i % 2 == 0 ? 1 : 0;
+    design->push_back({target == 1 ? rng.UniformDouble(0.5, 1.5)
+                                   : rng.UniformDouble(-1.5, -0.5)});
+    targets->push_back(target);
+    rows->push_back(row_offset + i);
+  }
+}
+
+TEST(ScoreWindowWithCv, OutOfFoldScoresSeparateClasses) {
+  std::vector<std::vector<double>> design;
+  std::vector<int> targets;
+  std::vector<size_t> rows;
+  MakeData(40, &design, &targets, &rows);
+  std::vector<retail::CustomerId> customers(40);
+  for (size_t i = 0; i < 40; ++i) customers[i] = static_cast<uint32_t>(i);
+  core::ScoreMatrix matrix(customers, 1);
+
+  ASSERT_TRUE(ScoreWindowWithCv(design, targets, rows, {}, {},
+                                LogisticRegressionOptions{}, 5, 1,
+                                /*cross_validate=*/true, 0, &matrix)
+                  .ok());
+  for (size_t i = 0; i < 40; ++i) {
+    if (targets[i] == 1) {
+      EXPECT_GT(matrix.At(rows[i], 0), 0.5);
+    } else {
+      EXPECT_LT(matrix.At(rows[i], 0), 0.5);
+    }
+  }
+}
+
+TEST(ScoreWindowWithCv, UnlabelledRowsScoredByFullModel) {
+  std::vector<std::vector<double>> design;
+  std::vector<int> targets;
+  std::vector<size_t> rows;
+  MakeData(20, &design, &targets, &rows);
+  std::vector<retail::CustomerId> customers(22);
+  for (size_t i = 0; i < 22; ++i) customers[i] = static_cast<uint32_t>(i);
+  core::ScoreMatrix matrix(customers, 1);
+
+  const std::vector<std::vector<double>> unlabelled_design = {{1.0}, {-1.0}};
+  const std::vector<size_t> unlabelled_rows = {20, 21};
+  ASSERT_TRUE(ScoreWindowWithCv(design, targets, rows, unlabelled_design,
+                                unlabelled_rows, LogisticRegressionOptions{},
+                                5, 1, true, 0, &matrix)
+                  .ok());
+  EXPECT_GT(matrix.At(20, 0), 0.5);  // positive-side feature
+  EXPECT_LT(matrix.At(21, 0), 0.5);
+}
+
+TEST(ScoreWindowWithCv, InSampleFallback) {
+  std::vector<std::vector<double>> design;
+  std::vector<int> targets;
+  std::vector<size_t> rows;
+  MakeData(6, &design, &targets, &rows);
+  std::vector<retail::CustomerId> customers(6);
+  for (size_t i = 0; i < 6; ++i) customers[i] = static_cast<uint32_t>(i);
+  core::ScoreMatrix matrix(customers, 1);
+  ASSERT_TRUE(ScoreWindowWithCv(design, targets, rows, {}, {},
+                                LogisticRegressionOptions{}, 5, 1,
+                                /*cross_validate=*/false, 0, &matrix)
+                  .ok());
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(matrix.At(rows[i], 0) > 0.5, targets[i] == 1);
+  }
+}
+
+TEST(ScoreWindowWithCv, ValidationErrors) {
+  std::vector<retail::CustomerId> customers = {0, 1};
+  core::ScoreMatrix matrix(customers, 1);
+  // Empty labelled set.
+  EXPECT_FALSE(ScoreWindowWithCv({}, {}, {}, {}, {},
+                                 LogisticRegressionOptions{}, 5, 1, false, 0,
+                                 &matrix)
+                   .ok());
+  // Mismatched sizes.
+  EXPECT_FALSE(ScoreWindowWithCv({{1.0}}, {1, 0}, {0}, {}, {},
+                                 LogisticRegressionOptions{}, 5, 1, false, 0,
+                                 &matrix)
+                   .ok());
+  EXPECT_FALSE(ScoreWindowWithCv({{1.0}}, {1}, {0}, {{1.0}}, {},
+                                 LogisticRegressionOptions{}, 5, 1, false, 0,
+                                 &matrix)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace rfm
+}  // namespace churnlab

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "core/stability_model.h"
+#include "datagen/scenario.h"
+#include "retail/dataset.h"
+
+namespace churnlab {
+namespace retail {
+namespace {
+
+Dataset MakeDataset() {
+  datagen::PaperScenarioConfig config;
+  config.population.num_loyal = 30;
+  config.population.num_defecting = 30;
+  config.seed = 88;
+  return datagen::MakePaperDataset(config).ValueOrDie();
+}
+
+TEST(DatasetFilter, DayRangeKeepsOnlyInRangeReceipts) {
+  const Dataset dataset = MakeDataset();
+  const Day begin = 6 * kDaysPerMonth;
+  const Day end = 12 * kDaysPerMonth;
+  const Dataset filtered =
+      dataset.FilterByDayRange(begin, end).ValueOrDie();
+  EXPECT_GT(filtered.store().num_receipts(), 0u);
+  EXPECT_LT(filtered.store().num_receipts(), dataset.store().num_receipts());
+  for (const Receipt& receipt : filtered.store().AllReceipts()) {
+    EXPECT_GE(receipt.day, begin);
+    EXPECT_LT(receipt.day, end);
+  }
+  // Labels, dictionary and taxonomy are preserved.
+  EXPECT_EQ(filtered.labels().size(), dataset.labels().size());
+  EXPECT_EQ(filtered.items().size(), dataset.items().size());
+  EXPECT_EQ(filtered.taxonomy().num_segments(),
+            dataset.taxonomy().num_segments());
+}
+
+TEST(DatasetFilter, DayRangeMatchesManualCount) {
+  const Dataset dataset = MakeDataset();
+  const Day begin = 100;
+  const Day end = 400;
+  size_t expected = 0;
+  for (const Receipt& receipt : dataset.store().AllReceipts()) {
+    if (receipt.day >= begin && receipt.day < end) ++expected;
+  }
+  const Dataset filtered =
+      dataset.FilterByDayRange(begin, end).ValueOrDie();
+  EXPECT_EQ(filtered.store().num_receipts(), expected);
+}
+
+TEST(DatasetFilter, PrefixViewMatchesTruncatedScoring) {
+  // Scoring a "data through month 16" view must equal scoring the full
+  // dataset with num_windows capped — the temporal-split use case.
+  const Dataset dataset = MakeDataset();
+  const Dataset prefix =
+      dataset.FilterByDayRange(0, 16 * kDaysPerMonth).ValueOrDie();
+
+  core::StabilityModelOptions capped;
+  capped.significance.alpha = 2.0;
+  capped.window_span_months = 2;
+  capped.num_windows = 8;  // windows ending at months 2..16
+  const auto model = core::StabilityModel::Make(capped).ValueOrDie();
+  const auto full_scores = model.ScoreDataset(dataset).ValueOrDie();
+  const auto prefix_scores = model.ScoreDataset(prefix).ValueOrDie();
+  ASSERT_EQ(full_scores.num_windows(), prefix_scores.num_windows());
+  for (const CustomerId customer : prefix.store().Customers()) {
+    const size_t row_full = full_scores.RowOf(customer).ValueOrDie();
+    const size_t row_prefix = prefix_scores.RowOf(customer).ValueOrDie();
+    for (int32_t window = 0; window < full_scores.num_windows(); ++window) {
+      ASSERT_DOUBLE_EQ(full_scores.At(row_full, window),
+                       prefix_scores.At(row_prefix, window));
+    }
+  }
+}
+
+TEST(DatasetFilter, CustomersSubset) {
+  const Dataset dataset = MakeDataset();
+  const std::vector<CustomerId> wanted = {0, 5, 17};
+  const Dataset filtered = dataset.FilterCustomers(wanted).ValueOrDie();
+  EXPECT_EQ(filtered.store().num_customers(), 3u);
+  EXPECT_EQ(filtered.store().Customers(), wanted);
+  EXPECT_EQ(filtered.labels().size(), 3u);
+  for (const CustomerId customer : wanted) {
+    EXPECT_EQ(filtered.store().History(customer).size(),
+              dataset.store().History(customer).size());
+    EXPECT_EQ(filtered.LabelOf(customer).cohort,
+              dataset.LabelOf(customer).cohort);
+  }
+}
+
+TEST(DatasetFilter, UnknownCustomersIgnored) {
+  const Dataset dataset = MakeDataset();
+  const Dataset filtered =
+      dataset.FilterCustomers({0, 99999}).ValueOrDie();
+  EXPECT_EQ(filtered.store().num_customers(), 1u);
+}
+
+TEST(DatasetFilter, EmptyCustomerListGivesEmptyStore) {
+  const Dataset dataset = MakeDataset();
+  const Dataset filtered = dataset.FilterCustomers({}).ValueOrDie();
+  EXPECT_EQ(filtered.store().num_receipts(), 0u);
+  EXPECT_TRUE(filtered.store().finalized());
+}
+
+TEST(DatasetFilter, ValidationErrors) {
+  const Dataset dataset = MakeDataset();
+  EXPECT_TRUE(
+      dataset.FilterByDayRange(100, 100).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      dataset.FilterByDayRange(200, 100).status().IsInvalidArgument());
+  Dataset unfinalized;
+  Receipt receipt;
+  receipt.customer = 1;
+  receipt.day = 0;
+  receipt.items = {0};
+  ASSERT_TRUE(unfinalized.mutable_store().Append(std::move(receipt)).ok());
+  EXPECT_FALSE(unfinalized.FilterByDayRange(0, 10).ok());
+  EXPECT_FALSE(unfinalized.FilterCustomers({1}).ok());
+}
+
+}  // namespace
+}  // namespace retail
+}  // namespace churnlab

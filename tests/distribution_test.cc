@@ -1,0 +1,117 @@
+#include "eval/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include "core/stability_model.h"
+#include "datagen/scenario.h"
+
+namespace churnlab {
+namespace eval {
+namespace {
+
+TEST(Quantile, KnownValues) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0).ValueOrDie(), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5).ValueOrDie(), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0).ValueOrDie(), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.25).ValueOrDie(), 2.0);
+  // Interpolation between order statistics.
+  EXPECT_DOUBLE_EQ(Quantile({1.0, 2.0}, 0.5).ValueOrDie(), 1.5);
+  EXPECT_DOUBLE_EQ(Quantile({10.0}, 0.7).ValueOrDie(), 10.0);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(Quantile({5.0, 1.0, 3.0}, 0.5).ValueOrDie(), 3.0);
+}
+
+TEST(Quantile, Errors) {
+  EXPECT_FALSE(Quantile({}, 0.5).ok());
+  EXPECT_FALSE(Quantile({1.0}, -0.1).ok());
+  EXPECT_FALSE(Quantile({1.0}, 1.1).ok());
+}
+
+class CohortDistributionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::PaperScenarioConfig config;
+    config.population.num_loyal = 120;
+    config.population.num_defecting = 120;
+    config.seed = 71;
+    dataset_ = new retail::Dataset(
+        datagen::MakePaperDataset(config).ValueOrDie());
+    core::StabilityModelOptions options;
+    options.significance.alpha = 2.0;
+    options.window_span_months = 2;
+    const auto model = core::StabilityModel::Make(options).ValueOrDie();
+    scores_ = new core::ScoreMatrix(model.ScoreDataset(*dataset_).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete scores_;
+    delete dataset_;
+    scores_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static const retail::Dataset* dataset_;
+  static const core::ScoreMatrix* scores_;
+};
+
+const retail::Dataset* CohortDistributionTest::dataset_ = nullptr;
+const core::ScoreMatrix* CohortDistributionTest::scores_ = nullptr;
+
+TEST_F(CohortDistributionTest, OnePointPerWindowPerCohort) {
+  const CohortDistribution distribution =
+      ComputeCohortDistribution(*dataset_, *scores_, 2).ValueOrDie();
+  EXPECT_EQ(distribution.loyal.size(),
+            static_cast<size_t>(scores_->num_windows()));
+  EXPECT_EQ(distribution.defecting.size(), distribution.loyal.size());
+  for (const CohortQuantiles& quantiles : distribution.loyal) {
+    EXPECT_EQ(quantiles.count, 120u);
+  }
+}
+
+TEST_F(CohortDistributionTest, QuantilesAreOrdered) {
+  const CohortDistribution distribution =
+      ComputeCohortDistribution(*dataset_, *scores_, 2).ValueOrDie();
+  for (const auto* series : {&distribution.loyal, &distribution.defecting}) {
+    for (const CohortQuantiles& quantiles : *series) {
+      EXPECT_LE(quantiles.p10, quantiles.p25);
+      EXPECT_LE(quantiles.p25, quantiles.median);
+      EXPECT_LE(quantiles.median, quantiles.p75);
+      EXPECT_LE(quantiles.p75, quantiles.p90);
+    }
+  }
+}
+
+TEST_F(CohortDistributionTest, CohortsSeparateAfterOnset) {
+  const CohortDistribution distribution =
+      ComputeCohortDistribution(*dataset_, *scores_, 2).ValueOrDie();
+  // Find windows reported at months 14 (pre-onset) and 24 (post-onset).
+  const auto at_month = [](const std::vector<CohortQuantiles>& series,
+                           int32_t month) -> const CohortQuantiles* {
+    for (const CohortQuantiles& quantiles : series) {
+      if (quantiles.report_month == month) return &quantiles;
+    }
+    return nullptr;
+  };
+  const CohortQuantiles* loyal_pre = at_month(distribution.loyal, 14);
+  const CohortQuantiles* defect_pre = at_month(distribution.defecting, 14);
+  const CohortQuantiles* loyal_post = at_month(distribution.loyal, 24);
+  const CohortQuantiles* defect_post = at_month(distribution.defecting, 24);
+  ASSERT_NE(loyal_pre, nullptr);
+  ASSERT_NE(defect_post, nullptr);
+  // Pre-onset medians close; post-onset defecting median clearly lower.
+  EXPECT_NEAR(loyal_pre->median, defect_pre->median, 0.05);
+  EXPECT_GT(loyal_post->median - defect_post->median, 0.2);
+}
+
+TEST_F(CohortDistributionTest, ValidationErrors) {
+  EXPECT_FALSE(ComputeCohortDistribution(*dataset_, *scores_, 0).ok());
+  retail::Dataset unlabeled;
+  // Same scores but a dataset with no labels at all.
+  EXPECT_FALSE(ComputeCohortDistribution(unlabeled, *scores_, 2).ok());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace churnlab

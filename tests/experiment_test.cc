@@ -1,0 +1,118 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace churnlab {
+namespace eval {
+namespace {
+
+Figure1Options SmallOptions() {
+  Figure1Options options;
+  options.scenario.population.num_loyal = 150;
+  options.scenario.population.num_defecting = 150;
+  options.scenario.seed = 33;
+  return options;
+}
+
+TEST(AurocPerWindow, ReportsOnePointPerWindow) {
+  const retail::Dataset dataset =
+      datagen::MakePaperDataset(SmallOptions().scenario).ValueOrDie();
+  const auto model =
+      core::StabilityModel::Make(SmallOptions().stability).ValueOrDie();
+  const auto scores = model.ScoreDataset(dataset).ValueOrDie();
+  const auto series =
+      AurocPerWindow(dataset, scores, ScoreOrientation::kLowerIsPositive, 2)
+          .ValueOrDie();
+  ASSERT_EQ(series.size(), static_cast<size_t>(scores.num_windows()));
+  for (size_t k = 0; k < series.size(); ++k) {
+    EXPECT_EQ(series[k].window, static_cast<int32_t>(k));
+    EXPECT_EQ(series[k].report_month, static_cast<int32_t>(k + 1) * 2);
+    EXPECT_GE(series[k].auroc, 0.0);
+    EXPECT_LE(series[k].auroc, 1.0);
+  }
+}
+
+TEST(AurocPerWindow, FailsWithoutLabels) {
+  retail::Dataset dataset =
+      datagen::MakePaperDataset(SmallOptions().scenario).ValueOrDie();
+  for (const retail::CustomerId customer : dataset.store().Customers()) {
+    dataset.SetLabel(customer, {retail::Cohort::kUnlabeled, -1});
+  }
+  const auto model =
+      core::StabilityModel::Make(SmallOptions().stability).ValueOrDie();
+  const auto scores = model.ScoreDataset(dataset).ValueOrDie();
+  EXPECT_FALSE(
+      AurocPerWindow(dataset, scores, ScoreOrientation::kLowerIsPositive, 2)
+          .ok());
+}
+
+TEST(ExperimentRunner, Figure1ShapeMatchesPaper) {
+  const Figure1Result result =
+      ExperimentRunner::RunFigure1(SmallOptions()).ValueOrDie();
+  ASSERT_FALSE(result.rows.empty());
+  EXPECT_EQ(result.onset_month, 18);
+
+  double pre_onset_stability = -1.0;
+  double post_onset_stability = -1.0;
+  double post_onset_rfm = -1.0;
+  for (const Figure1Row& row : result.rows) {
+    EXPECT_GE(row.report_month, 12);
+    EXPECT_LE(row.report_month, 24);
+    if (row.report_month == 14) pre_onset_stability = row.stability_auroc;
+    if (row.report_month == 22) {
+      post_onset_stability = row.stability_auroc;
+      post_onset_rfm = row.rfm_auroc;
+    }
+  }
+  // The paper's qualitative claims.
+  EXPECT_NEAR(pre_onset_stability, 0.5, 0.12);  // chance before onset
+  EXPECT_GT(post_onset_stability, 0.75);        // detection after onset
+  EXPECT_GT(post_onset_rfm, 0.7);               // RFM comparable
+  EXPECT_NEAR(post_onset_stability, post_onset_rfm, 0.15);
+}
+
+TEST(ExperimentRunner, Figure1RowsAreWithinReportRange) {
+  Figure1Options options = SmallOptions();
+  options.first_report_month = 16;
+  options.last_report_month = 20;
+  const Figure1Result result =
+      ExperimentRunner::RunFigure1(options).ValueOrDie();
+  ASSERT_EQ(result.rows.size(), 3u);  // months 16, 18, 20
+}
+
+TEST(ExperimentRunner, MismatchedWindowSpansRejected) {
+  Figure1Options options = SmallOptions();
+  options.stability.window_span_months = 2;
+  options.rfm.features.window_span_months = 3;
+  const retail::Dataset dataset =
+      datagen::MakePaperDataset(options.scenario).ValueOrDie();
+  EXPECT_TRUE(ExperimentRunner::RunFigure1OnDataset(dataset, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ExperimentRunner, BootstrapIntervalsBracketEstimates) {
+  Figure1Options options = SmallOptions();
+  options.bootstrap_resamples = 100;
+  const Figure1Result result =
+      ExperimentRunner::RunFigure1(options).ValueOrDie();
+  ASSERT_FALSE(result.rows.empty());
+  for (const Figure1Row& row : result.rows) {
+    EXPECT_LE(row.stability_auroc_lower, row.stability_auroc);
+    EXPECT_GE(row.stability_auroc_upper, row.stability_auroc);
+    EXPECT_GT(row.stability_auroc_upper - row.stability_auroc_lower, 0.0);
+    EXPECT_LT(row.stability_auroc_upper - row.stability_auroc_lower, 0.3);
+  }
+}
+
+TEST(ExperimentRunner, StatsCarriedThrough) {
+  const Figure1Result result =
+      ExperimentRunner::RunFigure1(SmallOptions()).ValueOrDie();
+  EXPECT_EQ(result.stats.num_customers, 300u);
+  EXPECT_EQ(result.stats.num_loyal, 150u);
+  EXPECT_EQ(result.stats.num_defecting, 150u);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace churnlab

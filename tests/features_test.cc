@@ -1,0 +1,154 @@
+#include "rfm/features.h"
+
+#include <gtest/gtest.h>
+
+namespace churnlab {
+namespace rfm {
+namespace {
+
+// One customer, three receipts: day 10 (spend 10), day 50 (spend 20),
+// day 130 (spend 30); 60-day windows -> windows [0,60), [60,120), [120,180).
+retail::Dataset MakeTinyDataset() {
+  retail::Dataset dataset;
+  const auto add = [&](retail::Day day, double spend) {
+    retail::Receipt receipt;
+    receipt.customer = 1;
+    receipt.day = day;
+    receipt.spend = spend;
+    receipt.items = {0};
+    ASSERT_TRUE(dataset.mutable_store().Append(std::move(receipt)).ok());
+  };
+  add(10, 10.0);
+  add(50, 20.0);
+  add(130, 30.0);
+  dataset.SetLabel(1, {retail::Cohort::kLoyal, -1});
+  dataset.Finalize();
+  return dataset;
+}
+
+RfmFeatureOptions TwoMonthOptions() {
+  RfmFeatureOptions options;
+  options.window_span_months = 2;
+  return options;
+}
+
+TEST(RfmFeatureExtractor, MakeValidatesOptions) {
+  RfmFeatureOptions none = TwoMonthOptions();
+  none.use_recency = none.use_frequency = none.use_monetary = false;
+  EXPECT_FALSE(RfmFeatureExtractor::Make(none).ok());
+  RfmFeatureOptions bad_span = TwoMonthOptions();
+  bad_span.window_span_months = 0;
+  EXPECT_FALSE(RfmFeatureExtractor::Make(bad_span).ok());
+}
+
+TEST(RfmFeatureExtractor, FeatureNamesMatchToggles) {
+  RfmFeatureOptions options = TwoMonthOptions();
+  options.use_monetary = false;
+  const auto extractor = RfmFeatureExtractor::Make(options).ValueOrDie();
+  const auto names = extractor.FeatureNames();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "recency_days");
+  EXPECT_EQ(names[2], "frequency_window");
+  EXPECT_EQ(extractor.NumFeatures(), 4u);
+}
+
+TEST(RfmFeatureExtractor, HandComputedValues) {
+  const retail::Dataset dataset = MakeTinyDataset();
+  const auto extractor =
+      RfmFeatureExtractor::Make(TwoMonthOptions()).ValueOrDie();
+  EXPECT_EQ(extractor.NumWindowsFor(dataset), 3);
+  const RfmFeatureMatrix matrix = extractor.Extract(dataset).ValueOrDie();
+  ASSERT_EQ(matrix.num_rows(), 1u);
+  ASSERT_EQ(matrix.num_windows(), 3);
+  ASSERT_EQ(matrix.num_features(), 6u);
+
+  // Window 0 (days 0..59): receipts at 10 and 50.
+  {
+    const auto f = matrix.FeatureVector(0, 0);
+    EXPECT_DOUBLE_EQ(f[0], 59.0 - 50.0);          // recency_days
+    // mean gap = (50-10)/1 = 40 -> ratio 9/40.
+    EXPECT_DOUBLE_EQ(f[1], 9.0 / 40.0);
+    EXPECT_DOUBLE_EQ(f[2], 2.0);                  // frequency_window
+    EXPECT_DOUBLE_EQ(f[3], 2.0);                  // receipts per window so far
+    EXPECT_DOUBLE_EQ(f[4], 30.0);                 // monetary_window
+    EXPECT_DOUBLE_EQ(f[5], 30.0);                 // spend per window so far
+  }
+  // Window 1 (days 60..119): no receipts.
+  {
+    const auto f = matrix.FeatureVector(0, 1);
+    EXPECT_DOUBLE_EQ(f[0], 119.0 - 50.0);
+    EXPECT_DOUBLE_EQ(f[2], 0.0);
+    EXPECT_DOUBLE_EQ(f[3], 1.0);   // 2 receipts / 2 windows
+    EXPECT_DOUBLE_EQ(f[4], 0.0);
+    EXPECT_DOUBLE_EQ(f[5], 15.0);  // 30 / 2
+  }
+  // Window 2 (days 120..179): one receipt at 130.
+  {
+    const auto f = matrix.FeatureVector(0, 2);
+    EXPECT_DOUBLE_EQ(f[0], 179.0 - 130.0);
+    // mean gap = (130-10)/2 = 60 -> ratio 49/60.
+    EXPECT_DOUBLE_EQ(f[1], 49.0 / 60.0);
+    EXPECT_DOUBLE_EQ(f[2], 1.0);
+    EXPECT_DOUBLE_EQ(f[3], 1.0);
+    EXPECT_DOUBLE_EQ(f[4], 30.0);
+    EXPECT_DOUBLE_EQ(f[5], 20.0);
+  }
+}
+
+TEST(RfmFeatureExtractor, NeverSeenCustomerGetsMaximalRecency) {
+  retail::Dataset dataset;
+  retail::Receipt receipt;
+  receipt.customer = 1;
+  receipt.day = 150;  // first purchase in window 2
+  receipt.spend = 5.0;
+  receipt.items = {0};
+  ASSERT_TRUE(dataset.mutable_store().Append(std::move(receipt)).ok());
+  dataset.Finalize();
+  const auto extractor =
+      RfmFeatureExtractor::Make(TwoMonthOptions()).ValueOrDie();
+  const RfmFeatureMatrix matrix = extractor.Extract(dataset).ValueOrDie();
+  const auto window0 = matrix.FeatureVector(0, 0);
+  EXPECT_DOUBLE_EQ(window0[0], 60.0);  // whole span, never seen
+  const auto window1 = matrix.FeatureVector(0, 1);
+  EXPECT_DOUBLE_EQ(window1[0], 120.0);
+}
+
+TEST(RfmFeatureExtractor, NumWindowsOverride) {
+  const retail::Dataset dataset = MakeTinyDataset();
+  RfmFeatureOptions options = TwoMonthOptions();
+  options.num_windows = 5;
+  const auto extractor = RfmFeatureExtractor::Make(options).ValueOrDie();
+  const RfmFeatureMatrix matrix = extractor.Extract(dataset).ValueOrDie();
+  EXPECT_EQ(matrix.num_windows(), 5);
+  // Window 4 has no receipts; history statistics persist.
+  const auto f = matrix.FeatureVector(0, 4);
+  EXPECT_DOUBLE_EQ(f[2], 0.0);
+  EXPECT_DOUBLE_EQ(f[5], 60.0 / 5.0);
+}
+
+TEST(RfmFeatureExtractor, DisabledFamiliesProduceNarrowRows) {
+  const retail::Dataset dataset = MakeTinyDataset();
+  RfmFeatureOptions options = TwoMonthOptions();
+  options.use_recency = false;
+  options.use_monetary = false;
+  const auto extractor = RfmFeatureExtractor::Make(options).ValueOrDie();
+  const RfmFeatureMatrix matrix = extractor.Extract(dataset).ValueOrDie();
+  ASSERT_EQ(matrix.num_features(), 2u);
+  EXPECT_DOUBLE_EQ(matrix.FeatureVector(0, 0)[0], 2.0);  // frequency_window
+}
+
+TEST(RfmFeatureExtractor, UnfinalizedDatasetFails) {
+  retail::Dataset dataset;
+  const auto extractor =
+      RfmFeatureExtractor::Make(TwoMonthOptions()).ValueOrDie();
+  retail::Receipt receipt;
+  receipt.customer = 1;
+  receipt.day = 0;
+  receipt.items = {0};
+  ASSERT_TRUE(dataset.mutable_store().Append(std::move(receipt)).ok());
+  EXPECT_FALSE(extractor.Extract(dataset).ok());
+}
+
+}  // namespace
+}  // namespace rfm
+}  // namespace churnlab

@@ -1,0 +1,115 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace churnlab {
+namespace {
+
+struct ParsedFlags {
+  std::string name;
+  int64_t count = 0;
+  uint64_t seed = 0;
+  double rate = 0.0;
+  bool verbose = false;
+};
+
+Status ParseInto(ParsedFlags* flags, std::vector<const char*> args) {
+  FlagParser parser("test");
+  parser.AddString("name", "default", "a name", &flags->name);
+  parser.AddInt64("count", 7, "a count", &flags->count);
+  parser.AddUint64("seed", 42, "a seed", &flags->seed);
+  parser.AddDouble("rate", 1.5, "a rate", &flags->rate);
+  parser.AddBool("verbose", false, "verbosity", &flags->verbose);
+  args.insert(args.begin(), "program");
+  return parser.Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagParser, DefaultsApplied) {
+  ParsedFlags flags;
+  ASSERT_TRUE(ParseInto(&flags, {}).ok());
+  EXPECT_EQ(flags.name, "default");
+  EXPECT_EQ(flags.count, 7);
+  EXPECT_EQ(flags.seed, 42u);
+  EXPECT_DOUBLE_EQ(flags.rate, 1.5);
+  EXPECT_FALSE(flags.verbose);
+}
+
+TEST(FlagParser, EqualsForm) {
+  ParsedFlags flags;
+  ASSERT_TRUE(ParseInto(&flags, {"--name=abc", "--count=-3", "--rate=0.25",
+                                 "--seed=9", "--verbose=true"})
+                  .ok());
+  EXPECT_EQ(flags.name, "abc");
+  EXPECT_EQ(flags.count, -3);
+  EXPECT_EQ(flags.seed, 9u);
+  EXPECT_DOUBLE_EQ(flags.rate, 0.25);
+  EXPECT_TRUE(flags.verbose);
+}
+
+TEST(FlagParser, SpaceSeparatedForm) {
+  ParsedFlags flags;
+  ASSERT_TRUE(
+      ParseInto(&flags, {"--name", "xyz", "--count", "12"}).ok());
+  EXPECT_EQ(flags.name, "xyz");
+  EXPECT_EQ(flags.count, 12);
+}
+
+TEST(FlagParser, BareBoolFlag) {
+  ParsedFlags flags;
+  ASSERT_TRUE(ParseInto(&flags, {"--verbose"}).ok());
+  EXPECT_TRUE(flags.verbose);
+  ParsedFlags off;
+  ASSERT_TRUE(ParseInto(&off, {"--verbose=false"}).ok());
+  EXPECT_FALSE(off.verbose);
+  ParsedFlags zero;
+  ASSERT_TRUE(ParseInto(&zero, {"--verbose=0"}).ok());
+  EXPECT_FALSE(zero.verbose);
+}
+
+TEST(FlagParser, PositionalArgumentsCollected) {
+  FlagParser parser("test");
+  std::string name;
+  parser.AddString("name", "", "n", &name);
+  const char* args[] = {"program", "first", "--name=x", "second"};
+  ASSERT_TRUE(parser.Parse(4, args).ok());
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(FlagParser, Errors) {
+  ParsedFlags flags;
+  EXPECT_TRUE(ParseInto(&flags, {"--unknown=1"}).IsInvalidArgument());
+  EXPECT_TRUE(ParseInto(&flags, {"--count=abc"}).IsInvalidArgument());
+  EXPECT_TRUE(ParseInto(&flags, {"--seed=-1"}).IsInvalidArgument());
+  EXPECT_TRUE(ParseInto(&flags, {"--verbose=maybe"}).IsInvalidArgument());
+  EXPECT_TRUE(ParseInto(&flags, {"--name"}).IsInvalidArgument());  // no value
+}
+
+TEST(FlagParser, HelpReturnsCancelled) {
+  ParsedFlags flags;
+  EXPECT_TRUE(ParseInto(&flags, {"--help"}).IsCancelled());
+}
+
+TEST(FlagParser, UsageMentionsFlagsAndDefaults) {
+  FlagParser parser("my tool");
+  double rate = 0.0;
+  parser.AddDouble("rate", 2.5, "the rate", &rate);
+  const std::string usage = parser.Usage();
+  EXPECT_NE(usage.find("my tool"), std::string::npos);
+  EXPECT_NE(usage.find("--rate"), std::string::npos);
+  EXPECT_NE(usage.find("2.500"), std::string::npos);
+  EXPECT_NE(usage.find("the rate"), std::string::npos);
+}
+
+TEST(FlagParser, BeginOffsetSkipsSubcommand) {
+  FlagParser parser("test");
+  std::string name;
+  parser.AddString("name", "", "n", &name);
+  const char* args[] = {"program", "subcommand", "--name=v"};
+  ASSERT_TRUE(parser.Parse(3, args, 2).ok());
+  EXPECT_EQ(name, "v");
+  EXPECT_TRUE(parser.positional().empty());
+}
+
+}  // namespace
+}  // namespace churnlab

@@ -1,0 +1,113 @@
+#include "eval/forecaster.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/scenario.h"
+
+namespace churnlab {
+namespace eval {
+namespace {
+
+retail::Dataset MakeSpreadOnsetDataset() {
+  datagen::PaperScenarioConfig config;
+  config.population.num_loyal = 300;
+  config.population.num_defecting = 300;
+  config.population.attrition.onset_month = 18;
+  config.population.attrition.onset_jitter_months = 5;
+  config.population.attrition.early_loss_months = 4;
+  config.population.attrition.early_loss_quantile = 0.35;
+  config.seed = 55;
+  return datagen::MakePaperDataset(config).ValueOrDie();
+}
+
+TEST(StabilityForecaster, PartitionsCohortsByOnset) {
+  const retail::Dataset dataset = MakeSpreadOnsetDataset();
+  ForecastOptions options;
+  options.decision_month = 16;
+  options.horizon_months = 6;
+  const ForecastResult result =
+      StabilityForecaster::Run(dataset, options).ValueOrDie();
+  EXPECT_EQ(result.num_loyal, 300u);
+  EXPECT_GT(result.num_future_defectors, 0u);
+  EXPECT_GT(result.num_already_defecting, 0u);
+  // Every defector is either excluded (onset <= 16), a future defector
+  // (onset in 17..22), or beyond the horizon (onset 23).
+  EXPECT_LE(result.num_future_defectors + result.num_already_defecting, 300u);
+}
+
+TEST(StabilityForecaster, ShortLeadBucketCarriesSignal) {
+  const retail::Dataset dataset = MakeSpreadOnsetDataset();
+  ForecastOptions options;
+  options.decision_month = 16;
+  options.horizon_months = 6;
+  const ForecastResult result =
+      StabilityForecaster::Run(dataset, options).ValueOrDie();
+  ASSERT_EQ(result.by_lead.size(), 6u);
+  // Lead-1 defectors have 4 months of smoldering losses behind them.
+  ASSERT_GT(result.by_lead[0].num_defectors, 10u);
+  EXPECT_GT(result.by_lead[0].auroc, 0.6);
+  // Pooled AUROC is at least weakly above chance.
+  EXPECT_GT(result.auroc, 0.5);
+}
+
+TEST(StabilityForecaster, LongLeadNearChance) {
+  const retail::Dataset dataset = MakeSpreadOnsetDataset();
+  ForecastOptions options;
+  options.decision_month = 14;
+  options.horizon_months = 6;
+  const ForecastResult result =
+      StabilityForecaster::Run(dataset, options).ValueOrDie();
+  // Defectors 6 months out have not changed behaviour at all yet.
+  const auto& far = result.by_lead.back();
+  if (far.num_defectors > 20) {
+    EXPECT_NEAR(far.auroc, 0.5, 0.15);
+  }
+}
+
+TEST(StabilityForecaster, ValidationErrors) {
+  const retail::Dataset dataset = MakeSpreadOnsetDataset();
+  ForecastOptions bad_decision;
+  bad_decision.decision_month = 0;
+  EXPECT_FALSE(StabilityForecaster::Run(dataset, bad_decision).ok());
+
+  ForecastOptions bad_features;
+  bad_features.feature_windows = 0;
+  EXPECT_FALSE(StabilityForecaster::Run(dataset, bad_features).ok());
+
+  ForecastOptions too_early;
+  too_early.decision_month = 2;   // only one complete window
+  too_early.feature_windows = 3;  // needs three
+  EXPECT_FALSE(StabilityForecaster::Run(dataset, too_early).ok());
+
+  ForecastOptions bad_folds;
+  bad_folds.decision_month = 16;
+  bad_folds.cv_folds = 1;
+  EXPECT_FALSE(StabilityForecaster::Run(dataset, bad_folds).ok());
+}
+
+TEST(StabilityForecaster, TooFewExamplesFails) {
+  datagen::PaperScenarioConfig config;
+  config.population.num_loyal = 3;
+  config.population.num_defecting = 3;
+  config.seed = 9;
+  const retail::Dataset dataset =
+      datagen::MakePaperDataset(config).ValueOrDie();
+  ForecastOptions options;
+  options.decision_month = 16;
+  EXPECT_FALSE(StabilityForecaster::Run(dataset, options).ok());
+}
+
+TEST(StabilityForecaster, StabilityOnlyFeaturesStillRun) {
+  const retail::Dataset dataset = MakeSpreadOnsetDataset();
+  ForecastOptions options;
+  options.decision_month = 16;
+  options.use_visit_counts = false;
+  const ForecastResult result =
+      StabilityForecaster::Run(dataset, options).ValueOrDie();
+  EXPECT_GE(result.auroc, 0.0);
+  EXPECT_LE(result.auroc, 1.0);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace churnlab

@@ -1,0 +1,85 @@
+#include "eval/grid_search.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/scenario.h"
+
+namespace churnlab {
+namespace eval {
+namespace {
+
+retail::Dataset MakeDataset() {
+  datagen::PaperScenarioConfig config;
+  config.population.num_loyal = 120;
+  config.population.num_defecting = 120;
+  config.seed = 44;
+  return datagen::MakePaperDataset(config).ValueOrDie();
+}
+
+GridSearchOptions SmallGrid() {
+  GridSearchOptions options;
+  options.window_spans_months = {1, 2};
+  options.alphas = {1.5, 2.0};
+  options.folds = 4;
+  options.onset_month = 18;
+  return options;
+}
+
+TEST(StabilityGridSearch, EvaluatesEveryCell) {
+  const retail::Dataset dataset = MakeDataset();
+  const GridSearchResult result =
+      StabilityGridSearch::Run(dataset, SmallGrid()).ValueOrDie();
+  ASSERT_EQ(result.cells.size(), 4u);
+  for (const GridSearchCell& cell : result.cells) {
+    EXPECT_GE(cell.mean_auroc, 0.0);
+    EXPECT_LE(cell.mean_auroc, 1.0);
+    EXPECT_GE(cell.std_auroc, 0.0);
+  }
+}
+
+TEST(StabilityGridSearch, BestCellIsArgmax) {
+  const retail::Dataset dataset = MakeDataset();
+  const GridSearchResult result =
+      StabilityGridSearch::Run(dataset, SmallGrid()).ValueOrDie();
+  for (const GridSearchCell& cell : result.cells) {
+    EXPECT_LE(cell.mean_auroc, result.best.mean_auroc);
+  }
+}
+
+TEST(StabilityGridSearch, PostOnsetObjectiveBeatsChance) {
+  const retail::Dataset dataset = MakeDataset();
+  const GridSearchResult result =
+      StabilityGridSearch::Run(dataset, SmallGrid()).ValueOrDie();
+  EXPECT_GT(result.best.mean_auroc, 0.65);
+}
+
+TEST(StabilityGridSearch, DeterministicGivenSeed) {
+  const retail::Dataset dataset = MakeDataset();
+  const GridSearchResult a =
+      StabilityGridSearch::Run(dataset, SmallGrid()).ValueOrDie();
+  const GridSearchResult b =
+      StabilityGridSearch::Run(dataset, SmallGrid()).ValueOrDie();
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.cells[i].mean_auroc, b.cells[i].mean_auroc);
+  }
+}
+
+TEST(StabilityGridSearch, ValidationErrors) {
+  const retail::Dataset dataset = MakeDataset();
+  GridSearchOptions empty_grid = SmallGrid();
+  empty_grid.alphas.clear();
+  EXPECT_FALSE(StabilityGridSearch::Run(dataset, empty_grid).ok());
+
+  GridSearchOptions bad_folds = SmallGrid();
+  bad_folds.folds = 1;
+  EXPECT_FALSE(StabilityGridSearch::Run(dataset, bad_folds).ok());
+
+  GridSearchOptions late_onset = SmallGrid();
+  late_onset.onset_month = 100;  // no windows in objective horizon
+  EXPECT_FALSE(StabilityGridSearch::Run(dataset, late_onset).ok());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace churnlab

@@ -1,0 +1,76 @@
+#include "retail/item_dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace churnlab {
+namespace retail {
+namespace {
+
+TEST(ItemDictionary, AssignsDenseIdsInInsertionOrder) {
+  ItemDictionary dictionary;
+  EXPECT_EQ(dictionary.GetOrAdd("coffee"), 0u);
+  EXPECT_EQ(dictionary.GetOrAdd("milk"), 1u);
+  EXPECT_EQ(dictionary.GetOrAdd("cheese"), 2u);
+  EXPECT_EQ(dictionary.size(), 3u);
+}
+
+TEST(ItemDictionary, GetOrAddIsIdempotent) {
+  ItemDictionary dictionary;
+  const ItemId first = dictionary.GetOrAdd("coffee");
+  const ItemId second = dictionary.GetOrAdd("coffee");
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(dictionary.size(), 1u);
+}
+
+TEST(ItemDictionary, FindAndContains) {
+  ItemDictionary dictionary;
+  dictionary.GetOrAdd("milk");
+  EXPECT_EQ(dictionary.Find("milk"), 0u);
+  EXPECT_EQ(dictionary.Find("tea"), kInvalidItem);
+  EXPECT_TRUE(dictionary.Contains("milk"));
+  EXPECT_FALSE(dictionary.Contains("tea"));
+}
+
+TEST(ItemDictionary, NameLookup) {
+  ItemDictionary dictionary;
+  dictionary.GetOrAdd("sponge");
+  EXPECT_EQ(dictionary.Name(0).ValueOrDie(), "sponge");
+  EXPECT_TRUE(dictionary.Name(5).status().IsOutOfRange());
+}
+
+TEST(ItemDictionary, NameOrPlaceholder) {
+  ItemDictionary dictionary;
+  dictionary.GetOrAdd("sponge");
+  EXPECT_EQ(dictionary.NameOrPlaceholder(0), "sponge");
+  EXPECT_EQ(dictionary.NameOrPlaceholder(42), "item#42");
+}
+
+TEST(ItemDictionary, EmptyStateAndEmptyName) {
+  ItemDictionary dictionary;
+  EXPECT_TRUE(dictionary.empty());
+  EXPECT_EQ(dictionary.GetOrAdd(""), 0u);  // empty names are legal
+  EXPECT_TRUE(dictionary.Contains(""));
+  EXPECT_FALSE(dictionary.empty());
+}
+
+TEST(ItemDictionary, NamesVectorIndexableByItemId) {
+  ItemDictionary dictionary;
+  dictionary.GetOrAdd("a");
+  dictionary.GetOrAdd("b");
+  ASSERT_EQ(dictionary.names().size(), 2u);
+  EXPECT_EQ(dictionary.names()[1], "b");
+}
+
+TEST(ItemDictionary, ManyItemsStayConsistent) {
+  ItemDictionary dictionary;
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_EQ(dictionary.GetOrAdd("item-" + std::to_string(i)),
+              static_cast<ItemId>(i));
+  }
+  EXPECT_EQ(dictionary.Find("item-9999"), 9999u);
+  EXPECT_EQ(dictionary.Name(1234).ValueOrDie(), "item-1234");
+}
+
+}  // namespace
+}  // namespace retail
+}  // namespace churnlab

@@ -1,0 +1,109 @@
+#include "common/kfold.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace churnlab {
+namespace {
+
+std::vector<int> MakeLabels(size_t negatives, size_t positives) {
+  std::vector<int> labels(negatives, 0);
+  labels.insert(labels.end(), positives, 1);
+  return labels;
+}
+
+TEST(StratifiedKFold, FoldsPartitionAllIndices) {
+  const auto labels = MakeLabels(30, 20);
+  const auto folds = StratifiedKFold::Make(labels, 5, 1).ValueOrDie();
+  ASSERT_EQ(folds.num_folds(), 5u);
+  std::set<size_t> all;
+  size_t total = 0;
+  for (size_t f = 0; f < folds.num_folds(); ++f) {
+    for (const size_t index : folds.TestIndices(f)) {
+      EXPECT_LT(index, labels.size());
+      all.insert(index);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, labels.size());      // no duplicates across folds
+  EXPECT_EQ(all.size(), labels.size());  // full coverage
+}
+
+TEST(StratifiedKFold, FoldsAreBalancedInSize) {
+  const auto labels = MakeLabels(52, 48);
+  const auto folds = StratifiedKFold::Make(labels, 5, 2).ValueOrDie();
+  for (size_t f = 0; f < folds.num_folds(); ++f) {
+    EXPECT_NEAR(static_cast<double>(folds.TestIndices(f).size()), 20.0, 1.0);
+  }
+}
+
+TEST(StratifiedKFold, ClassProportionsPreserved) {
+  const auto labels = MakeLabels(80, 20);  // 20% positive
+  const auto folds = StratifiedKFold::Make(labels, 5, 3).ValueOrDie();
+  for (size_t f = 0; f < folds.num_folds(); ++f) {
+    size_t positives = 0;
+    for (const size_t index : folds.TestIndices(f)) {
+      positives += static_cast<size_t>(labels[index]);
+    }
+    EXPECT_EQ(positives, 4u) << "fold " << f;
+  }
+}
+
+TEST(StratifiedKFold, TrainIsComplementOfTest) {
+  const auto labels = MakeLabels(15, 10);
+  const auto folds = StratifiedKFold::Make(labels, 5, 4).ValueOrDie();
+  for (size_t f = 0; f < folds.num_folds(); ++f) {
+    const auto train = folds.TrainIndices(f);
+    const auto& test = folds.TestIndices(f);
+    EXPECT_EQ(train.size() + test.size(), labels.size());
+    std::set<size_t> train_set(train.begin(), train.end());
+    for (const size_t index : test) {
+      EXPECT_FALSE(train_set.count(index)) << "index " << index;
+    }
+  }
+}
+
+TEST(StratifiedKFold, DeterministicBySeed) {
+  const auto labels = MakeLabels(20, 20);
+  const auto a = StratifiedKFold::Make(labels, 4, 9).ValueOrDie();
+  const auto b = StratifiedKFold::Make(labels, 4, 9).ValueOrDie();
+  for (size_t f = 0; f < 4; ++f) {
+    EXPECT_EQ(a.TestIndices(f), b.TestIndices(f));
+  }
+}
+
+TEST(StratifiedKFold, DifferentSeedsShuffleDifferently) {
+  const auto labels = MakeLabels(50, 50);
+  const auto a = StratifiedKFold::Make(labels, 5, 1).ValueOrDie();
+  const auto b = StratifiedKFold::Make(labels, 5, 2).ValueOrDie();
+  // At least one fold differs.
+  bool any_different = false;
+  for (size_t f = 0; f < 5; ++f) {
+    if (a.TestIndices(f) != b.TestIndices(f)) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(StratifiedKFold, MultiClassLabelsSupported) {
+  std::vector<int> labels;
+  for (int c = 0; c < 3; ++c) labels.insert(labels.end(), 12, c);
+  const auto folds = StratifiedKFold::Make(labels, 4, 5).ValueOrDie();
+  for (size_t f = 0; f < folds.num_folds(); ++f) {
+    std::vector<int> counts(3, 0);
+    for (const size_t index : folds.TestIndices(f)) ++counts[labels[index]];
+    EXPECT_EQ(counts[0], 3);
+    EXPECT_EQ(counts[1], 3);
+    EXPECT_EQ(counts[2], 3);
+  }
+}
+
+TEST(StratifiedKFold, ValidationErrors) {
+  EXPECT_TRUE(StratifiedKFold::Make({0, 1}, 1, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      StratifiedKFold::Make({0, 1}, 3, 0).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace churnlab

@@ -1,0 +1,137 @@
+#include "eval/latency.h"
+
+#include <gtest/gtest.h>
+
+#include "core/stability_model.h"
+#include "datagen/scenario.h"
+
+namespace churnlab {
+namespace eval {
+namespace {
+
+// Hand-built scores: 2 loyal, 2 defectors over 5 windows (span 2 months).
+struct Fixture {
+  retail::Dataset dataset;
+  core::ScoreMatrix scores{{1, 2, 3, 4}, 5};
+
+  Fixture() {
+    dataset.SetLabel(1, {retail::Cohort::kLoyal, -1});
+    dataset.SetLabel(2, {retail::Cohort::kLoyal, -1});
+    dataset.SetLabel(3, {retail::Cohort::kDefecting, 4});
+    dataset.SetLabel(4, {retail::Cohort::kDefecting, 4});
+    // Loyal 1: always high. Loyal 2: one dip below 0.6 at window 3.
+    for (int32_t w = 0; w < 5; ++w) {
+      scores.Set(0, w, 0.95);
+      scores.Set(1, w, w == 3 ? 0.5 : 0.9);
+    }
+    // Defector 3: sinks at window 2 (report month 6 -> lag 2 vs onset 4).
+    // Defector 4: never sinks below 0.6.
+    for (int32_t w = 0; w < 5; ++w) {
+      scores.Set(2, w, w >= 2 ? 0.3 : 0.95);
+      scores.Set(3, w, 0.8);
+    }
+  }
+};
+
+LatencyOptions DefaultOptions() {
+  LatencyOptions options;
+  options.beta = 0.6;
+  options.warmup_windows = 1;
+  options.window_span_months = 2;
+  return options;
+}
+
+TEST(DetectionLatency, HandComputedLagsAndFalseAlarms) {
+  const Fixture fixture;
+  const LatencyResult result =
+      MeasureDetectionLatency(fixture.dataset, fixture.scores,
+                              DefaultOptions())
+          .ValueOrDie();
+  EXPECT_EQ(result.defectors, 2u);
+  EXPECT_EQ(result.defectors_flagged, 1u);
+  ASSERT_EQ(result.lags_months.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.lags_months[0], 2.0);  // month 6 - onset 4
+  EXPECT_DOUBLE_EQ(result.median_lag_months, 2.0);
+  EXPECT_EQ(result.loyal, 2u);
+  EXPECT_EQ(result.loyal_flagged, 1u);  // loyal 2's dip
+  EXPECT_DOUBLE_EQ(result.false_alarm_rate, 0.5);
+}
+
+TEST(DetectionLatency, WarmupSuppressesEarlyWindows) {
+  const Fixture fixture;
+  LatencyOptions options = DefaultOptions();
+  options.warmup_windows = 4;  // only window 4 is eligible
+  const LatencyResult result =
+      MeasureDetectionLatency(fixture.dataset, fixture.scores, options)
+          .ValueOrDie();
+  // Loyal 2's dip (window 3) is now inside the warmup: no false alarm.
+  EXPECT_EQ(result.loyal_flagged, 0u);
+  // Defector 3 is flagged at window 4 instead: lag = 10 - 4 = 6.
+  ASSERT_EQ(result.lags_months.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.lags_months[0], 6.0);
+}
+
+TEST(DetectionLatency, HigherIsPositiveOrientation) {
+  retail::Dataset dataset;
+  dataset.SetLabel(1, {retail::Cohort::kLoyal, -1});
+  dataset.SetLabel(2, {retail::Cohort::kDefecting, 0});
+  core::ScoreMatrix scores({1, 2}, 2);
+  scores.Set(0, 1, 0.1);
+  scores.Set(1, 1, 0.9);  // high churn probability
+  LatencyOptions options;
+  options.beta = 0.5;
+  options.orientation = ScoreOrientation::kHigherIsPositive;
+  options.warmup_windows = 0;
+  options.window_span_months = 2;
+  const LatencyResult result =
+      MeasureDetectionLatency(dataset, scores, options).ValueOrDie();
+  EXPECT_EQ(result.defectors_flagged, 1u);
+  EXPECT_EQ(result.loyal_flagged, 0u);
+}
+
+TEST(DetectionLatency, EndToEndOnSimulatedData) {
+  datagen::PaperScenarioConfig scenario;
+  scenario.population.num_loyal = 150;
+  scenario.population.num_defecting = 150;
+  scenario.seed = 13;
+  const retail::Dataset dataset =
+      datagen::MakePaperDataset(scenario).ValueOrDie();
+  core::StabilityModelOptions model_options;
+  model_options.significance.alpha = 2.0;
+  model_options.window_span_months = 2;
+  const auto model = core::StabilityModel::Make(model_options).ValueOrDie();
+  const auto scores = model.ScoreDataset(dataset).ValueOrDie();
+  const LatencyResult result =
+      MeasureDetectionLatency(dataset, scores, DefaultOptions())
+          .ValueOrDie();
+  // Most defectors get caught, within a few months of onset, at a modest
+  // false-alarm rate.
+  EXPECT_GT(static_cast<double>(result.defectors_flagged) /
+                static_cast<double>(result.defectors),
+            0.8);
+  EXPECT_GT(result.median_lag_months, 0.0);
+  EXPECT_LT(result.median_lag_months, 8.0);
+  EXPECT_LT(result.false_alarm_rate, 0.35);
+}
+
+TEST(DetectionLatency, ValidationErrors) {
+  const Fixture fixture;
+  LatencyOptions bad_span = DefaultOptions();
+  bad_span.window_span_months = 0;
+  EXPECT_FALSE(
+      MeasureDetectionLatency(fixture.dataset, fixture.scores, bad_span)
+          .ok());
+  LatencyOptions bad_warmup = DefaultOptions();
+  bad_warmup.warmup_windows = -1;
+  EXPECT_FALSE(
+      MeasureDetectionLatency(fixture.dataset, fixture.scores, bad_warmup)
+          .ok());
+  // No labels at all.
+  retail::Dataset empty;
+  EXPECT_FALSE(
+      MeasureDetectionLatency(empty, fixture.scores, DefaultOptions()).ok());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace churnlab

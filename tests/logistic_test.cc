@@ -1,0 +1,160 @@
+#include "rfm/logistic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/math_util.h"
+
+namespace churnlab {
+namespace rfm {
+namespace {
+
+// 1-D threshold data: x < 0 -> 0, x > 0 -> 1 (separable with margin).
+void MakeSeparable(std::vector<std::vector<double>>* rows,
+                   std::vector<int>* labels) {
+  rows->clear();
+  labels->clear();
+  for (double x = -2.0; x <= 2.0; x += 0.25) {
+    if (std::abs(x) < 0.25) continue;
+    rows->push_back({x});
+    labels->push_back(x > 0 ? 1 : 0);
+  }
+}
+
+// Labels drawn from a known logistic model.
+void MakeCalibrated(size_t n, const std::vector<double>& weights,
+                    double intercept,
+                    std::vector<std::vector<double>>* rows,
+                    std::vector<int>* labels, uint64_t seed = 17) {
+  Rng rng(seed);
+  rows->clear();
+  labels->clear();
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> row(weights.size());
+    for (double& value : row) value = rng.Normal();
+    const double p = Sigmoid(Dot(weights, row) + intercept);
+    labels->push_back(rng.Bernoulli(p) ? 1 : 0);
+    rows->push_back(std::move(row));
+  }
+}
+
+TEST(LogisticRegression, SeparableDataClassifiedPerfectly) {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  MakeSeparable(&rows, &labels);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(rows, labels).ok());
+  ASSERT_TRUE(model.fitted());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(model.PredictProbability(rows[i]) > 0.5, labels[i] == 1);
+  }
+  EXPECT_GT(model.weights()[0], 0.0);
+}
+
+TEST(LogisticRegression, RecoverParametersOnCalibratedData) {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  MakeCalibrated(20000, {1.5, -0.8}, 0.3, &rows, &labels);
+  LogisticRegressionOptions options;
+  options.l2 = 0.0;
+  LogisticRegression model(options);
+  ASSERT_TRUE(model.Fit(rows, labels).ok());
+  EXPECT_NEAR(model.weights()[0], 1.5, 0.1);
+  EXPECT_NEAR(model.weights()[1], -0.8, 0.1);
+  EXPECT_NEAR(model.intercept(), 0.3, 0.1);
+}
+
+TEST(LogisticRegression, IrlsAndGradientDescentAgree) {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  MakeCalibrated(3000, {0.7}, -0.2, &rows, &labels);
+  LogisticRegressionOptions irls_options;
+  irls_options.solver = LogisticSolver::kIrls;
+  irls_options.l2 = 1e-3;
+  LogisticRegression irls(irls_options);
+  ASSERT_TRUE(irls.Fit(rows, labels).ok());
+
+  LogisticRegressionOptions gd_options = irls_options;
+  gd_options.solver = LogisticSolver::kGradientDescent;
+  gd_options.max_iterations = 20000;
+  gd_options.learning_rate = 0.5;
+  gd_options.tolerance = 1e-10;
+  LogisticRegression gd(gd_options);
+  ASSERT_TRUE(gd.Fit(rows, labels).ok());
+
+  EXPECT_NEAR(irls.weights()[0], gd.weights()[0], 0.01);
+  EXPECT_NEAR(irls.intercept(), gd.intercept(), 0.01);
+  EXPECT_NEAR(irls.final_loss(), gd.final_loss(), 1e-4);
+}
+
+TEST(LogisticRegression, L2ShrinksWeights) {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  MakeSeparable(&rows, &labels);
+  LogisticRegressionOptions weak;
+  weak.l2 = 1e-4;
+  LogisticRegressionOptions strong;
+  strong.l2 = 10.0;
+  LogisticRegression weak_model(weak);
+  LogisticRegression strong_model(strong);
+  ASSERT_TRUE(weak_model.Fit(rows, labels).ok());
+  ASSERT_TRUE(strong_model.Fit(rows, labels).ok());
+  EXPECT_LT(std::abs(strong_model.weights()[0]),
+            std::abs(weak_model.weights()[0]));
+}
+
+TEST(LogisticRegression, SingleClassFitsInterceptOnly) {
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit({{1.0}, {2.0}, {3.0}}, {1, 1, 1}).ok());
+  // Predicted probability should be close to 1 everywhere.
+  EXPECT_GT(model.PredictProbability({2.0}), 0.9);
+}
+
+TEST(LogisticRegression, InterceptMatchesBaseRateWithZeroFeatures) {
+  // All-zero features: the model can only learn the intercept, whose
+  // sigmoid must equal the positive rate.
+  std::vector<std::vector<double>> rows(100, {0.0});
+  std::vector<int> labels(100, 0);
+  for (size_t i = 0; i < 30; ++i) labels[i] = 1;
+  LogisticRegressionOptions options;
+  options.l2 = 0.0;
+  LogisticRegression model(options);
+  ASSERT_TRUE(model.Fit(rows, labels).ok());
+  EXPECT_NEAR(Sigmoid(model.intercept()), 0.3, 1e-6);
+}
+
+TEST(LogisticRegression, ConvergesInFewIrlsIterations) {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  MakeCalibrated(2000, {0.5, 0.5}, 0.0, &rows, &labels);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(rows, labels).ok());
+  EXPECT_LT(model.iterations_used(), 20u);
+}
+
+TEST(LogisticRegression, ValidationErrors) {
+  LogisticRegression model;
+  EXPECT_TRUE(model.Fit({}, {}).IsInvalidArgument());
+  EXPECT_TRUE(model.Fit({{1.0}}, {1, 0}).IsInvalidArgument());
+  EXPECT_TRUE(model.Fit({{1.0}, {1.0, 2.0}}, {0, 1}).IsInvalidArgument());
+  EXPECT_TRUE(model.Fit({{1.0}, {2.0}}, {0, 2}).IsInvalidArgument());
+  EXPECT_TRUE(model.Fit({{std::nan("")}, {1.0}}, {0, 1}).IsInvalidArgument());
+  EXPECT_FALSE(model.fitted());
+}
+
+TEST(LogisticRegression, DecisionFunctionConsistentWithProbability) {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  MakeSeparable(&rows, &labels);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(rows, labels).ok());
+  const std::vector<double> x = {0.7};
+  EXPECT_NEAR(model.PredictProbability(x), Sigmoid(model.DecisionFunction(x)),
+              1e-15);
+}
+
+}  // namespace
+}  // namespace rfm
+}  // namespace churnlab

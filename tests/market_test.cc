@@ -1,0 +1,135 @@
+#include "datagen/market.h"
+
+#include <gtest/gtest.h>
+
+namespace churnlab {
+namespace datagen {
+namespace {
+
+MarketConfig SmallConfig() {
+  MarketConfig config;
+  config.num_departments = 4;
+  config.num_segments = 20;
+  config.num_products = 100;
+  return config;
+}
+
+TEST(MarketGenerator, ProducesRequestedCounts) {
+  Rng rng(1);
+  const Market market = MarketGenerator::Generate(SmallConfig(), &rng)
+                            .ValueOrDie();
+  EXPECT_EQ(market.num_products(), 100u);
+  EXPECT_EQ(market.num_segments(), 20u);
+  EXPECT_EQ(market.taxonomy.num_departments(), 4u);
+  EXPECT_EQ(market.item_prices.size(), 100u);
+  EXPECT_EQ(market.item_popularity.size(), 100u);
+  EXPECT_EQ(market.segment_items.size(), 20u);
+  EXPECT_EQ(market.segment_popularity.size(), 20u);
+}
+
+TEST(MarketGenerator, EverySegmentHasAtLeastOneProduct) {
+  Rng rng(2);
+  const Market market =
+      MarketGenerator::Generate(SmallConfig(), &rng).ValueOrDie();
+  size_t total = 0;
+  for (const auto& items : market.segment_items) {
+    EXPECT_GE(items.size(), 1u);
+    total += items.size();
+  }
+  EXPECT_EQ(total, market.num_products());
+}
+
+TEST(MarketGenerator, EveryProductAssignedToItsSegment) {
+  Rng rng(3);
+  const Market market =
+      MarketGenerator::Generate(SmallConfig(), &rng).ValueOrDie();
+  EXPECT_TRUE(market.taxonomy.Validate().ok());
+  EXPECT_EQ(market.taxonomy.num_assigned_items(), market.num_products());
+  for (retail::SegmentId segment = 0; segment < 20; ++segment) {
+    for (const retail::ItemId item : market.segment_items[segment]) {
+      EXPECT_EQ(market.taxonomy.SegmentOf(item), segment);
+    }
+  }
+}
+
+TEST(MarketGenerator, PaperStaplesAlwaysPresent) {
+  Rng rng(4);
+  const Market market =
+      MarketGenerator::Generate(SmallConfig(), &rng).ValueOrDie();
+  for (const char* name : {"coffee", "milk", "sponge", "cheese"}) {
+    EXPECT_NE(market.FindSegment(name), retail::kInvalidSegment) << name;
+  }
+}
+
+TEST(MarketGenerator, SyntheticSegmentNamesBeyondBuiltInList) {
+  MarketConfig config = SmallConfig();
+  config.num_segments = 200;  // exceeds the grocery name list
+  config.num_products = 400;
+  Rng rng(5);
+  const Market market = MarketGenerator::Generate(config, &rng).ValueOrDie();
+  EXPECT_NE(market.FindSegment("segment-150"), retail::kInvalidSegment);
+}
+
+TEST(MarketGenerator, PricesArePositive) {
+  Rng rng(6);
+  const Market market =
+      MarketGenerator::Generate(SmallConfig(), &rng).ValueOrDie();
+  for (const double price : market.item_prices) EXPECT_GT(price, 0.0);
+  EXPECT_GT(market.PriceOf(0), 0.0);
+  EXPECT_DOUBLE_EQ(market.PriceOf(9999), 0.0);
+}
+
+TEST(MarketGenerator, PopularityHeadHeavierThanTail) {
+  MarketConfig config = SmallConfig();
+  config.segment_zipf_s = 1.0;
+  Rng rng(7);
+  const Market market = MarketGenerator::Generate(config, &rng).ValueOrDie();
+  // Average popularity of the first five segments should dominate the last
+  // five (noise is mild relative to the rank weights).
+  double head = 0.0;
+  double tail = 0.0;
+  for (size_t s = 0; s < 5; ++s) head += market.segment_popularity[s];
+  for (size_t s = 15; s < 20; ++s) tail += market.segment_popularity[s];
+  EXPECT_GT(head, tail);
+}
+
+TEST(MarketGenerator, DeterministicGivenRngState) {
+  Rng rng_a(11);
+  Rng rng_b(11);
+  const Market a = MarketGenerator::Generate(SmallConfig(), &rng_a)
+                       .ValueOrDie();
+  const Market b = MarketGenerator::Generate(SmallConfig(), &rng_b)
+                       .ValueOrDie();
+  EXPECT_EQ(a.item_prices, b.item_prices);
+  EXPECT_EQ(a.segment_popularity, b.segment_popularity);
+}
+
+TEST(MarketGenerator, ValidationErrors) {
+  Rng rng(13);
+  MarketConfig no_products = SmallConfig();
+  no_products.num_products = 0;
+  EXPECT_FALSE(MarketGenerator::Generate(no_products, &rng).ok());
+  MarketConfig fewer_products_than_segments = SmallConfig();
+  fewer_products_than_segments.num_products = 10;
+  EXPECT_FALSE(
+      MarketGenerator::Generate(fewer_products_than_segments, &rng).ok());
+  MarketConfig negative_zipf = SmallConfig();
+  negative_zipf.segment_zipf_s = -1.0;
+  EXPECT_FALSE(MarketGenerator::Generate(negative_zipf, &rng).ok());
+}
+
+TEST(MarketGenerator, FindItemByName) {
+  Rng rng(17);
+  const Market market =
+      MarketGenerator::Generate(SmallConfig(), &rng).ValueOrDie();
+  const retail::SegmentId coffee = market.FindSegment("coffee");
+  ASSERT_NE(coffee, retail::kInvalidSegment);
+  ASSERT_FALSE(market.segment_items[coffee].empty());
+  const retail::ItemId first_coffee = market.segment_items[coffee].front();
+  EXPECT_EQ(market.FindItem("coffee-0"), first_coffee);
+  EXPECT_EQ(market.FindItem("nonexistent"), retail::kInvalidItem);
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace churnlab

@@ -1,0 +1,162 @@
+#include "common/math_util.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace churnlab {
+namespace {
+
+TEST(Sigmoid, KnownValues) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-15);
+  EXPECT_NEAR(Sigmoid(-2.0), 1.0 - Sigmoid(2.0), 1e-15);
+}
+
+TEST(Sigmoid, NoOverflowAtExtremes) {
+  EXPECT_DOUBLE_EQ(Sigmoid(1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(Sigmoid(-1000.0), 0.0);
+  EXPECT_TRUE(std::isfinite(Sigmoid(710.0)));
+}
+
+TEST(Log1pExp, MatchesNaiveInSafeRange) {
+  for (double x = -30.0; x <= 30.0; x += 0.37) {
+    EXPECT_NEAR(Log1pExp(x), std::log1p(std::exp(x)), 1e-12) << "x=" << x;
+  }
+}
+
+TEST(Log1pExp, AsymptoticBehaviour) {
+  EXPECT_DOUBLE_EQ(Log1pExp(100.0), 100.0);
+  EXPECT_NEAR(Log1pExp(-100.0), std::exp(-100.0), 1e-60);
+}
+
+TEST(ClampedPow, ExactInsideClamp) {
+  EXPECT_NEAR(ClampedPow(2.0, 10.0, 100.0), 1024.0, 1e-9);
+  EXPECT_NEAR(ClampedPow(2.0, -3.0, 100.0), 0.125, 1e-12);
+  EXPECT_NEAR(ClampedPow(3.0, 0.0, 100.0), 1.0, 1e-12);
+}
+
+TEST(ClampedPow, ClampsLargeExponents) {
+  EXPECT_DOUBLE_EQ(ClampedPow(2.0, 5000.0, 10.0), std::pow(2.0, 10.0));
+  EXPECT_DOUBLE_EQ(ClampedPow(2.0, -5000.0, 10.0), std::pow(2.0, -10.0));
+  EXPECT_TRUE(std::isfinite(ClampedPow(2.0, 1e9, 500.0)));
+}
+
+TEST(ClampedPow, FractionalBase) {
+  // base < 1: positive exponents shrink, clamp symmetric.
+  EXPECT_NEAR(ClampedPow(0.5, 3.0, 100.0), 0.125, 1e-12);
+  EXPECT_DOUBLE_EQ(ClampedPow(0.5, 5000.0, 10.0), std::pow(0.5, 10.0));
+}
+
+TEST(Dot, Basic) {
+  EXPECT_DOUBLE_EQ(Dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+TEST(MeanVarianceStdDev, KnownValues) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(values), 5.0);
+  EXPECT_DOUBLE_EQ(Variance(values), 4.0);
+  EXPECT_DOUBLE_EQ(StdDev(values), 2.0);
+}
+
+TEST(MeanVariance, EdgeCases) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({3.0}), 0.0);
+}
+
+TEST(Clamp, Basics) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.3, 0.0, 1.0), 0.3);
+}
+
+TEST(AlmostEqual, Tolerance) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.1));
+  EXPECT_TRUE(AlmostEqual(1.0, 1.05, 0.1));
+}
+
+TEST(FractionalRanks, NoTies) {
+  const auto ranks = FractionalRanks({30.0, 10.0, 20.0});
+  ASSERT_EQ(ranks.size(), 3u);
+  EXPECT_DOUBLE_EQ(ranks[0], 3.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.0);
+}
+
+TEST(FractionalRanks, TiesAveraged) {
+  const auto ranks = FractionalRanks({1.0, 2.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(FractionalRanks, AllEqual) {
+  const auto ranks = FractionalRanks({7.0, 7.0, 7.0});
+  for (const double rank : ranks) EXPECT_DOUBLE_EQ(rank, 2.0);
+}
+
+TEST(FractionalRanks, SumIsInvariant) {
+  // Ranks always sum to n(n+1)/2 regardless of ties.
+  const auto ranks = FractionalRanks({5.0, 1.0, 5.0, 3.0, 1.0, 5.0});
+  double sum = 0.0;
+  for (const double rank : ranks) sum += rank;
+  EXPECT_DOUBLE_EQ(sum, 21.0);
+}
+
+TEST(SolveLinearSystem, Identity) {
+  const auto x = SolveLinearSystem({1, 0, 0, 1}, {3.0, 4.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ(x.ValueOrDie()[0], 3.0);
+  EXPECT_DOUBLE_EQ(x.ValueOrDie()[1], 4.0);
+}
+
+TEST(SolveLinearSystem, General3x3) {
+  // A = [[2,1,1],[1,3,2],[1,0,0]], b = [4,5,6] -> x = [6,15,-23].
+  const auto x =
+      SolveLinearSystem({2, 1, 1, 1, 3, 2, 1, 0, 0}, {4.0, 5.0, 6.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.ValueOrDie()[0], 6.0, 1e-9);
+  EXPECT_NEAR(x.ValueOrDie()[1], 15.0, 1e-9);
+  EXPECT_NEAR(x.ValueOrDie()[2], -23.0, 1e-9);
+}
+
+TEST(SolveLinearSystem, RequiresPivoting) {
+  // Leading zero forces a row swap.
+  const auto x = SolveLinearSystem({0, 1, 1, 0}, {2.0, 3.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ(x.ValueOrDie()[0], 3.0);
+  EXPECT_DOUBLE_EQ(x.ValueOrDie()[1], 2.0);
+}
+
+TEST(SolveLinearSystem, SingularFails) {
+  EXPECT_TRUE(
+      SolveLinearSystem({1, 2, 2, 4}, {1.0, 2.0}).status().IsInternal());
+}
+
+TEST(SolveLinearSystem, ShapeMismatchFails) {
+  EXPECT_TRUE(SolveLinearSystem({1, 2, 3}, {1.0, 2.0})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SolveLinearSystem, ResidualIsSmall) {
+  // Random-ish SPD-ish system; verify A x ~= b.
+  const std::vector<double> a = {4, 1, 2, 1, 5, 1, 2, 1, 6};
+  const std::vector<double> b = {1.0, -2.0, 3.0};
+  const auto x_result = SolveLinearSystem(a, b);
+  ASSERT_TRUE(x_result.ok());
+  const std::vector<double>& x = x_result.ValueOrDie();
+  for (size_t row = 0; row < 3; ++row) {
+    double sum = 0.0;
+    for (size_t col = 0; col < 3; ++col) sum += a[row * 3 + col] * x[col];
+    EXPECT_NEAR(sum, b[row], 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace churnlab

@@ -1,0 +1,116 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace churnlab {
+namespace eval {
+namespace {
+
+constexpr auto kHigher = ScoreOrientation::kHigherIsPositive;
+constexpr auto kLower = ScoreOrientation::kLowerIsPositive;
+
+TEST(ConfusionMatrix, DerivedMetrics) {
+  ConfusionMatrix confusion;
+  confusion.true_positives = 8;
+  confusion.false_positives = 2;
+  confusion.true_negatives = 85;
+  confusion.false_negatives = 5;
+  EXPECT_EQ(confusion.total(), 100u);
+  EXPECT_DOUBLE_EQ(confusion.Accuracy(), 0.93);
+  EXPECT_DOUBLE_EQ(confusion.Precision(), 0.8);
+  EXPECT_NEAR(confusion.Recall(), 8.0 / 13.0, 1e-12);
+  EXPECT_NEAR(confusion.FalsePositiveRate(), 2.0 / 87.0, 1e-12);
+  const double precision = 0.8;
+  const double recall = 8.0 / 13.0;
+  EXPECT_NEAR(confusion.F1(),
+              2.0 * precision * recall / (precision + recall), 1e-12);
+  EXPECT_NEAR(confusion.BalancedAccuracy(),
+              (recall + 85.0 / 87.0) / 2.0, 1e-12);
+  EXPECT_FALSE(confusion.ToString().empty());
+}
+
+TEST(ConfusionMatrix, DegenerateDenominators) {
+  const ConfusionMatrix empty;
+  EXPECT_DOUBLE_EQ(empty.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.F1(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.FalsePositiveRate(), 0.0);
+}
+
+TEST(ConfusionAtThreshold, HigherIsPositive) {
+  // Predict positive when score >= 0.5.
+  const auto confusion =
+      ConfusionAtThreshold({0.9, 0.5, 0.4, 0.1}, {1, 0, 1, 0}, 0.5, kHigher)
+          .ValueOrDie();
+  EXPECT_EQ(confusion.true_positives, 1u);   // 0.9/label1
+  EXPECT_EQ(confusion.false_positives, 1u);  // 0.5/label0
+  EXPECT_EQ(confusion.false_negatives, 1u);  // 0.4/label1
+  EXPECT_EQ(confusion.true_negatives, 1u);   // 0.1/label0
+}
+
+TEST(ConfusionAtThreshold, LowerIsPositiveMatchesPaperBetaRule) {
+  // Paper: "If Stability > beta the customer is considered loyal,
+  // otherwise defecting" -> positive (defecting) when score <= beta.
+  const auto confusion =
+      ConfusionAtThreshold({0.2, 0.6, 0.6, 0.95}, {1, 0, 1, 0}, 0.6, kLower)
+          .ValueOrDie();
+  EXPECT_EQ(confusion.true_positives, 2u);   // 0.2 and 0.6 with label 1
+  EXPECT_EQ(confusion.false_positives, 1u);  // 0.6 with label 0
+  EXPECT_EQ(confusion.true_negatives, 1u);   // 0.95 with label 0
+  EXPECT_EQ(confusion.false_negatives, 0u);
+}
+
+TEST(ConfusionAtThreshold, ValidationErrors) {
+  EXPECT_FALSE(ConfusionAtThreshold({0.5}, {1, 0}, 0.5, kHigher).ok());
+  EXPECT_FALSE(ConfusionAtThreshold({0.5}, {3}, 0.5, kHigher).ok());
+}
+
+TEST(LiftAtFraction, PerfectRankingYieldsMaxLift) {
+  // 2 positives among 10; top-20% by score captures both -> head rate 1.0,
+  // base rate 0.2 -> lift 5.
+  std::vector<double> scores = {0.99, 0.95, 0.5, 0.4, 0.3,
+                                0.2,  0.15, 0.1, 0.05, 0.01};
+  std::vector<int> labels = {1, 1, 0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(LiftAtFraction(scores, labels, 0.2, kHigher).ValueOrDie(),
+                   5.0);
+}
+
+TEST(LiftAtFraction, RandomRankingNearOne) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 1000; ++i) {
+    scores.push_back(static_cast<double>(i % 97));  // arbitrary vs labels
+    labels.push_back(i % 2);
+  }
+  const double lift =
+      LiftAtFraction(scores, labels, 0.1, kHigher).ValueOrDie();
+  EXPECT_NEAR(lift, 1.0, 0.2);
+}
+
+TEST(LiftAtFraction, LowerIsPositiveOrientation) {
+  // Defectors have the LOWEST scores.
+  std::vector<double> scores = {0.05, 0.1, 0.9, 0.95, 0.99};
+  std::vector<int> labels = {1, 1, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(LiftAtFraction(scores, labels, 0.4, kLower).ValueOrDie(),
+                   2.5);
+}
+
+TEST(LiftAtFraction, HeadOfAtLeastOne) {
+  // fraction so small it rounds to zero elements -> clamped to one.
+  std::vector<double> scores = {0.9, 0.1};
+  std::vector<int> labels = {1, 0};
+  EXPECT_DOUBLE_EQ(
+      LiftAtFraction(scores, labels, 0.01, kHigher).ValueOrDie(), 2.0);
+}
+
+TEST(LiftAtFraction, ValidationErrors) {
+  EXPECT_FALSE(LiftAtFraction({}, {}, 0.5, kHigher).ok());
+  EXPECT_FALSE(LiftAtFraction({0.5}, {0}, 0.5, kHigher).ok());  // no positives
+  EXPECT_FALSE(LiftAtFraction({0.5}, {1}, 0.0, kHigher).ok());
+  EXPECT_FALSE(LiftAtFraction({0.5}, {1}, 1.5, kHigher).ok());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace churnlab

@@ -1,0 +1,154 @@
+#include "core/monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace churnlab {
+namespace core {
+namespace {
+
+OnlineStabilityScorer::Options ScorerOptions() {
+  OnlineStabilityScorer::Options options;
+  options.significance.alpha = 2.0;
+  options.window_span_days = 60;
+  return options;
+}
+
+MonitorPolicy Policy(double beta = 0.6, int32_t streak = 1,
+                     double drop = 2.0 /* disabled */) {
+  MonitorPolicy policy;
+  policy.beta = beta;
+  policy.consecutive_windows = streak;
+  policy.drop_threshold = drop;
+  policy.warmup_windows = 1;
+  return policy;
+}
+
+// Feeds the same basket for `windows` windows, then `empty_windows` silent
+// windows, collecting alerts.
+std::vector<StabilityAlert> RunScriptedStream(StabilityMonitor* monitor,
+                                              int32_t steady_windows,
+                                              int32_t empty_windows) {
+  std::vector<StabilityAlert> alerts;
+  for (int32_t w = 0; w < steady_windows; ++w) {
+    const auto emitted =
+        monitor->Observe(w * 60 + 5, {1, 2, 3}).ValueOrDie();
+    alerts.insert(alerts.end(), emitted.begin(), emitted.end());
+  }
+  const auto tail =
+      monitor
+          ->AdvanceTo((steady_windows + empty_windows) * 60)
+          .ValueOrDie();
+  alerts.insert(alerts.end(), tail.begin(), tail.end());
+  return alerts;
+}
+
+TEST(StabilityMonitor, MakeValidatesPolicy) {
+  EXPECT_FALSE(StabilityMonitor::Make(ScorerOptions(), Policy(-0.1)).ok());
+  EXPECT_FALSE(StabilityMonitor::Make(ScorerOptions(), Policy(1.1)).ok());
+  EXPECT_FALSE(
+      StabilityMonitor::Make(ScorerOptions(), Policy(0.5, 0)).ok());
+  MonitorPolicy bad_warmup = Policy();
+  bad_warmup.warmup_windows = -1;
+  EXPECT_FALSE(StabilityMonitor::Make(ScorerOptions(), bad_warmup).ok());
+  EXPECT_TRUE(StabilityMonitor::Make(ScorerOptions(), Policy()).ok());
+}
+
+TEST(StabilityMonitor, NoAlertsWhileStable) {
+  auto monitor =
+      StabilityMonitor::Make(ScorerOptions(), Policy()).ValueOrDie();
+  const auto alerts = RunScriptedStream(&monitor, 8, 0);
+  EXPECT_TRUE(alerts.empty());
+  EXPECT_DOUBLE_EQ(monitor.last_stability(), 1.0);
+}
+
+TEST(StabilityMonitor, LowStabilityAlertOnSilence) {
+  auto monitor =
+      StabilityMonitor::Make(ScorerOptions(), Policy()).ValueOrDie();
+  const auto alerts = RunScriptedStream(&monitor, 5, 2);
+  // Both empty windows have stability 0 <= beta, but the streak saturates:
+  // exactly one alert.
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, StabilityAlert::Kind::kLowStability);
+  EXPECT_EQ(alerts[0].window_index, 5);
+  EXPECT_DOUBLE_EQ(alerts[0].stability, 0.0);
+}
+
+TEST(StabilityMonitor, DebounceRequiresStreak) {
+  auto monitor =
+      StabilityMonitor::Make(ScorerOptions(), Policy(0.6, 2)).ValueOrDie();
+  // One silent window, then recovery: no alert (streak 1 < 2).
+  std::vector<StabilityAlert> alerts;
+  for (int32_t w = 0; w < 4; ++w) {
+    auto emitted = monitor.Observe(w * 60 + 5, {1, 2, 3}).ValueOrDie();
+    alerts.insert(alerts.end(), emitted.begin(), emitted.end());
+  }
+  auto skip = monitor.AdvanceTo(5 * 60).ValueOrDie();  // window 4 silent
+  alerts.insert(alerts.end(), skip.begin(), skip.end());
+  auto back = monitor.Observe(5 * 60 + 5, {1, 2, 3}).ValueOrDie();
+  alerts.insert(alerts.end(), back.begin(), back.end());
+  EXPECT_TRUE(alerts.empty());
+
+  // Two silent windows in a row: alert on the second.
+  auto tail = monitor.AdvanceTo(9 * 60).ValueOrDie();
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].kind, StabilityAlert::Kind::kLowStability);
+}
+
+TEST(StabilityMonitor, RearmsAfterRecovery) {
+  auto monitor =
+      StabilityMonitor::Make(ScorerOptions(), Policy()).ValueOrDie();
+  std::vector<StabilityAlert> alerts = RunScriptedStream(&monitor, 4, 2);
+  ASSERT_EQ(alerts.size(), 1u);
+  // Recover for two windows, then go silent again: a second alert fires.
+  auto recover = monitor.Observe(6 * 60 + 5, {1, 2, 3}).ValueOrDie();
+  auto recover2 = monitor.Observe(7 * 60 + 5, {1, 2, 3}).ValueOrDie();
+  auto silent = monitor.AdvanceTo(10 * 60).ValueOrDie();
+  size_t low_alerts = 0;
+  for (const auto& alert : silent) {
+    if (alert.kind == StabilityAlert::Kind::kLowStability) ++low_alerts;
+  }
+  EXPECT_EQ(low_alerts, 1u);
+}
+
+TEST(StabilityMonitor, SharpDropAlert) {
+  // Streak of 99 keeps the low-stability rule from ever firing, isolating
+  // the drop rule.
+  MonitorPolicy policy = Policy(/*beta=*/0.5, /*streak=*/99,
+                                /*drop=*/0.4);
+  auto monitor = StabilityMonitor::Make(ScorerOptions(), policy).ValueOrDie();
+  // Steady three-product basket, then an empty window: drop 1.0 -> 0.0.
+  std::vector<StabilityAlert> alerts = RunScriptedStream(&monitor, 5, 1);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, StabilityAlert::Kind::kSharpDrop);
+  EXPECT_GT(alerts[0].drop, 0.9);
+}
+
+TEST(StabilityMonitor, WarmupSuppressesEarlyAlerts) {
+  MonitorPolicy policy = Policy(/*beta=*/1.0);  // everything is "low"
+  policy.warmup_windows = 3;
+  auto monitor = StabilityMonitor::Make(ScorerOptions(), policy).ValueOrDie();
+  // Windows 0..2 are warmup; the first eligible window is 3.
+  std::vector<StabilityAlert> alerts;
+  for (int32_t w = 0; w < 5; ++w) {
+    auto emitted = monitor.Observe(w * 60 + 5, {1}).ValueOrDie();
+    alerts.insert(alerts.end(), emitted.begin(), emitted.end());
+  }
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].window_index, 3);
+}
+
+TEST(StabilityAlert, ToStringMentionsKindAndNumbers) {
+  StabilityAlert alert;
+  alert.kind = StabilityAlert::Kind::kSharpDrop;
+  alert.window_index = 7;
+  alert.stability = 0.25;
+  alert.drop = 0.5;
+  const std::string text = alert.ToString();
+  EXPECT_NE(text.find("SHARP_DROP"), std::string::npos);
+  EXPECT_NE(text.find("window=7"), std::string::npos);
+  EXPECT_NE(text.find("0.250"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace churnlab

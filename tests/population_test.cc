@@ -1,0 +1,231 @@
+#include "datagen/population.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace churnlab {
+namespace datagen {
+namespace {
+
+Market MakeMarket(uint64_t seed = 1) {
+  MarketConfig config;
+  config.num_departments = 4;
+  config.num_segments = 30;
+  config.num_products = 120;
+  Rng rng(seed);
+  return MarketGenerator::Generate(config, &rng).ValueOrDie();
+}
+
+PopulationConfig SmallConfig() {
+  PopulationConfig config;
+  config.num_loyal = 10;
+  config.num_defecting = 10;
+  config.min_repertoire_segments = 5;
+  config.max_repertoire_segments = 15;
+  return config;
+}
+
+TEST(PopulationBuilder, BuildsRequestedCohorts) {
+  const Market market = MakeMarket();
+  Rng rng(2);
+  const auto profiles =
+      PopulationBuilder::Build(SmallConfig(), market, 28, &rng).ValueOrDie();
+  ASSERT_EQ(profiles.size(), 20u);
+  size_t loyal = 0;
+  size_t defecting = 0;
+  for (const CustomerProfile& profile : profiles) {
+    if (profile.cohort == retail::Cohort::kLoyal) {
+      ++loyal;
+      EXPECT_EQ(profile.attrition_onset_month, -1);
+    } else if (profile.cohort == retail::Cohort::kDefecting) {
+      ++defecting;
+      EXPECT_GE(profile.attrition_onset_month, 0);
+    }
+  }
+  EXPECT_EQ(loyal, 10u);
+  EXPECT_EQ(defecting, 10u);
+}
+
+TEST(PopulationBuilder, CustomerIdsAreDense) {
+  const Market market = MakeMarket();
+  Rng rng(3);
+  const auto profiles =
+      PopulationBuilder::Build(SmallConfig(), market, 28, &rng).ValueOrDie();
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    EXPECT_EQ(profiles[i].customer, static_cast<retail::CustomerId>(i));
+  }
+}
+
+TEST(PopulationBuilder, RepertoireSizesWithinBounds) {
+  const Market market = MakeMarket();
+  Rng rng(4);
+  const auto profiles =
+      PopulationBuilder::Build(SmallConfig(), market, 28, &rng).ValueOrDie();
+  for (const CustomerProfile& profile : profiles) {
+    EXPECT_GE(profile.repertoire.size(), 5u);
+    EXPECT_LE(profile.repertoire.size(), 15u);
+  }
+}
+
+TEST(PopulationBuilder, RepertoireSegmentsAreDistinct) {
+  const Market market = MakeMarket();
+  Rng rng(5);
+  const auto profile =
+      PopulationBuilder::BuildOne(SmallConfig(), market, 0, 28, &rng)
+          .ValueOrDie();
+  std::set<retail::SegmentId> segments;
+  for (const RepertoireEntry& entry : profile.repertoire) {
+    segments.insert(market.taxonomy.SegmentOf(entry.item));
+  }
+  EXPECT_EQ(segments.size(), profile.repertoire.size());
+}
+
+TEST(PopulationBuilder, TripProbabilitiesWithinConfiguredRange) {
+  const Market market = MakeMarket();
+  PopulationConfig config = SmallConfig();
+  config.trip_probability_min = 0.4;
+  config.trip_probability_max = 0.6;
+  Rng rng(6);
+  const auto profiles =
+      PopulationBuilder::Build(config, market, 28, &rng).ValueOrDie();
+  for (const CustomerProfile& profile : profiles) {
+    for (const RepertoireEntry& entry : profile.repertoire) {
+      EXPECT_GE(entry.trip_probability, 0.4);
+      EXPECT_LE(entry.trip_probability, 0.6);
+    }
+  }
+}
+
+TEST(PopulationBuilder, VisitRatesPositiveAndHeterogeneous) {
+  const Market market = MakeMarket();
+  PopulationConfig config = SmallConfig();
+  config.num_loyal = 100;
+  config.num_defecting = 0;
+  Rng rng(7);
+  const auto profiles =
+      PopulationBuilder::Build(config, market, 28, &rng).ValueOrDie();
+  std::set<double> distinct_rates;
+  for (const CustomerProfile& profile : profiles) {
+    EXPECT_GE(profile.visits_per_month, 0.5);
+    distinct_rates.insert(profile.visits_per_month);
+  }
+  EXPECT_GT(distinct_rates.size(), 50u);
+}
+
+TEST(PopulationBuilder, NaturalTurnoverProducesLossesForLoyalCustomers) {
+  const Market market = MakeMarket();
+  PopulationConfig config = SmallConfig();
+  config.num_loyal = 100;
+  config.num_defecting = 0;
+  config.natural_loss_hazard_per_month = 0.1;  // strong, for the test
+  Rng rng(8);
+  const auto profiles =
+      PopulationBuilder::Build(config, market, 28, &rng).ValueOrDie();
+  size_t losses = 0;
+  size_t late_adoptions = 0;
+  for (const CustomerProfile& profile : profiles) {
+    for (const RepertoireEntry& entry : profile.repertoire) {
+      if (entry.loss_month >= 0) {
+        ++losses;
+        EXPECT_GT(entry.loss_month, entry.adoption_month);
+      }
+      if (entry.adoption_month > 0) ++late_adoptions;
+    }
+  }
+  EXPECT_GT(losses, 0u);
+  EXPECT_GT(late_adoptions, 0u);
+}
+
+TEST(PopulationBuilder, ZeroTurnoverKeepsEntriesPermanent) {
+  const Market market = MakeMarket();
+  PopulationConfig config = SmallConfig();
+  config.num_defecting = 0;
+  config.natural_loss_hazard_per_month = 0.0;
+  config.late_adoption_fraction = 0.0;
+  Rng rng(9);
+  const auto profiles =
+      PopulationBuilder::Build(config, market, 28, &rng).ValueOrDie();
+  for (const CustomerProfile& profile : profiles) {
+    for (const RepertoireEntry& entry : profile.repertoire) {
+      EXPECT_EQ(entry.loss_month, -1);
+      EXPECT_EQ(entry.adoption_month, 0);
+    }
+  }
+}
+
+TEST(PopulationBuilder, SeasonalityOffByDefault) {
+  const Market market = MakeMarket();
+  Rng rng(21);
+  const auto profiles =
+      PopulationBuilder::Build(SmallConfig(), market, 28, &rng).ValueOrDie();
+  for (const CustomerProfile& profile : profiles) {
+    EXPECT_DOUBLE_EQ(profile.seasonal_amplitude, 0.0);
+  }
+}
+
+TEST(PopulationBuilder, SeasonalitySampledWithinBound) {
+  const Market market = MakeMarket();
+  PopulationConfig config = SmallConfig();
+  config.num_loyal = 100;
+  config.num_defecting = 0;
+  config.seasonal_amplitude_max = 0.6;
+  Rng rng(22);
+  const auto profiles =
+      PopulationBuilder::Build(config, market, 28, &rng).ValueOrDie();
+  bool any_nonzero = false;
+  for (const CustomerProfile& profile : profiles) {
+    EXPECT_GE(profile.seasonal_amplitude, 0.0);
+    EXPECT_LE(profile.seasonal_amplitude, 0.6);
+    EXPECT_GE(profile.seasonal_phase_months, 0.0);
+    EXPECT_LE(profile.seasonal_phase_months, 12.0);
+    any_nonzero |= profile.seasonal_amplitude > 0.1;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(PopulationBuilder, DeterministicGivenRng) {
+  const Market market = MakeMarket();
+  Rng rng_a(10);
+  Rng rng_b(10);
+  const auto a =
+      PopulationBuilder::Build(SmallConfig(), market, 28, &rng_a).ValueOrDie();
+  const auto b =
+      PopulationBuilder::Build(SmallConfig(), market, 28, &rng_b).ValueOrDie();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].visits_per_month, b[i].visits_per_month);
+    ASSERT_EQ(a[i].repertoire.size(), b[i].repertoire.size());
+    for (size_t j = 0; j < a[i].repertoire.size(); ++j) {
+      EXPECT_EQ(a[i].repertoire[j].item, b[i].repertoire[j].item);
+      EXPECT_EQ(a[i].repertoire[j].loss_month, b[i].repertoire[j].loss_month);
+    }
+  }
+}
+
+TEST(PopulationBuilder, ValidationErrors) {
+  const Market market = MakeMarket();
+  Rng rng(11);
+  PopulationConfig empty = SmallConfig();
+  empty.num_loyal = 0;
+  empty.num_defecting = 0;
+  EXPECT_FALSE(PopulationBuilder::Build(empty, market, 28, &rng).ok());
+
+  PopulationConfig oversized = SmallConfig();
+  oversized.max_repertoire_segments = 1000;  // > market segments
+  EXPECT_FALSE(PopulationBuilder::Build(oversized, market, 28, &rng).ok());
+
+  PopulationConfig bad_probability = SmallConfig();
+  bad_probability.trip_probability_min = 0.9;
+  bad_probability.trip_probability_max = 0.1;
+  EXPECT_FALSE(
+      PopulationBuilder::Build(bad_probability, market, 28, &rng).ok());
+
+  PopulationConfig bad_visits = SmallConfig();
+  bad_visits.mean_visits_per_month = 0.0;
+  EXPECT_FALSE(PopulationBuilder::Build(bad_visits, market, 28, &rng).ok());
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace churnlab

@@ -1,0 +1,98 @@
+#include "eval/pr_curve.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace churnlab {
+namespace eval {
+namespace {
+
+constexpr auto kHigher = ScoreOrientation::kHigherIsPositive;
+constexpr auto kLower = ScoreOrientation::kLowerIsPositive;
+
+TEST(PrCurve, PerfectRanking) {
+  const auto curve =
+      PrCurve({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0}, kHigher).ValueOrDie();
+  // Start point, then the perfect head keeps precision 1 through recall 1.
+  for (const PrPoint& point : curve) {
+    if (point.recall <= 1.0 && point.recall > 0.0 && point.threshold >= 0.8) {
+      EXPECT_DOUBLE_EQ(point.precision, 1.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(curve.back().recall, 1.0);
+  EXPECT_DOUBLE_EQ(
+      AveragePrecision({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0}, kHigher)
+          .ValueOrDie(),
+      1.0);
+}
+
+TEST(AveragePrecision, RandomScoresApproachBaseRate) {
+  Rng rng(3);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 5000; ++i) {
+    scores.push_back(rng.NextDouble());
+    labels.push_back(rng.Bernoulli(0.2) ? 1 : 0);
+  }
+  const double ap = AveragePrecision(scores, labels, kHigher).ValueOrDie();
+  EXPECT_NEAR(ap, 0.2, 0.03);
+}
+
+TEST(AveragePrecision, HandComputed) {
+  // Ranking (desc): 1, 0, 1, 0. AP = 0.5*1 + 0.5*(2/3) = 5/6.
+  const double ap =
+      AveragePrecision({0.9, 0.8, 0.7, 0.6}, {1, 0, 1, 0}, kHigher)
+          .ValueOrDie();
+  EXPECT_NEAR(ap, 5.0 / 6.0, 1e-12);
+}
+
+TEST(PrCurve, RecallMonotoneNondecreasing) {
+  Rng rng(5);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 300; ++i) {
+    const int label = rng.Bernoulli(0.3) ? 1 : 0;
+    scores.push_back(
+        std::round(rng.Normal(label * 0.7, 1.0) * 4.0) / 4.0);  // ties
+    labels.push_back(label);
+  }
+  const auto curve = PrCurve(scores, labels, kHigher).ValueOrDie();
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].recall, curve[i - 1].recall);
+    EXPECT_GE(curve[i].precision, 0.0);
+    EXPECT_LE(curve[i].precision, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().recall, 1.0);
+}
+
+TEST(PrCurve, LowerOrientationForStabilityScores) {
+  const auto ap =
+      AveragePrecision({0.1, 0.2, 0.9, 0.95}, {1, 1, 0, 0}, kLower)
+          .ValueOrDie();
+  EXPECT_DOUBLE_EQ(ap, 1.0);
+}
+
+TEST(PrCurve, SingleClassNegativeOnlyFails) {
+  EXPECT_FALSE(PrCurve({0.5, 0.6}, {0, 0}, kHigher).ok());
+}
+
+TEST(PrCurve, AllPositivesIsLegal) {
+  // Unlike ROC, PR is defined with no negatives: precision is 1 throughout.
+  const auto curve = PrCurve({0.5, 0.6}, {1, 1}, kHigher).ValueOrDie();
+  for (const PrPoint& point : curve) {
+    EXPECT_DOUBLE_EQ(point.precision, 1.0);
+  }
+}
+
+TEST(PrCurve, ValidationErrors) {
+  EXPECT_FALSE(PrCurve({}, {}, kHigher).ok());
+  EXPECT_FALSE(PrCurve({0.5}, {1, 0}, kHigher).ok());
+  EXPECT_FALSE(PrCurve({0.5, 0.4}, {1, 2}, kHigher).ok());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace churnlab

@@ -1,0 +1,279 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace churnlab {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BoundedSamplesStayInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+  }
+}
+
+TEST(Rng, BoundedCoversAllValues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextUint64(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t value = rng.UniformInt(-3, 3);
+    EXPECT_GE(value, -3);
+    EXPECT_LE(value, 3);
+    saw_lo |= value == -3;
+    saw_hi |= value == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(11);
+  EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double value = rng.NextDouble();
+    ASSERT_GE(value, 0.0);
+    ASSERT_LT(value, 1.0);
+    sum += value;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliEdgeProbabilities) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(23);
+  const int n = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double value = rng.Normal(2.0, 3.0);
+    sum += value;
+    sum_sq += value * value;
+  }
+  const double mean = sum / n;
+  const double variance = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(variance, 9.0, 0.4);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(29);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanTest, SampleMeanMatchesParameter) {
+  const double mean = GetParam();
+  Rng rng(31);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const int64_t value = rng.Poisson(mean);
+    ASSERT_GE(value, 0);
+    sum += static_cast<double>(value);
+  }
+  EXPECT_NEAR(sum / n, mean, std::max(0.05, mean * 0.03));
+}
+
+// 100.0 exercises the normal-approximation branch (> 64).
+INSTANTIATE_TEST_SUITE_P(Means, PoissonMeanTest,
+                         ::testing::Values(0.1, 1.0, 4.0, 30.0, 100.0));
+
+TEST(Rng, PoissonZeroAndNegativeMeans) {
+  Rng rng(37);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+  EXPECT_EQ(rng.Poisson(-1.0), 0);
+}
+
+TEST(Rng, GammaMomentsMatch) {
+  Rng rng(41);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Gamma(6.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);  // mean = shape * scale
+}
+
+TEST(Rng, GammaShapeBelowOne) {
+  Rng rng(43);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double value = rng.Gamma(0.5, 2.0);
+    ASSERT_GT(value, 0.0);
+    sum += value;
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.05);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(47);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(53);
+  for (int round = 0; round < 50; ++round) {
+    const auto sample = rng.SampleWithoutReplacement(100, 10);
+    ASSERT_EQ(sample.size(), 10u);
+    std::set<size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 10u);
+    for (const size_t index : sample) EXPECT_LT(index, 100u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementDenseAndOversized) {
+  Rng rng(59);
+  const auto all = rng.SampleWithoutReplacement(5, 5);
+  EXPECT_EQ(std::set<size_t>(all.begin(), all.end()).size(), 5u);
+  const auto oversized = rng.SampleWithoutReplacement(3, 10);
+  EXPECT_EQ(oversized.size(), 3u);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(10, 0).empty());
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(61);
+  Rng child = parent.Fork();
+  // The child stream should not replay the parent's outputs.
+  Rng parent_copy(61);
+  (void)parent_copy.NextUint64();  // account for the fork's draw
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.NextUint64() == parent_copy.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(ZipfDistribution, UniformWhenExponentZero) {
+  Rng rng(67);
+  ZipfDistribution zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  for (const int count : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / n, 0.1, 0.01);
+  }
+}
+
+class ZipfSkewTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSkewTest, FrequenciesDecreaseWithRankAndMatchTheory) {
+  const double s = GetParam();
+  Rng rng(71);
+  const size_t n_values = 50;
+  ZipfDistribution zipf(n_values, s);
+  std::vector<int> counts(n_values, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const size_t value = zipf.Sample(&rng);
+    ASSERT_LT(value, n_values);
+    ++counts[value];
+  }
+  // Head frequencies decrease (allow noise at the tail).
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[1], counts[9]);
+  // Compare the head frequency to the analytic Zipf mass.
+  double normaliser = 0.0;
+  for (size_t i = 0; i < n_values; ++i) {
+    normaliser += std::pow(1.0 / static_cast<double>(i + 1), s);
+  }
+  const double expected_head = 1.0 / normaliser;
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, expected_head,
+              expected_head * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSkewTest,
+                         ::testing::Values(0.5, 0.9, 1.0, 1.2, 2.0));
+
+TEST(ZipfDistribution, SingleValueAlwaysZero) {
+  Rng rng(73);
+  ZipfDistribution zipf(1, 1.5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+TEST(DiscreteDistribution, MatchesWeights) {
+  Rng rng(79);
+  DiscreteDistribution dist({1.0, 3.0, 6.0});
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[dist.Sample(&rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.3, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.6, 0.01);
+}
+
+TEST(DiscreteDistribution, ZeroWeightNeverSampled) {
+  Rng rng(83);
+  DiscreteDistribution dist({0.0, 1.0, 0.0, 1.0});
+  for (int i = 0; i < 10000; ++i) {
+    const size_t value = dist.Sample(&rng);
+    EXPECT_TRUE(value == 1 || value == 3);
+  }
+}
+
+TEST(DiscreteDistribution, SingleElement) {
+  Rng rng(89);
+  DiscreteDistribution dist({42.0});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dist.Sample(&rng), 0u);
+}
+
+}  // namespace
+}  // namespace churnlab

@@ -1,0 +1,72 @@
+#include "eval/report.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+
+namespace churnlab {
+namespace eval {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"month", "AUROC"});
+  table.AddRow({"12", "0.51"});
+  table.AddRow({"14", "0.501"});
+  const std::string rendered = table.ToString();
+  // Header, separator, two rows.
+  EXPECT_NE(rendered.find("month  AUROC"), std::string::npos);
+  EXPECT_NE(rendered.find("-----"), std::string::npos);
+  EXPECT_NE(rendered.find("12     0.51"), std::string::npos);
+  EXPECT_NE(rendered.find("14     0.501"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable table({"a", "b", "c"});
+  table.AddRow({"1"});
+  EXPECT_EQ(table.num_rows(), 1u);
+  EXPECT_FALSE(table.ToString().empty());
+}
+
+TEST(TextTable, LongRowsExtendColumns) {
+  TextTable table({"a"});
+  table.AddRow({"1", "2", "3"});
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("3"), std::string::npos);
+}
+
+TEST(TextTable, EmptyTableRendersHeaderOnly) {
+  TextTable table({"col"});
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("col"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST(TextTable, WriteCsvRoundTrip) {
+  TextTable table({"name", "value"});
+  table.AddRow({"alpha", "2.0"});
+  table.AddRow({"window, months", "2"});
+  const std::string path = testing::TempDir() + "/churnlab_report.csv";
+  ASSERT_TRUE(table.WriteCsv(path).ok());
+
+  auto reader = CsvReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader->ReadRow(&row));
+  EXPECT_EQ(row, (std::vector<std::string>{"name", "value"}));
+  ASSERT_TRUE(reader->ReadRow(&row));
+  EXPECT_EQ(row, (std::vector<std::string>{"alpha", "2.0"}));
+  ASSERT_TRUE(reader->ReadRow(&row));
+  EXPECT_EQ(row, (std::vector<std::string>{"window, months", "2"}));
+  std::remove(path.c_str());
+}
+
+TEST(TextTable, WriteCsvToBadPathFails) {
+  TextTable table({"x"});
+  EXPECT_TRUE(table.WriteCsv("/nonexistent/dir/report.csv").IsIOError());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace churnlab

@@ -1,0 +1,54 @@
+// Seed-robustness of the headline reproduction: Figure 1's qualitative
+// shape must hold for any simulation seed, not just the default. Each
+// parameterised case runs the full pipeline (simulate -> both models ->
+// AUROC series) on an independent corpus.
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+
+namespace churnlab {
+namespace eval {
+namespace {
+
+class Figure1SeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Figure1SeedSweep, QualitativeShapeHolds) {
+  Figure1Options options;
+  options.scenario.population.num_loyal = 150;
+  options.scenario.population.num_defecting = 150;
+  options.scenario.seed = GetParam();
+  const Figure1Result result =
+      ExperimentRunner::RunFigure1(options).ValueOrDie();
+
+  double stability_pre = -1.0;   // month 14
+  double stability_plus2 = -1.0; // month 20 (onset + 2)
+  double stability_late = -1.0;  // month 24
+  double rfm_plus2 = -1.0;
+  for (const Figure1Row& row : result.rows) {
+    if (row.report_month == 14) stability_pre = row.stability_auroc;
+    if (row.report_month == 20) {
+      stability_plus2 = row.stability_auroc;
+      rfm_plus2 = row.rfm_auroc;
+    }
+    if (row.report_month == 24) stability_late = row.stability_auroc;
+  }
+  ASSERT_GE(stability_pre, 0.0);
+
+  // (i) chance-level before the onset;
+  EXPECT_NEAR(stability_pre, 0.5, 0.12) << "seed " << GetParam();
+  // (ii) clear detection two months after the onset (paper: 0.79);
+  EXPECT_GT(stability_plus2, 0.65) << "seed " << GetParam();
+  // (iii) still improving later;
+  EXPECT_GT(stability_late, stability_plus2 - 0.05) << "seed " << GetParam();
+  EXPECT_GT(stability_late, 0.85) << "seed " << GetParam();
+  // (iv) RFM comparable, not wildly divergent.
+  EXPECT_NEAR(stability_plus2, rfm_plus2, 0.2) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Figure1SeedSweep,
+                         ::testing::Values(7, 1001, 424242));
+
+}  // namespace
+}  // namespace eval
+}  // namespace churnlab

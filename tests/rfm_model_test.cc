@@ -1,0 +1,111 @@
+#include "rfm/rfm_model.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/scenario.h"
+#include "eval/experiment.h"
+#include "eval/roc.h"
+
+namespace churnlab {
+namespace rfm {
+namespace {
+
+retail::Dataset MakeScenario(size_t per_cohort, uint64_t seed = 21) {
+  datagen::PaperScenarioConfig config;
+  config.population.num_loyal = per_cohort;
+  config.population.num_defecting = per_cohort;
+  config.seed = seed;
+  return datagen::MakePaperDataset(config).ValueOrDie();
+}
+
+TEST(RfmModel, MakeValidatesOptions) {
+  RfmModelOptions bad_folds;
+  bad_folds.cv_folds = 1;
+  EXPECT_FALSE(RfmModel::Make(bad_folds).ok());
+  RfmModelOptions bad_features;
+  bad_features.features.use_recency = false;
+  bad_features.features.use_frequency = false;
+  bad_features.features.use_monetary = false;
+  EXPECT_FALSE(RfmModel::Make(bad_features).ok());
+  EXPECT_TRUE(RfmModel::Make(RfmModelOptions{}).ok());
+}
+
+TEST(RfmModel, ScoresAreProbabilities) {
+  const retail::Dataset dataset = MakeScenario(60);
+  const auto model = RfmModel::Make(RfmModelOptions{}).ValueOrDie();
+  const auto scores = model.ScoreDataset(dataset).ValueOrDie();
+  EXPECT_EQ(scores.num_rows(), 120u);
+  for (size_t row = 0; row < scores.num_rows(); ++row) {
+    for (int32_t window = 0; window < scores.num_windows(); ++window) {
+      EXPECT_GE(scores.At(row, window), 0.0);
+      EXPECT_LE(scores.At(row, window), 1.0);
+    }
+  }
+}
+
+TEST(RfmModel, DetectsAttritionAfterOnset) {
+  const retail::Dataset dataset = MakeScenario(150);
+  const auto model = RfmModel::Make(RfmModelOptions{}).ValueOrDie();
+  const auto scores = model.ScoreDataset(dataset).ValueOrDie();
+  const auto series =
+      eval::AurocPerWindow(dataset, scores,
+                           eval::ScoreOrientation::kHigherIsPositive, 2)
+          .ValueOrDie();
+  double auroc_before = 0.0;
+  double auroc_after = 0.0;
+  for (const eval::WindowAuroc& point : series) {
+    if (point.report_month == 14) auroc_before = point.auroc;
+    if (point.report_month == 24) auroc_after = point.auroc;
+  }
+  EXPECT_NEAR(auroc_before, 0.5, 0.12);  // before onset: chance
+  EXPECT_GT(auroc_after, 0.8);           // well after onset: detected
+}
+
+TEST(RfmModel, UnlabelledCustomersAreScoredToo) {
+  retail::Dataset dataset = MakeScenario(40);
+  // Strip the label of one customer.
+  const retail::CustomerId victim = dataset.store().Customers().front();
+  dataset.SetLabel(victim, {retail::Cohort::kUnlabeled, -1});
+  const auto model = RfmModel::Make(RfmModelOptions{}).ValueOrDie();
+  const auto scores = model.ScoreDataset(dataset).ValueOrDie();
+  const size_t row = scores.RowOf(victim).ValueOrDie();
+  // The degraded customer still gets finite probabilities.
+  for (int32_t window = 0; window < scores.num_windows(); ++window) {
+    EXPECT_GE(scores.At(row, window), 0.0);
+    EXPECT_LE(scores.At(row, window), 1.0);
+  }
+}
+
+TEST(RfmModel, FailsWithoutAnyLabels) {
+  retail::Dataset dataset = MakeScenario(10);
+  for (const retail::CustomerId customer : dataset.store().Customers()) {
+    dataset.SetLabel(customer, {retail::Cohort::kUnlabeled, -1});
+  }
+  const auto model = RfmModel::Make(RfmModelOptions{}).ValueOrDie();
+  EXPECT_FALSE(model.ScoreDataset(dataset).ok());
+}
+
+TEST(RfmModel, DegradedInSampleScoringWithTinyCohorts) {
+  // 3 labelled customers per class < cv_folds: the model falls back to
+  // in-sample scoring rather than failing.
+  retail::Dataset dataset = MakeScenario(3);
+  const auto model = RfmModel::Make(RfmModelOptions{}).ValueOrDie();
+  const auto scores = model.ScoreDataset(dataset);
+  ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+}
+
+TEST(RfmModel, DeterministicGivenSeeds) {
+  const retail::Dataset dataset = MakeScenario(40);
+  const auto model = RfmModel::Make(RfmModelOptions{}).ValueOrDie();
+  const auto a = model.ScoreDataset(dataset).ValueOrDie();
+  const auto b = model.ScoreDataset(dataset).ValueOrDie();
+  for (size_t row = 0; row < a.num_rows(); ++row) {
+    for (int32_t window = 0; window < a.num_windows(); ++window) {
+      EXPECT_DOUBLE_EQ(a.At(row, window), b.At(row, window));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rfm
+}  // namespace churnlab

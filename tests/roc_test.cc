@@ -1,0 +1,139 @@
+#include "eval/roc.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace churnlab {
+namespace eval {
+namespace {
+
+constexpr auto kHigher = ScoreOrientation::kHigherIsPositive;
+constexpr auto kLower = ScoreOrientation::kLowerIsPositive;
+
+TEST(Auroc, PerfectClassifier) {
+  EXPECT_DOUBLE_EQ(
+      Auroc({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0}, kHigher).ValueOrDie(), 1.0);
+}
+
+TEST(Auroc, PerfectlyWrongClassifier) {
+  EXPECT_DOUBLE_EQ(
+      Auroc({0.9, 0.8, 0.2, 0.1}, {0, 0, 1, 1}, kHigher).ValueOrDie(), 0.0);
+}
+
+TEST(Auroc, ConstantScoresGiveChance) {
+  EXPECT_DOUBLE_EQ(
+      Auroc({0.5, 0.5, 0.5, 0.5}, {1, 0, 1, 0}, kHigher).ValueOrDie(), 0.5);
+}
+
+TEST(Auroc, HandComputedWithTies) {
+  // scores: pos {3, 2}, neg {2, 1}. Pairs: (3,2)+, (3,1)+, (2,2) tie=0.5,
+  // (2,1)+ -> U = 3.5 / 4 = 0.875.
+  EXPECT_DOUBLE_EQ(
+      Auroc({3.0, 2.0, 2.0, 1.0}, {1, 1, 0, 0}, kHigher).ValueOrDie(),
+      0.875);
+}
+
+TEST(Auroc, OrientationFlipsComplement) {
+  const std::vector<double> scores = {0.1, 0.4, 0.35, 0.8};
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const double higher = Auroc(scores, labels, kHigher).ValueOrDie();
+  const double lower = Auroc(scores, labels, kLower).ValueOrDie();
+  EXPECT_NEAR(higher + lower, 1.0, 1e-12);
+}
+
+TEST(Auroc, LowerIsPositiveForStabilityStyleScores) {
+  // Defectors (label 1) have LOW stability.
+  EXPECT_DOUBLE_EQ(
+      Auroc({0.2, 0.3, 0.9, 0.95}, {1, 1, 0, 0}, kLower).ValueOrDie(), 1.0);
+}
+
+TEST(Auroc, InvariantToMonotoneTransform) {
+  Rng rng(5);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 500; ++i) {
+    const int label = rng.Bernoulli(0.4) ? 1 : 0;
+    scores.push_back(rng.Normal(label * 0.8, 1.0));
+    labels.push_back(label);
+  }
+  std::vector<double> transformed;
+  for (const double s : scores) transformed.push_back(std::exp(2.0 * s) + 3.0);
+  EXPECT_NEAR(Auroc(scores, labels, kHigher).ValueOrDie(),
+              Auroc(transformed, labels, kHigher).ValueOrDie(), 1e-12);
+}
+
+TEST(Auroc, RandomScoresNearHalf) {
+  Rng rng(7);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 4000; ++i) {
+    scores.push_back(rng.NextDouble());
+    labels.push_back(rng.Bernoulli(0.5) ? 1 : 0);
+  }
+  EXPECT_NEAR(Auroc(scores, labels, kHigher).ValueOrDie(), 0.5, 0.03);
+}
+
+TEST(Auroc, ValidationErrors) {
+  EXPECT_FALSE(Auroc({}, {}, kHigher).ok());
+  EXPECT_FALSE(Auroc({0.5}, {1, 0}, kHigher).ok());
+  EXPECT_FALSE(Auroc({0.5, 0.6}, {1, 1}, kHigher).ok());  // one class
+  EXPECT_FALSE(Auroc({0.5, 0.6}, {0, 0}, kHigher).ok());
+  EXPECT_FALSE(Auroc({0.5, 0.6}, {0, 2}, kHigher).ok());
+}
+
+TEST(RocCurve, EndpointsAndMonotonicity) {
+  Rng rng(11);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) {
+    const int label = rng.Bernoulli(0.3) ? 1 : 0;
+    scores.push_back(rng.Normal(label * 1.0, 1.0));
+    labels.push_back(label);
+  }
+  const auto curve = RocCurve(scores, labels, kHigher).ValueOrDie();
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.front().false_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().true_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().false_positive_rate, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().true_positive_rate, 1.0);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].false_positive_rate, curve[i - 1].false_positive_rate);
+    EXPECT_GE(curve[i].true_positive_rate, curve[i - 1].true_positive_rate);
+    EXPECT_LT(curve[i].threshold, curve[i - 1].threshold);
+  }
+}
+
+TEST(RocCurve, TrapezoidalAreaMatchesRankAuroc) {
+  // Property: the two AUROC computations agree (ties included).
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> scores;
+    std::vector<int> labels;
+    for (int i = 0; i < 300; ++i) {
+      const int label = rng.Bernoulli(0.4) ? 1 : 0;
+      // Quantised scores force ties.
+      scores.push_back(
+          std::round(rng.Normal(label * 0.7, 1.0) * 4.0) / 4.0);
+      labels.push_back(label);
+    }
+    const double rank_auroc = Auroc(scores, labels, kHigher).ValueOrDie();
+    const auto curve = RocCurve(scores, labels, kHigher).ValueOrDie();
+    EXPECT_NEAR(TrapezoidalArea(curve), rank_auroc, 1e-12);
+  }
+}
+
+TEST(RocCurve, TieGroupsShareOnePoint) {
+  const auto curve =
+      RocCurve({1.0, 1.0, 1.0, 0.0}, {1, 1, 0, 0}, kHigher).ValueOrDie();
+  // Points: (0,0) start, tie group at 1.0 -> (0.5, 1.0), then (1,1).
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[1].false_positive_rate, 0.5);
+  EXPECT_DOUBLE_EQ(curve[1].true_positive_rate, 1.0);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace churnlab

@@ -1,0 +1,71 @@
+#include "rfm/scaler.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace churnlab {
+namespace rfm {
+namespace {
+
+TEST(StandardScaler, CentersAndScales) {
+  StandardScaler scaler;
+  std::vector<std::vector<double>> rows = {{1.0, 10.0}, {3.0, 30.0},
+                                           {5.0, 50.0}};
+  ASSERT_TRUE(scaler.Fit(rows).ok());
+  ASSERT_TRUE(scaler.Transform(&rows).ok());
+  // Column means ~0, population stddev ~1.
+  for (size_t j = 0; j < 2; ++j) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (const auto& row : rows) {
+      sum += row[j];
+      sum_sq += row[j] * row[j];
+    }
+    EXPECT_NEAR(sum / 3.0, 0.0, 1e-12);
+    EXPECT_NEAR(sum_sq / 3.0, 1.0, 1e-12);
+  }
+}
+
+TEST(StandardScaler, KnownValues) {
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit({{0.0}, {10.0}}).ok());
+  EXPECT_DOUBLE_EQ(scaler.means()[0], 5.0);
+  EXPECT_DOUBLE_EQ(scaler.scales()[0], 5.0);
+  std::vector<double> row = {10.0};
+  ASSERT_TRUE(scaler.Transform(&row).ok());
+  EXPECT_DOUBLE_EQ(row[0], 1.0);
+}
+
+TEST(StandardScaler, ConstantColumnMapsToZero) {
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit({{7.0, 1.0}, {7.0, 2.0}}).ok());
+  std::vector<double> row = {7.0, 1.5};
+  ASSERT_TRUE(scaler.Transform(&row).ok());
+  EXPECT_DOUBLE_EQ(row[0], 0.0);
+  EXPECT_TRUE(std::isfinite(row[1]));
+}
+
+TEST(StandardScaler, TransformUnseenRowUsesTrainStatistics) {
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit({{0.0}, {10.0}}).ok());
+  std::vector<double> row = {20.0};
+  ASSERT_TRUE(scaler.Transform(&row).ok());
+  EXPECT_DOUBLE_EQ(row[0], 3.0);
+}
+
+TEST(StandardScaler, Errors) {
+  StandardScaler scaler;
+  EXPECT_TRUE(scaler.Fit({}).IsInvalidArgument());
+  EXPECT_FALSE(scaler.fitted());
+  std::vector<double> row = {1.0};
+  EXPECT_TRUE(scaler.Transform(&row).IsInvalidArgument());  // not fitted
+  EXPECT_TRUE(scaler.Fit({{1.0, 2.0}, {3.0}}).IsInvalidArgument());  // ragged
+  ASSERT_TRUE(scaler.Fit({{1.0, 2.0}, {3.0, 4.0}}).ok());
+  std::vector<double> narrow = {1.0};
+  EXPECT_TRUE(scaler.Transform(&narrow).IsInvalidArgument());  // wrong width
+}
+
+}  // namespace
+}  // namespace rfm
+}  // namespace churnlab

@@ -1,0 +1,153 @@
+#include "datagen/scenario.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/stability_model.h"
+
+namespace churnlab {
+namespace datagen {
+namespace {
+
+PaperScenarioConfig TinyPaperConfig() {
+  PaperScenarioConfig config;
+  config.population.num_loyal = 30;
+  config.population.num_defecting = 30;
+  config.seed = 5;
+  return config;
+}
+
+TEST(PaperScenario, ShapeMatchesPaperSetting) {
+  const retail::Dataset dataset =
+      MakePaperDataset(TinyPaperConfig()).ValueOrDie();
+  const retail::DatasetStats stats = dataset.ComputeStats();
+  EXPECT_EQ(stats.num_customers, 60u);
+  EXPECT_EQ(stats.num_months, 28);
+  EXPECT_EQ(stats.num_loyal, 30u);
+  EXPECT_EQ(stats.num_defecting, 30u);
+  EXPECT_GT(stats.num_receipts, 1000u);
+  EXPECT_GT(stats.avg_basket_size, 3.0);
+}
+
+TEST(PaperScenario, DeterministicBySeed) {
+  const retail::Dataset a = MakePaperDataset(TinyPaperConfig()).ValueOrDie();
+  const retail::Dataset b = MakePaperDataset(TinyPaperConfig()).ValueOrDie();
+  EXPECT_EQ(a.store().num_receipts(), b.store().num_receipts());
+  PaperScenarioConfig other = TinyPaperConfig();
+  other.seed = 6;
+  const retail::Dataset c = MakePaperDataset(other).ValueOrDie();
+  EXPECT_NE(a.store().num_receipts(), c.store().num_receipts());
+}
+
+TEST(PaperScenario, DefectorOnsetsNearConfiguredMonth) {
+  PaperScenarioConfig config = TinyPaperConfig();
+  config.population.attrition.onset_month = 18;
+  config.population.attrition.onset_jitter_months = 1;
+  const retail::Dataset dataset = MakePaperDataset(config).ValueOrDie();
+  for (const retail::CustomerId customer :
+       dataset.CustomersWithCohort(retail::Cohort::kDefecting)) {
+    const int32_t onset = dataset.LabelOf(customer).attrition_onset_month;
+    EXPECT_GE(onset, 17);
+    EXPECT_LE(onset, 19);
+  }
+}
+
+TEST(PaperScenario, OutputExposesConsistentGroundTruth) {
+  const PaperScenarioOutput output =
+      MakePaperScenario(TinyPaperConfig()).ValueOrDie();
+  EXPECT_EQ(output.profiles.size(), 60u);
+  EXPECT_EQ(output.dataset.store().num_customers(), 60u);
+  // Profiles and dataset labels agree.
+  for (const CustomerProfile& profile : output.profiles) {
+    const retail::CustomerLabel label =
+        output.dataset.LabelOf(profile.customer);
+    EXPECT_EQ(label.cohort, profile.cohort);
+    EXPECT_EQ(label.attrition_onset_month, profile.attrition_onset_month);
+  }
+  // The market matches the dataset's catalogue.
+  EXPECT_EQ(output.market.num_products(), output.dataset.items().size());
+  EXPECT_EQ(output.market.num_segments(),
+            output.dataset.taxonomy().num_segments());
+  // And the dataset is identical to the plain MakePaperDataset one.
+  const retail::Dataset direct =
+      MakePaperDataset(TinyPaperConfig()).ValueOrDie();
+  EXPECT_EQ(direct.store().num_receipts(),
+            output.dataset.store().num_receipts());
+}
+
+TEST(Figure2Scenario, ScriptedCustomerExistsWithSteadyBasket) {
+  const Figure2Scenario scenario = MakeFigure2Scenario().ValueOrDie();
+  EXPECT_FALSE(scenario.dataset.store()
+                   .History(scenario.customer)
+                   .empty());
+  EXPECT_EQ(scenario.dataset.LabelOf(scenario.customer).cohort,
+            retail::Cohort::kDefecting);
+}
+
+TEST(Figure2Scenario, CoffeeAndDairyLossesAreVisibleInStability) {
+  Figure2ScenarioConfig config;
+  const Figure2Scenario scenario = MakeFigure2Scenario(config).ValueOrDie();
+
+  core::StabilityModelOptions options;
+  options.significance.alpha = 2.0;
+  options.window_span_months = 2;
+  const auto model = core::StabilityModel::Make(options).ValueOrDie();
+  const auto report =
+      model.AnalyzeCustomer(scenario.dataset, scenario.customer).ValueOrDie();
+
+  // Locate the windows whose end months are 20 and 22 (the figure's
+  // annotated drops, given losses at months 18 and 20).
+  const core::CustomerWindowReport* coffee_window = nullptr;
+  const core::CustomerWindowReport* dairy_window = nullptr;
+  for (const core::CustomerWindowReport& window : report.windows) {
+    if (window.end_month == 20) coffee_window = &window;
+    if (window.end_month == 22) dairy_window = &window;
+  }
+  ASSERT_NE(coffee_window, nullptr);
+  ASSERT_NE(dairy_window, nullptr);
+
+  EXPECT_GT(coffee_window->drop_from_previous, 0.02);
+  EXPECT_GT(dairy_window->drop_from_previous,
+            coffee_window->drop_from_previous);  // "sharper" decrease
+
+  const auto newly_missing_names =
+      [](const core::CustomerWindowReport& window) {
+        std::set<std::string> names;
+        for (const core::NamedMissingProduct& missing : window.missing) {
+          if (missing.newly_missing) names.insert(missing.name);
+        }
+        return names;
+      };
+  EXPECT_TRUE(newly_missing_names(*coffee_window).count("coffee"));
+  const auto dairy_names = newly_missing_names(*dairy_window);
+  EXPECT_TRUE(dairy_names.count("milk"));
+  EXPECT_TRUE(dairy_names.count("sponge"));
+  EXPECT_TRUE(dairy_names.count("cheese"));
+}
+
+TEST(Figure2Scenario, StabilityHighBeforeLosses) {
+  const Figure2Scenario scenario = MakeFigure2Scenario().ValueOrDie();
+  core::StabilityModelOptions options;
+  options.significance.alpha = 2.0;
+  options.window_span_months = 2;
+  const auto model = core::StabilityModel::Make(options).ValueOrDie();
+  const auto series =
+      model.ScoreCustomer(scenario.dataset, scenario.customer).ValueOrDie();
+  // Windows ending months 10..18 should be nearly stable.
+  for (size_t k = 4; k < 9 && k < series.size(); ++k) {
+    EXPECT_GT(series.StabilityAt(k), 0.9) << "window " << k;
+  }
+}
+
+TEST(Figure2Scenario, BackgroundCustomersOptional) {
+  Figure2ScenarioConfig config;
+  config.num_background_customers = 0;
+  const Figure2Scenario scenario = MakeFigure2Scenario(config).ValueOrDie();
+  EXPECT_EQ(scenario.dataset.store().num_customers(), 1u);
+  EXPECT_EQ(scenario.customer, 0u);
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace churnlab

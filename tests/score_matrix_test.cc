@@ -1,0 +1,107 @@
+#include "core/score_matrix.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace churnlab {
+namespace core {
+namespace {
+
+TEST(ScoreMatrix, ZeroInitialised) {
+  const ScoreMatrix matrix({10, 20, 30}, 4);
+  EXPECT_EQ(matrix.num_rows(), 3u);
+  EXPECT_EQ(matrix.num_windows(), 4);
+  for (size_t row = 0; row < 3; ++row) {
+    for (int32_t window = 0; window < 4; ++window) {
+      EXPECT_DOUBLE_EQ(matrix.At(row, window), 0.0);
+    }
+  }
+}
+
+TEST(ScoreMatrix, SetAndGet) {
+  ScoreMatrix matrix({10, 20}, 3);
+  matrix.Set(0, 2, 0.75);
+  matrix.Set(1, 0, -1.5);
+  EXPECT_DOUBLE_EQ(matrix.At(0, 2), 0.75);
+  EXPECT_DOUBLE_EQ(matrix.At(1, 0), -1.5);
+  EXPECT_DOUBLE_EQ(matrix.At(0, 0), 0.0);
+}
+
+TEST(ScoreMatrix, RowPointerWritesThrough) {
+  ScoreMatrix matrix({7}, 3);
+  double* row = matrix.Row(0);
+  row[0] = 1.0;
+  row[2] = 3.0;
+  EXPECT_DOUBLE_EQ(matrix.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(matrix.At(0, 2), 3.0);
+}
+
+TEST(ScoreMatrix, RowOfResolvesCustomers) {
+  const ScoreMatrix matrix({100, 5, 42}, 1);
+  EXPECT_EQ(matrix.RowOf(100).ValueOrDie(), 0u);
+  EXPECT_EQ(matrix.RowOf(42).ValueOrDie(), 2u);
+  EXPECT_TRUE(matrix.RowOf(7).status().IsNotFound());
+}
+
+TEST(ScoreMatrix, ScoreOfChecksBounds) {
+  ScoreMatrix matrix({1}, 2);
+  matrix.Set(0, 1, 0.5);
+  EXPECT_DOUBLE_EQ(matrix.ScoreOf(1, 1).ValueOrDie(), 0.5);
+  EXPECT_TRUE(matrix.ScoreOf(1, 5).status().IsOutOfRange());
+  EXPECT_TRUE(matrix.ScoreOf(1, -1).status().IsOutOfRange());
+  EXPECT_TRUE(matrix.ScoreOf(9, 0).status().IsNotFound());
+}
+
+TEST(ScoreMatrix, WindowColumnInRowOrder) {
+  ScoreMatrix matrix({3, 1, 2}, 2);
+  matrix.Set(0, 1, 0.1);
+  matrix.Set(1, 1, 0.2);
+  matrix.Set(2, 1, 0.3);
+  EXPECT_EQ(matrix.WindowColumn(1), (std::vector<double>{0.1, 0.2, 0.3}));
+}
+
+TEST(ScoreMatrix, CsvRoundTrip) {
+  ScoreMatrix matrix({10, 20, 5}, 3);
+  matrix.Set(0, 0, 0.125);
+  matrix.Set(1, 2, 1.0 / 3.0);  // exercises full-precision export
+  matrix.Set(2, 1, -4.5);
+  const std::string path = testing::TempDir() + "/churnlab_scores.csv";
+  ASSERT_TRUE(matrix.SaveCsv(path).ok());
+  const auto loaded = ScoreMatrix::LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->customers(), matrix.customers());
+  EXPECT_EQ(loaded->num_windows(), 3);
+  for (size_t row = 0; row < 3; ++row) {
+    for (int32_t window = 0; window < 3; ++window) {
+      EXPECT_DOUBLE_EQ(loaded->At(row, window), matrix.At(row, window));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ScoreMatrix, LoadCsvRejectsRaggedRows) {
+  const std::string path = testing::TempDir() + "/churnlab_scores_bad.csv";
+  {
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    std::fputs("customer,w0,w1\n1,0.5\n", file);
+    std::fclose(file);
+  }
+  EXPECT_FALSE(ScoreMatrix::LoadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ScoreMatrix, LoadCsvMissingFileFails) {
+  EXPECT_TRUE(
+      ScoreMatrix::LoadCsv("/nonexistent/scores.csv").status().IsIOError());
+}
+
+TEST(ScoreMatrix, ZeroWindows) {
+  const ScoreMatrix matrix({1, 2}, 0);
+  EXPECT_EQ(matrix.num_windows(), 0);
+  EXPECT_EQ(matrix.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace churnlab

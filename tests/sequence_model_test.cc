@@ -1,0 +1,115 @@
+#include "rfm/sequence_model.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/scenario.h"
+#include "eval/experiment.h"
+#include "eval/roc.h"
+
+namespace churnlab {
+namespace rfm {
+namespace {
+
+retail::Dataset MakeScenario(size_t per_cohort, uint64_t seed = 61) {
+  datagen::PaperScenarioConfig config;
+  config.population.num_loyal = per_cohort;
+  config.population.num_defecting = per_cohort;
+  config.seed = seed;
+  return datagen::MakePaperDataset(config).ValueOrDie();
+}
+
+TEST(SequenceModel, MakeValidatesOptions) {
+  SequenceModelOptions bad_span;
+  bad_span.window_span_months = 0;
+  EXPECT_FALSE(SequenceModel::Make(bad_span).ok());
+  SequenceModelOptions bad_receipts;
+  bad_receipts.last_receipts = 0;
+  EXPECT_FALSE(SequenceModel::Make(bad_receipts).ok());
+  SequenceModelOptions bad_profile;
+  bad_profile.profile_segments = 0;
+  EXPECT_FALSE(SequenceModel::Make(bad_profile).ok());
+  SequenceModelOptions bad_folds;
+  bad_folds.cv_folds = 1;
+  EXPECT_FALSE(SequenceModel::Make(bad_folds).ok());
+  EXPECT_TRUE(SequenceModel::Make(SequenceModelOptions{}).ok());
+}
+
+TEST(SequenceModel, FeatureNamesStable) {
+  const auto names = SequenceModel::FeatureNames();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "jaccard_last_vs_profile");
+  EXPECT_EQ(names[4], "receipts_in_window");
+}
+
+TEST(SequenceModel, ScoresAreProbabilities) {
+  const retail::Dataset dataset = MakeScenario(50);
+  const auto model = SequenceModel::Make(SequenceModelOptions{}).ValueOrDie();
+  const auto scores = model.ScoreDataset(dataset).ValueOrDie();
+  EXPECT_EQ(scores.num_rows(), 100u);
+  for (size_t row = 0; row < scores.num_rows(); ++row) {
+    for (int32_t window = 0; window < scores.num_windows(); ++window) {
+      EXPECT_GE(scores.At(row, window), 0.0);
+      EXPECT_LE(scores.At(row, window), 1.0);
+    }
+  }
+}
+
+TEST(SequenceModel, DetectsAttritionAfterOnset) {
+  const retail::Dataset dataset = MakeScenario(150);
+  const auto model = SequenceModel::Make(SequenceModelOptions{}).ValueOrDie();
+  const auto scores = model.ScoreDataset(dataset).ValueOrDie();
+  const auto series =
+      eval::AurocPerWindow(dataset, scores,
+                           eval::ScoreOrientation::kHigherIsPositive, 2)
+          .ValueOrDie();
+  double before = 0.0;
+  double after = 0.0;
+  for (const eval::WindowAuroc& point : series) {
+    if (point.report_month == 14) before = point.auroc;
+    if (point.report_month == 24) after = point.auroc;
+  }
+  EXPECT_NEAR(before, 0.5, 0.12);
+  EXPECT_GT(after, 0.8);
+}
+
+TEST(SequenceModel, DeterministicAcrossRuns) {
+  const retail::Dataset dataset = MakeScenario(40);
+  const auto model = SequenceModel::Make(SequenceModelOptions{}).ValueOrDie();
+  const auto a = model.ScoreDataset(dataset).ValueOrDie();
+  const auto b = model.ScoreDataset(dataset).ValueOrDie();
+  for (size_t row = 0; row < a.num_rows(); ++row) {
+    for (int32_t window = 0; window < a.num_windows(); ++window) {
+      EXPECT_DOUBLE_EQ(a.At(row, window), b.At(row, window));
+    }
+  }
+}
+
+TEST(SequenceModel, FailsWithoutLabels) {
+  retail::Dataset dataset = MakeScenario(10);
+  for (const retail::CustomerId customer : dataset.store().Customers()) {
+    dataset.SetLabel(customer, {retail::Cohort::kUnlabeled, -1});
+  }
+  const auto model = SequenceModel::Make(SequenceModelOptions{}).ValueOrDie();
+  EXPECT_FALSE(model.ScoreDataset(dataset).ok());
+}
+
+TEST(SequenceModel, TinyCohortsFallBackToInSample) {
+  const retail::Dataset dataset = MakeScenario(3);
+  const auto model = SequenceModel::Make(SequenceModelOptions{}).ValueOrDie();
+  EXPECT_TRUE(model.ScoreDataset(dataset).ok());
+}
+
+TEST(SequenceModel, UnfinalizedDatasetFails) {
+  retail::Dataset dataset;
+  retail::Receipt receipt;
+  receipt.customer = 1;
+  receipt.day = 0;
+  receipt.items = {0};
+  ASSERT_TRUE(dataset.mutable_store().Append(std::move(receipt)).ok());
+  const auto model = SequenceModel::Make(SequenceModelOptions{}).ValueOrDie();
+  EXPECT_FALSE(model.ScoreDataset(dataset).ok());
+}
+
+}  // namespace
+}  // namespace rfm
+}  // namespace churnlab

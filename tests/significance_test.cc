@@ -1,0 +1,152 @@
+#include "core/significance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace churnlab {
+namespace core {
+namespace {
+
+SignificanceOptions Alpha(double alpha) {
+  SignificanceOptions options;
+  options.alpha = alpha;
+  return options;
+}
+
+TEST(SignificanceTracker, NeverSeenSymbolHasZeroSignificance) {
+  SignificanceTracker tracker(Alpha(2.0));
+  EXPECT_DOUBLE_EQ(tracker.SignificanceOf(7), 0.0);
+  tracker.AdvanceWindow({1, 2});
+  EXPECT_DOUBLE_EQ(tracker.SignificanceOf(7), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.TotalSignificance(),
+                   tracker.SignificanceOf(1) + tracker.SignificanceOf(2));
+}
+
+TEST(SignificanceTracker, MatchesClosedFormAlphaPowerCMinusL) {
+  // Windows: {p}, {p}, {}, {p} -> at k=4, c=3, l=1, S = 2^(3-1) = 4.
+  SignificanceTracker tracker(Alpha(2.0));
+  tracker.AdvanceWindow({5});
+  tracker.AdvanceWindow({5});
+  tracker.AdvanceWindow({});
+  tracker.AdvanceWindow({5});
+  EXPECT_EQ(tracker.ContainCount(5), 3);
+  EXPECT_EQ(tracker.MissCount(5), 1);
+  EXPECT_DOUBLE_EQ(tracker.SignificanceOf(5), 4.0);
+}
+
+TEST(SignificanceTracker, SignificanceBelowOneWhenMissesDominate) {
+  SignificanceTracker tracker(Alpha(2.0));
+  tracker.AdvanceWindow({3});
+  tracker.AdvanceWindow({});
+  tracker.AdvanceWindow({});
+  // c=1, l=2 -> 2^-1 = 0.5.
+  EXPECT_DOUBLE_EQ(tracker.SignificanceOf(3), 0.5);
+}
+
+TEST(SignificanceTracker, AlphaOneMakesAllSeenSymbolsEqual) {
+  SignificanceTracker tracker(Alpha(1.0));
+  tracker.AdvanceWindow({1});
+  tracker.AdvanceWindow({1, 2});
+  tracker.AdvanceWindow({2});
+  EXPECT_DOUBLE_EQ(tracker.SignificanceOf(1), 1.0);
+  EXPECT_DOUBLE_EQ(tracker.SignificanceOf(2), 1.0);
+  EXPECT_DOUBLE_EQ(tracker.TotalSignificance(), 2.0);
+}
+
+TEST(SignificanceTracker, MakeRejectsNonPositiveAlpha) {
+  EXPECT_FALSE(SignificanceTracker::Make(Alpha(0.0)).ok());
+  EXPECT_FALSE(SignificanceTracker::Make(Alpha(-1.0)).ok());
+  EXPECT_TRUE(SignificanceTracker::Make(Alpha(0.5)).ok());
+}
+
+TEST(SignificanceTracker, ClampPreventsOverflowOnLongHistories) {
+  SignificanceOptions options;
+  options.alpha = 2.0;
+  options.max_abs_exponent = 10.0;
+  SignificanceTracker tracker(options);
+  for (int i = 0; i < 100; ++i) tracker.AdvanceWindow({1});
+  EXPECT_DOUBLE_EQ(tracker.SignificanceOf(1), std::pow(2.0, 10.0));
+  SignificanceTracker misses(options);
+  misses.AdvanceWindow({1});
+  for (int i = 0; i < 100; ++i) misses.AdvanceWindow({});
+  EXPECT_DOUBLE_EQ(misses.SignificanceOf(1), std::pow(2.0, -10.0));
+}
+
+TEST(SignificanceTracker, SeenSymbolsSortedAscending) {
+  SignificanceTracker tracker(Alpha(2.0));
+  tracker.AdvanceWindow({9, 1, 4});
+  const std::vector<Symbol> seen = tracker.SeenSymbols();
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], 1u);
+  EXPECT_EQ(seen[1], 4u);
+  EXPECT_EQ(seen[2], 9u);
+}
+
+TEST(SignificanceTracker, EwmaScoresTrackPresence) {
+  SignificanceOptions options;
+  options.kind = SignificanceKind::kEwma;
+  options.ewma_lambda = 0.5;
+  SignificanceTracker tracker(options);
+  EXPECT_DOUBLE_EQ(tracker.SignificanceOf(1), 0.0);
+  tracker.AdvanceWindow({1});
+  EXPECT_DOUBLE_EQ(tracker.SignificanceOf(1), 0.5);  // (1-lambda)
+  tracker.AdvanceWindow({1});
+  EXPECT_DOUBLE_EQ(tracker.SignificanceOf(1), 0.75);  // 0.5*0.5 + 0.5
+  tracker.AdvanceWindow({});
+  EXPECT_DOUBLE_EQ(tracker.SignificanceOf(1), 0.375);  // decayed
+  EXPECT_DOUBLE_EQ(tracker.TotalSignificance(), 0.375);
+}
+
+TEST(SignificanceTracker, EwmaScoresBoundedByOne) {
+  SignificanceOptions options;
+  options.kind = SignificanceKind::kEwma;
+  options.ewma_lambda = 0.7;
+  SignificanceTracker tracker(options);
+  for (int k = 0; k < 200; ++k) tracker.AdvanceWindow({1});
+  EXPECT_LE(tracker.SignificanceOf(1), 1.0);
+  EXPECT_GT(tracker.SignificanceOf(1), 0.99);
+}
+
+TEST(SignificanceTracker, EwmaRejectsBadLambda) {
+  SignificanceOptions options;
+  options.kind = SignificanceKind::kEwma;
+  options.ewma_lambda = 0.0;
+  EXPECT_FALSE(SignificanceTracker::Make(options).ok());
+  options.ewma_lambda = 1.0;
+  EXPECT_FALSE(SignificanceTracker::Make(options).ok());
+  options.ewma_lambda = 0.5;
+  EXPECT_TRUE(SignificanceTracker::Make(options).ok());
+}
+
+// Property: significance is monotone in the number of containing windows,
+// holding the total window count fixed.
+class SignificanceMonotonicityTest : public ::testing::TestWithParam<double> {
+};
+
+TEST_P(SignificanceMonotonicityTest, MoreContainingWindowsMoreSignificance) {
+  const double alpha = GetParam();
+  const int total_windows = 8;
+  double previous = -1.0;
+  for (int contains = 1; contains <= total_windows; ++contains) {
+    SignificanceTracker tracker(Alpha(alpha));
+    for (int k = 0; k < total_windows; ++k) {
+      tracker.AdvanceWindow(k < contains ? std::vector<Symbol>{1}
+                                         : std::vector<Symbol>{});
+    }
+    const double significance = tracker.SignificanceOf(1);
+    if (alpha > 1.0) {
+      EXPECT_GT(significance, previous) << "contains=" << contains;
+    } else if (alpha == 1.0) {
+      EXPECT_DOUBLE_EQ(significance, 1.0);
+    }
+    previous = significance;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, SignificanceMonotonicityTest,
+                         ::testing::Values(1.0, 1.5, 2.0, 3.0, 4.0));
+
+}  // namespace
+}  // namespace core
+}  // namespace churnlab

@@ -1,0 +1,196 @@
+#include "datagen/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/population.h"
+
+namespace churnlab {
+namespace datagen {
+namespace {
+
+Market MakeMarket(uint64_t seed = 1) {
+  MarketConfig config;
+  config.num_departments = 4;
+  config.num_segments = 30;
+  config.num_products = 120;
+  Rng rng(seed);
+  return MarketGenerator::Generate(config, &rng).ValueOrDie();
+}
+
+std::vector<CustomerProfile> MakeProfiles(const Market& market,
+                                          size_t loyal, size_t defecting,
+                                          uint64_t seed = 2) {
+  PopulationConfig config;
+  config.num_loyal = loyal;
+  config.num_defecting = defecting;
+  config.min_repertoire_segments = 8;
+  config.max_repertoire_segments = 16;
+  Rng rng(seed);
+  return PopulationBuilder::Build(config, market, 28, &rng).ValueOrDie();
+}
+
+TEST(RetailSimulator, ProducesFinalizedLabelledDataset) {
+  const Market market = MakeMarket();
+  const auto profiles = MakeProfiles(market, 5, 5);
+  Rng rng(3);
+  const retail::Dataset dataset =
+      RetailSimulator::Simulate(market, profiles, 28, &rng).ValueOrDie();
+  EXPECT_TRUE(dataset.store().finalized());
+  EXPECT_EQ(dataset.store().num_customers(), 10u);
+  EXPECT_EQ(dataset.CustomersWithCohort(retail::Cohort::kLoyal).size(), 5u);
+  EXPECT_EQ(dataset.CustomersWithCohort(retail::Cohort::kDefecting).size(),
+            5u);
+  EXPECT_EQ(dataset.items().size(), market.num_products());
+  EXPECT_EQ(dataset.taxonomy().num_segments(), market.num_segments());
+}
+
+TEST(RetailSimulator, ReceiptsStayWithinHorizonAndSpendPositive) {
+  const Market market = MakeMarket();
+  const auto profiles = MakeProfiles(market, 4, 4);
+  Rng rng(4);
+  const retail::Dataset dataset =
+      RetailSimulator::Simulate(market, profiles, 12, &rng).ValueOrDie();
+  for (const retail::Receipt& receipt : dataset.store().AllReceipts()) {
+    EXPECT_GE(receipt.day, 0);
+    EXPECT_LT(receipt.day, 12 * retail::kDaysPerMonth);
+    EXPECT_GT(receipt.spend, 0.0);
+    EXPECT_FALSE(receipt.items.empty());
+  }
+}
+
+TEST(RetailSimulator, DeterministicGivenSeed) {
+  const Market market = MakeMarket();
+  const auto profiles = MakeProfiles(market, 3, 3);
+  Rng rng_a(7);
+  Rng rng_b(7);
+  const retail::Dataset a =
+      RetailSimulator::Simulate(market, profiles, 10, &rng_a).ValueOrDie();
+  const retail::Dataset b =
+      RetailSimulator::Simulate(market, profiles, 10, &rng_b).ValueOrDie();
+  ASSERT_EQ(a.store().num_receipts(), b.store().num_receipts());
+  const auto receipts_a = a.store().AllReceipts();
+  const auto receipts_b = b.store().AllReceipts();
+  for (size_t i = 0; i < receipts_a.size(); ++i) {
+    EXPECT_EQ(receipts_a[i].customer, receipts_b[i].customer);
+    EXPECT_EQ(receipts_a[i].day, receipts_b[i].day);
+    EXPECT_EQ(receipts_a[i].items, receipts_b[i].items);
+    EXPECT_DOUBLE_EQ(receipts_a[i].spend, receipts_b[i].spend);
+  }
+}
+
+TEST(RetailSimulator, DefectorsBuyLessAfterOnset) {
+  const Market market = MakeMarket();
+  auto profiles = MakeProfiles(market, 0, 30);
+  // Strengthen the attrition so the effect is unambiguous in a small sample.
+  for (CustomerProfile& profile : profiles) {
+    profile.attrition_onset_month = 14;
+    profile.visit_decay_per_month = 0.7;
+    profile.prodrome_months = 0;
+  }
+  Rng rng(9);
+  const retail::Dataset dataset =
+      RetailSimulator::Simulate(market, profiles, 28, &rng).ValueOrDie();
+  size_t receipts_before = 0;
+  size_t receipts_after = 0;
+  size_t items_before = 0;
+  size_t items_after = 0;
+  for (const retail::Receipt& receipt : dataset.store().AllReceipts()) {
+    if (retail::DayToMonth(receipt.day) < 14) {
+      ++receipts_before;
+      items_before += receipt.items.size();
+    } else {
+      ++receipts_after;
+      items_after += receipt.items.size();
+    }
+  }
+  // Same number of months on each side; both visit volume and basket size
+  // must shrink.
+  EXPECT_LT(receipts_after, receipts_before / 2);
+  const double avg_basket_before =
+      static_cast<double>(items_before) / receipts_before;
+  const double avg_basket_after =
+      static_cast<double>(items_after) / receipts_after;
+  EXPECT_LT(avg_basket_after, avg_basket_before);
+}
+
+TEST(RetailSimulator, LoyalVolumeStableAcrossHalves) {
+  const Market market = MakeMarket();
+  const auto profiles = MakeProfiles(market, 30, 0);
+  Rng rng(10);
+  const retail::Dataset dataset =
+      RetailSimulator::Simulate(market, profiles, 28, &rng).ValueOrDie();
+  size_t first_half = 0;
+  size_t second_half = 0;
+  for (const retail::Receipt& receipt : dataset.store().AllReceipts()) {
+    (retail::DayToMonth(receipt.day) < 14 ? first_half : second_half) += 1;
+  }
+  EXPECT_NEAR(static_cast<double>(second_half),
+              static_cast<double>(first_half),
+              0.15 * static_cast<double>(first_half));
+}
+
+TEST(RetailSimulator, BrandSwitchingStaysWithinSegment) {
+  const Market market = MakeMarket();
+  auto profiles = MakeProfiles(market, 4, 0);
+  for (CustomerProfile& profile : profiles) {
+    profile.brand_switch_probability = 0.9;
+    profile.exploration_items_per_trip = 0.0;
+  }
+  Rng rng(11);
+  const retail::Dataset dataset =
+      RetailSimulator::Simulate(market, profiles, 12, &rng).ValueOrDie();
+  // Without exploration, every purchased item's segment must belong to the
+  // customer's repertoire segments.
+  for (const CustomerProfile& profile : profiles) {
+    std::set<retail::SegmentId> repertoire_segments;
+    for (const RepertoireEntry& entry : profile.repertoire) {
+      repertoire_segments.insert(market.taxonomy.SegmentOf(entry.item));
+    }
+    for (const retail::Receipt& receipt :
+         dataset.store().History(profile.customer)) {
+      for (const retail::ItemId item : receipt.items) {
+        EXPECT_TRUE(repertoire_segments.count(market.taxonomy.SegmentOf(item)))
+            << "item " << item << " outside repertoire segments";
+      }
+    }
+  }
+}
+
+TEST(RetailSimulator, LostItemsStopAppearing) {
+  const Market market = MakeMarket();
+  auto profiles = MakeProfiles(market, 1, 0);
+  CustomerProfile& profile = profiles.front();
+  profile.brand_switch_probability = 0.0;
+  profile.exploration_items_per_trip = 0.0;
+  ASSERT_FALSE(profile.repertoire.empty());
+  profile.repertoire[0].loss_month = 6;
+  const retail::ItemId lost_item = profile.repertoire[0].item;
+  Rng rng(12);
+  const retail::Dataset dataset =
+      RetailSimulator::Simulate(market, profiles, 12, &rng).ValueOrDie();
+  for (const retail::Receipt& receipt :
+       dataset.store().History(profile.customer)) {
+    if (retail::DayToMonth(receipt.day) >= 6) {
+      for (const retail::ItemId item : receipt.items) {
+        EXPECT_NE(item, lost_item);
+      }
+    }
+  }
+}
+
+TEST(RetailSimulator, ValidationErrors) {
+  const Market market = MakeMarket();
+  const auto profiles = MakeProfiles(market, 2, 0);
+  Rng rng(13);
+  EXPECT_FALSE(RetailSimulator::Simulate(market, profiles, 0, &rng).ok());
+  EXPECT_FALSE(RetailSimulator::Simulate(market, {}, 12, &rng).ok());
+  // Profile referencing an item outside the market.
+  auto bad_profiles = profiles;
+  bad_profiles[0].repertoire[0].item = 100000;
+  EXPECT_FALSE(
+      RetailSimulator::Simulate(market, bad_profiles, 12, &rng).ok());
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace churnlab

@@ -1,0 +1,164 @@
+#include "core/stability.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace churnlab {
+namespace core {
+namespace {
+
+WindowedHistory FromSets(const std::vector<std::vector<Symbol>>& sets) {
+  WindowedHistory history;
+  for (size_t k = 0; k < sets.size(); ++k) {
+    Window window;
+    window.index = static_cast<int32_t>(k);
+    window.begin_day = static_cast<retail::Day>(k) * 60;
+    window.end_day = window.begin_day + 60;
+    window.symbols = sets[k];
+    std::sort(window.symbols.begin(), window.symbols.end());
+    window.num_receipts = window.symbols.empty() ? 0 : 1;
+    history.windows.push_back(std::move(window));
+  }
+  return history;
+}
+
+SignificanceOptions Alpha(double alpha) {
+  SignificanceOptions options;
+  options.alpha = alpha;
+  return options;
+}
+
+TEST(StabilityComputer, FirstWindowHasNoHistoryAndStabilityOne) {
+  const StabilityComputer computer(Alpha(2.0));
+  const StabilitySeries series = computer.Compute(FromSets({{1, 2}}));
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_FALSE(series.points[0].has_history);
+  EXPECT_DOUBLE_EQ(series.points[0].stability, 1.0);
+  EXPECT_DOUBLE_EQ(series.points[0].total_significance, 0.0);
+}
+
+TEST(StabilityComputer, AllProductsPresentGivesStabilityOne) {
+  // Paper: "If all products are contained in window k, the stability of the
+  // customer is equal to 1."
+  const StabilityComputer computer(Alpha(2.0));
+  const StabilitySeries series =
+      computer.Compute(FromSets({{1, 2, 3}, {1, 2, 3}, {1, 2, 3}}));
+  for (size_t k = 1; k < series.size(); ++k) {
+    EXPECT_TRUE(series.points[k].has_history);
+    EXPECT_DOUBLE_EQ(series.points[k].stability, 1.0);
+  }
+}
+
+TEST(StabilityComputer, EmptyWindowAfterHistoryGivesZero) {
+  const StabilityComputer computer(Alpha(2.0));
+  const StabilitySeries series = computer.Compute(FromSets({{1, 2}, {}}));
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_TRUE(series.points[1].has_history);
+  EXPECT_DOUBLE_EQ(series.points[1].stability, 0.0);
+}
+
+TEST(StabilityComputer, HandComputedTwoProductCase) {
+  // Windows: {a,b}, {a} -> at k=1: S(a)=S(b)=2^(2*1-1)=2.
+  // Stability_1 = S(a) / (S(a)+S(b)) = 0.5.
+  const StabilityComputer computer(Alpha(2.0));
+  const StabilitySeries series = computer.Compute(FromSets({{1, 2}, {1}}));
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.points[1].present_significance, 2.0);
+  EXPECT_DOUBLE_EQ(series.points[1].total_significance, 4.0);
+  EXPECT_DOUBLE_EQ(series.points[1].stability, 0.5);
+}
+
+TEST(StabilityComputer, DecreaseProportionalToMissingSignificance) {
+  // Build a long-standing habit a (4 windows) and a newcomer b (1 window),
+  // then drop each in turn. Dropping the significant product must hurt
+  // more. Windows: {a},{a},{a},{a,b}, then test {b} vs {a}.
+  const StabilityComputer computer(Alpha(2.0));
+  const StabilitySeries drop_a =
+      computer.Compute(FromSets({{1}, {1}, {1}, {1, 2}, {2}}));
+  const StabilitySeries drop_b =
+      computer.Compute(FromSets({{1}, {1}, {1}, {1, 2}, {1}}));
+  // At k=4: S(a) = 2^(2*4-4) = 16, S(b) = 2^(2*1-4) = 1/4.
+  EXPECT_DOUBLE_EQ(drop_a.points[4].stability, 0.25 / 16.25);
+  EXPECT_DOUBLE_EQ(drop_b.points[4].stability, 16.0 / 16.25);
+  EXPECT_LT(drop_a.points[4].stability, drop_b.points[4].stability);
+}
+
+TEST(StabilityComputer, NewProductsDoNotInflateStability) {
+  // A never-before-seen product contributes S = 0 to the numerator.
+  const StabilityComputer computer(Alpha(2.0));
+  const StabilitySeries with_new =
+      computer.Compute(FromSets({{1}, {1, 99}}));
+  const StabilitySeries without_new = computer.Compute(FromSets({{1}, {1}}));
+  EXPECT_DOUBLE_EQ(with_new.points[1].stability,
+                   without_new.points[1].stability);
+}
+
+TEST(StabilityComputer, RecoveryAfterMissedWindow) {
+  // Miss one window, then resume: stability dips then climbs back as the
+  // missing window's penalty decays.
+  const StabilityComputer computer(Alpha(2.0));
+  const StabilitySeries series =
+      computer.Compute(FromSets({{1}, {1}, {}, {1}, {1}, {1}}));
+  EXPECT_DOUBLE_EQ(series.points[2].stability, 0.0);
+  EXPECT_DOUBLE_EQ(series.points[3].stability, 1.0);  // only product returns
+  EXPECT_DOUBLE_EQ(series.points[4].stability, 1.0);
+}
+
+TEST(StabilityComputer, RobustToDuplicateSymbolsInWindow) {
+  // Windows are contractually deduplicated, but a duplicated symbol must
+  // not double-count significance (stability would exceed 1).
+  const StabilityComputer computer(Alpha(2.0));
+  WindowedHistory history = FromSets({{1, 2}, {1}});
+  history.windows[0].symbols = {1, 1, 2};  // malformed on purpose
+  history.windows[1].symbols = {1, 1};
+  const StabilitySeries series = computer.Compute(history);
+  EXPECT_DOUBLE_EQ(series.points[1].stability, 0.5);
+}
+
+TEST(StabilityComputer, CallbackSeesPreAdvanceTrackerState) {
+  const StabilityComputer computer(Alpha(2.0));
+  std::vector<int32_t> windows_seen;
+  computer.ComputeWithCallback(
+      FromSets({{1}, {1}, {1}}),
+      [&](int32_t k, const SignificanceTracker& tracker, const Window&) {
+        windows_seen.push_back(tracker.windows_seen());
+        EXPECT_EQ(tracker.windows_seen(), k);
+      });
+  EXPECT_EQ(windows_seen, (std::vector<int32_t>{0, 1, 2}));
+}
+
+// Property: stability is always within [0, 1] for random histories and a
+// range of alphas.
+class StabilityBoundsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(StabilityBoundsTest, StabilityStaysInUnitInterval) {
+  const double alpha = GetParam();
+  Rng rng(static_cast<uint64_t>(alpha * 1000));
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::vector<Symbol>> sets(12);
+    for (auto& set : sets) {
+      const size_t size = rng.NextUint64(8);
+      for (size_t i = 0; i < size; ++i) {
+        set.push_back(static_cast<Symbol>(rng.NextUint64(10)));
+      }
+    }
+    const StabilityComputer computer(Alpha(alpha));
+    const StabilitySeries series = computer.Compute(FromSets(sets));
+    for (const StabilityPoint& point : series.points) {
+      EXPECT_GE(point.stability, 0.0);
+      EXPECT_LE(point.stability, 1.0 + 1e-12);
+      EXPECT_GE(point.total_significance, point.present_significance);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, StabilityBoundsTest,
+                         ::testing::Values(0.5, 1.0, 1.5, 2.0, 4.0, 8.0));
+
+}  // namespace
+}  // namespace core
+}  // namespace churnlab

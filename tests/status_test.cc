@@ -1,0 +1,142 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/result.h"
+
+namespace churnlab {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_TRUE(status.message().empty());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(Status, FactoryFunctionsSetCodeAndMessage) {
+  const Status status = Status::InvalidArgument("bad alpha");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_EQ(status.message(), "bad alpha");
+  EXPECT_EQ(status.ToString(), "Invalid argument: bad alpha");
+}
+
+TEST(Status, AllCodesHaveDistinctPredicates) {
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_FALSE(Status::IOError("x").IsNotFound());
+}
+
+TEST(Status, WithContextPrependsAndPreservesCode) {
+  const Status status =
+      Status::IOError("disk full").WithContext("saving dataset");
+  EXPECT_TRUE(status.IsIOError());
+  EXPECT_EQ(status.message(), "saving dataset: disk full");
+}
+
+TEST(Status, WithContextIsNoOpOnOk) {
+  const Status status = Status::OK().WithContext("anything");
+  EXPECT_TRUE(status.ok());
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_NE(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_NE(Status::NotFound("a"), Status::Internal("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(Status, CopyableAndCheap) {
+  const Status original = Status::Internal("boom");
+  const Status copy = original;  // shared state
+  EXPECT_EQ(copy, original);
+}
+
+TEST(StatusCodeToString, CoversAllCodes) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.status().ok());
+  EXPECT_EQ(result.ValueOrDie(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> result = Status::NotFound("nope");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_EQ(result.ValueOr(-1), -1);
+}
+
+TEST(Result, OkStatusIsCoercedToInternalError) {
+  Result<int> result = Status::OK();
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInternal());
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> result = std::string("payload");
+  const std::string value = std::move(result).ValueOrDie();
+  EXPECT_EQ(value, "payload");
+}
+
+TEST(Result, ValueOrReturnsValueOnSuccess) {
+  Result<int> result = 7;
+  EXPECT_EQ(result.ValueOr(-1), 7);
+}
+
+TEST(Result, ArrowOperatorOnValue) {
+  Result<std::string> result = std::string("abc");
+  EXPECT_EQ(result->size(), 3u);
+}
+
+namespace macro_helpers {
+Status FailIf(bool fail) {
+  if (fail) return Status::Internal("requested failure");
+  return Status::OK();
+}
+
+Status Chain(bool fail) {
+  CHURNLAB_RETURN_NOT_OK(FailIf(fail));
+  return Status::OK();
+}
+
+Result<int> Half(int value) {
+  if (value % 2 != 0) return Status::InvalidArgument("odd");
+  return value / 2;
+}
+
+Result<int> Quarter(int value) {
+  CHURNLAB_ASSIGN_OR_RETURN(const int half, Half(value));
+  CHURNLAB_ASSIGN_OR_RETURN(const int quarter, Half(half));
+  return quarter;
+}
+}  // namespace macro_helpers
+
+TEST(Macros, ReturnNotOkPropagates) {
+  EXPECT_TRUE(macro_helpers::Chain(false).ok());
+  EXPECT_TRUE(macro_helpers::Chain(true).IsInternal());
+}
+
+TEST(Macros, AssignOrReturnChains) {
+  const Result<int> ok = macro_helpers::Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ValueOrDie(), 2);
+  EXPECT_TRUE(macro_helpers::Quarter(6).status().IsInvalidArgument());
+  EXPECT_TRUE(macro_helpers::Quarter(7).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace churnlab

@@ -1,0 +1,116 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace churnlab {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Split, SingleFieldWhenNoDelimiter) {
+  const auto parts = Split("alone", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyField) {
+  const auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Split, TrailingDelimiterYieldsTrailingEmpty) {
+  const auto parts = Split("x;", ';');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  const std::vector<std::string> parts = {"alpha", "beta", "gamma"};
+  const std::string joined = Join(parts, "--");
+  EXPECT_EQ(joined, "alpha--beta--gamma");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StripAsciiWhitespace, AllSides) {
+  EXPECT_EQ(StripAsciiWhitespace("  x  "), "x");
+  EXPECT_EQ(StripAsciiWhitespace("\t\nabc\r "), "abc");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+  EXPECT_EQ(StripAsciiWhitespace("no-ws"), "no-ws");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(StartsWith("churnlab", "churn"));
+  EXPECT_FALSE(StartsWith("churn", "churnlab"));
+  EXPECT_TRUE(EndsWith("dataset.clb", ".clb"));
+  EXPECT_FALSE(EndsWith("clb", "dataset.clb"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(AsciiToLower, MixedCase) {
+  EXPECT_EQ(AsciiToLower("ChurnLAB-42"), "churnlab-42");
+}
+
+TEST(ParseInt64, ValidInputs) {
+  EXPECT_EQ(ParseInt64("0").ValueOrDie(), 0);
+  EXPECT_EQ(ParseInt64("-17").ValueOrDie(), -17);
+  EXPECT_EQ(ParseInt64(" 42 ").ValueOrDie(), 42);
+  EXPECT_EQ(ParseInt64("9223372036854775807").ValueOrDie(),
+            9223372036854775807LL);
+}
+
+TEST(ParseInt64, RejectsGarbage) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("x12").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+  EXPECT_FALSE(ParseInt64("9223372036854775808").ok());  // overflow
+}
+
+TEST(ParseUint64, ValidAndInvalid) {
+  EXPECT_EQ(ParseUint64("18446744073709551615").ValueOrDie(),
+            18446744073709551615ULL);
+  EXPECT_FALSE(ParseUint64("-1").ok());
+  EXPECT_FALSE(ParseUint64("").ok());
+}
+
+TEST(ParseDouble, ValidInputs) {
+  EXPECT_DOUBLE_EQ(ParseDouble("2.5").ValueOrDie(), 2.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e-3").ValueOrDie(), -1e-3);
+  EXPECT_DOUBLE_EQ(ParseDouble(" 0 ").ValueOrDie(), 0.0);
+}
+
+TEST(ParseDouble, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5stuff").ok());
+}
+
+TEST(FormatDouble, RespectsDigits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 3), "1.000");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(FormatWithThousandsSeparators, GroupsDigits) {
+  EXPECT_EQ(FormatWithThousandsSeparators(0), "0");
+  EXPECT_EQ(FormatWithThousandsSeparators(999), "999");
+  EXPECT_EQ(FormatWithThousandsSeparators(1000), "1,000");
+  EXPECT_EQ(FormatWithThousandsSeparators(6000000), "6,000,000");
+  EXPECT_EQ(FormatWithThousandsSeparators(-1234567), "-1,234,567");
+  EXPECT_EQ(FormatWithThousandsSeparators(12), "12");
+  EXPECT_EQ(FormatWithThousandsSeparators(123456), "123,456");
+}
+
+}  // namespace
+}  // namespace churnlab

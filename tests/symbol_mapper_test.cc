@@ -1,0 +1,80 @@
+#include "core/symbol_mapper.h"
+
+#include <gtest/gtest.h>
+
+namespace churnlab {
+namespace core {
+namespace {
+
+struct Fixture {
+  retail::ItemDictionary items;
+  retail::Taxonomy taxonomy;
+
+  Fixture() {
+    const retail::DepartmentId dairy = taxonomy.AddDepartment("dairy");
+    const retail::SegmentId milk =
+        taxonomy.AddSegment("milk", dairy).ValueOrDie();
+    const retail::SegmentId cheese =
+        taxonomy.AddSegment("cheese", dairy).ValueOrDie();
+    const retail::ItemId whole = items.GetOrAdd("whole-milk");
+    const retail::ItemId skim = items.GetOrAdd("skim-milk");
+    const retail::ItemId brie = items.GetOrAdd("brie");
+    items.GetOrAdd("mystery");  // no segment
+    EXPECT_TRUE(taxonomy.AssignItem(whole, milk).ok());
+    EXPECT_TRUE(taxonomy.AssignItem(skim, milk).ok());
+    EXPECT_TRUE(taxonomy.AssignItem(brie, cheese).ok());
+  }
+};
+
+TEST(SymbolMapper, ProductGranularityIsIdentity) {
+  const Fixture fixture;
+  const auto mapper =
+      SymbolMapper::Make(retail::Granularity::kProduct, nullptr).ValueOrDie();
+  EXPECT_EQ(mapper.Map(0), 0u);
+  EXPECT_EQ(mapper.Map(42), 42u);
+  EXPECT_EQ(mapper.SymbolName(2, fixture.items), "brie");
+  EXPECT_EQ(mapper.SymbolName(99, fixture.items), "item#99");
+}
+
+TEST(SymbolMapper, SegmentGranularityMergesWithinSegment) {
+  const Fixture fixture;
+  const auto mapper =
+      SymbolMapper::Make(retail::Granularity::kSegment, &fixture.taxonomy)
+          .ValueOrDie();
+  EXPECT_EQ(mapper.Map(0), mapper.Map(1));  // both milk
+  EXPECT_NE(mapper.Map(0), mapper.Map(2));  // milk vs cheese
+  EXPECT_EQ(mapper.SymbolName(mapper.Map(0), fixture.items), "milk");
+  EXPECT_EQ(mapper.SymbolName(mapper.Map(2), fixture.items), "cheese");
+}
+
+TEST(SymbolMapper, UnassignedItemsGoToReservedBucket) {
+  const Fixture fixture;
+  const auto mapper =
+      SymbolMapper::Make(retail::Granularity::kSegment, &fixture.taxonomy)
+          .ValueOrDie();
+  EXPECT_EQ(mapper.Map(3), mapper.unsegmented_bucket());
+  EXPECT_EQ(mapper.unsegmented_bucket(),
+            static_cast<Symbol>(fixture.taxonomy.num_segments()));
+  EXPECT_EQ(mapper.SymbolName(mapper.unsegmented_bucket(), fixture.items),
+            "(unsegmented)");
+}
+
+TEST(SymbolMapper, SegmentGranularityRequiresTaxonomy) {
+  EXPECT_TRUE(SymbolMapper::Make(retail::Granularity::kSegment, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SymbolMapper, NeverReturnsInvalidSymbol) {
+  const Fixture fixture;
+  const auto mapper =
+      SymbolMapper::Make(retail::Granularity::kSegment, &fixture.taxonomy)
+          .ValueOrDie();
+  for (retail::ItemId item = 0; item < 10; ++item) {
+    EXPECT_NE(mapper.Map(item), kInvalidSymbol);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace churnlab

@@ -1,0 +1,102 @@
+#include "retail/taxonomy.h"
+
+#include <gtest/gtest.h>
+
+namespace churnlab {
+namespace retail {
+namespace {
+
+Taxonomy MakeSmallTaxonomy() {
+  Taxonomy taxonomy;
+  const DepartmentId dairy = taxonomy.AddDepartment("dairy");
+  const DepartmentId drinks = taxonomy.AddDepartment("drinks");
+  const SegmentId milk = taxonomy.AddSegment("milk", dairy).ValueOrDie();
+  const SegmentId cheese = taxonomy.AddSegment("cheese", dairy).ValueOrDie();
+  const SegmentId coffee = taxonomy.AddSegment("coffee", drinks).ValueOrDie();
+  EXPECT_TRUE(taxonomy.AssignItem(0, milk).ok());
+  EXPECT_TRUE(taxonomy.AssignItem(1, milk).ok());
+  EXPECT_TRUE(taxonomy.AssignItem(2, cheese).ok());
+  EXPECT_TRUE(taxonomy.AssignItem(5, coffee).ok());
+  return taxonomy;
+}
+
+TEST(Taxonomy, CountsAreTracked) {
+  const Taxonomy taxonomy = MakeSmallTaxonomy();
+  EXPECT_EQ(taxonomy.num_departments(), 2u);
+  EXPECT_EQ(taxonomy.num_segments(), 3u);
+  EXPECT_EQ(taxonomy.num_assigned_items(), 4u);
+}
+
+TEST(Taxonomy, SegmentOfMapsUpward) {
+  const Taxonomy taxonomy = MakeSmallTaxonomy();
+  EXPECT_EQ(taxonomy.SegmentOf(0), 0u);
+  EXPECT_EQ(taxonomy.SegmentOf(1), 0u);
+  EXPECT_EQ(taxonomy.SegmentOf(2), 1u);
+  EXPECT_EQ(taxonomy.SegmentOf(5), 2u);
+  // Unassigned items (3, 4) and out-of-range items map to invalid.
+  EXPECT_EQ(taxonomy.SegmentOf(3), kInvalidSegment);
+  EXPECT_EQ(taxonomy.SegmentOf(99), kInvalidSegment);
+}
+
+TEST(Taxonomy, DepartmentOfMapsUpward) {
+  const Taxonomy taxonomy = MakeSmallTaxonomy();
+  EXPECT_EQ(taxonomy.DepartmentOf(0).ValueOrDie(), 0u);
+  EXPECT_EQ(taxonomy.DepartmentOf(2).ValueOrDie(), 1u);
+  EXPECT_TRUE(taxonomy.DepartmentOf(7).status().IsOutOfRange());
+}
+
+TEST(Taxonomy, HasItem) {
+  const Taxonomy taxonomy = MakeSmallTaxonomy();
+  EXPECT_TRUE(taxonomy.HasItem(0));
+  EXPECT_FALSE(taxonomy.HasItem(3));
+}
+
+TEST(Taxonomy, Names) {
+  const Taxonomy taxonomy = MakeSmallTaxonomy();
+  EXPECT_EQ(taxonomy.SegmentName(0).ValueOrDie(), "milk");
+  EXPECT_EQ(taxonomy.DepartmentName(1).ValueOrDie(), "drinks");
+  EXPECT_TRUE(taxonomy.SegmentName(9).status().IsOutOfRange());
+  EXPECT_TRUE(taxonomy.DepartmentName(9).status().IsOutOfRange());
+  EXPECT_EQ(taxonomy.SegmentNameOrPlaceholder(2), "coffee");
+  EXPECT_EQ(taxonomy.SegmentNameOrPlaceholder(9), "segment#9");
+}
+
+TEST(Taxonomy, AddSegmentRejectsUnknownDepartment) {
+  Taxonomy taxonomy;
+  EXPECT_TRUE(taxonomy.AddSegment("milk", 3).status().IsOutOfRange());
+}
+
+TEST(Taxonomy, AssignItemRejectsUnknownSegment) {
+  Taxonomy taxonomy;
+  EXPECT_TRUE(taxonomy.AssignItem(0, 3).IsOutOfRange());
+}
+
+TEST(Taxonomy, ReassignSameSegmentIsNoOp) {
+  Taxonomy taxonomy = MakeSmallTaxonomy();
+  EXPECT_TRUE(taxonomy.AssignItem(0, 0).ok());
+  EXPECT_EQ(taxonomy.num_assigned_items(), 4u);
+}
+
+TEST(Taxonomy, ReassignDifferentSegmentFails) {
+  Taxonomy taxonomy = MakeSmallTaxonomy();
+  EXPECT_TRUE(taxonomy.AssignItem(0, 1).IsAlreadyExists());
+  EXPECT_EQ(taxonomy.SegmentOf(0), 0u);  // unchanged
+}
+
+TEST(Taxonomy, ItemsOfSegment) {
+  const Taxonomy taxonomy = MakeSmallTaxonomy();
+  const auto items = taxonomy.ItemsOfSegment(0);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0], 0u);
+  EXPECT_EQ(items[1], 1u);
+  EXPECT_TRUE(taxonomy.ItemsOfSegment(9).empty());
+}
+
+TEST(Taxonomy, ValidatePassesOnConsistentTaxonomy) {
+  EXPECT_TRUE(MakeSmallTaxonomy().Validate().ok());
+  EXPECT_TRUE(Taxonomy().Validate().ok());
+}
+
+}  // namespace
+}  // namespace retail
+}  // namespace churnlab

@@ -1,0 +1,100 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace churnlab {
+namespace {
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, TasksSubmittedFromTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] {
+    counter.fetch_add(1);
+    pool.Submit([&] { counter.fetch_add(10); });
+  });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 11);
+}
+
+TEST(ThreadPool, DestructorJoinsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.WaitIdle();
+  }  // destructor joins workers
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  std::vector<int> hits(1000, 0);
+  ParallelFor(0, hits.size(), 4,
+              [&hits](size_t i) { hits[i] += 1; });
+  for (const int hit : hits) EXPECT_EQ(hit, 1);
+}
+
+TEST(ParallelFor, MatchesSequentialResult) {
+  std::vector<double> parallel_out(500, 0.0);
+  std::vector<double> serial_out(500, 0.0);
+  const auto body = [](size_t i) {
+    return static_cast<double>(i) * 1.5 + 2.0;
+  };
+  ParallelFor(0, 500, 4, [&](size_t i) { parallel_out[i] = body(i); });
+  ParallelFor(0, 500, 1, [&](size_t i) { serial_out[i] = body(i); });
+  EXPECT_EQ(parallel_out, serial_out);
+}
+
+TEST(ParallelFor, EmptyAndReversedRanges) {
+  int calls = 0;
+  ParallelFor(5, 5, 4, [&calls](size_t) { ++calls; });
+  ParallelFor(7, 3, 4, [&calls](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, SubRange) {
+  std::vector<int> hits(10, 0);
+  ParallelFor(3, 7, 2, [&hits](size_t i) { hits[i] = 1; });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], i >= 3 && i < 7 ? 1 : 0);
+  }
+}
+
+TEST(ParallelFor, MoreThreadsThanItems) {
+  std::atomic<int> counter{0};
+  ParallelFor(0, 3, 16, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+}  // namespace
+}  // namespace churnlab

@@ -1,0 +1,109 @@
+#include "eval/threshold.h"
+
+#include <gtest/gtest.h>
+
+namespace churnlab {
+namespace eval {
+namespace {
+
+constexpr auto kHigher = ScoreOrientation::kHigherIsPositive;
+constexpr auto kLower = ScoreOrientation::kLowerIsPositive;
+
+// Defectors (label 1) carry LOW stability: 0.2, 0.3; loyal carry 0.8, 0.9,
+// with one awkward loyal at 0.35.
+const std::vector<double> kStability = {0.2, 0.3, 0.35, 0.8, 0.9};
+const std::vector<int> kLabels = {1, 1, 0, 0, 0};
+
+TEST(EnumerateOperatingPoints, OrderedConservativeToAggressive) {
+  const auto points =
+      EnumerateOperatingPoints(kStability, kLabels, kLower).ValueOrDie();
+  ASSERT_GE(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points.front().recall, 0.0);  // predict nothing
+  EXPECT_DOUBLE_EQ(points.back().recall, 1.0);   // predict everything
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].recall, points[i - 1].recall);
+  }
+}
+
+TEST(EnumerateOperatingPoints, MetricsMatchManualComputation) {
+  const auto points =
+      EnumerateOperatingPoints(kStability, kLabels, kLower).ValueOrDie();
+  // Threshold 0.3 predicts {0.2, 0.3} positive: TP=2 FP=0 -> precision 1,
+  // recall 1.
+  bool found = false;
+  for (const OperatingPoint& point : points) {
+    if (point.threshold == 0.3) {
+      found = true;
+      EXPECT_DOUBLE_EQ(point.precision, 1.0);
+      EXPECT_DOUBLE_EQ(point.recall, 1.0);
+      EXPECT_DOUBLE_EQ(point.f1, 1.0);
+      EXPECT_DOUBLE_EQ(point.false_positive_rate, 0.0);
+      EXPECT_DOUBLE_EQ(point.accuracy, 1.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SelectMaxF1, FindsPerfectSeparatorWhenOneExists) {
+  const auto best = SelectMaxF1(kStability, kLabels, kLower).ValueOrDie();
+  EXPECT_DOUBLE_EQ(best.f1, 1.0);
+  EXPECT_GE(best.threshold, 0.3);
+  EXPECT_LT(best.threshold, 0.35);
+}
+
+TEST(SelectMaxF1, HigherOrientation) {
+  // Probabilities: defectors high.
+  const std::vector<double> scores = {0.9, 0.7, 0.4, 0.2};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  const auto best = SelectMaxF1(scores, labels, kHigher).ValueOrDie();
+  EXPECT_DOUBLE_EQ(best.f1, 1.0);
+  EXPECT_GT(best.threshold, 0.4);
+}
+
+TEST(SelectForRecall, MostConservativeMeetingTarget) {
+  const auto point =
+      SelectForRecall(kStability, kLabels, kLower, 0.5).ValueOrDie();
+  // Recall 0.5 is reached by predicting only {0.2} positive.
+  EXPECT_GE(point.recall, 0.5);
+  EXPECT_DOUBLE_EQ(point.threshold, 0.2);
+  EXPECT_DOUBLE_EQ(point.precision, 1.0);
+}
+
+TEST(SelectForRecall, FullRecallAlwaysReachable) {
+  const auto point =
+      SelectForRecall(kStability, kLabels, kLower, 1.0).ValueOrDie();
+  EXPECT_DOUBLE_EQ(point.recall, 1.0);
+  // The cheapest full-recall threshold keeps the awkward loyal excluded.
+  EXPECT_DOUBLE_EQ(point.threshold, 0.3);
+}
+
+TEST(SelectForRecall, InvalidTarget) {
+  EXPECT_FALSE(SelectForRecall(kStability, kLabels, kLower, 1.5).ok());
+  EXPECT_FALSE(SelectForRecall(kStability, kLabels, kLower, -0.1).ok());
+}
+
+TEST(SelectForPrecision, MostAggressiveMeetingTarget) {
+  const auto point =
+      SelectForPrecision(kStability, kLabels, kLower, 1.0).ValueOrDie();
+  EXPECT_DOUBLE_EQ(point.precision, 1.0);
+  EXPECT_DOUBLE_EQ(point.recall, 1.0);  // threshold 0.3 is reachable
+}
+
+TEST(SelectForPrecision, UnreachableTargetFails) {
+  // Scores identical: any positive prediction has precision = base rate 0.4.
+  const std::vector<double> flat = {0.5, 0.5, 0.5, 0.5, 0.5};
+  const std::vector<int> labels = {1, 1, 0, 0, 0};
+  EXPECT_FALSE(SelectForPrecision(flat, labels, kLower, 0.9).ok());
+  const auto base = SelectForPrecision(flat, labels, kLower, 0.3);
+  ASSERT_TRUE(base.ok());
+  EXPECT_DOUBLE_EQ(base.ValueOrDie().precision, 0.4);
+}
+
+TEST(OperatingPoints, PropagateRocErrors) {
+  EXPECT_FALSE(EnumerateOperatingPoints({0.5}, {1}, kLower).ok());
+  EXPECT_FALSE(SelectMaxF1({}, {}, kLower).ok());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace churnlab

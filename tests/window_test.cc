@@ -1,0 +1,164 @@
+#include "core/window.h"
+
+#include <gtest/gtest.h>
+
+namespace churnlab {
+namespace core {
+namespace {
+
+retail::Receipt MakeReceipt(retail::Day day, std::vector<retail::ItemId> items) {
+  retail::Receipt receipt;
+  receipt.customer = 1;
+  receipt.day = day;
+  receipt.items = std::move(items);
+  receipt.spend = 5.0;
+  return receipt;
+}
+
+Symbol Identity(retail::ItemId item) { return item; }
+
+TEST(Windower, MakeValidatesOptions) {
+  WindowerOptions bad_span;
+  bad_span.window_span_days = 0;
+  EXPECT_TRUE(Windower::Make(bad_span).status().IsInvalidArgument());
+  WindowerOptions bad_origin;
+  bad_origin.origin_day = -1;
+  EXPECT_TRUE(Windower::Make(bad_origin).status().IsInvalidArgument());
+  EXPECT_TRUE(Windower::Make(WindowerOptions{}).ok());
+}
+
+TEST(Windower, WindowIndexOfAndCoverage) {
+  WindowerOptions options;
+  options.window_span_days = 60;
+  const Windower windower(options);
+  EXPECT_EQ(windower.WindowIndexOf(0), 0);
+  EXPECT_EQ(windower.WindowIndexOf(59), 0);
+  EXPECT_EQ(windower.WindowIndexOf(60), 1);
+  EXPECT_EQ(windower.WindowsToCover(0), 1);
+  EXPECT_EQ(windower.WindowsToCover(59), 1);
+  EXPECT_EQ(windower.WindowsToCover(60), 2);
+  EXPECT_EQ(windower.WindowsToCover(-5), 0);
+}
+
+TEST(Windower, BuildsUnionPerWindow) {
+  std::vector<retail::Receipt> receipts = {
+      MakeReceipt(1, {1, 2}),
+      MakeReceipt(30, {2, 3}),
+      MakeReceipt(65, {4}),
+  };
+  WindowerOptions options;
+  options.window_span_days = 60;
+  const Windower windower(options);
+  const WindowedHistory history =
+      windower.Build(std::span<const retail::Receipt>(receipts), Identity);
+  ASSERT_EQ(history.num_windows(), 2u);
+  EXPECT_EQ(history.windows[0].symbols, (std::vector<Symbol>{1, 2, 3}));
+  EXPECT_EQ(history.windows[0].num_receipts, 2u);
+  EXPECT_DOUBLE_EQ(history.windows[0].spend, 10.0);
+  EXPECT_EQ(history.windows[1].symbols, (std::vector<Symbol>{4}));
+}
+
+TEST(Windower, EmptyWindowsMaterialised) {
+  std::vector<retail::Receipt> receipts = {
+      MakeReceipt(1, {1}),
+      MakeReceipt(200, {2}),
+  };
+  WindowerOptions options;
+  options.window_span_days = 60;
+  const Windower windower(options);
+  const WindowedHistory history =
+      windower.Build(std::span<const retail::Receipt>(receipts), Identity);
+  ASSERT_EQ(history.num_windows(), 4u);
+  EXPECT_TRUE(history.windows[1].symbols.empty());
+  EXPECT_EQ(history.windows[1].num_receipts, 0u);
+  EXPECT_TRUE(history.windows[2].symbols.empty());
+  EXPECT_FALSE(history.windows[3].symbols.empty());
+}
+
+TEST(Windower, FixedNumWindowsDropsOutOfRangeReceipts) {
+  std::vector<retail::Receipt> receipts = {
+      MakeReceipt(1, {1}),
+      MakeReceipt(500, {2}),  // beyond the fixed horizon
+  };
+  WindowerOptions options;
+  options.window_span_days = 60;
+  options.num_windows = 2;
+  const Windower windower(options);
+  const WindowedHistory history =
+      windower.Build(std::span<const retail::Receipt>(receipts), Identity);
+  ASSERT_EQ(history.num_windows(), 2u);
+  EXPECT_EQ(history.windows[0].symbols, (std::vector<Symbol>{1}));
+  EXPECT_TRUE(history.windows[1].symbols.empty());
+}
+
+TEST(Windower, EmptyHistoryNoWindows) {
+  const Windower windower(WindowerOptions{});
+  const WindowedHistory history =
+      windower.Build(std::span<const retail::Receipt>(), Identity);
+  EXPECT_EQ(history.num_windows(), 0u);
+}
+
+TEST(Windower, MapperCanMergeAndDropSymbols) {
+  std::vector<retail::Receipt> receipts = {MakeReceipt(1, {1, 2, 3, 4})};
+  WindowerOptions options;
+  options.window_span_days = 60;
+  const Windower windower(options);
+  const WindowedHistory history = windower.Build(
+      std::span<const retail::Receipt>(receipts), [](retail::ItemId item) {
+        if (item == 4) return kInvalidSymbol;  // dropped
+        return Symbol{100};                    // all merge to one symbol
+      });
+  ASSERT_EQ(history.num_windows(), 1u);
+  EXPECT_EQ(history.windows[0].symbols, (std::vector<Symbol>{100}));
+}
+
+TEST(Window, ContainsUsesBinarySearch) {
+  Window window;
+  window.symbols = {2, 5, 9};
+  EXPECT_TRUE(window.Contains(2));
+  EXPECT_TRUE(window.Contains(9));
+  EXPECT_FALSE(window.Contains(3));
+  EXPECT_FALSE(window.Contains(100));
+}
+
+// Property suite: windows are consecutive, non-overlapping, equal span,
+// and receipts land in the window containing their day.
+class WindowerPropertyTest : public ::testing::TestWithParam<int32_t> {};
+
+TEST_P(WindowerPropertyTest, InvariantsHold) {
+  const int32_t span = GetParam();
+  std::vector<retail::Receipt> receipts;
+  for (retail::Day day = 0; day < 400; day += 13) {
+    receipts.push_back(MakeReceipt(day, {static_cast<retail::ItemId>(day)}));
+  }
+  WindowerOptions options;
+  options.window_span_days = span;
+  const Windower windower(options);
+  const WindowedHistory history =
+      windower.Build(std::span<const retail::Receipt>(receipts), Identity);
+
+  ASSERT_GT(history.num_windows(), 0u);
+  size_t receipts_seen = 0;
+  for (size_t k = 0; k < history.num_windows(); ++k) {
+    const Window& window = history.windows[k];
+    EXPECT_EQ(window.index, static_cast<int32_t>(k));
+    EXPECT_EQ(window.end_day - window.begin_day, span);
+    if (k > 0) {
+      EXPECT_EQ(window.begin_day, history.windows[k - 1].end_day);
+    }
+    receipts_seen += window.num_receipts;
+    // Each symbol (== receipt day here) must fall inside the window.
+    for (const Symbol symbol : window.symbols) {
+      EXPECT_GE(static_cast<retail::Day>(symbol), window.begin_day);
+      EXPECT_LT(static_cast<retail::Day>(symbol), window.end_day);
+    }
+  }
+  EXPECT_EQ(receipts_seen, receipts.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Spans, WindowerPropertyTest,
+                         ::testing::Values(7, 30, 60, 90, 365));
+
+}  // namespace
+}  // namespace core
+}  // namespace churnlab

@@ -1,0 +1,353 @@
+// churnlab — command-line front end for the library.
+//
+// Subcommands:
+//   simulate    generate a synthetic retail dataset and save it
+//   stats       print dataset statistics
+//   score       compute per-customer stability scores (CSV out)
+//   explain     per-window stability walk-through for one customer
+//   profile     a customer's ranked significant-product table
+//   evaluate    stability vs RFM detection AUROC by month
+//   forecast    out-of-fold AUROC of future-defection prediction
+//   gridsearch  5-fold CV search over (window span, alpha)
+//
+// Datasets are addressed by path: `x.clb` loads the binary format, any
+// other value is treated as a CSV prefix (x.receipts.csv / x.taxonomy.csv /
+// x.labels.csv).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "core/stability_model.h"
+#include "datagen/scenario.h"
+#include "eval/experiment.h"
+#include "eval/forecaster.h"
+#include "eval/grid_search.h"
+#include "eval/report.h"
+#include "retail/dataset.h"
+
+namespace churnlab {
+namespace {
+
+Result<retail::Dataset> LoadDataset(const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("--data is required");
+  }
+  if (EndsWith(path, ".clb")) return retail::Dataset::LoadBinary(path);
+  return retail::Dataset::LoadCsv(path);
+}
+
+Status RunSimulate(int argc, const char* const* argv) {
+  FlagParser parser("churnlab simulate: generate a synthetic dataset");
+  std::string out;
+  uint64_t loyal, defecting, seed;
+  int64_t months, onset;
+  bool csv;
+  parser.AddString("out", "", "output path (.clb) or CSV prefix with --csv",
+                   &out);
+  parser.AddUint64("loyal", 1000, "loyal customers", &loyal);
+  parser.AddUint64("defecting", 1000, "defecting customers", &defecting);
+  parser.AddInt64("months", 28, "observation months", &months);
+  parser.AddInt64("onset", 18, "attrition onset month", &onset);
+  parser.AddUint64("seed", 42, "simulation seed", &seed);
+  parser.AddBool("csv", false, "write CSV files instead of binary", &csv);
+  CHURNLAB_RETURN_NOT_OK(parser.Parse(argc, argv, 2));
+  if (out.empty()) return Status::InvalidArgument("--out is required");
+
+  datagen::PaperScenarioConfig config;
+  config.population.num_loyal = loyal;
+  config.population.num_defecting = defecting;
+  config.num_months = static_cast<int32_t>(months);
+  config.population.attrition.onset_month = static_cast<int32_t>(onset);
+  config.seed = seed;
+  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset,
+                            datagen::MakePaperDataset(config));
+  if (csv) {
+    CHURNLAB_RETURN_NOT_OK(dataset.SaveCsv(out));
+    std::printf("wrote %s.{receipts,taxonomy,labels}.csv\n", out.c_str());
+  } else {
+    CHURNLAB_RETURN_NOT_OK(dataset.SaveBinary(out));
+    std::printf("wrote %s\n", out.c_str());
+  }
+  std::printf("%s", dataset.ComputeStats().ToString().c_str());
+  return Status::OK();
+}
+
+Status RunStats(int argc, const char* const* argv) {
+  FlagParser parser("churnlab stats: print dataset statistics");
+  std::string data;
+  parser.AddString("data", "", "dataset path (.clb) or CSV prefix", &data);
+  CHURNLAB_RETURN_NOT_OK(parser.Parse(argc, argv, 2));
+  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset, LoadDataset(data));
+  std::printf("%s", dataset.ComputeStats().ToString().c_str());
+  return Status::OK();
+}
+
+Status RunScore(int argc, const char* const* argv) {
+  FlagParser parser("churnlab score: per-customer stability scores");
+  std::string data, out;
+  double alpha;
+  int64_t window;
+  bool products;
+  parser.AddString("data", "", "dataset path (.clb) or CSV prefix", &data);
+  parser.AddString("out", "", "output CSV (stdout summary if empty)", &out);
+  parser.AddDouble("alpha", 2.0, "significance alpha", &alpha);
+  parser.AddInt64("window", 2, "window span in months", &window);
+  parser.AddBool("products", false,
+                 "observe raw products instead of taxonomy segments",
+                 &products);
+  CHURNLAB_RETURN_NOT_OK(parser.Parse(argc, argv, 2));
+  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset, LoadDataset(data));
+
+  core::StabilityModelOptions options;
+  options.significance.alpha = alpha;
+  options.window_span_months = static_cast<int32_t>(window);
+  options.granularity = products ? retail::Granularity::kProduct
+                                 : retail::Granularity::kSegment;
+  CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel model,
+                            core::StabilityModel::Make(options));
+  CHURNLAB_ASSIGN_OR_RETURN(const core::ScoreMatrix scores,
+                            model.ScoreDataset(dataset));
+
+  if (out.empty()) {
+    std::printf("scored %zu customers x %d windows (alpha=%.2f, w=%lld)\n",
+                scores.num_rows(), scores.num_windows(), alpha,
+                static_cast<long long>(window));
+  } else {
+    CHURNLAB_RETURN_NOT_OK(scores.SaveCsv(out));
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return Status::OK();
+}
+
+Status RunExplain(int argc, const char* const* argv) {
+  FlagParser parser("churnlab explain: per-window analysis of one customer");
+  std::string data;
+  uint64_t customer;
+  double alpha;
+  int64_t window, top;
+  parser.AddString("data", "", "dataset path (.clb) or CSV prefix", &data);
+  parser.AddUint64("customer", 0, "customer id", &customer);
+  parser.AddDouble("alpha", 2.0, "significance alpha", &alpha);
+  parser.AddInt64("window", 2, "window span in months", &window);
+  parser.AddInt64("top", 5, "missing products listed per window", &top);
+  CHURNLAB_RETURN_NOT_OK(parser.Parse(argc, argv, 2));
+  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset, LoadDataset(data));
+
+  core::StabilityModelOptions options;
+  options.significance.alpha = alpha;
+  options.window_span_months = static_cast<int32_t>(window);
+  options.explanation.top_k = static_cast<size_t>(top);
+  CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel model,
+                            core::StabilityModel::Make(options));
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const core::CustomerReport report,
+      model.AnalyzeCustomer(dataset,
+                            static_cast<retail::CustomerId>(customer)));
+  std::printf("%s", report.ToString().c_str());
+  return Status::OK();
+}
+
+Status RunProfile(int argc, const char* const* argv) {
+  FlagParser parser(
+      "churnlab profile: a customer's significant-product table");
+  std::string data;
+  uint64_t customer;
+  double alpha;
+  int64_t window_span, window, top;
+  parser.AddString("data", "", "dataset path (.clb) or CSV prefix", &data);
+  parser.AddUint64("customer", 0, "customer id", &customer);
+  parser.AddDouble("alpha", 2.0, "significance alpha", &alpha);
+  parser.AddInt64("window", 2, "window span in months", &window_span);
+  parser.AddInt64("at", -1, "window index to profile (-1 = last)", &window);
+  parser.AddInt64("top", 15, "products listed", &top);
+  CHURNLAB_RETURN_NOT_OK(parser.Parse(argc, argv, 2));
+  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset, LoadDataset(data));
+
+  core::StabilityModelOptions options;
+  options.significance.alpha = alpha;
+  options.window_span_months = static_cast<int32_t>(window_span);
+  CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel model,
+                            core::StabilityModel::Make(options));
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const core::SignificanceProfile profile,
+      model.ProfileCustomer(dataset, static_cast<retail::CustomerId>(customer),
+                            static_cast<int32_t>(window)));
+  std::printf("customer %u, window %d (months [%lld, %lld))\n",
+              profile.customer, profile.window_index,
+              static_cast<long long>(profile.window_index * window_span),
+              static_cast<long long>((profile.window_index + 1) *
+                                     window_span));
+  eval::TextTable table(
+      {"product", "bought/missed windows", "significance", "share", ""});
+  int64_t listed = 0;
+  for (const core::SignificantProduct& product : profile.products) {
+    if (listed++ >= top) break;
+    table.AddRow({product.name,
+                  std::to_string(product.contain_count) + "/" +
+                      std::to_string(product.miss_count),
+                  FormatDouble(product.significance, 3),
+                  FormatDouble(product.significance_share, 3),
+                  product.present_in_window ? "" : "<- missing now"});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return Status::OK();
+}
+
+Status RunEvaluate(int argc, const char* const* argv) {
+  FlagParser parser(
+      "churnlab evaluate: stability vs RFM detection AUROC by month");
+  std::string data;
+  double alpha;
+  int64_t window, first_month, last_month;
+  parser.AddString("data", "", "dataset path (.clb) or CSV prefix", &data);
+  parser.AddDouble("alpha", 2.0, "significance alpha", &alpha);
+  parser.AddInt64("window", 2, "window span in months", &window);
+  parser.AddInt64("first_month", 2, "first report month", &first_month);
+  parser.AddInt64("last_month", 1000, "last report month", &last_month);
+  CHURNLAB_RETURN_NOT_OK(parser.Parse(argc, argv, 2));
+  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset, LoadDataset(data));
+
+  eval::Figure1Options options;
+  options.stability.significance.alpha = alpha;
+  options.stability.window_span_months = static_cast<int32_t>(window);
+  options.rfm.features.window_span_months = static_cast<int32_t>(window);
+  options.first_report_month = static_cast<int32_t>(first_month);
+  options.last_report_month = static_cast<int32_t>(last_month);
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const eval::Figure1Result result,
+      eval::ExperimentRunner::RunFigure1OnDataset(dataset, options));
+  eval::TextTable table({"month", "stability AUROC", "RFM AUROC"});
+  for (const eval::Figure1Row& row : result.rows) {
+    table.AddRow({std::to_string(row.report_month),
+                  FormatDouble(row.stability_auroc, 3),
+                  FormatDouble(row.rfm_auroc, 3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return Status::OK();
+}
+
+Status RunForecast(int argc, const char* const* argv) {
+  FlagParser parser(
+      "churnlab forecast: predict which customers defect in the next months");
+  std::string data;
+  int64_t decision, horizon;
+  parser.AddString("data", "", "dataset path (.clb) or CSV prefix", &data);
+  parser.AddInt64("decision", 16, "decision month (data visible through it)",
+                  &decision);
+  parser.AddInt64("horizon", 6, "forecast horizon in months", &horizon);
+  CHURNLAB_RETURN_NOT_OK(parser.Parse(argc, argv, 2));
+  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset, LoadDataset(data));
+
+  eval::ForecastOptions options;
+  options.decision_month = static_cast<int32_t>(decision);
+  options.horizon_months = static_cast<int32_t>(horizon);
+  CHURNLAB_ASSIGN_OR_RETURN(const eval::ForecastResult result,
+                            eval::StabilityForecaster::Run(dataset, options));
+  std::printf("decision month %lld, horizon %lld months\n",
+              static_cast<long long>(decision),
+              static_cast<long long>(horizon));
+  std::printf("future defectors: %zu  loyal: %zu  already defecting "
+              "(excluded): %zu\n",
+              result.num_future_defectors, result.num_loyal,
+              result.num_already_defecting);
+  std::printf("out-of-fold AUROC: %.3f\n", result.auroc);
+  eval::TextTable table({"lead (months)", "AUROC", "defectors"});
+  for (const auto& bucket : result.by_lead) {
+    table.AddRow({std::to_string(bucket.lead_months),
+                  bucket.auroc < 0.0 ? "-" : FormatDouble(bucket.auroc, 3),
+                  std::to_string(bucket.num_defectors)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return Status::OK();
+}
+
+Status RunGridSearch(int argc, const char* const* argv) {
+  FlagParser parser(
+      "churnlab gridsearch: 5-fold CV over (window span, alpha)");
+  std::string data;
+  int64_t onset;
+  parser.AddString("data", "", "dataset path (.clb) or CSV prefix", &data);
+  parser.AddInt64("onset", 18, "attrition onset month (objective anchor)",
+                  &onset);
+  CHURNLAB_RETURN_NOT_OK(parser.Parse(argc, argv, 2));
+  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset, LoadDataset(data));
+
+  eval::GridSearchOptions options;
+  options.onset_month = static_cast<int32_t>(onset);
+  CHURNLAB_ASSIGN_OR_RETURN(const eval::GridSearchResult result,
+                            eval::StabilityGridSearch::Run(dataset, options));
+  eval::TextTable table({"window (months)", "alpha", "mean AUROC", "std"});
+  for (const eval::GridSearchCell& cell : result.cells) {
+    table.AddRow({std::to_string(cell.window_span_months),
+                  FormatDouble(cell.alpha, 2),
+                  FormatDouble(cell.mean_auroc, 3),
+                  FormatDouble(cell.std_auroc, 3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("selected: window=%d months, alpha=%.2f\n",
+              result.best.window_span_months, result.best.alpha);
+  return Status::OK();
+}
+
+int Main(int argc, const char* const* argv) {
+  const std::string usage =
+      "usage: churnlab "
+      "<simulate|stats|score|explain|profile|evaluate|forecast|gridsearch> "
+      "[flags]\n       churnlab <subcommand> --help  (add --verbose for "
+      "progress logs)\n";
+  // Strip the global --verbose flag before subcommand parsing.
+  std::vector<const char*> arguments;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--verbose") {
+      Logger::SetLevel(LogLevel::kInfo);
+    } else {
+      arguments.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(arguments.size());
+  argv = arguments.data();
+  if (argc < 2) {
+    std::fprintf(stderr, "%s", usage.c_str());
+    return 2;
+  }
+  const std::string command = argv[1];
+  Status status;
+  if (command == "simulate") {
+    status = RunSimulate(argc, argv);
+  } else if (command == "stats") {
+    status = RunStats(argc, argv);
+  } else if (command == "score") {
+    status = RunScore(argc, argv);
+  } else if (command == "explain") {
+    status = RunExplain(argc, argv);
+  } else if (command == "profile") {
+    status = RunProfile(argc, argv);
+  } else if (command == "evaluate") {
+    status = RunEvaluate(argc, argv);
+  } else if (command == "forecast") {
+    status = RunForecast(argc, argv);
+  } else if (command == "gridsearch") {
+    status = RunGridSearch(argc, argv);
+  } else {
+    std::fprintf(stderr, "unknown subcommand '%s'\n%s", command.c_str(),
+                 usage.c_str());
+    return 2;
+  }
+  if (status.IsCancelled()) return 0;  // --help
+  if (!status.ok()) {
+    std::fprintf(stderr, "churnlab %s failed: %s\n", command.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace churnlab
+
+int main(int argc, char** argv) { return churnlab::Main(argc, argv); }
