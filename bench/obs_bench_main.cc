@@ -1,0 +1,138 @@
+// Custom google-benchmark main for the micro benches: runs the registered
+// benchmarks through the normal console reporter and additionally exports a
+// versioned BENCH_*.json document (per-run timings plus the churnlab
+// telemetry snapshot) when --metrics-out=<path> is passed. See
+// docs/OBSERVABILITY.md for the schema.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace {
+
+// ConsoleReporter that also captures every run so we can serialize the
+// results after the suite finishes.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      runs_.push_back(run);
+    }
+    benchmark::ConsoleReporter::ReportRuns(report);
+  }
+
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+std::string BenchmarksToJson(const std::string& suite,
+                             const std::vector<RecordingReporter::Run>& runs) {
+  churnlab::obs::JsonWriter json;
+  json.BeginObject()
+      .Key("churnlab_bench_version")
+      .Uint(1)
+      .Key("suite")
+      .String(suite)
+      .Key("benchmarks")
+      .BeginArray();
+  for (const auto& run : runs) {
+    const double iterations =
+        run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+    json.BeginObject()
+        .Key("name")
+        .String(run.benchmark_name())
+        .Key("iterations")
+        .Uint(static_cast<uint64_t>(run.iterations))
+        .Key("real_ns_per_iter")
+        .Double(run.real_accumulated_time / iterations * 1e9)
+        .Key("cpu_ns_per_iter")
+        .Double(run.cpu_accumulated_time / iterations * 1e9);
+    if (!run.counters.empty()) {
+      json.Key("counters").BeginObject();
+      for (const auto& [name, counter] : run.counters) {
+        json.Key(name).Double(counter.value);
+      }
+      json.EndObject();
+    }
+    json.EndObject();
+  }
+  json.EndArray().EndObject();
+  return json.str();
+}
+
+// Splices the telemetry snapshot into the bench document:
+//   {"churnlab_bench_version":1,...,"telemetry":{...}}
+std::string ComposeDocument(const std::string& bench_json) {
+  std::string document = bench_json;
+  document.pop_back();  // trailing '}'
+  document += ",\"telemetry\":";
+  document += churnlab::obs::JsonExporter::ExportGlobal();
+  document += "}";
+  return document;
+}
+
+std::string SuiteName(const char* argv0) {
+  std::string name = argv0;
+  const size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  return name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metrics_out;
+  std::vector<char*> arguments;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--detailed-timing") == 0) {
+      // Opt-in worst case: per-operation latency histograms on, as the CLI
+      // enables for --metrics-out runs. Used to measure the instrumentation
+      // overhead against the default (gated-off) configuration.
+      churnlab::obs::SetDetailedTiming(true);
+    } else {
+      arguments.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(arguments.size());
+  arguments.push_back(nullptr);
+
+  benchmark::Initialize(&filtered_argc, arguments.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                             arguments.data())) {
+    return 1;
+  }
+
+  RecordingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!metrics_out.empty()) {
+    const std::string document = ComposeDocument(
+        BenchmarksToJson(SuiteName(argv[0]), reporter.runs()));
+    std::FILE* file = std::fopen(metrics_out.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    std::fwrite(document.data(), 1, document.size(), file);
+    std::fputc('\n', file);
+    std::fclose(file);
+    std::fprintf(stderr, "wrote bench telemetry to %s\n", metrics_out.c_str());
+  }
+  return 0;
+}

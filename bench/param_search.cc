@@ -24,12 +24,15 @@ namespace {
 churnlab::Status Run(const char* csv_path) {
   using namespace churnlab;
 
+  Stopwatch stopwatch;
+
   datagen::PaperScenarioConfig scenario;
   scenario.population.num_loyal = 800;
   scenario.population.num_defecting = 800;
   scenario.seed = 42;
   CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset,
                             datagen::MakePaperDataset(scenario));
+  const double simulate_seconds = stopwatch.LapSeconds();
 
   eval::GridSearchOptions options;
   options.window_spans_months = {1, 2, 3};
@@ -37,9 +40,9 @@ churnlab::Status Run(const char* csv_path) {
   options.folds = 5;
   options.onset_month = scenario.population.attrition.onset_month;
 
-  Stopwatch stopwatch;
   CHURNLAB_ASSIGN_OR_RETURN(const eval::GridSearchResult result,
                             eval::StabilityGridSearch::Run(dataset, options));
+  const double search_seconds = stopwatch.LapSeconds();
 
   std::printf("=== Parameter search: 5-fold CV over (window span, alpha) ===\n\n");
   std::printf("objective: mean detection AUROC over the %d months after the "
@@ -62,7 +65,8 @@ churnlab::Status Run(const char* csv_path) {
   std::printf("\nselected: window = %d months, alpha = %.2f "
               "(paper: 2 months, alpha = 2)\n",
               result.best.window_span_months, result.best.alpha);
-  std::printf("elapsed: %.1f s\n", stopwatch.ElapsedSeconds());
+  std::printf("elapsed: simulate %.1f s, search %.1f s, total %.1f s\n",
+              simulate_seconds, search_seconds, stopwatch.ElapsedSeconds());
 
   if (csv_path != nullptr) {
     CHURNLAB_RETURN_NOT_OK(table.WriteCsv(csv_path));

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs the micro benchmark suites through the telemetry-exporting harness
+# and writes one BENCH_<suite>.json per suite plus a merged BENCH_micro.json
+# at the repo root (schema: docs/OBSERVABILITY.md).
+#
+# Usage: scripts/run_benches.sh [build_dir] [out_dir]
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT_DIR=${2:-.}
+mkdir -p "${OUT_DIR}"
+
+if [[ ! -d "${BUILD_DIR}/bench" ]]; then
+  echo "bench binaries not found; run:" >&2
+  echo "  cmake -B ${BUILD_DIR} -G Ninja && cmake --build ${BUILD_DIR}" >&2
+  exit 1
+fi
+
+suites=()
+for bench in "${BUILD_DIR}"/bench/micro_*; do
+  name=$(basename "${bench}")
+  out="${OUT_DIR}/BENCH_${name}.json"
+  echo "== ${name} =="
+  "${bench}" --benchmark_min_time=0.1 --metrics-out="${out}"
+  suites+=("${out}")
+  echo
+done
+
+# Merge the per-suite documents into BENCH_micro.json: a JSON array keeps
+# each suite's version stamp and telemetry snapshot intact.
+merged="${OUT_DIR}/BENCH_micro.json"
+{
+  printf '['
+  first=1
+  for suite in "${suites[@]}"; do
+    [[ ${first} -eq 1 ]] || printf ','
+    first=0
+    cat "${suite}"
+  done
+  printf ']\n'
+} > "${merged}"
+
+echo "wrote ${merged} (${#suites[@]} suites)"

@@ -57,6 +57,9 @@ class LogMessage {
     return *this;
   }
 
+  /// Lvalue view of a temporary, so the voidify idiom below can bind it.
+  LogMessage& self() { return *this; }
+
  private:
   LogLevel level_;
   const char* file_;
@@ -64,11 +67,27 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
-#define CHURNLAB_LOG(severity)                                             \
-  if (!::churnlab::Logger::IsEnabled(::churnlab::LogLevel::k##severity)) { \
-  } else                                                                   \
-    ::churnlab::LogMessage(::churnlab::LogLevel::k##severity, __FILE__,    \
-                           __LINE__)
+/// Implementation detail of CHURNLAB_LOG: swallows the streamed message so
+/// both arms of the macro's conditional have type void. operator& binds
+/// looser than << and tighter than ?:, which is exactly the precedence the
+/// macro needs.
+class LogMessageVoidify {
+ public:
+  void operator&(LogMessage&) {}
+};
+
+// A single expression (conditional + voidify) rather than an if/else so the
+// macro composes safely with surrounding control flow:
+//   if (x) CHURNLAB_LOG(Info) << "a"; else Other();
+// attaches the else to the outer if. The disabled branch still skips
+// evaluation of the streamed operands.
+#define CHURNLAB_LOG(severity)                                              \
+  !::churnlab::Logger::IsEnabled(::churnlab::LogLevel::k##severity)         \
+      ? (void)0                                                             \
+      : ::churnlab::LogMessageVoidify() &                                   \
+            ::churnlab::LogMessage(::churnlab::LogLevel::k##severity,       \
+                                   __FILE__, __LINE__)                      \
+                .self()
 
 #define CHURNLAB_LOG_DEBUG() CHURNLAB_LOG(Debug)
 #define CHURNLAB_LOG_INFO() CHURNLAB_LOG(Info)

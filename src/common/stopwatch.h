@@ -8,10 +8,13 @@ namespace churnlab {
 /// \brief Wall-clock stopwatch for coarse timing in harnesses and reports.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(Clock::now()), lap_(start_) {}
 
-  /// Restarts the stopwatch.
-  void Reset() { start_ = Clock::now(); }
+  /// Restarts the stopwatch (total and lap segment).
+  void Reset() {
+    start_ = Clock::now();
+    lap_ = start_;
+  }
 
   /// Elapsed seconds since construction / last Reset.
   double ElapsedSeconds() const {
@@ -21,9 +24,26 @@ class Stopwatch {
   /// Elapsed milliseconds since construction / last Reset.
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  /// Seconds since the last Lap() (or construction / Reset), and starts the
+  /// next lap segment. The overall ElapsedSeconds() is unaffected, so one
+  /// stopwatch can time consecutive phases and the whole run:
+  /// \code
+  ///   Stopwatch sw;
+  ///   LoadData();   const double load_s = sw.LapSeconds();
+  ///   RunSearch();  const double search_s = sw.LapSeconds();
+  ///   Report(load_s, search_s, sw.ElapsedSeconds());
+  /// \endcode
+  double LapSeconds() {
+    const Clock::time_point now = Clock::now();
+    const double seconds = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return seconds;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  Clock::time_point lap_;
 };
 
 }  // namespace churnlab

@@ -4,9 +4,23 @@
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace churnlab {
 namespace core {
+
+namespace {
+void RecordAlert(StabilityAlert::Kind kind) {
+  static obs::Counter* const low_stability =
+      obs::MetricsRegistry::Global().GetCounter(
+          "churnlab.core.alerts_low_stability");
+  static obs::Counter* const sharp_drop =
+      obs::MetricsRegistry::Global().GetCounter(
+          "churnlab.core.alerts_sharp_drop");
+  (kind == StabilityAlert::Kind::kLowStability ? low_stability : sharp_drop)
+      ->Increment();
+}
+}  // namespace
 
 std::string StabilityAlert::ToString() const {
   std::ostringstream out;
@@ -53,6 +67,7 @@ std::vector<StabilityAlert> StabilityMonitor::Evaluate(
         alert.window_index = point.window_index;
         alert.stability = point.stability;
         alert.drop = drop;
+        RecordAlert(alert.kind);
         alerts.push_back(alert);
         // Re-arm only after recovery: keep the streak saturated so a long
         // low spell raises exactly one alert.
@@ -67,6 +82,7 @@ std::vector<StabilityAlert> StabilityMonitor::Evaluate(
         alert.window_index = point.window_index;
         alert.stability = point.stability;
         alert.drop = drop;
+        RecordAlert(alert.kind);
         alerts.push_back(alert);
       }
     }

@@ -1,11 +1,59 @@
 #include "core/online_scorer.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace churnlab {
 namespace core {
+
+namespace {
+struct OnlineMetrics {
+  obs::Counter* observations;
+  obs::Counter* windows_emitted;
+  obs::Gauge* windows_per_sec;
+  obs::Histogram* observe_latency_us;
+};
+
+const OnlineMetrics& Metrics() {
+  static const OnlineMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return OnlineMetrics{
+        registry.GetCounter("churnlab.core.online_observations"),
+        registry.GetCounter("churnlab.core.online_windows_emitted"),
+        registry.GetGauge("churnlab.core.online_windows_per_sec"),
+        registry.GetHistogram("churnlab.core.observe_latency_us",
+                              obs::HistogramOptions::ExponentialLatency()),
+    };
+  }();
+  return metrics;
+}
+
+// Process-wide anchor for the windows/sec throughput gauge: nanoseconds of
+// the first window emission. Races on the initial store are benign (both
+// writers store nearly identical timestamps).
+std::atomic<uint64_t> g_first_emit_ns{0};
+
+void RecordEmittedWindows(size_t count) {
+  if (count == 0) return;
+  const OnlineMetrics& metrics = Metrics();
+  metrics.windows_emitted->Increment(count);
+  const uint64_t now_ns = obs::MonotonicNanos();
+  uint64_t first = g_first_emit_ns.load(std::memory_order_relaxed);
+  if (first == 0) {
+    g_first_emit_ns.compare_exchange_strong(first, now_ns,
+                                            std::memory_order_relaxed);
+    first = g_first_emit_ns.load(std::memory_order_relaxed);
+  }
+  const double elapsed_s = static_cast<double>(now_ns - first) * 1e-9;
+  if (elapsed_s > 0.0) {
+    metrics.windows_per_sec->Set(
+        static_cast<double>(metrics.windows_emitted->Value()) / elapsed_s);
+  }
+}
+}  // namespace
 
 Result<OnlineStabilityScorer> OnlineStabilityScorer::Make(Options options) {
   if (options.window_span_days <= 0) {
@@ -59,11 +107,14 @@ Result<std::vector<StabilityPoint>> OnlineStabilityScorer::AdvanceTo(
   while (current_window_ < target_window) {
     emitted.push_back(CloseCurrentWindow());
   }
+  RecordEmittedWindows(emitted.size());
   return emitted;
 }
 
 Result<std::vector<StabilityPoint>> OnlineStabilityScorer::Observe(
     retail::Day day, const std::vector<Symbol>& symbols) {
+  const OnlineMetrics& metrics = Metrics();
+  obs::ScopedLatency latency(metrics.observe_latency_us);
   CHURNLAB_ASSIGN_OR_RETURN(std::vector<StabilityPoint> emitted,
                             AdvanceTo(day));
   // Merge the observation into the current window's sorted union.
@@ -75,6 +126,7 @@ Result<std::vector<StabilityPoint>> OnlineStabilityScorer::Observe(
       current_symbols_.insert(it, symbol);
     }
   }
+  metrics.observations->Increment();
   return emitted;
 }
 
@@ -84,7 +136,9 @@ StabilityPoint OnlineStabilityScorer::Finish() {
       std::max(last_observed_day_,
                options_.origin_day +
                    (current_window_ + 1) * options_.window_span_days - 1);
-  return CloseCurrentWindow();
+  StabilityPoint point = CloseCurrentWindow();
+  RecordEmittedWindows(1);
+  return point;
 }
 
 }  // namespace core

@@ -1,13 +1,65 @@
 #include "core/stability.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace churnlab {
 namespace core {
 
+namespace {
+struct StabilityMetrics {
+  obs::Counter* series_computed;
+  obs::Counter* windows_scored;
+  obs::Histogram* observe_latency_us;
+};
+
+const StabilityMetrics& Metrics() {
+  static const StabilityMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return StabilityMetrics{
+        registry.GetCounter("churnlab.core.stability_series_computed"),
+        registry.GetCounter("churnlab.core.stability_windows_scored"),
+        registry.GetHistogram("churnlab.core.observe_latency_us",
+                              obs::HistogramOptions::ExponentialLatency()),
+    };
+  }();
+  return metrics;
+}
+}  // namespace
+
 StabilitySeries StabilityComputer::Compute(
     const WindowedHistory& history) const {
-  return ComputeWithCallback(
-      history,
-      [](int32_t, const SignificanceTracker&, const Window&) {});
+  CHURNLAB_SPAN("core.stability");
+  const StabilityMetrics& metrics = Metrics();
+  StabilitySeries series;
+  if (obs::DetailedTimingEnabled()) {
+    // Time the batch pass with the same histogram the online scorer feeds,
+    // so `--trace` runs expose a latency distribution either way. The
+    // inter-callback delta covers one window's tracker advance plus
+    // scoring — the full per-window cost. Sampled 1-in-16 (an anchor
+    // callback then a measured one) to keep the enabled overhead on the
+    // per-window hot loop within the <=3% budget (docs/OBSERVABILITY.md).
+    uint64_t anchor_ns = 0;
+    uint32_t tick = 0;
+    series = ComputeWithCallback(
+        history,
+        [&](int32_t, const SignificanceTracker&, const Window&) {
+          const uint32_t phase = tick++ & 15u;
+          if (phase == 0) {
+            anchor_ns = obs::MonotonicNanos();
+          } else if (phase == 1) {
+            metrics.observe_latency_us->Record(
+                static_cast<double>(obs::MonotonicNanos() - anchor_ns) *
+                1e-3);
+          }
+        });
+  } else {
+    series = ComputeWithCallback(
+        history, [](int32_t, const SignificanceTracker&, const Window&) {});
+  }
+  metrics.series_computed->Increment();
+  metrics.windows_scored->Increment(series.size());
+  return series;
 }
 
 }  // namespace core

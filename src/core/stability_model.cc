@@ -4,8 +4,11 @@
 #include <sstream>
 
 #include "common/macros.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace churnlab {
 namespace core {
@@ -68,6 +71,7 @@ int32_t StabilityModel::NumWindowsFor(const retail::Dataset& dataset) const {
 
 Result<ScoreMatrix> StabilityModel::ScoreDataset(
     const retail::Dataset& dataset) const {
+  CHURNLAB_SPAN("core.score_dataset");
   CHURNLAB_ASSIGN_OR_RETURN(const Windower windower, MakeWindower(dataset));
   CHURNLAB_ASSIGN_OR_RETURN(
       const SymbolMapper mapper,
@@ -78,8 +82,21 @@ Result<ScoreMatrix> StabilityModel::ScoreDataset(
   const int32_t num_windows = NumWindowsFor(dataset);
   ScoreMatrix matrix(customers, num_windows);
 
+  static obs::Counter* const customers_scored =
+      obs::MetricsRegistry::Global().GetCounter(
+          "churnlab.core.customers_scored");
+  static obs::Gauge* const windows_per_sec =
+      obs::MetricsRegistry::Global().GetGauge(
+          "churnlab.core.windows_per_sec");
+  static obs::Histogram* const score_customer_us =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "churnlab.core.score_customer_us",
+          obs::HistogramOptions::ExponentialLatency());
+
   const StabilityComputer computer(options_.significance);
   const auto score_one = [&](size_t row) {
+    CHURNLAB_SPAN("core.score_customer");
+    obs::ScopedLatency latency(score_customer_us);
     const auto history = windower.Build(
         dataset.store().History(customers[row]),
         [&](retail::ItemId item) { return mapper.Map(item); });
@@ -90,12 +107,20 @@ Result<ScoreMatrix> StabilityModel::ScoreDataset(
     }
   };
 
+  Stopwatch stopwatch;
   ParallelFor(0, customers.size(), options_.num_threads, score_one);
+  const double elapsed_s = stopwatch.ElapsedSeconds();
+  customers_scored->Increment(customers.size());
+  if (elapsed_s > 0.0) {
+    windows_per_sec->Set(
+        static_cast<double>(customers.size()) * num_windows / elapsed_s);
+  }
   return matrix;
 }
 
 Result<StabilitySeries> StabilityModel::ScoreCustomer(
     const retail::Dataset& dataset, retail::CustomerId customer) const {
+  CHURNLAB_SPAN("core.score_customer");
   CHURNLAB_ASSIGN_OR_RETURN(const Windower windower, MakeWindower(dataset));
   CHURNLAB_ASSIGN_OR_RETURN(
       const SymbolMapper mapper,

@@ -2,8 +2,20 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace churnlab {
 namespace core {
+
+void RecordWindowingStats(size_t num_windows, size_t num_receipts) {
+  static obs::Counter* const windows =
+      obs::MetricsRegistry::Global().GetCounter("churnlab.core.windows_built");
+  static obs::Counter* const receipts =
+      obs::MetricsRegistry::Global().GetCounter(
+          "churnlab.core.receipts_windowed");
+  windows->Increment(num_windows);
+  receipts->Increment(num_receipts);
+}
 
 bool Window::Contains(Symbol symbol) const {
   return std::binary_search(symbols.begin(), symbols.end(), symbol);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/trace.h"
 #include "retail/types.h"
 
 namespace churnlab {
@@ -93,6 +94,10 @@ class Windower {
 
 inline constexpr Symbol kInvalidSymbol = retail::kInvalidItem;
 
+/// Bumps the churnlab.core.{windows_built,receipts_windowed} counters.
+/// Out-of-line so the templated Build() does not pull metrics headers in.
+void RecordWindowingStats(size_t num_windows, size_t num_receipts);
+
 // ---------------------------------------------------------------------------
 // Template implementation
 // ---------------------------------------------------------------------------
@@ -100,6 +105,7 @@ inline constexpr Symbol kInvalidSymbol = retail::kInvalidItem;
 template <typename SymbolFn>
 WindowedHistory Windower::Build(std::span<const retail::Receipt> receipts,
                                 SymbolFn&& map_symbol) const {
+  CHURNLAB_SPAN("core.windowing");
   WindowedHistory history;
   int32_t num_windows = options_.num_windows;
   if (num_windows < 0) {
@@ -131,6 +137,7 @@ WindowedHistory Windower::Build(std::span<const retail::Receipt> receipts,
         std::unique(window.symbols.begin(), window.symbols.end()),
         window.symbols.end());
   }
+  RecordWindowingStats(history.windows.size(), receipts.size());
   return history;
 }
 

@@ -4,9 +4,21 @@
 
 #include "common/macros.h"
 #include "eval/bootstrap.h"
+#include "obs/metrics.h"
+#include "obs/structured_log.h"
+#include "obs/trace.h"
 
 namespace churnlab {
 namespace eval {
+
+namespace {
+obs::Counter* AurocCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "churnlab.eval.auroc_computations");
+  return counter;
+}
+}  // namespace
 
 Figure1Options::Figure1Options() {
   // Paper settings: alpha = 2, window span = 2 months, segment granularity.
@@ -48,6 +60,7 @@ Result<std::vector<WindowAuroc>> AurocPerWindow(
     point.report_month = (window + 1) * window_span_months;
     CHURNLAB_ASSIGN_OR_RETURN(point.auroc,
                               Auroc(window_scores, labels, orientation));
+    AurocCounter()->Increment();
     series.push_back(point);
   }
   return series;
@@ -62,6 +75,7 @@ Result<Figure1Result> ExperimentRunner::RunFigure1(
 
 Result<Figure1Result> ExperimentRunner::RunFigure1OnDataset(
     const retail::Dataset& dataset, const Figure1Options& options) {
+  CHURNLAB_SPAN("eval.figure1");
   if (options.stability.window_span_months !=
       options.rfm.features.window_span_months) {
     return Status::InvalidArgument(
@@ -69,24 +83,30 @@ Result<Figure1Result> ExperimentRunner::RunFigure1OnDataset(
         "AUROC series are comparable");
   }
 
+  // Four coarse phases: score stability, AUROC it, score RFM, AUROC it.
+  obs::ProgressLogger progress("evaluate", 4);
   CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel stability_model,
                             core::StabilityModel::Make(options.stability));
   CHURNLAB_ASSIGN_OR_RETURN(const core::ScoreMatrix stability_scores,
                             stability_model.ScoreDataset(dataset));
+  progress.Step(1, "stability scores");
   CHURNLAB_ASSIGN_OR_RETURN(
       const std::vector<WindowAuroc> stability_series,
       AurocPerWindow(dataset, stability_scores,
                      ScoreOrientation::kLowerIsPositive,
                      options.stability.window_span_months));
+  progress.Step(2, "stability AUROC");
 
   CHURNLAB_ASSIGN_OR_RETURN(const rfm::RfmModel rfm_model,
                             rfm::RfmModel::Make(options.rfm));
   CHURNLAB_ASSIGN_OR_RETURN(const core::ScoreMatrix rfm_scores,
                             rfm_model.ScoreDataset(dataset));
+  progress.Step(3, "rfm scores");
   CHURNLAB_ASSIGN_OR_RETURN(
       const std::vector<WindowAuroc> rfm_series,
       AurocPerWindow(dataset, rfm_scores, ScoreOrientation::kHigherIsPositive,
                      options.rfm.features.window_span_months));
+  progress.Done();
 
   if (stability_series.size() != rfm_series.size()) {
     return Status::Internal("model window counts diverged");

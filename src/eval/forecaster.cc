@@ -5,7 +5,11 @@
 
 #include "common/kfold.h"
 #include "common/macros.h"
+#include "common/stopwatch.h"
 #include "eval/roc.h"
+#include "obs/metrics.h"
+#include "obs/structured_log.h"
+#include "obs/trace.h"
 #include "rfm/scaler.h"
 
 namespace churnlab {
@@ -13,6 +17,14 @@ namespace eval {
 
 Result<ForecastResult> StabilityForecaster::Run(
     const retail::Dataset& dataset, const ForecastOptions& options) {
+  CHURNLAB_SPAN("eval.forecast");
+  static obs::Counter* const forecast_runs =
+      obs::MetricsRegistry::Global().GetCounter("churnlab.eval.forecast_runs");
+  static obs::Histogram* const fold_ms =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "churnlab.eval.fold_ms",
+          obs::HistogramOptions::ExponentialLatency());
+  forecast_runs->Increment();
   if (options.decision_month <= 0 || options.horizon_months <= 0) {
     return Status::InvalidArgument(
         "decision_month and horizon_months must be positive");
@@ -120,6 +132,8 @@ Result<ForecastResult> StabilityForecaster::Run(
       const StratifiedKFold folds,
       StratifiedKFold::Make(targets, options.cv_folds, options.cv_seed));
   std::vector<double> out_of_fold(design.size(), 0.0);
+  obs::ProgressLogger progress("forecast_cv", folds.num_folds());
+  Stopwatch fold_timer;
   for (size_t fold = 0; fold < folds.num_folds(); ++fold) {
     std::vector<std::vector<double>> train_rows;
     std::vector<int> train_labels;
@@ -137,7 +151,10 @@ Result<ForecastResult> StabilityForecaster::Run(
       CHURNLAB_RETURN_NOT_OK(scaler.Transform(&row));
       out_of_fold[index] = logistic.PredictProbability(row);
     }
+    fold_ms->Record(fold_timer.LapSeconds() * 1e3);
+    progress.Step(fold + 1);
   }
+  progress.Done();
 
   CHURNLAB_ASSIGN_OR_RETURN(
       result.auroc,

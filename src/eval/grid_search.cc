@@ -7,14 +7,26 @@
 #include "common/logging.h"
 #include "common/macros.h"
 #include "common/math_util.h"
+#include "common/stopwatch.h"
 #include "core/stability_model.h"
 #include "eval/roc.h"
+#include "obs/metrics.h"
+#include "obs/structured_log.h"
+#include "obs/trace.h"
 
 namespace churnlab {
 namespace eval {
 
 Result<GridSearchResult> StabilityGridSearch::Run(
     const retail::Dataset& dataset, const GridSearchOptions& options) {
+  CHURNLAB_SPAN("eval.grid_search");
+  static obs::Counter* const cells_evaluated =
+      obs::MetricsRegistry::Global().GetCounter(
+          "churnlab.eval.grid_cells_evaluated");
+  static obs::Histogram* const cell_ms =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "churnlab.eval.grid_cell_ms",
+          obs::HistogramOptions::ExponentialLatency());
   if (options.window_spans_months.empty() || options.alphas.empty()) {
     return Status::InvalidArgument("empty parameter grid");
   }
@@ -39,6 +51,10 @@ Result<GridSearchResult> StabilityGridSearch::Run(
       StratifiedKFold::Make(targets, options.folds, options.seed));
 
   GridSearchResult result;
+  const uint64_t total_cells =
+      options.window_spans_months.size() * options.alphas.size();
+  obs::ProgressLogger progress("grid_search", total_cells);
+  Stopwatch cell_timer;
   for (const int32_t span : options.window_spans_months) {
     for (const double alpha : options.alphas) {
       core::StabilityModelOptions model_options;
@@ -108,8 +124,12 @@ Result<GridSearchResult> StabilityGridSearch::Run(
                           << " auroc=" << cell.mean_auroc << " +- "
                           << cell.std_auroc;
       result.cells.push_back(cell);
+      cells_evaluated->Increment();
+      cell_ms->Record(cell_timer.LapSeconds() * 1e3);
+      progress.Step(result.cells.size());
     }
   }
+  progress.Done();
 
   result.best = result.cells.front();
   for (const GridSearchCell& cell : result.cells) {

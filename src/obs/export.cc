@@ -1,0 +1,110 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+namespace churnlab {
+namespace obs {
+
+void JsonExporter::WriteHistogram(const HistogramSnapshot& histogram,
+                                  JsonWriter* json) {
+  json->BeginObject();
+  json->Key("count").Uint(histogram.count);
+  json->Key("sum").Double(histogram.sum);
+  json->Key("min").Double(histogram.min);
+  json->Key("max").Double(histogram.max);
+  json->Key("mean").Double(histogram.Mean());
+  json->Key("p50").Double(histogram.Percentile(0.50));
+  json->Key("p90").Double(histogram.Percentile(0.90));
+  json->Key("p99").Double(histogram.Percentile(0.99));
+  json->Key("buckets").BeginArray();
+  for (size_t i = 0; i < histogram.buckets.size(); ++i) {
+    // Empty buckets are omitted to keep documents compact; the bucket
+    // layout is implied by the histogram's options.
+    if (histogram.buckets[i] == 0) continue;
+    json->BeginObject();
+    if (i < histogram.bounds.size()) {
+      json->Key("le").Double(histogram.bounds[i]);
+    } else {
+      json->Key("le").String("+inf");
+    }
+    json->Key("count").Uint(histogram.buckets[i]);
+    json->EndObject();
+  }
+  json->EndArray();
+  json->EndObject();
+}
+
+void JsonExporter::WriteProfileNode(const ProfileNode& node,
+                                    JsonWriter* json) {
+  json->BeginObject();
+  json->Key("name").String(node.name);
+  json->Key("count").Uint(node.count);
+  json->Key("total_ns").Uint(node.total_ns);
+  json->Key("self_ns").Uint(node.self_ns);
+  json->Key("children").BeginArray();
+  for (const ProfileNode& child : node.children) {
+    WriteProfileNode(child, json);
+  }
+  json->EndArray();
+  json->EndObject();
+}
+
+std::string JsonExporter::ExportTelemetry(const MetricsSnapshot& metrics,
+                                          const ProfileNode* trace) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("churnlab_telemetry_version").Int(kTelemetrySchemaVersion);
+
+  json.Key("counters").BeginObject();
+  for (const MetricsSnapshot::CounterSample& counter : metrics.counters) {
+    json.Key(counter.name).Uint(counter.value);
+  }
+  json.EndObject();
+
+  json.Key("gauges").BeginObject();
+  for (const MetricsSnapshot::GaugeSample& gauge : metrics.gauges) {
+    json.Key(gauge.name).Double(gauge.value);
+  }
+  json.EndObject();
+
+  json.Key("histograms").BeginObject();
+  for (const MetricsSnapshot::HistogramSample& sample : metrics.histograms) {
+    json.Key(sample.name);
+    WriteHistogram(sample.histogram, &json);
+  }
+  json.EndObject();
+
+  if (trace != nullptr) {
+    json.Key("trace");
+    WriteProfileNode(*trace, &json);
+  }
+  json.EndObject();
+  return json.str();
+}
+
+std::string JsonExporter::ExportGlobal() {
+  const MetricsSnapshot metrics = MetricsRegistry::Global().Snapshot();
+  if (Trace::IsEnabled()) {
+    const ProfileNode trace = Trace::Collect();
+    return ExportTelemetry(metrics, &trace);
+  }
+  return ExportTelemetry(metrics, nullptr);
+}
+
+Status JsonExporter::WriteGlobalTelemetry(const std::string& path) {
+  const std::string document = ExportGlobal();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  const size_t written =
+      std::fwrite(document.data(), 1, document.size(), file);
+  const bool newline_ok = std::fputc('\n', file) != EOF;
+  if (std::fclose(file) != 0 || written != document.size() || !newline_ok) {
+    return Status::IOError("failed writing telemetry to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace churnlab

@@ -1,0 +1,58 @@
+#ifndef CHURNLAB_OBS_EXPORT_H_
+#define CHURNLAB_OBS_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace churnlab {
+namespace obs {
+
+/// Version stamp of the telemetry JSON schema (see docs/OBSERVABILITY.md).
+/// Bump on breaking layout changes.
+inline constexpr int kTelemetrySchemaVersion = 1;
+
+/// \brief Serializes metrics + trace snapshots to the versioned telemetry
+/// JSON document.
+///
+/// Document layout (version 1):
+/// \code
+///   {
+///     "churnlab_telemetry_version": 1,
+///     "counters":   {"churnlab.<subsystem>.<name>": <uint>, ...},
+///     "gauges":     {"<name>": <double>, ...},
+///     "histograms": {"<name>": {"count":., "sum":., "min":., "max":.,
+///                               "mean":., "p50":., "p90":., "p99":.,
+///                               "buckets":[{"le":<bound|"+inf">,
+///                                           "count":<uint>}, ...]}, ...},
+///     "trace":      {<profile tree>}        // only when tracing is on
+///   }
+/// \endcode
+class JsonExporter {
+ public:
+  /// Serializes an explicit snapshot. `trace` may be null (field omitted).
+  static std::string ExportTelemetry(const MetricsSnapshot& metrics,
+                                     const ProfileNode* trace);
+
+  /// Snapshot of the global registry plus, when tracing is enabled, the
+  /// collected profile tree.
+  static std::string ExportGlobal();
+
+  /// ExportGlobal() to a file.
+  static Status WriteGlobalTelemetry(const std::string& path);
+
+  /// Appends one profile (sub)tree to `json` as a JSON object.
+  static void WriteProfileNode(const ProfileNode& node, JsonWriter* json);
+
+  /// Appends one histogram snapshot to `json` as a JSON object.
+  static void WriteHistogram(const HistogramSnapshot& histogram,
+                             JsonWriter* json);
+};
+
+}  // namespace obs
+}  // namespace churnlab
+
+#endif  // CHURNLAB_OBS_EXPORT_H_

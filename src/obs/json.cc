@@ -1,0 +1,392 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace churnlab {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (scopes_.empty()) return;
+  if (has_elements_.back()) out_.push_back(',');
+  has_elements_.back() = true;
+}
+
+void JsonWriter::AppendEscaped(std::string_view text) {
+  out_.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        Append("\\\"");
+        break;
+      case '\\':
+        Append("\\\\");
+        break;
+      case '\n':
+        Append("\\n");
+        break;
+      case '\r':
+        Append("\\r");
+        break;
+      case '\t':
+        Append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          Append(buffer);
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  scopes_.push_back(Scope::kObject);
+  has_elements_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_.push_back('}');
+  scopes_.pop_back();
+  has_elements_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  scopes_.push_back(Scope::kArray);
+  has_elements_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_.push_back(']');
+  scopes_.pop_back();
+  has_elements_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  if (!has_elements_.empty() && has_elements_.back()) out_.push_back(',');
+  if (!has_elements_.empty()) has_elements_.back() = true;
+  AppendEscaped(key);
+  out_.push_back(':');
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  AppendEscaped(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_.append(std::to_string(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  out_.append(std::to_string(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    Append("null");
+    return *this;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  Append(buffer);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  Append(value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  Append("null");
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Local shorthand; the common macro pulls in status.h machinery we already
+// have via result.h.
+#define CHURNLAB_RETURN_NOT_OK_PARSE(expr)           \
+  do {                                               \
+    ::churnlab::Status parse_status__ = (expr);      \
+    if (!parse_status__.ok()) return parse_status__; \
+  } while (false)
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue value;
+    CHURNLAB_RETURN_NOT_OK_PARSE(ParseValue(&value));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string);
+      case 't':
+        return ParseLiteral("true", out, JsonValue::Kind::kBool, true);
+      case 'f':
+        return ParseLiteral("false", out, JsonValue::Kind::kBool, false);
+      case 'n':
+        return ParseLiteral("null", out, JsonValue::Kind::kNull, false);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(std::string_view literal, JsonValue* out,
+                      JsonValue::Kind kind, bool bool_value) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Error("invalid literal");
+    }
+    pos_ += literal.size();
+    out->kind = kind;
+    out->bool_value = bool_value;
+    return Status::OK();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t begin = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == begin) return Error("expected a value");
+    const std::string token(text_.substr(begin, pos_ - begin));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Error("malformed number");
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = value;
+    return Status::OK();
+  }
+
+  void AppendUtf8(uint32_t code_point, std::string* out) {
+    if (code_point < 0x80) {
+      out->push_back(static_cast<char>(code_point));
+    } else if (code_point < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code_point >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else if (code_point < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code_point >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code_point >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("truncated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(escape);
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t code_point = 0;
+          CHURNLAB_RETURN_NOT_OK_PARSE(ParseHex4(&code_point));
+          if (code_point >= 0xD800 && code_point <= 0xDBFF &&
+              pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+              text_[pos_ + 1] == 'u') {
+            pos_ += 2;
+            uint32_t low = 0;
+            CHURNLAB_RETURN_NOT_OK_PARSE(ParseHex4(&low));
+            code_point =
+                0x10000 + ((code_point - 0xD800) << 10) + (low - 0xDC00);
+          }
+          AppendUtf8(code_point, out);
+          break;
+        }
+        default:
+          return Error("unknown escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      CHURNLAB_RETURN_NOT_OK_PARSE(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      JsonValue value;
+      CHURNLAB_RETURN_NOT_OK_PARSE(ParseValue(&value));
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    for (;;) {
+      JsonValue value;
+      CHURNLAB_RETURN_NOT_OK_PARSE(ParseValue(&value));
+      out->array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+#undef CHURNLAB_RETURN_NOT_OK_PARSE
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace obs
+}  // namespace churnlab

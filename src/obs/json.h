@@ -1,0 +1,93 @@
+#ifndef CHURNLAB_OBS_JSON_H_
+#define CHURNLAB_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace churnlab {
+namespace obs {
+
+/// \brief Streaming JSON serializer used by the telemetry exporter.
+///
+/// Commas and nesting are handled automatically; the caller supplies the
+/// structure:
+/// \code
+///   JsonWriter json;
+///   json.BeginObject().Key("version").Uint(1).Key("items").BeginArray()
+///       .Double(0.5).EndArray().EndObject();
+///   std::string doc = json.str();
+/// \endcode
+/// Non-finite doubles serialize as null so the output is always valid JSON.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Writes an object key; the next call must write its value.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The serialized document so far.
+  const std::string& str() const { return out_; }
+
+ private:
+  enum class Scope : uint8_t { kObject, kArray };
+
+  void BeforeValue();
+  void Append(std::string_view text) { out_.append(text); }
+  void AppendEscaped(std::string_view text);
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> has_elements_;
+  bool pending_key_ = false;
+};
+
+/// A parsed JSON value (tests and telemetry round-trips). Object member
+/// order is preserved.
+struct JsonValue {
+  enum class Kind : uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// Member lookup for objects; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Supports the full JSON grammar including \uXXXX
+/// escapes (encoded to UTF-8; surrogate pairs are combined).
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace obs
+}  // namespace churnlab
+
+#endif  // CHURNLAB_OBS_JSON_H_

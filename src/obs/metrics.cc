@@ -1,0 +1,197 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace churnlab {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_detailed_timing{false};
+
+// fetch_add on atomic<double> is C++20 but spotty in older libstdc++;
+// a CAS loop is portable and the slow path is rare (metrics writes are
+// far apart compared to the retry window).
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value < current && !target->compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value > current && !target->compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void SetDetailedTiming(bool enabled) {
+  g_detailed_timing.store(enabled, std::memory_order_relaxed);
+}
+
+bool DetailedTimingEnabled() {
+  return g_detailed_timing.load(std::memory_order_relaxed);
+}
+
+uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Gauge::Add(double delta) { AtomicAdd(&value_, delta); }
+
+HistogramOptions HistogramOptions::ExponentialLatency() {
+  HistogramOptions options;
+  // 1-2-5 decades covering 1 us .. 10 s when samples are microseconds.
+  for (double decade = 1.0; decade < 1e7 * 1.5; decade *= 10.0) {
+    options.bucket_bounds.push_back(decade);
+    options.bucket_bounds.push_back(decade * 2.0);
+    options.bucket_bounds.push_back(decade * 5.0);
+  }
+  return options;
+}
+
+Histogram::Histogram(HistogramOptions options)
+    : bounds_(std::move(options.bucket_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Record(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  const uint64_t previous = count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  if (previous == 0) {
+    // First sample seeds min/max; races with a concurrent first sample are
+    // resolved by the CAS loops below.
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  }
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.buckets.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snapshot.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  snapshot.min = min_.load(std::memory_order_relaxed);
+  snapshot.max = max_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t next = cumulative + buckets[i];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate inside bucket i: [lower, upper].
+      const double lower = i == 0 ? min : bounds[i - 1];
+      const double upper = i < bounds.size() ? bounds[i] : max;
+      const double fraction =
+          buckets[i] == 0
+              ? 0.0
+              : (target - static_cast<double>(cumulative)) /
+                    static_cast<double>(buckets[i]);
+      const double estimate = lower + (upper - lower) * fraction;
+      return std::clamp(estimate, min, max);
+    }
+    cumulative = next;
+  }
+  return max;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const kRegistry = new MetricsRegistry();
+  return *kRegistry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second.get();
+  return counters_.emplace(std::string(name), std::make_unique<Counter>())
+      .first->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second.get();
+  return gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+      .first->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         const HistogramOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second.get();
+  return histograms_
+      .emplace(std::string(name), std::make_unique<Histogram>(options))
+      .first->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->Value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->Value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.push_back({name, histogram->Snapshot()});
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace obs
+}  // namespace churnlab

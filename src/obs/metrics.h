@@ -1,0 +1,188 @@
+#ifndef CHURNLAB_OBS_METRICS_H_
+#define CHURNLAB_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace churnlab {
+namespace obs {
+
+/// \file
+/// Lock-cheap process metrics: counters, gauges, and fixed-bucket
+/// histograms, owned by a named registry. Metric objects are allocated once
+/// and never freed (Reset zeroes values in place), so hot paths may cache
+/// the pointer returned by the registry:
+///
+/// \code
+///   static obs::Counter* const receipts =
+///       obs::MetricsRegistry::Global().GetCounter(
+///           "churnlab.retail.receipts_loaded");
+///   receipts->Increment(n);
+/// \endcode
+///
+/// Names follow the `churnlab.<subsystem>.<name>` scheme documented in
+/// docs/OBSERVABILITY.md.
+
+/// Monotonically increasing event count. Thread-safe.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value. Thread-safe.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Bucket layout of a histogram: ascending upper bounds; values above the
+/// last bound land in an implicit overflow bucket.
+struct HistogramOptions {
+  std::vector<double> bucket_bounds;
+
+  /// Default layout for latency-style metrics: 1-2-5 steps from 1 to 1e7
+  /// (microseconds when callers record microseconds).
+  static HistogramOptions ExponentialLatency();
+};
+
+/// Point-in-time copy of a histogram, with percentile estimation by linear
+/// interpolation inside the containing bucket.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> buckets;  ///< bounds.size() + 1 (overflow last).
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  double Mean() const { return count == 0 ? 0.0 : sum / count; }
+  /// Estimated value at quantile `q` in [0, 1]; 0 when empty. Clamped to
+  /// the observed [min, max].
+  double Percentile(double q) const;
+};
+
+/// Fixed-bucket histogram. Record() is wait-free (atomic adds only).
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options);
+
+  void Record(double value);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// All registered metrics at one point in time, sorted by name.
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramSample {
+    std::string name;
+    HistogramSnapshot histogram;
+  };
+
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+/// \brief Named metric registry; `Global()` is the process-wide instance.
+///
+/// Lookup takes a mutex; recording through the returned pointers is
+/// lock-free. Safe for concurrent use from ThreadPool workers.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  /// Finds or creates the named metric. The pointer stays valid (and keeps
+  /// pointing at the same metric) for the registry's lifetime.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(
+      std::string_view name,
+      const HistogramOptions& options = HistogramOptions::ExponentialLatency());
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric in place; previously returned pointers stay valid.
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Detailed timing collects per-operation latency histograms on hot paths
+/// (per-window stability, per-observe latency). Off by default so the
+/// instrumentation costs one predicted branch when idle; the CLI enables it
+/// for --metrics-out / --trace runs.
+void SetDetailedTiming(bool enabled);
+bool DetailedTimingEnabled();
+
+/// Monotonic clock used by the telemetry layer, in nanoseconds.
+uint64_t MonotonicNanos();
+
+/// RAII latency sample: records elapsed microseconds into `histogram` on
+/// destruction, but only when detailed timing is enabled at construction.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram* histogram)
+      : histogram_(DetailedTimingEnabled() ? histogram : nullptr),
+        start_ns_(histogram_ != nullptr ? MonotonicNanos() : 0) {}
+  ~ScopedLatency() {
+    if (histogram_ != nullptr) {
+      histogram_->Record(static_cast<double>(MonotonicNanos() - start_ns_) *
+                         1e-3);
+    }
+  }
+
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* histogram_;
+  uint64_t start_ns_;
+};
+
+}  // namespace obs
+}  // namespace churnlab
+
+#endif  // CHURNLAB_OBS_METRICS_H_

@@ -1,0 +1,155 @@
+#include "obs/structured_log.h"
+
+#include <cstdio>
+#include <mutex>
+
+#include "common/string_util.h"
+
+namespace churnlab {
+namespace obs {
+
+namespace {
+
+struct SinkState {
+  std::mutex mutex;
+  std::FILE* file = nullptr;
+};
+
+SinkState& Sink() {
+  static SinkState* const kSink = new SinkState();
+  return *kSink;
+}
+
+}  // namespace
+
+Status StructuredSink::Open(const std::string& path) {
+  SinkState& sink = Sink();
+  std::lock_guard<std::mutex> lock(sink.mutex);
+  if (sink.file != nullptr) {
+    std::fclose(sink.file);
+    sink.file = nullptr;
+  }
+  sink.file = std::fopen(path.c_str(), "a");
+  if (sink.file == nullptr) {
+    return Status::IOError("cannot open structured log sink '" + path + "'");
+  }
+  return Status::OK();
+}
+
+void StructuredSink::Close() {
+  SinkState& sink = Sink();
+  std::lock_guard<std::mutex> lock(sink.mutex);
+  if (sink.file != nullptr) {
+    std::fclose(sink.file);
+    sink.file = nullptr;
+  }
+}
+
+bool StructuredSink::IsOpen() {
+  SinkState& sink = Sink();
+  std::lock_guard<std::mutex> lock(sink.mutex);
+  return sink.file != nullptr;
+}
+
+void StructuredSink::Write(std::string_view json_line) {
+  SinkState& sink = Sink();
+  std::lock_guard<std::mutex> lock(sink.mutex);
+  if (sink.file == nullptr) return;
+  std::fwrite(json_line.data(), 1, json_line.size(), sink.file);
+  std::fputc('\n', sink.file);
+  std::fflush(sink.file);
+}
+
+LogEvent::LogEvent(LogLevel level, std::string_view event, const char* file,
+                   int line)
+    : enabled_(Logger::IsEnabled(level)),
+      level_(level),
+      file_(file),
+      line_(line) {
+  if (!enabled_) return;
+  text_.assign(event);
+  json_.BeginObject();
+  json_.Key("level").String(LogLevelToString(level));
+  json_.Key("event").String(event);
+}
+
+LogEvent& LogEvent::Str(std::string_view key, std::string_view value) {
+  if (!enabled_) return *this;
+  text_.append(" ").append(key).append("=").append(value);
+  json_.Key(key).String(value);
+  return *this;
+}
+
+LogEvent& LogEvent::Int(std::string_view key, int64_t value) {
+  if (!enabled_) return *this;
+  text_.append(" ").append(key).append("=").append(std::to_string(value));
+  json_.Key(key).Int(value);
+  return *this;
+}
+
+LogEvent& LogEvent::Uint(std::string_view key, uint64_t value) {
+  if (!enabled_) return *this;
+  text_.append(" ").append(key).append("=").append(std::to_string(value));
+  json_.Key(key).Uint(value);
+  return *this;
+}
+
+LogEvent& LogEvent::Num(std::string_view key, double value) {
+  if (!enabled_) return *this;
+  text_.append(" ").append(key).append("=").append(FormatDouble(value, 4));
+  json_.Key(key).Double(value);
+  return *this;
+}
+
+LogEvent& LogEvent::Bool(std::string_view key, bool value) {
+  if (!enabled_) return *this;
+  text_.append(" ").append(key).append(value ? "=true" : "=false");
+  json_.Key(key).Bool(value);
+  return *this;
+}
+
+LogEvent::~LogEvent() {
+  if (!enabled_) return;
+  Logger::Log(level_, file_, line_, text_);
+  if (StructuredSink::IsOpen()) {
+    json_.EndObject();
+    StructuredSink::Write(json_.str());
+  }
+}
+
+ProgressLogger::ProgressLogger(std::string task, uint64_t total_steps,
+                               double min_interval_seconds)
+    : task_(std::move(task)),
+      total_steps_(total_steps),
+      min_interval_seconds_(min_interval_seconds) {}
+
+void ProgressLogger::Emit(uint64_t completed, std::string_view detail) {
+  LogEvent event(LogLevel::kInfo, task_ + "_progress", __FILE__, __LINE__);
+  event.Uint("done", completed).Uint("total", total_steps_);
+  if (total_steps_ > 0) {
+    event.Num("pct", 100.0 * static_cast<double>(completed) /
+                         static_cast<double>(total_steps_));
+  }
+  if (!detail.empty()) event.Str("detail", detail);
+  event.Num("elapsed_s", timer_.ElapsedSeconds());
+  emitted_any_ = true;
+  last_emit_seconds_ = timer_.ElapsedSeconds();
+}
+
+void ProgressLogger::Step(uint64_t completed, std::string_view detail) {
+  if (!Logger::IsEnabled(LogLevel::kInfo)) return;
+  const double now = timer_.ElapsedSeconds();
+  if (last_emit_seconds_ >= 0.0 &&
+      now - last_emit_seconds_ < min_interval_seconds_) {
+    return;
+  }
+  Emit(completed, detail);
+}
+
+void ProgressLogger::Done() {
+  if (!Logger::IsEnabled(LogLevel::kInfo)) return;
+  Emit(total_steps_, "done");
+}
+
+}  // namespace obs
+}  // namespace churnlab

@@ -1,0 +1,100 @@
+#ifndef CHURNLAB_OBS_STRUCTURED_LOG_H_
+#define CHURNLAB_OBS_STRUCTURED_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "obs/json.h"
+
+namespace churnlab {
+namespace obs {
+
+/// \brief Optional process-global JSON-lines sink for structured log
+/// events.
+///
+/// When open, every emitted LogEvent is appended to the sink as one JSON
+/// object per line in addition to the human-readable stderr line. Writes
+/// are serialized; Open/Close are not thread-safe against concurrent
+/// emission (configure once at startup).
+class StructuredSink {
+ public:
+  static Status Open(const std::string& path);
+  static void Close();
+  static bool IsOpen();
+  /// Appends one line (a complete JSON document) to the sink.
+  static void Write(std::string_view json_line);
+};
+
+/// \brief One leveled, named log event carrying key/value fields.
+///
+/// Streams through the existing Logger (so `Logger::SetLevel` and the
+/// human-readable stderr format still apply) and, when StructuredSink is
+/// open, additionally emits a JSON line:
+/// \code
+///   obs::LogEvent(LogLevel::kInfo, "evaluate_progress", __FILE__, __LINE__)
+///       .Int("month", month)
+///       .Int("months_total", total);
+/// \endcode
+/// Events below the logger level are dropped entirely; field expressions
+/// are still evaluated (use Logger::IsEnabled to guard expensive ones).
+class LogEvent {
+ public:
+  LogEvent(LogLevel level, std::string_view event, const char* file,
+           int line);
+  ~LogEvent();
+
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+
+  LogEvent& Str(std::string_view key, std::string_view value);
+  LogEvent& Int(std::string_view key, int64_t value);
+  LogEvent& Uint(std::string_view key, uint64_t value);
+  LogEvent& Num(std::string_view key, double value);
+  LogEvent& Bool(std::string_view key, bool value);
+
+  bool enabled() const { return enabled_; }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::string text_;  // human-readable "event key=value ..." line
+  JsonWriter json_;
+};
+
+/// \brief Rate-limited progress reporting for long-running loops
+/// (evaluate / forecast / grid search). Emits kInfo LogEvents, so progress
+/// is suppressed below kInfo; intermediate steps are dropped when they
+/// arrive faster than `min_interval_seconds`.
+class ProgressLogger {
+ public:
+  ProgressLogger(std::string task, uint64_t total_steps,
+                 double min_interval_seconds = 0.5);
+
+  /// Reports that `completed` of the total steps are done. `detail` is an
+  /// optional free-form annotation (e.g. "month=12").
+  void Step(uint64_t completed, std::string_view detail = "");
+
+  /// Always emits a final 100% event (unless suppressed by level).
+  void Done();
+
+ private:
+  void Emit(uint64_t completed, std::string_view detail);
+
+  std::string task_;
+  uint64_t total_steps_;
+  double min_interval_seconds_;
+  Stopwatch timer_;
+  double last_emit_seconds_ = -1.0;
+  bool emitted_any_ = false;
+};
+
+}  // namespace obs
+}  // namespace churnlab
+
+#endif  // CHURNLAB_OBS_STRUCTURED_LOG_H_

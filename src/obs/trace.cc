@@ -1,0 +1,213 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace churnlab {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// Per-thread aggregation node; one per distinct span-name path.
+struct AggNode {
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  std::map<std::string, std::unique_ptr<AggNode>, std::less<>> children;
+
+  AggNode* Child(std::string_view name) {
+    const auto it = children.find(name);
+    if (it != children.end()) return it->second.get();
+    return children.emplace(std::string(name), std::make_unique<AggNode>())
+        .first->second.get();
+  }
+
+  void ZeroInPlace() {
+    count = 0;
+    total_ns = 0;
+    for (auto& [name, child] : children) child->ZeroInPlace();
+  }
+};
+
+struct ThreadTree;
+
+/// Registry of live per-thread trees plus the merged trees of exited
+/// threads. Span recording itself only takes the owning thread's mutex;
+/// the global mutex guards the thread list and the retired tree.
+struct Global {
+  std::mutex mutex;
+  std::vector<ThreadTree*> threads;
+  AggNode retired;
+};
+
+Global& GlobalState() {
+  static Global* const kGlobal = new Global();
+  return *kGlobal;
+}
+
+void MergeInto(const AggNode& source, AggNode* target) {
+  target->count += source.count;
+  target->total_ns += source.total_ns;
+  for (const auto& [name, child] : source.children) {
+    MergeInto(*child, target->Child(name));
+  }
+}
+
+struct ThreadTree {
+  std::mutex mutex;             // guards root/stack against Collect/Reset
+  AggNode root;
+  std::vector<AggNode*> stack;  // innermost open span last
+
+  ThreadTree() {
+    Global& global = GlobalState();
+    std::lock_guard<std::mutex> lock(global.mutex);
+    global.threads.push_back(this);
+  }
+
+  ~ThreadTree() {
+    Global& global = GlobalState();
+    std::lock_guard<std::mutex> lock(global.mutex);
+    MergeInto(root, &global.retired);
+    global.threads.erase(
+        std::remove(global.threads.begin(), global.threads.end(), this),
+        global.threads.end());
+  }
+};
+
+ThreadTree& LocalTree() {
+  thread_local ThreadTree tree;
+  return tree;
+}
+
+void BuildProfile(const std::string& name, const AggNode& node,
+                  ProfileNode* out) {
+  out->name = name;
+  out->count = node.count;
+  out->total_ns = node.total_ns;
+  uint64_t children_total = 0;
+  out->children.reserve(node.children.size());
+  for (const auto& [child_name, child] : node.children) {
+    ProfileNode profile_child;
+    BuildProfile(child_name, *child, &profile_child);
+    children_total += profile_child.total_ns;
+    out->children.push_back(std::move(profile_child));
+  }
+  out->self_ns =
+      node.total_ns > children_total ? node.total_ns - children_total : 0;
+  std::stable_sort(out->children.begin(), out->children.end(),
+                   [](const ProfileNode& a, const ProfileNode& b) {
+                     return a.total_ns > b.total_ns;
+                   });
+}
+
+void RenderNode(const ProfileNode& node, int depth, uint64_t root_total,
+                std::string* out) {
+  char line[160];
+  std::string label(static_cast<size_t>(depth) * 2, ' ');
+  label += node.name;
+  if (label.size() > 40) label.resize(40);
+  const double share = root_total == 0
+                           ? 0.0
+                           : 100.0 * static_cast<double>(node.total_ns) /
+                                 static_cast<double>(root_total);
+  std::snprintf(line, sizeof(line), "%-40s %10llu %12.3f %12.3f %7.1f%%\n",
+                label.c_str(), static_cast<unsigned long long>(node.count),
+                static_cast<double>(node.total_ns) * 1e-6,
+                static_cast<double>(node.self_ns) * 1e-6, share);
+  out->append(line);
+  for (const ProfileNode& child : node.children) {
+    RenderNode(child, depth + 1, root_total, out);
+  }
+}
+
+}  // namespace
+
+const ProfileNode* ProfileNode::Find(std::string_view child_name) const {
+  for (const ProfileNode& child : children) {
+    if (child.name == child_name) return &child;
+  }
+  return nullptr;
+}
+
+void Trace::Enable(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Trace::IsEnabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void Trace::Reset() {
+  Global& global = GlobalState();
+  std::lock_guard<std::mutex> lock(global.mutex);
+  for (ThreadTree* thread : global.threads) {
+    std::lock_guard<std::mutex> thread_lock(thread->mutex);
+    thread->root.ZeroInPlace();
+  }
+  global.retired.ZeroInPlace();
+}
+
+ProfileNode Trace::Collect() {
+  Global& global = GlobalState();
+  std::lock_guard<std::mutex> lock(global.mutex);
+  AggNode merged;
+  MergeInto(global.retired, &merged);
+  for (ThreadTree* thread : global.threads) {
+    std::lock_guard<std::mutex> thread_lock(thread->mutex);
+    MergeInto(thread->root, &merged);
+  }
+  // The synthetic root's total is the sum of its children: the
+  // conventional "total traced work" denominator (per-thread span roots
+  // may overlap in wall time).
+  for (const auto& [name, child] : merged.children) {
+    merged.total_ns += child->total_ns;
+  }
+  merged.count = 0;
+  ProfileNode root;
+  BuildProfile("run", merged, &root);
+  return root;
+}
+
+std::string Trace::RenderAscii(const ProfileNode& root) {
+  std::string out;
+  char header[160];
+  std::snprintf(header, sizeof(header), "%-40s %10s %12s %12s %8s\n", "span",
+                "calls", "total(ms)", "self(ms)", "share");
+  out.append(header);
+  out.append(86, '-');
+  out.push_back('\n');
+  RenderNode(root, 0, root.total_ns, &out);
+  return out;
+}
+
+ScopedSpan::ScopedSpan(const char* name) {
+  if (!Trace::IsEnabled()) return;
+  ThreadTree& tree = LocalTree();
+  std::lock_guard<std::mutex> lock(tree.mutex);
+  AggNode* parent = tree.stack.empty() ? &tree.root : tree.stack.back();
+  AggNode* node = parent->Child(name);
+  tree.stack.push_back(node);
+  node_ = node;
+  start_ns_ = MonotonicNanos();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (node_ == nullptr) return;
+  const uint64_t elapsed = MonotonicNanos() - start_ns_;
+  ThreadTree& tree = LocalTree();
+  std::lock_guard<std::mutex> lock(tree.mutex);
+  AggNode* node = static_cast<AggNode*>(node_);
+  node->count += 1;
+  node->total_ns += elapsed;
+  if (!tree.stack.empty() && tree.stack.back() == node) tree.stack.pop_back();
+}
+
+}  // namespace obs
+}  // namespace churnlab

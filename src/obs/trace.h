@@ -1,0 +1,81 @@
+#ifndef CHURNLAB_OBS_TRACE_H_
+#define CHURNLAB_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace churnlab {
+namespace obs {
+
+/// One node of the aggregated profile tree: every execution of a span with
+/// the same name under the same parent path is folded into one node.
+struct ProfileNode {
+  std::string name;
+  /// Number of completed span executions.
+  uint64_t count = 0;
+  /// Cumulative wall time including children, nanoseconds.
+  uint64_t total_ns = 0;
+  /// total_ns minus the children's total_ns (clamped at 0).
+  uint64_t self_ns = 0;
+  /// Sorted by total_ns descending.
+  std::vector<ProfileNode> children;
+
+  const ProfileNode* Find(std::string_view child_name) const;
+};
+
+/// \brief Process-wide scoped-span tracing.
+///
+/// Spans nest per thread (RAII guarantees LIFO order); each thread
+/// aggregates its spans into a tree keyed by the span-name path, and
+/// Collect() merges every thread's tree (including threads that have since
+/// exited) under a synthetic "run" root. Spans opened on ThreadPool workers
+/// therefore appear as top-level children of the root rather than under the
+/// span that submitted the work — see docs/OBSERVABILITY.md.
+///
+/// Disabled (the default), a span costs one relaxed atomic load; there is
+/// no sampling and no allocation.
+class Trace {
+ public:
+  static void Enable(bool enabled);
+  static bool IsEnabled();
+
+  /// Zeroes collected counts/times in place. Must not race with Collect();
+  /// active spans keep working (their nodes are zeroed, not freed).
+  static void Reset();
+
+  /// Merged profile across all threads. Spans still open are not counted.
+  static ProfileNode Collect();
+
+  /// Renders the tree as an indented monospace table (calls, total ms,
+  /// self ms, share of root).
+  static std::string RenderAscii(const ProfileNode& root);
+};
+
+/// RAII span. Use the CHURNLAB_SPAN macro; `name` must outlive the span
+/// (string literals qualify).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void* node_ = nullptr;  // internal AggNode*, null when tracing is off
+  uint64_t start_ns_ = 0;
+};
+
+#define CHURNLAB_OBS_CONCAT_IMPL(x, y) x##y
+#define CHURNLAB_OBS_CONCAT(x, y) CHURNLAB_OBS_CONCAT_IMPL(x, y)
+
+/// Opens a scoped trace span covering the rest of the enclosing block.
+#define CHURNLAB_SPAN(name)                                      \
+  ::churnlab::obs::ScopedSpan CHURNLAB_OBS_CONCAT(churnlab_span__, \
+                                                  __LINE__)(name)
+
+}  // namespace obs
+}  // namespace churnlab
+
+#endif  // CHURNLAB_OBS_TRACE_H_

@@ -7,7 +7,10 @@
 #include "common/csv.h"
 #include "common/logging.h"
 #include "common/macros.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace churnlab {
 namespace retail {
@@ -16,6 +19,27 @@ namespace {
 // Binary format magic + version. Bump the version on layout changes.
 constexpr uint64_t kBinaryMagic = 0x43484C4231ULL;  // "CHLB1"
 constexpr uint64_t kBinaryVersion = 1;
+
+void RecordDatasetLoaded(const Dataset& dataset, double seconds) {
+  static obs::Counter* const datasets =
+      obs::MetricsRegistry::Global().GetCounter(
+          "churnlab.retail.datasets_loaded");
+  static obs::Counter* const receipts =
+      obs::MetricsRegistry::Global().GetCounter(
+          "churnlab.retail.receipts_loaded");
+  static obs::Gauge* const load_seconds =
+      obs::MetricsRegistry::Global().GetGauge(
+          "churnlab.retail.last_load_seconds");
+  datasets->Increment();
+  receipts->Increment(dataset.store().num_receipts());
+  load_seconds->Set(seconds);
+}
+
+void RecordDatasetSaved() {
+  static obs::Counter* const saved = obs::MetricsRegistry::Global().GetCounter(
+      "churnlab.retail.datasets_saved");
+  saved->Increment();
+}
 }  // namespace
 
 std::string_view CohortToString(Cohort cohort) {
@@ -177,6 +201,7 @@ Result<Dataset> Dataset::FilterCustomers(
 // ---------------------------------------------------------------------------
 
 Status Dataset::SaveCsv(const std::string& prefix) const {
+  CHURNLAB_SPAN("retail.save_csv");
   // Receipts.
   {
     CHURNLAB_ASSIGN_OR_RETURN(CsvWriter writer,
@@ -232,10 +257,13 @@ Status Dataset::SaveCsv(const std::string& prefix) const {
     }
     CHURNLAB_RETURN_NOT_OK(writer.Close());
   }
+  RecordDatasetSaved();
   return Status::OK();
 }
 
 Result<Dataset> Dataset::LoadCsv(const std::string& prefix) {
+  CHURNLAB_SPAN("retail.load_csv");
+  Stopwatch stopwatch;
   Dataset dataset;
   // Taxonomy first so items get interned with their assignments.
   {
@@ -332,6 +360,7 @@ Result<Dataset> Dataset::LoadCsv(const std::string& prefix) {
     CHURNLAB_RETURN_NOT_OK(reader.status());
   }
   dataset.Finalize();
+  RecordDatasetLoaded(dataset, stopwatch.ElapsedSeconds());
   CHURNLAB_LOG(Info) << "loaded CSV dataset '" << prefix << "': "
                      << dataset.store().num_receipts() << " receipts, "
                      << dataset.store().num_customers() << " customers";
@@ -343,6 +372,7 @@ Result<Dataset> Dataset::LoadCsv(const std::string& prefix) {
 // ---------------------------------------------------------------------------
 
 Status Dataset::SaveBinary(const std::string& path) const {
+  CHURNLAB_SPAN("retail.save_binary");
   BinaryWriter writer;
   writer.WriteVarint(kBinaryMagic);
   writer.WriteVarint(kBinaryVersion);
@@ -403,10 +433,14 @@ Status Dataset::SaveBinary(const std::string& path) const {
     writer.WriteSignedVarint(label.attrition_onset_month);
   }
 
-  return writer.SaveToFile(path);
+  CHURNLAB_RETURN_NOT_OK(writer.SaveToFile(path));
+  RecordDatasetSaved();
+  return Status::OK();
 }
 
 Result<Dataset> Dataset::LoadBinary(const std::string& path) {
+  CHURNLAB_SPAN("retail.load_binary");
+  Stopwatch stopwatch;
   CHURNLAB_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::OpenFile(path));
   CHURNLAB_ASSIGN_OR_RETURN(const uint64_t magic, reader.ReadVarint());
   if (magic != kBinaryMagic) {
@@ -483,6 +517,7 @@ Result<Dataset> Dataset::LoadBinary(const std::string& path) {
   }
 
   dataset.Finalize();
+  RecordDatasetLoaded(dataset, stopwatch.ElapsedSeconds());
   return dataset;
 }
 

@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace churnlab {
 namespace rfm {
@@ -84,6 +86,11 @@ int32_t RfmFeatureExtractor::NumWindowsFor(
 
 Result<RfmFeatureMatrix> RfmFeatureExtractor::Extract(
     const retail::Dataset& dataset) const {
+  CHURNLAB_SPAN("rfm.extract");
+  static obs::Counter* const extractions =
+      obs::MetricsRegistry::Global().GetCounter("churnlab.rfm.extractions");
+  static obs::Counter* const feature_rows =
+      obs::MetricsRegistry::Global().GetCounter("churnlab.rfm.feature_rows");
   if (!dataset.store().finalized()) {
     return Status::InvalidArgument("dataset store is not finalized");
   }
@@ -153,6 +160,8 @@ Result<RfmFeatureMatrix> RfmFeatureExtractor::Extract(
       assert(f == NumFeatures());
     }
   }
+  extractions->Increment();
+  feature_rows->Increment(customers.size() * static_cast<size_t>(num_windows));
   return matrix;
 }
 

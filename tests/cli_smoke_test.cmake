@@ -31,6 +31,55 @@ run_cli(simulate --out ${WORK_DIR}/smoke_csv --csv --loyal 20 --defecting 20
         --seed 10)
 run_cli(stats --data ${WORK_DIR}/smoke_csv)
 
+# Telemetry: --metrics-out must produce a parseable versioned JSON document
+# with at least one counter and one histogram (the dataset-load counters and
+# the detailed-timing latency histograms are always populated by `score`).
+set(METRICS_JSON ${WORK_DIR}/metrics.json)
+run_cli(score --data ${DATASET} --metrics-out ${METRICS_JSON} --trace)
+if(NOT EXISTS ${METRICS_JSON})
+  message(FATAL_ERROR "--metrics-out did not write ${METRICS_JSON}")
+endif()
+file(READ ${METRICS_JSON} metrics_content)
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  string(JSON telemetry_version ERROR_VARIABLE json_error
+         GET "${metrics_content}" churnlab_telemetry_version)
+  if(NOT json_error STREQUAL "NOTFOUND")
+    message(FATAL_ERROR "metrics JSON is unparseable: ${json_error}")
+  endif()
+  if(NOT telemetry_version EQUAL 1)
+    message(FATAL_ERROR "unexpected telemetry version '${telemetry_version}'")
+  endif()
+  string(JSON num_counters LENGTH "${metrics_content}" counters)
+  if(num_counters LESS 1)
+    message(FATAL_ERROR "telemetry has no counters")
+  endif()
+  string(JSON num_histograms LENGTH "${metrics_content}" histograms)
+  if(num_histograms LESS 1)
+    message(FATAL_ERROR "telemetry has no histograms")
+  endif()
+  string(JSON trace_root ERROR_VARIABLE json_error
+         GET "${metrics_content}" trace name)
+  if(NOT trace_root STREQUAL "run")
+    message(FATAL_ERROR "telemetry trace tree missing (root='${trace_root}')")
+  endif()
+else()
+  # Pre-3.19 fallback: structural greps instead of real JSON parsing.
+  foreach(needle "\"churnlab_telemetry_version\":1" "\"counters\":{\"churnlab."
+          "\"histograms\":{\"churnlab." "\"trace\":")
+    string(FIND "${metrics_content}" "${needle}" found)
+    if(found EQUAL -1)
+      message(FATAL_ERROR "telemetry JSON lacks ${needle}")
+    endif()
+  endforeach()
+endif()
+
+# The structured JSONL sink must be created and non-empty under --verbose.
+run_cli(evaluate --data ${DATASET} --first_month 12 --last_month 24
+        --verbose --log-json ${WORK_DIR}/events.jsonl)
+if(NOT EXISTS ${WORK_DIR}/events.jsonl)
+  message(FATAL_ERROR "--log-json did not write events.jsonl")
+endif()
+
 # Unknown flags and subcommands must fail.
 execute_process(COMMAND ${CLI} stats --bogus-flag x
                 RESULT_VARIABLE exit_code OUTPUT_QUIET ERROR_QUIET)

@@ -58,6 +58,29 @@ TEST_F(LoggingTest, DisabledMacroDoesNotEvaluateStreamedExpressions) {
   EXPECT_EQ(evaluations, 1);
 }
 
+// Regression: the macro used to expand to a bare `if (...) LogMessage(...)`,
+// so an unbraced `if (x) CHURNLAB_LOG(...) ...; else ...;` silently attached
+// the else to the macro's hidden if. The single-expression (ternary +
+// voidify) form must keep the else bound to the *outer* if.
+TEST_F(LoggingTest, MacroIsDanglingElseSafe) {
+  Logger::SetLevel(LogLevel::kOff);
+  int else_count = 0;
+  const bool outer = false;
+  if (outer)
+    CHURNLAB_LOG(Error) << "then-branch";
+  else
+    ++else_count;
+  EXPECT_EQ(else_count, 1) << "else bound to the macro's internal branch";
+
+  // And the inverse: a true condition must not run the else.
+  const bool taken = true;
+  if (taken)
+    CHURNLAB_LOG(Error) << "then-branch";
+  else
+    ++else_count;
+  EXPECT_EQ(else_count, 1);
+}
+
 TEST(LogLevelToString, Names) {
   EXPECT_EQ(LogLevelToString(LogLevel::kDebug), "DEBUG");
   EXPECT_EQ(LogLevelToString(LogLevel::kInfo), "INFO");
@@ -85,6 +108,37 @@ TEST(Stopwatch, ResetRestarts) {
   const double before_reset = stopwatch.ElapsedSeconds();
   stopwatch.Reset();
   EXPECT_LE(stopwatch.ElapsedSeconds(), before_reset + 1.0);
+}
+
+TEST(Stopwatch, LapSegmentsSumToTotal) {
+  Stopwatch stopwatch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
+  const double lap1 = stopwatch.LapSeconds();
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
+  const double lap2 = stopwatch.LapSeconds();
+  const double total = stopwatch.ElapsedSeconds();
+  EXPECT_GE(lap1, 0.0);
+  EXPECT_GE(lap2, 0.0);
+  // Laps partition the run, so their sum cannot exceed a later total read.
+  EXPECT_LE(lap1 + lap2, total);
+}
+
+TEST(Stopwatch, LapDoesNotDisturbTotal) {
+  Stopwatch stopwatch;
+  const double before = stopwatch.ElapsedSeconds();
+  (void)stopwatch.LapSeconds();
+  (void)stopwatch.LapSeconds();
+  EXPECT_GE(stopwatch.ElapsedSeconds(), before);
+}
+
+TEST(Stopwatch, ResetAlsoRestartsLap) {
+  Stopwatch stopwatch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
+  stopwatch.Reset();
+  // A lap read right after Reset covers only the post-Reset segment.
+  EXPECT_LE(stopwatch.LapSeconds(), stopwatch.ElapsedSeconds() + 1e-3);
 }
 
 }  // namespace

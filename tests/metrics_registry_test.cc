@@ -1,0 +1,193 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace churnlab {
+namespace obs {
+namespace {
+
+// Every test uses its own registry instance so state never leaks between
+// tests (or into Global(), which the instrumented library code feeds).
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge gauge;
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+  gauge.Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 2.5);
+  gauge.Add(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 1.5);
+  gauge.Reset();
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+}
+
+TEST(Histogram, EmptySnapshotIsAllZero) {
+  Histogram histogram(HistogramOptions::ExponentialLatency());
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 0u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.Percentile(0.5), 0.0);
+}
+
+TEST(Histogram, TracksCountSumMinMax) {
+  Histogram histogram(HistogramOptions{{1.0, 10.0, 100.0}});
+  histogram.Record(0.5);
+  histogram.Record(5.0);
+  histogram.Record(50.0);
+  histogram.Record(500.0);  // overflow bucket
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 4u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 555.5);
+  EXPECT_DOUBLE_EQ(snapshot.min, 0.5);
+  EXPECT_DOUBLE_EQ(snapshot.max, 500.0);
+  ASSERT_EQ(snapshot.buckets.size(), snapshot.bounds.size() + 1);
+  for (const uint64_t bucket : snapshot.buckets) EXPECT_EQ(bucket, 1u);
+}
+
+TEST(Histogram, PercentilesAreMonotoneAndClamped) {
+  Histogram histogram(HistogramOptions::ExponentialLatency());
+  // 100 samples spread over two decades.
+  for (int i = 1; i <= 100; ++i) {
+    histogram.Record(static_cast<double>(i));
+  }
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  const double p50 = snapshot.Percentile(0.50);
+  const double p90 = snapshot.Percentile(0.90);
+  const double p99 = snapshot.Percentile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // Interpolation stays inside the observed range and near the true
+  // quantiles (bucket resolution is 1-2-5, so allow a full bucket of slack).
+  EXPECT_GE(p50, snapshot.min);
+  EXPECT_LE(p99, snapshot.max);
+  EXPECT_NEAR(p50, 50.0, 30.0);
+  EXPECT_GE(p99, 80.0);
+}
+
+TEST(Histogram, SingleSamplePercentileIsThatSample) {
+  Histogram histogram(HistogramOptions::ExponentialLatency());
+  histogram.Record(7.0);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  // Clamping to [min, max] pins every quantile of a single sample.
+  EXPECT_DOUBLE_EQ(snapshot.Percentile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(snapshot.Percentile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(snapshot.Percentile(1.0), 7.0);
+}
+
+TEST(MetricsRegistry, LookupReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.counter");
+  Gauge* gauge = registry.GetGauge("test.gauge");
+  Histogram* histogram = registry.GetHistogram("test.histogram");
+  EXPECT_EQ(registry.GetCounter("test.counter"), counter);
+  EXPECT_EQ(registry.GetGauge("test.gauge"), gauge);
+  EXPECT_EQ(registry.GetHistogram("test.histogram"), histogram);
+  // Same name in different metric families stays distinct.
+  EXPECT_NE(static_cast<void*>(registry.GetCounter("test.shared")),
+            static_cast<void*>(registry.GetGauge("test.shared")));
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.counter")->Increment(2);
+  registry.GetCounter("a.counter")->Increment(1);
+  registry.GetGauge("a.gauge")->Set(3.5);
+  registry.GetHistogram("a.histogram")->Record(12.0);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].name, "a.counter");
+  EXPECT_EQ(snapshot.counters[0].value, 1u);
+  EXPECT_EQ(snapshot.counters[1].name, "b.counter");
+  EXPECT_EQ(snapshot.counters[1].value, 2u);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges[0].value, 3.5);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].histogram.count, 1u);
+}
+
+TEST(MetricsRegistry, ResetZeroesInPlaceKeepingPointersValid) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("r.counter");
+  Gauge* gauge = registry.GetGauge("r.gauge");
+  Histogram* histogram = registry.GetHistogram("r.histogram");
+  counter->Increment(10);
+  gauge->Set(4.0);
+  histogram->Record(2.0);
+
+  registry.Reset();
+
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 0.0);
+  EXPECT_EQ(histogram->Snapshot().count, 0u);
+  // The old pointers must still feed the same registered metric.
+  counter->Increment();
+  EXPECT_EQ(registry.GetCounter("r.counter")->Value(), 1u);
+}
+
+TEST(MetricsRegistry, ConcurrentRecordingIsLossless) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("mt.counter");
+  Histogram* histogram = registry.GetHistogram("mt.histogram");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, counter, histogram] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        histogram->Record(1.0);
+        // Lookups race with recording; both must stay safe.
+        registry.GetCounter("mt.counter");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter->Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  const HistogramSnapshot snapshot = histogram->Snapshot();
+  EXPECT_EQ(snapshot.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(snapshot.sum, static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(DetailedTiming, GatesScopedLatency) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("gate.latency_us");
+  const bool saved = DetailedTimingEnabled();
+
+  SetDetailedTiming(false);
+  { ScopedLatency latency(histogram); }
+  EXPECT_EQ(histogram->Snapshot().count, 0u);
+
+  SetDetailedTiming(true);
+  { ScopedLatency latency(histogram); }
+  EXPECT_EQ(histogram->Snapshot().count, 1u);
+  EXPECT_GE(histogram->Snapshot().min, 0.0);
+
+  SetDetailedTiming(saved);
+}
+
+TEST(MonotonicClock, NeverGoesBackwards) {
+  const uint64_t first = MonotonicNanos();
+  const uint64_t second = MonotonicNanos();
+  EXPECT_GE(second, first);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace churnlab

@@ -1,0 +1,158 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+namespace churnlab {
+namespace obs {
+namespace {
+
+// Trace state is process-wide; every test starts from a clean, enabled
+// trace and disables it again on exit.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Trace::Enable(true);
+    Trace::Reset();
+  }
+  void TearDown() override {
+    Trace::Enable(false);
+    Trace::Reset();
+  }
+};
+
+TEST_F(TraceTest, CollectRootIsSyntheticRun) {
+  const ProfileNode root = Trace::Collect();
+  EXPECT_EQ(root.name, "run");
+  EXPECT_TRUE(root.children.empty());
+}
+
+TEST_F(TraceTest, SingleSpanAppearsUnderRoot) {
+  { CHURNLAB_SPAN("unit.single"); }
+  const ProfileNode root = Trace::Collect();
+  const ProfileNode* span = root.Find("unit.single");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->count, 1u);
+  EXPECT_TRUE(span->children.empty());
+}
+
+TEST_F(TraceTest, RepeatedExecutionsFoldIntoOneNode) {
+  for (int i = 0; i < 5; ++i) {
+    CHURNLAB_SPAN("unit.repeated");
+  }
+  const ProfileNode root = Trace::Collect();
+  const ProfileNode* span = root.Find("unit.repeated");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->count, 5u);
+  ASSERT_EQ(root.children.size(), 1u);
+}
+
+TEST_F(TraceTest, NestedSpansBuildATree) {
+  {
+    CHURNLAB_SPAN("unit.outer");
+    {
+      CHURNLAB_SPAN("unit.inner");
+    }
+    {
+      CHURNLAB_SPAN("unit.inner");
+    }
+  }
+  const ProfileNode root = Trace::Collect();
+  const ProfileNode* outer = root.Find("unit.outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  const ProfileNode* inner = outer->Find("unit.inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 2u);
+  // The inner span is keyed by path, not by name alone: it must not also
+  // appear at the top level.
+  EXPECT_EQ(root.Find("unit.inner"), nullptr);
+}
+
+TEST_F(TraceTest, SelfTimeExcludesChildren) {
+  {
+    CHURNLAB_SPAN("unit.parent");
+    {
+      CHURNLAB_SPAN("unit.child");
+      volatile double sink = 0.0;
+      for (int i = 0; i < 200000; ++i) sink = sink + static_cast<double>(i);
+    }
+  }
+  const ProfileNode root = Trace::Collect();
+  const ProfileNode* parent = root.Find("unit.parent");
+  ASSERT_NE(parent, nullptr);
+  const ProfileNode* child = parent->Find("unit.child");
+  ASSERT_NE(child, nullptr);
+  EXPECT_GE(parent->total_ns, child->total_ns);
+  EXPECT_EQ(parent->self_ns, parent->total_ns - child->total_ns);
+  EXPECT_EQ(child->self_ns, child->total_ns);
+}
+
+TEST_F(TraceTest, OpenSpansAreNotCounted) {
+  CHURNLAB_SPAN("unit.still_open");
+  const ProfileNode root = Trace::Collect();
+  const ProfileNode* span = root.Find("unit.still_open");
+  // Either absent or present with zero completed executions.
+  if (span != nullptr) {
+    EXPECT_EQ(span->count, 0u);
+  }
+}
+
+TEST_F(TraceTest, DisabledTraceRecordsNothing) {
+  Trace::Enable(false);
+  { CHURNLAB_SPAN("unit.invisible"); }
+  Trace::Enable(true);
+  const ProfileNode root = Trace::Collect();
+  EXPECT_EQ(root.Find("unit.invisible"), nullptr);
+}
+
+TEST_F(TraceTest, ResetZeroesCollectedSpans) {
+  { CHURNLAB_SPAN("unit.reset_me"); }
+  Trace::Reset();
+  const ProfileNode root = Trace::Collect();
+  const ProfileNode* span = root.Find("unit.reset_me");
+  if (span != nullptr) {
+    EXPECT_EQ(span->count, 0u);
+  }
+}
+
+TEST_F(TraceTest, WorkerThreadSpansMergeUnderRoot) {
+  { CHURNLAB_SPAN("unit.main_thread"); }
+  std::thread worker([] {
+    CHURNLAB_SPAN("unit.worker_thread");
+  });
+  worker.join();
+  const ProfileNode root = Trace::Collect();
+  // Collect() merges trees of exited threads too; the worker's span shows
+  // up as a top-level child, not under the submitting span.
+  EXPECT_NE(root.Find("unit.main_thread"), nullptr);
+  EXPECT_NE(root.Find("unit.worker_thread"), nullptr);
+}
+
+TEST_F(TraceTest, RenderAsciiMentionsEverySpan) {
+  {
+    CHURNLAB_SPAN("unit.render_outer");
+    { CHURNLAB_SPAN("unit.render_inner"); }
+  }
+  const std::string rendered = Trace::RenderAscii(Trace::Collect());
+  EXPECT_NE(rendered.find("run"), std::string::npos);
+  EXPECT_NE(rendered.find("unit.render_outer"), std::string::npos);
+  EXPECT_NE(rendered.find("unit.render_inner"), std::string::npos);
+}
+
+TEST_F(TraceTest, RenderAsciiOfEmptyTraceIsWellFormed) {
+  const std::string rendered = Trace::RenderAscii(Trace::Collect());
+  EXPECT_NE(rendered.find("run"), std::string::npos);
+}
+
+TEST(ProfileNode, FindReturnsNullForUnknownChild) {
+  ProfileNode node;
+  node.name = "root";
+  EXPECT_EQ(node.Find("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace churnlab

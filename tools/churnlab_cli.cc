@@ -28,6 +28,10 @@
 #include "eval/forecaster.h"
 #include "eval/grid_search.h"
 #include "eval/report.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/structured_log.h"
+#include "obs/trace.h"
 #include "retail/dataset.h"
 
 namespace churnlab {
@@ -298,13 +302,30 @@ int Main(int argc, const char* const* argv) {
   const std::string usage =
       "usage: churnlab "
       "<simulate|stats|score|explain|profile|evaluate|forecast|gridsearch> "
-      "[flags]\n       churnlab <subcommand> --help  (add --verbose for "
-      "progress logs)\n";
-  // Strip the global --verbose flag before subcommand parsing.
+      "[flags]\n       churnlab <subcommand> --help\n"
+      "global flags: --verbose (progress logs), --trace (profile table on "
+      "stderr),\n"
+      "              --metrics-out=<path> (telemetry JSON), "
+      "--log-json=<path> (JSONL log sink)\n";
+  // Strip the global flags before subcommand parsing.
+  std::string metrics_out;
+  std::string log_json;
+  bool trace = false;
   std::vector<const char*> arguments;
   for (int i = 0; i < argc; ++i) {
-    if (std::string(argv[i]) == "--verbose") {
+    const std::string argument = argv[i];
+    if (argument == "--verbose") {
       Logger::SetLevel(LogLevel::kInfo);
+    } else if (argument == "--trace") {
+      trace = true;
+    } else if (StartsWith(argument, "--metrics-out=")) {
+      metrics_out = argument.substr(std::string("--metrics-out=").size());
+    } else if (argument == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (StartsWith(argument, "--log-json=")) {
+      log_json = argument.substr(std::string("--log-json=").size());
+    } else if (argument == "--log-json" && i + 1 < argc) {
+      log_json = argv[++i];
     } else {
       arguments.push_back(argv[i]);
     }
@@ -315,29 +336,62 @@ int Main(int argc, const char* const* argv) {
     std::fprintf(stderr, "%s", usage.c_str());
     return 2;
   }
-  const std::string command = argv[1];
-  Status status;
-  if (command == "simulate") {
-    status = RunSimulate(argc, argv);
-  } else if (command == "stats") {
-    status = RunStats(argc, argv);
-  } else if (command == "score") {
-    status = RunScore(argc, argv);
-  } else if (command == "explain") {
-    status = RunExplain(argc, argv);
-  } else if (command == "profile") {
-    status = RunProfile(argc, argv);
-  } else if (command == "evaluate") {
-    status = RunEvaluate(argc, argv);
-  } else if (command == "forecast") {
-    status = RunForecast(argc, argv);
-  } else if (command == "gridsearch") {
-    status = RunGridSearch(argc, argv);
-  } else {
-    std::fprintf(stderr, "unknown subcommand '%s'\n%s", command.c_str(),
-                 usage.c_str());
-    return 2;
+  if (trace) obs::Trace::Enable(true);
+  // Either telemetry consumer wants the per-operation latency histograms.
+  if (trace || !metrics_out.empty()) obs::SetDetailedTiming(true);
+  if (!log_json.empty()) {
+    const Status opened = obs::StructuredSink::Open(log_json);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "churnlab: cannot open --log-json sink: %s\n",
+                   opened.ToString().c_str());
+      return 2;
+    }
   }
+
+  const std::string command = argv[1];
+  const std::string span_name = "cli." + command;
+  Status status;
+  {
+    obs::ScopedSpan span(span_name.c_str());
+    if (command == "simulate") {
+      status = RunSimulate(argc, argv);
+    } else if (command == "stats") {
+      status = RunStats(argc, argv);
+    } else if (command == "score") {
+      status = RunScore(argc, argv);
+    } else if (command == "explain") {
+      status = RunExplain(argc, argv);
+    } else if (command == "profile") {
+      status = RunProfile(argc, argv);
+    } else if (command == "evaluate") {
+      status = RunEvaluate(argc, argv);
+    } else if (command == "forecast") {
+      status = RunForecast(argc, argv);
+    } else if (command == "gridsearch") {
+      status = RunGridSearch(argc, argv);
+    } else {
+      std::fprintf(stderr, "unknown subcommand '%s'\n%s", command.c_str(),
+                   usage.c_str());
+      return 2;
+    }
+  }
+
+  if (!metrics_out.empty()) {
+    const Status written = obs::JsonExporter::WriteGlobalTelemetry(metrics_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "churnlab: cannot write --metrics-out: %s\n",
+                   written.ToString().c_str());
+      if (status.ok()) return 1;
+    } else {
+      std::fprintf(stderr, "wrote telemetry to %s\n", metrics_out.c_str());
+    }
+  }
+  if (trace) {
+    std::fprintf(stderr, "%s",
+                 obs::Trace::RenderAscii(obs::Trace::Collect()).c_str());
+  }
+  obs::StructuredSink::Close();
+
   if (status.IsCancelled()) return 0;  // --help
   if (!status.ok()) {
     std::fprintf(stderr, "churnlab %s failed: %s\n", command.c_str(),
