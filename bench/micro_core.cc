@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/random.h"
+#include "core/significance_reference.h"
 #include "core/stability.h"
 #include "core/stability_model.h"
 #include "core/window.h"
@@ -73,6 +74,45 @@ void BM_SignificanceAdvance(benchmark::State& state) {
                           static_cast<int64_t>(symbols));
 }
 BENCHMARK(BM_SignificanceAdvance)->Arg(30)->Arg(300);
+
+// Long-history scoring: 600 windows over a 300-symbol repertoire. The old
+// scan-based tracker paid O(seen catalogue) per TotalSignificance call, so
+// this is where the incremental recurrence shows up; the reference
+// benchmark below keeps the before/after ratio measurable in one binary.
+template <typename Tracker>
+void RunLongHistory(benchmark::State& state) {
+  const size_t symbols = 300;
+  const int32_t windows = static_cast<int32_t>(state.range(0));
+  // Rotating half-present windows so contain counts diverge per symbol.
+  std::vector<std::vector<core::Symbol>> history(7);
+  for (size_t w = 0; w < history.size(); ++w) {
+    for (size_t s = w % 2; s < symbols; s += 2) {
+      history[w].push_back(static_cast<core::Symbol>(s));
+    }
+  }
+  for (auto _ : state) {
+    Tracker tracker{core::SignificanceOptions{}};
+    double checksum = 0.0;
+    for (int32_t k = 0; k < windows; ++k) {
+      const auto& window = history[static_cast<size_t>(k) % history.size()];
+      checksum += tracker.PresentSignificance(window) /
+                  (tracker.TotalSignificance() + 1.0);
+      tracker.AdvanceWindow(window);
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * windows);
+}
+
+void BM_SignificanceLongHistory(benchmark::State& state) {
+  RunLongHistory<core::SignificanceTracker>(state);
+}
+BENCHMARK(BM_SignificanceLongHistory)->Arg(120)->Arg(600);
+
+void BM_SignificanceLongHistoryReference(benchmark::State& state) {
+  RunLongHistory<core::ReferenceSignificanceTracker>(state);
+}
+BENCHMARK(BM_SignificanceLongHistoryReference)->Arg(120)->Arg(600);
 
 void BM_StabilitySeries(benchmark::State& state) {
   const auto receipts =

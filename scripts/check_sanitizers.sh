@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Builds the concurrency-sensitive test suites under ThreadSanitizer and
+# AddressSanitizer (+UBSan) and runs them. Each sanitizer gets its own build
+# tree so the instrumented objects never mix with the regular build.
+#
+# Usage: scripts/check_sanitizers.sh [thread|address ...]
+#   (no arguments = both)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZERS=("$@")
+if [[ ${#SANITIZERS[@]} -eq 0 ]]; then
+  SANITIZERS=(thread address)
+fi
+
+JOBS=$(nproc 2>/dev/null || echo 2)
+
+# The test binaries that exercise threads, the incremental tracker, and the
+# parallel evaluation sweeps — built selectively to keep the instrumented
+# build small.
+TARGETS=(thread_pool_test significance_test significance_equivalence_test
+         stability_test stability_model_test online_scorer_test
+         grid_search_test bootstrap_test parallel_determinism_test)
+# gtest registers tests by suite name, so filter on those.
+TEST_FILTER='ThreadPool|ParallelFor|Significance|Stability|OnlineScorer|GridSearch|Bootstrap|ParallelDeterminism'
+
+for sanitizer in "${SANITIZERS[@]}"; do
+  build_dir="build-${sanitizer}san"
+  echo "== ${sanitizer} sanitizer (${build_dir}) =="
+  cmake -B "${build_dir}" -S . \
+    -DCHURNLAB_SANITIZE="${sanitizer}" \
+    -DCHURNLAB_BUILD_BENCHMARKS=OFF \
+    -DCHURNLAB_BUILD_EXAMPLES=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "${build_dir}" -j "${JOBS}" --target "${TARGETS[@]}"
+  (cd "${build_dir}" && ctest --output-on-failure -R "${TEST_FILTER}")
+  echo "== ${sanitizer} sanitizer: OK =="
+  echo
+done

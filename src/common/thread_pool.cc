@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace churnlab {
 
@@ -32,9 +33,26 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_exception_ != nullptr) {
+    std::exception_ptr exception = std::exchange(first_exception_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(exception);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
+  // Decrements in_flight_ on every exit path of a task, including throws,
+  // so WaitIdle can never deadlock on a leaked count.
+  struct InFlightGuard {
+    ThreadPool* pool;
+    ~InFlightGuard() {
+      std::lock_guard<std::mutex> lock(pool->mutex_);
+      --pool->in_flight_;
+      if (pool->queue_.empty() && pool->in_flight_ == 0) {
+        pool->all_done_.notify_all();
+      }
+    }
+  };
   for (;;) {
     std::function<void()> task;
     {
@@ -46,11 +64,16 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+      InFlightGuard guard{this};
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (first_exception_ == nullptr) {
+          first_exception_ = std::current_exception();
+        }
+      }
     }
   }
 }
@@ -64,6 +87,8 @@ void ParallelFor(size_t begin, size_t end, size_t num_threads,
     return;
   }
   num_threads = std::min(num_threads, count);
+  std::mutex exception_mutex;
+  std::exception_ptr first_exception;
   std::vector<std::thread> threads;
   threads.reserve(num_threads);
   const size_t chunk = (count + num_threads - 1) / num_threads;
@@ -71,11 +96,19 @@ void ParallelFor(size_t begin, size_t end, size_t num_threads,
     const size_t lo = begin + t * chunk;
     const size_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
-    threads.emplace_back([lo, hi, &body] {
-      for (size_t i = lo; i < hi; ++i) body(i);
+    threads.emplace_back([lo, hi, &body, &exception_mutex, &first_exception] {
+      try {
+        for (size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(exception_mutex);
+        if (first_exception == nullptr) {
+          first_exception = std::current_exception();
+        }
+      }
     });
   }
   for (std::thread& thread : threads) thread.join();
+  if (first_exception != nullptr) std::rethrow_exception(first_exception);
 }
 
 }  // namespace churnlab

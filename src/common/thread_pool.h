@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -17,6 +18,12 @@ namespace churnlab {
 /// deliberately simple (single mutex-protected queue); churnlab's parallel
 /// sections are coarse-grained per-customer chunks, so queue contention is
 /// negligible.
+///
+/// Exception safety: a throwing task does not kill its worker or leak the
+/// in-flight count (the decrement is RAII). The first exception thrown by
+/// any task is captured and rethrown from the next WaitIdle() call, after
+/// every task has drained; later exceptions are dropped. The pool remains
+/// usable after the rethrow.
 class ThreadPool {
  public:
   /// Creates a pool with `num_threads` workers (>= 1; 0 is clamped to 1).
@@ -29,7 +36,8 @@ class ThreadPool {
   /// Enqueues `task` for execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. If any task threw
+  /// since the last WaitIdle, rethrows the first captured exception.
   void WaitIdle();
 
   size_t num_threads() const { return workers_.size(); }
@@ -44,12 +52,17 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  /// First exception thrown by a task since the last WaitIdle rethrow.
+  std::exception_ptr first_exception_;
 };
 
 /// Runs `body(i)` for every i in [begin, end), splitting the range into
 /// contiguous chunks across `num_threads` threads. Executes inline when the
 /// range is small or num_threads <= 1. `body` must be safe to invoke
-/// concurrently for distinct i.
+/// concurrently for distinct i. If `body` throws, the remaining indices of
+/// that worker's chunk are skipped (other chunks still run to completion)
+/// and the first captured exception is rethrown on the calling thread after
+/// every worker has joined.
 void ParallelFor(size_t begin, size_t end, size_t num_threads,
                  const std::function<void(size_t)>& body);
 

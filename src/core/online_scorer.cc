@@ -72,14 +72,12 @@ StabilityPoint OnlineStabilityScorer::CloseCurrentWindow() {
   StabilityPoint point;
   point.window_index = current_window_;
   point.total_significance = tracker_.TotalSignificance();
-  double present = 0.0;
-  for (const Symbol symbol : current_symbols_) {
-    present += tracker_.SignificanceOf(symbol);
-  }
-  point.present_significance = present;
+  point.present_significance =
+      tracker_.PresentSignificance(current_symbols_);
   if (point.total_significance > 0.0) {
     point.has_history = true;
-    point.stability = present / point.total_significance;
+    point.stability =
+        point.present_significance / point.total_significance;
   } else {
     point.has_history = false;
     point.stability = 1.0;

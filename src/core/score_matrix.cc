@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstdio>
 #include <string>
+#include <unordered_set>
 
 #include "common/csv.h"
 #include "common/macros.h"
@@ -97,6 +98,7 @@ Result<ScoreMatrix> ScoreMatrix::LoadCsv(const std::string& path) {
   const int32_t num_windows = static_cast<int32_t>(row.size()) - 1;
 
   std::vector<retail::CustomerId> customers;
+  std::unordered_set<retail::CustomerId> seen_customers;
   std::vector<std::vector<double>> rows;
   while (reader.ReadRow(&row)) {
     if (row.size() != static_cast<size_t>(num_windows) + 1) {
@@ -105,6 +107,14 @@ Result<ScoreMatrix> ScoreMatrix::LoadCsv(const std::string& path) {
           " has inconsistent width");
     }
     CHURNLAB_ASSIGN_OR_RETURN(const uint64_t customer, ParseUint64(row[0]));
+    // A duplicate id would silently shadow its later rows: row_index_ keeps
+    // the first mapping, so ScoreOf would forever read the stale first row.
+    if (!seen_customers.insert(static_cast<retail::CustomerId>(customer))
+             .second) {
+      return Status::InvalidArgument(
+          "score CSV row " + std::to_string(reader.row_number()) +
+          " repeats customer " + std::to_string(customer));
+    }
     customers.push_back(static_cast<retail::CustomerId>(customer));
     std::vector<double> values;
     values.reserve(static_cast<size_t>(num_windows));

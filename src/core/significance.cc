@@ -1,11 +1,19 @@
 #include "core/significance.h"
 
-#include <algorithm>
+#include <cmath>
+#include <cstdlib>
 
 #include "common/math_util.h"
 
 namespace churnlab {
 namespace core {
+
+namespace {
+/// Exponents whose |value| exceeds this are served by a direct ClampedPow
+/// call instead of growing the memo tables without bound. Far beyond the
+/// default clamp of 500, so the tables cover every exact regime.
+constexpr int64_t kMaxMemoisedExponent = 4096;
+}  // namespace
 
 SignificanceTracker::SignificanceTracker(SignificanceOptions options)
     : options_(options) {}
@@ -26,84 +34,168 @@ Result<SignificanceTracker> SignificanceTracker::Make(
   return SignificanceTracker(options);
 }
 
+double SignificanceTracker::PowAlpha(int64_t exponent) const {
+  if (std::llabs(exponent) > kMaxMemoisedExponent) {
+    return ClampedPow(options_.alpha, static_cast<double>(exponent),
+                      options_.max_abs_exponent);
+  }
+  std::vector<double>& table =
+      exponent >= 0 ? alpha_pow_pos_ : alpha_pow_neg_;
+  const size_t index = static_cast<size_t>(std::llabs(exponent));
+  const int64_t sign = exponent >= 0 ? 1 : -1;
+  while (table.size() <= index) {
+    table.push_back(ClampedPow(options_.alpha,
+                               static_cast<double>(sign) *
+                                   static_cast<double>(table.size()),
+                               options_.max_abs_exponent));
+  }
+  return table[index];
+}
+
+double SignificanceTracker::PowLambda(int32_t exponent) const {
+  if (lambda_pow_.empty()) lambda_pow_.push_back(1.0);
+  while (lambda_pow_.size() <= static_cast<size_t>(exponent)) {
+    lambda_pow_.push_back(lambda_pow_.back() * options_.ewma_lambda);
+  }
+  return lambda_pow_[static_cast<size_t>(exponent)];
+}
+
 double SignificanceTracker::SignificanceOf(Symbol symbol) const {
   if (options_.kind == SignificanceKind::kEwma) {
-    const auto it = ewma_scores_.find(symbol);
-    return it == ewma_scores_.end() ? 0.0 : it->second;
+    if (static_cast<size_t>(symbol) >= ewma_values_.size()) return 0.0;
+    const double value = ewma_values_[symbol];
+    if (value == 0.0) return 0.0;
+    return value * PowLambda(windows_seen_ - ewma_stamps_[symbol]);
   }
-  const auto it = contain_counts_.find(symbol);
-  if (it == contain_counts_.end()) return 0.0;
-  const double exponent = 2.0 * it->second - windows_seen_;
+  if (static_cast<size_t>(symbol) >= contain_counts_.size()) return 0.0;
+  const int32_t count = contain_counts_[symbol];
+  if (count == 0) return 0.0;
   if (options_.alpha == 1.0) return 1.0;
-  return ClampedPow(options_.alpha, exponent, options_.max_abs_exponent);
+  return PowAlpha(2 * static_cast<int64_t>(count) - windows_seen_);
 }
 
 int32_t SignificanceTracker::ContainCount(Symbol symbol) const {
-  const auto it = contain_counts_.find(symbol);
-  return it == contain_counts_.end() ? 0 : it->second;
+  if (static_cast<size_t>(symbol) >= contain_counts_.size()) return 0;
+  return contain_counts_[symbol];
 }
 
 int32_t SignificanceTracker::MissCount(Symbol symbol) const {
-  const auto it = contain_counts_.find(symbol);
-  if (it == contain_counts_.end()) return 0;
-  return windows_seen_ - it->second;
+  const int32_t count = ContainCount(symbol);
+  if (count == 0) return 0;
+  return windows_seen_ - count;
 }
 
 double SignificanceTracker::TotalSignificance() const {
+  if (options_.kind == SignificanceKind::kEwma) return ewma_total_;
+  if (num_seen_ == 0) return 0.0;
+  if (options_.alpha == 1.0) return static_cast<double>(num_seen_);
+  if (IncrementalTotalExact()) return incremental_total_;
+  return HistogramTotal();
+}
+
+double SignificanceTracker::HistogramTotal() const {
   double total = 0.0;
-  if (options_.kind == SignificanceKind::kEwma) {
-    for (const auto& [symbol, score] : ewma_scores_) {
-      (void)symbol;
-      total += score;
-    }
-    return total;
-  }
-  for (const auto& [symbol, count] : contain_counts_) {
-    (void)symbol;
-    if (options_.alpha == 1.0) {
-      total += 1.0;
-    } else {
-      total += ClampedPow(options_.alpha, 2.0 * count - windows_seen_,
-                          options_.max_abs_exponent);
-    }
+  for (size_t count = 1; count < contain_histogram_.size(); ++count) {
+    const uint32_t symbols = contain_histogram_[count];
+    if (symbols == 0) continue;
+    total += static_cast<double>(symbols) *
+             PowAlpha(2 * static_cast<int64_t>(count) - windows_seen_);
   }
   return total;
 }
 
+double SignificanceTracker::PresentSignificance(
+    const std::vector<Symbol>& symbols) const {
+  double present = 0.0;
+  const Symbol* previous = nullptr;  // tolerate duplicate neighbours
+  for (const Symbol& symbol : symbols) {
+    if (previous != nullptr && *previous == symbol) continue;
+    present += SignificanceOf(symbol);
+    previous = &symbol;
+  }
+  return present;
+}
+
 std::vector<Symbol> SignificanceTracker::SeenSymbols() const {
   std::vector<Symbol> symbols;
-  symbols.reserve(contain_counts_.size());
-  for (const auto& [symbol, count] : contain_counts_) {
-    (void)count;
-    symbols.push_back(symbol);
+  symbols.reserve(num_seen_);
+  // Dense scan in index order: already ascending, no sort needed.
+  for (size_t symbol = 0; symbol < contain_counts_.size(); ++symbol) {
+    if (contain_counts_[symbol] > 0) {
+      symbols.push_back(static_cast<Symbol>(symbol));
+    }
   }
-  std::sort(symbols.begin(), symbols.end());
   return symbols;
+}
+
+void SignificanceTracker::AdvanceEwma(
+    const std::vector<Symbol>& window_symbols) {
+  const double lambda = options_.ewma_lambda;
+  const double credit = 1.0 - lambda;
+  const int32_t next_window = windows_seen_ + 1;
+  size_t present_count = 0;
+  const Symbol* previous = nullptr;
+  for (const Symbol& symbol : window_symbols) {
+    if (previous != nullptr && *previous == symbol) continue;
+    previous = &symbol;
+    ++present_count;
+    if (static_cast<size_t>(symbol) >= ewma_values_.size()) {
+      ewma_values_.resize(static_cast<size_t>(symbol) + 1, 0.0);
+      ewma_stamps_.resize(static_cast<size_t>(symbol) + 1, 0);
+    }
+    // Settle the lazy decay up to the post-advance window, then credit.
+    ewma_values_[symbol] =
+        ewma_values_[symbol] * PowLambda(next_window - ewma_stamps_[symbol]) +
+        credit;
+    ewma_stamps_[symbol] = next_window;
+  }
+  ewma_total_ = ewma_total_ * lambda + credit * present_count;
 }
 
 void SignificanceTracker::AdvanceWindow(
     const std::vector<Symbol>& window_symbols) {
   if (options_.kind == SignificanceKind::kEwma) {
-    // Decay every known symbol, then credit the present ones.
-    for (auto& [symbol, score] : ewma_scores_) {
-      (void)symbol;
-      score *= options_.ewma_lambda;
-    }
-    const double credit = 1.0 - options_.ewma_lambda;
-    const Symbol* previous_ewma = nullptr;
-    for (const Symbol& symbol : window_symbols) {
-      if (previous_ewma != nullptr && *previous_ewma == symbol) continue;
-      ewma_scores_[symbol] += credit;
-      previous_ewma = &symbol;
-    }
+    AdvanceEwma(window_symbols);
   }
+  // The incremental total is only maintained while it stays exact (and only
+  // needed for the alpha-power kind with alpha != 1).
+  const bool maintain_total =
+      options_.kind == SignificanceKind::kAlphaPower &&
+      options_.alpha != 1.0 &&
+      static_cast<double>(windows_seen_) + 1.0 <= options_.max_abs_exponent;
+  double present = 0.0;
+  size_t new_symbols = 0;
   // Input is sorted (Windower invariant); skip duplicate neighbours so a
   // malformed caller cannot make c(k) exceed the window count.
   const Symbol* previous = nullptr;
   for (const Symbol& symbol : window_symbols) {
     if (previous != nullptr && *previous == symbol) continue;
-    ++contain_counts_[symbol];
     previous = &symbol;
+    if (static_cast<size_t>(symbol) >= contain_counts_.size()) {
+      contain_counts_.resize(static_cast<size_t>(symbol) + 1, 0);
+    }
+    int32_t& count = contain_counts_[symbol];
+    if (count == 0) {
+      ++new_symbols;
+      ++num_seen_;
+    } else {
+      if (maintain_total) {
+        present += PowAlpha(2 * static_cast<int64_t>(count) - windows_seen_);
+      }
+      --contain_histogram_[static_cast<size_t>(count)];
+    }
+    ++count;
+    if (static_cast<size_t>(count) >= contain_histogram_.size()) {
+      contain_histogram_.resize(static_cast<size_t>(count) + 1, 0);
+    }
+    ++contain_histogram_[static_cast<size_t>(count)];
+  }
+  if (maintain_total) {
+    const double alpha = options_.alpha;
+    // T_{k+1} = (T_k + (alpha^2 - 1) * P_k) / alpha + n_new * alpha^(1-k).
+    incremental_total_ =
+        (incremental_total_ + (alpha * alpha - 1.0) * present) / alpha +
+        static_cast<double>(new_symbols) * PowAlpha(1 - windows_seen_);
   }
   ++windows_seen_;
 }

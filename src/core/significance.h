@@ -2,7 +2,6 @@
 #define CHURNLAB_CORE_SIGNIFICANCE_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -50,6 +49,36 @@ struct SignificanceOptions {
 ///   S(p,k) = alpha^(c(k) - l(k)) = alpha^(2*c(k) - k)   if c(k) > 0
 ///   S(p,k) = 0                                           otherwise.
 ///
+/// The denominator of the stability formula, T_k = sum_{p in I} S(p,k), is
+/// maintained incrementally from the algebraic identity
+///
+///   T_{k+1} = (T_k + (alpha^2 - 1) * sum_{p in u_k, c>0} S(p,k)) / alpha
+///             + |{p in u_k : c = 0}| * alpha^(1-k),
+///
+/// which follows from S(p,k) = alpha^(-k) * alpha^(2c(p)): advancing a
+/// window divides every term by alpha and multiplies each term of a present
+/// symbol by alpha^2. AdvanceWindow therefore costs O(|u_k|) and
+/// TotalSignificance() is O(1) — a full customer series costs O(total
+/// purchases) instead of O(windows x seen catalogue).
+///
+/// Clamp caveat: the identity above is the *unclamped* algebra. It is exact
+/// as long as no per-symbol exponent can hit the max_abs_exponent clamp,
+/// which is guaranteed while windows_seen() <= max_abs_exponent (the
+/// exponent 2c - k is bounded by +-k). Beyond that horizon the tracker
+/// falls back to an exact O(distinct contain-counts) summation over a
+/// contain-count histogram — still independent of the catalogue size, and
+/// unreachable in the paper's regime (14 windows vs the default clamp of
+/// 500).
+///
+/// Per-symbol state lives in dense Symbol-indexed vectors (symbols are
+/// dense ids produced by SymbolMapper), and alpha powers are served from a
+/// memoised table filled with the same ClampedPow the scan-based oracle
+/// uses, so per-symbol significances agree bit-for-bit with
+/// ReferenceSignificanceTracker (see significance_reference.h).
+///
+/// Not thread-safe — including const accessors, which lazily extend the
+/// memoised power tables. Use one tracker per thread.
+///
 /// Usage: for each window k in order, query significances (they reflect
 /// windows 0..k-1), then call `AdvanceWindow(u_k)`.
 class SignificanceTracker {
@@ -69,10 +98,15 @@ class SignificanceTracker {
   /// significance is 0 regardless).
   int32_t MissCount(Symbol symbol) const;
 
-  /// Sum of S(p, current window) over every symbol in I. Only symbols with
-  /// c > 0 contribute (all others have S = 0), so this is a scan of the
-  /// seen-symbol table.
+  /// Sum of S(p, current window) over every symbol in I. O(1) while the
+  /// exponent clamp cannot bite (see class comment), O(distinct
+  /// contain-counts) afterwards.
   double TotalSignificance() const;
+
+  /// Sum of S(p, current window) over `symbols`, which must be sorted;
+  /// duplicate neighbours are counted once. This is the stability
+  /// numerator sum_{p in u_k} S(p,k).
+  double PresentSignificance(const std::vector<Symbol>& symbols) const;
 
   /// All symbols with c > 0, ascending. (Stable ordering for reports.)
   std::vector<Symbol> SeenSymbols() const;
@@ -88,11 +122,56 @@ class SignificanceTracker {
   const SignificanceOptions& options() const { return options_; }
 
  private:
+  /// alpha^exponent with the max_abs_exponent clamp, memoised per integer
+  /// exponent. Each cache entry is computed with ClampedPow, so values are
+  /// identical to the reference scan implementation's.
+  double PowAlpha(int64_t exponent) const;
+
+  /// lambda^exponent (exponent >= 0), memoised by repeated multiplication —
+  /// the same product chain the eager per-window decay would perform.
+  double PowLambda(int32_t exponent) const;
+
+  void AdvanceEwma(const std::vector<Symbol>& window_symbols);
+
+  /// True while no per-symbol exponent can exceed the clamp, i.e. while the
+  /// incremental total is exact.
+  bool IncrementalTotalExact() const {
+    return static_cast<double>(windows_seen_) <= options_.max_abs_exponent;
+  }
+
+  /// Exact total in the clamped regime: sums ClampedPow per distinct
+  /// contain count, weighted by the histogram.
+  double HistogramTotal() const;
+
   SignificanceOptions options_;
-  std::unordered_map<Symbol, int32_t> contain_counts_;
-  /// kEwma only: the running presence average per seen symbol.
-  std::unordered_map<Symbol, double> ewma_scores_;
   int32_t windows_seen_ = 0;
+
+  /// Dense per-symbol contain counts; index = symbol, 0 = never seen.
+  std::vector<int32_t> contain_counts_;
+  /// Number of symbols with c > 0.
+  size_t num_seen_ = 0;
+  /// contain_histogram_[c] = number of symbols with contain count c (c >= 1).
+  /// Drives the exact clamped-regime total. kAlphaPower only.
+  std::vector<uint32_t> contain_histogram_;
+  /// sum_p alpha^(2c(p) - k), maintained incrementally while
+  /// IncrementalTotalExact(); stale (and unused) afterwards.
+  double incremental_total_ = 0.0;
+
+  /// kEwma: lazily-decayed scores. The score of symbol s at the current
+  /// window k is ewma_values_[s] * lambda^(k - ewma_stamps_[s]), so
+  /// AdvanceWindow only touches present symbols instead of decaying the
+  /// whole table.
+  std::vector<double> ewma_values_;
+  std::vector<int32_t> ewma_stamps_;
+  /// kEwma: running total, via T_{k+1} = lambda * T_k + (1-lambda)*|u_k|.
+  double ewma_total_ = 0.0;
+
+  /// Memoised powers: alpha_pow_pos_[i] = alpha^i, alpha_pow_neg_[i] =
+  /// alpha^-i, lambda_pow_[i] = lambda^i. Lazily extended by const
+  /// accessors (hence mutable; see thread-safety note above).
+  mutable std::vector<double> alpha_pow_pos_;
+  mutable std::vector<double> alpha_pow_neg_;
+  mutable std::vector<double> lambda_pow_;
 };
 
 }  // namespace core

@@ -78,17 +78,11 @@ StabilitySeries StabilityComputer::ComputeWithCallback(
     StabilityPoint point;
     point.window_index = window.index;
     point.total_significance = tracker.TotalSignificance();
-    double present = 0.0;
-    const Symbol* previous = nullptr;  // tolerate duplicate neighbours
-    for (const Symbol& symbol : window.symbols) {
-      if (previous != nullptr && *previous == symbol) continue;
-      present += tracker.SignificanceOf(symbol);
-      previous = &symbol;
-    }
-    point.present_significance = present;
+    point.present_significance = tracker.PresentSignificance(window.symbols);
     if (point.total_significance > 0.0) {
       point.has_history = true;
-      point.stability = present / point.total_significance;
+      point.stability =
+          point.present_significance / point.total_significance;
     } else {
       point.has_history = false;
       point.stability = 1.0;

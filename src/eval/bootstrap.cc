@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 
 namespace churnlab {
 namespace eval {
@@ -23,17 +24,19 @@ Result<ConfidenceInterval> BootstrapAuroc(const std::vector<double>& scores,
   CHURNLAB_ASSIGN_OR_RETURN(interval.estimate,
                             Auroc(scores, labels, orientation));
 
-  Rng rng(options.seed);
   const size_t n = scores.size();
-  std::vector<double> resample_scores(n);
-  std::vector<int> resample_labels(n);
-  std::vector<double> statistics;
-  statistics.reserve(options.resamples);
-
-  for (size_t b = 0; b < options.resamples; ++b) {
+  // Each resample owns its RNG stream, seeded from (seed, resample index):
+  // SplitMix64 seeding decorrelates nearby seeds, and the resamples become
+  // order-independent, so the statistic vector is identical for any thread
+  // count.
+  std::vector<double> statistics(options.resamples, 0.0);
+  std::vector<char> computed(options.resamples, 0);
+  ParallelFor(0, options.resamples, options.num_threads, [&](size_t b) {
+    Rng rng(options.seed + static_cast<uint64_t>(b));
+    std::vector<double> resample_scores(n);
+    std::vector<int> resample_labels(n);
     // Redraw degenerate (single-class) resamples a bounded number of times.
-    bool computed = false;
-    for (int attempt = 0; attempt < 16 && !computed; ++attempt) {
+    for (int attempt = 0; attempt < 16 && !computed[b]; ++attempt) {
       for (size_t i = 0; i < n; ++i) {
         const size_t pick = static_cast<size_t>(rng.NextUint64(n));
         resample_scores[i] = scores[pick];
@@ -42,11 +45,17 @@ Result<ConfidenceInterval> BootstrapAuroc(const std::vector<double>& scores,
       const Result<double> auroc =
           Auroc(resample_scores, resample_labels, orientation);
       if (auroc.ok()) {
-        statistics.push_back(auroc.ValueOrDie());
-        computed = true;
+        statistics[b] = auroc.ValueOrDie();
+        computed[b] = 1;
       }
     }
+  });
+  // Compact in resample order, dropping the (rare) degenerate ones.
+  size_t kept = 0;
+  for (size_t b = 0; b < options.resamples; ++b) {
+    if (computed[b]) statistics[kept++] = statistics[b];
   }
+  statistics.resize(kept);
   if (statistics.empty()) {
     return Status::Internal("every bootstrap resample was degenerate");
   }

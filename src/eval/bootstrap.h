@@ -25,6 +25,10 @@ struct BootstrapOptions {
   /// Two-sided confidence level in (0, 1).
   double confidence = 0.95;
   uint64_t seed = 2016;
+  /// Worker threads drawing resamples (1 = sequential). Every resample is
+  /// seeded independently from (seed, resample index), so the interval is
+  /// identical for any thread count.
+  size_t num_threads = 1;
 };
 
 /// \brief Percentile-bootstrap confidence interval for AUROC.

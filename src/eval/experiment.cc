@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
 #include "eval/bootstrap.h"
 #include "obs/metrics.h"
 #include "obs/structured_log.h"
@@ -30,7 +31,9 @@ Figure1Options::Figure1Options() {
 
 Result<std::vector<WindowAuroc>> AurocPerWindow(
     const retail::Dataset& dataset, const core::ScoreMatrix& scores,
-    ScoreOrientation orientation, int32_t window_span_months) {
+    ScoreOrientation orientation, int32_t window_span_months,
+    size_t num_threads) {
+  CHURNLAB_SPAN("eval.auroc_per_window");
   if (window_span_months <= 0) {
     return Status::InvalidArgument("window_span_months must be positive");
   }
@@ -48,19 +51,30 @@ Result<std::vector<WindowAuroc>> AurocPerWindow(
     return Status::InvalidArgument("dataset has no labelled customers");
   }
 
-  std::vector<WindowAuroc> series;
-  series.reserve(static_cast<size_t>(scores.num_windows()));
-  std::vector<double> window_scores(rows.size());
-  for (int32_t window = 0; window < scores.num_windows(); ++window) {
+  // Each window's AUROC is independent; compute them in parallel and keep
+  // per-window slots so the series order (and every bit of it) matches the
+  // sequential run.
+  const size_t num_windows = static_cast<size_t>(scores.num_windows());
+  std::vector<Result<double>> window_aurocs(
+      num_windows, Status::Internal("window was not evaluated"));
+  ParallelFor(0, num_windows, num_threads, [&](size_t window) {
+    std::vector<double> window_scores(rows.size());
     for (size_t i = 0; i < rows.size(); ++i) {
-      window_scores[i] = scores.At(rows[i], window);
+      window_scores[i] = scores.At(rows[i], static_cast<int32_t>(window));
     }
-    WindowAuroc point;
-    point.window = window;
-    point.report_month = (window + 1) * window_span_months;
-    CHURNLAB_ASSIGN_OR_RETURN(point.auroc,
-                              Auroc(window_scores, labels, orientation));
+    window_aurocs[window] = Auroc(window_scores, labels, orientation);
     AurocCounter()->Increment();
+  });
+
+  std::vector<WindowAuroc> series;
+  series.reserve(num_windows);
+  for (size_t window = 0; window < num_windows; ++window) {
+    CHURNLAB_RETURN_NOT_OK(window_aurocs[window].status());
+    WindowAuroc point;
+    point.window = static_cast<int32_t>(window);
+    point.report_month =
+        (static_cast<int32_t>(window) + 1) * window_span_months;
+    point.auroc = window_aurocs[window].ValueOrDie();
     series.push_back(point);
   }
   return series;
@@ -94,7 +108,8 @@ Result<Figure1Result> ExperimentRunner::RunFigure1OnDataset(
       const std::vector<WindowAuroc> stability_series,
       AurocPerWindow(dataset, stability_scores,
                      ScoreOrientation::kLowerIsPositive,
-                     options.stability.window_span_months));
+                     options.stability.window_span_months,
+                     options.num_threads));
   progress.Step(2, "stability AUROC");
 
   CHURNLAB_ASSIGN_OR_RETURN(const rfm::RfmModel rfm_model,
@@ -105,7 +120,8 @@ Result<Figure1Result> ExperimentRunner::RunFigure1OnDataset(
   CHURNLAB_ASSIGN_OR_RETURN(
       const std::vector<WindowAuroc> rfm_series,
       AurocPerWindow(dataset, rfm_scores, ScoreOrientation::kHigherIsPositive,
-                     options.rfm.features.window_span_months));
+                     options.rfm.features.window_span_months,
+                     options.num_threads));
   progress.Done();
 
   if (stability_series.size() != rfm_series.size()) {
@@ -129,6 +145,29 @@ Result<Figure1Result> ExperimentRunner::RunFigure1OnDataset(
     }
   }
 
+  // Every window's bootstrap interval is seeded identically and resampled
+  // independently, so the per-window sweep parallelises without changing a
+  // bit of the output.
+  std::vector<Result<ConfidenceInterval>> intervals(
+      stability_series.size(), Status::Internal("window was not evaluated"));
+  if (options.bootstrap_resamples > 0) {
+    CHURNLAB_SPAN("eval.bootstrap_sweep");
+    ParallelFor(0, stability_series.size(), options.num_threads,
+                [&](size_t i) {
+                  std::vector<double> window_scores;
+                  window_scores.reserve(labelled_rows.size());
+                  for (const size_t labelled_row : labelled_rows) {
+                    window_scores.push_back(stability_scores.At(
+                        labelled_row, stability_series[i].window));
+                  }
+                  BootstrapOptions bootstrap;
+                  bootstrap.resamples = options.bootstrap_resamples;
+                  intervals[i] = BootstrapAuroc(
+                      window_scores, labels,
+                      ScoreOrientation::kLowerIsPositive, bootstrap);
+                });
+  }
+
   for (size_t i = 0; i < stability_series.size(); ++i) {
     const int32_t month = stability_series[i].report_month;
     if (month < options.first_report_month ||
@@ -140,20 +179,9 @@ Result<Figure1Result> ExperimentRunner::RunFigure1OnDataset(
     row.stability_auroc = stability_series[i].auroc;
     row.rfm_auroc = rfm_series[i].auroc;
     if (options.bootstrap_resamples > 0) {
-      std::vector<double> window_scores;
-      window_scores.reserve(labelled_rows.size());
-      for (const size_t labelled_row : labelled_rows) {
-        window_scores.push_back(
-            stability_scores.At(labelled_row, stability_series[i].window));
-      }
-      BootstrapOptions bootstrap;
-      bootstrap.resamples = options.bootstrap_resamples;
-      CHURNLAB_ASSIGN_OR_RETURN(
-          const ConfidenceInterval interval,
-          BootstrapAuroc(window_scores, labels,
-                         ScoreOrientation::kLowerIsPositive, bootstrap));
-      row.stability_auroc_lower = interval.lower;
-      row.stability_auroc_upper = interval.upper;
+      CHURNLAB_RETURN_NOT_OK(intervals[i].status());
+      row.stability_auroc_lower = intervals[i].ValueOrDie().lower;
+      row.stability_auroc_upper = intervals[i].ValueOrDie().upper;
     }
     result.rows.push_back(row);
   }

@@ -29,10 +29,13 @@ struct WindowAuroc {
 
 /// Computes the per-window AUROC series of a score matrix against the
 /// dataset's cohort labels (defecting = positive class). Unlabelled
-/// customers are excluded.
+/// customers are excluded. Windows are scored in parallel across
+/// `num_threads` workers (1 = sequential); each window is independent, so
+/// the series is identical for any thread count.
 Result<std::vector<WindowAuroc>> AurocPerWindow(
     const retail::Dataset& dataset, const core::ScoreMatrix& scores,
-    ScoreOrientation orientation, int32_t window_span_months);
+    ScoreOrientation orientation, int32_t window_span_months,
+    size_t num_threads = 1);
 
 /// Options for the Figure 1 reproduction: the paper's headline experiment
 /// (stability vs RFM detection AUROC over the months around the attrition
@@ -47,6 +50,11 @@ struct Figure1Options {
   /// Bootstrap resamples for the stability AUROC confidence interval;
   /// 0 disables (bounds stay at [0, 1]).
   size_t bootstrap_resamples = 0;
+  /// Worker threads for the evaluation sweeps (per-window AUROC and
+  /// bootstrap; 1 = sequential). Results are identical for any thread
+  /// count. Model *scoring* threads are configured separately via
+  /// stability.num_threads.
+  size_t num_threads = 1;
 
   Figure1Options();
 };

@@ -1,6 +1,8 @@
 #include "eval/grid_search.h"
 
 #include <cmath>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/kfold.h"
@@ -8,6 +10,7 @@
 #include "common/macros.h"
 #include "common/math_util.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/stability_model.h"
 #include "eval/roc.h"
 #include "obs/metrics.h"
@@ -16,6 +19,85 @@
 
 namespace churnlab {
 namespace eval {
+
+namespace {
+
+/// Evaluates one (window span, alpha) grid cell: scores the dataset under
+/// those hyper-parameters and cross-validates the detection AUROC. Pure
+/// function of its inputs, so cells can run on any thread in any order
+/// with byte-identical results.
+Result<GridSearchCell> EvaluateCell(
+    const retail::Dataset& dataset, const GridSearchOptions& options,
+    const StratifiedKFold& folds,
+    const std::vector<retail::CustomerId>& labelled,
+    const std::vector<int>& targets, int32_t span, double alpha) {
+  CHURNLAB_SPAN("eval.grid_cell");
+  core::StabilityModelOptions model_options;
+  model_options.significance.alpha = alpha;
+  model_options.window_span_months = span;
+  model_options.granularity = options.granularity;
+  CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel model,
+                            core::StabilityModel::Make(model_options));
+  CHURNLAB_ASSIGN_OR_RETURN(const core::ScoreMatrix scores,
+                            model.ScoreDataset(dataset));
+
+  // Windows contributing to the objective.
+  std::vector<int32_t> objective_windows;
+  for (int32_t window = 0; window < scores.num_windows(); ++window) {
+    const int32_t report_month = (window + 1) * span;
+    if (report_month > options.onset_month &&
+        report_month <=
+            options.onset_month + options.objective_horizon_months) {
+      objective_windows.push_back(window);
+    }
+  }
+  if (objective_windows.empty()) {
+    return Status::InvalidArgument(
+        "no windows fall in the objective horizon for span " +
+        std::to_string(span));
+  }
+
+  std::vector<double> fold_objectives;
+  fold_objectives.reserve(folds.num_folds());
+  for (size_t fold = 0; fold < folds.num_folds(); ++fold) {
+    const std::vector<size_t>& test = folds.TestIndices(fold);
+    double auroc_sum = 0.0;
+    size_t auroc_count = 0;
+    for (const int32_t window : objective_windows) {
+      std::vector<double> fold_scores;
+      std::vector<int> fold_labels;
+      fold_scores.reserve(test.size());
+      fold_labels.reserve(test.size());
+      for (const size_t index : test) {
+        CHURNLAB_ASSIGN_OR_RETURN(
+            const double score, scores.ScoreOf(labelled[index], window));
+        fold_scores.push_back(score);
+        fold_labels.push_back(targets[index]);
+      }
+      const Result<double> auroc = Auroc(fold_scores, fold_labels,
+                                         ScoreOrientation::kLowerIsPositive);
+      if (!auroc.ok()) continue;  // single-class fold at this window
+      auroc_sum += auroc.ValueOrDie();
+      ++auroc_count;
+    }
+    if (auroc_count > 0) {
+      fold_objectives.push_back(auroc_sum /
+                                static_cast<double>(auroc_count));
+    }
+  }
+  if (fold_objectives.empty()) {
+    return Status::Internal("every fold was degenerate in grid search");
+  }
+
+  GridSearchCell cell;
+  cell.window_span_months = span;
+  cell.alpha = alpha;
+  cell.mean_auroc = Mean(fold_objectives);
+  cell.std_auroc = StdDev(fold_objectives);
+  return cell;
+}
+
+}  // namespace
 
 Result<GridSearchResult> StabilityGridSearch::Run(
     const retail::Dataset& dataset, const GridSearchOptions& options) {
@@ -27,12 +109,17 @@ Result<GridSearchResult> StabilityGridSearch::Run(
       obs::MetricsRegistry::Global().GetHistogram(
           "churnlab.eval.grid_cell_ms",
           obs::HistogramOptions::ExponentialLatency());
+  static obs::Gauge* const eval_threads =
+      obs::MetricsRegistry::Global().GetGauge("churnlab.eval.threads");
   if (options.window_spans_months.empty() || options.alphas.empty()) {
     return Status::InvalidArgument("empty parameter grid");
   }
   if (options.folds < 2) {
     return Status::InvalidArgument("folds must be >= 2");
   }
+  const size_t num_threads = options.num_threads == 0 ? 1
+                                                      : options.num_threads;
+  eval_threads->Set(static_cast<double>(num_threads));
 
   // Labelled customers and their targets.
   std::vector<retail::CustomerId> labelled;
@@ -50,86 +137,59 @@ Result<GridSearchResult> StabilityGridSearch::Run(
       const StratifiedKFold folds,
       StratifiedKFold::Make(targets, options.folds, options.seed));
 
-  GridSearchResult result;
-  const uint64_t total_cells =
-      options.window_spans_months.size() * options.alphas.size();
-  obs::ProgressLogger progress("grid_search", total_cells);
-  Stopwatch cell_timer;
+  // Flatten the grid so every cell has a stable index: results are written
+  // by index and collected in grid order, making the output independent of
+  // task scheduling.
+  std::vector<std::pair<int32_t, double>> grid;
+  grid.reserve(options.window_spans_months.size() * options.alphas.size());
   for (const int32_t span : options.window_spans_months) {
     for (const double alpha : options.alphas) {
-      core::StabilityModelOptions model_options;
-      model_options.significance.alpha = alpha;
-      model_options.window_span_months = span;
-      model_options.granularity = options.granularity;
-      CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel model,
-                                core::StabilityModel::Make(model_options));
-      CHURNLAB_ASSIGN_OR_RETURN(const core::ScoreMatrix scores,
-                                model.ScoreDataset(dataset));
-
-      // Windows contributing to the objective.
-      std::vector<int32_t> objective_windows;
-      for (int32_t window = 0; window < scores.num_windows(); ++window) {
-        const int32_t report_month = (window + 1) * span;
-        if (report_month > options.onset_month &&
-            report_month <=
-                options.onset_month + options.objective_horizon_months) {
-          objective_windows.push_back(window);
-        }
-      }
-      if (objective_windows.empty()) {
-        return Status::InvalidArgument(
-            "no windows fall in the objective horizon for span " +
-            std::to_string(span));
-      }
-
-      std::vector<double> fold_objectives;
-      fold_objectives.reserve(folds.num_folds());
-      for (size_t fold = 0; fold < folds.num_folds(); ++fold) {
-        const std::vector<size_t>& test = folds.TestIndices(fold);
-        double auroc_sum = 0.0;
-        size_t auroc_count = 0;
-        for (const int32_t window : objective_windows) {
-          std::vector<double> fold_scores;
-          std::vector<int> fold_labels;
-          fold_scores.reserve(test.size());
-          fold_labels.reserve(test.size());
-          for (const size_t index : test) {
-            CHURNLAB_ASSIGN_OR_RETURN(
-                const double score, scores.ScoreOf(labelled[index], window));
-            fold_scores.push_back(score);
-            fold_labels.push_back(targets[index]);
-          }
-          const Result<double> auroc =
-              Auroc(fold_scores, fold_labels,
-                    ScoreOrientation::kLowerIsPositive);
-          if (!auroc.ok()) continue;  // single-class fold at this window
-          auroc_sum += auroc.ValueOrDie();
-          ++auroc_count;
-        }
-        if (auroc_count > 0) {
-          fold_objectives.push_back(auroc_sum /
-                                    static_cast<double>(auroc_count));
-        }
-      }
-      if (fold_objectives.empty()) {
-        return Status::Internal("every fold was degenerate in grid search");
-      }
-
-      GridSearchCell cell;
-      cell.window_span_months = span;
-      cell.alpha = alpha;
-      cell.mean_auroc = Mean(fold_objectives);
-      cell.std_auroc = StdDev(fold_objectives);
-      CHURNLAB_LOG(Debug) << "grid cell w=" << span << " alpha=" << alpha
-                          << " auroc=" << cell.mean_auroc << " +- "
-                          << cell.std_auroc;
-      result.cells.push_back(cell);
-      cells_evaluated->Increment();
-      cell_ms->Record(cell_timer.LapSeconds() * 1e3);
-      progress.Step(result.cells.size());
+      grid.emplace_back(span, alpha);
     }
   }
+
+  obs::ProgressLogger progress("grid_search", grid.size());
+  std::mutex progress_mutex;
+  size_t completed = 0;
+  std::vector<Result<GridSearchCell>> cell_results(
+      grid.size(), Status::Internal("grid cell was not evaluated"));
+  const auto evaluate_into = [&](size_t index) {
+    Stopwatch cell_timer;
+    cell_results[index] =
+        EvaluateCell(dataset, options, folds, labelled, targets,
+                     grid[index].first, grid[index].second);
+    cells_evaluated->Increment();
+    cell_ms->Record(cell_timer.ElapsedSeconds() * 1e3);
+    std::lock_guard<std::mutex> lock(progress_mutex);
+    progress.Step(++completed);
+  };
+
+  if (num_threads <= 1) {
+    for (size_t index = 0; index < grid.size(); ++index) {
+      evaluate_into(index);
+    }
+  } else {
+    // One cell per task: cell costs vary strongly with the window span, so
+    // FIFO work-stealing balances better than static chunking would.
+    ThreadPool pool(num_threads);
+    for (size_t index = 0; index < grid.size(); ++index) {
+      pool.Submit([&evaluate_into, index] { evaluate_into(index); });
+    }
+    pool.WaitIdle();
+  }
   progress.Done();
+
+  GridSearchResult result;
+  result.cells.reserve(grid.size());
+  for (Result<GridSearchCell>& cell_result : cell_results) {
+    CHURNLAB_RETURN_NOT_OK(cell_result.status());
+    const GridSearchCell& cell = cell_result.ValueOrDie();
+    CHURNLAB_LOG(Debug) << "grid cell w=" << cell.window_span_months
+                        << " alpha=" << cell.alpha
+                        << " auroc=" << cell.mean_auroc << " +- "
+                        << cell.std_auroc;
+    result.cells.push_back(cell);
+  }
 
   result.best = result.cells.front();
   for (const GridSearchCell& cell : result.cells) {

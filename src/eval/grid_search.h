@@ -24,6 +24,10 @@ struct GridSearchOptions {
   int32_t onset_month = 18;
   int32_t objective_horizon_months = 6;
   retail::Granularity granularity = retail::Granularity::kSegment;
+  /// Worker threads evaluating grid cells (one cell per task; 1 =
+  /// sequential). Results are byte-identical for any thread count: each
+  /// cell is computed independently and collected in grid order.
+  size_t num_threads = 1;
 };
 
 /// One grid cell's cross-validated objective.

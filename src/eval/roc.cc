@@ -1,6 +1,7 @@
 #include "eval/roc.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/macros.h"
@@ -18,6 +19,16 @@ Status ValidateInput(const std::vector<double>& scores,
   }
   if (scores.empty()) {
     return Status::InvalidArgument("empty input");
+  }
+  // NaN scores would make the ranking comparators' ordering unspecified
+  // and the returned AUROC garbage; infinities rank deterministically but
+  // are always a bug upstream. Reject both.
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (!std::isfinite(scores[i])) {
+      return Status::InvalidArgument(
+          "score at index " + std::to_string(i) + " is not finite (" +
+          std::to_string(scores[i]) + "); AUROC is undefined on NaN/inf");
+    }
   }
   size_t positives = 0;
   for (const int label : labels) {

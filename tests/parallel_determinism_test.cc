@@ -1,0 +1,131 @@
+// Multi-threaded evaluation must be bitwise identical to single-threaded:
+// grid search cells, the Figure 1 experiment (per-window AUROC + bootstrap
+// intervals), and the bootstrap itself are all compared with exact
+// double equality between --threads 1 and --threads 4 runs.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/scenario.h"
+#include "eval/bootstrap.h"
+#include "eval/experiment.h"
+#include "eval/grid_search.h"
+
+namespace churnlab {
+namespace eval {
+namespace {
+
+retail::Dataset MakeDataset() {
+  datagen::PaperScenarioConfig config;
+  config.population.num_loyal = 80;
+  config.population.num_defecting = 80;
+  config.seed = 77;
+  return datagen::MakePaperDataset(config).ValueOrDie();
+}
+
+TEST(ParallelDeterminism, GridSearchCellsBitwiseEqual) {
+  const retail::Dataset dataset = MakeDataset();
+  GridSearchOptions options;
+  options.window_spans_months = {1, 2};
+  options.alphas = {1.5, 2.0, 3.0};
+  options.folds = 3;
+  options.num_threads = 1;
+  const GridSearchResult sequential =
+      StabilityGridSearch::Run(dataset, options).ValueOrDie();
+  options.num_threads = 4;
+  const GridSearchResult parallel =
+      StabilityGridSearch::Run(dataset, options).ValueOrDie();
+
+  ASSERT_EQ(sequential.cells.size(), parallel.cells.size());
+  for (size_t i = 0; i < sequential.cells.size(); ++i) {
+    EXPECT_EQ(sequential.cells[i].window_span_months,
+              parallel.cells[i].window_span_months);
+    EXPECT_EQ(sequential.cells[i].alpha, parallel.cells[i].alpha);
+    // Exact equality, not NEAR: the cells must not depend on scheduling.
+    EXPECT_EQ(sequential.cells[i].mean_auroc, parallel.cells[i].mean_auroc);
+    EXPECT_EQ(sequential.cells[i].std_auroc, parallel.cells[i].std_auroc);
+  }
+  EXPECT_EQ(sequential.best.window_span_months,
+            parallel.best.window_span_months);
+  EXPECT_EQ(sequential.best.alpha, parallel.best.alpha);
+  EXPECT_EQ(sequential.best.mean_auroc, parallel.best.mean_auroc);
+}
+
+TEST(ParallelDeterminism, Figure1RowsBitwiseEqual) {
+  const retail::Dataset dataset = MakeDataset();
+  Figure1Options options;
+  options.bootstrap_resamples = 60;
+  options.num_threads = 1;
+  const Figure1Result sequential =
+      ExperimentRunner::RunFigure1OnDataset(dataset, options).ValueOrDie();
+  options.num_threads = 4;
+  options.stability.num_threads = 4;  // model scoring sweep too
+  const Figure1Result parallel =
+      ExperimentRunner::RunFigure1OnDataset(dataset, options).ValueOrDie();
+
+  ASSERT_EQ(sequential.rows.size(), parallel.rows.size());
+  ASSERT_FALSE(sequential.rows.empty());
+  for (size_t i = 0; i < sequential.rows.size(); ++i) {
+    EXPECT_EQ(sequential.rows[i].report_month, parallel.rows[i].report_month);
+    EXPECT_EQ(sequential.rows[i].stability_auroc,
+              parallel.rows[i].stability_auroc);
+    EXPECT_EQ(sequential.rows[i].rfm_auroc, parallel.rows[i].rfm_auroc);
+    EXPECT_EQ(sequential.rows[i].stability_auroc_lower,
+              parallel.rows[i].stability_auroc_lower);
+    EXPECT_EQ(sequential.rows[i].stability_auroc_upper,
+              parallel.rows[i].stability_auroc_upper);
+  }
+}
+
+TEST(ParallelDeterminism, BootstrapIntervalBitwiseEqual) {
+  Rng rng(19);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 300; ++i) {
+    const int label = rng.Bernoulli(0.4) ? 1 : 0;
+    scores.push_back(rng.Normal(label * -0.8, 1.0));
+    labels.push_back(label);
+  }
+  BootstrapOptions options;
+  options.resamples = 500;
+  options.num_threads = 1;
+  const ConfidenceInterval sequential =
+      BootstrapAuroc(scores, labels, ScoreOrientation::kLowerIsPositive,
+                     options)
+          .ValueOrDie();
+  options.num_threads = 4;
+  const ConfidenceInterval parallel =
+      BootstrapAuroc(scores, labels, ScoreOrientation::kLowerIsPositive,
+                     options)
+          .ValueOrDie();
+  EXPECT_EQ(sequential.estimate, parallel.estimate);
+  EXPECT_EQ(sequential.lower, parallel.lower);
+  EXPECT_EQ(sequential.upper, parallel.upper);
+}
+
+TEST(ParallelDeterminism, AurocPerWindowBitwiseEqual) {
+  const retail::Dataset dataset = MakeDataset();
+  const Figure1Options defaults;
+  const auto model =
+      core::StabilityModel::Make(defaults.stability).ValueOrDie();
+  const auto scores = model.ScoreDataset(dataset).ValueOrDie();
+  const auto sequential =
+      AurocPerWindow(dataset, scores, ScoreOrientation::kLowerIsPositive, 2,
+                     1)
+          .ValueOrDie();
+  const auto parallel =
+      AurocPerWindow(dataset, scores, ScoreOrientation::kLowerIsPositive, 2,
+                     4)
+          .ValueOrDie();
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].window, parallel[i].window);
+    EXPECT_EQ(sequential[i].auroc, parallel[i].auroc);
+  }
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace churnlab

@@ -1,6 +1,7 @@
 #include "eval/roc.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -82,6 +83,30 @@ TEST(Auroc, ValidationErrors) {
   EXPECT_FALSE(Auroc({0.5, 0.6}, {1, 1}, kHigher).ok());  // one class
   EXPECT_FALSE(Auroc({0.5, 0.6}, {0, 0}, kHigher).ok());
   EXPECT_FALSE(Auroc({0.5, 0.6}, {0, 2}, kHigher).ok());
+}
+
+TEST(Auroc, RejectsNonFiniteScores) {
+  // Regression: a NaN compares false with everything, so the ranking pass
+  // used to silently count NaN-vs-anything pairs as ties and return a
+  // plausible-looking value instead of failing.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const auto with_nan = Auroc({0.9, nan, 0.2, 0.1}, {1, 1, 0, 0}, kHigher);
+  EXPECT_TRUE(with_nan.status().IsInvalidArgument())
+      << with_nan.status().ToString();
+  EXPECT_TRUE(
+      Auroc({0.9, inf, 0.2, 0.1}, {1, 1, 0, 0}, kHigher).status()
+          .IsInvalidArgument());
+  EXPECT_TRUE(
+      Auroc({0.9, -inf, 0.2, 0.1}, {1, 1, 0, 0}, kHigher).status()
+          .IsInvalidArgument());
+}
+
+TEST(RocCurve, RejectsNonFiniteScores) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(
+      RocCurve({nan, 0.5, 0.2, 0.1}, {1, 1, 0, 0}, kHigher).status()
+          .IsInvalidArgument());
 }
 
 TEST(RocCurve, EndpointsAndMonotonicity) {

@@ -91,6 +91,24 @@ TEST(ScoreMatrix, LoadCsvRejectsRaggedRows) {
   std::remove(path.c_str());
 }
 
+TEST(ScoreMatrix, LoadCsvRejectsDuplicateCustomer) {
+  // Regression: the row index keeps the first mapping per id, so a repeated
+  // customer used to load "successfully" while ScoreOf served the stale
+  // first row for every later duplicate.
+  const std::string path = testing::TempDir() + "/churnlab_scores_dup.csv";
+  {
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    std::fputs("customer,w0\n1,0.5\n2,0.25\n1,0.75\n", file);
+    std::fclose(file);
+  }
+  const auto loaded = ScoreMatrix::LoadCsv(path);
+  EXPECT_TRUE(loaded.status().IsInvalidArgument())
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().ToString().find("repeats customer 1"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST(ScoreMatrix, LoadCsvMissingFileFails) {
   EXPECT_TRUE(
       ScoreMatrix::LoadCsv("/nonexistent/scores.csv").status().IsIOError());

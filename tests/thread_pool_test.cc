@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -55,6 +57,67 @@ TEST(ThreadPool, DestructorJoinsCleanly) {
     pool.WaitIdle();
   }  // destructor joins workers
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsTaskException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.WaitIdle(), std::runtime_error);
+}
+
+TEST(ThreadPool, FirstExceptionWinsAndOtherTasksStillRun) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  try {
+    pool.WaitIdle();
+    FAIL() << "WaitIdle did not rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_EQ(std::string(error.what()), "boom");
+  }
+  // A throwing task must not leave in_flight_ dangling: every queued task
+  // still runs and the pool reaches idle.
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, PoolIsReusableAfterException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("first"); });
+  EXPECT_THROW(pool.WaitIdle(), std::runtime_error);
+  // The exception slot is cleared on rethrow; subsequent batches run clean.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, DestructorSwallowsUnretrievedException) {
+  {
+    ThreadPool pool(2);
+    pool.Submit([] { throw std::runtime_error("never retrieved"); });
+  }  // must not terminate
+  SUCCEED();
+}
+
+TEST(ParallelFor, RethrowsBodyException) {
+  EXPECT_THROW(
+      ParallelFor(0, 100, 4,
+                  [](size_t i) {
+                    if (i == 57) throw std::runtime_error("body failed");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, InlineExecutionRethrows) {
+  // num_threads == 1 runs inline; the exception must propagate unchanged.
+  EXPECT_THROW(
+      ParallelFor(0, 10, 1, [](size_t) { throw std::logic_error("inline"); }),
+      std::logic_error);
 }
 
 TEST(ParallelFor, CoversRangeExactlyOnce) {

@@ -96,11 +96,14 @@ Status RunScore(int argc, const char* const* argv) {
   std::string data, out;
   double alpha;
   int64_t window;
+  uint64_t threads;
   bool products;
   parser.AddString("data", "", "dataset path (.clb) or CSV prefix", &data);
   parser.AddString("out", "", "output CSV (stdout summary if empty)", &out);
   parser.AddDouble("alpha", 2.0, "significance alpha", &alpha);
   parser.AddInt64("window", 2, "window span in months", &window);
+  parser.AddUint64("threads", 1, "worker threads (same output for any count)",
+                   &threads);
   parser.AddBool("products", false,
                  "observe raw products instead of taxonomy segments",
                  &products);
@@ -110,6 +113,7 @@ Status RunScore(int argc, const char* const* argv) {
   core::StabilityModelOptions options;
   options.significance.alpha = alpha;
   options.window_span_months = static_cast<int32_t>(window);
+  options.num_threads = static_cast<size_t>(threads);
   options.granularity = products ? retail::Granularity::kProduct
                                  : retail::Granularity::kSegment;
   CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel model,
@@ -208,20 +212,25 @@ Status RunEvaluate(int argc, const char* const* argv) {
   std::string data;
   double alpha;
   int64_t window, first_month, last_month;
+  uint64_t threads;
   parser.AddString("data", "", "dataset path (.clb) or CSV prefix", &data);
   parser.AddDouble("alpha", 2.0, "significance alpha", &alpha);
   parser.AddInt64("window", 2, "window span in months", &window);
   parser.AddInt64("first_month", 2, "first report month", &first_month);
   parser.AddInt64("last_month", 1000, "last report month", &last_month);
+  parser.AddUint64("threads", 1, "worker threads (same output for any count)",
+                   &threads);
   CHURNLAB_RETURN_NOT_OK(parser.Parse(argc, argv, 2));
   CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset, LoadDataset(data));
 
   eval::Figure1Options options;
   options.stability.significance.alpha = alpha;
   options.stability.window_span_months = static_cast<int32_t>(window);
+  options.stability.num_threads = static_cast<size_t>(threads);
   options.rfm.features.window_span_months = static_cast<int32_t>(window);
   options.first_report_month = static_cast<int32_t>(first_month);
   options.last_report_month = static_cast<int32_t>(last_month);
+  options.num_threads = static_cast<size_t>(threads);
   CHURNLAB_ASSIGN_OR_RETURN(
       const eval::Figure1Result result,
       eval::ExperimentRunner::RunFigure1OnDataset(dataset, options));
@@ -275,14 +284,18 @@ Status RunGridSearch(int argc, const char* const* argv) {
       "churnlab gridsearch: 5-fold CV over (window span, alpha)");
   std::string data;
   int64_t onset;
+  uint64_t threads;
   parser.AddString("data", "", "dataset path (.clb) or CSV prefix", &data);
   parser.AddInt64("onset", 18, "attrition onset month (objective anchor)",
                   &onset);
+  parser.AddUint64("threads", 1, "worker threads (same output for any count)",
+                   &threads);
   CHURNLAB_RETURN_NOT_OK(parser.Parse(argc, argv, 2));
   CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset, LoadDataset(data));
 
   eval::GridSearchOptions options;
   options.onset_month = static_cast<int32_t>(onset);
+  options.num_threads = static_cast<size_t>(threads);
   CHURNLAB_ASSIGN_OR_RETURN(const eval::GridSearchResult result,
                             eval::StabilityGridSearch::Run(dataset, options));
   eval::TextTable table({"window (months)", "alpha", "mean AUROC", "std"});
