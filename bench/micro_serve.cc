@@ -1,0 +1,184 @@
+// Microbenchmarks of the serving subsystem: batched fleet ingestion
+// (batch-size and shard-count sweeps), end-of-stream flush, and snapshot
+// save/restore.
+//
+// Note on threads: results are byte-identical for any thread count by
+// design, so the sweeps here vary shards and batch size; run with more
+// threads on a multi-core box to measure fan-out speedup.
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/binary_io.h"
+#include "datagen/scenario.h"
+#include "retail/dataset.h"
+#include "serve/fleet.h"
+#include "serve/state_store.h"
+
+namespace churnlab {
+namespace {
+
+const retail::Dataset& BenchDataset() {
+  static const retail::Dataset* dataset = [] {
+    datagen::PaperScenarioConfig config;
+    config.population.num_loyal = 100;
+    config.population.num_defecting = 100;
+    config.seed = 31;
+    auto result = datagen::MakePaperDataset(config);
+    result.status().Abort("bench dataset");
+    return new retail::Dataset(std::move(result).ValueOrDie());
+  }();
+  return *dataset;
+}
+
+// The dataset as a production stream: day-ordered, per-customer
+// chronological.
+const std::vector<retail::Receipt>& BenchStream() {
+  static const std::vector<retail::Receipt>* stream = [] {
+    const auto all = BenchDataset().store().AllReceipts();
+    auto* replay = new std::vector<retail::Receipt>(all.begin(), all.end());
+    std::stable_sort(replay->begin(), replay->end(),
+                     [](const retail::Receipt& a, const retail::Receipt& b) {
+                       return a.day < b.day;
+                     });
+    return replay;
+  }();
+  return *stream;
+}
+
+serve::FleetOptions BenchOptions(size_t num_shards) {
+  serve::FleetOptions options;
+  options.scorer.window_span_days = 2 * retail::kDaysPerMonth;
+  options.num_shards = num_shards;
+  options.num_threads = 1;
+  return options;
+}
+
+// Replays the full stream in `batch_days`-day batches through a fresh
+// fleet; returns total alerts (kept live so nothing is optimized away).
+size_t ReplayOnce(size_t num_shards, retail::Day batch_days) {
+  auto fleet_result =
+      serve::ScoringFleet::Make(BenchOptions(num_shards),
+                                &BenchDataset().taxonomy());
+  fleet_result.status().Abort("fleet");
+  serve::ScoringFleet& fleet = fleet_result.ValueOrDie();
+  const std::vector<retail::Receipt>& replay = BenchStream();
+  size_t alerts = 0;
+  for (size_t begin = 0; begin < replay.size();) {
+    const retail::Day batch_end = replay[begin].day + batch_days;
+    size_t end = begin;
+    while (end < replay.size() && replay[end].day < batch_end) ++end;
+    auto report = fleet.IngestBatch(std::span<const retail::Receipt>(
+        replay.data() + begin, end - begin));
+    report.status().Abort("ingest");
+    alerts += report->alerts.size();
+    begin = end;
+  }
+  auto tail = fleet.FinishAll();
+  tail.status().Abort("finish");
+  return alerts + tail->alerts.size();
+}
+
+// Batch-size sweep at the default shard count: per-receipt overhead of the
+// batching machinery (partitioning, locking, report merging) shrinks as
+// batches grow.
+void BM_FleetIngestBatchDays(benchmark::State& state) {
+  const retail::Day batch_days = static_cast<retail::Day>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReplayOnce(16, batch_days));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(BenchStream().size()));
+}
+BENCHMARK(BM_FleetIngestBatchDays)
+    ->Arg(1)
+    ->Arg(7)
+    ->Arg(30)
+    ->Unit(benchmark::kMillisecond);
+
+// Shard-count sweep at weekly batches: measures sharding overhead (hash,
+// partition, per-shard lock) single-threaded; on multi-core machines more
+// shards also unlock fan-out parallelism.
+void BM_FleetIngestShards(benchmark::State& state) {
+  const size_t num_shards = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReplayOnce(num_shards, 7));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(BenchStream().size()));
+}
+BENCHMARK(BM_FleetIngestShards)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+serve::ScoringFleet FedFleet() {
+  auto fleet_result = serve::ScoringFleet::Make(
+      BenchOptions(16), &BenchDataset().taxonomy());
+  fleet_result.status().Abort("fleet");
+  serve::ScoringFleet fleet = std::move(fleet_result).ValueOrDie();
+  auto report = fleet.IngestBatch(BenchStream());
+  report.status().Abort("ingest");
+  return fleet;
+}
+
+void BM_FleetSnapshotSave(benchmark::State& state) {
+  const serve::ScoringFleet fleet = FedFleet();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    BinaryWriter writer;
+    fleet.SaveSnapshot(&writer);
+    bytes = writer.buffer().size();
+    benchmark::DoNotOptimize(writer.buffer().data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+  state.counters["snapshot_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_FleetSnapshotSave);
+
+void BM_FleetSnapshotRestore(benchmark::State& state) {
+  BinaryWriter writer;
+  FedFleet().SaveSnapshot(&writer);
+  for (auto _ : state) {
+    BinaryReader reader(writer.buffer());
+    auto restored =
+        serve::ScoringFleet::Restore(&reader, &BenchDataset().taxonomy());
+    restored.status().Abort("restore");
+    benchmark::DoNotOptimize(restored->NumCustomers());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(writer.buffer().size()));
+}
+BENCHMARK(BM_FleetSnapshotRestore);
+
+// Raw store access path: hash + lock + slab lookup per touch.
+void BM_StateStoreGetOrCreate(benchmark::State& state) {
+  serve::StateStoreOptions options;
+  options.scorer.window_span_days = 60;
+  options.num_shards = 16;
+  auto store_result = serve::CustomerStateStore::Make(options);
+  store_result.status().Abort("store");
+  serve::CustomerStateStore& store = store_result.ValueOrDie();
+  const size_t kCustomers = 4096;
+  retail::CustomerId next = 0;
+  for (auto _ : state) {
+    const retail::CustomerId customer = next++ % kCustomers;
+    const size_t shard = store.ShardOf(customer);
+    store.WithShard(shard,
+                    [&](serve::CustomerStateStore::ShardAccessor& access) {
+                      benchmark::DoNotOptimize(
+                          &access.GetOrCreate(customer));
+                      return 0;
+                    });
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StateStoreGetOrCreate);
+
+}  // namespace
+}  // namespace churnlab

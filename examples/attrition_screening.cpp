@@ -13,33 +13,29 @@
 #include <cstdlib>
 #include <vector>
 
+#include "churnlab.h"
 #include "common/macros.h"
 #include "common/string_util.h"
-#include "core/stability_model.h"
-#include "datagen/scenario.h"
-#include "eval/metrics.h"
-#include "eval/report.h"
-#include "eval/threshold.h"
 
 namespace {
 
 churnlab::Status Run(size_t cohort_size, double beta) {
   using namespace churnlab;
 
-  datagen::PaperScenarioConfig scenario;
+  api::ScenarioConfig scenario;
   scenario.population.num_loyal = cohort_size;
   scenario.population.num_defecting = cohort_size;
   scenario.seed = 99;
-  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset,
-                            datagen::MakePaperDataset(scenario));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::Dataset dataset,
+                            api::MakeScenario(scenario));
 
-  core::StabilityModelOptions options;
+  api::ScorerOptions options;
   options.significance.alpha = 2.0;
   options.window_span_months = 2;
-  CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel model,
-                            core::StabilityModel::Make(options));
-  CHURNLAB_ASSIGN_OR_RETURN(const core::ScoreMatrix scores,
-                            model.ScoreDataset(dataset));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::ScorerHandle scorer,
+                            api::ScorerHandle::Make(options));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::ScoreMatrix scores,
+                            scorer.ScoreDataset(dataset));
   const int32_t last_window = scores.num_windows() - 1;
 
   // Rank ascending by current stability: least stable first.
@@ -50,19 +46,19 @@ churnlab::Status Run(size_t cohort_size, double beta) {
   });
 
   std::printf("=== At-risk customers (lowest current stability) ===\n\n");
-  eval::TextTable table({"rank", "customer", "stability", "ground truth",
+  api::TextTable table({"rank", "customer", "stability", "ground truth",
                          "recently lost significant products"});
   for (size_t rank = 0; rank < std::min<size_t>(15, ranking.size()); ++rank) {
     const size_t row = ranking[rank];
-    const retail::CustomerId customer = scores.customers()[row];
-    CHURNLAB_ASSIGN_OR_RETURN(const core::CustomerReport report,
-                              model.AnalyzeCustomer(dataset, customer));
+    const api::CustomerId customer = scores.customers()[row];
+    CHURNLAB_ASSIGN_OR_RETURN(const api::CustomerReport report,
+                              scorer.AnalyzeCustomer(dataset, customer));
     // Collect the newly-missing products of the last two windows.
     std::string lost;
     for (size_t w = report.windows.size() >= 2 ? report.windows.size() - 2
                                                : 0;
          w < report.windows.size(); ++w) {
-      for (const core::NamedMissingProduct& missing :
+      for (const api::NamedMissingProduct& missing :
            report.windows[w].missing) {
         if (!missing.newly_missing) continue;
         if (!lost.empty()) lost += ", ";
@@ -72,7 +68,7 @@ churnlab::Status Run(size_t cohort_size, double beta) {
     table.AddRow(
         {std::to_string(rank + 1), std::to_string(customer),
          FormatDouble(scores.At(row, last_window), 3),
-         std::string(retail::CohortToString(dataset.LabelOf(customer).cohort)),
+         std::string(api::CohortToString(dataset.LabelOf(customer).cohort)),
          lost.substr(0, 60)});
   }
   std::printf("%s", table.ToString().c_str());
@@ -82,20 +78,20 @@ churnlab::Status Run(size_t cohort_size, double beta) {
   std::vector<double> current_scores;
   std::vector<int> labels;
   for (size_t row = 0; row < scores.num_rows(); ++row) {
-    const retail::Cohort cohort =
+    const api::Cohort cohort =
         dataset.LabelOf(scores.customers()[row]).cohort;
-    if (cohort == retail::Cohort::kUnlabeled) continue;
+    if (cohort == api::Cohort::kUnlabeled) continue;
     current_scores.push_back(scores.At(row, last_window));
-    labels.push_back(cohort == retail::Cohort::kDefecting ? 1 : 0);
+    labels.push_back(cohort == api::Cohort::kDefecting ? 1 : 0);
   }
   CHURNLAB_ASSIGN_OR_RETURN(
-      const eval::ConfusionMatrix confusion,
-      eval::ConfusionAtThreshold(current_scores, labels, beta,
-                                 eval::ScoreOrientation::kLowerIsPositive));
+      const api::ConfusionMatrix confusion,
+      api::ConfusionAtThreshold(current_scores, labels, beta,
+                                 api::ScoreOrientation::kLowerIsPositive));
   CHURNLAB_ASSIGN_OR_RETURN(
       const double lift,
-      eval::LiftAtFraction(current_scores, labels, 0.10,
-                           eval::ScoreOrientation::kLowerIsPositive));
+      api::LiftAtFraction(current_scores, labels, 0.10,
+                           api::ScoreOrientation::kLowerIsPositive));
   std::printf("\nscreening at beta = %.2f: %s\n", beta,
               confusion.ToString().c_str());
   std::printf("precision %.3f, recall %.3f, F1 %.3f\n", confusion.Precision(),
@@ -105,17 +101,17 @@ churnlab::Status Run(size_t cohort_size, double beta) {
 
   // Data-driven alternatives to the hand-picked beta.
   CHURNLAB_ASSIGN_OR_RETURN(
-      const eval::OperatingPoint best_f1,
-      eval::SelectMaxF1(current_scores, labels,
-                        eval::ScoreOrientation::kLowerIsPositive));
+      const api::OperatingPoint best_f1,
+      api::SelectMaxF1(current_scores, labels,
+                        api::ScoreOrientation::kLowerIsPositive));
   std::printf("\nbeta maximising F1:           %.3f (precision %.3f, "
               "recall %.3f, F1 %.3f)\n",
               best_f1.threshold, best_f1.precision, best_f1.recall,
               best_f1.f1);
   CHURNLAB_ASSIGN_OR_RETURN(
-      const eval::OperatingPoint recall_target,
-      eval::SelectForRecall(current_scores, labels,
-                            eval::ScoreOrientation::kLowerIsPositive, 0.9));
+      const api::OperatingPoint recall_target,
+      api::SelectForRecall(current_scores, labels,
+                            api::ScoreOrientation::kLowerIsPositive, 0.9));
   std::printf("beta catching 90%% of churners: %.3f (precision %.3f, "
               "FPR %.3f)\n",
               recall_target.threshold, recall_target.precision,

@@ -8,22 +8,21 @@
 #include <filesystem>
 #include <string>
 
+#include "churnlab.h"
 #include "common/macros.h"
-#include "datagen/scenario.h"
-#include "retail/dataset.h"
 
 namespace {
 
 churnlab::Status Run(const std::string& directory) {
   using namespace churnlab;
 
-  datagen::PaperScenarioConfig scenario;
+  api::ScenarioConfig scenario;
   scenario.population.num_loyal = 100;
   scenario.population.num_defecting = 100;
   scenario.seed = 31;
-  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset,
-                            datagen::MakePaperDataset(scenario));
-  const retail::DatasetStats original = dataset.ComputeStats();
+  CHURNLAB_ASSIGN_OR_RETURN(const api::Dataset dataset,
+                            api::MakeScenario(scenario));
+  const api::DatasetStats original = dataset.ComputeStats();
 
   std::filesystem::create_directories(directory);
   const std::string csv_prefix = directory + "/corpus";
@@ -32,13 +31,13 @@ churnlab::Status Run(const std::string& directory) {
   CHURNLAB_RETURN_NOT_OK(dataset.SaveCsv(csv_prefix));
   CHURNLAB_RETURN_NOT_OK(dataset.SaveBinary(binary_path));
 
-  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset from_csv,
-                            retail::Dataset::LoadCsv(csv_prefix));
-  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset from_binary,
-                            retail::Dataset::LoadBinary(binary_path));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::Dataset from_csv,
+                            api::LoadDataset(csv_prefix));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::Dataset from_binary,
+                            api::LoadDataset(binary_path));
 
   const auto check = [&](const char* format,
-                         const retail::DatasetStats& loaded) -> Status {
+                         const api::DatasetStats& loaded) -> Status {
     if (loaded.num_customers != original.num_customers ||
         loaded.num_receipts != original.num_receipts ||
         loaded.num_distinct_items != original.num_distinct_items ||

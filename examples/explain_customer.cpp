@@ -11,34 +11,34 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "churnlab.h"
 #include "common/macros.h"
 #include "common/string_util.h"
-#include "core/stability_model.h"
-#include "datagen/scenario.h"
 
 namespace {
 
 churnlab::Status Run(int64_t requested_customer) {
   using namespace churnlab;
 
-  CHURNLAB_ASSIGN_OR_RETURN(const datagen::Figure2Scenario scenario,
-                            datagen::MakeFigure2Scenario());
-  const retail::CustomerId customer =
+  CHURNLAB_ASSIGN_OR_RETURN(const api::Figure2Scenario scenario,
+                            api::MakeFigure2Scenario());
+  const api::CustomerId customer =
       requested_customer >= 0
-          ? static_cast<retail::CustomerId>(requested_customer)
+          ? static_cast<api::CustomerId>(requested_customer)
           : scenario.customer;
 
-  core::StabilityModelOptions options;
+  api::ScorerOptions options;
   options.significance.alpha = 2.0;
   options.window_span_months = 2;
   options.explanation.top_k = 8;
-  CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel model,
-                            core::StabilityModel::Make(options));
-  CHURNLAB_ASSIGN_OR_RETURN(const core::CustomerReport report,
-                            model.AnalyzeCustomer(scenario.dataset, customer));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::ScorerHandle scorer,
+                            api::ScorerHandle::Make(options));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::CustomerReport report,
+                            scorer.AnalyzeCustomer(scenario.dataset,
+                                                   customer));
 
   std::printf("=== Stability walk-through for customer %u ===\n\n", customer);
-  for (const core::CustomerWindowReport& window : report.windows) {
+  for (const api::CustomerWindowReport& window : report.windows) {
     std::printf("months [%d, %d): stability %.3f", window.begin_month,
                 window.end_month, window.stability);
     if (window.drop_from_previous > 0.02) {
@@ -48,7 +48,7 @@ churnlab::Status Run(int64_t requested_customer) {
     if (window.num_receipts == 0) {
       std::printf("    no visits this window\n");
     }
-    for (const core::NamedMissingProduct& missing : window.missing) {
+    for (const api::NamedMissingProduct& missing : window.missing) {
       if (missing.significance_share < 0.01) continue;
       std::printf("    missing %-18s significance %-8s share %5.1f%%%s\n",
                   missing.name.c_str(),

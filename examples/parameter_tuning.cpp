@@ -7,10 +7,9 @@
 
 #include <cstdio>
 
+#include "churnlab.h"
 #include "common/macros.h"
 #include "common/string_util.h"
-#include "datagen/scenario.h"
-#include "eval/grid_search.h"
 
 namespace {
 
@@ -19,24 +18,26 @@ churnlab::Status Run() {
 
   // A modest synthetic corpus; substitute Dataset::LoadCsv / LoadBinary of
   // your own export here.
-  datagen::PaperScenarioConfig scenario;
+  api::ScenarioConfig scenario;
   scenario.population.num_loyal = 300;
   scenario.population.num_defecting = 300;
   scenario.seed = 7;
-  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset,
-                            datagen::MakePaperDataset(scenario));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::Dataset dataset,
+                            api::MakeScenario(scenario));
 
-  eval::GridSearchOptions options;
+  api::GridSearchOptions options;
   options.window_spans_months = {1, 2, 3};
   options.alphas = {1.5, 2.0, 3.0};
   options.folds = 5;
   options.onset_month = scenario.population.attrition.onset_month;
 
-  CHURNLAB_ASSIGN_OR_RETURN(const eval::GridSearchResult result,
-                            eval::StabilityGridSearch::Run(dataset, options));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::EvalRunner runner,
+                            api::EvalRunner::Make());
+  CHURNLAB_ASSIGN_OR_RETURN(const api::GridSearchResult result,
+                            runner.GridSearch(dataset, options));
   std::printf("grid search over %zu cells (5-fold CV):\n\n",
               result.cells.size());
-  for (const eval::GridSearchCell& cell : result.cells) {
+  for (const auto& cell : result.cells) {
     std::printf("  w=%d months, alpha=%.1f -> AUROC %.3f +- %.3f\n",
                 cell.window_span_months, cell.alpha, cell.mean_auroc,
                 cell.std_auroc);
@@ -44,7 +45,7 @@ churnlab::Status Run() {
   std::printf("\nselected: w=%d months, alpha=%.1f\n",
               result.best.window_span_months, result.best.alpha);
   std::printf("\nuse the selection like this:\n"
-              "  core::StabilityModelOptions options;\n"
+              "  churnlab::api::ScorerOptions options;\n"
               "  options.window_span_months = %d;\n"
               "  options.significance.alpha = %.1f;\n",
               result.best.window_span_months, result.best.alpha);

@@ -1,6 +1,6 @@
 // Quickstart: simulate a small retail population, score customer stability,
 // and explain one defecting customer's attrition — the full public API in
-// ~80 lines.
+// ~80 lines, all through the churnlab::api facade.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -8,11 +8,8 @@
 
 #include <cstdio>
 
+#include "churnlab.h"
 #include "common/macros.h"
-#include "core/stability_model.h"
-#include "datagen/scenario.h"
-#include "eval/experiment.h"
-#include "eval/roc.h"
 
 namespace {
 
@@ -21,41 +18,42 @@ churnlab::Status Run() {
 
   // 1. Simulate a small market: 400 loyal + 400 defecting customers over 28
   //    months, attrition starting around month 18 (the paper's setting).
-  datagen::PaperScenarioConfig scenario;
+  api::ScenarioConfig scenario;
   scenario.population.num_loyal = 400;
   scenario.population.num_defecting = 400;
   scenario.seed = 2024;
-  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset,
-                            datagen::MakePaperDataset(scenario));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::Dataset dataset,
+                            api::MakeScenario(scenario));
   std::printf("--- dataset ---\n%s\n",
               dataset.ComputeStats().ToString().c_str());
 
   // 2. Score every customer's stability (alpha = 2, 2-month windows,
   //    segment granularity — the paper's cross-validated parameters).
-  core::StabilityModelOptions options;
+  api::ScorerOptions options;
   options.significance.alpha = 2.0;
   options.window_span_months = 2;
-  CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel model,
-                            core::StabilityModel::Make(options));
-  CHURNLAB_ASSIGN_OR_RETURN(const core::ScoreMatrix scores,
-                            model.ScoreDataset(dataset));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::ScorerHandle scorer,
+                            api::ScorerHandle::Make(options));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::ScoreMatrix scores,
+                            scorer.ScoreDataset(dataset));
 
   // 3. How well does stability separate the cohorts at each window?
   CHURNLAB_ASSIGN_OR_RETURN(
       const auto auroc_series,
-      eval::AurocPerWindow(dataset, scores,
-                           eval::ScoreOrientation::kLowerIsPositive,
-                           options.window_span_months));
+      api::AurocPerWindow(dataset, scores,
+                          api::ScoreOrientation::kLowerIsPositive,
+                          options.window_span_months));
   std::printf("--- detection AUROC by month ---\n");
-  for (const eval::WindowAuroc& point : auroc_series) {
+  for (const api::WindowAuroc& point : auroc_series) {
     std::printf("  month %2d: %.3f\n", point.report_month, point.auroc);
   }
 
   // 4. Explain one defecting customer: which habitual products disappeared,
   //    window by window.
-  const auto defectors = dataset.CustomersWithCohort(retail::Cohort::kDefecting);
-  CHURNLAB_ASSIGN_OR_RETURN(const core::CustomerReport report,
-                            model.AnalyzeCustomer(dataset, defectors.front()));
+  const auto defectors = dataset.CustomersWithCohort(api::Cohort::kDefecting);
+  CHURNLAB_ASSIGN_OR_RETURN(const api::CustomerReport report,
+                            scorer.AnalyzeCustomer(dataset,
+                                                   defectors.front()));
   std::printf("\n--- explanation for a defecting customer ---\n%s",
               report.ToString().c_str());
   return churnlab::Status::OK();

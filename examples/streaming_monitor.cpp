@@ -1,98 +1,101 @@
 // Streaming monitoring: the production deployment pattern.
 //
-// Receipts arrive one at a time (here: replayed from a simulated dataset);
-// each customer has a StabilityMonitor that scores windows as they close
-// and raises debounced alerts when stability crosses the beta threshold or
-// drops sharply. The example replays a small population and prints the
-// alert log with ground truth alongside.
+// Receipts arrive in day-ordered batches (here: replayed from a simulated
+// dataset, one week per batch) and flow into a sharded scoring fleet. Each
+// customer's monitor scores windows as they close and raises debounced
+// alerts when stability crosses the beta threshold or drops sharply. The
+// example replays a small population and prints the alert log with ground
+// truth alongside.
 //
 // Usage: streaming_monitor [beta]
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <set>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "churnlab.h"
 #include "common/macros.h"
-#include "core/monitor.h"
-#include "core/symbol_mapper.h"
-#include "datagen/scenario.h"
 
 namespace {
 
 churnlab::Status Run(double beta) {
   using namespace churnlab;
 
-  datagen::PaperScenarioConfig scenario;
+  api::ScenarioConfig scenario;
   scenario.population.num_loyal = 60;
   scenario.population.num_defecting = 60;
   scenario.seed = 17;
-  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset,
-                            datagen::MakePaperDataset(scenario));
-  CHURNLAB_ASSIGN_OR_RETURN(
-      const core::SymbolMapper mapper,
-      core::SymbolMapper::Make(retail::Granularity::kSegment,
-                               &dataset.taxonomy()));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::Dataset dataset,
+                            api::MakeScenario(scenario));
 
-  core::OnlineStabilityScorer::Options scorer_options;
-  scorer_options.significance.alpha = 2.0;
-  scorer_options.window_span_days = 2 * retail::kDaysPerMonth;
+  api::FleetOptions options;
+  options.scorer.significance.alpha = 2.0;
+  options.scorer.window_span_days = 2 * api::kDaysPerMonth;
+  options.policy.beta = beta;
+  options.policy.consecutive_windows = 1;
+  options.policy.drop_threshold = 0.35;
+  options.policy.warmup_windows = 2;
+  options.num_shards = 8;
+  CHURNLAB_ASSIGN_OR_RETURN(api::FleetHandle fleet,
+                            api::FleetHandle::Make(options, dataset));
 
-  core::MonitorPolicy policy;
-  policy.beta = beta;
-  policy.consecutive_windows = 1;
-  policy.drop_threshold = 0.35;
-  policy.warmup_windows = 2;
+  // Replay the dataset as a production stream: receipts sorted by day,
+  // ingested one week per batch. (AllReceipts is (customer, day)-sorted;
+  // the stable sort keeps each customer's receipts chronological.)
+  const std::span<const api::Receipt> all = dataset.store().AllReceipts();
+  std::vector<api::Receipt> replay(all.begin(), all.end());
+  std::stable_sort(replay.begin(), replay.end(),
+                   [](const api::Receipt& a, const api::Receipt& b) {
+                     return a.day < b.day;
+                   });
 
-  // One monitor per customer; receipts replayed per customer in order
-  // (a real deployment would key a receipt stream by customer id).
   size_t alerts_on_defectors = 0;
   size_t alerts_on_loyal = 0;
-  size_t alerted_defectors = 0;
+  std::set<api::CustomerId> alerted_defectors;
   std::vector<std::string> sample_log;
-
-  for (const retail::CustomerId customer : dataset.store().Customers()) {
-    CHURNLAB_ASSIGN_OR_RETURN(
-        core::StabilityMonitor monitor,
-        core::StabilityMonitor::Make(scorer_options, policy));
-    bool alerted = false;
-    for (const retail::Receipt& receipt : dataset.store().History(customer)) {
-      std::vector<core::Symbol> symbols;
-      symbols.reserve(receipt.items.size());
-      for (const retail::ItemId item : receipt.items) {
-        symbols.push_back(mapper.Map(item));
-      }
-      std::sort(symbols.begin(), symbols.end());
-      CHURNLAB_ASSIGN_OR_RETURN(const auto alerts,
-                                monitor.Observe(receipt.day, symbols));
-      for (const core::StabilityAlert& alert : alerts) {
-        const retail::Cohort cohort = dataset.LabelOf(customer).cohort;
-        if (cohort == retail::Cohort::kDefecting) {
-          ++alerts_on_defectors;
-          alerted = true;
-        } else {
-          ++alerts_on_loyal;
-        }
-        if (sample_log.size() < 12) {
-          sample_log.push_back(
-              "customer " + std::to_string(customer) + " (" +
-              std::string(retail::CohortToString(cohort)) + "): " +
-              alert.ToString());
-        }
-      }
+  const auto record = [&](const api::FleetAlert& fleet_alert) {
+    const api::Cohort cohort = dataset.LabelOf(fleet_alert.customer).cohort;
+    if (cohort == api::Cohort::kDefecting) {
+      ++alerts_on_defectors;
+      alerted_defectors.insert(fleet_alert.customer);
+    } else {
+      ++alerts_on_loyal;
     }
-    if (alerted) ++alerted_defectors;
-  }
+    if (sample_log.size() < 12) {
+      sample_log.push_back("customer " + std::to_string(fleet_alert.customer) +
+                           " (" + std::string(api::CohortToString(cohort)) +
+                           "): " + fleet_alert.alert.ToString());
+    }
+  };
 
-  std::printf("=== Streaming monitor replay (beta = %.2f) ===\n\n", beta);
+  for (size_t begin = 0; begin < replay.size();) {
+    const api::Day batch_end = replay[begin].day + 7;
+    size_t end = begin;
+    while (end < replay.size() && replay[end].day < batch_end) ++end;
+    CHURNLAB_ASSIGN_OR_RETURN(
+        const api::BatchReport report,
+        fleet.IngestBatch(std::span<const api::Receipt>(
+            replay.data() + begin, end - begin)));
+    for (const api::FleetAlert& alert : report.alerts) record(alert);
+    begin = end;
+  }
+  // End of stream: flush every customer's in-progress window.
+  CHURNLAB_ASSIGN_OR_RETURN(const api::BatchReport tail, fleet.FinishAll());
+  for (const api::FleetAlert& alert : tail.alerts) record(alert);
+
+  std::printf("=== Streaming fleet replay (beta = %.2f, %zu customers) ===\n\n",
+              beta, fleet.NumCustomers());
   for (const std::string& line : sample_log) {
     std::printf("  %s\n", line.c_str());
   }
   std::printf("  ...\n\n");
   std::printf("alerts on defecting customers: %zu (%zu of 60 defectors "
               "flagged)\n",
-              alerts_on_defectors, alerted_defectors);
+              alerts_on_defectors, alerted_defectors.size());
   std::printf("alerts on loyal customers:     %zu (false alarms)\n",
               alerts_on_loyal);
   return Status::OK();

@@ -21,9 +21,10 @@ JOBS=$(nproc 2>/dev/null || echo 2)
 # build small.
 TARGETS=(thread_pool_test significance_test significance_equivalence_test
          stability_test stability_model_test online_scorer_test
-         grid_search_test bootstrap_test parallel_determinism_test)
+         grid_search_test bootstrap_test parallel_determinism_test
+         serve_test serve_determinism_test facade_test)
 # gtest registers tests by suite name, so filter on those.
-TEST_FILTER='ThreadPool|ParallelFor|Significance|Stability|OnlineScorer|GridSearch|Bootstrap|ParallelDeterminism'
+TEST_FILTER='ThreadPool|ParallelFor|Significance|Stability|OnlineScorer|GridSearch|Bootstrap|ParallelDeterminism|CustomerStateStore|ScoringFleet|FleetSnapshot|ServeDeterminism|Facade'
 
 for sanitizer in "${SANITIZERS[@]}"; do
   build_dir="build-${sanitizer}san"

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the serving-subsystem microbenchmarks (batch-size and shard-count
+# ingestion sweeps, snapshot save/restore) and writes BENCH_micro_serve.json
+# at the repo root (schema: docs/OBSERVABILITY.md).
+#
+# Results are byte-identical for any thread count by design, so the suite
+# sweeps shards and batch sizes; rerun on a multi-core box to see fan-out
+# speedup on the shard sweep.
+#
+# Usage: scripts/run_serve_bench.sh [build_dir] [out_dir]
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT_DIR=${2:-.}
+mkdir -p "${OUT_DIR}"
+
+BENCH="${BUILD_DIR}/bench/micro_serve"
+if [[ ! -x "${BENCH}" ]]; then
+  echo "micro_serve not found; run:" >&2
+  echo "  cmake -B ${BUILD_DIR} -G Ninja && cmake --build ${BUILD_DIR} --target micro_serve" >&2
+  exit 1
+fi
+
+OUT="${OUT_DIR}/BENCH_micro_serve.json"
+"${BENCH}" --benchmark_min_time=0.1 --metrics-out="${OUT}"
+echo "wrote ${OUT}"

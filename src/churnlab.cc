@@ -1,0 +1,128 @@
+#include "churnlab.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace churnlab {
+namespace api {
+
+Result<Dataset> LoadDataset(const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("dataset path is empty");
+  }
+  if (EndsWith(path, ".clb")) return retail::Dataset::LoadBinary(path);
+  return retail::Dataset::LoadCsv(path);
+}
+
+Result<Dataset> MakeScenario(const ScenarioConfig& config) {
+  return datagen::MakePaperDataset(config);
+}
+
+Result<Figure2Scenario> MakeFigure2Scenario() {
+  return datagen::MakeFigure2Scenario();
+}
+
+// ---------------------------------------------------------------------------
+// ScorerHandle
+// ---------------------------------------------------------------------------
+
+Result<ScorerHandle> ScorerHandle::Make(ScorerOptions options) {
+  CHURNLAB_ASSIGN_OR_RETURN(core::StabilityModel model,
+                            core::StabilityModel::Make(std::move(options)));
+  return ScorerHandle(std::move(model));
+}
+
+Result<ScoreMatrix> ScorerHandle::ScoreDataset(const Dataset& dataset) const {
+  return model_.ScoreDataset(dataset);
+}
+
+Result<StabilitySeries> ScorerHandle::ScoreCustomer(
+    const Dataset& dataset, CustomerId customer) const {
+  return model_.ScoreCustomer(dataset, customer);
+}
+
+Result<CustomerReport> ScorerHandle::AnalyzeCustomer(
+    const Dataset& dataset, CustomerId customer) const {
+  return model_.AnalyzeCustomer(dataset, customer);
+}
+
+Result<SignificanceProfile> ScorerHandle::ProfileCustomer(
+    const Dataset& dataset, CustomerId customer, int32_t window) const {
+  return model_.ProfileCustomer(dataset, customer, window);
+}
+
+// ---------------------------------------------------------------------------
+// FleetHandle
+// ---------------------------------------------------------------------------
+
+Result<FleetHandle> FleetHandle::Make(FleetOptions options,
+                                      const Dataset& dataset) {
+  CHURNLAB_ASSIGN_OR_RETURN(
+      serve::ScoringFleet fleet,
+      serve::ScoringFleet::Make(std::move(options), &dataset.taxonomy()));
+  return FleetHandle(std::move(fleet));
+}
+
+Result<BatchReport> FleetHandle::IngestBatch(
+    std::span<const Receipt> receipts) {
+  return fleet_.IngestBatch(receipts);
+}
+
+Result<BatchReport> FleetHandle::AdvanceAllTo(Day day) {
+  return fleet_.AdvanceAllTo(day);
+}
+
+Result<BatchReport> FleetHandle::FinishAll() { return fleet_.FinishAll(); }
+
+Status FleetHandle::SaveSnapshot(const std::string& path) const {
+  return fleet_.SaveSnapshotToFile(path);
+}
+
+Result<FleetHandle> FleetHandle::Restore(const std::string& path,
+                                         const Dataset& dataset,
+                                         size_t num_threads) {
+  CHURNLAB_ASSIGN_OR_RETURN(
+      serve::ScoringFleet fleet,
+      serve::ScoringFleet::RestoreFromFile(path, &dataset.taxonomy(),
+                                           num_threads));
+  return FleetHandle(std::move(fleet));
+}
+
+// ---------------------------------------------------------------------------
+// EvalRunner
+// ---------------------------------------------------------------------------
+
+Result<EvalRunner> EvalRunner::Make(EvalRunnerOptions options) {
+  if (options.num_threads == 0) options.num_threads = 1;
+  return EvalRunner(options);
+}
+
+Result<Figure1Result> EvalRunner::Figure1(const Dataset& dataset,
+                                          Figure1Options options) const {
+  options.num_threads = options_.num_threads;
+  CHURNLAB_ASSIGN_OR_RETURN(const eval::ExperimentRunner runner,
+                            eval::ExperimentRunner::Make(std::move(options)));
+  return runner.RunOnDataset(dataset);
+}
+
+Result<ForecastResult> EvalRunner::Forecast(const Dataset& dataset,
+                                            ForecastOptions options) const {
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const eval::StabilityForecaster forecaster,
+      eval::StabilityForecaster::Make(std::move(options)));
+  return forecaster.Run(dataset);
+}
+
+Result<GridSearchResult> EvalRunner::GridSearch(
+    const Dataset& dataset, GridSearchOptions options) const {
+  options.num_threads = options_.num_threads;
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const eval::StabilityGridSearch search,
+      eval::StabilityGridSearch::Make(std::move(options)));
+  return search.Run(dataset);
+}
+
+}  // namespace api
+}  // namespace churnlab

@@ -1,0 +1,234 @@
+#ifndef CHURNLAB_CHURNLAB_H_
+#define CHURNLAB_CHURNLAB_H_
+
+/// \file
+/// \brief The churnlab::api facade — the single header applications
+/// include.
+///
+/// Everything an application needs sits behind three handles plus a few
+/// data helpers (docs/API.md walks through each):
+///
+///   - ScorerHandle: batch scoring and per-customer explanation (wraps the
+///     core stability model).
+///   - FleetHandle: streaming multi-customer serving — sharded state,
+///     batched ingestion, alerts, snapshot/restore (wraps src/serve/).
+///   - EvalRunner: the paper's evaluations — Figure 1, grid search,
+///     forecasting (wraps src/eval/).
+///
+/// Construction follows the library-wide `static Result<T> Make(Options)`
+/// convention: options are validated eagerly and errors surface as Status,
+/// never as exceptions or NaNs. Option and result structs are re-exported
+/// here under churnlab::api so facade users need no subsystem includes.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/result.h"
+#include "core/stability_model.h"
+#include "datagen/scenario.h"
+#include "eval/experiment.h"
+#include "eval/forecaster.h"
+#include "eval/grid_search.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "eval/threshold.h"
+#include "retail/dataset.h"
+#include "serve/fleet.h"
+
+namespace churnlab {
+namespace api {
+
+// ---------------------------------------------------------------------------
+// Data: datasets and synthetic scenarios
+// ---------------------------------------------------------------------------
+
+using retail::Cohort;
+using retail::CohortToString;
+using retail::CustomerId;
+using retail::Day;
+using retail::Granularity;
+using retail::ItemId;
+using retail::kDaysPerMonth;
+using retail::Receipt;
+
+using Dataset = retail::Dataset;
+using DatasetStats = retail::DatasetStats;
+using ScenarioConfig = datagen::PaperScenarioConfig;
+
+/// Loads a dataset by path: `*.clb` is the binary format, anything else is
+/// treated as a CSV prefix (`<prefix>.receipts.csv` etc.).
+Result<Dataset> LoadDataset(const std::string& path);
+
+/// Generates the paper's synthetic scenario (loyal + defecting cohorts).
+Result<Dataset> MakeScenario(const ScenarioConfig& config);
+
+/// The scripted Figure-2 customer (coffee lost at month 20; milk, sponge
+/// and cheese at month 22) embedded in a small population.
+using Figure2Scenario = datagen::Figure2Scenario;
+Result<Figure2Scenario> MakeFigure2Scenario();
+
+// ---------------------------------------------------------------------------
+// Batch scoring
+// ---------------------------------------------------------------------------
+
+using ScorerOptions = core::StabilityModelOptions;
+using core::CustomerReport;
+using core::CustomerWindowReport;
+using core::NamedMissingProduct;
+using core::ScoreMatrix;
+using core::SignificanceProfile;
+using core::StabilitySeries;
+
+/// \brief Batch stability scoring and per-customer explanation.
+///
+/// \code
+///   auto scorer = churnlab::api::ScorerHandle::Make({}).ValueOrDie();
+///   auto scores = scorer.ScoreDataset(dataset).ValueOrDie();
+/// \endcode
+class ScorerHandle {
+ public:
+  static Result<ScorerHandle> Make(ScorerOptions options);
+
+  /// Stability of every customer at every window (higher = more loyal).
+  Result<ScoreMatrix> ScoreDataset(const Dataset& dataset) const;
+
+  /// Stability series of one customer.
+  Result<StabilitySeries> ScoreCustomer(const Dataset& dataset,
+                                        CustomerId customer) const;
+
+  /// Per-window walk-through with product-loss explanations (section 3.2).
+  Result<CustomerReport> AnalyzeCustomer(const Dataset& dataset,
+                                         CustomerId customer) const;
+
+  /// Ranked significant-product table as seen by window `window` (the
+  /// final window when negative).
+  Result<SignificanceProfile> ProfileCustomer(const Dataset& dataset,
+                                              CustomerId customer,
+                                              int32_t window = -1) const;
+
+  const ScorerOptions& options() const { return model_.options(); }
+
+ private:
+  explicit ScorerHandle(core::StabilityModel model)
+      : model_(std::move(model)) {}
+
+  core::StabilityModel model_;
+};
+
+// ---------------------------------------------------------------------------
+// Streaming fleet serving
+// ---------------------------------------------------------------------------
+
+using serve::BatchReport;
+using serve::FleetAlert;
+using serve::FleetOptions;
+using MonitorPolicy = core::MonitorPolicy;
+using StabilityAlert = core::StabilityAlert;
+
+/// \brief Streaming multi-customer serving: sharded per-customer state,
+/// batched ingestion, alerting, and bit-identical snapshot/restore.
+///
+/// The handle borrows the dataset's taxonomy (segment granularity maps
+/// items through it); the dataset must outlive the handle.
+///
+/// \code
+///   auto fleet = churnlab::api::FleetHandle::Make(options, dataset)
+///                    .ValueOrDie();
+///   auto report = fleet.IngestBatch(receipts).ValueOrDie();
+///   for (const auto& alert : report.alerts) notify(alert);
+/// \endcode
+class FleetHandle {
+ public:
+  static Result<FleetHandle> Make(FleetOptions options,
+                                  const Dataset& dataset);
+
+  /// Ingests one receipt batch; receipts of one customer must be
+  /// chronological within and across batches. Alerts and reports are
+  /// byte-identical for any thread count.
+  Result<BatchReport> IngestBatch(std::span<const Receipt> receipts);
+
+  /// Closes all windows before the one containing `day` for every
+  /// customer (models "no activity through day X").
+  Result<BatchReport> AdvanceAllTo(Day day);
+
+  /// End-of-stream flush: closes every customer's in-progress window.
+  Result<BatchReport> FinishAll();
+
+  size_t NumCustomers() const { return fleet_.NumCustomers(); }
+  const FleetOptions& options() const { return fleet_.options(); }
+
+  /// Writes a versioned, CRC-framed snapshot of the full fleet state.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Rebuilds a fleet from a snapshot; continues bit-identically.
+  /// Threads are never serialized; the restored fleet uses `num_threads`
+  /// workers (1 when 0), with identical results for any count.
+  static Result<FleetHandle> Restore(const std::string& path,
+                                     const Dataset& dataset,
+                                     size_t num_threads = 0);
+
+ private:
+  explicit FleetHandle(serve::ScoringFleet fleet)
+      : fleet_(std::move(fleet)) {}
+
+  serve::ScoringFleet fleet_;
+};
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+using eval::Figure1Options;
+using eval::Figure1Result;
+using eval::ForecastOptions;
+using eval::ForecastResult;
+using eval::GridSearchOptions;
+using eval::GridSearchResult;
+/// Plain-text/CSV result rendering, re-exported for facade-only programs.
+using eval::TextTable;
+/// Detection-quality primitives, re-exported for facade-only programs.
+using eval::AurocPerWindow;
+using eval::ConfusionAtThreshold;
+using eval::ConfusionMatrix;
+using eval::LiftAtFraction;
+using eval::OperatingPoint;
+using eval::ScoreOrientation;
+using eval::SelectForRecall;
+using eval::SelectMaxF1;
+using eval::WindowAuroc;
+
+struct EvalRunnerOptions {
+  /// Worker threads for the evaluation sweeps; stamped over the
+  /// per-evaluation options' num_threads fields. Results are identical for
+  /// any thread count.
+  size_t num_threads = 1;
+};
+
+/// \brief The paper's evaluations behind one handle.
+class EvalRunner {
+ public:
+  static Result<EvalRunner> Make(EvalRunnerOptions options = {});
+
+  /// Figure 1: stability vs RFM detection AUROC by month.
+  Result<Figure1Result> Figure1(const Dataset& dataset,
+                                Figure1Options options) const;
+
+  /// Out-of-fold AUROC of future-defection prediction.
+  Result<ForecastResult> Forecast(const Dataset& dataset,
+                                  ForecastOptions options) const;
+
+  /// Cross-validated (window span, alpha) search.
+  Result<GridSearchResult> GridSearch(const Dataset& dataset,
+                                      GridSearchOptions options) const;
+
+ private:
+  explicit EvalRunner(EvalRunnerOptions options) : options_(options) {}
+
+  EvalRunnerOptions options_;
+};
+
+}  // namespace api
+}  // namespace churnlab
+
+#endif  // CHURNLAB_CHURNLAB_H_

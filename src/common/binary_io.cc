@@ -47,6 +47,28 @@ Status BinaryWriter::SaveToFile(const std::string& path) const {
   return Status::OK();
 }
 
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  // Table generated once from the reflected polynomial; byte-at-a-time is
+  // plenty for snapshot frames (checksum cost is dwarfed by serialization).
+  static const uint32_t* const kTable = [] {
+    static uint32_t table[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ (0xEDB88320u & (~(crc & 1u) + 1u));
+      }
+      table[i] = crc;
+    }
+    return table;
+  }();
+  uint32_t crc = ~seed;
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ bytes[i]) & 0xFF];
+  }
+  return ~crc;
+}
+
 Result<BinaryReader> BinaryReader::OpenFile(const std::string& path) {
   std::ifstream file(path, std::ios::binary);
   if (!file) return Status::IOError("cannot open '" + path + "' for reading");
@@ -90,6 +112,15 @@ Result<std::string> BinaryReader::ReadString() {
   CHURNLAB_ASSIGN_OR_RETURN(const uint64_t size, ReadVarint());
   if (remaining() < size) {
     return Status::OutOfRange("truncated string at end of buffer");
+  }
+  std::string value = buffer_.substr(pos_, size);
+  pos_ += size;
+  return value;
+}
+
+Result<std::string> BinaryReader::ReadBytes(size_t size) {
+  if (remaining() < size) {
+    return Status::OutOfRange("truncated bytes at end of buffer");
   }
   std::string value = buffer_.substr(pos_, size);
   pos_ += size;

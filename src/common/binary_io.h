@@ -37,6 +37,12 @@ class BinaryWriter {
   std::string buffer_;
 };
 
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `size` bytes at `data`,
+/// continued from `seed` (pass a previous return value to checksum data in
+/// chunks; 0 starts a fresh checksum). Used by the fleet snapshot format to
+/// detect torn or corrupted shard frames.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
 /// \brief Reader over a binary buffer produced by BinaryWriter.
 ///
 /// All reads are bounds-checked and return OutOfRange on truncated input.
@@ -51,6 +57,9 @@ class BinaryReader {
   Result<int64_t> ReadSignedVarint();
   Result<double> ReadDouble();
   Result<std::string> ReadString();
+  /// Reads exactly `size` raw bytes (the counterpart of WriteBytes when the
+  /// length is framed externally, e.g. snapshot shard frames).
+  Result<std::string> ReadBytes(size_t size);
 
   /// True when the whole buffer has been consumed.
   bool AtEnd() const { return pos_ >= buffer_.size(); }

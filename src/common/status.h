@@ -22,6 +22,9 @@ enum class StatusCode : char {
   kNotImplemented = 6,
   kInternal = 7,
   kCancelled = 8,
+  /// The operation requires state the object is not in (e.g. finishing a
+  /// stream that never saw an observation).
+  kFailedPrecondition = 9,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -85,6 +88,9 @@ class Status {
   static Status Cancelled(std::string message) {
     return Status(StatusCode::kCancelled, std::move(message));
   }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
 
   /// True iff the status is success.
   bool ok() const { return state_ == nullptr; }
@@ -112,6 +118,9 @@ class Status {
   }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -106,5 +106,40 @@ Result<std::vector<StabilityAlert>> StabilityMonitor::AdvanceTo(
   return Evaluate(points);
 }
 
+Result<std::vector<StabilityAlert>> StabilityMonitor::Finish() {
+  Result<StabilityPoint> point = scorer_.Finish();
+  if (!point.ok()) {
+    if (point.status().IsFailedPrecondition()) {
+      // Never-fed monitor: nothing to flush, by contract a no-op.
+      return std::vector<StabilityAlert>();
+    }
+    return point.status();
+  }
+  return Evaluate({*point});
+}
+
+void StabilityMonitor::SaveState(BinaryWriter* writer) const {
+  scorer_.SaveState(writer);
+  writer->WriteDouble(last_stability_);
+  writer->WriteVarint(has_previous_ ? 1 : 0);
+  writer->WriteVarint(static_cast<uint64_t>(low_streak_));
+}
+
+Status StabilityMonitor::LoadState(BinaryReader* reader) {
+  CHURNLAB_RETURN_NOT_OK(scorer_.LoadState(reader));
+  CHURNLAB_ASSIGN_OR_RETURN(last_stability_, reader->ReadDouble());
+  CHURNLAB_ASSIGN_OR_RETURN(const uint64_t has_previous, reader->ReadVarint());
+  if (has_previous > 1) {
+    return Status::OutOfRange("corrupt monitor debounce state");
+  }
+  has_previous_ = has_previous == 1;
+  CHURNLAB_ASSIGN_OR_RETURN(const uint64_t low_streak, reader->ReadVarint());
+  if (low_streak > static_cast<uint64_t>(policy_.consecutive_windows)) {
+    return Status::OutOfRange("corrupt monitor debounce state");
+  }
+  low_streak_ = static_cast<int32_t>(low_streak);
+  return Status::OK();
+}
+
 }  // namespace core
 }  // namespace churnlab

@@ -69,10 +69,26 @@ class StabilityMonitor {
   /// Closes windows up to the one containing `day` without a purchase.
   Result<std::vector<StabilityAlert>> AdvanceTo(retail::Day day);
 
+  /// Closes the in-progress window and evaluates it against the policy
+  /// (end-of-stream flush). No-op returning zero alerts when no observation
+  /// was ever fed — the underlying scorer refuses to emit a vacuous window
+  /// 0 point (see OnlineStabilityScorer::Finish), and a never-fed monitor
+  /// has nothing to alert on.
+  Result<std::vector<StabilityAlert>> Finish();
+
   /// Stability of the most recently closed window (1.0 before any closes).
   double last_stability() const { return last_stability_; }
   int32_t windows_closed() const { return scorer_.windows_emitted(); }
   const MonitorPolicy& policy() const { return policy_; }
+
+  /// Serializes scorer + debounce state so a restored monitor continues
+  /// bit-identically (same alerts for the same future stream). Options and
+  /// policy are not written; the caller persists them.
+  void SaveState(BinaryWriter* writer) const;
+
+  /// Restores state written by SaveState. The monitor must have been
+  /// constructed with the same options and policy as the saver.
+  Status LoadState(BinaryReader* reader);
 
  private:
   StabilityMonitor(OnlineStabilityScorer scorer, MonitorPolicy policy)

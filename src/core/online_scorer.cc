@@ -128,7 +128,11 @@ Result<std::vector<StabilityPoint>> OnlineStabilityScorer::Observe(
   return emitted;
 }
 
-StabilityPoint OnlineStabilityScorer::Finish() {
+Result<StabilityPoint> OnlineStabilityScorer::Finish() {
+  if (last_observed_day_ < 0) {
+    return Status::FailedPrecondition(
+        "no observations were ever fed; window 0 would be vacuous");
+  }
   // The next acceptable observation starts at the next window boundary.
   last_observed_day_ =
       std::max(last_observed_day_,
@@ -137,6 +141,45 @@ StabilityPoint OnlineStabilityScorer::Finish() {
   StabilityPoint point = CloseCurrentWindow();
   RecordEmittedWindows(1);
   return point;
+}
+
+void OnlineStabilityScorer::SaveState(BinaryWriter* writer) const {
+  tracker_.SaveState(writer);
+  writer->WriteVarint(current_symbols_.size());
+  Symbol previous = 0;
+  for (const Symbol symbol : current_symbols_) {  // sorted: delta-encode
+    writer->WriteVarint(symbol - previous);
+    previous = symbol;
+  }
+  writer->WriteSignedVarint(current_window_);
+  writer->WriteSignedVarint(last_observed_day_);
+}
+
+Status OnlineStabilityScorer::LoadState(BinaryReader* reader) {
+  CHURNLAB_RETURN_NOT_OK(tracker_.LoadState(reader));
+  CHURNLAB_ASSIGN_OR_RETURN(const uint64_t num_symbols, reader->ReadVarint());
+  current_symbols_.clear();
+  current_symbols_.reserve(num_symbols);
+  uint64_t symbol = 0;
+  for (uint64_t i = 0; i < num_symbols; ++i) {
+    CHURNLAB_ASSIGN_OR_RETURN(const uint64_t delta, reader->ReadVarint());
+    symbol += delta;
+    if (symbol >= static_cast<uint64_t>(kInvalidSymbol)) {
+      return Status::OutOfRange("corrupt scorer symbol set");
+    }
+    current_symbols_.push_back(static_cast<Symbol>(symbol));
+  }
+  CHURNLAB_ASSIGN_OR_RETURN(const int64_t current_window,
+                            reader->ReadSignedVarint());
+  CHURNLAB_ASSIGN_OR_RETURN(const int64_t last_observed_day,
+                            reader->ReadSignedVarint());
+  if (current_window < 0 || current_window > INT32_MAX ||
+      last_observed_day < -1 || last_observed_day > INT32_MAX) {
+    return Status::OutOfRange("corrupt scorer stream position");
+  }
+  current_window_ = static_cast<int32_t>(current_window);
+  last_observed_day_ = static_cast<retail::Day>(last_observed_day);
+  return Status::OK();
 }
 
 }  // namespace core

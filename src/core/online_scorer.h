@@ -30,6 +30,7 @@ namespace core {
 ///     }
 ///   }
 ///   auto tail = scorer.Finish();  // closes the in-progress window
+///   if (tail.ok()) report(*tail);  // error when nothing was ever observed
 /// \endcode
 class OnlineStabilityScorer {
  public:
@@ -59,14 +60,26 @@ class OnlineStabilityScorer {
 
   /// Closes the current window and returns its point (plus nothing else).
   /// The scorer can keep streaming afterwards; the next observation must
-  /// belong to a later window.
-  StabilityPoint Finish();
+  /// belong to a later window. Returns FailedPrecondition when no
+  /// observation was ever fed (via Observe or AdvanceTo): window 0 would be
+  /// a vacuous all-defaults point, and emitting it used to silently skew
+  /// downstream aggregations.
+  Result<StabilityPoint> Finish();
 
   /// Index of the window currently being accumulated.
   int32_t current_window() const { return current_window_; }
 
   /// Number of windows already emitted.
   int32_t windows_emitted() const { return tracker_.windows_seen(); }
+
+  /// Serializes the streaming state (tracker counters, the in-progress
+  /// window's symbol union, stream position) so a restored scorer continues
+  /// bit-identically. Options are not written; the caller persists them.
+  void SaveState(BinaryWriter* writer) const;
+
+  /// Restores state written by SaveState. The scorer must have been
+  /// constructed with the same options as the saver.
+  Status LoadState(BinaryReader* reader);
 
  private:
   explicit OnlineStabilityScorer(Options options)

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "common/macros.h"
 #include "common/math_util.h"
 
 namespace churnlab {
@@ -150,6 +151,95 @@ void SignificanceTracker::AdvanceEwma(
     ewma_stamps_[symbol] = next_window;
   }
   ewma_total_ = ewma_total_ * lambda + credit * present_count;
+}
+
+void SignificanceTracker::SaveState(BinaryWriter* writer) const {
+  writer->WriteVarint(static_cast<uint64_t>(windows_seen_));
+  // Sparse contain counts as (symbol delta, count) pairs, ascending symbol.
+  writer->WriteVarint(num_seen_);
+  Symbol previous = 0;
+  for (size_t symbol = 0; symbol < contain_counts_.size(); ++symbol) {
+    const int32_t count = contain_counts_[symbol];
+    if (count == 0) continue;
+    writer->WriteVarint(static_cast<Symbol>(symbol) - previous);
+    writer->WriteVarint(static_cast<uint64_t>(count));
+    previous = static_cast<Symbol>(symbol);
+  }
+  writer->WriteDouble(incremental_total_);
+  // Sparse EWMA scores (value, stamp) keyed the same way. Empty for the
+  // alpha-power kind.
+  size_t num_ewma = 0;
+  for (const double value : ewma_values_) {
+    if (value != 0.0) ++num_ewma;
+  }
+  writer->WriteVarint(num_ewma);
+  previous = 0;
+  for (size_t symbol = 0; symbol < ewma_values_.size(); ++symbol) {
+    if (ewma_values_[symbol] == 0.0) continue;
+    writer->WriteVarint(static_cast<Symbol>(symbol) - previous);
+    writer->WriteDouble(ewma_values_[symbol]);
+    writer->WriteVarint(static_cast<uint64_t>(ewma_stamps_[symbol]));
+    previous = static_cast<Symbol>(symbol);
+  }
+  writer->WriteDouble(ewma_total_);
+}
+
+Status SignificanceTracker::LoadState(BinaryReader* reader) {
+  CHURNLAB_ASSIGN_OR_RETURN(const uint64_t windows_seen, reader->ReadVarint());
+  if (windows_seen > static_cast<uint64_t>(INT32_MAX)) {
+    return Status::OutOfRange("windows_seen overflows int32");
+  }
+  windows_seen_ = static_cast<int32_t>(windows_seen);
+
+  CHURNLAB_ASSIGN_OR_RETURN(const uint64_t num_seen, reader->ReadVarint());
+  contain_counts_.clear();
+  contain_histogram_.clear();
+  num_seen_ = 0;
+  uint64_t symbol = 0;
+  for (uint64_t i = 0; i < num_seen; ++i) {
+    CHURNLAB_ASSIGN_OR_RETURN(const uint64_t delta, reader->ReadVarint());
+    // The first pair carries the absolute symbol; later pairs are deltas
+    // from the previous one (strictly positive by construction).
+    symbol += delta;
+    CHURNLAB_ASSIGN_OR_RETURN(const uint64_t count, reader->ReadVarint());
+    if (symbol >= static_cast<uint64_t>(kInvalidSymbol) || count == 0 ||
+        count > windows_seen) {
+      return Status::OutOfRange("corrupt significance state entry");
+    }
+    if (symbol >= contain_counts_.size()) {
+      contain_counts_.resize(symbol + 1, 0);
+    }
+    contain_counts_[symbol] = static_cast<int32_t>(count);
+    ++num_seen_;
+    if (count >= contain_histogram_.size()) {
+      contain_histogram_.resize(count + 1, 0);
+    }
+    ++contain_histogram_[count];
+  }
+  CHURNLAB_ASSIGN_OR_RETURN(incremental_total_, reader->ReadDouble());
+
+  CHURNLAB_ASSIGN_OR_RETURN(const uint64_t num_ewma, reader->ReadVarint());
+  ewma_values_.clear();
+  ewma_stamps_.clear();
+  symbol = 0;
+  for (uint64_t i = 0; i < num_ewma; ++i) {
+    CHURNLAB_ASSIGN_OR_RETURN(const uint64_t delta, reader->ReadVarint());
+    symbol += delta;
+    CHURNLAB_ASSIGN_OR_RETURN(const double value, reader->ReadDouble());
+    CHURNLAB_ASSIGN_OR_RETURN(const uint64_t stamp, reader->ReadVarint());
+    if (symbol >= static_cast<uint64_t>(kInvalidSymbol) ||
+        stamp > windows_seen) {
+      return Status::OutOfRange("corrupt EWMA state entry");
+    }
+    if (symbol >= ewma_values_.size()) {
+      ewma_values_.resize(symbol + 1, 0.0);
+      ewma_stamps_.resize(symbol + 1, 0);
+    }
+    ewma_values_[symbol] = value;
+    ewma_stamps_[symbol] = static_cast<int32_t>(stamp);
+  }
+  CHURNLAB_ASSIGN_OR_RETURN(ewma_total_, reader->ReadDouble());
+  return Status::OK();
 }
 
 void SignificanceTracker::AdvanceWindow(

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "common/result.h"
 #include "core/window.h"
 
@@ -120,6 +121,20 @@ class SignificanceTracker {
   int32_t windows_seen() const { return windows_seen_; }
 
   const SignificanceOptions& options() const { return options_; }
+
+  /// Serializes the dynamic state (counters and running totals; *not* the
+  /// options) to `writer`. Sparse encoding: only symbols with non-zero
+  /// state are written, so the cost is O(distinct symbols seen), not
+  /// O(symbol space). Floating-point accumulators are written as raw IEEE
+  /// bytes, so a LoadState'd tracker continues bit-identically to the
+  /// original.
+  void SaveState(BinaryWriter* writer) const;
+
+  /// Restores state written by SaveState into this tracker, replacing any
+  /// current state. The tracker must have been constructed with the same
+  /// options as the one that saved (the serving layer persists options in
+  /// its snapshot header and enforces this).
+  Status LoadState(BinaryReader* reader);
 
  private:
   /// alpha^exponent with the max_abs_exponent clamp, memoised per integer

@@ -1,5 +1,6 @@
 #include "core/stability.h"
 
+#include "common/macros.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -26,6 +27,13 @@ const StabilityMetrics& Metrics() {
   return metrics;
 }
 }  // namespace
+
+Result<StabilityComputer> StabilityComputer::Make(
+    SignificanceOptions options) {
+  CHURNLAB_ASSIGN_OR_RETURN(const SignificanceTracker tracker,
+                            SignificanceTracker::Make(options));
+  return StabilityComputer(tracker.options());
+}
 
 StabilitySeries StabilityComputer::Compute(
     const WindowedHistory& history) const {

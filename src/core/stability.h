@@ -44,6 +44,14 @@ struct StabilitySeries {
 /// decreases by the significance share of each missing product.
 class StabilityComputer {
  public:
+  /// Validates the significance options (alpha > 0, clamp >= 0, lambda in
+  /// (0, 1) for kEwma). Preferred constructor, per the library-wide
+  /// `static Result<T> Make(Options)` convention (docs/API.md).
+  static Result<StabilityComputer> Make(SignificanceOptions options);
+
+  /// Deprecated: construct via Make() so invalid options surface as a
+  /// Status instead of propagating into NaN stabilities. Kept public for
+  /// internal callers that have already validated options.
   explicit StabilityComputer(SignificanceOptions options)
       : options_(options) {}
 

@@ -188,5 +188,27 @@ Result<Figure1Result> ExperimentRunner::RunFigure1OnDataset(
   return result;
 }
 
+Result<ExperimentRunner> ExperimentRunner::Make(Figure1Options options) {
+  if (options.stability.window_span_months !=
+      options.rfm.features.window_span_months) {
+    return Status::InvalidArgument(
+        "stability and RFM models must share one window span so their "
+        "AUROC series are comparable");
+  }
+  CHURNLAB_RETURN_NOT_OK(
+      core::StabilityModel::Make(options.stability).status());
+  CHURNLAB_RETURN_NOT_OK(rfm::RfmModel::Make(options.rfm).status());
+  return ExperimentRunner(std::move(options));
+}
+
+Result<Figure1Result> ExperimentRunner::Run() const {
+  return RunFigure1(options_);
+}
+
+Result<Figure1Result> ExperimentRunner::RunOnDataset(
+    const retail::Dataset& dataset) const {
+  return RunFigure1OnDataset(dataset, options_);
+}
+
 }  // namespace eval
 }  // namespace churnlab

@@ -79,13 +79,32 @@ struct Figure1Result {
 /// \brief End-to-end experiment drivers.
 class ExperimentRunner {
  public:
-  /// Generates the paper scenario and evaluates both models on it.
-  static Result<Figure1Result> RunFigure1(const Figure1Options& options);
+  /// Validates the options eagerly (matching window spans, valid stability
+  /// model), per the library-wide `static Result<T> Make(Options)`
+  /// convention (docs/API.md).
+  static Result<ExperimentRunner> Make(Figure1Options options);
+
+  /// Generates the configured scenario and evaluates both models on it.
+  Result<Figure1Result> Run() const;
 
   /// Evaluates both models on a caller-provided dataset (e.g. one loaded
-  /// from disk) with the same reporting as RunFigure1.
+  /// from disk) with the same reporting as Run().
+  Result<Figure1Result> RunOnDataset(const retail::Dataset& dataset) const;
+
+  const Figure1Options& options() const { return options_; }
+
+  /// Deprecated: one-shot forms predating the Make convention; they
+  /// revalidate the options on every call. Prefer Make(options) then
+  /// Run() / RunOnDataset(dataset).
+  static Result<Figure1Result> RunFigure1(const Figure1Options& options);
   static Result<Figure1Result> RunFigure1OnDataset(
       const retail::Dataset& dataset, const Figure1Options& options);
+
+ private:
+  explicit ExperimentRunner(Figure1Options options)
+      : options_(std::move(options)) {}
+
+  Figure1Options options_;
 };
 
 }  // namespace eval

@@ -187,5 +187,27 @@ Result<ForecastResult> StabilityForecaster::Run(
   return result;
 }
 
+Result<StabilityForecaster> StabilityForecaster::Make(
+    ForecastOptions options) {
+  if (options.decision_month <= 0 || options.horizon_months <= 0) {
+    return Status::InvalidArgument(
+        "decision_month and horizon_months must be positive");
+  }
+  if (options.feature_windows < 1) {
+    return Status::InvalidArgument("feature_windows must be >= 1");
+  }
+  if (options.cv_folds < 2) {
+    return Status::InvalidArgument("cv_folds must be >= 2");
+  }
+  CHURNLAB_RETURN_NOT_OK(
+      core::StabilityModel::Make(options.stability).status());
+  return StabilityForecaster(std::move(options));
+}
+
+Result<ForecastResult> StabilityForecaster::Run(
+    const retail::Dataset& dataset) const {
+  return Run(dataset, options_);
+}
+
 }  // namespace eval
 }  // namespace churnlab

@@ -69,8 +69,25 @@ struct ForecastResult {
 /// probability, evaluated by AUROC against the ground-truth onset months.
 class StabilityForecaster {
  public:
+  /// Validates the options eagerly, per the library-wide
+  /// `static Result<T> Make(Options)` convention (docs/API.md).
+  static Result<StabilityForecaster> Make(ForecastOptions options);
+
+  /// Forecasts on `dataset` with the options captured at Make time.
+  Result<ForecastResult> Run(const retail::Dataset& dataset) const;
+
+  const ForecastOptions& options() const { return options_; }
+
+  /// Deprecated: one-shot form predating the Make convention; revalidates
+  /// the options on every call. Prefer Make(options) then Run(dataset).
   static Result<ForecastResult> Run(const retail::Dataset& dataset,
                                     const ForecastOptions& options);
+
+ private:
+  explicit StabilityForecaster(ForecastOptions options)
+      : options_(std::move(options)) {}
+
+  ForecastOptions options_;
 };
 
 }  // namespace eval

@@ -198,5 +198,21 @@ Result<GridSearchResult> StabilityGridSearch::Run(
   return result;
 }
 
+Result<StabilityGridSearch> StabilityGridSearch::Make(
+    GridSearchOptions options) {
+  if (options.window_spans_months.empty() || options.alphas.empty()) {
+    return Status::InvalidArgument("empty parameter grid");
+  }
+  if (options.folds < 2) {
+    return Status::InvalidArgument("folds must be >= 2");
+  }
+  return StabilityGridSearch(std::move(options));
+}
+
+Result<GridSearchResult> StabilityGridSearch::Run(
+    const retail::Dataset& dataset) const {
+  return Run(dataset, options_);
+}
+
 }  // namespace eval
 }  // namespace churnlab

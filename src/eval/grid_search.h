@@ -54,8 +54,25 @@ struct GridSearchResult {
 /// spread shows the selection's stability.
 class StabilityGridSearch {
  public:
+  /// Validates the options eagerly (non-empty grid, folds >= 2), per the
+  /// library-wide `static Result<T> Make(Options)` convention (docs/API.md).
+  static Result<StabilityGridSearch> Make(GridSearchOptions options);
+
+  /// Searches on `dataset` with the options captured at Make time.
+  Result<GridSearchResult> Run(const retail::Dataset& dataset) const;
+
+  const GridSearchOptions& options() const { return options_; }
+
+  /// Deprecated: one-shot form predating the Make convention; revalidates
+  /// the options on every call. Prefer Make(options) then Run(dataset).
   static Result<GridSearchResult> Run(const retail::Dataset& dataset,
                                       const GridSearchOptions& options);
+
+ private:
+  explicit StabilityGridSearch(GridSearchOptions options)
+      : options_(std::move(options)) {}
+
+  GridSearchOptions options_;
 };
 
 }  // namespace eval

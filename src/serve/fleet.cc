@@ -1,0 +1,377 @@
+#include "serve/fleet.h"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace churnlab {
+namespace serve {
+
+namespace {
+
+constexpr char kSnapshotMagic[] = "CHLFLEET";
+constexpr size_t kSnapshotMagicSize = 8;
+constexpr uint64_t kSnapshotVersion = 1;
+
+struct ServeMetrics {
+  obs::Counter* receipts_ingested;
+  obs::Counter* alerts_raised;
+  obs::Counter* batches_ingested;
+  obs::Gauge* customers;
+  obs::Histogram* ingest_batch_us;
+};
+
+const ServeMetrics& Metrics() {
+  static const ServeMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return ServeMetrics{
+        registry.GetCounter("churnlab.serve.receipts_ingested"),
+        registry.GetCounter("churnlab.serve.alerts_raised"),
+        registry.GetCounter("churnlab.serve.batches_ingested"),
+        registry.GetGauge("churnlab.serve.customers"),
+        registry.GetHistogram("churnlab.serve.ingest_batch_us",
+                              obs::HistogramOptions::ExponentialLatency()),
+    };
+  }();
+  return metrics;
+}
+
+/// Canonical alert order: batch position first (0 for whole-fleet sweeps),
+/// then customer, then the alert's own (window, kind). Independent of both
+/// thread count and shard count.
+bool AlertLess(const FleetAlert& a, const FleetAlert& b) {
+  return std::tie(a.batch_index, a.customer, a.alert.window_index,
+                  a.alert.kind) < std::tie(b.batch_index, b.customer,
+                                           b.alert.window_index,
+                                           b.alert.kind);
+}
+
+/// Per-shard scratch for one fleet operation.
+struct ShardOutput {
+  Status status = Status::OK();
+  std::vector<FleetAlert> alerts;
+  size_t receipts = 0;
+  size_t new_customers = 0;
+};
+
+void WriteScorerOptions(const core::OnlineStabilityScorer::Options& options,
+                        BinaryWriter* writer) {
+  writer->WriteVarint(static_cast<uint64_t>(options.significance.kind));
+  writer->WriteDouble(options.significance.alpha);
+  writer->WriteDouble(options.significance.max_abs_exponent);
+  writer->WriteDouble(options.significance.ewma_lambda);
+  writer->WriteSignedVarint(options.window_span_days);
+  writer->WriteSignedVarint(options.origin_day);
+}
+
+Status ReadScorerOptions(BinaryReader* reader,
+                         core::OnlineStabilityScorer::Options* options) {
+  CHURNLAB_ASSIGN_OR_RETURN(const uint64_t kind, reader->ReadVarint());
+  if (kind > static_cast<uint64_t>(core::SignificanceKind::kEwma)) {
+    return Status::IOError("snapshot holds an unknown significance kind");
+  }
+  options->significance.kind = static_cast<core::SignificanceKind>(kind);
+  CHURNLAB_ASSIGN_OR_RETURN(options->significance.alpha,
+                            reader->ReadDouble());
+  CHURNLAB_ASSIGN_OR_RETURN(options->significance.max_abs_exponent,
+                            reader->ReadDouble());
+  CHURNLAB_ASSIGN_OR_RETURN(options->significance.ewma_lambda,
+                            reader->ReadDouble());
+  CHURNLAB_ASSIGN_OR_RETURN(const int64_t span, reader->ReadSignedVarint());
+  CHURNLAB_ASSIGN_OR_RETURN(const int64_t origin,
+                            reader->ReadSignedVarint());
+  options->window_span_days = static_cast<retail::Day>(span);
+  options->origin_day = static_cast<retail::Day>(origin);
+  return Status::OK();
+}
+
+void WritePolicy(const core::MonitorPolicy& policy, BinaryWriter* writer) {
+  writer->WriteDouble(policy.beta);
+  writer->WriteSignedVarint(policy.consecutive_windows);
+  writer->WriteDouble(policy.drop_threshold);
+  writer->WriteSignedVarint(policy.warmup_windows);
+}
+
+Status ReadPolicy(BinaryReader* reader, core::MonitorPolicy* policy) {
+  CHURNLAB_ASSIGN_OR_RETURN(policy->beta, reader->ReadDouble());
+  CHURNLAB_ASSIGN_OR_RETURN(const int64_t consecutive,
+                            reader->ReadSignedVarint());
+  CHURNLAB_ASSIGN_OR_RETURN(policy->drop_threshold, reader->ReadDouble());
+  CHURNLAB_ASSIGN_OR_RETURN(const int64_t warmup,
+                            reader->ReadSignedVarint());
+  policy->consecutive_windows = static_cast<int32_t>(consecutive);
+  policy->warmup_windows = static_cast<int32_t>(warmup);
+  return Status::OK();
+}
+
+}  // namespace
+
+ScoringFleet::ScoringFleet(FleetOptions options, CustomerStateStore store,
+                           core::SymbolMapper mapper)
+    : options_(std::move(options)),
+      store_(std::move(store)),
+      mapper_(std::move(mapper)) {}
+
+Result<ScoringFleet> ScoringFleet::Make(FleetOptions options,
+                                        const retail::Taxonomy* taxonomy) {
+  if (options.num_threads == 0) options.num_threads = 1;
+  CHURNLAB_ASSIGN_OR_RETURN(
+      core::SymbolMapper mapper,
+      core::SymbolMapper::Make(options.granularity, taxonomy));
+  StateStoreOptions store_options;
+  store_options.scorer = options.scorer;
+  store_options.policy = options.policy;
+  store_options.num_shards = options.num_shards;
+  CHURNLAB_ASSIGN_OR_RETURN(CustomerStateStore store,
+                            CustomerStateStore::Make(store_options));
+  return ScoringFleet(std::move(options), std::move(store),
+                      std::move(mapper));
+}
+
+void ScoringFleet::MapSymbols(const retail::Receipt& receipt,
+                              std::vector<core::Symbol>* scratch) const {
+  scratch->clear();
+  scratch->reserve(receipt.items.size());
+  for (const retail::ItemId item : receipt.items) {
+    scratch->push_back(mapper_.Map(item));
+  }
+  std::sort(scratch->begin(), scratch->end());
+  scratch->erase(std::unique(scratch->begin(), scratch->end()),
+                 scratch->end());
+}
+
+Result<BatchReport> ScoringFleet::IngestBatch(
+    std::span<const retail::Receipt> receipts) {
+  CHURNLAB_SPAN("serve.ingest_batch");
+  const ServeMetrics& metrics = Metrics();
+  obs::ScopedLatency latency(metrics.ingest_batch_us);
+
+  // Partition by shard, preserving batch order within each shard so every
+  // customer's receipts stay chronological.
+  const size_t num_shards = store_.num_shards();
+  std::vector<std::vector<size_t>> by_shard(num_shards);
+  for (size_t i = 0; i < receipts.size(); ++i) {
+    by_shard[store_.ShardOf(receipts[i].customer)].push_back(i);
+  }
+
+  std::vector<ShardOutput> outputs(num_shards);
+  const auto run_shard = [&](size_t shard) {
+    ShardOutput& out = outputs[shard];
+    std::vector<core::Symbol> symbols;
+    store_.WithShard(shard, [&](CustomerStateStore::ShardAccessor& access) {
+      const size_t customers_before = access.states().size();
+      for (const size_t batch_index : by_shard[shard]) {
+        const retail::Receipt& receipt = receipts[batch_index];
+        if (receipt.customer == retail::kInvalidCustomer) {
+          out.status = Status::InvalidArgument(
+              "batch receipt has an invalid customer id");
+          return;
+        }
+        MapSymbols(receipt, &symbols);
+        CustomerStateStore::CustomerState& state =
+            access.GetOrCreate(receipt.customer);
+        Result<std::vector<core::StabilityAlert>> closed =
+            state.monitor.Observe(receipt.day, symbols);
+        if (!closed.ok()) {
+          out.status = closed.status();
+          return;
+        }
+        for (core::StabilityAlert& alert : *closed) {
+          out.alerts.push_back(
+              FleetAlert{receipt.customer, batch_index, alert});
+        }
+        ++out.receipts;
+      }
+      out.new_customers = access.states().size() - customers_before;
+    });
+  };
+
+  const size_t num_threads = std::min(options_.num_threads, num_shards);
+  if (num_threads > 1) {
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<ThreadPool>(num_threads);
+    }
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+      if (by_shard[shard].empty()) continue;
+      pool_->Submit([&run_shard, shard] { run_shard(shard); });
+    }
+    pool_->WaitIdle();
+  } else {
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+      if (!by_shard[shard].empty()) run_shard(shard);
+    }
+  }
+
+  BatchReport report;
+  for (ShardOutput& out : outputs) {
+    // First failing shard by index, so the reported error is deterministic.
+    CHURNLAB_RETURN_NOT_OK(out.status);
+    report.receipts_ingested += out.receipts;
+    report.new_customers += out.new_customers;
+    report.alerts.insert(report.alerts.end(),
+                         std::make_move_iterator(out.alerts.begin()),
+                         std::make_move_iterator(out.alerts.end()));
+  }
+  std::sort(report.alerts.begin(), report.alerts.end(), AlertLess);
+
+  metrics.batches_ingested->Increment();
+  metrics.receipts_ingested->Increment(report.receipts_ingested);
+  metrics.alerts_raised->Increment(report.alerts.size());
+  metrics.customers->Set(static_cast<double>(store_.NumCustomers()));
+  return report;
+}
+
+template <typename PerCustomerOp>
+Result<BatchReport> ScoringFleet::ForAllCustomers(const char* span_name,
+                                                  PerCustomerOp&& op) {
+  CHURNLAB_SPAN(span_name);
+  const ServeMetrics& metrics = Metrics();
+  const size_t num_shards = store_.num_shards();
+  std::vector<ShardOutput> outputs(num_shards);
+  const auto run_shard = [&](size_t shard) {
+    ShardOutput& out = outputs[shard];
+    store_.WithShard(shard, [&](CustomerStateStore::ShardAccessor& access) {
+      for (CustomerStateStore::CustomerState& state : access.states()) {
+        Result<std::vector<core::StabilityAlert>> closed = op(state);
+        if (!closed.ok()) {
+          out.status = closed.status();
+          return;
+        }
+        for (core::StabilityAlert& alert : *closed) {
+          out.alerts.push_back(FleetAlert{state.customer, 0, alert});
+        }
+      }
+    });
+  };
+
+  const size_t num_threads = std::min(options_.num_threads, num_shards);
+  if (num_threads > 1) {
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<ThreadPool>(num_threads);
+    }
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+      pool_->Submit([&run_shard, shard] { run_shard(shard); });
+    }
+    pool_->WaitIdle();
+  } else {
+    for (size_t shard = 0; shard < num_shards; ++shard) run_shard(shard);
+  }
+
+  BatchReport report;
+  for (ShardOutput& out : outputs) {
+    CHURNLAB_RETURN_NOT_OK(out.status);
+    report.alerts.insert(report.alerts.end(),
+                         std::make_move_iterator(out.alerts.begin()),
+                         std::make_move_iterator(out.alerts.end()));
+  }
+  std::sort(report.alerts.begin(), report.alerts.end(), AlertLess);
+  metrics.alerts_raised->Increment(report.alerts.size());
+  return report;
+}
+
+Result<BatchReport> ScoringFleet::AdvanceAllTo(retail::Day day) {
+  return ForAllCustomers(
+      "serve.advance_all",
+      [day](CustomerStateStore::CustomerState& state) {
+        return state.monitor.AdvanceTo(day);
+      });
+}
+
+Result<BatchReport> ScoringFleet::FinishAll() {
+  return ForAllCustomers("serve.finish_all",
+                         [](CustomerStateStore::CustomerState& state) {
+                           return state.monitor.Finish();
+                         });
+}
+
+void ScoringFleet::SaveSnapshot(BinaryWriter* writer) const {
+  CHURNLAB_SPAN("serve.save_snapshot");
+  writer->WriteBytes(kSnapshotMagic, kSnapshotMagicSize);
+  writer->WriteVarint(kSnapshotVersion);
+  WriteScorerOptions(options_.scorer, writer);
+  WritePolicy(options_.policy, writer);
+  // num_threads is deliberately NOT serialized: it is a pure runtime
+  // concern, and the snapshot bytes must be identical for any thread count.
+  writer->WriteVarint(options_.num_shards);
+  writer->WriteVarint(static_cast<uint64_t>(options_.granularity));
+  for (size_t shard = 0; shard < store_.num_shards(); ++shard) {
+    BinaryWriter frame;
+    store_.SaveShardState(shard, &frame);
+    const std::string& payload = frame.buffer();
+    writer->WriteVarint(payload.size());
+    writer->WriteVarint(Crc32(payload.data(), payload.size()));
+    writer->WriteBytes(payload.data(), payload.size());
+  }
+}
+
+Status ScoringFleet::SaveSnapshotToFile(const std::string& path) const {
+  BinaryWriter writer;
+  SaveSnapshot(&writer);
+  return writer.SaveToFile(path);
+}
+
+Result<ScoringFleet> ScoringFleet::Restore(BinaryReader* reader,
+                                           const retail::Taxonomy* taxonomy,
+                                           size_t num_threads) {
+  CHURNLAB_SPAN("serve.restore_snapshot");
+  CHURNLAB_ASSIGN_OR_RETURN(const std::string magic,
+                            reader->ReadBytes(kSnapshotMagicSize));
+  if (magic != std::string_view(kSnapshotMagic, kSnapshotMagicSize)) {
+    return Status::IOError("not a fleet snapshot (bad magic)");
+  }
+  CHURNLAB_ASSIGN_OR_RETURN(const uint64_t version, reader->ReadVarint());
+  if (version != kSnapshotVersion) {
+    return Status::IOError("unsupported fleet snapshot version");
+  }
+  FleetOptions options;
+  CHURNLAB_RETURN_NOT_OK(ReadScorerOptions(reader, &options.scorer));
+  CHURNLAB_RETURN_NOT_OK(ReadPolicy(reader, &options.policy));
+  CHURNLAB_ASSIGN_OR_RETURN(const uint64_t num_shards, reader->ReadVarint());
+  CHURNLAB_ASSIGN_OR_RETURN(const uint64_t granularity,
+                            reader->ReadVarint());
+  if (num_shards == 0 || num_shards > (1u << 20)) {
+    return Status::IOError("fleet snapshot shard count is implausible");
+  }
+  if (granularity > static_cast<uint64_t>(retail::Granularity::kSegment)) {
+    return Status::IOError("fleet snapshot holds an unknown granularity");
+  }
+  options.num_shards = num_shards;
+  options.num_threads = num_threads > 0 ? num_threads : 1;
+  options.granularity = static_cast<retail::Granularity>(granularity);
+
+  CHURNLAB_ASSIGN_OR_RETURN(ScoringFleet fleet, Make(options, taxonomy));
+  for (size_t shard = 0; shard < fleet.store_.num_shards(); ++shard) {
+    CHURNLAB_ASSIGN_OR_RETURN(const uint64_t size, reader->ReadVarint());
+    CHURNLAB_ASSIGN_OR_RETURN(const uint64_t crc, reader->ReadVarint());
+    CHURNLAB_ASSIGN_OR_RETURN(std::string payload,
+                              reader->ReadBytes(size));
+    if (Crc32(payload.data(), payload.size()) != crc) {
+      return Status::IOError("fleet snapshot shard frame failed its CRC");
+    }
+    BinaryReader frame(std::move(payload));
+    CHURNLAB_RETURN_NOT_OK(fleet.store_.LoadShardState(shard, &frame));
+    if (!frame.AtEnd()) {
+      return Status::IOError("fleet snapshot shard frame has trailing bytes");
+    }
+  }
+  if (!reader->AtEnd()) {
+    return Status::IOError("fleet snapshot has trailing bytes");
+  }
+  Metrics().customers->Set(static_cast<double>(fleet.NumCustomers()));
+  return fleet;
+}
+
+Result<ScoringFleet> ScoringFleet::RestoreFromFile(
+    const std::string& path, const retail::Taxonomy* taxonomy,
+    size_t num_threads) {
+  CHURNLAB_ASSIGN_OR_RETURN(BinaryReader reader,
+                            BinaryReader::OpenFile(path));
+  return Restore(&reader, taxonomy, num_threads);
+}
+
+}  // namespace serve
+}  // namespace churnlab

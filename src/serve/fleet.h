@@ -1,0 +1,144 @@
+#ifndef CHURNLAB_SERVE_FLEET_H_
+#define CHURNLAB_SERVE_FLEET_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/symbol_mapper.h"
+#include "retail/taxonomy.h"
+#include "retail/types.h"
+#include "serve/state_store.h"
+
+namespace churnlab {
+namespace serve {
+
+struct FleetOptions {
+  core::OnlineStabilityScorer::Options scorer;
+  core::MonitorPolicy policy;
+  /// Shards of the underlying CustomerStateStore (>= 1).
+  size_t num_shards = 16;
+  /// Worker threads fanning batches out across shards (0 is clamped to 1).
+  /// Results — alerts, reports, snapshots — are byte-identical for any
+  /// thread count (guaranteed by tests).
+  size_t num_threads = 1;
+  /// Symbol space the monitors observe (the paper's experiments run at
+  /// segment granularity).
+  retail::Granularity granularity = retail::Granularity::kSegment;
+};
+
+/// One raised alert, attributed to its customer.
+struct FleetAlert {
+  retail::CustomerId customer = retail::kInvalidCustomer;
+  /// Index within the IngestBatch span of the receipt whose ingestion
+  /// closed the alerting window; 0 for AdvanceAllTo / FinishAll alerts.
+  size_t batch_index = 0;
+  core::StabilityAlert alert;
+};
+
+/// What one fleet operation did.
+struct BatchReport {
+  std::vector<FleetAlert> alerts;
+  size_t receipts_ingested = 0;
+  /// Customers seen for the first time by this operation.
+  size_t new_customers = 0;
+};
+
+/// \brief Batched multi-customer scoring service over a sharded state
+/// store.
+///
+/// IngestBatch partitions a receipt batch by shard, fans the shards out
+/// over a ThreadPool, and merges per-shard alerts into one deterministic
+/// report. The full fleet state can be snapshotted to a versioned,
+/// CRC-framed binary file and restored to continue bit-identically (see
+/// docs/API.md for the state machine and snapshot format).
+///
+/// \code
+///   auto fleet = ScoringFleet::Make(options, &dataset.taxonomy())
+///                    .ValueOrDie();
+///   for (std::span<const retail::Receipt> batch : batches) {
+///     auto report = fleet.IngestBatch(batch).ValueOrDie();
+///     for (const FleetAlert& a : report.alerts) notify(a);
+///   }
+///   CHURNLAB_RETURN_NOT_OK(fleet.SaveSnapshotToFile("fleet.snap"));
+/// \endcode
+class ScoringFleet {
+ public:
+  /// Validates the options, per the library-wide `static Result<T>
+  /// Make(Options)` convention (docs/API.md). `taxonomy` is borrowed and
+  /// must outlive the fleet; it is required for segment granularity and
+  /// ignored for product granularity.
+  static Result<ScoringFleet> Make(FleetOptions options,
+                                   const retail::Taxonomy* taxonomy);
+
+  /// Ingests one batch. Receipts of one customer must appear in
+  /// chronological order within the batch and across batches (the
+  /// per-customer stream contract of OnlineStabilityScorer::Observe);
+  /// receipts of distinct customers need no mutual order. Alerts are
+  /// sorted by (batch_index, customer, window_index, kind), so the report
+  /// is identical for any thread count. On error the fleet may have
+  /// ingested part of the batch; treat errors as fatal for determinism.
+  Result<BatchReport> IngestBatch(std::span<const retail::Receipt> receipts);
+
+  /// Closes all windows before the one containing `day` for every known
+  /// customer ("no activity through day" advancement). Alerts are sorted
+  /// by (customer, window_index, kind).
+  Result<BatchReport> AdvanceAllTo(retail::Day day);
+
+  /// Flushes every customer's in-progress window and evaluates it against
+  /// the policy (end-of-stream). Never-fed customers contribute nothing.
+  /// Alerts are sorted by (customer, window_index, kind).
+  Result<BatchReport> FinishAll();
+
+  size_t NumCustomers() const { return store_.NumCustomers(); }
+  const FleetOptions& options() const { return options_; }
+
+  /// Serializes the full fleet — versioned header with every option, then
+  /// one length- and CRC32-framed frame per shard — so Restore continues
+  /// bit-identically from this point.
+  void SaveSnapshot(BinaryWriter* writer) const;
+  Status SaveSnapshotToFile(const std::string& path) const;
+
+  /// Rebuilds a fleet from a snapshot. Options are read from the snapshot
+  /// header; `taxonomy` is borrowed as in Make. Threads are a pure runtime
+  /// concern and are never serialized: the restored fleet uses
+  /// `num_threads` workers (1 when 0), with identical results either way.
+  static Result<ScoringFleet> Restore(BinaryReader* reader,
+                                      const retail::Taxonomy* taxonomy,
+                                      size_t num_threads = 0);
+  static Result<ScoringFleet> RestoreFromFile(
+      const std::string& path, const retail::Taxonomy* taxonomy,
+      size_t num_threads = 0);
+
+ private:
+  ScoringFleet(FleetOptions options, CustomerStateStore store,
+               core::SymbolMapper mapper);
+
+  /// Maps a receipt's items into the sorted, deduplicated symbol set the
+  /// monitors observe. `scratch` is reused across receipts.
+  void MapSymbols(const retail::Receipt& receipt,
+                  std::vector<core::Symbol>* scratch) const;
+
+  /// Shared tail of AdvanceAllTo / FinishAll: runs `op` on every customer
+  /// of every shard and merges alerts sorted by (customer, window, kind).
+  template <typename PerCustomerOp>
+  Result<BatchReport> ForAllCustomers(const char* span_name,
+                                      PerCustomerOp&& op);
+
+  FleetOptions options_;
+  CustomerStateStore store_;
+  core::SymbolMapper mapper_;
+  /// Lazily created on the first multi-threaded operation; unique_ptr so
+  /// the fleet stays movable.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace serve
+}  // namespace churnlab
+
+#endif  // CHURNLAB_SERVE_FLEET_H_

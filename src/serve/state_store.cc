@@ -1,0 +1,125 @@
+#include "serve/state_store.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace churnlab {
+namespace serve {
+
+/// One shard: a dense insertion-ordered slab plus an id -> slot index.
+/// Heap-allocated (the mutex is immovable) so the store itself stays
+/// movable, which Result<CustomerStateStore> requires.
+struct Shard {
+  mutable std::mutex mutex;
+  std::vector<CustomerStateStore::CustomerState> slab;
+  std::unordered_map<retail::CustomerId, size_t> index;
+};
+
+CustomerStateStore::CustomerStateStore(
+    StateStoreOptions options, core::StabilityMonitor prototype,
+    std::vector<std::unique_ptr<Shard>> shards)
+    : options_(std::move(options)),
+      prototype_(std::move(prototype)),
+      shards_(std::move(shards)) {}
+
+CustomerStateStore::~CustomerStateStore() = default;
+CustomerStateStore::CustomerStateStore(CustomerStateStore&&) noexcept =
+    default;
+CustomerStateStore& CustomerStateStore::operator=(
+    CustomerStateStore&&) noexcept = default;
+
+Result<CustomerStateStore> CustomerStateStore::Make(
+    StateStoreOptions options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  CHURNLAB_ASSIGN_OR_RETURN(
+      core::StabilityMonitor prototype,
+      core::StabilityMonitor::Make(options.scorer, options.policy));
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(options.num_shards);
+  for (size_t i = 0; i < options.num_shards; ++i) {
+    shards.push_back(std::make_unique<Shard>());
+  }
+  return CustomerStateStore(std::move(options), std::move(prototype),
+                            std::move(shards));
+}
+
+std::mutex& CustomerStateStore::ShardMutex(size_t shard) const {
+  return shards_[shard]->mutex;
+}
+
+size_t CustomerStateStore::NumCustomers() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->slab.size();
+  }
+  return total;
+}
+
+CustomerStateStore::CustomerState&
+CustomerStateStore::ShardAccessor::GetOrCreate(retail::CustomerId customer) {
+  Shard& shard = *store_->shards_[shard_index_];
+  const auto [it, inserted] = shard.index.try_emplace(customer,
+                                                      shard.slab.size());
+  if (inserted) {
+    shard.slab.emplace_back(customer,
+                            core::StabilityMonitor(store_->prototype_));
+  }
+  return shard.slab[it->second];
+}
+
+std::vector<CustomerStateStore::CustomerState>&
+CustomerStateStore::ShardAccessor::states() {
+  return store_->shards_[shard_index_]->slab;
+}
+
+const std::vector<CustomerStateStore::CustomerState>&
+CustomerStateStore::ShardAccessor::states() const {
+  return store_->shards_[shard_index_]->slab;
+}
+
+void CustomerStateStore::SaveShardState(size_t shard,
+                                        BinaryWriter* writer) const {
+  const Shard& s = *shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  writer->WriteVarint(s.slab.size());
+  for (const CustomerState& state : s.slab) {
+    writer->WriteVarint(state.customer);
+    state.monitor.SaveState(writer);
+  }
+}
+
+Status CustomerStateStore::LoadShardState(size_t shard,
+                                          BinaryReader* reader) {
+  Shard& s = *shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.slab.clear();
+  s.index.clear();
+  CHURNLAB_ASSIGN_OR_RETURN(const uint64_t count, reader->ReadVarint());
+  s.slab.reserve(count);
+  s.index.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    CHURNLAB_ASSIGN_OR_RETURN(const uint64_t id, reader->ReadVarint());
+    if (id >= retail::kInvalidCustomer) {
+      return Status::IOError("snapshot shard holds an invalid customer id");
+    }
+    const auto customer = static_cast<retail::CustomerId>(id);
+    if (ShardOf(customer) != shard) {
+      return Status::IOError(
+          "snapshot customer hashed to a different shard; the snapshot was "
+          "written with a different shard count or is corrupted");
+    }
+    if (!s.index.try_emplace(customer, s.slab.size()).second) {
+      return Status::IOError("snapshot shard repeats a customer id");
+    }
+    s.slab.emplace_back(customer, core::StabilityMonitor(prototype_));
+    CHURNLAB_RETURN_NOT_OK(s.slab.back().monitor.LoadState(reader));
+  }
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace churnlab

@@ -1,0 +1,141 @@
+#ifndef CHURNLAB_SERVE_STATE_STORE_H_
+#define CHURNLAB_SERVE_STATE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/result.h"
+#include "core/monitor.h"
+#include "retail/types.h"
+
+namespace churnlab {
+namespace serve {
+
+/// Stable 64-bit mix (the murmur3 finalizer). Used instead of std::hash so
+/// shard assignment — and therefore snapshot layout and alert grouping — is
+/// identical across runs, standard libraries, and platforms.
+inline uint64_t StableHash(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+struct Shard;
+
+struct StateStoreOptions {
+  core::OnlineStabilityScorer::Options scorer;
+  core::MonitorPolicy policy;
+  /// Number of independent shards (>= 1). Each shard has its own mutex and
+  /// dense customer slab; customers are assigned by
+  /// StableHash(customer_id) % num_shards.
+  size_t num_shards = 16;
+};
+
+/// \brief Sharded owner of per-customer streaming state.
+///
+/// Each customer is one StabilityMonitor (an OnlineStabilityScorer plus
+/// alerting policy). Customers live in `num_shards` shards, each a dense
+/// slab (std::vector, insertion-ordered) plus an id -> slot index and one
+/// mutex. The ScoringFleet partitions batches by shard and processes each
+/// shard sequentially under its lock, so two receipts of one customer can
+/// never race.
+///
+/// Determinism: slab order is creation order, which the fleet makes
+/// batch-order within a shard; snapshots iterate slabs in slot order, so
+/// the byte stream is independent of thread count.
+class CustomerStateStore {
+ public:
+  struct CustomerState {
+    retail::CustomerId customer = retail::kInvalidCustomer;
+    core::StabilityMonitor monitor;
+
+    CustomerState(retail::CustomerId id, core::StabilityMonitor m)
+        : customer(id), monitor(std::move(m)) {}
+  };
+
+  /// Validates the scorer options and shard count, per the library-wide
+  /// `static Result<T> Make(Options)` convention (docs/API.md).
+  static Result<CustomerStateStore> Make(StateStoreOptions options);
+
+  ~CustomerStateStore();
+  CustomerStateStore(CustomerStateStore&&) noexcept;
+  CustomerStateStore& operator=(CustomerStateStore&&) noexcept;
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t ShardOf(retail::CustomerId customer) const {
+    return StableHash(customer) % shards_.size();
+  }
+
+  /// Total customers across all shards. Locks each shard in turn; do not
+  /// call from inside WithShard.
+  size_t NumCustomers() const;
+
+  /// Mutable view of one locked shard, handed to WithShard callbacks.
+  class ShardAccessor {
+   public:
+    /// The customer's state, created on first touch (fresh monitor copied
+    /// from the validated prototype). The reference is stable until the
+    /// next GetOrCreate on this shard (slab may reallocate).
+    CustomerState& GetOrCreate(retail::CustomerId customer);
+
+    /// States in creation order.
+    std::vector<CustomerState>& states();
+    const std::vector<CustomerState>& states() const;
+
+   private:
+    friend class CustomerStateStore;
+    ShardAccessor(CustomerStateStore* store, size_t shard_index)
+        : store_(store), shard_index_(shard_index) {}
+
+    CustomerStateStore* store_;
+    size_t shard_index_;
+  };
+
+  /// Runs `fn(ShardAccessor&)` with shard `shard` locked and returns fn's
+  /// result. Distinct shards may be visited concurrently.
+  template <typename Fn>
+  auto WithShard(size_t shard, Fn&& fn) {
+    std::lock_guard<std::mutex> lock(ShardMutex(shard));
+    ShardAccessor accessor(this, shard);
+    return fn(accessor);
+  }
+
+  /// Serializes shard `shard` (customer count, then per customer: id +
+  /// monitor state) into `writer`. Locks the shard.
+  void SaveShardState(size_t shard, BinaryWriter* writer) const;
+
+  /// Replaces shard `shard` with state written by SaveShardState. The store
+  /// must have been Made with the same options as the saver; customers that
+  /// do not hash to `shard` are rejected as corruption. Locks the shard.
+  Status LoadShardState(size_t shard, BinaryReader* reader);
+
+  const StateStoreOptions& options() const { return options_; }
+
+ private:
+  friend class ShardAccessor;
+
+  CustomerStateStore(StateStoreOptions options,
+                     core::StabilityMonitor prototype,
+                     std::vector<std::unique_ptr<Shard>> shards);
+
+  std::mutex& ShardMutex(size_t shard) const;
+
+  StateStoreOptions options_;
+  /// A validated, never-fed monitor; new customers copy it (cheap: all
+  /// internal vectors are empty until the first observation).
+  core::StabilityMonitor prototype_;
+  /// unique_ptr so the store stays movable (Shard holds a mutex).
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace serve
+}  // namespace churnlab
+
+#endif  // CHURNLAB_SERVE_STATE_STORE_H_

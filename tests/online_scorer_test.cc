@@ -69,12 +69,22 @@ TEST(OnlineStabilityScorer, RejectsPreOriginDays) {
 TEST(OnlineStabilityScorer, FinishClosesCurrentWindow) {
   auto scorer = OnlineStabilityScorer::Make(TwoMonthOptions()).ValueOrDie();
   ASSERT_TRUE(scorer.Observe(5, {1, 2}).ok());
-  const StabilityPoint point = scorer.Finish();
+  const StabilityPoint point = scorer.Finish().ValueOrDie();
   EXPECT_EQ(point.window_index, 0);
   EXPECT_EQ(scorer.current_window(), 1);
   // Post-Finish observations in the closed window are rejected.
   EXPECT_TRUE(scorer.Observe(30, {1}).status().IsInvalidArgument());
   EXPECT_TRUE(scorer.Observe(60, {1}).ok());
+}
+
+TEST(OnlineStabilityScorer, FinishWithoutObservationsFails) {
+  auto scorer = OnlineStabilityScorer::Make(TwoMonthOptions()).ValueOrDie();
+  const auto finished = scorer.Finish();
+  ASSERT_FALSE(finished.ok());
+  EXPECT_TRUE(finished.status().IsFailedPrecondition());
+  // The scorer is still usable: a later observation then Finish succeeds.
+  ASSERT_TRUE(scorer.Observe(5, {1}).ok());
+  EXPECT_TRUE(scorer.Finish().ok());
 }
 
 TEST(OnlineStabilityScorer, AdvanceToWithoutPurchases) {
@@ -88,7 +98,7 @@ TEST(OnlineStabilityScorer, AdvanceToWithoutPurchases) {
 TEST(OnlineStabilityScorer, InvalidSymbolsDropped) {
   auto scorer = OnlineStabilityScorer::Make(TwoMonthOptions()).ValueOrDie();
   ASSERT_TRUE(scorer.Observe(5, {1, kInvalidSymbol}).ok());
-  const StabilityPoint point = scorer.Finish();
+  const StabilityPoint point = scorer.Finish().ValueOrDie();
   EXPECT_FALSE(point.has_history);
 }
 

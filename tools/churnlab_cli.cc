@@ -1,48 +1,47 @@
 // churnlab — command-line front end for the library.
 //
 // Subcommands:
-//   simulate    generate a synthetic retail dataset and save it
-//   stats       print dataset statistics
-//   score       compute per-customer stability scores (CSV out)
-//   explain     per-window stability walk-through for one customer
-//   profile     a customer's ranked significant-product table
-//   evaluate    stability vs RFM detection AUROC by month
-//   forecast    out-of-fold AUROC of future-defection prediction
-//   gridsearch  5-fold CV search over (window span, alpha)
+//   simulate      generate a synthetic retail dataset and save it
+//   stats         print dataset statistics
+//   score         compute per-customer stability scores (CSV out)
+//   explain       per-window stability walk-through for one customer
+//   profile       a customer's ranked significant-product table
+//   evaluate      stability vs RFM detection AUROC by month
+//   forecast      out-of-fold AUROC of future-defection prediction
+//   gridsearch    5-fold CV search over (window span, alpha)
+//   serve-replay  replay a dataset through the sharded scoring fleet
 //
 // Datasets are addressed by path: `x.clb` loads the binary format, any
 // other value is treated as a CSV prefix (x.receipts.csv / x.taxonomy.csv /
 // x.labels.csv).
+//
+// Everything model-facing goes through the churnlab::api facade
+// (src/churnlab.h); only flag parsing, logging and telemetry plumbing come
+// from elsewhere.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "churnlab.h"
 #include "common/flags.h"
 #include "common/logging.h"
 #include "common/macros.h"
 #include "common/string_util.h"
-#include "core/stability_model.h"
-#include "datagen/scenario.h"
-#include "eval/experiment.h"
-#include "eval/forecaster.h"
-#include "eval/grid_search.h"
-#include "eval/report.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/structured_log.h"
 #include "obs/trace.h"
-#include "retail/dataset.h"
 
 namespace churnlab {
 namespace {
 
-Result<retail::Dataset> LoadDataset(const std::string& path) {
+Result<api::Dataset> LoadDataset(const std::string& path) {
   if (path.empty()) {
     return Status::InvalidArgument("--data is required");
   }
-  if (EndsWith(path, ".clb")) return retail::Dataset::LoadBinary(path);
-  return retail::Dataset::LoadCsv(path);
+  return api::LoadDataset(path);
 }
 
 Status RunSimulate(int argc, const char* const* argv) {
@@ -62,14 +61,14 @@ Status RunSimulate(int argc, const char* const* argv) {
   CHURNLAB_RETURN_NOT_OK(parser.Parse(argc, argv, 2));
   if (out.empty()) return Status::InvalidArgument("--out is required");
 
-  datagen::PaperScenarioConfig config;
+  api::ScenarioConfig config;
   config.population.num_loyal = loyal;
   config.population.num_defecting = defecting;
   config.num_months = static_cast<int32_t>(months);
   config.population.attrition.onset_month = static_cast<int32_t>(onset);
   config.seed = seed;
-  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset,
-                            datagen::MakePaperDataset(config));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::Dataset dataset,
+                            api::MakeScenario(config));
   if (csv) {
     CHURNLAB_RETURN_NOT_OK(dataset.SaveCsv(out));
     std::printf("wrote %s.{receipts,taxonomy,labels}.csv\n", out.c_str());
@@ -86,7 +85,7 @@ Status RunStats(int argc, const char* const* argv) {
   std::string data;
   parser.AddString("data", "", "dataset path (.clb) or CSV prefix", &data);
   CHURNLAB_RETURN_NOT_OK(parser.Parse(argc, argv, 2));
-  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset, LoadDataset(data));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::Dataset dataset, LoadDataset(data));
   std::printf("%s", dataset.ComputeStats().ToString().c_str());
   return Status::OK();
 }
@@ -108,18 +107,18 @@ Status RunScore(int argc, const char* const* argv) {
                  "observe raw products instead of taxonomy segments",
                  &products);
   CHURNLAB_RETURN_NOT_OK(parser.Parse(argc, argv, 2));
-  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset, LoadDataset(data));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::Dataset dataset, LoadDataset(data));
 
-  core::StabilityModelOptions options;
+  api::ScorerOptions options;
   options.significance.alpha = alpha;
   options.window_span_months = static_cast<int32_t>(window);
   options.num_threads = static_cast<size_t>(threads);
-  options.granularity = products ? retail::Granularity::kProduct
-                                 : retail::Granularity::kSegment;
-  CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel model,
-                            core::StabilityModel::Make(options));
-  CHURNLAB_ASSIGN_OR_RETURN(const core::ScoreMatrix scores,
-                            model.ScoreDataset(dataset));
+  options.granularity = products ? api::Granularity::kProduct
+                                 : api::Granularity::kSegment;
+  CHURNLAB_ASSIGN_OR_RETURN(const api::ScorerHandle scorer,
+                            api::ScorerHandle::Make(options));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::ScoreMatrix scores,
+                            scorer.ScoreDataset(dataset));
 
   if (out.empty()) {
     std::printf("scored %zu customers x %d windows (alpha=%.2f, w=%lld)\n",
@@ -144,18 +143,18 @@ Status RunExplain(int argc, const char* const* argv) {
   parser.AddInt64("window", 2, "window span in months", &window);
   parser.AddInt64("top", 5, "missing products listed per window", &top);
   CHURNLAB_RETURN_NOT_OK(parser.Parse(argc, argv, 2));
-  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset, LoadDataset(data));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::Dataset dataset, LoadDataset(data));
 
-  core::StabilityModelOptions options;
+  api::ScorerOptions options;
   options.significance.alpha = alpha;
   options.window_span_months = static_cast<int32_t>(window);
   options.explanation.top_k = static_cast<size_t>(top);
-  CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel model,
-                            core::StabilityModel::Make(options));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::ScorerHandle scorer,
+                            api::ScorerHandle::Make(options));
   CHURNLAB_ASSIGN_OR_RETURN(
-      const core::CustomerReport report,
-      model.AnalyzeCustomer(dataset,
-                            static_cast<retail::CustomerId>(customer)));
+      const api::CustomerReport report,
+      scorer.AnalyzeCustomer(dataset,
+                             static_cast<api::CustomerId>(customer)));
   std::printf("%s", report.ToString().c_str());
   return Status::OK();
 }
@@ -174,26 +173,26 @@ Status RunProfile(int argc, const char* const* argv) {
   parser.AddInt64("at", -1, "window index to profile (-1 = last)", &window);
   parser.AddInt64("top", 15, "products listed", &top);
   CHURNLAB_RETURN_NOT_OK(parser.Parse(argc, argv, 2));
-  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset, LoadDataset(data));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::Dataset dataset, LoadDataset(data));
 
-  core::StabilityModelOptions options;
+  api::ScorerOptions options;
   options.significance.alpha = alpha;
   options.window_span_months = static_cast<int32_t>(window_span);
-  CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel model,
-                            core::StabilityModel::Make(options));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::ScorerHandle scorer,
+                            api::ScorerHandle::Make(options));
   CHURNLAB_ASSIGN_OR_RETURN(
-      const core::SignificanceProfile profile,
-      model.ProfileCustomer(dataset, static_cast<retail::CustomerId>(customer),
-                            static_cast<int32_t>(window)));
+      const api::SignificanceProfile profile,
+      scorer.ProfileCustomer(dataset, static_cast<api::CustomerId>(customer),
+                             static_cast<int32_t>(window)));
   std::printf("customer %u, window %d (months [%lld, %lld))\n",
               profile.customer, profile.window_index,
               static_cast<long long>(profile.window_index * window_span),
               static_cast<long long>((profile.window_index + 1) *
                                      window_span));
-  eval::TextTable table(
+  api::TextTable table(
       {"product", "bought/missed windows", "significance", "share", ""});
   int64_t listed = 0;
-  for (const core::SignificantProduct& product : profile.products) {
+  for (const auto& product : profile.products) {
     if (listed++ >= top) break;
     table.AddRow({product.name,
                   std::to_string(product.contain_count) + "/" +
@@ -221,21 +220,22 @@ Status RunEvaluate(int argc, const char* const* argv) {
   parser.AddUint64("threads", 1, "worker threads (same output for any count)",
                    &threads);
   CHURNLAB_RETURN_NOT_OK(parser.Parse(argc, argv, 2));
-  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset, LoadDataset(data));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::Dataset dataset, LoadDataset(data));
 
-  eval::Figure1Options options;
+  api::Figure1Options options;
   options.stability.significance.alpha = alpha;
   options.stability.window_span_months = static_cast<int32_t>(window);
   options.stability.num_threads = static_cast<size_t>(threads);
   options.rfm.features.window_span_months = static_cast<int32_t>(window);
   options.first_report_month = static_cast<int32_t>(first_month);
   options.last_report_month = static_cast<int32_t>(last_month);
-  options.num_threads = static_cast<size_t>(threads);
   CHURNLAB_ASSIGN_OR_RETURN(
-      const eval::Figure1Result result,
-      eval::ExperimentRunner::RunFigure1OnDataset(dataset, options));
-  eval::TextTable table({"month", "stability AUROC", "RFM AUROC"});
-  for (const eval::Figure1Row& row : result.rows) {
+      const api::EvalRunner runner,
+      api::EvalRunner::Make({static_cast<size_t>(threads)}));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::Figure1Result result,
+                            runner.Figure1(dataset, options));
+  api::TextTable table({"month", "stability AUROC", "RFM AUROC"});
+  for (const auto& row : result.rows) {
     table.AddRow({std::to_string(row.report_month),
                   FormatDouble(row.stability_auroc, 3),
                   FormatDouble(row.rfm_auroc, 3)});
@@ -254,13 +254,15 @@ Status RunForecast(int argc, const char* const* argv) {
                   &decision);
   parser.AddInt64("horizon", 6, "forecast horizon in months", &horizon);
   CHURNLAB_RETURN_NOT_OK(parser.Parse(argc, argv, 2));
-  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset, LoadDataset(data));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::Dataset dataset, LoadDataset(data));
 
-  eval::ForecastOptions options;
+  api::ForecastOptions options;
   options.decision_month = static_cast<int32_t>(decision);
   options.horizon_months = static_cast<int32_t>(horizon);
-  CHURNLAB_ASSIGN_OR_RETURN(const eval::ForecastResult result,
-                            eval::StabilityForecaster::Run(dataset, options));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::EvalRunner runner,
+                            api::EvalRunner::Make());
+  CHURNLAB_ASSIGN_OR_RETURN(const api::ForecastResult result,
+                            runner.Forecast(dataset, options));
   std::printf("decision month %lld, horizon %lld months\n",
               static_cast<long long>(decision),
               static_cast<long long>(horizon));
@@ -269,7 +271,7 @@ Status RunForecast(int argc, const char* const* argv) {
               result.num_future_defectors, result.num_loyal,
               result.num_already_defecting);
   std::printf("out-of-fold AUROC: %.3f\n", result.auroc);
-  eval::TextTable table({"lead (months)", "AUROC", "defectors"});
+  api::TextTable table({"lead (months)", "AUROC", "defectors"});
   for (const auto& bucket : result.by_lead) {
     table.AddRow({std::to_string(bucket.lead_months),
                   bucket.auroc < 0.0 ? "-" : FormatDouble(bucket.auroc, 3),
@@ -291,15 +293,17 @@ Status RunGridSearch(int argc, const char* const* argv) {
   parser.AddUint64("threads", 1, "worker threads (same output for any count)",
                    &threads);
   CHURNLAB_RETURN_NOT_OK(parser.Parse(argc, argv, 2));
-  CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset, LoadDataset(data));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::Dataset dataset, LoadDataset(data));
 
-  eval::GridSearchOptions options;
+  api::GridSearchOptions options;
   options.onset_month = static_cast<int32_t>(onset);
-  options.num_threads = static_cast<size_t>(threads);
-  CHURNLAB_ASSIGN_OR_RETURN(const eval::GridSearchResult result,
-                            eval::StabilityGridSearch::Run(dataset, options));
-  eval::TextTable table({"window (months)", "alpha", "mean AUROC", "std"});
-  for (const eval::GridSearchCell& cell : result.cells) {
+  CHURNLAB_ASSIGN_OR_RETURN(
+      const api::EvalRunner runner,
+      api::EvalRunner::Make({static_cast<size_t>(threads)}));
+  CHURNLAB_ASSIGN_OR_RETURN(const api::GridSearchResult result,
+                            runner.GridSearch(dataset, options));
+  api::TextTable table({"window (months)", "alpha", "mean AUROC", "std"});
+  for (const auto& cell : result.cells) {
     table.AddRow({std::to_string(cell.window_span_months),
                   FormatDouble(cell.alpha, 2),
                   FormatDouble(cell.mean_auroc, 3),
@@ -311,11 +315,120 @@ Status RunGridSearch(int argc, const char* const* argv) {
   return Status::OK();
 }
 
+Status RunServeReplay(int argc, const char* const* argv) {
+  FlagParser parser(
+      "churnlab serve-replay: replay a dataset through the scoring fleet "
+      "in day-ordered batches");
+  std::string data, snapshot_out, resume;
+  double alpha, beta;
+  int64_t window, batch_days, from_day, to_day;
+  uint64_t threads, shards;
+  bool products, finish;
+  parser.AddString("data", "", "dataset path (.clb) or CSV prefix", &data);
+  parser.AddDouble("alpha", 2.0, "significance alpha", &alpha);
+  parser.AddDouble("beta", 0.6, "low-stability alert threshold", &beta);
+  parser.AddInt64("window", 2, "window span in months", &window);
+  parser.AddInt64("batch-days", 7, "days of receipts per ingested batch",
+                  &batch_days);
+  parser.AddUint64("threads", 1, "worker threads (same output for any count)",
+                   &threads);
+  parser.AddUint64("shards", 16, "state-store shards", &shards);
+  parser.AddBool("products", false,
+                 "observe raw products instead of taxonomy segments",
+                 &products);
+  parser.AddString("snapshot-out", "",
+                   "write a fleet snapshot here after the replay", &snapshot_out);
+  parser.AddString("resume", "",
+                   "restore the fleet from this snapshot before replaying",
+                   &resume);
+  parser.AddInt64("from-day", 0,
+                  "replay only receipts on or after this day (for resuming "
+                  "a mid-stream snapshot)",
+                  &from_day);
+  parser.AddInt64("to-day", -1,
+                  "replay only receipts before this day (-1 = end of data); "
+                  "combine with --snapshot-out for a mid-stream snapshot",
+                  &to_day);
+  parser.AddBool("finish", true,
+                 "flush in-progress windows at end of stream (disable when "
+                 "snapshotting mid-stream for a later --resume)",
+                 &finish);
+  CHURNLAB_RETURN_NOT_OK(parser.Parse(argc, argv, 2));
+  if (batch_days <= 0) {
+    return Status::InvalidArgument("--batch-days must be positive");
+  }
+  if (to_day >= 0 && to_day <= from_day) {
+    return Status::InvalidArgument("--to-day must be greater than --from-day");
+  }
+  CHURNLAB_ASSIGN_OR_RETURN(const api::Dataset dataset, LoadDataset(data));
+
+  api::FleetOptions options;
+  options.scorer.significance.alpha = alpha;
+  options.scorer.window_span_days =
+      static_cast<api::Day>(window) * api::kDaysPerMonth;
+  options.policy.beta = beta;
+  options.num_shards = static_cast<size_t>(shards);
+  options.num_threads = static_cast<size_t>(threads);
+  options.granularity = products ? api::Granularity::kProduct
+                                 : api::Granularity::kSegment;
+
+  Result<api::FleetHandle> fleet =
+      resume.empty()
+          ? api::FleetHandle::Make(options, dataset)
+          : api::FleetHandle::Restore(resume, dataset,
+                                      static_cast<size_t>(threads));
+  CHURNLAB_RETURN_NOT_OK(fleet.status());
+
+  // Day-ordered replay. AllReceipts is (customer, day)-sorted; the stable
+  // sort by day keeps each customer's receipts chronological.
+  const std::span<const api::Receipt> all = dataset.store().AllReceipts();
+  std::vector<api::Receipt> replay;
+  replay.reserve(all.size());
+  for (const api::Receipt& receipt : all) {
+    if (receipt.day < from_day) continue;
+    if (to_day >= 0 && receipt.day >= to_day) continue;
+    replay.push_back(receipt);
+  }
+  std::stable_sort(replay.begin(), replay.end(),
+                   [](const api::Receipt& a, const api::Receipt& b) {
+                     return a.day < b.day;
+                   });
+
+  size_t batches = 0, receipts = 0, alerts = 0;
+  for (size_t begin = 0; begin < replay.size();) {
+    const api::Day batch_end =
+        replay[begin].day + static_cast<api::Day>(batch_days);
+    size_t end = begin;
+    while (end < replay.size() && replay[end].day < batch_end) ++end;
+    CHURNLAB_ASSIGN_OR_RETURN(
+        const api::BatchReport report,
+        fleet->IngestBatch(std::span<const api::Receipt>(
+            replay.data() + begin, end - begin)));
+    ++batches;
+    receipts += report.receipts_ingested;
+    alerts += report.alerts.size();
+    begin = end;
+  }
+  if (finish) {
+    CHURNLAB_ASSIGN_OR_RETURN(const api::BatchReport tail, fleet->FinishAll());
+    alerts += tail.alerts.size();
+  }
+
+  std::printf("replayed %zu receipts in %zu batches: %zu customers, "
+              "%zu alerts\n",
+              receipts, batches, fleet->NumCustomers(), alerts);
+  if (!snapshot_out.empty()) {
+    CHURNLAB_RETURN_NOT_OK(fleet->SaveSnapshot(snapshot_out));
+    std::printf("wrote fleet snapshot to %s\n", snapshot_out.c_str());
+  }
+  return Status::OK();
+}
+
 int Main(int argc, const char* const* argv) {
   const std::string usage =
       "usage: churnlab "
-      "<simulate|stats|score|explain|profile|evaluate|forecast|gridsearch> "
-      "[flags]\n       churnlab <subcommand> --help\n"
+      "<simulate|stats|score|explain|profile|evaluate|forecast|gridsearch|"
+      "serve-replay> [flags]\n       churnlab <subcommand> --help\n"
       "global flags: --verbose (progress logs), --trace (profile table on "
       "stderr),\n"
       "              --metrics-out=<path> (telemetry JSON), "
@@ -382,6 +495,8 @@ int Main(int argc, const char* const* argv) {
       status = RunForecast(argc, argv);
     } else if (command == "gridsearch") {
       status = RunGridSearch(argc, argv);
+    } else if (command == "serve-replay") {
+      status = RunServeReplay(argc, argv);
     } else {
       std::fprintf(stderr, "unknown subcommand '%s'\n%s", command.c_str(),
                    usage.c_str());
