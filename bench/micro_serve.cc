@@ -132,7 +132,7 @@ void BM_FleetSnapshotSave(benchmark::State& state) {
   size_t bytes = 0;
   for (auto _ : state) {
     BinaryWriter writer;
-    fleet.SaveSnapshot(&writer);
+    fleet.SaveSnapshot(&writer).Abort("snapshot");
     bytes = writer.buffer().size();
     benchmark::DoNotOptimize(writer.buffer().data());
   }
@@ -143,7 +143,7 @@ BENCHMARK(BM_FleetSnapshotSave);
 
 void BM_FleetSnapshotRestore(benchmark::State& state) {
   BinaryWriter writer;
-  FedFleet().SaveSnapshot(&writer);
+  FedFleet().SaveSnapshot(&writer).Abort("snapshot");
   for (auto _ : state) {
     BinaryReader reader(writer.buffer());
     auto restored =

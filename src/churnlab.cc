@@ -80,6 +80,10 @@ Status FleetHandle::SaveSnapshot(const std::string& path) const {
   return fleet_.SaveSnapshotToFile(path);
 }
 
+Status FleetHandle::AppendSnapshot(const std::string& path) const {
+  return fleet_.AppendSnapshotToFile(path);
+}
+
 Result<FleetHandle> FleetHandle::Restore(const std::string& path,
                                          const Dataset& dataset,
                                          size_t num_threads) {

@@ -24,7 +24,9 @@
 #include <span>
 #include <string>
 
+#include "common/failpoint.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "core/stability_model.h"
 #include "datagen/scenario.h"
 #include "eval/experiment.h"
@@ -123,8 +125,16 @@ class ScorerHandle {
 using serve::BatchReport;
 using serve::FleetAlert;
 using serve::FleetOptions;
+using serve::PoisonedShard;
+using serve::RejectedReceipt;
 using MonitorPolicy = core::MonitorPolicy;
 using StabilityAlert = core::StabilityAlert;
+/// Fault injection (docs/ROBUSTNESS.md): arm failpoints programmatically or
+/// via FailpointRegistry::Global().ArmFromSpec / the CHURNLAB_FAILPOINTS
+/// environment variable; RetryPolicy shapes shard-task and snapshot-write
+/// retries through FleetOptions::shard_retry.
+using churnlab::FailpointRegistry;
+using churnlab::RetryPolicy;
 
 /// \brief Streaming multi-customer serving: sharded per-customer state,
 /// batched ingestion, alerting, and bit-identical snapshot/restore.
@@ -158,8 +168,14 @@ class FleetHandle {
   size_t NumCustomers() const { return fleet_.NumCustomers(); }
   const FleetOptions& options() const { return fleet_.options(); }
 
-  /// Writes a versioned, CRC-framed snapshot of the full fleet state.
+  /// Writes a versioned, CRC-framed snapshot of the full fleet state
+  /// (truncating `path`).
   Status SaveSnapshot(const std::string& path) const;
+
+  /// Appends one snapshot *generation* to `path`; Restore loads the newest
+  /// valid generation, so a torn tail loses at most the last append (see
+  /// docs/ROBUSTNESS.md §Snapshot recovery).
+  Status AppendSnapshot(const std::string& path) const;
 
   /// Rebuilds a fleet from a snapshot; continues bit-identically.
   /// Threads are never serialized; the restored fleet uses `num_threads`

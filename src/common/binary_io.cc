@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/macros.h"
 
 namespace churnlab {
@@ -38,13 +39,34 @@ void BinaryWriter::WriteBytes(const void* data, size_t size) {
   buffer_.append(static_cast<const char*>(data), size);
 }
 
-Status BinaryWriter::SaveToFile(const std::string& path) const {
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+Status BinaryWriter::WriteTo(const std::string& path, bool append) const {
+  static Failpoint* const save_failpoint =
+      FailpointRegistry::Global().Get("common.binary_io.save");
+  const std::string* bytes = &buffer_;
+  std::string corrupted;
+  if (save_failpoint->armed()) {
+    // Corrupt a copy so the in-memory writer stays pristine; error/throw
+    // actions fire here, before the file is touched.
+    corrupted = buffer_;
+    CHURNLAB_RETURN_NOT_OK(save_failpoint->CorruptBytes(&corrupted));
+    bytes = &corrupted;
+  }
+  const auto mode =
+      std::ios::binary | (append ? std::ios::app : std::ios::trunc);
+  std::ofstream file(path, mode);
   if (!file) return Status::IOError("cannot open '" + path + "' for writing");
-  file.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  file.write(bytes->data(), static_cast<std::streamsize>(bytes->size()));
   file.close();
   if (file.fail()) return Status::IOError("write to '" + path + "' failed");
   return Status::OK();
+}
+
+Status BinaryWriter::SaveToFile(const std::string& path) const {
+  return WriteTo(path, /*append=*/false);
+}
+
+Status BinaryWriter::AppendToFile(const std::string& path) const {
+  return WriteTo(path, /*append=*/true);
 }
 
 uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
@@ -70,12 +92,18 @@ uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
 }
 
 Result<BinaryReader> BinaryReader::OpenFile(const std::string& path) {
+  static Failpoint* const open_failpoint =
+      FailpointRegistry::Global().Get("common.binary_io.open");
   std::ifstream file(path, std::ios::binary);
   if (!file) return Status::IOError("cannot open '" + path + "' for reading");
   std::ostringstream contents;
   contents << file.rdbuf();
   if (file.bad()) return Status::IOError("error while reading '" + path + "'");
-  return BinaryReader(std::move(contents).str());
+  std::string buffer = std::move(contents).str();
+  if (open_failpoint->armed()) {
+    CHURNLAB_RETURN_NOT_OK(open_failpoint->CorruptBytes(&buffer));
+  }
+  return BinaryReader(std::move(buffer));
 }
 
 Result<uint64_t> BinaryReader::ReadVarint() {
@@ -120,7 +148,10 @@ Result<std::string> BinaryReader::ReadString() {
 
 Result<std::string> BinaryReader::ReadBytes(size_t size) {
   if (remaining() < size) {
-    return Status::OutOfRange("truncated bytes at end of buffer");
+    return Status::InvalidArgument(
+        "length prefix (" + std::to_string(size) +
+        " bytes) exceeds remaining buffer (" + std::to_string(remaining()) +
+        " bytes)");
   }
   std::string value = buffer_.substr(pos_, size);
   pos_ += size;

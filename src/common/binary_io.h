@@ -30,10 +30,19 @@ class BinaryWriter {
 
   const std::string& buffer() const { return buffer_; }
 
-  /// Writes the accumulated buffer to `path` (truncating).
+  /// Writes the accumulated buffer to `path` (truncating). Failpoint site
+  /// `common.binary_io.save` (corrupt-bytes flips a bit of the written copy,
+  /// never of the in-memory buffer).
   Status SaveToFile(const std::string& path) const;
 
+  /// Appends the accumulated buffer to `path` (creating it if absent).
+  /// Used by append-only formats such as fleet snapshot generations. Same
+  /// failpoint site as SaveToFile.
+  Status AppendToFile(const std::string& path) const;
+
  private:
+  Status WriteTo(const std::string& path, bool append) const;
+
   std::string buffer_;
 };
 
@@ -45,12 +54,16 @@ uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
 
 /// \brief Reader over a binary buffer produced by BinaryWriter.
 ///
-/// All reads are bounds-checked and return OutOfRange on truncated input.
+/// All reads are bounds-checked: fixed-width and varint reads return
+/// OutOfRange on truncated input, while ReadBytes — whose size is an
+/// untrusted, externally-framed length prefix — returns InvalidArgument
+/// when the prefix exceeds the remaining buffer.
 class BinaryReader {
  public:
   explicit BinaryReader(std::string buffer) : buffer_(std::move(buffer)) {}
 
-  /// Loads the whole file at `path` into a reader.
+  /// Loads the whole file at `path` into a reader. Failpoint site
+  /// `common.binary_io.open` (corrupt-bytes flips a bit of the loaded copy).
   static Result<BinaryReader> OpenFile(const std::string& path);
 
   Result<uint64_t> ReadVarint();
@@ -58,7 +71,9 @@ class BinaryReader {
   Result<double> ReadDouble();
   Result<std::string> ReadString();
   /// Reads exactly `size` raw bytes (the counterpart of WriteBytes when the
-  /// length is framed externally, e.g. snapshot shard frames).
+  /// length is framed externally, e.g. snapshot shard frames). `size` is
+  /// treated as untrusted: a prefix larger than the remaining buffer fails
+  /// with InvalidArgument before any allocation is sized from it.
   Result<std::string> ReadBytes(size_t size);
 
   /// True when the whole buffer has been consumed.

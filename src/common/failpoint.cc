@@ -1,0 +1,291 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace churnlab {
+
+namespace {
+
+/// Process-wide trigger observer (telemetry bridge). Relaxed is fine: the
+/// observer is installed once at startup, before faults are armed.
+std::atomic<FailpointObserver*> g_observer{nullptr};
+
+/// Stable 64-bit mix (murmur3 finalizer) used to spread corrupt-bytes
+/// positions across the buffer deterministically.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Parses "name(arg)" shapes; returns true and the inner text on match.
+bool ParseCall(std::string_view text, std::string_view name,
+               std::string_view* arg) {
+  if (!StartsWith(text, name)) return false;
+  std::string_view rest = text.substr(name.size());
+  if (rest.size() < 2 || rest.front() != '(' || rest.back() != ')') {
+    return false;
+  }
+  *arg = rest.substr(1, rest.size() - 2);
+  return true;
+}
+
+Status ParseAction(std::string_view text, FailpointConfig* config) {
+  std::string_view arg;
+  if (text == "error") {
+    config->action = FailpointAction::kError;
+    return Status::OK();
+  }
+  if (text == "throw") {
+    config->action = FailpointAction::kThrow;
+    return Status::OK();
+  }
+  if (text == "corrupt-bytes") {
+    config->action = FailpointAction::kCorruptBytes;
+    return Status::OK();
+  }
+  if (ParseCall(text, "delay", &arg)) {
+    CHURNLAB_ASSIGN_OR_RETURN(config->delay_ms, ParseDouble(arg));
+    if (config->delay_ms < 0.0) {
+      return Status::InvalidArgument("failpoint delay must be >= 0 ms");
+    }
+    config->action = FailpointAction::kDelay;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown failpoint action '" +
+                                 std::string(text) + "'");
+}
+
+Status ParseModifier(std::string_view text, FailpointConfig* config) {
+  std::string_view arg;
+  if (text == "always") {
+    config->schedule = FailpointConfig::Schedule::kAlways;
+    config->schedule_n = 1;
+    return Status::OK();
+  }
+  if (ParseCall(text, "every", &arg)) {
+    CHURNLAB_ASSIGN_OR_RETURN(config->schedule_n, ParseUint64(arg));
+    if (config->schedule_n == 0) {
+      return Status::InvalidArgument("every(N) needs N >= 1");
+    }
+    config->schedule = FailpointConfig::Schedule::kEveryN;
+    return Status::OK();
+  }
+  if (ParseCall(text, "nth", &arg)) {
+    CHURNLAB_ASSIGN_OR_RETURN(config->schedule_n, ParseUint64(arg));
+    if (config->schedule_n == 0) {
+      return Status::InvalidArgument("nth(N) needs N >= 1 (hits count from 1)");
+    }
+    config->schedule = FailpointConfig::Schedule::kNth;
+    return Status::OK();
+  }
+  if (ParseCall(text, "key", &arg)) {
+    CHURNLAB_ASSIGN_OR_RETURN(config->key, ParseUint64(arg));
+    config->has_key = true;
+    return Status::OK();
+  }
+  if (ParseCall(text, "limit", &arg)) {
+    CHURNLAB_ASSIGN_OR_RETURN(config->limit, ParseUint64(arg));
+    if (config->limit == 0) {
+      return Status::InvalidArgument("limit(M) needs M >= 1");
+    }
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown failpoint modifier '" +
+                                 std::string(text) + "'");
+}
+
+}  // namespace
+
+std::string_view FailpointActionToString(FailpointAction action) {
+  switch (action) {
+    case FailpointAction::kError:
+      return "error";
+    case FailpointAction::kThrow:
+      return "throw";
+    case FailpointAction::kCorruptBytes:
+      return "corrupt-bytes";
+    case FailpointAction::kDelay:
+      return "delay";
+  }
+  return "unknown";
+}
+
+Failpoint::Failpoint(std::string site)
+    : site_(std::move(site)), span_name_("failpoint." + site_) {}
+
+void Failpoint::Arm(FailpointConfig config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  config_ = config;
+  hits_ = 0;
+  fires_ = 0;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void Failpoint::Disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+uint64_t Failpoint::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+uint64_t Failpoint::fires() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fires_;
+}
+
+bool Failpoint::ShouldFire(uint64_t key, FailpointConfig* config,
+                           uint64_t* fire) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  if (config_.has_key && key != config_.key) return false;
+  ++hits_;
+  bool fires = false;
+  switch (config_.schedule) {
+    case FailpointConfig::Schedule::kAlways:
+      fires = true;
+      break;
+    case FailpointConfig::Schedule::kEveryN:
+      fires = hits_ % config_.schedule_n == 0;
+      break;
+    case FailpointConfig::Schedule::kNth:
+      fires = hits_ == config_.schedule_n;
+      break;
+  }
+  if (fires && config_.limit > 0 && fires_ >= config_.limit) fires = false;
+  if (!fires) return false;
+  *fire = ++fires_;
+  *config = config_;
+  return true;
+}
+
+Status Failpoint::Act(const FailpointConfig& config, uint64_t fire,
+                      std::string* bytes) {
+  if (FailpointObserver* observer =
+          g_observer.load(std::memory_order_acquire)) {
+    observer->OnTrigger(*this, config.action);
+  }
+  switch (config.action) {
+    case FailpointAction::kError:
+      return Status::Internal("failpoint '" + site_ + "' injected failure");
+    case FailpointAction::kThrow:
+      throw FailpointException(site_);
+    case FailpointAction::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(config.delay_ms));
+      return Status::OK();
+    case FailpointAction::kCorruptBytes:
+      // Flip one deterministic bit per fire: position from the fire
+      // ordinal, never the same twice in a row for growing buffers.
+      if (bytes != nullptr && !bytes->empty()) {
+        const uint64_t mixed = Mix64(fire);
+        (*bytes)[mixed % bytes->size()] ^=
+            static_cast<char>(1u << (mixed % 8));
+      }
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status Failpoint::Evaluate(uint64_t key) {
+  FailpointConfig config;
+  uint64_t fire = 0;
+  if (!ShouldFire(key, &config, &fire)) return Status::OK();
+  return Act(config, fire, nullptr);
+}
+
+Status Failpoint::CorruptBytes(std::string* bytes, uint64_t key) {
+  FailpointConfig config;
+  uint64_t fire = 0;
+  if (!ShouldFire(key, &config, &fire)) return Status::OK();
+  return Act(config, fire, bytes);
+}
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* const registry = new FailpointRegistry();
+  return *registry;
+}
+
+Failpoint* FailpointRegistry::Get(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  if (it != sites_.end()) return it->second.get();
+  auto failpoint =
+      std::unique_ptr<Failpoint>(new Failpoint(std::string(site)));
+  Failpoint* pointer = failpoint.get();
+  sites_.emplace(std::string(site), std::move(failpoint));
+  return pointer;
+}
+
+Status FailpointRegistry::ArmFromSpec(std::string_view spec) {
+  for (const std::string_view entry : Split(spec, ';')) {
+    const std::string_view trimmed = StripAsciiWhitespace(entry);
+    if (trimmed.empty()) continue;
+    const size_t equals = trimmed.find('=');
+    if (equals == std::string_view::npos || equals == 0) {
+      return Status::InvalidArgument(
+          "failpoint spec entry '" + std::string(trimmed) +
+          "' is not of the form site=action[@modifier...]");
+    }
+    const std::string_view site =
+        StripAsciiWhitespace(trimmed.substr(0, equals));
+    FailpointConfig config;
+    bool first = true;
+    for (const std::string_view part :
+         Split(trimmed.substr(equals + 1), '@')) {
+      const std::string_view token = StripAsciiWhitespace(part);
+      const Status parsed = first ? ParseAction(token, &config)
+                                  : ParseModifier(token, &config);
+      if (!parsed.ok()) {
+        return parsed.WithContext("failpoint spec entry '" +
+                                  std::string(trimmed) + "'");
+      }
+      first = false;
+    }
+    if (first) {
+      return Status::InvalidArgument("failpoint spec entry '" +
+                                     std::string(trimmed) +
+                                     "' is missing an action");
+    }
+    Get(site)->Arm(config);
+  }
+  return Status::OK();
+}
+
+Status FailpointRegistry::ArmFromEnv() {
+  const char* spec = std::getenv("CHURNLAB_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return Status::OK();
+  return ArmFromSpec(spec).WithContext("CHURNLAB_FAILPOINTS");
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [site, failpoint] : sites_) failpoint->Disarm();
+}
+
+std::vector<Failpoint*> FailpointRegistry::Armed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Failpoint*> armed;
+  for (const auto& [site, failpoint] : sites_) {
+    if (failpoint->armed()) armed.push_back(failpoint.get());
+  }
+  return armed;
+}
+
+void FailpointRegistry::SetObserver(FailpointObserver* observer) {
+  g_observer.store(observer, std::memory_order_release);
+}
+
+}  // namespace churnlab

@@ -1,0 +1,243 @@
+#ifndef CHURNLAB_COMMON_FAILPOINT_H_
+#define CHURNLAB_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace churnlab {
+
+/// \file
+/// Named, registry-backed failpoints for deterministic fault injection.
+///
+/// A failpoint is a named site in the code (`"serve.ingest.batch"`) that is
+/// normally inert — disarmed, a hit costs one relaxed atomic load and a
+/// predicted branch — but can be armed, programmatically or via the
+/// `CHURNLAB_FAILPOINTS` environment/CLI spec, to inject a failure:
+///
+///   - *error*:         the site observes an Internal Status
+///   - *throw*:         the site throws FailpointException
+///   - *corrupt-bytes*: the site deterministically flips one bit of a byte
+///                      buffer it is about to write/consume
+///   - *delay(ms)*:     the site sleeps for `ms` milliseconds
+///
+/// Trigger schedules are deterministic — `always`, `every(N)` (hits N, 2N,
+/// ...), `nth(K)` (hit K only) — so an injected fault replays bit-identically
+/// run over run. Sites that pass a key (customer id, shard index) can be
+/// narrowed with `key(K)`, which makes injection deterministic even across
+/// thread counts, and `limit(M)` caps the number of fires. The full spec
+/// grammar lives in docs/ROBUSTNESS.md:
+///
+///   CHURNLAB_FAILPOINTS='serve.shard.task=throw@nth(1);x=delay(5)@every(10)'
+///
+/// Typical use in a Status-returning function:
+/// \code
+///   Status IngestBatch(...) {
+///     CHURNLAB_FAILPOINT("serve.ingest.batch");
+///     ...
+///   }
+/// \endcode
+
+/// What an armed failpoint does when its schedule fires.
+enum class FailpointAction {
+  kError,         ///< the site observes Status::Internal
+  kThrow,         ///< the site throws FailpointException
+  kCorruptBytes,  ///< CorruptBytes() flips one bit of the buffer
+  kDelay,         ///< the site sleeps for delay_ms
+};
+
+std::string_view FailpointActionToString(FailpointAction action);
+
+/// Thrown by the *throw* action. Carries the site name so handlers (and
+/// ThreadPool exception capture) can attribute the fault.
+class FailpointException : public std::runtime_error {
+ public:
+  explicit FailpointException(const std::string& site)
+      : std::runtime_error("failpoint '" + site + "' injected exception"),
+        site_(site) {}
+
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// Full arming configuration of one failpoint.
+struct FailpointConfig {
+  FailpointAction action = FailpointAction::kError;
+  /// Sleep duration for the *delay* action.
+  double delay_ms = 0.0;
+
+  enum class Schedule {
+    kAlways,  ///< every matching hit fires
+    kEveryN,  ///< matching hits N, 2N, 3N, ... fire (deterministic 1-in-N)
+    kNth,     ///< only matching hit number N fires
+  };
+  Schedule schedule = Schedule::kAlways;
+  /// The N of kEveryN / kNth; ignored (and 1) for kAlways.
+  uint64_t schedule_n = 1;
+
+  /// When set, only hits carrying exactly this key (customer id, shard
+  /// index, ... — site-defined) count toward the schedule. Keyed arming is
+  /// what makes injection deterministic across thread counts.
+  bool has_key = false;
+  uint64_t key = 0;
+
+  /// Maximum number of fires; 0 means unlimited.
+  uint64_t limit = 0;
+};
+
+class Failpoint;
+
+/// Telemetry hook: installed process-wide (see obs::InstallFaultTelemetry,
+/// which bridges triggers into the metrics registry and the span tree).
+/// OnTrigger runs on the hitting thread, before the action executes.
+class FailpointObserver {
+ public:
+  virtual ~FailpointObserver() = default;
+  virtual void OnTrigger(const Failpoint& failpoint,
+                         FailpointAction action) = 0;
+};
+
+/// \brief One named failpoint. Instances are owned by the registry and are
+/// never freed, so call sites may cache the pointer in a static.
+class Failpoint {
+ public:
+  /// Sentinel for hits at sites that have no natural key.
+  static constexpr uint64_t kNoKey = ~uint64_t{0};
+
+  const std::string& site() const { return site_; }
+  /// "failpoint.<site>" — stable storage for trace spans.
+  const std::string& span_name() const { return span_name_; }
+
+  /// Disarmed fast path: one relaxed load.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  void Arm(FailpointConfig config);
+  void Disarm();
+
+  /// Matching hits / action fires since the last Arm().
+  uint64_t hits() const;
+  uint64_t fires() const;
+
+  /// Evaluates one hit. Returns the injected error for the *error* action,
+  /// throws for *throw*, sleeps then returns OK for *delay*, and returns OK
+  /// for *corrupt-bytes* (which only acts through CorruptBytes) or when the
+  /// schedule does not fire. Call only behind an armed() check (the
+  /// CHURNLAB_FAILPOINT macros do).
+  Status Evaluate(uint64_t key = kNoKey);
+
+  /// Hit for byte-buffer sites: when the schedule fires with the
+  /// *corrupt-bytes* action, deterministically flips one bit of `*bytes`
+  /// (position and bit derived from the fire count; empty buffers are left
+  /// alone). Other actions behave exactly as Evaluate.
+  Status CorruptBytes(std::string* bytes, uint64_t key = kNoKey);
+
+ private:
+  friend class FailpointRegistry;
+  explicit Failpoint(std::string site);
+
+  /// Counts the hit and decides whether the schedule fires; returns the
+  /// config snapshot to act on.
+  bool ShouldFire(uint64_t key, FailpointConfig* config, uint64_t* fire);
+
+  Status Act(const FailpointConfig& config, uint64_t fire,
+             std::string* bytes);
+
+  const std::string site_;
+  const std::string span_name_;
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mutex_;
+  FailpointConfig config_;
+  uint64_t hits_ = 0;
+  uint64_t fires_ = 0;
+};
+
+/// \brief Process-wide name -> Failpoint map.
+///
+/// Lookup takes a mutex; hitting a (cached) failpoint pointer is lock-free
+/// while disarmed. Failpoints are created on first Get and never freed.
+class FailpointRegistry {
+ public:
+  FailpointRegistry() = default;
+  FailpointRegistry(const FailpointRegistry&) = delete;
+  FailpointRegistry& operator=(const FailpointRegistry&) = delete;
+
+  static FailpointRegistry& Global();
+
+  /// Finds or creates the named failpoint. The pointer stays valid for the
+  /// process lifetime.
+  Failpoint* Get(std::string_view site);
+
+  /// Arms failpoints from a spec string (grammar in docs/ROBUSTNESS.md):
+  ///
+  ///   spec   := entry (';' entry)*
+  ///   entry  := site '=' action ('@' modifier)*
+  ///   action := 'error' | 'throw' | 'corrupt-bytes' | 'delay(' ms ')'
+  ///   mod    := 'always' | 'every(' N ')' | 'nth(' N ')' | 'key(' K ')'
+  ///             | 'limit(' M ')'
+  ///
+  /// Empty entries are ignored; an invalid entry fails the whole call with
+  /// InvalidArgument and arms nothing from it (earlier entries stay armed).
+  Status ArmFromSpec(std::string_view spec);
+
+  /// Arms from the CHURNLAB_FAILPOINTS environment variable; OK when unset
+  /// or empty.
+  Status ArmFromEnv();
+
+  void DisarmAll();
+
+  /// Currently armed failpoints, sorted by site name.
+  std::vector<Failpoint*> Armed() const;
+
+  /// Installs the process-wide trigger observer (not owned; pass nullptr to
+  /// remove). Typically obs::InstallFaultTelemetry's bridge.
+  static void SetObserver(FailpointObserver* observer);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Failpoint>, std::less<>> sites_;
+};
+
+/// Hits a keyless failpoint in a Status-returning function: on an injected
+/// error the enclosing function returns it. Disarmed cost: one relaxed load.
+#define CHURNLAB_FAILPOINT(site_name)                              \
+  do {                                                             \
+    static ::churnlab::Failpoint* const churnlab_failpoint__ =     \
+        ::churnlab::FailpointRegistry::Global().Get(site_name);    \
+    if (churnlab_failpoint__->armed()) {                           \
+      ::churnlab::Status churnlab_failpoint_status__ =             \
+          churnlab_failpoint__->Evaluate();                        \
+      if (!churnlab_failpoint_status__.ok()) {                     \
+        return churnlab_failpoint_status__;                        \
+      }                                                            \
+    }                                                              \
+  } while (false)
+
+/// As CHURNLAB_FAILPOINT, with a site-defined key (customer id, shard
+/// index, ...) the spec can match with key(K).
+#define CHURNLAB_FAILPOINT_KEYED(site_name, key_value)             \
+  do {                                                             \
+    static ::churnlab::Failpoint* const churnlab_failpoint__ =     \
+        ::churnlab::FailpointRegistry::Global().Get(site_name);    \
+    if (churnlab_failpoint__->armed()) {                           \
+      ::churnlab::Status churnlab_failpoint_status__ =             \
+          churnlab_failpoint__->Evaluate(                          \
+              static_cast<uint64_t>(key_value));                   \
+      if (!churnlab_failpoint_status__.ok()) {                     \
+        return churnlab_failpoint_status__;                        \
+      }                                                            \
+    }                                                              \
+  } while (false)
+
+}  // namespace churnlab
+
+#endif  // CHURNLAB_COMMON_FAILPOINT_H_

@@ -1,0 +1,46 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+namespace churnlab {
+
+double RetryPolicy::BackoffMs(int retry) const {
+  double backoff = initial_backoff_ms;
+  for (int i = 1; i < retry; ++i) {
+    backoff *= multiplier;
+    if (backoff >= max_backoff_ms) break;
+  }
+  return std::min(backoff, max_backoff_ms);
+}
+
+Status RetryWithBackoff(
+    const RetryPolicy& policy, const std::function<Status()>& fn,
+    const std::function<void(int retry, const Status&)>& on_retry) {
+  Status last;
+  const int attempts = 1 + std::max(policy.max_retries, 0);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      if (on_retry) on_retry(attempt, last);
+      const double backoff_ms = policy.BackoffMs(attempt);
+      if (backoff_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+      }
+    }
+    try {
+      last = fn();
+    } catch (const std::exception& e) {
+      last = Status::Internal(std::string("retried operation threw: ") +
+                              e.what());
+    } catch (...) {
+      last = Status::Internal("retried operation threw a non-std exception");
+    }
+    if (last.ok()) return last;
+  }
+  return last;
+}
+
+}  // namespace churnlab

@@ -1,9 +1,16 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
+#include "common/logging.h"
+
 namespace churnlab {
+
+namespace {
+std::atomic<ThreadPool::DroppedExceptionHook> g_dropped_hook{nullptr};
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
@@ -30,13 +37,33 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+uint64_t ThreadPool::dropped_exceptions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_exceptions_;
+}
+
+void ThreadPool::SetDroppedExceptionHook(DroppedExceptionHook hook) {
+  g_dropped_hook.store(hook, std::memory_order_release);
+}
+
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  const uint64_t dropped = std::exchange(dropped_unreported_, 0);
   if (first_exception_ != nullptr) {
     std::exception_ptr exception = std::exchange(first_exception_, nullptr);
     lock.unlock();
+    if (dropped > 0) {
+      CHURNLAB_LOG(Warning)
+          << "thread pool dropped " << dropped
+          << " additional task exception(s) behind the one being rethrown";
+    }
     std::rethrow_exception(exception);
+  }
+  lock.unlock();
+  if (dropped > 0) {
+    CHURNLAB_LOG(Warning) << "thread pool dropped " << dropped
+                          << " task exception(s)";
   }
 }
 
@@ -69,9 +96,22 @@ void ThreadPool::WorkerLoop() {
       try {
         task();
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (first_exception_ == nullptr) {
-          first_exception_ = std::current_exception();
+        bool dropped = false;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          if (first_exception_ == nullptr) {
+            first_exception_ = std::current_exception();
+          } else {
+            ++dropped_exceptions_;
+            ++dropped_unreported_;
+            dropped = true;
+          }
+        }
+        if (dropped) {
+          if (DroppedExceptionHook hook =
+                  g_dropped_hook.load(std::memory_order_acquire)) {
+            hook();
+          }
         }
       }
     }

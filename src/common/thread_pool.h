@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -22,10 +23,18 @@ namespace churnlab {
 /// Exception safety: a throwing task does not kill its worker or leak the
 /// in-flight count (the decrement is RAII). The first exception thrown by
 /// any task is captured and rethrown from the next WaitIdle() call, after
-/// every task has drained; later exceptions are dropped. The pool remains
-/// usable after the rethrow.
+/// every task has drained; later exceptions cannot all be rethrown, so they
+/// are *counted* (see dropped_exceptions()), reported through the
+/// process-wide dropped-exception hook (obs wires it to the
+/// `churnlab.threadpool.dropped_exceptions` counter), and logged as a
+/// warning from the WaitIdle that observes them. The pool remains usable
+/// after the rethrow.
 class ThreadPool {
  public:
+  /// Called once per dropped (non-first) task exception, on the worker
+  /// thread that caught it. Must be safe to call concurrently.
+  using DroppedExceptionHook = void (*)();
+
   /// Creates a pool with `num_threads` workers (>= 1; 0 is clamped to 1).
   explicit ThreadPool(size_t num_threads);
   ~ThreadPool();
@@ -42,10 +51,18 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Task exceptions dropped (captured after the first) over this pool's
+  /// lifetime. Fault tests assert on this count.
+  uint64_t dropped_exceptions() const;
+
+  /// Installs the process-wide dropped-exception hook (nullptr to remove).
+  /// Typically obs::InstallFaultTelemetry's bridge.
+  static void SetDroppedExceptionHook(DroppedExceptionHook hook);
+
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   std::deque<std::function<void()>> queue_;
@@ -54,6 +71,10 @@ class ThreadPool {
   bool shutting_down_ = false;
   /// First exception thrown by a task since the last WaitIdle rethrow.
   std::exception_ptr first_exception_;
+  /// Lifetime total of dropped exceptions, and the slice of it not yet
+  /// reported by a WaitIdle warning.
+  uint64_t dropped_exceptions_ = 0;
+  uint64_t dropped_unreported_ = 0;
 };
 
 /// Runs `body(i)` for every i in [begin, end), splitting the range into

@@ -158,6 +158,13 @@ void OnlineStabilityScorer::SaveState(BinaryWriter* writer) const {
 Status OnlineStabilityScorer::LoadState(BinaryReader* reader) {
   CHURNLAB_RETURN_NOT_OK(tracker_.LoadState(reader));
   CHURNLAB_ASSIGN_OR_RETURN(const uint64_t num_symbols, reader->ReadVarint());
+  // Untrusted length prefix: each symbol takes at least one byte, so a
+  // count beyond the remaining buffer is corruption — reject before
+  // reserving storage sized from it.
+  if (num_symbols > reader->remaining()) {
+    return Status::InvalidArgument(
+        "scorer symbol count exceeds remaining state bytes");
+  }
   current_symbols_.clear();
   current_symbols_.reserve(num_symbols);
   uint64_t symbol = 0;

@@ -185,9 +185,17 @@ void SignificanceTracker::SaveState(BinaryWriter* writer) const {
 }
 
 Status SignificanceTracker::LoadState(BinaryReader* reader) {
+  // Caps on untrusted state values. Symbols index dense vectors, so a
+  // corrupted delta chain must not be allowed to size a multi-gigabyte
+  // resize: 2^24 symbols is far beyond any retail taxonomy. Likewise the
+  // contain histogram is indexed by per-symbol window counts, bounded by
+  // windows_seen: 2^20 windows is centuries of daily windows.
+  constexpr uint64_t kMaxSymbolSpace = uint64_t{1} << 24;
+  constexpr uint64_t kMaxWindowsSeen = uint64_t{1} << 20;
   CHURNLAB_ASSIGN_OR_RETURN(const uint64_t windows_seen, reader->ReadVarint());
-  if (windows_seen > static_cast<uint64_t>(INT32_MAX)) {
-    return Status::OutOfRange("windows_seen overflows int32");
+  if (windows_seen > kMaxWindowsSeen) {
+    return Status::InvalidArgument(
+        "significance state windows_seen is implausibly large");
   }
   windows_seen_ = static_cast<int32_t>(windows_seen);
 
@@ -205,6 +213,10 @@ Status SignificanceTracker::LoadState(BinaryReader* reader) {
     if (symbol >= static_cast<uint64_t>(kInvalidSymbol) || count == 0 ||
         count > windows_seen) {
       return Status::OutOfRange("corrupt significance state entry");
+    }
+    if (symbol >= kMaxSymbolSpace) {
+      return Status::InvalidArgument(
+          "significance state symbol is implausibly large");
     }
     if (symbol >= contain_counts_.size()) {
       contain_counts_.resize(symbol + 1, 0);
@@ -230,6 +242,10 @@ Status SignificanceTracker::LoadState(BinaryReader* reader) {
     if (symbol >= static_cast<uint64_t>(kInvalidSymbol) ||
         stamp > windows_seen) {
       return Status::OutOfRange("corrupt EWMA state entry");
+    }
+    if (symbol >= kMaxSymbolSpace) {
+      return Status::InvalidArgument(
+          "EWMA state symbol is implausibly large");
     }
     if (symbol >= ewma_values_.size()) {
       ewma_values_.resize(symbol + 1, 0.0);

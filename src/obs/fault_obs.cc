@@ -1,0 +1,46 @@
+#include "obs/fault_obs.h"
+
+#include "common/failpoint.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace churnlab {
+namespace obs {
+
+namespace {
+
+class TelemetryObserver : public FailpointObserver {
+ public:
+  void OnTrigger(const Failpoint& failpoint, FailpointAction action) override {
+    static Counter* const triggered = MetricsRegistry::Global().GetCounter(
+        "churnlab.failpoint.triggered");
+    triggered->Increment();
+    (void)action;
+    // An instantaneous span: opened and closed on the hitting thread, so
+    // the profile tree shows which sites fired and how often. The span
+    // name is owned by the registry-held Failpoint, which is never freed.
+    ScopedSpan span(failpoint.span_name().c_str());
+  }
+};
+
+void CountDroppedException() {
+  static Counter* const dropped = MetricsRegistry::Global().GetCounter(
+      "churnlab.threadpool.dropped_exceptions");
+  dropped->Increment();
+}
+
+}  // namespace
+
+void InstallFaultTelemetry() {
+  static TelemetryObserver* const observer = [] {
+    auto* bridge = new TelemetryObserver();
+    FailpointRegistry::SetObserver(bridge);
+    ThreadPool::SetDroppedExceptionHook(&CountDroppedException);
+    return bridge;
+  }();
+  (void)observer;
+}
+
+}  // namespace obs
+}  // namespace churnlab

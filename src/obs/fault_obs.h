@@ -1,0 +1,27 @@
+#ifndef CHURNLAB_OBS_FAULT_OBS_H_
+#define CHURNLAB_OBS_FAULT_OBS_H_
+
+namespace churnlab {
+namespace obs {
+
+/// \brief Bridges the fault-injection layer (src/common) into observability.
+///
+/// src/common cannot link churnlab_obs (obs depends on common), so failpoint
+/// triggers and ThreadPool dropped exceptions are reported through hooks.
+/// InstallFaultTelemetry installs both bridges process-wide:
+///
+///   - every failpoint trigger increments `churnlab.failpoint.triggered`
+///     and, when tracing is enabled, records an instantaneous
+///     `failpoint.<site>` span on the hitting thread;
+///   - every dropped ThreadPool task exception increments
+///     `churnlab.threadpool.dropped_exceptions`.
+///
+/// Idempotent and thread-compatible (call before arming faults or fanning
+/// out work); the CLI and ScoringFleet::Make call it, so embedders get the
+/// telemetry without extra wiring.
+void InstallFaultTelemetry();
+
+}  // namespace obs
+}  // namespace churnlab
+
+#endif  // CHURNLAB_OBS_FAULT_OBS_H_

@@ -5,6 +5,7 @@
 
 #include "common/binary_io.h"
 #include "common/csv.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/macros.h"
 #include "common/stopwatch.h"
@@ -263,6 +264,7 @@ Status Dataset::SaveCsv(const std::string& prefix) const {
 
 Result<Dataset> Dataset::LoadCsv(const std::string& prefix) {
   CHURNLAB_SPAN("retail.load_csv");
+  CHURNLAB_FAILPOINT("retail.load_csv");
   Stopwatch stopwatch;
   Dataset dataset;
   // Taxonomy first so items get interned with their assignments.
@@ -322,6 +324,7 @@ Result<Dataset> Dataset::LoadCsv(const std::string& prefix) {
       }
       Receipt receipt;
       CHURNLAB_ASSIGN_OR_RETURN(const uint64_t customer, ParseUint64(row[0]));
+      CHURNLAB_FAILPOINT_KEYED("retail.load_csv.receipt", customer);
       receipt.customer = static_cast<CustomerId>(customer);
       CHURNLAB_ASSIGN_OR_RETURN(const int64_t day, ParseInt64(row[1]));
       receipt.day = static_cast<Day>(day);
@@ -440,6 +443,7 @@ Status Dataset::SaveBinary(const std::string& path) const {
 
 Result<Dataset> Dataset::LoadBinary(const std::string& path) {
   CHURNLAB_SPAN("retail.load_binary");
+  CHURNLAB_FAILPOINT("retail.load_binary");
   Stopwatch stopwatch;
   CHURNLAB_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::OpenFile(path));
   CHURNLAB_ASSIGN_OR_RETURN(const uint64_t magic, reader.ReadVarint());
@@ -492,6 +496,13 @@ Result<Dataset> Dataset::LoadBinary(const std::string& path) {
     receipt.day = static_cast<Day>(day);
     CHURNLAB_ASSIGN_OR_RETURN(receipt.spend, reader.ReadDouble());
     CHURNLAB_ASSIGN_OR_RETURN(const uint64_t item_count, reader.ReadVarint());
+    // Untrusted length prefix: each item takes at least one byte, so an
+    // item count beyond the remaining bytes is corruption — reject before
+    // reserving storage sized from it.
+    if (item_count > reader.remaining()) {
+      return Status::InvalidArgument(
+          "receipt item count exceeds remaining dataset bytes");
+    }
     receipt.items.reserve(item_count);
     ItemId previous = 0;
     for (uint64_t i = 0; i < item_count; ++i) {

@@ -4,8 +4,11 @@
 #include <tuple>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/macros.h"
+#include "obs/fault_obs.h"
 #include "obs/metrics.h"
+#include "obs/structured_log.h"
 #include "obs/trace.h"
 
 namespace churnlab {
@@ -14,6 +17,10 @@ namespace serve {
 namespace {
 
 constexpr char kSnapshotMagic[] = "CHLFLEET";
+/// Append-mode generation files: a sequence of [magic, varint payload size,
+/// varint CRC32, payload] frames where each payload is one full bare
+/// snapshot (docs/ROBUSTNESS.md §Snapshot recovery).
+constexpr char kGenerationMagic[] = "CHLFGENS";
 constexpr size_t kSnapshotMagicSize = 8;
 constexpr uint64_t kSnapshotVersion = 1;
 
@@ -21,6 +28,10 @@ struct ServeMetrics {
   obs::Counter* receipts_ingested;
   obs::Counter* alerts_raised;
   obs::Counter* batches_ingested;
+  obs::Counter* rejected_receipts;
+  obs::Counter* shard_retries;
+  obs::Counter* poisoned_shards;
+  obs::Counter* snapshot_fallbacks;
   obs::Gauge* customers;
   obs::Histogram* ingest_batch_us;
 };
@@ -32,6 +43,10 @@ const ServeMetrics& Metrics() {
         registry.GetCounter("churnlab.serve.receipts_ingested"),
         registry.GetCounter("churnlab.serve.alerts_raised"),
         registry.GetCounter("churnlab.serve.batches_ingested"),
+        registry.GetCounter("churnlab.serve.rejected_receipts"),
+        registry.GetCounter("churnlab.serve.shard_retries"),
+        registry.GetCounter("churnlab.serve.poisoned_shards"),
+        registry.GetCounter("churnlab.serve.snapshot_fallbacks"),
         registry.GetGauge("churnlab.serve.customers"),
         registry.GetHistogram("churnlab.serve.ingest_batch_us",
                               obs::HistogramOptions::ExponentialLatency()),
@@ -50,12 +65,23 @@ bool AlertLess(const FleetAlert& a, const FleetAlert& b) {
                                            b.alert.kind);
 }
 
-/// Per-shard scratch for one fleet operation.
+constexpr size_t kUnsetCount = ~size_t{0};
+
+/// Per-shard scratch for one fleet operation. Mutated only by the shard's
+/// own task; survives across retry attempts, so `progress` lets a retried
+/// task resume after the last fully-processed item instead of
+/// double-ingesting.
 struct ShardOutput {
   Status status = Status::OK();
   std::vector<FleetAlert> alerts;
+  std::vector<RejectedReceipt> rejected;
   size_t receipts = 0;
   size_t new_customers = 0;
+  /// Items of this shard's work list fully processed (ingested, rejected,
+  /// or swept) so far.
+  size_t progress = 0;
+  /// Shard population before the first attempt touched it.
+  size_t customers_before = kUnsetCount;
 };
 
 void WriteScorerOptions(const core::OnlineStabilityScorer::Options& options,
@@ -114,10 +140,12 @@ ScoringFleet::ScoringFleet(FleetOptions options, CustomerStateStore store,
                            core::SymbolMapper mapper)
     : options_(std::move(options)),
       store_(std::move(store)),
-      mapper_(std::move(mapper)) {}
+      mapper_(std::move(mapper)),
+      shard_health_(store_.num_shards()) {}
 
 Result<ScoringFleet> ScoringFleet::Make(FleetOptions options,
                                         const retail::Taxonomy* taxonomy) {
+  obs::InstallFaultTelemetry();
   if (options.num_threads == 0) options.num_threads = 1;
   CHURNLAB_ASSIGN_OR_RETURN(
       core::SymbolMapper mapper,
@@ -147,6 +175,7 @@ void ScoringFleet::MapSymbols(const retail::Receipt& receipt,
 Result<BatchReport> ScoringFleet::IngestBatch(
     std::span<const retail::Receipt> receipts) {
   CHURNLAB_SPAN("serve.ingest_batch");
+  CHURNLAB_FAILPOINT("serve.ingest.batch");
   const ServeMetrics& metrics = Metrics();
   obs::ScopedLatency latency(metrics.ingest_batch_us);
 
@@ -162,32 +191,63 @@ Result<BatchReport> ScoringFleet::IngestBatch(
   const auto run_shard = [&](size_t shard) {
     ShardOutput& out = outputs[shard];
     std::vector<core::Symbol> symbols;
-    store_.WithShard(shard, [&](CustomerStateStore::ShardAccessor& access) {
-      const size_t customers_before = access.states().size();
-      for (const size_t batch_index : by_shard[shard]) {
+    // Processes the shard's receipts from out.progress on. A failpoint for
+    // a receipt fires before that receipt mutates any state, so a retried
+    // attempt resumes cleanly; quarantined receipts advance progress like
+    // ingested ones.
+    const auto process =
+        [&](CustomerStateStore::ShardAccessor& access) -> Status {
+      const std::vector<size_t>& indices = by_shard[shard];
+      while (out.progress < indices.size()) {
+        const size_t batch_index = indices[out.progress];
         const retail::Receipt& receipt = receipts[batch_index];
         if (receipt.customer == retail::kInvalidCustomer) {
-          out.status = Status::InvalidArgument(
+          Status bad = Status::InvalidArgument(
               "batch receipt has an invalid customer id");
-          return;
+          if (!options_.quarantine_malformed) return bad;
+          out.rejected.push_back(RejectedReceipt{
+              receipt.customer, batch_index, receipt.day, std::move(bad)});
+          ++out.progress;
+          continue;
         }
+        CHURNLAB_FAILPOINT_KEYED("serve.ingest.receipt", receipt.customer);
         MapSymbols(receipt, &symbols);
         CustomerStateStore::CustomerState& state =
             access.GetOrCreate(receipt.customer);
         Result<std::vector<core::StabilityAlert>> closed =
             state.monitor.Observe(receipt.day, symbols);
         if (!closed.ok()) {
-          out.status = closed.status();
-          return;
+          if (!options_.quarantine_malformed) return closed.status();
+          out.rejected.push_back(RejectedReceipt{
+              receipt.customer, batch_index, receipt.day, closed.status()});
+          ++out.progress;
+          continue;
         }
         for (core::StabilityAlert& alert : *closed) {
           out.alerts.push_back(
               FleetAlert{receipt.customer, batch_index, alert});
         }
         ++out.receipts;
+        ++out.progress;
       }
-      out.new_customers = access.states().size() - customers_before;
-    });
+      return Status::OK();
+    };
+    const auto attempt = [&]() -> Status {
+      CHURNLAB_FAILPOINT_KEYED("serve.shard.task", shard);
+      return store_.WithShard(
+          shard, [&](CustomerStateStore::ShardAccessor& access) -> Status {
+            if (out.customers_before == kUnsetCount) {
+              out.customers_before = access.states().size();
+            }
+            const Status status = process(access);
+            out.new_customers =
+                access.states().size() - out.customers_before;
+            return status;
+          });
+    };
+    out.status = RetryWithBackoff(
+        options_.shard_retry, attempt,
+        [&metrics](int, const Status&) { metrics.shard_retries->Increment(); });
   };
 
   const size_t num_threads = std::min(options_.num_threads, num_shards);
@@ -196,31 +256,66 @@ Result<BatchReport> ScoringFleet::IngestBatch(
       pool_ = std::make_unique<ThreadPool>(num_threads);
     }
     for (size_t shard = 0; shard < num_shards; ++shard) {
-      if (by_shard[shard].empty()) continue;
+      if (by_shard[shard].empty() || !shard_health_[shard].ok()) continue;
       pool_->Submit([&run_shard, shard] { run_shard(shard); });
     }
     pool_->WaitIdle();
   } else {
     for (size_t shard = 0; shard < num_shards; ++shard) {
-      if (!by_shard[shard].empty()) run_shard(shard);
+      if (by_shard[shard].empty() || !shard_health_[shard].ok()) continue;
+      run_shard(shard);
     }
   }
 
   BatchReport report;
-  for (ShardOutput& out : outputs) {
-    // First failing shard by index, so the reported error is deterministic.
-    CHURNLAB_RETURN_NOT_OK(out.status);
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    ShardOutput& out = outputs[shard];
+    if (!shard_health_[shard].ok()) {
+      // Already poisoned: the shard never ran; quarantine its receipts.
+      report.poisoned.push_back(PoisonedShard{shard, shard_health_[shard]});
+      for (const size_t batch_index : by_shard[shard]) {
+        const retail::Receipt& receipt = receipts[batch_index];
+        report.rejected.push_back(RejectedReceipt{
+            receipt.customer, batch_index, receipt.day,
+            shard_health_[shard].WithContext("shard poisoned")});
+      }
+      continue;
+    }
+    if (!out.status.ok()) {
+      // Retries exhausted. With quarantine on, poison only this shard and
+      // quarantine its unprocessed tail; otherwise fail the batch (first
+      // failing shard by index, so the reported error is deterministic).
+      if (!options_.quarantine_malformed) return out.status;
+      shard_health_[shard] = out.status;
+      metrics.poisoned_shards->Increment();
+      report.poisoned.push_back(PoisonedShard{shard, out.status});
+      for (size_t i = out.progress; i < by_shard[shard].size(); ++i) {
+        const size_t batch_index = by_shard[shard][i];
+        const retail::Receipt& receipt = receipts[batch_index];
+        report.rejected.push_back(RejectedReceipt{
+            receipt.customer, batch_index, receipt.day,
+            out.status.WithContext("shard poisoned")});
+      }
+    }
     report.receipts_ingested += out.receipts;
     report.new_customers += out.new_customers;
     report.alerts.insert(report.alerts.end(),
                          std::make_move_iterator(out.alerts.begin()),
                          std::make_move_iterator(out.alerts.end()));
+    report.rejected.insert(report.rejected.end(),
+                           std::make_move_iterator(out.rejected.begin()),
+                           std::make_move_iterator(out.rejected.end()));
   }
   std::sort(report.alerts.begin(), report.alerts.end(), AlertLess);
+  std::sort(report.rejected.begin(), report.rejected.end(),
+            [](const RejectedReceipt& a, const RejectedReceipt& b) {
+              return a.batch_index < b.batch_index;
+            });
 
   metrics.batches_ingested->Increment();
   metrics.receipts_ingested->Increment(report.receipts_ingested);
   metrics.alerts_raised->Increment(report.alerts.size());
+  metrics.rejected_receipts->Increment(report.rejected.size());
   metrics.customers->Set(static_cast<double>(store_.NumCustomers()));
   return report;
 }
@@ -234,18 +329,28 @@ Result<BatchReport> ScoringFleet::ForAllCustomers(const char* span_name,
   std::vector<ShardOutput> outputs(num_shards);
   const auto run_shard = [&](size_t shard) {
     ShardOutput& out = outputs[shard];
-    store_.WithShard(shard, [&](CustomerStateStore::ShardAccessor& access) {
-      for (CustomerStateStore::CustomerState& state : access.states()) {
-        Result<std::vector<core::StabilityAlert>> closed = op(state);
-        if (!closed.ok()) {
-          out.status = closed.status();
-          return;
-        }
-        for (core::StabilityAlert& alert : *closed) {
-          out.alerts.push_back(FleetAlert{state.customer, 0, alert});
-        }
-      }
-    });
+    const auto attempt = [&]() -> Status {
+      CHURNLAB_FAILPOINT_KEYED("serve.shard.task", shard);
+      return store_.WithShard(
+          shard, [&](CustomerStateStore::ShardAccessor& access) -> Status {
+            std::vector<CustomerStateStore::CustomerState>& states =
+                access.states();
+            while (out.progress < states.size()) {
+              CustomerStateStore::CustomerState& state =
+                  states[out.progress];
+              Result<std::vector<core::StabilityAlert>> closed = op(state);
+              if (!closed.ok()) return closed.status();
+              for (core::StabilityAlert& alert : *closed) {
+                out.alerts.push_back(FleetAlert{state.customer, 0, alert});
+              }
+              ++out.progress;
+            }
+            return Status::OK();
+          });
+    };
+    out.status = RetryWithBackoff(
+        options_.shard_retry, attempt,
+        [&metrics](int, const Status&) { metrics.shard_retries->Increment(); });
   };
 
   const size_t num_threads = std::min(options_.num_threads, num_shards);
@@ -254,16 +359,29 @@ Result<BatchReport> ScoringFleet::ForAllCustomers(const char* span_name,
       pool_ = std::make_unique<ThreadPool>(num_threads);
     }
     for (size_t shard = 0; shard < num_shards; ++shard) {
+      if (!shard_health_[shard].ok()) continue;
       pool_->Submit([&run_shard, shard] { run_shard(shard); });
     }
     pool_->WaitIdle();
   } else {
-    for (size_t shard = 0; shard < num_shards; ++shard) run_shard(shard);
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+      if (shard_health_[shard].ok()) run_shard(shard);
+    }
   }
 
   BatchReport report;
-  for (ShardOutput& out : outputs) {
-    CHURNLAB_RETURN_NOT_OK(out.status);
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    ShardOutput& out = outputs[shard];
+    if (!shard_health_[shard].ok()) {
+      report.poisoned.push_back(PoisonedShard{shard, shard_health_[shard]});
+      continue;
+    }
+    if (!out.status.ok()) {
+      if (!options_.quarantine_malformed) return out.status;
+      shard_health_[shard] = out.status;
+      metrics.poisoned_shards->Increment();
+      report.poisoned.push_back(PoisonedShard{shard, out.status});
+    }
     report.alerts.insert(report.alerts.end(),
                          std::make_move_iterator(out.alerts.begin()),
                          std::make_move_iterator(out.alerts.end()));
@@ -288,8 +406,10 @@ Result<BatchReport> ScoringFleet::FinishAll() {
                          });
 }
 
-void ScoringFleet::SaveSnapshot(BinaryWriter* writer) const {
+Status ScoringFleet::SaveSnapshot(BinaryWriter* writer) const {
   CHURNLAB_SPAN("serve.save_snapshot");
+  static Failpoint* const write_frame_failpoint =
+      FailpointRegistry::Global().Get("serve.snapshot.write_frame");
   writer->WriteBytes(kSnapshotMagic, kSnapshotMagicSize);
   writer->WriteVarint(kSnapshotVersion);
   WriteScorerOptions(options_.scorer, writer);
@@ -301,23 +421,51 @@ void ScoringFleet::SaveSnapshot(BinaryWriter* writer) const {
   for (size_t shard = 0; shard < store_.num_shards(); ++shard) {
     BinaryWriter frame;
     store_.SaveShardState(shard, &frame);
-    const std::string& payload = frame.buffer();
-    writer->WriteVarint(payload.size());
-    writer->WriteVarint(Crc32(payload.data(), payload.size()));
-    writer->WriteBytes(payload.data(), payload.size());
+    const std::string* payload = &frame.buffer();
+    writer->WriteVarint(payload->size());
+    writer->WriteVarint(Crc32(payload->data(), payload->size()));
+    // The failpoint corrupts the payload *after* the CRC is computed from
+    // the pristine bytes, modelling a torn write Restore must detect.
+    std::string corrupted;
+    if (write_frame_failpoint->armed()) {
+      corrupted = *payload;
+      CHURNLAB_RETURN_NOT_OK(
+          write_frame_failpoint->CorruptBytes(&corrupted, shard));
+      payload = &corrupted;
+    }
+    writer->WriteBytes(payload->data(), payload->size());
   }
+  return Status::OK();
 }
 
 Status ScoringFleet::SaveSnapshotToFile(const std::string& path) const {
-  BinaryWriter writer;
-  SaveSnapshot(&writer);
-  return writer.SaveToFile(path);
+  return RetryWithBackoff(options_.shard_retry, [&]() -> Status {
+    BinaryWriter writer;
+    CHURNLAB_RETURN_NOT_OK(SaveSnapshot(&writer));
+    return writer.SaveToFile(path);
+  });
+}
+
+Status ScoringFleet::AppendSnapshotToFile(const std::string& path) const {
+  return RetryWithBackoff(options_.shard_retry, [&]() -> Status {
+    BinaryWriter snapshot;
+    CHURNLAB_RETURN_NOT_OK(SaveSnapshot(&snapshot));
+    const std::string& payload = snapshot.buffer();
+    BinaryWriter generation;
+    generation.WriteBytes(kGenerationMagic, kSnapshotMagicSize);
+    generation.WriteVarint(payload.size());
+    generation.WriteVarint(Crc32(payload.data(), payload.size()));
+    generation.WriteBytes(payload.data(), payload.size());
+    return generation.AppendToFile(path);
+  });
 }
 
 Result<ScoringFleet> ScoringFleet::Restore(BinaryReader* reader,
                                            const retail::Taxonomy* taxonomy,
                                            size_t num_threads) {
   CHURNLAB_SPAN("serve.restore_snapshot");
+  static Failpoint* const read_frame_failpoint =
+      FailpointRegistry::Global().Get("serve.snapshot.read_frame");
   CHURNLAB_ASSIGN_OR_RETURN(const std::string magic,
                             reader->ReadBytes(kSnapshotMagicSize));
   if (magic != std::string_view(kSnapshotMagic, kSnapshotMagicSize)) {
@@ -347,8 +495,14 @@ Result<ScoringFleet> ScoringFleet::Restore(BinaryReader* reader,
   for (size_t shard = 0; shard < fleet.store_.num_shards(); ++shard) {
     CHURNLAB_ASSIGN_OR_RETURN(const uint64_t size, reader->ReadVarint());
     CHURNLAB_ASSIGN_OR_RETURN(const uint64_t crc, reader->ReadVarint());
+    // ReadBytes clamps the untrusted length prefix against the remaining
+    // buffer, so a corrupted size cannot over-read or over-allocate.
     CHURNLAB_ASSIGN_OR_RETURN(std::string payload,
                               reader->ReadBytes(size));
+    if (read_frame_failpoint->armed()) {
+      CHURNLAB_RETURN_NOT_OK(
+          read_frame_failpoint->CorruptBytes(&payload, shard));
+    }
     if (Crc32(payload.data(), payload.size()) != crc) {
       return Status::IOError("fleet snapshot shard frame failed its CRC");
     }
@@ -370,7 +524,81 @@ Result<ScoringFleet> ScoringFleet::RestoreFromFile(
     size_t num_threads) {
   CHURNLAB_ASSIGN_OR_RETURN(BinaryReader reader,
                             BinaryReader::OpenFile(path));
-  return Restore(&reader, taxonomy, num_threads);
+  if (reader.remaining() < kSnapshotMagicSize) {
+    return Status::IOError("'" + path + "' is too short to be a snapshot");
+  }
+  CHURNLAB_ASSIGN_OR_RETURN(std::string magic,
+                            reader.ReadBytes(kSnapshotMagicSize));
+  if (magic != std::string_view(kGenerationMagic, kSnapshotMagicSize)) {
+    // Bare snapshot: re-open so Restore sees the magic it expects.
+    CHURNLAB_ASSIGN_OR_RETURN(BinaryReader bare,
+                              BinaryReader::OpenFile(path));
+    return Restore(&bare, taxonomy, num_threads);
+  }
+
+  // Generation file: scan frames, keep the newest whose CRC verifies. A
+  // frame that cannot be parsed ends the scan (torn tail from a crashed or
+  // partially-retried append); a parseable frame with a bad CRC is skipped.
+  static Failpoint* const read_frame_failpoint =
+      FailpointRegistry::Global().Get("serve.snapshot.read_frame");
+  std::string newest;
+  bool have_valid = false;
+  uint64_t generations = 0;
+  uint64_t crc_failures = 0;
+  bool torn = false;
+  for (;;) {
+    const Result<uint64_t> size = reader.ReadVarint();
+    if (!size.ok()) {
+      torn = true;
+      break;
+    }
+    const Result<uint64_t> crc = reader.ReadVarint();
+    if (!crc.ok()) {
+      torn = true;
+      break;
+    }
+    Result<std::string> payload = reader.ReadBytes(*size);
+    if (!payload.ok()) {
+      torn = true;
+      break;
+    }
+    if (read_frame_failpoint->armed()) {
+      CHURNLAB_RETURN_NOT_OK(
+          read_frame_failpoint->CorruptBytes(&*payload, generations));
+    }
+    ++generations;
+    if (Crc32(payload->data(), payload->size()) != *crc) {
+      ++crc_failures;
+    } else {
+      newest = std::move(*payload);
+      have_valid = true;
+    }
+    if (reader.AtEnd()) break;
+    const Result<std::string> next_magic =
+        reader.ReadBytes(std::min<size_t>(kSnapshotMagicSize,
+                                          reader.remaining()));
+    if (!next_magic.ok() ||
+        *next_magic !=
+            std::string_view(kGenerationMagic, kSnapshotMagicSize)) {
+      torn = true;
+      break;
+    }
+  }
+  if (!have_valid) {
+    return Status::IOError("snapshot generation file '" + path +
+                           "' holds no restorable generation");
+  }
+  if (torn || crc_failures > 0) {
+    obs::LogEvent(LogLevel::kWarning, "snapshot_generation_fallback",
+                  __FILE__, __LINE__)
+        .Str("path", path)
+        .Uint("generations_seen", generations)
+        .Uint("crc_failures", crc_failures)
+        .Bool("torn_tail", torn);
+    Metrics().snapshot_fallbacks->Increment();
+  }
+  BinaryReader newest_reader(std::move(newest));
+  return Restore(&newest_reader, taxonomy, num_threads);
 }
 
 }  // namespace serve

@@ -9,6 +9,8 @@
 
 #include "common/binary_io.h"
 #include "common/result.h"
+#include "common/retry.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/symbol_mapper.h"
 #include "retail/taxonomy.h"
@@ -30,6 +32,16 @@ struct FleetOptions {
   /// Symbol space the monitors observe (the paper's experiments run at
   /// segment granularity).
   retail::Granularity granularity = retail::Granularity::kSegment;
+  /// Graceful degradation (docs/ROBUSTNESS.md): when true, malformed
+  /// receipts (invalid customer id, stream-contract violations such as a
+  /// stale day) are quarantined into BatchReport::rejected instead of
+  /// failing the batch. When false, the first malformed receipt fails
+  /// IngestBatch with its error (the pre-robustness contract).
+  bool quarantine_malformed = true;
+  /// Backoff for failed shard tasks (and snapshot file writes). A shard
+  /// task that still fails after `shard_retry.max_retries` retries poisons
+  /// only its shard, not the fleet.
+  RetryPolicy shard_retry;
 };
 
 /// One raised alert, attributed to its customer.
@@ -41,12 +53,37 @@ struct FleetAlert {
   core::StabilityAlert alert;
 };
 
+/// One quarantined receipt: kept out of the fleet state, reported with the
+/// reason it was rejected. Sorted by batch_index (unique per receipt), so
+/// the list is deterministic for any thread count.
+struct RejectedReceipt {
+  retail::CustomerId customer = retail::kInvalidCustomer;
+  /// Index within the IngestBatch span.
+  size_t batch_index = 0;
+  retail::Day day = 0;
+  Status reason;
+};
+
+/// A shard whose task exhausted its retries. The shard's state is frozen
+/// (subsequent receipts routed to it are quarantined); the rest of the
+/// fleet keeps serving.
+struct PoisonedShard {
+  size_t shard = 0;
+  Status reason;
+};
+
 /// What one fleet operation did.
 struct BatchReport {
   std::vector<FleetAlert> alerts;
   size_t receipts_ingested = 0;
   /// Customers seen for the first time by this operation.
   size_t new_customers = 0;
+  /// Quarantined receipts, sorted by batch_index (empty unless
+  /// FleetOptions::quarantine_malformed, or a shard is poisoned).
+  std::vector<RejectedReceipt> rejected;
+  /// Shards that are out of service as of this operation (newly poisoned or
+  /// already poisoned), sorted by shard index.
+  std::vector<PoisonedShard> poisoned;
 };
 
 /// \brief Batched multi-customer scoring service over a sharded state
@@ -57,6 +94,15 @@ struct BatchReport {
 /// report. The full fleet state can be snapshotted to a versioned,
 /// CRC-framed binary file and restored to continue bit-identically (see
 /// docs/API.md for the state machine and snapshot format).
+///
+/// Fault tolerance (docs/ROBUSTNESS.md): malformed receipts are quarantined
+/// into BatchReport::rejected, failed shard tasks are retried with capped
+/// exponential backoff and poison only their shard after exhaustion, and
+/// RestoreFromFile falls back to the newest valid generation of an
+/// append-mode snapshot on a torn tail. Failpoint sites: serve.ingest.batch,
+/// serve.ingest.receipt (key = customer id), serve.shard.task (key = shard
+/// index), serve.snapshot.write_frame / serve.snapshot.read_frame (key =
+/// shard index).
 ///
 /// \code
 ///   auto fleet = ScoringFleet::Make(options, &dataset.taxonomy())
@@ -81,8 +127,16 @@ class ScoringFleet {
   /// per-customer stream contract of OnlineStabilityScorer::Observe);
   /// receipts of distinct customers need no mutual order. Alerts are
   /// sorted by (batch_index, customer, window_index, kind), so the report
-  /// is identical for any thread count. On error the fleet may have
-  /// ingested part of the batch; treat errors as fatal for determinism.
+  /// is identical for any thread count.
+  ///
+  /// With quarantine_malformed (the default), malformed receipts land in
+  /// the report's `rejected` list and the batch keeps going; with it off,
+  /// the first malformed receipt fails the call, the fleet may have
+  /// ingested part of the batch, and errors should be treated as fatal for
+  /// determinism. Shard-task failures are retried per
+  /// FleetOptions::shard_retry; a shard that exhausts its retries is
+  /// poisoned (reported in `poisoned`) and its unprocessed receipts — in
+  /// this and every later batch — are quarantined.
   Result<BatchReport> IngestBatch(std::span<const retail::Receipt> receipts);
 
   /// Closes all windows before the one containing `day` for every known
@@ -98,11 +152,25 @@ class ScoringFleet {
   size_t NumCustomers() const { return store_.NumCustomers(); }
   const FleetOptions& options() const { return options_; }
 
+  /// Health of one shard: OK while serving, the poisoning error once the
+  /// shard's task exhausted its retries.
+  const Status& ShardHealth(size_t shard) const {
+    return shard_health_[shard];
+  }
+
   /// Serializes the full fleet — versioned header with every option, then
   /// one length- and CRC32-framed frame per shard — so Restore continues
-  /// bit-identically from this point.
-  void SaveSnapshot(BinaryWriter* writer) const;
+  /// bit-identically from this point. Only fails when a write-path
+  /// failpoint injects an error.
+  Status SaveSnapshot(BinaryWriter* writer) const;
+  /// Writes a bare snapshot to `path` (truncating), retrying the file
+  /// write per FleetOptions::shard_retry.
   Status SaveSnapshotToFile(const std::string& path) const;
+  /// Appends one CRC-framed snapshot *generation* to `path` (append-only
+  /// "CHLFGENS" format; see docs/ROBUSTNESS.md). RestoreFromFile loads the
+  /// newest valid generation, so a torn tail from a crashed writer loses at
+  /// most the last append.
+  Status AppendSnapshotToFile(const std::string& path) const;
 
   /// Rebuilds a fleet from a snapshot. Options are read from the snapshot
   /// header; `taxonomy` is borrowed as in Make. Threads are a pure runtime
@@ -111,6 +179,10 @@ class ScoringFleet {
   static Result<ScoringFleet> Restore(BinaryReader* reader,
                                       const retail::Taxonomy* taxonomy,
                                       size_t num_threads = 0);
+  /// Restores from a bare snapshot ("CHLFLEET") or an append-mode
+  /// generation file ("CHLFGENS"). For generation files the newest valid
+  /// generation wins; a torn or corrupted tail is skipped with a
+  /// structured warning and counts on churnlab.serve.snapshot_fallbacks.
   static Result<ScoringFleet> RestoreFromFile(
       const std::string& path, const retail::Taxonomy* taxonomy,
       size_t num_threads = 0);
@@ -136,6 +208,9 @@ class ScoringFleet {
   /// Lazily created on the first multi-threaded operation; unique_ptr so
   /// the fleet stays movable.
   std::unique_ptr<ThreadPool> pool_;
+  /// Per-shard health, OK until the shard is poisoned. Written only in the
+  /// single-threaded merge phase of an operation, so no lock is needed.
+  std::vector<Status> shard_health_;
 };
 
 }  // namespace serve

@@ -99,6 +99,15 @@ Status CustomerStateStore::LoadShardState(size_t shard,
   s.slab.clear();
   s.index.clear();
   CHURNLAB_ASSIGN_OR_RETURN(const uint64_t count, reader->ReadVarint());
+  // The count is an untrusted length prefix: every customer needs at least
+  // one byte of payload, so a count beyond the remaining bytes is
+  // corruption — reject it before sizing any allocation from it.
+  if (count > reader->remaining()) {
+    return Status::InvalidArgument(
+        "snapshot shard customer count (" + std::to_string(count) +
+        ") exceeds remaining snapshot bytes (" +
+        std::to_string(reader->remaining()) + ")");
+  }
   s.slab.reserve(count);
   s.index.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {

@@ -104,6 +104,56 @@ TEST(BinaryIo, TruncatedStringFails) {
   EXPECT_TRUE(reader.ReadString().status().IsOutOfRange());
 }
 
+TEST(BinaryIo, ReadBytesClampsUntrustedLengthAgainstRemaining) {
+  // Regression: ReadBytes used to trust the caller's length and substr
+  // past the buffer. A hostile length prefix — even a multi-exabyte one —
+  // must fail as InvalidArgument without allocating.
+  BinaryReader reader(std::string("abc"));
+  const auto too_big = reader.ReadBytes(4);
+  ASSERT_FALSE(too_big.ok());
+  EXPECT_TRUE(too_big.status().IsInvalidArgument());
+
+  BinaryReader hostile(std::string("abc"));
+  EXPECT_TRUE(
+      hostile.ReadBytes(size_t{1} << 60).status().IsInvalidArgument());
+
+  // The failed read consumes nothing; an exact-size read still works.
+  EXPECT_EQ(reader.remaining(), 3u);
+  EXPECT_EQ(reader.ReadBytes(3).ValueOrDie(), "abc");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BinaryIo, AppendToFileConcatenates) {
+  const std::string path = testing::TempDir() + "/churnlab_append_test.bin";
+  BinaryWriter first;
+  first.WriteString("one");
+  ASSERT_TRUE(first.SaveToFile(path).ok());
+  BinaryWriter second;
+  second.WriteString("two");
+  ASSERT_TRUE(second.AppendToFile(path).ok());
+  auto reader = BinaryReader::OpenFile(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->ReadString().ValueOrDie(), "one");
+  EXPECT_EQ(reader->ReadString().ValueOrDie(), "two");
+  EXPECT_TRUE(reader->AtEnd());
+
+  // SaveToFile truncates; AppendToFile creates when missing.
+  ASSERT_TRUE(second.SaveToFile(path).ok());
+  auto truncated = BinaryReader::OpenFile(path);
+  ASSERT_TRUE(truncated.ok());
+  EXPECT_EQ(truncated->ReadString().ValueOrDie(), "two");
+  EXPECT_TRUE(truncated->AtEnd());
+  std::remove(path.c_str());
+
+  BinaryWriter fresh;
+  fresh.WriteString("first write");
+  ASSERT_TRUE(fresh.AppendToFile(path).ok());
+  auto created = BinaryReader::OpenFile(path);
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(created->ReadString().ValueOrDie(), "first write");
+  std::remove(path.c_str());
+}
+
 TEST(BinaryIo, FileRoundTrip) {
   const std::string path = testing::TempDir() + "/churnlab_binary_test.bin";
   BinaryWriter writer;

@@ -95,7 +95,7 @@ std::string FormatAlerts(const std::vector<FleetAlert>& alerts) {
 
 std::string SnapshotOf(const ScoringFleet& fleet) {
   BinaryWriter writer;
-  fleet.SaveSnapshot(&writer);
+  EXPECT_TRUE(fleet.SaveSnapshot(&writer).ok());
   return writer.buffer();
 }
 

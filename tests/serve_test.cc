@@ -170,8 +170,42 @@ TEST(ScoringFleet, IngestCountsReceiptsAndNewCustomers) {
   EXPECT_EQ(fleet.NumCustomers(), 2u);
 }
 
-TEST(ScoringFleet, IngestRejectsInvalidCustomerAndStaleReceipt) {
+TEST(ScoringFleet, IngestQuarantinesInvalidCustomerAndStaleReceipt) {
+  // Default quarantine mode: malformed receipts land in
+  // BatchReport::rejected instead of failing the whole batch.
   auto fleet = ScoringFleet::Make(SmallFleetOptions(), nullptr).ValueOrDie();
+  std::vector<Receipt> bad_id;
+  bad_id.push_back(MakeReceipt(retail::kInvalidCustomer, 0, {1}));
+  auto report = fleet.IngestBatch(bad_id).ValueOrDie();
+  EXPECT_EQ(report.receipts_ingested, 0u);
+  ASSERT_EQ(report.rejected.size(), 1u);
+  EXPECT_EQ(report.rejected[0].customer, retail::kInvalidCustomer);
+  EXPECT_EQ(report.rejected[0].batch_index, 0u);
+  EXPECT_TRUE(report.rejected[0].reason.IsInvalidArgument());
+  EXPECT_TRUE(report.poisoned.empty()) << "a bad receipt is not a bad shard";
+
+  std::vector<Receipt> forward;
+  forward.push_back(MakeReceipt(1, 50, {1}));
+  ASSERT_TRUE(fleet.IngestBatch(forward).ok());
+  // A receipt older than the customer's stream head violates chronology:
+  // quarantined, with the good receipt in the same batch still ingested.
+  std::vector<Receipt> stale;
+  stale.push_back(MakeReceipt(1, 10, {1}));
+  stale.push_back(MakeReceipt(1, 60, {1}));
+  report = fleet.IngestBatch(stale).ValueOrDie();
+  EXPECT_EQ(report.receipts_ingested, 1u);
+  ASSERT_EQ(report.rejected.size(), 1u);
+  EXPECT_EQ(report.rejected[0].batch_index, 0u);
+  EXPECT_EQ(report.rejected[0].day, 10);
+  EXPECT_TRUE(report.rejected[0].reason.IsInvalidArgument());
+}
+
+TEST(ScoringFleet, IngestFailsHardWithQuarantineDisabled) {
+  // quarantine_malformed = false restores the strict pre-quarantine
+  // contract: any malformed receipt fails the batch.
+  FleetOptions options = SmallFleetOptions();
+  options.quarantine_malformed = false;
+  auto fleet = ScoringFleet::Make(options, nullptr).ValueOrDie();
   std::vector<Receipt> bad_id;
   bad_id.push_back(MakeReceipt(retail::kInvalidCustomer, 0, {1}));
   EXPECT_FALSE(fleet.IngestBatch(bad_id).ok());
@@ -179,7 +213,6 @@ TEST(ScoringFleet, IngestRejectsInvalidCustomerAndStaleReceipt) {
   std::vector<Receipt> forward;
   forward.push_back(MakeReceipt(1, 50, {1}));
   ASSERT_TRUE(fleet.IngestBatch(forward).ok());
-  // A receipt older than the customer's stream head violates chronology.
   std::vector<Receipt> stale;
   stale.push_back(MakeReceipt(1, 10, {1}));
   const auto report = fleet.IngestBatch(stale);
@@ -228,7 +261,7 @@ TEST(ScoringFleet, FinishAllOnEmptyFleetIsANoOp) {
 
 std::string SnapshotOf(const ScoringFleet& fleet) {
   BinaryWriter writer;
-  fleet.SaveSnapshot(&writer);
+  EXPECT_TRUE(fleet.SaveSnapshot(&writer).ok());
   return writer.buffer();
 }
 

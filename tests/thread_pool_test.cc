@@ -96,6 +96,38 @@ TEST(ThreadPool, PoolIsReusableAfterException) {
   EXPECT_EQ(counter.load(), 10);
 }
 
+TEST(ThreadPool, DroppedExceptionsAreCountedNotSilent) {
+  // Only the first exception can be rethrown from WaitIdle; the rest used
+  // to vanish. They are now counted (and reported through the process-wide
+  // hook / obs counter) so fault tests can assert none went missing.
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.dropped_exceptions(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    pool.Submit([] { throw std::runtime_error("one of five"); });
+  }
+  EXPECT_THROW(pool.WaitIdle(), std::runtime_error);
+  EXPECT_EQ(pool.dropped_exceptions(), 4u);
+
+  // The count is a pool lifetime total across WaitIdle cycles.
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit([] { throw std::runtime_error("one of three"); });
+  }
+  EXPECT_THROW(pool.WaitIdle(), std::runtime_error);
+  EXPECT_EQ(pool.dropped_exceptions(), 6u);
+
+  // Hook: called once per dropped exception, on the catching thread.
+  static std::atomic<int> hook_calls{0};
+  hook_calls = 0;
+  ThreadPool::SetDroppedExceptionHook([] { ++hook_calls; });
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([] { throw std::runtime_error("hooked"); });
+  }
+  EXPECT_THROW(pool.WaitIdle(), std::runtime_error);
+  ThreadPool::SetDroppedExceptionHook(nullptr);
+  EXPECT_EQ(hook_calls.load(), 3);
+  EXPECT_EQ(pool.dropped_exceptions(), 9u);
+}
+
 TEST(ThreadPool, DestructorSwallowsUnretrievedException) {
   {
     ThreadPool pool(2);

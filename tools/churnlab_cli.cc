@@ -30,6 +30,7 @@
 #include "common/macros.h"
 #include "common/string_util.h"
 #include "obs/export.h"
+#include "obs/fault_obs.h"
 #include "obs/metrics.h"
 #include "obs/structured_log.h"
 #include "obs/trace.h"
@@ -319,9 +320,9 @@ Status RunServeReplay(int argc, const char* const* argv) {
   FlagParser parser(
       "churnlab serve-replay: replay a dataset through the scoring fleet "
       "in day-ordered batches");
-  std::string data, snapshot_out, resume;
+  std::string data, snapshot_out, resume, failpoints;
   double alpha, beta;
-  int64_t window, batch_days, from_day, to_day;
+  int64_t window, batch_days, from_day, to_day, max_shard_retries;
   uint64_t threads, shards;
   bool products, finish;
   parser.AddString("data", "", "dataset path (.clb) or CSV prefix", &data);
@@ -353,12 +354,28 @@ Status RunServeReplay(int argc, const char* const* argv) {
                  "flush in-progress windows at end of stream (disable when "
                  "snapshotting mid-stream for a later --resume)",
                  &finish);
+  parser.AddString("failpoints", "",
+                   "fault-injection spec, e.g. "
+                   "'serve.ingest.receipt=throw@every(1000)' "
+                   "(docs/ROBUSTNESS.md)",
+                   &failpoints);
+  parser.AddInt64("max-shard-retries", 2,
+                  "retries per failed shard task before the shard is "
+                  "poisoned",
+                  &max_shard_retries);
   CHURNLAB_RETURN_NOT_OK(parser.Parse(argc, argv, 2));
   if (batch_days <= 0) {
     return Status::InvalidArgument("--batch-days must be positive");
   }
   if (to_day >= 0 && to_day <= from_day) {
     return Status::InvalidArgument("--to-day must be greater than --from-day");
+  }
+  if (max_shard_retries < 0) {
+    return Status::InvalidArgument("--max-shard-retries must be >= 0");
+  }
+  if (!failpoints.empty()) {
+    CHURNLAB_RETURN_NOT_OK(
+        api::FailpointRegistry::Global().ArmFromSpec(failpoints));
   }
   CHURNLAB_ASSIGN_OR_RETURN(const api::Dataset dataset, LoadDataset(data));
 
@@ -371,6 +388,7 @@ Status RunServeReplay(int argc, const char* const* argv) {
   options.num_threads = static_cast<size_t>(threads);
   options.granularity = products ? api::Granularity::kProduct
                                  : api::Granularity::kSegment;
+  options.shard_retry.max_retries = static_cast<int>(max_shard_retries);
 
   Result<api::FleetHandle> fleet =
       resume.empty()
@@ -394,7 +412,7 @@ Status RunServeReplay(int argc, const char* const* argv) {
                      return a.day < b.day;
                    });
 
-  size_t batches = 0, receipts = 0, alerts = 0;
+  size_t batches = 0, receipts = 0, alerts = 0, rejected = 0, poisoned = 0;
   for (size_t begin = 0; begin < replay.size();) {
     const api::Day batch_end =
         replay[begin].day + static_cast<api::Day>(batch_days);
@@ -407,16 +425,24 @@ Status RunServeReplay(int argc, const char* const* argv) {
     ++batches;
     receipts += report.receipts_ingested;
     alerts += report.alerts.size();
+    rejected += report.rejected.size();
+    poisoned = std::max(poisoned, report.poisoned.size());
     begin = end;
   }
   if (finish) {
     CHURNLAB_ASSIGN_OR_RETURN(const api::BatchReport tail, fleet->FinishAll());
     alerts += tail.alerts.size();
+    rejected += tail.rejected.size();
+    poisoned = std::max(poisoned, tail.poisoned.size());
   }
 
   std::printf("replayed %zu receipts in %zu batches: %zu customers, "
               "%zu alerts\n",
               receipts, batches, fleet->NumCustomers(), alerts);
+  if (rejected > 0 || poisoned > 0) {
+    std::printf("quarantined %zu receipts; %zu shards poisoned\n", rejected,
+                poisoned);
+  }
   if (!snapshot_out.empty()) {
     CHURNLAB_RETURN_NOT_OK(fleet->SaveSnapshot(snapshot_out));
     std::printf("wrote fleet snapshot to %s\n", snapshot_out.c_str());
@@ -465,6 +491,17 @@ int Main(int argc, const char* const* argv) {
   if (trace) obs::Trace::Enable(true);
   // Either telemetry consumer wants the per-operation latency histograms.
   if (trace || !metrics_out.empty()) obs::SetDetailedTiming(true);
+  // Fault-injection plumbing: failpoints armed via the CHURNLAB_FAILPOINTS
+  // environment variable count into the telemetry above like --failpoints.
+  obs::InstallFaultTelemetry();
+  {
+    const Status armed = FailpointRegistry::Global().ArmFromEnv();
+    if (!armed.ok()) {
+      std::fprintf(stderr, "churnlab: bad CHURNLAB_FAILPOINTS spec: %s\n",
+                   armed.ToString().c_str());
+      return 2;
+    }
+  }
   if (!log_json.empty()) {
     const Status opened = obs::StructuredSink::Open(log_json);
     if (!opened.ok()) {
