@@ -14,6 +14,7 @@
 
 #include "common/binary_io.h"
 #include "datagen/scenario.h"
+#include "obs/flight_recorder.h"
 #include "retail/dataset.h"
 #include "serve/fleet.h"
 #include "serve/state_store.h"
@@ -116,6 +117,22 @@ BENCHMARK(BM_FleetIngestShards)
     ->Arg(16)
     ->Arg(64)
     ->Unit(benchmark::kMillisecond);
+
+// Full replay (weekly batches, 16 shards) with the flight recorder off
+// (arg 0) vs armed (arg 1): the A/B pair behind the <5% overhead budget of
+// the disarmed fast path plus ring recording.
+void BM_ServeReplay(benchmark::State& state) {
+  const bool record = state.range(0) != 0;
+  if (record) obs::FlightRecorder::Arm();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReplayOnce(16, 7));
+  }
+  if (record) obs::FlightRecorder::Disarm();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(BenchStream().size()));
+  state.counters["flight_recorder"] = record ? 1.0 : 0.0;
+}
+BENCHMARK(BM_ServeReplay)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 serve::ScoringFleet FedFleet() {
   auto fleet_result = serve::ScoringFleet::Make(

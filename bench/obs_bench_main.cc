@@ -12,8 +12,10 @@
 #include <vector>
 
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 
 namespace {
 
@@ -92,17 +94,26 @@ std::string SuiteName(const char* argv0) {
 
 int main(int argc, char** argv) {
   std::string metrics_out;
+  std::string prom_out;
   std::vector<char*> arguments;
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       metrics_out = argv[i] + 14;
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (std::strncmp(argv[i], "--prom-out=", 11) == 0) {
+      prom_out = argv[i] + 11;
+    } else if (std::strcmp(argv[i], "--prom-out") == 0 && i + 1 < argc) {
+      prom_out = argv[++i];
     } else if (std::strcmp(argv[i], "--detailed-timing") == 0) {
       // Opt-in worst case: per-operation latency histograms on, as the CLI
       // enables for --metrics-out runs. Used to measure the instrumentation
       // overhead against the default (gated-off) configuration.
       churnlab::obs::SetDetailedTiming(true);
+    } else if (std::strcmp(argv[i], "--flight-recorder") == 0) {
+      // Arms the recorder for the whole suite; benches that manage their
+      // own A/B arming (BM_ServeReplay) override it per benchmark.
+      churnlab::obs::FlightRecorder::Arm();
     } else {
       arguments.push_back(argv[i]);
     }
@@ -133,6 +144,17 @@ int main(int argc, char** argv) {
     std::fputc('\n', file);
     std::fclose(file);
     std::fprintf(stderr, "wrote bench telemetry to %s\n", metrics_out.c_str());
+  }
+  if (!prom_out.empty()) {
+    const churnlab::Status written =
+        churnlab::obs::WritePrometheusFile(prom_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", prom_out.c_str(),
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote prometheus metrics to %s\n",
+                 prom_out.c_str());
   }
   return 0;
 }

@@ -41,3 +41,12 @@ merged="${OUT_DIR}/BENCH_micro.json"
 } > "${merged}"
 
 echo "wrote ${merged} (${#suites[@]} suites)"
+
+# Guard against perf drift: compare the fresh documents against the
+# committed baselines. Opt out (e.g. on noisy shared machines) with
+# CHURNLAB_BENCH_NO_DRIFT_CHECK=1; tune the threshold with
+# CHURNLAB_BENCH_DRIFT_PCT (default 10).
+if [[ "${CHURNLAB_BENCH_NO_DRIFT_CHECK:-0}" != "1" ]]; then
+  "$(dirname "$0")/check_bench_drift.sh" "${OUT_DIR}" \
+      "${CHURNLAB_BENCH_DRIFT_PCT:-10}"
+fi

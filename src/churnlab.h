@@ -124,9 +124,11 @@ class ScorerHandle {
 
 using serve::BatchReport;
 using serve::FleetAlert;
+using serve::FleetHealth;
 using serve::FleetOptions;
 using serve::PoisonedShard;
 using serve::RejectedReceipt;
+using serve::ShardHealthStats;
 using MonitorPolicy = core::MonitorPolicy;
 using StabilityAlert = core::StabilityAlert;
 /// Fault injection (docs/ROBUSTNESS.md): arm failpoints programmatically or
@@ -167,6 +169,11 @@ class FleetHandle {
 
   size_t NumCustomers() const { return fleet_.NumCustomers(); }
   const FleetOptions& options() const { return fleet_.options(); }
+
+  /// Point-in-time fleet health: per-shard receipt/reject/alert counts,
+  /// retry and poison state, population, task-latency histograms, and the
+  /// worker pool's queue depth. Call between operations.
+  FleetHealth Health() const { return fleet_.HealthReport(); }
 
   /// Writes a versioned, CRC-framed snapshot of the full fleet state
   /// (truncating `path`).

@@ -10,13 +10,24 @@ namespace churnlab {
 
 namespace {
 std::atomic<ThreadPool::DroppedExceptionHook> g_dropped_hook{nullptr};
+std::atomic<ThreadPool::WorkerStartHook> g_worker_start_hook{nullptr};
+/// Process-unique worker ordinal, so hooks can label threads across pools.
+std::atomic<size_t> g_next_worker_ordinal{0};
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this] {
+      const size_t ordinal =
+          g_next_worker_ordinal.fetch_add(1, std::memory_order_relaxed);
+      if (WorkerStartHook hook =
+              g_worker_start_hook.load(std::memory_order_acquire)) {
+        hook(ordinal);
+      }
+      WorkerLoop();
+    });
   }
 }
 
@@ -44,6 +55,15 @@ uint64_t ThreadPool::dropped_exceptions() const {
 
 void ThreadPool::SetDroppedExceptionHook(DroppedExceptionHook hook) {
   g_dropped_hook.store(hook, std::memory_order_release);
+}
+
+void ThreadPool::SetWorkerStartHook(WorkerStartHook hook) {
+  g_worker_start_hook.store(hook, std::memory_order_release);
+}
+
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
 }
 
 void ThreadPool::WaitIdle() {

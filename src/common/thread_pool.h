@@ -35,6 +35,12 @@ class ThreadPool {
   /// thread that caught it. Must be safe to call concurrently.
   using DroppedExceptionHook = void (*)();
 
+  /// Called once on each worker thread as it starts, with a process-unique
+  /// worker ordinal. Must be safe to call concurrently. obs wires this to
+  /// the flight recorder so dumps label pool threads, and to the
+  /// `churnlab.threadpool.workers_started` counter.
+  using WorkerStartHook = void (*)(size_t ordinal);
+
   /// Creates a pool with `num_threads` workers (>= 1; 0 is clamped to 1).
   explicit ThreadPool(size_t num_threads);
   ~ThreadPool();
@@ -51,6 +57,11 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Tasks submitted but not yet picked up by a worker. A health/telemetry
+  /// probe, not a synchronization primitive: the value is stale the moment
+  /// it returns.
+  size_t QueueDepth() const;
+
   /// Task exceptions dropped (captured after the first) over this pool's
   /// lifetime. Fault tests assert on this count.
   uint64_t dropped_exceptions() const;
@@ -58,6 +69,10 @@ class ThreadPool {
   /// Installs the process-wide dropped-exception hook (nullptr to remove).
   /// Typically obs::InstallFaultTelemetry's bridge.
   static void SetDroppedExceptionHook(DroppedExceptionHook hook);
+
+  /// Installs the process-wide worker-start hook (nullptr to remove). Only
+  /// workers started after installation observe it.
+  static void SetWorkerStartHook(WorkerStartHook hook);
 
  private:
   void WorkerLoop();

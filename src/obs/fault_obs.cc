@@ -1,7 +1,13 @@
 #include "obs/fault_obs.h"
 
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <string>
+
 #include "common/failpoint.h"
 #include "common/thread_pool.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -21,13 +27,45 @@ class TelemetryObserver : public FailpointObserver {
     // the profile tree shows which sites fired and how often. The span
     // name is owned by the registry-held Failpoint, which is never freed.
     ScopedSpan span(failpoint.span_name().c_str());
+
+    // The flight recorder sees the trigger too, so a post-mortem dump shows
+    // the fault in sequence with the surrounding work...
+    if (FlightRecorder::IsArmed()) {
+      FlightRecorder::Record(FlightRecorder::RegisterSite(
+          failpoint.span_name()));
+      // ...and the *first* fire of each site snapshots the rings to the
+      // auto-dump path: the dump captures what every thread was doing just
+      // before the fault, before later events overwrite it. Subsequent
+      // fires of the same site only record events (a repeatedly firing
+      // failpoint must not turn every trigger into file I/O).
+      bool first_fire = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        first_fire = dumped_sites_.insert(failpoint.span_name()).second;
+      }
+      if (first_fire) {
+        (void)FlightRecorder::TriggerDump("failpoint:" +
+                                          failpoint.span_name());
+      }
+    }
   }
+
+ private:
+  std::mutex mutex_;
+  std::set<std::string> dumped_sites_;
 };
 
 void CountDroppedException() {
   static Counter* const dropped = MetricsRegistry::Global().GetCounter(
       "churnlab.threadpool.dropped_exceptions");
   dropped->Increment();
+}
+
+void OnWorkerStart(size_t ordinal) {
+  static Counter* const started = MetricsRegistry::Global().GetCounter(
+      "churnlab.threadpool.workers_started");
+  started->Increment();
+  FlightRecorder::LabelThread("pool-worker-" + std::to_string(ordinal));
 }
 
 }  // namespace
@@ -37,6 +75,7 @@ void InstallFaultTelemetry() {
     auto* bridge = new TelemetryObserver();
     FailpointRegistry::SetObserver(bridge);
     ThreadPool::SetDroppedExceptionHook(&CountDroppedException);
+    ThreadPool::SetWorkerStartHook(&OnWorkerStart);
     return bridge;
   }();
   (void)observer;

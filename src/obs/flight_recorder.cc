@@ -1,0 +1,273 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace churnlab {
+namespace obs {
+
+namespace {
+
+/// Words per ring slot: [seq, timestamp_ns, duration_ns, key, site].
+/// `seq` is the event's global position in its ring (write index), stored
+/// *last* with release order; a reader that finds seq != the expected index
+/// knows the slot was overwritten mid-read and skips it, so dumps taken
+/// while producers are live can never tear an event across two writes.
+constexpr size_t kWordsPerSlot = 5;
+
+struct Ring {
+  Ring(uint32_t ring_ordinal, size_t ring_capacity)
+      : ordinal(ring_ordinal),
+        capacity(ring_capacity),
+        words(std::make_unique<std::atomic<uint64_t>[]>(ring_capacity *
+                                                        kWordsPerSlot)) {
+    for (size_t i = 0; i < capacity * kWordsPerSlot; ++i) {
+      words[i].store(0, std::memory_order_relaxed);
+    }
+    // Slot 0's stored seq of 0 would look valid before any write; seed
+    // every seq word with a sentinel no real index uses.
+    for (size_t slot = 0; slot < capacity; ++slot) {
+      words[slot * kWordsPerSlot].store(kEmptySeq, std::memory_order_relaxed);
+    }
+  }
+
+  static constexpr uint64_t kEmptySeq = ~uint64_t{0};
+
+  const uint32_t ordinal;
+  const size_t capacity;
+  /// Owner-thread-only write cursor (total events written). Relaxed is
+  /// enough: the per-slot seq word carries the release that publishes the
+  /// payload words to dumpers.
+  std::atomic<uint64_t> next{0};
+  std::unique_ptr<std::atomic<uint64_t>[]> words;
+  /// Guarded by the registry mutex.
+  std::string label;
+};
+
+struct Registry {
+  std::mutex mutex;
+  /// Rings are never freed: threads exit, their last events stay dumpable.
+  std::vector<std::unique_ptr<Ring>> rings;
+  std::vector<std::string> sites;
+  std::map<std::string, uint32_t, std::less<>> site_ids;
+  FlightRecorder::Options options;
+  std::string auto_dump_path;
+  std::atomic<uint64_t> total_recorded{0};
+};
+
+Registry& GetRegistry() {
+  static Registry* const kRegistry = new Registry();
+  return *kRegistry;
+}
+
+thread_local Ring* t_ring = nullptr;
+
+Ring* GetThreadRing() {
+  if (t_ring != nullptr) return t_ring;
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.rings.push_back(std::make_unique<Ring>(
+      static_cast<uint32_t>(registry.rings.size()),
+      std::max<size_t>(1, registry.options.events_per_thread)));
+  t_ring = registry.rings.back().get();
+  return t_ring;
+}
+
+}  // namespace
+
+std::atomic<bool> FlightRecorder::armed_{false};
+
+void FlightRecorder::Arm(Options options) {
+  Registry& registry = GetRegistry();
+  {
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    registry.options = options;
+  }
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FlightRecorder::Disarm() {
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+uint32_t FlightRecorder::RegisterSite(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  const auto it = registry.site_ids.find(name);
+  if (it != registry.site_ids.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(registry.sites.size());
+  registry.sites.emplace_back(name);
+  registry.site_ids.emplace(std::string(name), id);
+  return id;
+}
+
+const std::string& FlightRecorder::SiteName(uint32_t site) {
+  static const std::string* const kUnknown = new std::string("?");
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  if (site >= registry.sites.size()) return *kUnknown;
+  // Site names are interned and never freed, so the reference stays valid
+  // after the lock is released.
+  return registry.sites[site];
+}
+
+void FlightRecorder::Record(uint32_t site, uint64_t key,
+                            uint64_t duration_ns) {
+  if (!IsArmed()) return;
+  Ring* ring = GetThreadRing();
+  const uint64_t index = ring->next.load(std::memory_order_relaxed);
+  std::atomic<uint64_t>* slot =
+      &ring->words[(index % ring->capacity) * kWordsPerSlot];
+  // Invalidate the slot first so a concurrent dumper never pairs the new
+  // payload with the old seq, then publish payload before the new seq.
+  slot[0].store(Ring::kEmptySeq, std::memory_order_relaxed);
+  slot[1].store(MonotonicNanos(), std::memory_order_relaxed);
+  slot[2].store(duration_ns, std::memory_order_relaxed);
+  slot[3].store(key, std::memory_order_relaxed);
+  slot[4].store(site, std::memory_order_relaxed);
+  slot[0].store(index, std::memory_order_release);
+  ring->next.store(index + 1, std::memory_order_release);
+  GetRegistry().total_recorded.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FlightRecorder::LabelThread(std::string label) {
+  Ring* ring = GetThreadRing();
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  ring->label = std::move(label);
+}
+
+std::string FlightRecorder::ThreadLabel(uint32_t thread) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  if (thread < registry.rings.size() &&
+      !registry.rings[thread]->label.empty()) {
+    return registry.rings[thread]->label;
+  }
+  return std::to_string(thread);
+}
+
+std::vector<FlightEvent> FlightRecorder::Collect() {
+  Registry& registry = GetRegistry();
+  std::vector<Ring*> rings;
+  {
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    rings.reserve(registry.rings.size());
+    for (const std::unique_ptr<Ring>& ring : registry.rings) {
+      rings.push_back(ring.get());
+    }
+  }
+  std::vector<FlightEvent> events;
+  for (Ring* ring : rings) {
+    const uint64_t next = ring->next.load(std::memory_order_acquire);
+    const uint64_t held = std::min<uint64_t>(next, ring->capacity);
+    for (uint64_t index = next - held; index < next; ++index) {
+      const std::atomic<uint64_t>* slot =
+          &ring->words[(index % ring->capacity) * kWordsPerSlot];
+      const uint64_t seq = slot[0].load(std::memory_order_acquire);
+      FlightEvent event;
+      event.timestamp_ns = slot[1].load(std::memory_order_relaxed);
+      event.duration_ns = slot[2].load(std::memory_order_relaxed);
+      event.key = slot[3].load(std::memory_order_relaxed);
+      event.site = static_cast<uint32_t>(
+          slot[4].load(std::memory_order_relaxed));
+      event.thread = ring->ordinal;
+      // Re-check the seq after reading the payload: unchanged means no
+      // writer touched the slot in between (the writer invalidates seq
+      // before rewriting the payload).
+      if (seq != index ||
+          slot[0].load(std::memory_order_acquire) != index) {
+        continue;  // overwritten (or being overwritten) — skip, never tear
+      }
+      events.push_back(event);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.timestamp_ns < b.timestamp_ns;
+            });
+  return events;
+}
+
+Status FlightRecorder::DumpJsonl(const std::string& path,
+                                 std::string_view reason) {
+  const std::vector<FlightEvent> events = Collect();
+  JsonWriter header;
+  header.BeginObject();
+  header.Key("churnlab_flight_version").Int(1);
+  header.Key("reason").String(reason);
+  header.Key("dumped_at_ns").Uint(MonotonicNanos());
+  header.Key("events").Uint(events.size());
+  header.Key("total_recorded").Uint(TotalRecorded());
+  header.EndObject();
+
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) {
+    return Status::IOError("cannot open flight-recorder dump '" + path +
+                           "'");
+  }
+  bool ok = std::fprintf(file, "%s\n", header.str().c_str()) >= 0;
+  for (const FlightEvent& event : events) {
+    JsonWriter line;
+    line.BeginObject();
+    line.Key("t_ns").Uint(event.timestamp_ns);
+    if (event.duration_ns != 0) line.Key("dur_ns").Uint(event.duration_ns);
+    line.Key("site").String(SiteName(event.site));
+    if (event.key != kNoKey) line.Key("key").Uint(event.key);
+    line.Key("thread").String(ThreadLabel(event.thread));
+    line.EndObject();
+    if (std::fprintf(file, "%s\n", line.str().c_str()) < 0) {
+      ok = false;
+      break;
+    }
+  }
+  if (std::fclose(file) != 0 || !ok) {
+    return Status::IOError("failed writing flight-recorder dump to '" +
+                           path + "'");
+  }
+  return Status::OK();
+}
+
+void FlightRecorder::SetAutoDumpPath(std::string path) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.auto_dump_path = std::move(path);
+}
+
+std::string FlightRecorder::AutoDumpPath() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  return registry.auto_dump_path;
+}
+
+Status FlightRecorder::TriggerDump(std::string_view reason) {
+  const std::string path = AutoDumpPath();
+  if (path.empty()) return Status::OK();
+  return DumpJsonl(path, reason);
+}
+
+uint64_t FlightRecorder::TotalRecorded() {
+  return GetRegistry().total_recorded.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::ResetForTest() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (const std::unique_ptr<Ring>& ring : registry.rings) {
+    ring->next.store(0, std::memory_order_relaxed);
+    for (size_t slot = 0; slot < ring->capacity; ++slot) {
+      ring->words[slot * kWordsPerSlot].store(Ring::kEmptySeq,
+                                              std::memory_order_relaxed);
+    }
+  }
+  registry.total_recorded.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace churnlab

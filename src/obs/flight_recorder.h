@@ -1,0 +1,154 @@
+#ifndef CHURNLAB_OBS_FLIGHT_RECORDER_H_
+#define CHURNLAB_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace churnlab {
+namespace obs {
+
+/// \file
+/// Lock-free per-thread flight recorder for post-mortem debugging.
+///
+/// Each thread that records owns a fixed-size SPSC ring buffer of recent
+/// event records (site id, timestamp, duration, key). Recording never
+/// blocks: the owning thread is the only writer of its ring, slots are
+/// plain relaxed atomics, and the ring silently overwrites its oldest
+/// entries — the recorder always holds the *last N* events per thread,
+/// which is exactly what a post-mortem wants. Disarmed (the default), an
+/// instrumented site costs one relaxed atomic load and a predicted branch.
+///
+/// The rings are dumped — on demand, on fatal error in the CLI, or
+/// automatically when a failpoint fires (see obs::InstallFaultTelemetry) —
+/// to JSON lines: one header object followed by one object per event,
+/// merged across threads in timestamp order. A dump taken while threads
+/// are still recording is best-effort: a slot being overwritten mid-read
+/// is detected via its embedded sequence number and skipped, never torn.
+///
+/// Typical instrumentation:
+/// \code
+///   static const uint32_t kSite =
+///       obs::FlightRecorder::RegisterSite("serve.shard.task");
+///   obs::FlightSpan span(kSite, shard);   // duration recorded on scope exit
+/// \endcode
+
+/// One decoded event from a ring.
+struct FlightEvent {
+  uint64_t timestamp_ns = 0;  ///< MonotonicNanos() when the event completed.
+  uint64_t duration_ns = 0;   ///< 0 for instantaneous events.
+  uint64_t key = 0;           ///< Site-defined (customer id, shard, ...).
+  uint32_t site = 0;          ///< Id from RegisterSite.
+  uint32_t thread = 0;        ///< Ring ordinal (see ThreadLabel).
+};
+
+/// \brief Process-wide flight-recorder control plane. All methods are
+/// static; per-thread rings are created lazily on first record.
+class FlightRecorder {
+ public:
+  /// Key value for events that have no natural key.
+  static constexpr uint64_t kNoKey = ~uint64_t{0};
+
+  struct Options {
+    /// Ring capacity per recording thread, in events. Rings created while
+    /// armed use the armed capacity; rings outlive Disarm (their contents
+    /// stay dumpable) and keep their creation-time capacity.
+    size_t events_per_thread = 4096;
+  };
+
+  /// Arms recording process-wide. Idempotent; re-arming with different
+  /// options only affects rings created afterwards.
+  static void Arm(Options options);
+  static void Arm() { Arm(Options()); }
+  static void Disarm();
+
+  /// Disarmed fast path: one relaxed load.
+  static bool IsArmed() { return armed_.load(std::memory_order_relaxed); }
+
+  /// Interns `name` and returns its stable site id. Typically called once
+  /// per site through a function-local static. Registering the same name
+  /// twice returns the same id.
+  static uint32_t RegisterSite(std::string_view name);
+
+  /// The name registered for `site` ("?" for an unknown id).
+  static const std::string& SiteName(uint32_t site);
+
+  /// Records one event into the calling thread's ring (no-op while
+  /// disarmed). `duration_ns` is 0 for instantaneous events.
+  static void Record(uint32_t site, uint64_t key = kNoKey,
+                     uint64_t duration_ns = 0);
+
+  /// Labels the calling thread's ring for dumps (e.g. "pool-worker-3").
+  /// Creates the ring if needed, even while disarmed.
+  static void LabelThread(std::string label);
+
+  /// Label of ring `thread` (its ordinal as a string when never labeled).
+  static std::string ThreadLabel(uint32_t thread);
+
+  /// Decodes every ring — including rings of exited threads — into one
+  /// list sorted by timestamp (oldest first). Slots that are concurrently
+  /// overwritten during the read are skipped.
+  static std::vector<FlightEvent> Collect();
+
+  /// Appends a dump to `path` as JSON lines: one header object
+  /// (`churnlab_flight_version`, `reason`, `events`, the site table) then
+  /// one object per event in timestamp order.
+  static Status DumpJsonl(const std::string& path, std::string_view reason);
+
+  /// Configures automatic dumping: when set (non-empty), TriggerDump
+  /// appends to this path. The CLI points it at --flight-recorder's path;
+  /// the fault-telemetry bridge calls TriggerDump on the first fire of
+  /// each failpoint site.
+  static void SetAutoDumpPath(std::string path);
+  static std::string AutoDumpPath();
+
+  /// DumpJsonl to the auto-dump path; no-op (OK) when the path is unset.
+  static Status TriggerDump(std::string_view reason);
+
+  /// Total events ever recorded (monotonic; includes overwritten ones).
+  static uint64_t TotalRecorded();
+
+  /// Test support: clears every ring's contents and the recorded-total.
+  /// Must not race with concurrent Record calls.
+  static void ResetForTest();
+
+ private:
+  friend class FlightSpan;
+  static std::atomic<bool> armed_;
+};
+
+/// RAII span: records (site, key, elapsed ns) into the flight recorder on
+/// destruction when the recorder was armed at construction. Cost while
+/// disarmed: one relaxed load.
+class FlightSpan {
+ public:
+  explicit FlightSpan(uint32_t site, uint64_t key = FlightRecorder::kNoKey)
+      : armed_(FlightRecorder::IsArmed()),
+        site_(site),
+        key_(key),
+        start_ns_(armed_ ? MonotonicNanos() : 0) {}
+  ~FlightSpan() {
+    if (armed_) {
+      FlightRecorder::Record(site_, key_, MonotonicNanos() - start_ns_);
+    }
+  }
+
+  FlightSpan(const FlightSpan&) = delete;
+  FlightSpan& operator=(const FlightSpan&) = delete;
+
+ private:
+  bool armed_;
+  uint32_t site_;
+  uint64_t key_;
+  uint64_t start_ns_;
+};
+
+}  // namespace obs
+}  // namespace churnlab
+
+#endif  // CHURNLAB_OBS_FLIGHT_RECORDER_H_

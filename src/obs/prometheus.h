@@ -1,0 +1,66 @@
+#ifndef CHURNLAB_OBS_PROMETHEUS_H_
+#define CHURNLAB_OBS_PROMETHEUS_H_
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace churnlab {
+namespace obs {
+
+/// \file
+/// Dependency-free Prometheus text-exposition exporter
+/// (node-exporter-textfile compatible; exposition format v0.0.4).
+///
+/// Registry names (`churnlab.serve.receipts_ingested`) are mangled into
+/// valid Prometheus names (`churnlab_serve_receipts_ingested`); counters
+/// additionally get the conventional `_total` suffix. Each metric family
+/// is preceded by one `# HELP` and one `# TYPE` line, with help text drawn
+/// from the central inventory below (mirrors docs/OBSERVABILITY.md).
+///
+/// Labels ride inside the registry name using the convention produced by
+/// LabeledMetricName: `base{key="value",...}`. The JSON exporter treats
+/// such names as opaque keys; this exporter splits them back into a family
+/// plus a label set, so per-shard gauges like
+/// `churnlab.serve.shard_receipts{shard="3"}` export as
+/// `churnlab_serve_shard_receipts{shard="3"} 120`.
+
+/// Builds the registry-name encoding of a labeled metric:
+/// `base{k1="v1",k2="v2"}`. Label values are escaped (backslash, quote,
+/// newline) per the exposition format.
+std::string LabeledMetricName(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
+
+/// Mangles one metric (base) name into the Prometheus alphabet
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: every other character becomes '_', and a
+/// leading digit is prefixed with '_'.
+std::string ManglePrometheusName(std::string_view name);
+
+/// Help text for a known metric base name (the central inventory), or
+/// nullptr when the metric is not inventoried (exporters fall back to a
+/// generated line).
+const char* MetricHelp(std::string_view base);
+
+/// Serializes a metrics snapshot in the Prometheus text exposition format:
+/// counters (`_total` suffix), gauges, and full histograms (cumulative
+/// `_bucket{le=...}` series plus `_sum` / `_count`).
+std::string ExportPrometheus(const MetricsSnapshot& metrics);
+
+/// ExportPrometheus over the global registry.
+std::string ExportPrometheusGlobal();
+
+/// Writes ExportPrometheusGlobal() to `path` atomically (temp file +
+/// rename), the contract node-exporter's textfile collector expects so a
+/// concurrent scrape never sees a half-written file.
+Status WritePrometheusFile(const std::string& path);
+
+}  // namespace obs
+}  // namespace churnlab
+
+#endif  // CHURNLAB_OBS_PROMETHEUS_H_

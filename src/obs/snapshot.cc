@@ -1,0 +1,172 @@
+#include "obs/snapshot.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace churnlab {
+namespace obs {
+
+TelemetrySnapshotter::TelemetrySnapshotter(Options options,
+                                           MetricsRegistry* registry)
+    : options_(std::move(options)), registry_(registry) {}
+
+TelemetrySnapshotter::~TelemetrySnapshotter() { Stop(); }
+
+Status TelemetrySnapshotter::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) {
+      return Status::InvalidArgument("telemetry snapshotter already running");
+    }
+  }
+  file_ = std::fopen(options_.path.c_str(), "w");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open telemetry output '" + options_.path +
+                           "'");
+  }
+
+  JsonWriter header;
+  header.BeginObject();
+  header.Key("churnlab_timeseries_version").Int(kTimeseriesSchemaVersion);
+  header.Key("interval_ms")
+      .Int(std::max(10, options_.interval_ms));
+  header.Key("started_at_ns").Uint(MonotonicNanos());
+  header.EndObject();
+  std::fprintf(file_, "%s\n", header.str().c_str());
+  std::fflush(file_);
+
+  // Counter baseline: the first sample's deltas are relative to now, so a
+  // snapshotter started mid-process doesn't report the whole history as
+  // one spike.
+  prev_counters_.clear();
+  for (const MetricsSnapshot::CounterSample& counter :
+       registry_->Snapshot().counters) {
+    prev_counters_[counter.name] = counter.value;
+  }
+  seq_ = 0;
+  last_sample_ns_ = 0;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = false;
+    running_ = true;
+  }
+  thread_ = std::thread(&TelemetrySnapshotter::Run, this);
+  return Status::OK();
+}
+
+void TelemetrySnapshotter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_ = false;
+  }
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+bool TelemetrySnapshotter::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+uint64_t TelemetrySnapshotter::samples_taken() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return seq_;
+}
+
+void TelemetrySnapshotter::Run() {
+  const auto interval =
+      std::chrono::milliseconds(std::max(10, options_.interval_ms));
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    if (wake_.wait_for(lock, interval,
+                       [this] { return stop_requested_; })) {
+      break;
+    }
+    lock.unlock();
+    WriteSample();
+    lock.lock();
+  }
+  lock.unlock();
+  // Final sample so the series always covers the end of the run.
+  WriteSample();
+}
+
+void TelemetrySnapshotter::WriteSample() {
+  const MetricsSnapshot metrics = registry_->Snapshot();
+  // MonotonicNanos ties between samples would break strict monotonicity of
+  // t_ns; nudge forward (the clock is nanosecond-grained, so this is
+  // effectively unreachable).
+  uint64_t now = MonotonicNanos();
+  if (now <= last_sample_ns_) now = last_sample_ns_ + 1;
+
+  JsonWriter line;
+  line.BeginObject();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    line.Key("seq").Uint(seq_);
+  }
+  line.Key("t_ns").Uint(now);
+
+  line.Key("counters").BeginObject();
+  for (const MetricsSnapshot::CounterSample& counter : metrics.counters) {
+    uint64_t& prev = prev_counters_[counter.name];
+    // Reset() between samples makes the total go backwards; report the new
+    // total as the delta rather than a huge unsigned wraparound.
+    const uint64_t delta =
+        counter.value >= prev ? counter.value - prev : counter.value;
+    prev = counter.value;
+    line.Key(counter.name).BeginObject();
+    line.Key("total").Uint(counter.value);
+    line.Key("delta").Uint(delta);
+    line.EndObject();
+  }
+  line.EndObject();
+
+  line.Key("gauges").BeginObject();
+  for (const MetricsSnapshot::GaugeSample& gauge : metrics.gauges) {
+    line.Key(gauge.name).Double(gauge.value);
+  }
+  line.EndObject();
+
+  line.Key("histograms").BeginObject();
+  for (const MetricsSnapshot::HistogramSample& sample : metrics.histograms) {
+    const HistogramSnapshot& histogram = sample.histogram;
+    line.Key(sample.name).BeginObject();
+    line.Key("count").Uint(histogram.count);
+    line.Key("mean").Double(histogram.Mean());
+    line.Key("p50").Double(histogram.Percentile(0.50));
+    line.Key("p90").Double(histogram.Percentile(0.90));
+    line.Key("p99").Double(histogram.Percentile(0.99));
+    line.EndObject();
+  }
+  line.EndObject();
+
+  line.EndObject();
+  std::fprintf(file_, "%s\n", line.str().c_str());
+  std::fflush(file_);
+
+  last_sample_ns_ = now;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++seq_;
+  }
+  static Counter* const snapshots_taken =
+      MetricsRegistry::Global().GetCounter("churnlab.obs.snapshots_taken");
+  snapshots_taken->Increment();
+}
+
+}  // namespace obs
+}  // namespace churnlab

@@ -1,0 +1,93 @@
+#ifndef CHURNLAB_OBS_SNAPSHOT_H_
+#define CHURNLAB_OBS_SNAPSHOT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace churnlab {
+namespace obs {
+
+/// Version stamp of the time-series JSONL schema (see
+/// docs/OBSERVABILITY.md). Bump on breaking layout changes.
+inline constexpr int kTimeseriesSchemaVersion = 1;
+
+/// \brief Background thread that samples a MetricsRegistry at a fixed
+/// interval and appends one JSON line per sample, turning the end-of-run
+/// telemetry document into a live time series.
+///
+/// File layout (version 1) — one header line, then one line per sample:
+/// \code
+///   {"churnlab_timeseries_version":1,"interval_ms":250,"started_at_ns":N}
+///   {"seq":0,"t_ns":N,
+///    "counters":{"<name>":{"total":T,"delta":D},...},
+///    "gauges":{"<name>":V,...},
+///    "histograms":{"<name>":{"count":C,"mean":M,
+///                            "p50":.,"p90":.,"p99":.},...}}
+/// \endcode
+/// `seq` and `t_ns` are strictly monotonic across the file. Counter deltas
+/// are relative to the previous sample (the first sample's delta is
+/// relative to Start()). Every line is flushed as written so a concurrent
+/// `tail -f` observes the run live.
+///
+/// Stop() (and the destructor) takes one final sample before joining, so
+/// short runs still produce at least one data line.
+class TelemetrySnapshotter {
+ public:
+  struct Options {
+    std::string path;        ///< JSONL output file (truncated on Start).
+    int interval_ms = 1000;  ///< Sampling period; clamped to >= 10.
+  };
+
+  explicit TelemetrySnapshotter(
+      Options options, MetricsRegistry* registry = &MetricsRegistry::Global());
+  ~TelemetrySnapshotter();
+
+  TelemetrySnapshotter(const TelemetrySnapshotter&) = delete;
+  TelemetrySnapshotter& operator=(const TelemetrySnapshotter&) = delete;
+
+  /// Opens the output file, writes the header line, records the counter
+  /// baseline, and launches the sampling thread. Fails if already running
+  /// or the file cannot be opened.
+  Status Start();
+
+  /// Takes a final sample, stops the thread, and closes the file.
+  /// Idempotent; safe to call when Start was never called.
+  void Stop();
+
+  bool running() const;
+
+  /// Samples written so far (header line excluded).
+  uint64_t samples_taken() const;
+
+ private:
+  void Run();
+  void WriteSample();
+
+  const Options options_;
+  MetricsRegistry* const registry_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+
+  // Touched only with the thread not running, or from the thread itself.
+  std::FILE* file_ = nullptr;
+  std::map<std::string, uint64_t> prev_counters_;
+  uint64_t seq_ = 0;
+  uint64_t last_sample_ns_ = 0;
+};
+
+}  // namespace obs
+}  // namespace churnlab
+
+#endif  // CHURNLAB_OBS_SNAPSHOT_H_

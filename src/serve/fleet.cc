@@ -7,7 +7,9 @@
 #include "common/failpoint.h"
 #include "common/macros.h"
 #include "obs/fault_obs.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "obs/structured_log.h"
 #include "obs/trace.h"
 
@@ -77,6 +79,8 @@ struct ShardOutput {
   std::vector<RejectedReceipt> rejected;
   size_t receipts = 0;
   size_t new_customers = 0;
+  /// Retry attempts burned by this shard's task.
+  uint64_t retries = 0;
   /// Items of this shard's work list fully processed (ingested, rejected,
   /// or swept) so far.
   size_t progress = 0;
@@ -136,12 +140,32 @@ Status ReadPolicy(BinaryReader* reader, core::MonitorPolicy* policy) {
 
 }  // namespace
 
+namespace {
+
+/// Flight-recorder sites instrumenting the fleet's hot paths. Interned
+/// once; recording is a no-op while the recorder is disarmed.
+uint32_t IngestBatchSite() {
+  static const uint32_t kSite =
+      obs::FlightRecorder::RegisterSite("serve.ingest_batch");
+  return kSite;
+}
+
+uint32_t ShardTaskSite() {
+  static const uint32_t kSite =
+      obs::FlightRecorder::RegisterSite("serve.shard.task");
+  return kSite;
+}
+
+}  // namespace
+
 ScoringFleet::ScoringFleet(FleetOptions options, CustomerStateStore store,
                            core::SymbolMapper mapper)
     : options_(std::move(options)),
       store_(std::move(store)),
       mapper_(std::move(mapper)),
-      shard_health_(store_.num_shards()) {}
+      shard_health_(store_.num_shards()),
+      shard_stats_(store_.num_shards()),
+      shard_latency_(store_.num_shards(), nullptr) {}
 
 Result<ScoringFleet> ScoringFleet::Make(FleetOptions options,
                                         const retail::Taxonomy* taxonomy) {
@@ -190,6 +214,15 @@ Result<BatchReport> ScoringFleet::IngestBatch(
   std::vector<ShardOutput> outputs(num_shards);
   const auto run_shard = [&](size_t shard) {
     ShardOutput& out = outputs[shard];
+    obs::FlightSpan flight(ShardTaskSite(), shard);
+    // Per-shard latency histogram, interned lazily by the shard's own task
+    // (at most one task per shard is in flight, so the slot never races).
+    if (obs::DetailedTimingEnabled() && shard_latency_[shard] == nullptr) {
+      shard_latency_[shard] = obs::MetricsRegistry::Global().GetHistogram(
+          obs::LabeledMetricName("churnlab.serve.shard_ingest_us",
+                                 {{"shard", std::to_string(shard)}}));
+    }
+    obs::ScopedLatency shard_latency(shard_latency_[shard]);
     std::vector<core::Symbol> symbols;
     // Processes the shard's receipts from out.progress on. A failpoint for
     // a receipt fires before that receipt mutates any state, so a retried
@@ -246,8 +279,10 @@ Result<BatchReport> ScoringFleet::IngestBatch(
           });
     };
     out.status = RetryWithBackoff(
-        options_.shard_retry, attempt,
-        [&metrics](int, const Status&) { metrics.shard_retries->Increment(); });
+        options_.shard_retry, attempt, [&metrics, &out](int, const Status&) {
+          metrics.shard_retries->Increment();
+          ++out.retries;
+        });
   };
 
   const size_t num_threads = std::min(options_.num_threads, num_shards);
@@ -270,9 +305,12 @@ Result<BatchReport> ScoringFleet::IngestBatch(
   BatchReport report;
   for (size_t shard = 0; shard < num_shards; ++shard) {
     ShardOutput& out = outputs[shard];
+    ShardStats& stats = shard_stats_[shard];
+    stats.last_batch_receipts = by_shard[shard].size();
     if (!shard_health_[shard].ok()) {
       // Already poisoned: the shard never ran; quarantine its receipts.
       report.poisoned.push_back(PoisonedShard{shard, shard_health_[shard]});
+      stats.rejected += by_shard[shard].size();
       for (const size_t batch_index : by_shard[shard]) {
         const retail::Receipt& receipt = receipts[batch_index];
         report.rejected.push_back(RejectedReceipt{
@@ -289,6 +327,7 @@ Result<BatchReport> ScoringFleet::IngestBatch(
       shard_health_[shard] = out.status;
       metrics.poisoned_shards->Increment();
       report.poisoned.push_back(PoisonedShard{shard, out.status});
+      stats.rejected += by_shard[shard].size() - out.progress;
       for (size_t i = out.progress; i < by_shard[shard].size(); ++i) {
         const size_t batch_index = by_shard[shard][i];
         const retail::Receipt& receipt = receipts[batch_index];
@@ -297,6 +336,10 @@ Result<BatchReport> ScoringFleet::IngestBatch(
             out.status.WithContext("shard poisoned")});
       }
     }
+    stats.receipts += out.receipts;
+    stats.rejected += out.rejected.size();
+    stats.alerts += out.alerts.size();
+    stats.retries += out.retries;
     report.receipts_ingested += out.receipts;
     report.new_customers += out.new_customers;
     report.alerts.insert(report.alerts.end(),
@@ -317,7 +360,69 @@ Result<BatchReport> ScoringFleet::IngestBatch(
   metrics.alerts_raised->Increment(report.alerts.size());
   metrics.rejected_receipts->Increment(report.rejected.size());
   metrics.customers->Set(static_cast<double>(store_.NumCustomers()));
+  obs::FlightRecorder::Record(IngestBatchSite(), receipts.size());
+  PublishShardTelemetry();
   return report;
+}
+
+FleetHealth ScoringFleet::HealthReport() const {
+  FleetHealth health;
+  const size_t num_shards = store_.num_shards();
+  health.shards.reserve(num_shards);
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    ShardHealthStats entry;
+    entry.shard = shard;
+    entry.status = shard_health_[shard];
+    const ShardStats& stats = shard_stats_[shard];
+    entry.receipts = stats.receipts;
+    entry.rejected = stats.rejected;
+    entry.alerts = stats.alerts;
+    entry.retries = stats.retries;
+    entry.last_batch_receipts = stats.last_batch_receipts;
+    entry.customers = store_.ShardCustomers(shard);
+    if (shard_latency_[shard] != nullptr) {
+      entry.task_latency_us = shard_latency_[shard]->Snapshot();
+    }
+    if (!entry.status.ok()) ++health.poisoned_shards;
+    health.receipts_total += entry.receipts;
+    health.customers_total += entry.customers;
+    health.shards.push_back(std::move(entry));
+  }
+  health.queue_depth = pool_ != nullptr ? pool_->QueueDepth() : 0;
+  return health;
+}
+
+void ScoringFleet::PublishShardTelemetry() {
+  // Gated like the other detailed instrumentation: default runs must not
+  // grow the global registry by O(shards).
+  if (!obs::DetailedTimingEnabled()) return;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  for (size_t shard = 0; shard < store_.num_shards(); ++shard) {
+    const std::string label = std::to_string(shard);
+    const auto gauge = [&](std::string_view base) {
+      return registry.GetGauge(
+          obs::LabeledMetricName(base, {{"shard", label}}));
+    };
+    const ShardStats& stats = shard_stats_[shard];
+    gauge("churnlab.serve.shard_receipts")
+        ->Set(static_cast<double>(stats.receipts));
+    gauge("churnlab.serve.shard_rejected")
+        ->Set(static_cast<double>(stats.rejected));
+    gauge("churnlab.serve.shard_alerts")
+        ->Set(static_cast<double>(stats.alerts));
+    gauge("churnlab.serve.shard_retries")
+        ->Set(static_cast<double>(stats.retries));
+    gauge("churnlab.serve.shard_last_batch_receipts")
+        ->Set(static_cast<double>(stats.last_batch_receipts));
+    gauge("churnlab.serve.shard_poisoned")
+        ->Set(shard_health_[shard].ok() ? 0.0 : 1.0);
+    gauge("churnlab.serve.shard_customers")
+        ->Set(static_cast<double>(store_.ShardCustomers(shard)));
+  }
+  static obs::Gauge* const queue_depth =
+      obs::MetricsRegistry::Global().GetGauge("churnlab.serve.queue_depth");
+  queue_depth->Set(
+      static_cast<double>(pool_ != nullptr ? pool_->QueueDepth() : 0));
 }
 
 template <typename PerCustomerOp>
@@ -329,6 +434,7 @@ Result<BatchReport> ScoringFleet::ForAllCustomers(const char* span_name,
   std::vector<ShardOutput> outputs(num_shards);
   const auto run_shard = [&](size_t shard) {
     ShardOutput& out = outputs[shard];
+    obs::FlightSpan flight(ShardTaskSite(), shard);
     const auto attempt = [&]() -> Status {
       CHURNLAB_FAILPOINT_KEYED("serve.shard.task", shard);
       return store_.WithShard(
@@ -349,8 +455,10 @@ Result<BatchReport> ScoringFleet::ForAllCustomers(const char* span_name,
           });
     };
     out.status = RetryWithBackoff(
-        options_.shard_retry, attempt,
-        [&metrics](int, const Status&) { metrics.shard_retries->Increment(); });
+        options_.shard_retry, attempt, [&metrics, &out](int, const Status&) {
+          metrics.shard_retries->Increment();
+          ++out.retries;
+        });
   };
 
   const size_t num_threads = std::min(options_.num_threads, num_shards);
@@ -382,12 +490,15 @@ Result<BatchReport> ScoringFleet::ForAllCustomers(const char* span_name,
       metrics.poisoned_shards->Increment();
       report.poisoned.push_back(PoisonedShard{shard, out.status});
     }
+    shard_stats_[shard].alerts += out.alerts.size();
+    shard_stats_[shard].retries += out.retries;
     report.alerts.insert(report.alerts.end(),
                          std::make_move_iterator(out.alerts.begin()),
                          std::make_move_iterator(out.alerts.end()));
   }
   std::sort(report.alerts.begin(), report.alerts.end(), AlertLess);
   metrics.alerts_raised->Increment(report.alerts.size());
+  PublishShardTelemetry();
   return report;
 }
 

@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/symbol_mapper.h"
+#include "obs/metrics.h"
 #include "retail/taxonomy.h"
 #include "retail/types.h"
 #include "serve/state_store.h"
@@ -70,6 +71,36 @@ struct RejectedReceipt {
 struct PoisonedShard {
   size_t shard = 0;
   Status reason;
+};
+
+/// Live health of one shard (see ScoringFleet::HealthReport). Counts are
+/// cumulative over the fleet's lifetime.
+struct ShardHealthStats {
+  size_t shard = 0;
+  /// OK while serving; the poisoning error once out of service.
+  Status status;
+  uint64_t receipts = 0;  ///< Receipts ingested by this shard.
+  uint64_t rejected = 0;  ///< Receipts quarantined by this shard.
+  uint64_t alerts = 0;    ///< Alerts raised by this shard.
+  uint64_t retries = 0;   ///< Retry attempts of this shard's tasks.
+  size_t customers = 0;   ///< Current shard population.
+  /// Receipts routed to this shard by the most recent IngestBatch — the
+  /// per-shard ingress pressure (a queue-depth proxy for skew detection).
+  size_t last_batch_receipts = 0;
+  /// Per-shard task latency (microseconds); empty unless detailed timing
+  /// is enabled (obs::SetDetailedTiming).
+  obs::HistogramSnapshot task_latency_us;
+};
+
+/// Fleet-wide health: every shard plus whole-fleet aggregates.
+struct FleetHealth {
+  std::vector<ShardHealthStats> shards;
+  size_t poisoned_shards = 0;
+  uint64_t receipts_total = 0;
+  size_t customers_total = 0;
+  /// Tasks queued but not yet running on the fleet's pool (0 while
+  /// single-threaded or before the first multi-threaded operation).
+  size_t queue_depth = 0;
 };
 
 /// What one fleet operation did.
@@ -158,6 +189,12 @@ class ScoringFleet {
     return shard_health_[shard];
   }
 
+  /// Point-in-time fleet health: per-shard cumulative counts, retry/poison
+  /// state, population, latency histograms, and the pool's queue depth.
+  /// Thread-compatible: call between fleet operations (the CLI samples it
+  /// per batch), not concurrently with one.
+  FleetHealth HealthReport() const;
+
   /// Serializes the full fleet — versioned header with every option, then
   /// one length- and CRC32-framed frame per shard — so Restore continues
   /// bit-identically from this point. Only fails when a write-path
@@ -202,6 +239,21 @@ class ScoringFleet {
   Result<BatchReport> ForAllCustomers(const char* span_name,
                                       PerCustomerOp&& op);
 
+  /// Per-shard cumulative stats behind HealthReport. Written only in the
+  /// single-threaded merge phase of an operation (like shard_health_).
+  struct ShardStats {
+    uint64_t receipts = 0;
+    uint64_t rejected = 0;
+    uint64_t alerts = 0;
+    uint64_t retries = 0;
+    size_t last_batch_receipts = 0;
+  };
+
+  /// Publishes per-shard labeled gauges (`churnlab.serve.shard_*{shard=k}`)
+  /// into the global registry. Merge-phase only; gated on detailed timing
+  /// so default runs do not grow the registry by O(shards).
+  void PublishShardTelemetry();
+
   FleetOptions options_;
   CustomerStateStore store_;
   core::SymbolMapper mapper_;
@@ -211,6 +263,11 @@ class ScoringFleet {
   /// Per-shard health, OK until the shard is poisoned. Written only in the
   /// single-threaded merge phase of an operation, so no lock is needed.
   std::vector<Status> shard_health_;
+  std::vector<ShardStats> shard_stats_;
+  /// Per-shard task-latency histograms, interned in the global registry
+  /// under labeled names. Created lazily by the shard's own task (at most
+  /// one task per shard is in flight, so slots never race).
+  std::vector<obs::Histogram*> shard_latency_;
 };
 
 }  // namespace serve

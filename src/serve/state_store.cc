@@ -50,6 +50,11 @@ std::mutex& CustomerStateStore::ShardMutex(size_t shard) const {
   return shards_[shard]->mutex;
 }
 
+size_t CustomerStateStore::ShardCustomers(size_t shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
+  return shards_[shard]->slab.size();
+}
+
 size_t CustomerStateStore::NumCustomers() const {
   size_t total = 0;
   for (const std::unique_ptr<Shard>& shard : shards_) {

@@ -77,6 +77,10 @@ class CustomerStateStore {
   /// call from inside WithShard.
   size_t NumCustomers() const;
 
+  /// Customers held by one shard. Locks that shard; do not call from
+  /// inside WithShard on the same shard.
+  size_t ShardCustomers(size_t shard) const;
+
   /// Mutable view of one locked shard, handed to WithShard callbacks.
   class ShardAccessor {
    public:

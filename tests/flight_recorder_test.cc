@@ -1,0 +1,200 @@
+// Unit tests for the per-thread flight recorder: site interning, the
+// disarmed fast path, ring overwrite semantics (last-N retention), thread
+// labels, JSONL dumps, and the failpoint-triggered auto-dump bridge.
+
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "obs/fault_obs.h"
+#include "obs/json.h"
+
+namespace churnlab {
+namespace obs {
+namespace {
+
+// The recorder is process-wide; every test starts from cleared rings and
+// leaves the recorder disarmed with auto-dump unset.
+class FlightRecorderTest : public testing::Test {
+ protected:
+  void SetUp() override { FlightRecorder::ResetForTest(); }
+  void TearDown() override {
+    FlightRecorder::Disarm();
+    FlightRecorder::SetAutoDumpPath("");
+    FlightRecorder::ResetForTest();
+  }
+};
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + name;
+}
+
+std::vector<FlightEvent> EventsForSite(uint32_t site) {
+  std::vector<FlightEvent> events;
+  for (const FlightEvent& event : FlightRecorder::Collect()) {
+    if (event.site == site) events.push_back(event);
+  }
+  return events;
+}
+
+TEST_F(FlightRecorderTest, RegisterSiteInternsNames) {
+  const uint32_t a = FlightRecorder::RegisterSite("frtest.site_a");
+  const uint32_t b = FlightRecorder::RegisterSite("frtest.site_b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(FlightRecorder::RegisterSite("frtest.site_a"), a);
+  EXPECT_EQ(FlightRecorder::SiteName(a), "frtest.site_a");
+  EXPECT_EQ(FlightRecorder::SiteName(0xfffffff0u), "?");
+}
+
+TEST_F(FlightRecorderTest, RecordWhileDisarmedIsDropped) {
+  ASSERT_FALSE(FlightRecorder::IsArmed());
+  const uint32_t site = FlightRecorder::RegisterSite("frtest.disarmed");
+  const uint64_t before = FlightRecorder::TotalRecorded();
+  FlightRecorder::Record(site, 1);
+  EXPECT_EQ(FlightRecorder::TotalRecorded(), before);
+  EXPECT_TRUE(EventsForSite(site).empty());
+}
+
+TEST_F(FlightRecorderTest, RecordedEventsComeBackInTimestampOrder) {
+  FlightRecorder::Arm();
+  const uint32_t site = FlightRecorder::RegisterSite("frtest.ordered");
+  for (uint64_t key = 0; key < 10; ++key) {
+    FlightRecorder::Record(site, key, /*duration_ns=*/key * 100);
+  }
+  const std::vector<FlightEvent> events = EventsForSite(site);
+  ASSERT_EQ(events.size(), 10u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].key, i);
+    EXPECT_EQ(events[i].duration_ns, i * 100);
+    if (i > 0) {
+      EXPECT_GE(events[i].timestamp_ns, events[i - 1].timestamp_ns);
+    }
+  }
+}
+
+TEST_F(FlightRecorderTest, RingKeepsTheLastEventsPerThread) {
+  FlightRecorder::Arm(FlightRecorder::Options{/*events_per_thread=*/64});
+  const uint32_t site = FlightRecorder::RegisterSite("frtest.wrap");
+  // A fresh thread gets a fresh ring with the armed capacity.
+  std::thread writer([site] {
+    for (uint64_t key = 0; key < 1000; ++key) {
+      FlightRecorder::Record(site, key);
+    }
+  });
+  writer.join();
+
+  const std::vector<FlightEvent> events = EventsForSite(site);
+  ASSERT_EQ(events.size(), 64u);
+  std::vector<uint64_t> keys;
+  for (const FlightEvent& event : events) keys.push_back(event.key);
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(keys.front(), 1000u - 64u);  // Oldest surviving event.
+  EXPECT_EQ(keys.back(), 999u);          // Newest.
+  EXPECT_GE(FlightRecorder::TotalRecorded(), 1000u);
+}
+
+TEST_F(FlightRecorderTest, FlightSpanRecordsOnlyWhenArmed) {
+  const uint32_t site = FlightRecorder::RegisterSite("frtest.span");
+  { FlightSpan disarmed(site, 1); }
+  EXPECT_TRUE(EventsForSite(site).empty());
+
+  FlightRecorder::Arm();
+  { FlightSpan span(site, 2); }
+  const std::vector<FlightEvent> events = EventsForSite(site);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].key, 2u);
+}
+
+TEST_F(FlightRecorderTest, ThreadLabelsSurviveThreadExit) {
+  FlightRecorder::Arm();
+  const uint32_t site = FlightRecorder::RegisterSite("frtest.labeled");
+  std::thread worker([site] {
+    FlightRecorder::LabelThread("unit-worker");
+    FlightRecorder::Record(site, 5);
+  });
+  worker.join();
+  const std::vector<FlightEvent> events = EventsForSite(site);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(FlightRecorder::ThreadLabel(events[0].thread), "unit-worker");
+}
+
+TEST_F(FlightRecorderTest, DumpJsonlHasHeaderAndDecodedEvents) {
+  FlightRecorder::Arm();
+  const uint32_t site = FlightRecorder::RegisterSite("frtest.dump");
+  FlightRecorder::LabelThread("main");
+  FlightRecorder::Record(site, 42, 1000);
+  const std::string path = TempPath("flight_dump.jsonl");
+  std::remove(path.c_str());
+  ASSERT_TRUE(FlightRecorder::DumpJsonl(path, "unit_test").ok());
+
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(file, line));
+  auto header = ParseJson(line);
+  ASSERT_TRUE(header.ok()) << line;
+  EXPECT_EQ(header->Find("churnlab_flight_version")->number, 1.0);
+  EXPECT_EQ(header->Find("reason")->string, "unit_test");
+  ASSERT_NE(header->Find("events"), nullptr);
+
+  bool found = false;
+  while (std::getline(file, line)) {
+    auto event = ParseJson(line);
+    ASSERT_TRUE(event.ok()) << line;
+    const JsonValue* event_site = event->Find("site");
+    if (event_site != nullptr && event_site->string == "frtest.dump") {
+      found = true;
+      EXPECT_EQ(event->Find("key")->number, 42.0);
+      EXPECT_EQ(event->Find("dur_ns")->number, 1000.0);
+      EXPECT_EQ(event->Find("thread")->string, "main");
+    }
+  }
+  EXPECT_TRUE(found);
+  std::remove(path.c_str());
+}
+
+TEST_F(FlightRecorderTest, TriggerDumpWithoutPathIsANoOp) {
+  FlightRecorder::SetAutoDumpPath("");
+  EXPECT_TRUE(FlightRecorder::TriggerDump("nothing").ok());
+}
+
+TEST_F(FlightRecorderTest, FailpointFireAutoDumpsTheFiringSite) {
+  InstallFaultTelemetry();
+  FlightRecorder::Arm();
+  const std::string path = TempPath("flight_failpoint.jsonl");
+  std::remove(path.c_str());
+  FlightRecorder::SetAutoDumpPath(path);
+
+  Failpoint* failpoint =
+      FailpointRegistry::Global().Get("frtest.autodump");
+  FailpointConfig config;
+  config.action = FailpointAction::kError;
+  failpoint->Arm(config);
+  EXPECT_FALSE(failpoint->Evaluate().ok());
+  failpoint->Disarm();
+
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good()) << "failpoint fire did not dump to " << path;
+  std::string text((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("\"reason\":\"failpoint:failpoint.frtest.autodump\""),
+            std::string::npos)
+      << text;
+  // The dump contains the firing site's event.
+  EXPECT_NE(text.find("\"site\":\"failpoint.frtest.autodump\""),
+            std::string::npos)
+      << text;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace churnlab

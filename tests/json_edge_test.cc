@@ -1,0 +1,96 @@
+// Edge cases of the obs JSON layer that the telemetry formats lean on:
+// control-character escaping (log fields and thread labels may carry
+// arbitrary bytes), non-finite doubles (gauges can legitimately hold
+// inf/nan), and quantile export of empty histograms.
+
+#include "obs/json.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace churnlab {
+namespace obs {
+namespace {
+
+TEST(JsonEdge, ControlCharactersAreEscaped) {
+  std::string raw;
+  for (char c = 1; c < 0x20; ++c) raw.push_back(c);
+  raw += "\"\\/plain";
+  raw.push_back('\0');
+
+  JsonWriter json;
+  json.BeginObject().Key("s").String(raw).EndObject();
+  const std::string& doc = json.str();
+
+  // No raw control byte may survive into the document.
+  for (const char c : doc) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+        << "raw control byte in: " << doc;
+  }
+
+  // And the escapes must round-trip through the parser byte for byte.
+  auto parsed = ParseJson(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* value = parsed->Find("s");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->string, raw);
+}
+
+TEST(JsonEdge, QuoteAndBackslashEscapes) {
+  JsonWriter json;
+  json.BeginObject().Key("s").String("a\"b\\c").EndObject();
+  EXPECT_NE(json.str().find("a\\\"b\\\\c"), std::string::npos) << json.str();
+}
+
+TEST(JsonEdge, NonFiniteDoublesSerializeAsNull) {
+  JsonWriter json;
+  json.BeginArray()
+      .Double(std::numeric_limits<double>::quiet_NaN())
+      .Double(std::numeric_limits<double>::infinity())
+      .Double(-std::numeric_limits<double>::infinity())
+      .Double(1.5)
+      .EndArray();
+  EXPECT_EQ(json.str(), "[null,null,null,1.5]");
+
+  auto parsed = ParseJson(json.str());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->array.size(), 4u);
+  EXPECT_EQ(parsed->array[0].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(parsed->array[3].number, 1.5);
+}
+
+TEST(JsonEdge, EmptyHistogramExportsZeroQuantiles) {
+  Histogram histogram(HistogramOptions::ExponentialLatency());
+  JsonWriter json;
+  JsonExporter::WriteHistogram(histogram.Snapshot(), &json);
+
+  auto parsed = ParseJson(json.str());
+  ASSERT_TRUE(parsed.ok()) << json.str();
+  ASSERT_TRUE(parsed->is_object());
+  for (const char* quantile : {"p50", "p90", "p99"}) {
+    const JsonValue* value = parsed->Find(quantile);
+    ASSERT_NE(value, nullptr) << quantile;
+    EXPECT_EQ(value->kind, JsonValue::Kind::kNumber);
+    EXPECT_EQ(value->number, 0.0) << quantile;
+  }
+  const JsonValue* count = parsed->Find("count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->number, 0.0);
+}
+
+TEST(JsonEdge, EmptyHistogramPercentileIsZeroForAnyQuantile) {
+  const HistogramSnapshot empty;
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(empty.Percentile(q), 0.0) << q;
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace churnlab

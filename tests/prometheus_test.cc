@@ -1,0 +1,236 @@
+// Unit tests for the Prometheus text exposition: name mangling, the
+// labeled-metric-name convention, the metric inventory, family headers, and
+// the exposition-format rules (counter _total suffix, cumulative histogram
+// buckets, label splicing).
+
+#include "obs/prometheus.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace churnlab {
+namespace obs {
+namespace {
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(PrometheusName, ManglesDotsToUnderscores) {
+  EXPECT_EQ(ManglePrometheusName("churnlab.serve.receipts_ingested"),
+            "churnlab_serve_receipts_ingested");
+}
+
+TEST(PrometheusName, PreservesValidCharacters) {
+  EXPECT_EQ(ManglePrometheusName("ns:sub_system_Total9"),
+            "ns:sub_system_Total9");
+}
+
+TEST(PrometheusName, LeadingDigitGetsUnderscorePrefix) {
+  EXPECT_EQ(ManglePrometheusName("9lives"), "_9lives");
+}
+
+TEST(PrometheusName, EmptyAndFullyInvalidNames) {
+  EXPECT_EQ(ManglePrometheusName(""), "_");
+  EXPECT_EQ(ManglePrometheusName("a-b c"), "a_b_c");
+}
+
+TEST(PrometheusName, LabeledMetricNameEncodesSortedLabelBlock) {
+  EXPECT_EQ(LabeledMetricName("churnlab.serve.shard_receipts",
+                              {{"shard", "3"}}),
+            "churnlab.serve.shard_receipts{shard=\"3\"}");
+  EXPECT_EQ(LabeledMetricName("base", {{"a", "1"}, {"b", "2"}}),
+            "base{a=\"1\",b=\"2\"}");
+  EXPECT_EQ(LabeledMetricName("base", {}), "base");
+}
+
+TEST(PrometheusName, LabeledMetricNameEscapesValues) {
+  EXPECT_EQ(LabeledMetricName("m", {{"k", "a\"b\\c\nd"}}),
+            "m{k=\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(PrometheusInventory, KnownBaseHasHelpUnknownDoesNot) {
+  ASSERT_NE(MetricHelp("churnlab.serve.receipts_ingested"), nullptr);
+  EXPECT_EQ(MetricHelp("churnlab.not.a.metric"), nullptr);
+}
+
+TEST(PrometheusExport, CounterGetsTotalSuffixAndHeaders) {
+  MetricsRegistry registry;
+  registry.GetCounter("churnlab.serve.receipts_ingested")->Increment(42);
+  const std::string text = ExportPrometheus(registry.Snapshot());
+
+  const std::vector<std::string> lines = Lines(text);
+  ASSERT_EQ(lines.size(), 3u) << text;
+  EXPECT_EQ(lines[0].find("# HELP churnlab_serve_receipts_ingested_total "),
+            0u)
+      << lines[0];
+  EXPECT_EQ(lines[1],
+            "# TYPE churnlab_serve_receipts_ingested_total counter");
+  EXPECT_EQ(lines[2], "churnlab_serve_receipts_ingested_total 42");
+}
+
+TEST(PrometheusExport, LabeledSeriesShareOneFamilyHeader) {
+  MetricsRegistry registry;
+  for (int shard = 0; shard < 3; ++shard) {
+    registry
+        .GetCounter(LabeledMetricName(
+            "churnlab.serve.shard_receipts",
+            {{"shard", std::to_string(shard)}}))
+        ->Increment(static_cast<uint64_t>(shard) + 1);
+  }
+  const std::string text = ExportPrometheus(registry.Snapshot());
+
+  size_t help_lines = 0;
+  for (const std::string& line : Lines(text)) {
+    if (line.rfind("# HELP", 0) == 0) ++help_lines;
+  }
+  EXPECT_EQ(help_lines, 1u) << text;
+  EXPECT_NE(
+      text.find("churnlab_serve_shard_receipts_total{shard=\"1\"} 2\n"),
+      std::string::npos)
+      << text;
+}
+
+TEST(PrometheusExport, UnknownMetricGetsFallbackHelp) {
+  MetricsRegistry registry;
+  registry.GetGauge("custom.gauge")->Set(1.5);
+  const std::string text = ExportPrometheus(registry.Snapshot());
+  EXPECT_NE(text.find("# HELP custom_gauge churnlab metric custom.gauge"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE custom_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("\ncustom_gauge 1.5\n"), std::string::npos);
+}
+
+TEST(PrometheusExport, HistogramBucketsAreCumulativeWithInf) {
+  MetricsRegistry registry;
+  Histogram* histogram =
+      registry.GetHistogram("lat.us", HistogramOptions{{1.0, 10.0}});
+  histogram->Record(0.5);   // bucket le=1
+  histogram->Record(5.0);   // bucket le=10
+  histogram->Record(50.0);  // overflow
+  const std::string text = ExportPrometheus(registry.Snapshot());
+
+  EXPECT_NE(text.find("# TYPE lat_us histogram"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_us_bucket{le=\"1\"} 1\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_us_bucket{le=\"10\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_sum 55.5\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_count 3\n"), std::string::npos);
+}
+
+TEST(PrometheusExport, LabeledHistogramSplicesLeIntoLabelBlock) {
+  MetricsRegistry registry;
+  registry
+      .GetHistogram(LabeledMetricName("churnlab.serve.shard_ingest_us",
+                                      {{"shard", "1"}}),
+                    HistogramOptions{{1.0}})
+      ->Record(0.5);
+  const std::string text = ExportPrometheus(registry.Snapshot());
+  EXPECT_NE(text.find("churnlab_serve_shard_ingest_us_bucket"
+                      "{shard=\"1\",le=\"1\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("churnlab_serve_shard_ingest_us_count{shard=\"1\"} 1"),
+            std::string::npos);
+}
+
+TEST(PrometheusExport, NonFiniteGaugesUseExpositionSpelling) {
+  MetricsRegistry registry;
+  registry.GetGauge("g.nan")->Set(std::numeric_limits<double>::quiet_NaN());
+  registry.GetGauge("g.neg")->Set(-std::numeric_limits<double>::infinity());
+  registry.GetGauge("g.pos")->Set(std::numeric_limits<double>::infinity());
+  const std::string text = ExportPrometheus(registry.Snapshot());
+  EXPECT_NE(text.find("g_nan NaN\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("g_neg -Inf\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("g_pos +Inf\n"), std::string::npos) << text;
+}
+
+// Every produced line must be either a comment or `<name>[{labels}] <value>`
+// with a spec-valid metric name — the shape node_exporter's textfile
+// collector requires.
+TEST(PrometheusExport, EveryLineIsCommentOrValidSample) {
+  MetricsRegistry registry;
+  registry.GetCounter("churnlab.serve.batches_ingested")->Increment();
+  registry
+      .GetCounter(
+          LabeledMetricName("churnlab.serve.shard_receipts", {{"shard", "0"}}))
+      ->Increment(7);
+  registry.GetGauge("churnlab.serve.queue_depth")->Set(3);
+  registry.GetHistogram("churnlab.serve.ingest_batch_us")->Record(12.0);
+  const std::string text = ExportPrometheus(registry.Snapshot());
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+
+  for (const std::string& line : Lines(text)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0)
+          << line;
+      continue;
+    }
+    const size_t space = line.find(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string name = line.substr(0, space);
+    const size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      EXPECT_EQ(name.back(), '}') << line;
+      name = name.substr(0, brace);
+    }
+    ASSERT_FALSE(name.empty()) << line;
+    for (size_t i = 0; i < name.size(); ++i) {
+      const char c = name[i];
+      const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                         c == '_' || c == ':' ||
+                         (i > 0 && c >= '0' && c <= '9');
+      EXPECT_TRUE(valid) << "invalid name char in: " << line;
+    }
+    // The value must parse as a double in full (NaN/+Inf/-Inf included).
+    const std::string value = line.substr(space + 1);
+    if (value != "NaN" && value != "+Inf" && value != "-Inf") {
+      char* end = nullptr;
+      std::strtod(value.c_str(), &end);
+      EXPECT_EQ(*end, '\0') << line;
+    }
+  }
+}
+
+TEST(PrometheusFile, WriteIsAtomicAndReadable) {
+  const std::string path = testing::TempDir() + "churnlab_prom_test.prom";
+  std::remove(path.c_str());
+  MetricsRegistry::Global().GetCounter("churnlab.serve.batches_ingested");
+  ASSERT_TRUE(WritePrometheusFile(path).ok());
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string first_line;
+  std::getline(file, first_line);
+  EXPECT_EQ(first_line.rfind("# HELP ", 0), 0u) << first_line;
+  // No leftover temp file.
+  std::ifstream temp(path + ".tmp");
+  EXPECT_FALSE(temp.good());
+  std::remove(path.c_str());
+}
+
+TEST(PrometheusFile, WriteToBadPathFails) {
+  EXPECT_FALSE(
+      WritePrometheusFile("/nonexistent-dir-7c1/metrics.prom").ok());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace churnlab

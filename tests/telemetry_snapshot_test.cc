@@ -1,0 +1,192 @@
+// Unit tests for the TelemetrySnapshotter: header + schema version, strict
+// seq/t_ns monotonicity, counter total/delta semantics (baseline at Start,
+// reset handling), the final sample taken by Stop, and error paths.
+
+#include "obs/snapshot.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace churnlab {
+namespace obs {
+namespace {
+
+std::vector<JsonValue> ReadJsonl(const std::string& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good()) << path;
+  std::vector<JsonValue> lines;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    auto parsed = ParseJson(line);
+    EXPECT_TRUE(parsed.ok()) << line;
+    if (parsed.ok()) lines.push_back(std::move(parsed).ValueOrDie());
+  }
+  return lines;
+}
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + name;
+}
+
+TEST(TelemetrySnapshot, HeaderCarriesSchemaVersionAndInterval) {
+  MetricsRegistry registry;
+  const std::string path = TempPath("ts_header.jsonl");
+  TelemetrySnapshotter snapshotter({path, /*interval_ms=*/500}, &registry);
+  ASSERT_TRUE(snapshotter.Start().ok());
+  snapshotter.Stop();
+
+  const std::vector<JsonValue> lines = ReadJsonl(path);
+  ASSERT_GE(lines.size(), 2u);  // header + the final sample from Stop.
+  const JsonValue* version = lines[0].Find("churnlab_timeseries_version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->number, kTimeseriesSchemaVersion);
+  const JsonValue* interval = lines[0].Find("interval_ms");
+  ASSERT_NE(interval, nullptr);
+  EXPECT_EQ(interval->number, 500.0);
+  EXPECT_NE(lines[0].Find("started_at_ns"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetrySnapshot, CountersReportTotalAndDeltaFromStartBaseline) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.counter");
+  counter->Increment(100);  // Pre-Start activity must not count as delta.
+
+  const std::string path = TempPath("ts_delta.jsonl");
+  TelemetrySnapshotter snapshotter({path, /*interval_ms=*/60000}, &registry);
+  ASSERT_TRUE(snapshotter.Start().ok());
+  counter->Increment(5);
+  snapshotter.Stop();  // Takes the final sample.
+
+  const std::vector<JsonValue> lines = ReadJsonl(path);
+  ASSERT_GE(lines.size(), 2u);
+  const JsonValue& sample = lines.back();
+  const JsonValue* counters = sample.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* entry = counters->Find("test.counter");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->Find("total")->number, 105.0);
+  EXPECT_EQ(entry->Find("delta")->number, 5.0);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetrySnapshot, SeqAndTimestampAreStrictlyMonotonic) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.ticks");
+  const std::string path = TempPath("ts_monotonic.jsonl");
+  TelemetrySnapshotter snapshotter({path, /*interval_ms=*/10}, &registry);
+  ASSERT_TRUE(snapshotter.Start().ok());
+  for (int i = 0; i < 5; ++i) {
+    counter->Increment();
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  }
+  snapshotter.Stop();
+  EXPECT_GE(snapshotter.samples_taken(), 2u);
+
+  const std::vector<JsonValue> lines = ReadJsonl(path);
+  ASSERT_GE(lines.size(), 3u);  // header + >= 2 samples.
+  double prev_seq = -1.0;
+  double prev_t = -1.0;
+  uint64_t delta_sum = 0;
+  double last_total = 0.0;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const JsonValue* seq = lines[i].Find("seq");
+    const JsonValue* t_ns = lines[i].Find("t_ns");
+    ASSERT_NE(seq, nullptr);
+    ASSERT_NE(t_ns, nullptr);
+    EXPECT_GT(seq->number, prev_seq);
+    EXPECT_GT(t_ns->number, prev_t);
+    prev_seq = seq->number;
+    prev_t = t_ns->number;
+    if (const JsonValue* counters = lines[i].Find("counters")) {
+      if (const JsonValue* entry = counters->Find("test.ticks")) {
+        delta_sum += static_cast<uint64_t>(entry->Find("delta")->number);
+        last_total = entry->Find("total")->number;
+      }
+    }
+  }
+  // Deltas across the run must sum to the final total (baseline was 0).
+  EXPECT_EQ(delta_sum, 5u);
+  EXPECT_EQ(last_total, 5.0);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetrySnapshot, CounterResetYieldsDeltaOfNewTotal) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.reset");
+  counter->Increment(50);
+  const std::string path = TempPath("ts_reset.jsonl");
+  TelemetrySnapshotter snapshotter({path, /*interval_ms=*/60000}, &registry);
+  ASSERT_TRUE(snapshotter.Start().ok());  // Baseline: 50.
+  counter->Reset();
+  counter->Increment(3);  // Total 3 < baseline 50: treated as post-reset.
+  snapshotter.Stop();
+
+  const std::vector<JsonValue> lines = ReadJsonl(path);
+  const JsonValue* entry =
+      lines.back().Find("counters")->Find("test.reset");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->Find("total")->number, 3.0);
+  EXPECT_EQ(entry->Find("delta")->number, 3.0);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetrySnapshot, HistogramsExportCountMeanAndQuantiles) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("test.lat_us");
+  for (int i = 1; i <= 10; ++i) histogram->Record(static_cast<double>(i));
+  const std::string path = TempPath("ts_hist.jsonl");
+  TelemetrySnapshotter snapshotter({path, /*interval_ms=*/60000}, &registry);
+  ASSERT_TRUE(snapshotter.Start().ok());
+  snapshotter.Stop();
+
+  const std::vector<JsonValue> lines = ReadJsonl(path);
+  const JsonValue* entry =
+      lines.back().Find("histograms")->Find("test.lat_us");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->Find("count")->number, 10.0);
+  EXPECT_NEAR(entry->Find("mean")->number, 5.5, 1e-9);
+  EXPECT_LE(entry->Find("p50")->number, entry->Find("p90")->number);
+  EXPECT_LE(entry->Find("p90")->number, entry->Find("p99")->number);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetrySnapshot, StartFailsOnUnwritablePathAndWhenRunning) {
+  MetricsRegistry registry;
+  TelemetrySnapshotter bad({"/nonexistent-dir-7c1/ts.jsonl", 100}, &registry);
+  EXPECT_FALSE(bad.Start().ok());
+  EXPECT_FALSE(bad.running());
+
+  const std::string path = TempPath("ts_running.jsonl");
+  TelemetrySnapshotter snapshotter({path, 1000}, &registry);
+  ASSERT_TRUE(snapshotter.Start().ok());
+  EXPECT_TRUE(snapshotter.running());
+  EXPECT_FALSE(snapshotter.Start().ok());  // Already running.
+  snapshotter.Stop();
+  EXPECT_FALSE(snapshotter.running());
+  snapshotter.Stop();  // Idempotent.
+  std::remove(path.c_str());
+}
+
+TEST(TelemetrySnapshot, StopWithoutStartIsSafe) {
+  MetricsRegistry registry;
+  TelemetrySnapshotter snapshotter({TempPath("ts_unused.jsonl"), 100},
+                                   &registry);
+  snapshotter.Stop();
+  EXPECT_EQ(snapshotter.samples_taken(), 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace churnlab

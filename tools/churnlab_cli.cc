@@ -21,6 +21,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -28,10 +29,14 @@
 #include "common/flags.h"
 #include "common/logging.h"
 #include "common/macros.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "obs/export.h"
 #include "obs/fault_obs.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/snapshot.h"
 #include "obs/structured_log.h"
 #include "obs/trace.h"
 
@@ -412,6 +417,10 @@ Status RunServeReplay(int argc, const char* const* argv) {
                      return a.day < b.day;
                    });
 
+  // Rate-limited progress: receipts/s, batches done, ETA. ProgressLogger
+  // emits kInfo events, so a default (non --verbose) run stays quiet.
+  obs::ProgressLogger progress("serve_replay", replay.size());
+  Stopwatch replay_timer;
   size_t batches = 0, receipts = 0, alerts = 0, rejected = 0, poisoned = 0;
   for (size_t begin = 0; begin < replay.size();) {
     const api::Day batch_end =
@@ -428,6 +437,29 @@ Status RunServeReplay(int argc, const char* const* argv) {
     rejected += report.rejected.size();
     poisoned = std::max(poisoned, report.poisoned.size());
     begin = end;
+
+    const double elapsed = replay_timer.ElapsedSeconds();
+    const double rate = elapsed > 0.0 ? static_cast<double>(end) / elapsed
+                                      : 0.0;
+    const double eta =
+        rate > 0.0 ? static_cast<double>(replay.size() - end) / rate : 0.0;
+    char detail[96];
+    std::snprintf(detail, sizeof(detail),
+                  "batches=%zu rate=%.0f/s eta=%.1fs", batches, rate, eta);
+    progress.Step(end, detail);
+  }
+  progress.Done();
+  // Per-shard health, logged at kInfo so --verbose runs can spot skew or
+  // poisoning; the same data is exported as labeled shard gauges when
+  // detailed timing is on.
+  {
+    const api::FleetHealth health = fleet->Health();
+    obs::LogEvent(LogLevel::kInfo, "fleet_health", __FILE__, __LINE__)
+        .Uint("shards", health.shards.size())
+        .Uint("poisoned_shards", health.poisoned_shards)
+        .Uint("customers", health.customers_total)
+        .Uint("receipts", health.receipts_total)
+        .Uint("queue_depth", health.queue_depth);
   }
   if (finish) {
     CHURNLAB_ASSIGN_OR_RETURN(const api::BatchReport tail, fleet->FinishAll());
@@ -458,10 +490,18 @@ int Main(int argc, const char* const* argv) {
       "global flags: --verbose (progress logs), --trace (profile table on "
       "stderr),\n"
       "              --metrics-out=<path> (telemetry JSON), "
-      "--log-json=<path> (JSONL log sink)\n";
+      "--log-json=<path> (JSONL log sink),\n"
+      "              --telemetry-out=<path> (live time-series JSONL), "
+      "--telemetry-interval-ms=<n>,\n"
+      "              --prom-out=<path> (Prometheus textfile), "
+      "--flight-recorder=<path> (post-mortem dump)\n";
   // Strip the global flags before subcommand parsing.
   std::string metrics_out;
   std::string log_json;
+  std::string telemetry_out;
+  std::string prom_out;
+  std::string flight_recorder;
+  int64_t telemetry_interval_ms = 1000;
   bool trace = false;
   std::vector<const char*> arguments;
   for (int i = 0; i < argc; ++i) {
@@ -478,9 +518,32 @@ int Main(int argc, const char* const* argv) {
       log_json = argument.substr(std::string("--log-json=").size());
     } else if (argument == "--log-json" && i + 1 < argc) {
       log_json = argv[++i];
+    } else if (StartsWith(argument, "--telemetry-out=")) {
+      telemetry_out = argument.substr(std::string("--telemetry-out=").size());
+    } else if (argument == "--telemetry-out" && i + 1 < argc) {
+      telemetry_out = argv[++i];
+    } else if (StartsWith(argument, "--telemetry-interval-ms=")) {
+      telemetry_interval_ms = std::atoll(
+          argument.c_str() + std::string("--telemetry-interval-ms=").size());
+    } else if (argument == "--telemetry-interval-ms" && i + 1 < argc) {
+      telemetry_interval_ms = std::atoll(argv[++i]);
+    } else if (StartsWith(argument, "--prom-out=")) {
+      prom_out = argument.substr(std::string("--prom-out=").size());
+    } else if (argument == "--prom-out" && i + 1 < argc) {
+      prom_out = argv[++i];
+    } else if (StartsWith(argument, "--flight-recorder=")) {
+      flight_recorder =
+          argument.substr(std::string("--flight-recorder=").size());
+    } else if (argument == "--flight-recorder" && i + 1 < argc) {
+      flight_recorder = argv[++i];
     } else {
       arguments.push_back(argv[i]);
     }
+  }
+  if (telemetry_interval_ms <= 0) {
+    std::fprintf(stderr,
+                 "churnlab: --telemetry-interval-ms must be positive\n");
+    return 2;
   }
   argc = static_cast<int>(arguments.size());
   argv = arguments.data();
@@ -489,8 +552,17 @@ int Main(int argc, const char* const* argv) {
     return 2;
   }
   if (trace) obs::Trace::Enable(true);
-  // Either telemetry consumer wants the per-operation latency histograms.
-  if (trace || !metrics_out.empty()) obs::SetDetailedTiming(true);
+  // Any telemetry consumer wants the per-operation latency histograms (and,
+  // for the live exporters, the labeled per-shard serve gauges).
+  if (trace || !metrics_out.empty() || !telemetry_out.empty() ||
+      !prom_out.empty()) {
+    obs::SetDetailedTiming(true);
+  }
+  if (!flight_recorder.empty()) {
+    obs::FlightRecorder::Arm();
+    obs::FlightRecorder::SetAutoDumpPath(flight_recorder);
+    obs::FlightRecorder::LabelThread("main");
+  }
   // Fault-injection plumbing: failpoints armed via the CHURNLAB_FAILPOINTS
   // environment variable count into the telemetry above like --failpoints.
   obs::InstallFaultTelemetry();
@@ -507,6 +579,21 @@ int Main(int argc, const char* const* argv) {
     if (!opened.ok()) {
       std::fprintf(stderr, "churnlab: cannot open --log-json sink: %s\n",
                    opened.ToString().c_str());
+      return 2;
+    }
+  }
+
+  // The snapshotter brackets the subcommand so the series covers the whole
+  // run (serve-replay batches, score sweeps, evaluate folds alike).
+  obs::TelemetrySnapshotter::Options snapshotter_options;
+  snapshotter_options.path = telemetry_out;
+  snapshotter_options.interval_ms = static_cast<int>(telemetry_interval_ms);
+  obs::TelemetrySnapshotter snapshotter(snapshotter_options);
+  if (!telemetry_out.empty()) {
+    const Status started = snapshotter.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "churnlab: cannot open --telemetry-out: %s\n",
+                   started.ToString().c_str());
       return 2;
     }
   }
@@ -541,6 +628,12 @@ int Main(int argc, const char* const* argv) {
     }
   }
 
+  if (!telemetry_out.empty()) {
+    snapshotter.Stop();
+    std::fprintf(stderr, "wrote %llu telemetry samples to %s\n",
+                 static_cast<unsigned long long>(snapshotter.samples_taken()),
+                 telemetry_out.c_str());
+  }
   if (!metrics_out.empty()) {
     const Status written = obs::JsonExporter::WriteGlobalTelemetry(metrics_out);
     if (!written.ok()) {
@@ -549,6 +642,31 @@ int Main(int argc, const char* const* argv) {
       if (status.ok()) return 1;
     } else {
       std::fprintf(stderr, "wrote telemetry to %s\n", metrics_out.c_str());
+    }
+  }
+  if (!prom_out.empty()) {
+    const Status written = obs::WritePrometheusFile(prom_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "churnlab: cannot write --prom-out: %s\n",
+                   written.ToString().c_str());
+      if (status.ok()) return 1;
+    } else {
+      std::fprintf(stderr, "wrote prometheus metrics to %s\n",
+                   prom_out.c_str());
+    }
+  }
+  if (!flight_recorder.empty()) {
+    // Failpoint auto-dumps may have appended earlier; this final dump makes
+    // the recorder useful for clean runs and fatal errors alike.
+    const Status dumped = obs::FlightRecorder::TriggerDump(
+        status.ok() || status.IsCancelled() ? "end_of_run" : "fatal_error");
+    if (!dumped.ok()) {
+      std::fprintf(stderr, "churnlab: cannot write --flight-recorder: %s\n",
+                   dumped.ToString().c_str());
+      if (status.ok()) return 1;
+    } else {
+      std::fprintf(stderr, "wrote flight-recorder dump to %s\n",
+                   flight_recorder.c_str());
     }
   }
   if (trace) {
