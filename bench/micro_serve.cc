@@ -188,14 +188,60 @@ void BM_StateStoreGetOrCreate(benchmark::State& state) {
     const size_t shard = store.ShardOf(customer);
     store.WithShard(shard,
                     [&](serve::CustomerStateStore::ShardAccessor& access) {
-                      benchmark::DoNotOptimize(
-                          &access.GetOrCreate(customer));
+                      auto ref = access.GetOrCreate(customer);
+                      benchmark::DoNotOptimize(ref.customer());
                       return 0;
                     });
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_StateStoreGetOrCreate);
+
+// Byte-accounting A/B: the same synthetic population held in the compact
+// (SoA + arena) layout vs the per-customer heap layout, at two scales.
+// Iterations(1): the payload is the bytes counters, not wall time.
+void BM_FleetMemory(benchmark::State& state) {
+  const serve::StateLayout layout = state.range(0) == 0
+                                        ? serve::StateLayout::kCompact
+                                        : serve::StateLayout::kHeap;
+  const size_t num_customers = static_cast<size_t>(state.range(1));
+  serve::FleetOptions options = BenchOptions(64);
+  options.layout = layout;
+  options.granularity = retail::Granularity::kProduct;
+  serve::StateMemoryStats stats;
+  for (auto _ : state) {
+    auto fleet_result = serve::ScoringFleet::Make(options, nullptr);
+    fleet_result.status().Abort("fleet");
+    serve::ScoringFleet& fleet = fleet_result.ValueOrDie();
+    std::vector<retail::Receipt> batch(num_customers);
+    for (int month = 0; month < 3; ++month) {
+      for (size_t i = 0; i < num_customers; ++i) {
+        retail::Receipt& receipt = batch[i];
+        receipt.customer = static_cast<retail::CustomerId>(i + 1);
+        receipt.day = month * retail::kDaysPerMonth;
+        receipt.spend = 1.0;
+        receipt.items = {static_cast<retail::ItemId>(1 + i % 7),
+                         static_cast<retail::ItemId>(20 + i % 3)};
+      }
+      fleet.IngestBatch(batch).status().Abort("ingest");
+    }
+    stats = fleet.MemoryUsage();
+    benchmark::DoNotOptimize(stats.total_bytes);
+  }
+  state.counters["bytes_total"] = static_cast<double>(stats.total_bytes);
+  state.counters["bytes_per_customer"] =
+      static_cast<double>(stats.total_bytes) /
+      static_cast<double>(stats.customers == 0 ? 1 : stats.customers);
+  state.counters["compact"] =
+      layout == serve::StateLayout::kCompact ? 1.0 : 0.0;
+}
+BENCHMARK(BM_FleetMemory)
+    ->Args({0, 1 << 14})
+    ->Args({1, 1 << 14})
+    ->Args({0, 1 << 20})
+    ->Args({1, 1 << 20})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace churnlab

@@ -40,12 +40,17 @@ for current in "${suites[@]}"; do
   fi
 
   # One line per benchmark present in both documents:
-  #   <name> <baseline_ns> <current_ns>
+  #   <name> <baseline> <current>
+  # Memory benchmarks (BM_FleetMemory) run a single iteration and carry
+  # their payload in the bytes_total counter, so drift is computed on bytes
+  # held rather than single-shot wall time.
   joined=$(jq -rn --argjson base "${baseline_json}" --slurpfile cur "${current}" '
-    ($base.benchmarks | map({key: .name, value: .real_ns_per_iter}) | from_entries) as $b
+    def metric: if (.name | startswith("BM_FleetMemory"))
+                then .counters.bytes_total else .real_ns_per_iter end;
+    ($base.benchmarks | map({key: .name, value: metric}) | from_entries) as $b
     | $cur[0].benchmarks[]
     | select($b[.name] != null)
-    | "\(.name) \($b[.name]) \(.real_ns_per_iter)"')
+    | "\(.name) \($b[.name]) \(metric)"')
 
   while read -r name base_ns cur_ns; do
     [[ -n "${name}" ]] || continue

@@ -86,11 +86,12 @@ Status FleetHandle::AppendSnapshot(const std::string& path) const {
 
 Result<FleetHandle> FleetHandle::Restore(const std::string& path,
                                          const Dataset& dataset,
-                                         size_t num_threads) {
+                                         size_t num_threads,
+                                         StateLayout layout) {
   CHURNLAB_ASSIGN_OR_RETURN(
       serve::ScoringFleet fleet,
       serve::ScoringFleet::RestoreFromFile(path, &dataset.taxonomy(),
-                                           num_threads));
+                                           num_threads, layout));
   return FleetHandle(std::move(fleet));
 }
 

@@ -126,9 +126,13 @@ using serve::BatchReport;
 using serve::FleetAlert;
 using serve::FleetHealth;
 using serve::FleetOptions;
+using serve::ParseStateLayout;
 using serve::PoisonedShard;
 using serve::RejectedReceipt;
 using serve::ShardHealthStats;
+using serve::StateLayout;
+using serve::StateLayoutToString;
+using serve::StateMemoryStats;
 using MonitorPolicy = core::MonitorPolicy;
 using StabilityAlert = core::StabilityAlert;
 /// Fault injection (docs/ROBUSTNESS.md): arm failpoints programmatically or
@@ -175,6 +179,12 @@ class FleetHandle {
   /// worker pool's queue depth. Call between operations.
   FleetHealth Health() const { return fleet_.HealthReport(); }
 
+  /// Byte accounting of the fleet's customer state, summed over shards.
+  /// Publishes the `churnlab.serve.bytes_total` gauge (plus per-shard
+  /// `churnlab.serve.bytes{shard=k}` under detailed timing). Call between
+  /// operations, like Health().
+  StateMemoryStats Memory() const { return fleet_.MemoryUsage(); }
+
   /// Writes a versioned, CRC-framed snapshot of the full fleet state
   /// (truncating `path`).
   Status SaveSnapshot(const std::string& path) const;
@@ -185,11 +195,12 @@ class FleetHandle {
   Status AppendSnapshot(const std::string& path) const;
 
   /// Rebuilds a fleet from a snapshot; continues bit-identically.
-  /// Threads are never serialized; the restored fleet uses `num_threads`
-  /// workers (1 when 0), with identical results for any count.
-  static Result<FleetHandle> Restore(const std::string& path,
-                                     const Dataset& dataset,
-                                     size_t num_threads = 0);
+  /// Threads and the storage layout are never serialized; the restored
+  /// fleet uses `num_threads` workers (1 when 0) and `layout` storage,
+  /// with identical results for any choice of either.
+  static Result<FleetHandle> Restore(
+      const std::string& path, const Dataset& dataset,
+      size_t num_threads = 0, StateLayout layout = StateLayout::kCompact);
 
  private:
   explicit FleetHandle(serve::ScoringFleet fleet)

@@ -2,29 +2,39 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <exception>
 #include <thread>
 
 namespace churnlab {
 
 double RetryPolicy::BackoffMs(int retry) const {
+  // Closed form instead of a multiply loop: O(1) at any attempt count, and
+  // a non-finite intermediate (overflowing multiplier chain) clamps to the
+  // cap instead of propagating inf/nan into the sleep duration.
   double backoff = initial_backoff_ms;
-  for (int i = 1; i < retry; ++i) {
-    backoff *= multiplier;
-    if (backoff >= max_backoff_ms) break;
+  if (retry > 1) {
+    backoff *= std::pow(multiplier, static_cast<double>(retry - 1));
   }
-  return std::min(backoff, max_backoff_ms);
+  if (!std::isfinite(backoff)) return std::max(max_backoff_ms, 0.0);
+  return std::clamp(backoff, 0.0, std::max(max_backoff_ms, 0.0));
 }
 
 Status RetryWithBackoff(
     const RetryPolicy& policy, const std::function<Status()>& fn,
     const std::function<void(int retry, const Status&)>& on_retry) {
   Status last;
-  const int attempts = 1 + std::max(policy.max_retries, 0);
-  for (int attempt = 0; attempt < attempts; ++attempt) {
+  // 64-bit attempt budget: max_retries == INT_MAX must not wrap `1 + n`
+  // into a non-positive count that would skip fn entirely and return a
+  // default-constructed OK status.
+  const int64_t attempts =
+      1 + static_cast<int64_t>(std::max(policy.max_retries, 0));
+  for (int64_t attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
-      if (on_retry) on_retry(attempt, last);
-      const double backoff_ms = policy.BackoffMs(attempt);
+      const int retry = static_cast<int>(attempt);  // <= INT_MAX by bound
+      if (on_retry) on_retry(retry, last);
+      const double backoff_ms = policy.BackoffMs(retry);
       if (backoff_ms > 0.0) {
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(backoff_ms));

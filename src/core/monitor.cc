@@ -4,12 +4,13 @@
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "core/state_kernel.h"
 #include "obs/metrics.h"
 
 namespace churnlab {
 namespace core {
+namespace kernel {
 
-namespace {
 void RecordAlert(StabilityAlert::Kind kind) {
   static obs::Counter* const low_stability =
       obs::MetricsRegistry::Global().GetCounter(
@@ -20,7 +21,8 @@ void RecordAlert(StabilityAlert::Kind kind) {
   (kind == StabilityAlert::Kind::kLowStability ? low_stability : sharp_drop)
       ->Increment();
 }
-}  // namespace
+
+}  // namespace kernel
 
 std::string StabilityAlert::ToString() const {
   std::ostringstream out;
@@ -47,63 +49,20 @@ Result<StabilityMonitor> StabilityMonitor::Make(
   return StabilityMonitor(std::move(scorer), policy);
 }
 
-std::vector<StabilityAlert> StabilityMonitor::Evaluate(
-    const std::vector<StabilityPoint>& points) {
-  std::vector<StabilityAlert> alerts;
-  for (const StabilityPoint& point : points) {
-    const double drop =
-        has_previous_ ? last_stability_ - point.stability : 0.0;
-    const bool in_warmup = point.window_index < policy_.warmup_windows;
-
-    if (!in_warmup && point.has_history) {
-      if (point.stability <= policy_.beta) {
-        ++low_streak_;
-      } else {
-        low_streak_ = 0;
-      }
-      if (low_streak_ == policy_.consecutive_windows) {
-        StabilityAlert alert;
-        alert.kind = StabilityAlert::Kind::kLowStability;
-        alert.window_index = point.window_index;
-        alert.stability = point.stability;
-        alert.drop = drop;
-        RecordAlert(alert.kind);
-        alerts.push_back(alert);
-        // Re-arm only after recovery: keep the streak saturated so a long
-        // low spell raises exactly one alert.
-      }
-      if (low_streak_ > policy_.consecutive_windows) {
-        low_streak_ = policy_.consecutive_windows;  // saturate
-      }
-      if (policy_.drop_threshold <= 1.0 && has_previous_ &&
-          drop > policy_.drop_threshold) {
-        StabilityAlert alert;
-        alert.kind = StabilityAlert::Kind::kSharpDrop;
-        alert.window_index = point.window_index;
-        alert.stability = point.stability;
-        alert.drop = drop;
-        RecordAlert(alert.kind);
-        alerts.push_back(alert);
-      }
-    }
-    last_stability_ = point.stability;
-    has_previous_ = true;
-  }
-  return alerts;
-}
-
 Result<std::vector<StabilityAlert>> StabilityMonitor::Observe(
     retail::Day day, const std::vector<Symbol>& symbols) {
   CHURNLAB_ASSIGN_OR_RETURN(const std::vector<StabilityPoint> points,
                             scorer_.Observe(day, symbols));
-  return Evaluate(points);
+  return kernel::Evaluate(state_, policy_,
+                          std::span<const StabilityPoint>(points));
 }
 
 Result<std::vector<StabilityAlert>> StabilityMonitor::AdvanceTo(
     retail::Day day) {
   CHURNLAB_ASSIGN_OR_RETURN(const std::vector<StabilityPoint> points,
                             scorer_.AdvanceTo(day));
-  return Evaluate(points);
+  return kernel::Evaluate(state_, policy_,
+                          std::span<const StabilityPoint>(points));
 }
 
 Result<std::vector<StabilityAlert>> StabilityMonitor::Finish() {
@@ -115,30 +74,20 @@ Result<std::vector<StabilityAlert>> StabilityMonitor::Finish() {
     }
     return point.status();
   }
-  return Evaluate({*point});
+  const StabilityPoint points[] = {*point};
+  return kernel::Evaluate(state_, policy_,
+                          std::span<const StabilityPoint>(points));
 }
 
 void StabilityMonitor::SaveState(BinaryWriter* writer) const {
   scorer_.SaveState(writer);
-  writer->WriteDouble(last_stability_);
-  writer->WriteVarint(has_previous_ ? 1 : 0);
-  writer->WriteVarint(static_cast<uint64_t>(low_streak_));
+  kernel::MonitorTailSaveState(
+      const_cast<StabilityMonitor*>(this)->state_, writer);
 }
 
 Status StabilityMonitor::LoadState(BinaryReader* reader) {
   CHURNLAB_RETURN_NOT_OK(scorer_.LoadState(reader));
-  CHURNLAB_ASSIGN_OR_RETURN(last_stability_, reader->ReadDouble());
-  CHURNLAB_ASSIGN_OR_RETURN(const uint64_t has_previous, reader->ReadVarint());
-  if (has_previous > 1) {
-    return Status::OutOfRange("corrupt monitor debounce state");
-  }
-  has_previous_ = has_previous == 1;
-  CHURNLAB_ASSIGN_OR_RETURN(const uint64_t low_streak, reader->ReadVarint());
-  if (low_streak > static_cast<uint64_t>(policy_.consecutive_windows)) {
-    return Status::OutOfRange("corrupt monitor debounce state");
-  }
-  low_streak_ = static_cast<int32_t>(low_streak);
-  return Status::OK();
+  return kernel::MonitorTailLoadState(state_, policy_, reader);
 }
 
 }  // namespace core

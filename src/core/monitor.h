@@ -46,6 +46,10 @@ struct StabilityAlert {
 /// \brief Streaming per-customer attrition alerting: an
 /// OnlineStabilityScorer plus debounced threshold policies.
 ///
+/// The policy evaluation lives in the shared kernels of
+/// core/state_kernel.h, instantiated here over the nested State struct;
+/// the serving layer's compact layout instantiates the same kernels.
+///
 /// \code
 ///   auto monitor = StabilityMonitor::Make(scorer_options, policy)
 ///                      .ValueOrDie();
@@ -58,6 +62,18 @@ struct StabilityAlert {
 /// \endcode
 class StabilityMonitor {
  public:
+  /// Heap-layout storage behind the shared kernels: the MonitorState
+  /// concept of state_kernel.h over plain members.
+  struct State {
+    double last_stability = 1.0;
+    uint8_t has_previous = 0;
+    int32_t low_streak = 0;
+
+    double& LastStability() { return last_stability; }
+    uint8_t& HasPrevious() { return has_previous; }
+    int32_t& LowStreak() { return low_streak; }
+  };
+
   static Result<StabilityMonitor> Make(OnlineStabilityScorer::Options options,
                                        MonitorPolicy policy);
 
@@ -77,9 +93,13 @@ class StabilityMonitor {
   Result<std::vector<StabilityAlert>> Finish();
 
   /// Stability of the most recently closed window (1.0 before any closes).
-  double last_stability() const { return last_stability_; }
+  double last_stability() const { return state_.last_stability; }
   int32_t windows_closed() const { return scorer_.windows_emitted(); }
   const MonitorPolicy& policy() const { return policy_; }
+
+  /// Heap bytes held behind this monitor (scorer plus tracker storage and
+  /// power tables), excluding sizeof(*this).
+  size_t MemoryUsage() const { return scorer_.MemoryUsage(); }
 
   /// Serializes scorer + debounce state so a restored monitor continues
   /// bit-identically (same alerts for the same future stream). Options and
@@ -94,14 +114,9 @@ class StabilityMonitor {
   StabilityMonitor(OnlineStabilityScorer scorer, MonitorPolicy policy)
       : scorer_(std::move(scorer)), policy_(policy) {}
 
-  std::vector<StabilityAlert> Evaluate(
-      const std::vector<StabilityPoint>& points);
-
   OnlineStabilityScorer scorer_;
   MonitorPolicy policy_;
-  double last_stability_ = 1.0;
-  bool has_previous_ = false;
-  int32_t low_streak_ = 0;
+  State state_;
 };
 
 }  // namespace core

@@ -1,45 +1,49 @@
 #include "core/online_scorer.h"
 
-#include <algorithm>
 #include <atomic>
 
 #include "common/macros.h"
+#include "core/state_kernel.h"
 #include "obs/metrics.h"
 
 namespace churnlab {
 namespace core {
+namespace kernel {
 
-namespace {
-struct OnlineMetrics {
-  obs::Counter* observations;
-  obs::Counter* windows_emitted;
-  obs::Gauge* windows_per_sec;
-  obs::Histogram* observe_latency_us;
-};
+// Definitions of the shared observability hooks declared in
+// state_kernel.h: one metric family regardless of storage layout.
 
-const OnlineMetrics& Metrics() {
-  static const OnlineMetrics metrics = [] {
-    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
-    return OnlineMetrics{
-        registry.GetCounter("churnlab.core.online_observations"),
-        registry.GetCounter("churnlab.core.online_windows_emitted"),
-        registry.GetGauge("churnlab.core.online_windows_per_sec"),
-        registry.GetHistogram("churnlab.core.observe_latency_us",
-                              obs::HistogramOptions::ExponentialLatency()),
-    };
-  }();
-  return metrics;
+obs::Counter* ObservationsCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "churnlab.core.online_observations");
+  return counter;
 }
 
+obs::Histogram* ObserveLatencyHistogram() {
+  static obs::Histogram* const histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "churnlab.core.observe_latency_us",
+          obs::HistogramOptions::ExponentialLatency());
+  return histogram;
+}
+
+namespace {
 // Process-wide anchor for the windows/sec throughput gauge: nanoseconds of
 // the first window emission. Races on the initial store are benign (both
 // writers store nearly identical timestamps).
 std::atomic<uint64_t> g_first_emit_ns{0};
+}  // namespace
 
 void RecordEmittedWindows(size_t count) {
   if (count == 0) return;
-  const OnlineMetrics& metrics = Metrics();
-  metrics.windows_emitted->Increment(count);
+  static obs::Counter* const windows_emitted =
+      obs::MetricsRegistry::Global().GetCounter(
+          "churnlab.core.online_windows_emitted");
+  static obs::Gauge* const windows_per_sec =
+      obs::MetricsRegistry::Global().GetGauge(
+          "churnlab.core.online_windows_per_sec");
+  windows_emitted->Increment(count);
   const uint64_t now_ns = obs::MonotonicNanos();
   uint64_t first = g_first_emit_ns.load(std::memory_order_relaxed);
   if (first == 0) {
@@ -49,11 +53,12 @@ void RecordEmittedWindows(size_t count) {
   }
   const double elapsed_s = static_cast<double>(now_ns - first) * 1e-9;
   if (elapsed_s > 0.0) {
-    metrics.windows_per_sec->Set(
-        static_cast<double>(metrics.windows_emitted->Value()) / elapsed_s);
+    windows_per_sec->Set(static_cast<double>(windows_emitted->Value()) /
+                         elapsed_s);
   }
 }
-}  // namespace
+
+}  // namespace kernel
 
 Result<OnlineStabilityScorer> OnlineStabilityScorer::Make(Options options) {
   if (options.window_span_days <= 0) {
@@ -68,125 +73,37 @@ Result<OnlineStabilityScorer> OnlineStabilityScorer::Make(Options options) {
   return OnlineStabilityScorer(options);
 }
 
-StabilityPoint OnlineStabilityScorer::CloseCurrentWindow() {
-  StabilityPoint point;
-  point.window_index = current_window_;
-  point.total_significance = tracker_.TotalSignificance();
-  point.present_significance =
-      tracker_.PresentSignificance(current_symbols_);
-  if (point.total_significance > 0.0) {
-    point.has_history = true;
-    point.stability =
-        point.present_significance / point.total_significance;
-  } else {
-    point.has_history = false;
-    point.stability = 1.0;
-  }
-  tracker_.AdvanceWindow(current_symbols_);
-  current_symbols_.clear();
-  ++current_window_;
-  return point;
-}
-
 Result<std::vector<StabilityPoint>> OnlineStabilityScorer::AdvanceTo(
     retail::Day day) {
-  if (day < options_.origin_day) {
-    return Status::InvalidArgument("day precedes the window origin");
-  }
-  if (day < last_observed_day_) {
-    return Status::InvalidArgument(
-        "stream is not chronological: day " + std::to_string(day) +
-        " after day " + std::to_string(last_observed_day_));
-  }
-  last_observed_day_ = day;
-  const int32_t target_window =
-      (day - options_.origin_day) / options_.window_span_days;
-  std::vector<StabilityPoint> emitted;
-  while (current_window_ < target_window) {
-    emitted.push_back(CloseCurrentWindow());
-  }
-  RecordEmittedWindows(emitted.size());
-  return emitted;
+  return kernel::ScorerAdvanceTo(tracker_.state(), state_, options_,
+                                 tracker_.pows(), day);
 }
 
 Result<std::vector<StabilityPoint>> OnlineStabilityScorer::Observe(
     retail::Day day, const std::vector<Symbol>& symbols) {
-  const OnlineMetrics& metrics = Metrics();
-  obs::ScopedLatency latency(metrics.observe_latency_us);
-  CHURNLAB_ASSIGN_OR_RETURN(std::vector<StabilityPoint> emitted,
-                            AdvanceTo(day));
-  // Merge the observation into the current window's sorted union.
-  for (const Symbol symbol : symbols) {
-    if (symbol == kInvalidSymbol) continue;
-    const auto it = std::lower_bound(current_symbols_.begin(),
-                                     current_symbols_.end(), symbol);
-    if (it == current_symbols_.end() || *it != symbol) {
-      current_symbols_.insert(it, symbol);
-    }
-  }
-  metrics.observations->Increment();
-  return emitted;
+  return kernel::ScorerObserve(tracker_.state(), state_, options_,
+                               tracker_.pows(), day,
+                               std::span<const Symbol>(symbols));
 }
 
 Result<StabilityPoint> OnlineStabilityScorer::Finish() {
-  if (last_observed_day_ < 0) {
-    return Status::FailedPrecondition(
-        "no observations were ever fed; window 0 would be vacuous");
-  }
-  // The next acceptable observation starts at the next window boundary.
-  last_observed_day_ =
-      std::max(last_observed_day_,
-               options_.origin_day +
-                   (current_window_ + 1) * options_.window_span_days - 1);
-  StabilityPoint point = CloseCurrentWindow();
-  RecordEmittedWindows(1);
-  return point;
+  return kernel::ScorerFinish(tracker_.state(), state_, options_,
+                              tracker_.pows());
+}
+
+size_t OnlineStabilityScorer::MemoryUsage() const {
+  return tracker_.MemoryUsage() +
+         state_.current_symbols.capacity() * sizeof(Symbol);
 }
 
 void OnlineStabilityScorer::SaveState(BinaryWriter* writer) const {
-  tracker_.SaveState(writer);
-  writer->WriteVarint(current_symbols_.size());
-  Symbol previous = 0;
-  for (const Symbol symbol : current_symbols_) {  // sorted: delta-encode
-    writer->WriteVarint(symbol - previous);
-    previous = symbol;
-  }
-  writer->WriteSignedVarint(current_window_);
-  writer->WriteSignedVarint(last_observed_day_);
+  kernel::ScorerSaveState(
+      const_cast<OnlineStabilityScorer*>(this)->tracker_.state(),
+      MutableState(), writer);
 }
 
 Status OnlineStabilityScorer::LoadState(BinaryReader* reader) {
-  CHURNLAB_RETURN_NOT_OK(tracker_.LoadState(reader));
-  CHURNLAB_ASSIGN_OR_RETURN(const uint64_t num_symbols, reader->ReadVarint());
-  // Untrusted length prefix: each symbol takes at least one byte, so a
-  // count beyond the remaining buffer is corruption — reject before
-  // reserving storage sized from it.
-  if (num_symbols > reader->remaining()) {
-    return Status::InvalidArgument(
-        "scorer symbol count exceeds remaining state bytes");
-  }
-  current_symbols_.clear();
-  current_symbols_.reserve(num_symbols);
-  uint64_t symbol = 0;
-  for (uint64_t i = 0; i < num_symbols; ++i) {
-    CHURNLAB_ASSIGN_OR_RETURN(const uint64_t delta, reader->ReadVarint());
-    symbol += delta;
-    if (symbol >= static_cast<uint64_t>(kInvalidSymbol)) {
-      return Status::OutOfRange("corrupt scorer symbol set");
-    }
-    current_symbols_.push_back(static_cast<Symbol>(symbol));
-  }
-  CHURNLAB_ASSIGN_OR_RETURN(const int64_t current_window,
-                            reader->ReadSignedVarint());
-  CHURNLAB_ASSIGN_OR_RETURN(const int64_t last_observed_day,
-                            reader->ReadSignedVarint());
-  if (current_window < 0 || current_window > INT32_MAX ||
-      last_observed_day < -1 || last_observed_day > INT32_MAX) {
-    return Status::OutOfRange("corrupt scorer stream position");
-  }
-  current_window_ = static_cast<int32_t>(current_window);
-  last_observed_day_ = static_cast<retail::Day>(last_observed_day);
-  return Status::OK();
+  return kernel::ScorerLoadState(tracker_.state(), state_, reader);
 }
 
 }  // namespace core

@@ -1,6 +1,8 @@
 #ifndef CHURNLAB_CORE_ONLINE_SCORER_H_
 #define CHURNLAB_CORE_ONLINE_SCORER_H_
 
+#include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
@@ -21,6 +23,10 @@ namespace core {
 /// as soon as the window closes — with results bit-identical to the batch
 /// pipeline on the same data (guaranteed by tests).
 ///
+/// The streaming logic lives in the shared kernels of
+/// core/state_kernel.h, instantiated here over the nested State struct;
+/// the serving layer's compact layout instantiates the same kernels.
+///
 /// \code
 ///   OnlineStabilityScorer scorer =
 ///       OnlineStabilityScorer::Make(options).ValueOrDie();
@@ -40,6 +46,29 @@ class OnlineStabilityScorer {
     retail::Day window_span_days = 2 * retail::kDaysPerMonth;
     /// Day at which window 0 begins (>= 0).
     retail::Day origin_day = 0;
+  };
+
+  /// Heap-layout storage behind the shared kernels: the ScorerState
+  /// concept of state_kernel.h over plain members.
+  struct State {
+    std::vector<Symbol> current_symbols;  // kept sorted + deduplicated
+    int32_t current_window = 0;
+    retail::Day last_observed_day = -1;
+
+    std::span<const Symbol> CurrentSymbols() const {
+      return {current_symbols.data(), current_symbols.size()};
+    }
+    void InsertCurrentSymbol(size_t pos, Symbol symbol) {
+      current_symbols.insert(
+          current_symbols.begin() + static_cast<ptrdiff_t>(pos), symbol);
+    }
+    void AppendCurrentSymbol(Symbol symbol) {
+      current_symbols.push_back(symbol);
+    }
+    void ReserveCurrentSymbols(size_t n) { current_symbols.reserve(n); }
+    void ClearCurrentSymbols() { current_symbols.clear(); }
+    int32_t& CurrentWindow() { return current_window; }
+    retail::Day& LastObservedDay() { return last_observed_day; }
   };
 
   /// Validates the options.
@@ -67,10 +96,14 @@ class OnlineStabilityScorer {
   Result<StabilityPoint> Finish();
 
   /// Index of the window currently being accumulated.
-  int32_t current_window() const { return current_window_; }
+  int32_t current_window() const { return state_.current_window; }
 
   /// Number of windows already emitted.
   int32_t windows_emitted() const { return tracker_.windows_seen(); }
+
+  /// Heap bytes held behind this scorer (tracker plus the in-progress
+  /// window's symbol union), excluding sizeof(*this).
+  size_t MemoryUsage() const;
 
   /// Serializes the streaming state (tracker counters, the in-progress
   /// window's symbol union, stream position) so a restored scorer continues
@@ -85,14 +118,13 @@ class OnlineStabilityScorer {
   explicit OnlineStabilityScorer(Options options)
       : options_(options), tracker_(options.significance) {}
 
-  /// Emits the current window and starts the next one.
-  StabilityPoint CloseCurrentWindow();
+  State& MutableState() const {
+    return const_cast<OnlineStabilityScorer*>(this)->state_;
+  }
 
   Options options_;
   SignificanceTracker tracker_;
-  std::vector<Symbol> current_symbols_;  // kept sorted + deduplicated
-  int32_t current_window_ = 0;
-  retail::Day last_observed_day_ = -1;
+  State state_;
 };
 
 }  // namespace core

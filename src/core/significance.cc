@@ -1,23 +1,15 @@
 #include "core/significance.h"
 
-#include <cmath>
-#include <cstdlib>
+#include <string>
 
-#include "common/macros.h"
-#include "common/math_util.h"
+#include "core/state_kernel.h"
 
 namespace churnlab {
 namespace core {
 
-namespace {
-/// Exponents whose |value| exceeds this are served by a direct ClampedPow
-/// call instead of growing the memo tables without bound. Far beyond the
-/// default clamp of 500, so the tables cover every exact regime.
-constexpr int64_t kMaxMemoisedExponent = 4096;
-}  // namespace
-
 SignificanceTracker::SignificanceTracker(SignificanceOptions options)
-    : options_(options) {}
+    : options_(options),
+      pows_(options.alpha, options.max_abs_exponent, options.ewma_lambda) {}
 
 Result<SignificanceTracker> SignificanceTracker::Make(
     SignificanceOptions options) {
@@ -35,275 +27,60 @@ Result<SignificanceTracker> SignificanceTracker::Make(
   return SignificanceTracker(options);
 }
 
-double SignificanceTracker::PowAlpha(int64_t exponent) const {
-  if (std::llabs(exponent) > kMaxMemoisedExponent) {
-    return ClampedPow(options_.alpha, static_cast<double>(exponent),
-                      options_.max_abs_exponent);
-  }
-  std::vector<double>& table =
-      exponent >= 0 ? alpha_pow_pos_ : alpha_pow_neg_;
-  const size_t index = static_cast<size_t>(std::llabs(exponent));
-  const int64_t sign = exponent >= 0 ? 1 : -1;
-  while (table.size() <= index) {
-    table.push_back(ClampedPow(options_.alpha,
-                               static_cast<double>(sign) *
-                                   static_cast<double>(table.size()),
-                               options_.max_abs_exponent));
-  }
-  return table[index];
-}
-
-double SignificanceTracker::PowLambda(int32_t exponent) const {
-  if (lambda_pow_.empty()) lambda_pow_.push_back(1.0);
-  while (lambda_pow_.size() <= static_cast<size_t>(exponent)) {
-    lambda_pow_.push_back(lambda_pow_.back() * options_.ewma_lambda);
-  }
-  return lambda_pow_[static_cast<size_t>(exponent)];
-}
-
 double SignificanceTracker::SignificanceOf(Symbol symbol) const {
-  if (options_.kind == SignificanceKind::kEwma) {
-    if (static_cast<size_t>(symbol) >= ewma_values_.size()) return 0.0;
-    const double value = ewma_values_[symbol];
-    if (value == 0.0) return 0.0;
-    return value * PowLambda(windows_seen_ - ewma_stamps_[symbol]);
-  }
-  if (static_cast<size_t>(symbol) >= contain_counts_.size()) return 0.0;
-  const int32_t count = contain_counts_[symbol];
-  if (count == 0) return 0.0;
-  if (options_.alpha == 1.0) return 1.0;
-  return PowAlpha(2 * static_cast<int64_t>(count) - windows_seen_);
+  return kernel::SignificanceOf(MutableState(), options_, pows_, symbol);
 }
 
 int32_t SignificanceTracker::ContainCount(Symbol symbol) const {
-  if (static_cast<size_t>(symbol) >= contain_counts_.size()) return 0;
-  return contain_counts_[symbol];
+  return kernel::ContainCount(MutableState(), symbol);
 }
 
 int32_t SignificanceTracker::MissCount(Symbol symbol) const {
-  const int32_t count = ContainCount(symbol);
-  if (count == 0) return 0;
-  return windows_seen_ - count;
+  return kernel::MissCount(MutableState(), symbol);
 }
 
 double SignificanceTracker::TotalSignificance() const {
-  if (options_.kind == SignificanceKind::kEwma) return ewma_total_;
-  if (num_seen_ == 0) return 0.0;
-  if (options_.alpha == 1.0) return static_cast<double>(num_seen_);
-  if (IncrementalTotalExact()) return incremental_total_;
-  return HistogramTotal();
-}
-
-double SignificanceTracker::HistogramTotal() const {
-  double total = 0.0;
-  for (size_t count = 1; count < contain_histogram_.size(); ++count) {
-    const uint32_t symbols = contain_histogram_[count];
-    if (symbols == 0) continue;
-    total += static_cast<double>(symbols) *
-             PowAlpha(2 * static_cast<int64_t>(count) - windows_seen_);
-  }
-  return total;
+  return kernel::TotalSignificance(MutableState(), options_, pows_);
 }
 
 double SignificanceTracker::PresentSignificance(
     const std::vector<Symbol>& symbols) const {
-  double present = 0.0;
-  const Symbol* previous = nullptr;  // tolerate duplicate neighbours
-  for (const Symbol& symbol : symbols) {
-    if (previous != nullptr && *previous == symbol) continue;
-    present += SignificanceOf(symbol);
-    previous = &symbol;
-  }
-  return present;
+  return kernel::PresentSignificance(MutableState(), options_, pows_,
+                                     std::span<const Symbol>(symbols));
 }
 
 std::vector<Symbol> SignificanceTracker::SeenSymbols() const {
   std::vector<Symbol> symbols;
-  symbols.reserve(num_seen_);
+  symbols.reserve(state_.num_seen);
   // Dense scan in index order: already ascending, no sort needed.
-  for (size_t symbol = 0; symbol < contain_counts_.size(); ++symbol) {
-    if (contain_counts_[symbol] > 0) {
+  for (size_t symbol = 0; symbol < state_.contain_counts.size(); ++symbol) {
+    if (state_.contain_counts[symbol] > 0) {
       symbols.push_back(static_cast<Symbol>(symbol));
     }
   }
   return symbols;
 }
 
-void SignificanceTracker::AdvanceEwma(
+void SignificanceTracker::AdvanceWindow(
     const std::vector<Symbol>& window_symbols) {
-  const double lambda = options_.ewma_lambda;
-  const double credit = 1.0 - lambda;
-  const int32_t next_window = windows_seen_ + 1;
-  size_t present_count = 0;
-  const Symbol* previous = nullptr;
-  for (const Symbol& symbol : window_symbols) {
-    if (previous != nullptr && *previous == symbol) continue;
-    previous = &symbol;
-    ++present_count;
-    if (static_cast<size_t>(symbol) >= ewma_values_.size()) {
-      ewma_values_.resize(static_cast<size_t>(symbol) + 1, 0.0);
-      ewma_stamps_.resize(static_cast<size_t>(symbol) + 1, 0);
-    }
-    // Settle the lazy decay up to the post-advance window, then credit.
-    ewma_values_[symbol] =
-        ewma_values_[symbol] * PowLambda(next_window - ewma_stamps_[symbol]) +
-        credit;
-    ewma_stamps_[symbol] = next_window;
-  }
-  ewma_total_ = ewma_total_ * lambda + credit * present_count;
+  kernel::AdvanceWindow(state_, options_, pows_,
+                        std::span<const Symbol>(window_symbols));
+}
+
+size_t SignificanceTracker::MemoryUsage() const {
+  return state_.contain_counts.capacity() * sizeof(int32_t) +
+         state_.contain_histogram.capacity() * sizeof(uint32_t) +
+         state_.ewma_values.capacity() * sizeof(double) +
+         state_.ewma_stamps.capacity() * sizeof(int32_t) +
+         pows_.MemoryUsage();
 }
 
 void SignificanceTracker::SaveState(BinaryWriter* writer) const {
-  writer->WriteVarint(static_cast<uint64_t>(windows_seen_));
-  // Sparse contain counts as (symbol delta, count) pairs, ascending symbol.
-  writer->WriteVarint(num_seen_);
-  Symbol previous = 0;
-  for (size_t symbol = 0; symbol < contain_counts_.size(); ++symbol) {
-    const int32_t count = contain_counts_[symbol];
-    if (count == 0) continue;
-    writer->WriteVarint(static_cast<Symbol>(symbol) - previous);
-    writer->WriteVarint(static_cast<uint64_t>(count));
-    previous = static_cast<Symbol>(symbol);
-  }
-  writer->WriteDouble(incremental_total_);
-  // Sparse EWMA scores (value, stamp) keyed the same way. Empty for the
-  // alpha-power kind.
-  size_t num_ewma = 0;
-  for (const double value : ewma_values_) {
-    if (value != 0.0) ++num_ewma;
-  }
-  writer->WriteVarint(num_ewma);
-  previous = 0;
-  for (size_t symbol = 0; symbol < ewma_values_.size(); ++symbol) {
-    if (ewma_values_[symbol] == 0.0) continue;
-    writer->WriteVarint(static_cast<Symbol>(symbol) - previous);
-    writer->WriteDouble(ewma_values_[symbol]);
-    writer->WriteVarint(static_cast<uint64_t>(ewma_stamps_[symbol]));
-    previous = static_cast<Symbol>(symbol);
-  }
-  writer->WriteDouble(ewma_total_);
+  kernel::TrackerSaveState(MutableState(), writer);
 }
 
 Status SignificanceTracker::LoadState(BinaryReader* reader) {
-  // Caps on untrusted state values. Symbols index dense vectors, so a
-  // corrupted delta chain must not be allowed to size a multi-gigabyte
-  // resize: 2^24 symbols is far beyond any retail taxonomy. Likewise the
-  // contain histogram is indexed by per-symbol window counts, bounded by
-  // windows_seen: 2^20 windows is centuries of daily windows.
-  constexpr uint64_t kMaxSymbolSpace = uint64_t{1} << 24;
-  constexpr uint64_t kMaxWindowsSeen = uint64_t{1} << 20;
-  CHURNLAB_ASSIGN_OR_RETURN(const uint64_t windows_seen, reader->ReadVarint());
-  if (windows_seen > kMaxWindowsSeen) {
-    return Status::InvalidArgument(
-        "significance state windows_seen is implausibly large");
-  }
-  windows_seen_ = static_cast<int32_t>(windows_seen);
-
-  CHURNLAB_ASSIGN_OR_RETURN(const uint64_t num_seen, reader->ReadVarint());
-  contain_counts_.clear();
-  contain_histogram_.clear();
-  num_seen_ = 0;
-  uint64_t symbol = 0;
-  for (uint64_t i = 0; i < num_seen; ++i) {
-    CHURNLAB_ASSIGN_OR_RETURN(const uint64_t delta, reader->ReadVarint());
-    // The first pair carries the absolute symbol; later pairs are deltas
-    // from the previous one (strictly positive by construction).
-    symbol += delta;
-    CHURNLAB_ASSIGN_OR_RETURN(const uint64_t count, reader->ReadVarint());
-    if (symbol >= static_cast<uint64_t>(kInvalidSymbol) || count == 0 ||
-        count > windows_seen) {
-      return Status::OutOfRange("corrupt significance state entry");
-    }
-    if (symbol >= kMaxSymbolSpace) {
-      return Status::InvalidArgument(
-          "significance state symbol is implausibly large");
-    }
-    if (symbol >= contain_counts_.size()) {
-      contain_counts_.resize(symbol + 1, 0);
-    }
-    contain_counts_[symbol] = static_cast<int32_t>(count);
-    ++num_seen_;
-    if (count >= contain_histogram_.size()) {
-      contain_histogram_.resize(count + 1, 0);
-    }
-    ++contain_histogram_[count];
-  }
-  CHURNLAB_ASSIGN_OR_RETURN(incremental_total_, reader->ReadDouble());
-
-  CHURNLAB_ASSIGN_OR_RETURN(const uint64_t num_ewma, reader->ReadVarint());
-  ewma_values_.clear();
-  ewma_stamps_.clear();
-  symbol = 0;
-  for (uint64_t i = 0; i < num_ewma; ++i) {
-    CHURNLAB_ASSIGN_OR_RETURN(const uint64_t delta, reader->ReadVarint());
-    symbol += delta;
-    CHURNLAB_ASSIGN_OR_RETURN(const double value, reader->ReadDouble());
-    CHURNLAB_ASSIGN_OR_RETURN(const uint64_t stamp, reader->ReadVarint());
-    if (symbol >= static_cast<uint64_t>(kInvalidSymbol) ||
-        stamp > windows_seen) {
-      return Status::OutOfRange("corrupt EWMA state entry");
-    }
-    if (symbol >= kMaxSymbolSpace) {
-      return Status::InvalidArgument(
-          "EWMA state symbol is implausibly large");
-    }
-    if (symbol >= ewma_values_.size()) {
-      ewma_values_.resize(symbol + 1, 0.0);
-      ewma_stamps_.resize(symbol + 1, 0);
-    }
-    ewma_values_[symbol] = value;
-    ewma_stamps_[symbol] = static_cast<int32_t>(stamp);
-  }
-  CHURNLAB_ASSIGN_OR_RETURN(ewma_total_, reader->ReadDouble());
-  return Status::OK();
-}
-
-void SignificanceTracker::AdvanceWindow(
-    const std::vector<Symbol>& window_symbols) {
-  if (options_.kind == SignificanceKind::kEwma) {
-    AdvanceEwma(window_symbols);
-  }
-  // The incremental total is only maintained while it stays exact (and only
-  // needed for the alpha-power kind with alpha != 1).
-  const bool maintain_total =
-      options_.kind == SignificanceKind::kAlphaPower &&
-      options_.alpha != 1.0 &&
-      static_cast<double>(windows_seen_) + 1.0 <= options_.max_abs_exponent;
-  double present = 0.0;
-  size_t new_symbols = 0;
-  // Input is sorted (Windower invariant); skip duplicate neighbours so a
-  // malformed caller cannot make c(k) exceed the window count.
-  const Symbol* previous = nullptr;
-  for (const Symbol& symbol : window_symbols) {
-    if (previous != nullptr && *previous == symbol) continue;
-    previous = &symbol;
-    if (static_cast<size_t>(symbol) >= contain_counts_.size()) {
-      contain_counts_.resize(static_cast<size_t>(symbol) + 1, 0);
-    }
-    int32_t& count = contain_counts_[symbol];
-    if (count == 0) {
-      ++new_symbols;
-      ++num_seen_;
-    } else {
-      if (maintain_total) {
-        present += PowAlpha(2 * static_cast<int64_t>(count) - windows_seen_);
-      }
-      --contain_histogram_[static_cast<size_t>(count)];
-    }
-    ++count;
-    if (static_cast<size_t>(count) >= contain_histogram_.size()) {
-      contain_histogram_.resize(static_cast<size_t>(count) + 1, 0);
-    }
-    ++contain_histogram_[static_cast<size_t>(count)];
-  }
-  if (maintain_total) {
-    const double alpha = options_.alpha;
-    // T_{k+1} = (T_k + (alpha^2 - 1) * P_k) / alpha + n_new * alpha^(1-k).
-    incremental_total_ =
-        (incremental_total_ + (alpha * alpha - 1.0) * present) / alpha +
-        static_cast<double>(new_symbols) * PowAlpha(1 - windows_seen_);
-  }
-  ++windows_seen_;
+  return kernel::TrackerLoadState(state_, reader);
 }
 
 }  // namespace core

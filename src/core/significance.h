@@ -2,10 +2,12 @@
 #define CHURNLAB_CORE_SIGNIFICANCE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/binary_io.h"
 #include "common/result.h"
+#include "core/pow_cache.h"
 #include "core/window.h"
 
 namespace churnlab {
@@ -73,9 +75,14 @@ struct SignificanceOptions {
 ///
 /// Per-symbol state lives in dense Symbol-indexed vectors (symbols are
 /// dense ids produced by SymbolMapper), and alpha powers are served from a
-/// memoised table filled with the same ClampedPow the scan-based oracle
+/// memoised PowCache filled with the same ClampedPow the scan-based oracle
 /// uses, so per-symbol significances agree bit-for-bit with
 /// ReferenceSignificanceTracker (see significance_reference.h).
+///
+/// The math itself lives in the storage-agnostic kernels of
+/// core/state_kernel.h, instantiated here over the nested State struct of
+/// plain vectors; the serving layer instantiates the same kernels over its
+/// compact SoA/arena layout, which keeps the two layouts bit-identical.
 ///
 /// Not thread-safe — including const accessors, which lazily extend the
 /// memoised power tables. Use one tracker per thread.
@@ -84,6 +91,60 @@ struct SignificanceOptions {
 /// windows 0..k-1), then call `AdvanceWindow(u_k)`.
 class SignificanceTracker {
  public:
+  /// Heap-layout storage behind the shared kernels: plain members plus the
+  /// accessor surface the TrackerState concept expects (state_kernel.h).
+  struct State {
+    int32_t windows_seen = 0;
+    /// Number of symbols with c > 0.
+    uint32_t num_seen = 0;
+    /// sum_p alpha^(2c(p) - k), maintained incrementally while the clamp
+    /// cannot bite; stale (and unused) afterwards.
+    double incremental_total = 0.0;
+    /// kEwma: running total, via T_{k+1} = lambda * T_k + (1-lambda)*|u_k|.
+    double ewma_total = 0.0;
+    /// Dense per-symbol contain counts; index = symbol, 0 = never seen.
+    std::vector<int32_t> contain_counts;
+    /// contain_histogram[c] = number of symbols with contain count c
+    /// (c >= 1). Drives the exact clamped-regime total. kAlphaPower only.
+    std::vector<uint32_t> contain_histogram;
+    /// kEwma: lazily-decayed scores. The score of symbol s at the current
+    /// window k is ewma_values[s] * lambda^(k - ewma_stamps[s]), so
+    /// AdvanceWindow only touches present symbols instead of decaying the
+    /// whole table.
+    std::vector<double> ewma_values;
+    std::vector<int32_t> ewma_stamps;
+
+    int32_t& WindowsSeen() { return windows_seen; }
+    uint32_t& NumSeen() { return num_seen; }
+    double& IncrementalTotal() { return incremental_total; }
+    double& EwmaTotal() { return ewma_total; }
+    std::span<int32_t> ContainCounts() {
+      return {contain_counts.data(), contain_counts.size()};
+    }
+    std::span<int32_t> GrowContainCounts(size_t n) {
+      contain_counts.resize(n, 0);
+      return ContainCounts();
+    }
+    std::span<uint32_t> ContainHistogram() {
+      return {contain_histogram.data(), contain_histogram.size()};
+    }
+    std::span<uint32_t> GrowContainHistogram(size_t n) {
+      contain_histogram.resize(n, 0);
+      return ContainHistogram();
+    }
+    std::span<double> EwmaValues() {
+      return {ewma_values.data(), ewma_values.size()};
+    }
+    std::span<int32_t> EwmaStamps() {
+      return {ewma_stamps.data(), ewma_stamps.size()};
+    }
+    void GrowEwma(size_t n) {
+      ewma_values.resize(n, 0.0);
+      ewma_stamps.resize(n, 0);
+    }
+    void ClearTracker() { *this = State(); }
+  };
+
   explicit SignificanceTracker(SignificanceOptions options);
 
   /// Validates options (alpha > 0, max_abs_exponent >= 0).
@@ -118,9 +179,19 @@ class SignificanceTracker {
   void AdvanceWindow(const std::vector<Symbol>& window_symbols);
 
   /// Number of windows folded in so far (the current k).
-  int32_t windows_seen() const { return windows_seen_; }
+  int32_t windows_seen() const { return state_.windows_seen; }
 
   const SignificanceOptions& options() const { return options_; }
+
+  /// Heap bytes held behind this tracker (vector capacities plus the
+  /// memoised power tables), excluding sizeof(*this).
+  size_t MemoryUsage() const;
+
+  /// Raw storage access for kernel instantiation by the streaming layers
+  /// (OnlineStabilityScorer, the serving layer's equivalence tests).
+  State& state() { return state_; }
+  const State& state() const { return state_; }
+  const PowCache& pows() const { return pows_; }
 
   /// Serializes the dynamic state (counters and running totals; *not* the
   /// options) to `writer`. Sparse encoding: only symbols with non-zero
@@ -137,56 +208,16 @@ class SignificanceTracker {
   Status LoadState(BinaryReader* reader);
 
  private:
-  /// alpha^exponent with the max_abs_exponent clamp, memoised per integer
-  /// exponent. Each cache entry is computed with ClampedPow, so values are
-  /// identical to the reference scan implementation's.
-  double PowAlpha(int64_t exponent) const;
-
-  /// lambda^exponent (exponent >= 0), memoised by repeated multiplication —
-  /// the same product chain the eager per-window decay would perform.
-  double PowLambda(int32_t exponent) const;
-
-  void AdvanceEwma(const std::vector<Symbol>& window_symbols);
-
-  /// True while no per-symbol exponent can exceed the clamp, i.e. while the
-  /// incremental total is exact.
-  bool IncrementalTotalExact() const {
-    return static_cast<double>(windows_seen_) <= options_.max_abs_exponent;
+  /// Query kernels take a mutable state (the compact layout has no const
+  /// refs); the heap members they touch never change on queries, and the
+  /// power tables are mutable by design.
+  State& MutableState() const {
+    return const_cast<SignificanceTracker*>(this)->state_;
   }
 
-  /// Exact total in the clamped regime: sums ClampedPow per distinct
-  /// contain count, weighted by the histogram.
-  double HistogramTotal() const;
-
   SignificanceOptions options_;
-  int32_t windows_seen_ = 0;
-
-  /// Dense per-symbol contain counts; index = symbol, 0 = never seen.
-  std::vector<int32_t> contain_counts_;
-  /// Number of symbols with c > 0.
-  size_t num_seen_ = 0;
-  /// contain_histogram_[c] = number of symbols with contain count c (c >= 1).
-  /// Drives the exact clamped-regime total. kAlphaPower only.
-  std::vector<uint32_t> contain_histogram_;
-  /// sum_p alpha^(2c(p) - k), maintained incrementally while
-  /// IncrementalTotalExact(); stale (and unused) afterwards.
-  double incremental_total_ = 0.0;
-
-  /// kEwma: lazily-decayed scores. The score of symbol s at the current
-  /// window k is ewma_values_[s] * lambda^(k - ewma_stamps_[s]), so
-  /// AdvanceWindow only touches present symbols instead of decaying the
-  /// whole table.
-  std::vector<double> ewma_values_;
-  std::vector<int32_t> ewma_stamps_;
-  /// kEwma: running total, via T_{k+1} = lambda * T_k + (1-lambda)*|u_k|.
-  double ewma_total_ = 0.0;
-
-  /// Memoised powers: alpha_pow_pos_[i] = alpha^i, alpha_pow_neg_[i] =
-  /// alpha^-i, lambda_pow_[i] = lambda^i. Lazily extended by const
-  /// accessors (hence mutable; see thread-safety note above).
-  mutable std::vector<double> alpha_pow_pos_;
-  mutable std::vector<double> alpha_pow_neg_;
-  mutable std::vector<double> lambda_pow_;
+  State state_;
+  PowCache pows_;
 };
 
 }  // namespace core

@@ -60,6 +60,10 @@ constexpr MetricHelpEntry kInventory[] = {
     {"churnlab.serve.alerts_raised",
      "fleet alerts raised (all kinds, all operations)"},
     {"churnlab.serve.batches_ingested", "ScoringFleet::IngestBatch calls"},
+    {"churnlab.serve.bytes",
+     "per-shard customer-state bytes held (scalar + blocks + index)"},
+    {"churnlab.serve.bytes_total",
+     "customer-state bytes held across all shards"},
     {"churnlab.serve.customers",
      "customers currently held by the fleet state store"},
     {"churnlab.serve.ingest_batch_us",

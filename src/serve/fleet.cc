@@ -165,7 +165,8 @@ ScoringFleet::ScoringFleet(FleetOptions options, CustomerStateStore store,
       mapper_(std::move(mapper)),
       shard_health_(store_.num_shards()),
       shard_stats_(store_.num_shards()),
-      shard_latency_(store_.num_shards(), nullptr) {}
+      shard_latency_(store_.num_shards(), nullptr),
+      shard_gauges_(store_.num_shards()) {}
 
 Result<ScoringFleet> ScoringFleet::Make(FleetOptions options,
                                         const retail::Taxonomy* taxonomy) {
@@ -178,6 +179,7 @@ Result<ScoringFleet> ScoringFleet::Make(FleetOptions options,
   store_options.scorer = options.scorer;
   store_options.policy = options.policy;
   store_options.num_shards = options.num_shards;
+  store_options.layout = options.layout;
   CHURNLAB_ASSIGN_OR_RETURN(CustomerStateStore store,
                             CustomerStateStore::Make(store_options));
   return ScoringFleet(std::move(options), std::move(store),
@@ -245,10 +247,10 @@ Result<BatchReport> ScoringFleet::IngestBatch(
         }
         CHURNLAB_FAILPOINT_KEYED("serve.ingest.receipt", receipt.customer);
         MapSymbols(receipt, &symbols);
-        CustomerStateStore::CustomerState& state =
+        CustomerStateStore::CustomerRef state =
             access.GetOrCreate(receipt.customer);
         Result<std::vector<core::StabilityAlert>> closed =
-            state.monitor.Observe(receipt.day, symbols);
+            state.Observe(receipt.day, symbols);
         if (!closed.ok()) {
           if (!options_.quarantine_malformed) return closed.status();
           out.rejected.push_back(RejectedReceipt{
@@ -270,11 +272,10 @@ Result<BatchReport> ScoringFleet::IngestBatch(
       return store_.WithShard(
           shard, [&](CustomerStateStore::ShardAccessor& access) -> Status {
             if (out.customers_before == kUnsetCount) {
-              out.customers_before = access.states().size();
+              out.customers_before = access.size();
             }
             const Status status = process(access);
-            out.new_customers =
-                access.states().size() - out.customers_before;
+            out.new_customers = access.size() - out.customers_before;
             return status;
           });
     };
@@ -392,37 +393,65 @@ FleetHealth ScoringFleet::HealthReport() const {
   return health;
 }
 
+const ScoringFleet::ShardGauges& ScoringFleet::ShardGaugesFor(
+    size_t shard) const {
+  ShardGauges& gauges = shard_gauges_[shard];
+  if (gauges.receipts != nullptr) return gauges;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const std::string label = std::to_string(shard);
+  const auto gauge = [&](std::string_view base) {
+    return registry.GetGauge(
+        obs::LabeledMetricName(base, {{"shard", label}}));
+  };
+  gauges.receipts = gauge("churnlab.serve.shard_receipts");
+  gauges.rejected = gauge("churnlab.serve.shard_rejected");
+  gauges.alerts = gauge("churnlab.serve.shard_alerts");
+  gauges.retries = gauge("churnlab.serve.shard_retries");
+  gauges.last_batch_receipts =
+      gauge("churnlab.serve.shard_last_batch_receipts");
+  gauges.poisoned = gauge("churnlab.serve.shard_poisoned");
+  gauges.customers = gauge("churnlab.serve.shard_customers");
+  gauges.bytes = gauge("churnlab.serve.bytes");
+  return gauges;
+}
+
 void ScoringFleet::PublishShardTelemetry() {
   // Gated like the other detailed instrumentation: default runs must not
   // grow the global registry by O(shards).
   if (!obs::DetailedTimingEnabled()) return;
-  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   for (size_t shard = 0; shard < store_.num_shards(); ++shard) {
-    const std::string label = std::to_string(shard);
-    const auto gauge = [&](std::string_view base) {
-      return registry.GetGauge(
-          obs::LabeledMetricName(base, {{"shard", label}}));
-    };
+    const ShardGauges& gauges = ShardGaugesFor(shard);
     const ShardStats& stats = shard_stats_[shard];
-    gauge("churnlab.serve.shard_receipts")
-        ->Set(static_cast<double>(stats.receipts));
-    gauge("churnlab.serve.shard_rejected")
-        ->Set(static_cast<double>(stats.rejected));
-    gauge("churnlab.serve.shard_alerts")
-        ->Set(static_cast<double>(stats.alerts));
-    gauge("churnlab.serve.shard_retries")
-        ->Set(static_cast<double>(stats.retries));
-    gauge("churnlab.serve.shard_last_batch_receipts")
-        ->Set(static_cast<double>(stats.last_batch_receipts));
-    gauge("churnlab.serve.shard_poisoned")
-        ->Set(shard_health_[shard].ok() ? 0.0 : 1.0);
-    gauge("churnlab.serve.shard_customers")
-        ->Set(static_cast<double>(store_.ShardCustomers(shard)));
+    gauges.receipts->Set(static_cast<double>(stats.receipts));
+    gauges.rejected->Set(static_cast<double>(stats.rejected));
+    gauges.alerts->Set(static_cast<double>(stats.alerts));
+    gauges.retries->Set(static_cast<double>(stats.retries));
+    gauges.last_batch_receipts->Set(
+        static_cast<double>(stats.last_batch_receipts));
+    gauges.poisoned->Set(shard_health_[shard].ok() ? 0.0 : 1.0);
+    gauges.customers->Set(static_cast<double>(store_.ShardCustomers(shard)));
   }
   static obs::Gauge* const queue_depth =
       obs::MetricsRegistry::Global().GetGauge("churnlab.serve.queue_depth");
   queue_depth->Set(
       static_cast<double>(pool_ != nullptr ? pool_->QueueDepth() : 0));
+}
+
+StateMemoryStats ScoringFleet::MemoryUsage() const {
+  StateMemoryStats total;
+  const bool detailed = obs::DetailedTimingEnabled();
+  for (size_t shard = 0; shard < store_.num_shards(); ++shard) {
+    const StateMemoryStats stats = store_.ShardMemoryUsage(shard);
+    if (detailed) {
+      ShardGaugesFor(shard).bytes->Set(
+          static_cast<double>(stats.total_bytes));
+    }
+    total += stats;
+  }
+  static obs::Gauge* const bytes_total =
+      obs::MetricsRegistry::Global().GetGauge("churnlab.serve.bytes_total");
+  bytes_total->Set(static_cast<double>(total.total_bytes));
+  return total;
 }
 
 template <typename PerCustomerOp>
@@ -439,15 +468,12 @@ Result<BatchReport> ScoringFleet::ForAllCustomers(const char* span_name,
       CHURNLAB_FAILPOINT_KEYED("serve.shard.task", shard);
       return store_.WithShard(
           shard, [&](CustomerStateStore::ShardAccessor& access) -> Status {
-            std::vector<CustomerStateStore::CustomerState>& states =
-                access.states();
-            while (out.progress < states.size()) {
-              CustomerStateStore::CustomerState& state =
-                  states[out.progress];
+            while (out.progress < access.size()) {
+              CustomerStateStore::CustomerRef state = access.At(out.progress);
               Result<std::vector<core::StabilityAlert>> closed = op(state);
               if (!closed.ok()) return closed.status();
               for (core::StabilityAlert& alert : *closed) {
-                out.alerts.push_back(FleetAlert{state.customer, 0, alert});
+                out.alerts.push_back(FleetAlert{state.customer(), 0, alert});
               }
               ++out.progress;
             }
@@ -503,17 +529,16 @@ Result<BatchReport> ScoringFleet::ForAllCustomers(const char* span_name,
 }
 
 Result<BatchReport> ScoringFleet::AdvanceAllTo(retail::Day day) {
-  return ForAllCustomers(
-      "serve.advance_all",
-      [day](CustomerStateStore::CustomerState& state) {
-        return state.monitor.AdvanceTo(day);
-      });
+  return ForAllCustomers("serve.advance_all",
+                         [day](CustomerStateStore::CustomerRef& state) {
+                           return state.AdvanceTo(day);
+                         });
 }
 
 Result<BatchReport> ScoringFleet::FinishAll() {
   return ForAllCustomers("serve.finish_all",
-                         [](CustomerStateStore::CustomerState& state) {
-                           return state.monitor.Finish();
+                         [](CustomerStateStore::CustomerRef& state) {
+                           return state.Finish();
                          });
 }
 
@@ -573,7 +598,8 @@ Status ScoringFleet::AppendSnapshotToFile(const std::string& path) const {
 
 Result<ScoringFleet> ScoringFleet::Restore(BinaryReader* reader,
                                            const retail::Taxonomy* taxonomy,
-                                           size_t num_threads) {
+                                           size_t num_threads,
+                                           StateLayout layout) {
   CHURNLAB_SPAN("serve.restore_snapshot");
   static Failpoint* const read_frame_failpoint =
       FailpointRegistry::Global().Get("serve.snapshot.read_frame");
@@ -601,6 +627,7 @@ Result<ScoringFleet> ScoringFleet::Restore(BinaryReader* reader,
   options.num_shards = num_shards;
   options.num_threads = num_threads > 0 ? num_threads : 1;
   options.granularity = static_cast<retail::Granularity>(granularity);
+  options.layout = layout;
 
   CHURNLAB_ASSIGN_OR_RETURN(ScoringFleet fleet, Make(options, taxonomy));
   for (size_t shard = 0; shard < fleet.store_.num_shards(); ++shard) {
@@ -632,7 +659,7 @@ Result<ScoringFleet> ScoringFleet::Restore(BinaryReader* reader,
 
 Result<ScoringFleet> ScoringFleet::RestoreFromFile(
     const std::string& path, const retail::Taxonomy* taxonomy,
-    size_t num_threads) {
+    size_t num_threads, StateLayout layout) {
   CHURNLAB_ASSIGN_OR_RETURN(BinaryReader reader,
                             BinaryReader::OpenFile(path));
   if (reader.remaining() < kSnapshotMagicSize) {
@@ -644,7 +671,7 @@ Result<ScoringFleet> ScoringFleet::RestoreFromFile(
     // Bare snapshot: re-open so Restore sees the magic it expects.
     CHURNLAB_ASSIGN_OR_RETURN(BinaryReader bare,
                               BinaryReader::OpenFile(path));
-    return Restore(&bare, taxonomy, num_threads);
+    return Restore(&bare, taxonomy, num_threads, layout);
   }
 
   // Generation file: scan frames, keep the newest whose CRC verifies. A
@@ -709,7 +736,7 @@ Result<ScoringFleet> ScoringFleet::RestoreFromFile(
     Metrics().snapshot_fallbacks->Increment();
   }
   BinaryReader newest_reader(std::move(newest));
-  return Restore(&newest_reader, taxonomy, num_threads);
+  return Restore(&newest_reader, taxonomy, num_threads, layout);
 }
 
 }  // namespace serve

@@ -33,6 +33,10 @@ struct FleetOptions {
   /// Symbol space the monitors observe (the paper's experiments run at
   /// segment granularity).
   retail::Granularity granularity = retail::Granularity::kSegment;
+  /// In-memory representation of per-customer state (see StateLayout).
+  /// Runtime-only, like num_threads: never serialized, and alerts plus
+  /// snapshot bytes are identical across layouts.
+  StateLayout layout = StateLayout::kCompact;
   /// Graceful degradation (docs/ROBUSTNESS.md): when true, malformed
   /// receipts (invalid customer id, stream-contract violations such as a
   /// stale day) are quarantined into BatchReport::rejected instead of
@@ -195,6 +199,13 @@ class ScoringFleet {
   /// per batch), not concurrently with one.
   FleetHealth HealthReport() const;
 
+  /// Byte accounting summed over all shards (see StateMemoryStats). Also
+  /// publishes the `churnlab.serve.bytes_total` gauge, plus per-shard
+  /// `churnlab.serve.bytes{shard=k}` gauges when detailed timing is enabled
+  /// (obs::SetDetailedTiming). Same calling convention as HealthReport:
+  /// between fleet operations, not concurrently with one.
+  StateMemoryStats MemoryUsage() const;
+
   /// Serializes the full fleet — versioned header with every option, then
   /// one length- and CRC32-framed frame per shard — so Restore continues
   /// bit-identically from this point. Only fails when a write-path
@@ -210,19 +221,21 @@ class ScoringFleet {
   Status AppendSnapshotToFile(const std::string& path) const;
 
   /// Rebuilds a fleet from a snapshot. Options are read from the snapshot
-  /// header; `taxonomy` is borrowed as in Make. Threads are a pure runtime
-  /// concern and are never serialized: the restored fleet uses
-  /// `num_threads` workers (1 when 0), with identical results either way.
-  static Result<ScoringFleet> Restore(BinaryReader* reader,
-                                      const retail::Taxonomy* taxonomy,
-                                      size_t num_threads = 0);
+  /// header; `taxonomy` is borrowed as in Make. Threads and the storage
+  /// layout are pure runtime concerns and are never serialized: the
+  /// restored fleet uses `num_threads` workers (1 when 0) and `layout`
+  /// storage, with identical results either way — a snapshot written by
+  /// one layout restores into the other bit-identically.
+  static Result<ScoringFleet> Restore(
+      BinaryReader* reader, const retail::Taxonomy* taxonomy,
+      size_t num_threads = 0, StateLayout layout = StateLayout::kCompact);
   /// Restores from a bare snapshot ("CHLFLEET") or an append-mode
   /// generation file ("CHLFGENS"). For generation files the newest valid
   /// generation wins; a torn or corrupted tail is skipped with a
   /// structured warning and counts on churnlab.serve.snapshot_fallbacks.
   static Result<ScoringFleet> RestoreFromFile(
       const std::string& path, const retail::Taxonomy* taxonomy,
-      size_t num_threads = 0);
+      size_t num_threads = 0, StateLayout layout = StateLayout::kCompact);
 
  private:
   ScoringFleet(FleetOptions options, CustomerStateStore store,
@@ -254,6 +267,22 @@ class ScoringFleet {
   /// so default runs do not grow the registry by O(shards).
   void PublishShardTelemetry();
 
+  /// Interned per-shard labeled gauge handles: the labeled metric names are
+  /// built (and the registry consulted) once per shard, not once per batch.
+  struct ShardGauges {
+    obs::Gauge* receipts = nullptr;
+    obs::Gauge* rejected = nullptr;
+    obs::Gauge* alerts = nullptr;
+    obs::Gauge* retries = nullptr;
+    obs::Gauge* last_batch_receipts = nullptr;
+    obs::Gauge* poisoned = nullptr;
+    obs::Gauge* customers = nullptr;
+    obs::Gauge* bytes = nullptr;
+  };
+  /// The shard's gauge handles, interned on first use (detailed-timing
+  /// paths only). Registry pointers are process-lived, so caching is safe.
+  const ShardGauges& ShardGaugesFor(size_t shard) const;
+
   FleetOptions options_;
   CustomerStateStore store_;
   core::SymbolMapper mapper_;
@@ -268,6 +297,9 @@ class ScoringFleet {
   /// under labeled names. Created lazily by the shard's own task (at most
   /// one task per shard is in flight, so slots never race).
   std::vector<obs::Histogram*> shard_latency_;
+  /// Interned gauge handles behind ShardGaugesFor. mutable: filled lazily
+  /// from const telemetry paths (MemoryUsage), merge-phase only.
+  mutable std::vector<ShardGauges> shard_gauges_;
 };
 
 }  // namespace serve

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -29,6 +30,26 @@ inline uint64_t StableHash(uint64_t x) {
 
 struct Shard;
 
+/// How a shard stores customer state in memory. The layout is invisible on
+/// the wire: both run the identical kernels of core/state_kernel.h, so
+/// alerts and snapshot bytes are bit-identical across layouts, and either
+/// layout loads snapshots written by the other.
+enum class StateLayout : uint8_t {
+  /// Structure-of-arrays scalar columns plus arena-backed blocks for the
+  /// variable-size per-symbol counters, with one shared power-table cache
+  /// per shard. Roughly halves bytes/customer versus kHeap and makes shard
+  /// byte accounting O(1).
+  kCompact = 0,
+  /// One heap-allocated StabilityMonitor object per customer (the original
+  /// layout). Kept for A/B comparison and as the reference semantics.
+  kHeap = 1,
+};
+
+/// "compact" / "heap".
+std::string_view StateLayoutToString(StateLayout layout);
+/// Inverse of StateLayoutToString; InvalidArgument on anything else.
+Result<StateLayout> ParseStateLayout(std::string_view text);
+
 struct StateStoreOptions {
   core::OnlineStabilityScorer::Options scorer;
   core::MonitorPolicy policy;
@@ -36,22 +57,60 @@ struct StateStoreOptions {
   /// dense customer slab; customers are assigned by
   /// StableHash(customer_id) % num_shards.
   size_t num_shards = 16;
+  /// In-memory representation of per-customer state (see StateLayout).
+  StateLayout layout = StateLayout::kCompact;
+};
+
+/// Byte accounting for one shard, or — summed with operator+= — a whole
+/// store/fleet. All figures are capacities actually held from the heap, not
+/// logical sizes.
+struct StateMemoryStats {
+  size_t customers = 0;
+  /// Fixed-size per-customer storage: SoA column capacity (compact) or the
+  /// monitor slab capacity (heap), block-handle table included.
+  size_t scalar_bytes = 0;
+  /// Live variable-size storage: arena blocks in use (compact) or the sum
+  /// of per-monitor heap vectors (heap).
+  size_t block_bytes = 0;
+  /// Arena chunk bytes held from the OS (compact only; >= block_bytes, the
+  /// difference is freelist + bump slack). 0 for the heap layout.
+  size_t arena_reserved_bytes = 0;
+  /// Estimated id -> slot hash index footprint.
+  size_t index_bytes = 0;
+  /// Per-shard shared tables (the interned power caches). 0 for the heap
+  /// layout, whose monitors each carry private tables inside block_bytes.
+  size_t shared_bytes = 0;
+  /// scalar + index + shared + max(block, arena_reserved): what the layout
+  /// actually costs, counting arena slack against the compact layout.
+  size_t total_bytes = 0;
+
+  StateMemoryStats& operator+=(const StateMemoryStats& other) {
+    customers += other.customers;
+    scalar_bytes += other.scalar_bytes;
+    block_bytes += other.block_bytes;
+    arena_reserved_bytes += other.arena_reserved_bytes;
+    index_bytes += other.index_bytes;
+    shared_bytes += other.shared_bytes;
+    total_bytes += other.total_bytes;
+    return *this;
+  }
 };
 
 /// \brief Sharded owner of per-customer streaming state.
 ///
-/// Each customer is one StabilityMonitor (an OnlineStabilityScorer plus
-/// alerting policy). Customers live in `num_shards` shards, each a dense
-/// slab (std::vector, insertion-ordered) plus an id -> slot index and one
-/// mutex. The ScoringFleet partitions batches by shard and processes each
-/// shard sequentially under its lock, so two receipts of one customer can
-/// never race.
+/// Each customer is one logical StabilityMonitor (an OnlineStabilityScorer
+/// plus alerting policy), physically stored per StateLayout. Customers live
+/// in `num_shards` shards, each with one mutex, an id -> slot index, and
+/// slot storage in creation order. The ScoringFleet partitions batches by
+/// shard and processes each shard sequentially under its lock, so two
+/// receipts of one customer can never race.
 ///
-/// Determinism: slab order is creation order, which the fleet makes
-/// batch-order within a shard; snapshots iterate slabs in slot order, so
-/// the byte stream is independent of thread count.
+/// Determinism: slot order is creation order, which the fleet makes
+/// batch-order within a shard; snapshots iterate slots in order, so the
+/// byte stream is independent of thread count and of the layout.
 class CustomerStateStore {
  public:
+  /// One customer of the kHeap layout.
   struct CustomerState {
     retail::CustomerId customer = retail::kInvalidCustomer;
     core::StabilityMonitor monitor;
@@ -81,17 +140,58 @@ class CustomerStateStore {
   /// inside WithShard on the same shard.
   size_t ShardCustomers(size_t shard) const;
 
+  /// Layout-agnostic handle to one customer's state inside a locked shard.
+  /// Valid only while the shard lock is held (i.e. inside the WithShard
+  /// callback that produced it) and until the next GetOrCreate on the
+  /// shard.
+  class CustomerRef {
+   public:
+    retail::CustomerId customer() const;
+
+    /// Feeds one observation; returns alerts for every window that closed.
+    /// Same contract as StabilityMonitor::Observe.
+    Result<std::vector<core::StabilityAlert>> Observe(
+        retail::Day day, const std::vector<core::Symbol>& symbols);
+    /// Closes windows up to the one containing `day` without a purchase.
+    Result<std::vector<core::StabilityAlert>> AdvanceTo(retail::Day day);
+    /// End-of-stream flush; no-op for a never-fed customer.
+    Result<std::vector<core::StabilityAlert>> Finish();
+
+    /// Stability of the most recently closed window (1.0 before any).
+    double last_stability() const;
+
+    /// Bytes attributable to this customer: per-slot scalar footprint plus
+    /// live block capacities (compact), or sizeof(CustomerState) plus the
+    /// monitor's heap usage (heap). Shared per-shard tables excluded.
+    size_t MemoryUsage() const;
+
+   private:
+    friend class CustomerStateStore;
+    CustomerRef(CustomerStateStore* store, Shard* shard, size_t slot)
+        : store_(store), shard_(shard), slot_(slot) {}
+
+    CustomerStateStore* store_;
+    Shard* shard_;
+    size_t slot_;
+  };
+
   /// Mutable view of one locked shard, handed to WithShard callbacks.
   class ShardAccessor {
    public:
-    /// The customer's state, created on first touch (fresh monitor copied
-    /// from the validated prototype). The reference is stable until the
-    /// next GetOrCreate on this shard (slab may reallocate).
-    CustomerState& GetOrCreate(retail::CustomerId customer);
+    /// The customer's state, created on first touch. Creation is
+    /// exception-safe: storage is appended first and the index entry
+    /// published last, with full rollback if any step throws, so the shard
+    /// can never hold an index entry pointing at a slot that was never
+    /// built. Hits the "serve.state.create" failpoint on the creation
+    /// path (injected faults surface as FailpointException).
+    CustomerRef GetOrCreate(retail::CustomerId customer);
 
-    /// States in creation order.
-    std::vector<CustomerState>& states();
-    const std::vector<CustomerState>& states() const;
+    /// Customers in this shard.
+    size_t size() const;
+    /// The id stored at `slot` (creation order, slot < size()).
+    retail::CustomerId CustomerAt(size_t slot) const;
+    /// Handle to the state at `slot` (creation order, slot < size()).
+    CustomerRef At(size_t slot);
 
    private:
     friend class CustomerStateStore;
@@ -112,18 +212,30 @@ class CustomerStateStore {
   }
 
   /// Serializes shard `shard` (customer count, then per customer: id +
-  /// monitor state) into `writer`. Locks the shard.
+  /// monitor state) into `writer`. Locks the shard. The byte stream is
+  /// identical for both layouts (same kernels run either way).
   void SaveShardState(size_t shard, BinaryWriter* writer) const;
 
   /// Replaces shard `shard` with state written by SaveShardState. The store
   /// must have been Made with the same options as the saver; customers that
-  /// do not hash to `shard` are rejected as corruption. Locks the shard.
+  /// do not hash to `shard` are rejected as corruption. All-or-nothing: the
+  /// frame is parsed into scratch storage and swapped in only when it
+  /// decodes completely, so on any error the shard's prior state is
+  /// untouched. Locks the shard.
   Status LoadShardState(size_t shard, BinaryReader* reader);
+
+  /// Byte accounting for one shard. Locks that shard; O(1) for the compact
+  /// layout, O(customers) for the heap layout.
+  StateMemoryStats ShardMemoryUsage(size_t shard) const;
+
+  /// Sum of ShardMemoryUsage over all shards. Locks each shard in turn.
+  StateMemoryStats MemoryUsage() const;
 
   const StateStoreOptions& options() const { return options_; }
 
  private:
   friend class ShardAccessor;
+  friend class CustomerRef;
 
   CustomerStateStore(StateStoreOptions options,
                      core::StabilityMonitor prototype,
@@ -132,7 +244,7 @@ class CustomerStateStore {
   std::mutex& ShardMutex(size_t shard) const;
 
   StateStoreOptions options_;
-  /// A validated, never-fed monitor; new customers copy it (cheap: all
+  /// A validated, never-fed monitor; kHeap customers copy it (cheap: all
   /// internal vectors are empty until the first observation).
   core::StabilityMonitor prototype_;
   /// unique_ptr so the store stays movable (Shard holds a mutex).

@@ -4,6 +4,7 @@
 
 #include "common/failpoint.h"
 
+#include <climits>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -338,6 +339,46 @@ TEST(RetryWithBackoff, ZeroRetriesRunsOnce) {
   });
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(attempts, 1);
+}
+
+TEST(RetryPolicy, BackoffClampsAtHighAttemptCounts) {
+  // Regression: multiplier^k used to be accumulated by repeated
+  // multiplication into a double that overflowed to inf past ~attempt 60
+  // with large multipliers, and an integer backoff variant wrapped
+  // negative. High retry numbers must pin to the cap, never wrap.
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 1.0;
+  policy.multiplier = 2.0;
+  policy.max_backoff_ms = 50.0;
+  for (const int retry : {63, 64, 100, 1000000, INT_MAX}) {
+    EXPECT_DOUBLE_EQ(policy.BackoffMs(retry), 50.0) << "retry " << retry;
+  }
+}
+
+TEST(RetryPolicy, BackoffHandlesOverflowingMultiplier) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 1.0;
+  policy.multiplier = 1e308;  // multiplier^2 alone is not finite
+  policy.max_backoff_ms = 25.0;
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(1), 1.0);   // multiplier^0, no cap yet
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(3), 25.0);  // inf clamped to the cap
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(INT_MAX), 25.0);
+}
+
+TEST(RetryWithBackoff, MaxIntRetriesDoesNotOverflowAttemptCount) {
+  // Regression: `1 + max_retries` as int overflowed to INT_MIN for
+  // max_retries = INT_MAX and the loop never ran. The attempt budget is
+  // now widened, so the function keeps retrying and returns the first OK.
+  RetryPolicy policy;
+  policy.max_retries = INT_MAX;
+  policy.initial_backoff_ms = 0.0;
+  policy.max_backoff_ms = 0.0;
+  int attempts = 0;
+  const Status status = RetryWithBackoff(policy, [&]() -> Status {
+    return ++attempts < 3 ? Status::Internal("transient") : Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(attempts, 3);
 }
 
 TEST(RetryWithBackoff, CapturesExceptionsAsInternal) {

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "common/binary_io.h"
+#include "common/failpoint.h"
 #include "serve/fleet.h"
 #include "serve/state_store.h"
 
@@ -79,8 +80,9 @@ TEST(CustomerStateStore, GetOrCreateCreatesOncePerCustomer) {
   store.WithShard(shard, [&](CustomerStateStore::ShardAccessor& access) {
     access.GetOrCreate(customer);
     access.GetOrCreate(customer);
-    EXPECT_EQ(access.states().size(), 1u);
-    EXPECT_EQ(access.states()[0].customer, customer);
+    EXPECT_EQ(access.size(), 1u);
+    EXPECT_EQ(access.CustomerAt(0), customer);
+    EXPECT_EQ(access.At(0).customer(), customer);
     return 0;
   });
   EXPECT_EQ(store.NumCustomers(), 1u);
@@ -93,8 +95,8 @@ TEST(CustomerStateStore, ShardStateRoundTrips) {
   for (const CustomerId customer : customers) {
     store.WithShard(store.ShardOf(customer),
                     [&](CustomerStateStore::ShardAccessor& access) {
-                      auto& state = access.GetOrCreate(customer);
-                      return state.monitor.Observe(10, {1, 2}).ok() ? 0 : 1;
+                      auto state = access.GetOrCreate(customer);
+                      return state.Observe(10, {1, 2}).ok() ? 0 : 1;
                     });
   }
 
@@ -135,6 +137,87 @@ TEST(CustomerStateStore, LoadRejectsCustomerFromWrongShard) {
   const Status status = target.LoadShardState(wrong, &reader);
   ASSERT_FALSE(status.ok());
   EXPECT_TRUE(status.IsIOError());
+}
+
+TEST(CustomerStateStore, GetOrCreateSurvivesThrowingCreation) {
+  // Regression: GetOrCreate used to publish the shard-index entry before
+  // the customer's storage slot existed; a throwing creation (monitor copy,
+  // column growth) left a dangling index entry behind. Creation is now
+  // fully rolled back on throw, in both layouts.
+  for (const StateLayout layout :
+       {StateLayout::kCompact, StateLayout::kHeap}) {
+    StateStoreOptions options = SmallStoreOptions();
+    options.layout = layout;
+    auto store = CustomerStateStore::Make(options).ValueOrDie();
+    const CustomerId victim = 7;
+    const size_t shard = store.ShardOf(victim);
+    CustomerId neighbour = victim + 1;
+    while (store.ShardOf(neighbour) != shard) ++neighbour;
+    store.WithShard(shard, [&](CustomerStateStore::ShardAccessor& access) {
+      auto state = access.GetOrCreate(neighbour);
+      return state.Observe(5, {1}).ok() ? 0 : 1;
+    });
+
+    FailpointConfig config;
+    config.action = FailpointAction::kThrow;
+    config.has_key = true;
+    config.key = victim;
+    FailpointRegistry::Global().Get("serve.state.create")->Arm(config);
+    EXPECT_THROW(
+        store.WithShard(shard,
+                        [&](CustomerStateStore::ShardAccessor& access) {
+                          access.GetOrCreate(victim);
+                          return 0;
+                        }),
+        FailpointException);
+    FailpointRegistry::Global().Get("serve.state.create")->Disarm();
+
+    // The failed creation left no trace: the neighbour is intact and the
+    // victim can be created cleanly afterwards.
+    EXPECT_EQ(store.NumCustomers(), 1u) << StateLayoutToString(layout);
+    store.WithShard(shard, [&](CustomerStateStore::ShardAccessor& access) {
+      EXPECT_EQ(access.size(), 1u);
+      EXPECT_EQ(access.CustomerAt(0), neighbour);
+      auto state = access.GetOrCreate(victim);
+      return state.Observe(6, {1, 2}).ok() ? 0 : 1;
+    });
+    EXPECT_EQ(store.NumCustomers(), 2u) << StateLayoutToString(layout);
+  }
+}
+
+TEST(CustomerStateStore, LoadShardStateIsAllOrNothing) {
+  // Regression: a bad record mid-frame used to abort the load loop with the
+  // earlier records already inserted, leaving a partially loaded shard.
+  // Loads now stage into scratch storage and swap only on success.
+  auto store = CustomerStateStore::Make(SmallStoreOptions()).ValueOrDie();
+  const size_t shard = store.ShardOf(1);
+  std::vector<CustomerId> same_shard;
+  for (CustomerId customer = 1; same_shard.size() < 4; ++customer) {
+    if (store.ShardOf(customer) == shard) same_shard.push_back(customer);
+  }
+  for (const CustomerId customer : same_shard) {
+    store.WithShard(shard, [&](CustomerStateStore::ShardAccessor& access) {
+      auto state = access.GetOrCreate(customer);
+      return state.Observe(10, {1, 2}).ok() ? 0 : 1;
+    });
+  }
+  BinaryWriter writer;
+  store.SaveShardState(shard, &writer);
+  const std::string frame = writer.buffer();
+
+  // Seed a target store with the full frame, then feed it a truncated
+  // copy: the leading records parse, the tail does not. The failed load
+  // must leave the previously loaded state untouched.
+  auto target = CustomerStateStore::Make(SmallStoreOptions()).ValueOrDie();
+  BinaryReader good(frame);
+  ASSERT_TRUE(target.LoadShardState(shard, &good).ok());
+  BinaryReader truncated(frame.substr(0, frame.size() - 3));
+  EXPECT_FALSE(target.LoadShardState(shard, &truncated).ok());
+
+  EXPECT_EQ(target.NumCustomers(), same_shard.size());
+  BinaryWriter after;
+  target.SaveShardState(shard, &after);
+  EXPECT_EQ(after.buffer(), frame);
 }
 
 TEST(ScoringFleet, MakeValidatesOptions) {

@@ -325,9 +325,10 @@ Status RunServeReplay(int argc, const char* const* argv) {
   FlagParser parser(
       "churnlab serve-replay: replay a dataset through the scoring fleet "
       "in day-ordered batches");
-  std::string data, snapshot_out, resume, failpoints;
+  std::string data, snapshot_out, resume, failpoints, state_layout;
   double alpha, beta;
   int64_t window, batch_days, from_day, to_day, max_shard_retries;
+  int64_t mem_budget_mb;
   uint64_t threads, shards;
   bool products, finish;
   parser.AddString("data", "", "dataset path (.clb) or CSV prefix", &data);
@@ -368,6 +369,16 @@ Status RunServeReplay(int argc, const char* const* argv) {
                   "retries per failed shard task before the shard is "
                   "poisoned",
                   &max_shard_retries);
+  parser.AddString("state-layout", "compact",
+                   "customer-state storage: compact (SoA + arena) or heap "
+                   "(one monitor object per customer); output is identical "
+                   "either way",
+                   &state_layout);
+  parser.AddInt64("mem-budget-mb", 0,
+                  "soft budget for fleet state bytes: when exceeded, a "
+                  "warning is logged and a memory summary printed (0 = "
+                  "no budget, no memory reporting)",
+                  &mem_budget_mb);
   CHURNLAB_RETURN_NOT_OK(parser.Parse(argc, argv, 2));
   if (batch_days <= 0) {
     return Status::InvalidArgument("--batch-days must be positive");
@@ -377,6 +388,9 @@ Status RunServeReplay(int argc, const char* const* argv) {
   }
   if (max_shard_retries < 0) {
     return Status::InvalidArgument("--max-shard-retries must be >= 0");
+  }
+  if (mem_budget_mb < 0) {
+    return Status::InvalidArgument("--mem-budget-mb must be >= 0");
   }
   if (!failpoints.empty()) {
     CHURNLAB_RETURN_NOT_OK(
@@ -394,12 +408,15 @@ Status RunServeReplay(int argc, const char* const* argv) {
   options.granularity = products ? api::Granularity::kProduct
                                  : api::Granularity::kSegment;
   options.shard_retry.max_retries = static_cast<int>(max_shard_retries);
+  CHURNLAB_ASSIGN_OR_RETURN(options.layout,
+                            api::ParseStateLayout(state_layout));
 
   Result<api::FleetHandle> fleet =
       resume.empty()
           ? api::FleetHandle::Make(options, dataset)
           : api::FleetHandle::Restore(resume, dataset,
-                                      static_cast<size_t>(threads));
+                                      static_cast<size_t>(threads),
+                                      options.layout);
   CHURNLAB_RETURN_NOT_OK(fleet.status());
 
   // Day-ordered replay. AllReceipts is (customer, day)-sorted; the stable
@@ -421,6 +438,9 @@ Status RunServeReplay(int argc, const char* const* argv) {
   // emits kInfo events, so a default (non --verbose) run stays quiet.
   obs::ProgressLogger progress("serve_replay", replay.size());
   Stopwatch replay_timer;
+  const size_t mem_budget_bytes =
+      static_cast<size_t>(mem_budget_mb) * 1024 * 1024;
+  bool mem_budget_warned = false;
   size_t batches = 0, receipts = 0, alerts = 0, rejected = 0, poisoned = 0;
   for (size_t begin = 0; begin < replay.size();) {
     const api::Day batch_end =
@@ -437,6 +457,22 @@ Status RunServeReplay(int argc, const char* const* argv) {
     rejected += report.rejected.size();
     poisoned = std::max(poisoned, report.poisoned.size());
     begin = end;
+
+    // Soft memory budget: a breach warns (once) and keeps serving — the
+    // budget is advisory, not an OOM killer.
+    if (mem_budget_bytes > 0) {
+      const api::StateMemoryStats memory = fleet->Memory();
+      if (memory.total_bytes > mem_budget_bytes && !mem_budget_warned) {
+        mem_budget_warned = true;
+        obs::LogEvent(LogLevel::kWarning, "serve_mem_budget_exceeded",
+                      __FILE__, __LINE__)
+            .Uint("bytes_total", memory.total_bytes)
+            .Uint("budget_bytes", mem_budget_bytes)
+            .Uint("customers", memory.customers)
+            .Str("layout", std::string(
+                     api::StateLayoutToString(options.layout)));
+      }
+    }
 
     const double elapsed = replay_timer.ElapsedSeconds();
     const double rate = elapsed > 0.0 ? static_cast<double>(end) / elapsed
@@ -474,6 +510,23 @@ Status RunServeReplay(int argc, const char* const* argv) {
   if (rejected > 0 || poisoned > 0) {
     std::printf("quarantined %zu receipts; %zu shards poisoned\n", rejected,
                 poisoned);
+  }
+  // Memory summary only when a budget was requested, so default runs keep
+  // their exact historical stdout.
+  if (mem_budget_bytes > 0) {
+    const api::StateMemoryStats memory = fleet->Memory();
+    const double per_customer =
+        memory.customers > 0
+            ? static_cast<double>(memory.total_bytes) /
+                  static_cast<double>(memory.customers)
+            : 0.0;
+    std::printf("state memory: %.1f MiB for %zu customers "
+                "(%.0f B/customer, layout=%s)%s\n",
+                static_cast<double>(memory.total_bytes) / (1024.0 * 1024.0),
+                memory.customers, per_customer,
+                std::string(api::StateLayoutToString(options.layout))
+                    .c_str(),
+                mem_budget_warned ? " [budget exceeded]" : "");
   }
   if (!snapshot_out.empty()) {
     CHURNLAB_RETURN_NOT_OK(fleet->SaveSnapshot(snapshot_out));
