@@ -31,8 +31,9 @@ churnlab::Status Run(const char* csv_path) {
   options.bootstrap_resamples = 300;  // 95% CI on the stability AUROC
 
   Stopwatch stopwatch;
-  CHURNLAB_ASSIGN_OR_RETURN(const eval::Figure1Result result,
-                            eval::ExperimentRunner::RunFigure1(options));
+  CHURNLAB_ASSIGN_OR_RETURN(const eval::ExperimentRunner runner,
+                            eval::ExperimentRunner::Make(options));
+  CHURNLAB_ASSIGN_OR_RETURN(const eval::Figure1Result result, runner.Run());
   const double experiment_seconds = stopwatch.LapSeconds();
 
   std::printf("=== Figure 1: attrition-detection AUROC by month ===\n\n");

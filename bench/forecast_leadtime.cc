@@ -65,8 +65,11 @@ churnlab::Status Run() {
     eval::ForecastOptions options;
     options.decision_month = decision;
     options.horizon_months = 6;
+    const Result<eval::StabilityForecaster> forecaster =
+        eval::StabilityForecaster::Make(options);
     const Result<eval::ForecastResult> result =
-        eval::StabilityForecaster::Run(dataset, options);
+        forecaster.ok() ? forecaster.ValueOrDie().Run(dataset)
+                        : forecaster.status();
     if (!result.ok()) {
       table.AddRow({std::to_string(decision),
                     "n/a (" + result.status().message() + ")"});

@@ -123,7 +123,8 @@ void BM_StabilitySeries(benchmark::State& state) {
   const auto history = windower.Build(
       std::span<const retail::Receipt>(receipts),
       [](retail::ItemId item) { return item; });
-  const core::StabilityComputer computer(core::SignificanceOptions{});
+  const core::StabilityComputer computer =
+      core::StabilityComputer::Make(core::SignificanceOptions{}).ValueOrDie();
   for (auto _ : state) {
     auto series = computer.Compute(history);
     benchmark::DoNotOptimize(series);

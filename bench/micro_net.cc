@@ -1,0 +1,277 @@
+// Microbenchmarks of the HTTP front end: wire parsing (whole and torn),
+// ingest-body JSON decoding, response rendering, coalescer throughput
+// under contention, and the full loopback request round-trip.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "net/backend.h"
+#include "net/coalescer.h"
+#include "net/http.h"
+#include "net/json_codec.h"
+#include "net/server.h"
+#include "serve/fleet.h"
+
+namespace churnlab {
+namespace {
+
+std::string IngestBody(size_t num_receipts) {
+  std::string body = "{\"receipts\":[";
+  for (size_t i = 0; i < num_receipts; ++i) {
+    if (i > 0) body += ',';
+    body += "{\"customer\":" + std::to_string(i % 512) +
+            ",\"day\":" + std::to_string(1 + i / 512) +
+            ",\"spend\":2.5,\"items\":[" + std::to_string(i % 7) + "," +
+            std::to_string(20 + i % 3) + "]}";
+  }
+  body += "]}";
+  return body;
+}
+
+std::string IngestWire(const std::string& body) {
+  return "POST /v1/ingest HTTP/1.1\r\nHost: bench\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+// Whole-buffer parse of a small GET — the keep-alive steady state.
+void BM_HttpParseGet(benchmark::State& state) {
+  const std::string wire = "GET /v1/customers/1234 HTTP/1.1\r\nHost: x\r\n"
+                           "Accept: application/json\r\n\r\n";
+  for (auto _ : state) {
+    net::HttpParser parser((net::HttpParser::Limits()));
+    parser.Feed(wire).Abort("feed");
+    net::HttpRequest request = parser.TakeRequest();
+    benchmark::DoNotOptimize(request.path.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_HttpParseGet);
+
+// POST with a receipt-batch body, fed in `range(0)`-byte slices — the
+// torn-read reassembly path the server runs on every recv.
+void BM_HttpParseTornIngest(benchmark::State& state) {
+  const size_t chunk = static_cast<size_t>(state.range(0));
+  const std::string wire = IngestWire(IngestBody(256));
+  for (auto _ : state) {
+    net::HttpParser parser((net::HttpParser::Limits()));
+    for (size_t at = 0; at < wire.size(); at += chunk) {
+      parser.Feed(std::string_view(wire).substr(at, chunk)).Abort("feed");
+    }
+    net::HttpRequest request = parser.TakeRequest();
+    benchmark::DoNotOptimize(request.body.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_HttpParseTornIngest)->Arg(64)->Arg(1024)->Arg(16384);
+
+// Receipt-batch JSON decoding at three batch sizes.
+void BM_ParseReceiptBatch(benchmark::State& state) {
+  const size_t num_receipts = static_cast<size_t>(state.range(0));
+  const std::string body = IngestBody(num_receipts);
+  for (auto _ : state) {
+    auto parsed = net::ParseReceiptBatch(body, num_receipts);
+    parsed.status().Abort("parse");
+    benchmark::DoNotOptimize(parsed->data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(num_receipts));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(body.size()));
+}
+BENCHMARK(BM_ParseReceiptBatch)->Arg(16)->Arg(256)->Arg(4096);
+
+// Rendering the merged report back to clients.
+void BM_WriteBatchReportJson(benchmark::State& state) {
+  serve::BatchReport report;
+  report.receipts_ingested = 4096;
+  for (int i = 0; i < 8; ++i) {
+    serve::FleetAlert alert;
+    alert.customer = static_cast<retail::CustomerId>(i);
+    alert.batch_index = static_cast<size_t>(i) * 100;
+    report.alerts.push_back(alert);
+  }
+  for (auto _ : state) {
+    const std::string json = net::WriteBatchReportJson(report, 123456);
+    benchmark::DoNotOptimize(json.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WriteBatchReportJson);
+
+// Backend that swallows receipts at zero cost: isolates the coalescer's
+// own overhead (queueing, sequencing, slicing, wakeups).
+class NullBackend final : public net::ScoringBackend {
+ public:
+  Result<serve::BatchReport> Ingest(
+      std::span<const retail::Receipt> receipts) override {
+    serve::BatchReport report;
+    report.receipts_ingested = receipts.size();
+    return report;
+  }
+  Result<serve::CustomerQuery> Customer(retail::CustomerId) override {
+    return serve::CustomerQuery{};
+  }
+  Result<serve::FleetHealth> Health() override {
+    return serve::FleetHealth{};
+  }
+  Result<serve::StateMemoryStats> Memory() override {
+    return serve::StateMemoryStats{};
+  }
+  Result<std::string> Snapshot() override { return std::string(); }
+};
+
+// Coalescer throughput: contended threads each ingesting small requests.
+// Single-threaded measures pure per-request overhead; 8 threads measures
+// merge efficiency under the contention it was built for.
+void BM_CoalescerIngest(benchmark::State& state) {
+  static NullBackend* backend = new NullBackend;
+  static net::IngestCoalescer* coalescer =
+      new net::IngestCoalescer(net::IngestCoalescer::Options(), backend);
+  std::vector<retail::Receipt> receipts(16);
+  for (size_t i = 0; i < receipts.size(); ++i) {
+    receipts[i].customer = static_cast<retail::CustomerId>(
+        state.thread_index() * 1000 + i);
+    receipts[i].day = 1;
+  }
+  for (auto _ : state) {
+    auto outcome = coalescer->Ingest(receipts);
+    outcome.status().Abort("ingest");
+    benchmark::DoNotOptimize(outcome->first_sequence);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(receipts.size()));
+}
+BENCHMARK(BM_CoalescerIngest)->Threads(1)->Threads(8)
+    ->UseRealTime();
+
+// Full loopback round-trip: a real server over a real fleet, one
+// keep-alive connection per bench thread, one ingest request per
+// iteration. This is the end-to-end requests/sec number.
+class LoopbackServer {
+ public:
+  LoopbackServer() {
+    serve::FleetOptions fleet_options;
+    fleet_options.scorer.window_span_days = 60;
+    fleet_options.num_shards = 16;
+    fleet_options.num_threads = 1;
+    fleet_options.granularity = retail::Granularity::kProduct;
+    auto fleet_result = serve::ScoringFleet::Make(fleet_options, nullptr);
+    fleet_result.status().Abort("fleet");
+    fleet_ = std::make_unique<serve::ScoringFleet>(
+        std::move(fleet_result).ValueOrDie());
+    backend_ = std::make_unique<net::FleetBackend>(
+        fleet_.get(), net::FleetBackend::Options());
+    net::ServerOptions options;
+    options.port = 0;
+    options.num_threads = 8;
+    auto server_result = net::HttpServer::Make(options, backend_.get());
+    server_result.status().Abort("server");
+    server_ = std::move(server_result).ValueOrDie();
+    server_->Start().Abort("start");
+  }
+  ~LoopbackServer() { (void)server_->Shutdown(); }
+
+  uint16_t port() const { return server_->port(); }
+
+ private:
+  std::unique_ptr<serve::ScoringFleet> fleet_;
+  std::unique_ptr<net::FleetBackend> backend_;
+  std::unique_ptr<net::HttpServer> server_;
+};
+
+class LoopbackClient {
+ public:
+  explicit LoopbackClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = inet_addr("127.0.0.1");
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      Status::Internal("loopback connect failed").Abort("client");
+    }
+  }
+  ~LoopbackClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// Sends one request and reads one Content-Length-framed response.
+  size_t RoundTrip(const std::string& wire) {
+    std::string_view out = wire;
+    while (!out.empty()) {
+      const ssize_t sent = ::send(fd_, out.data(), out.size(), 0);
+      if (sent <= 0) Status::Internal("send failed").Abort("client");
+      out.remove_prefix(static_cast<size_t>(sent));
+    }
+    size_t header_end;
+    while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+      Recv();
+    }
+    const std::string_view head =
+        std::string_view(buffer_).substr(0, header_end);
+    const size_t cl_at = head.find("Content-Length: ");
+    size_t content_length = 0;
+    if (cl_at != std::string_view::npos) {
+      content_length = static_cast<size_t>(
+          std::strtoull(buffer_.c_str() + cl_at + 16, nullptr, 10));
+    }
+    const size_t total = header_end + 4 + content_length;
+    while (buffer_.size() < total) Recv();
+    buffer_.erase(0, total);
+    return total;
+  }
+
+ private:
+  void Recv() {
+    char chunk[8192];
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got <= 0) Status::Internal("recv failed").Abort("client");
+    buffer_.append(chunk, static_cast<size_t>(got));
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+void BM_LoopbackIngest(benchmark::State& state) {
+  static LoopbackServer* server = new LoopbackServer;
+  const size_t num_receipts = static_cast<size_t>(state.range(0));
+  const std::string wire = IngestWire(IngestBody(num_receipts));
+  LoopbackClient client(server->port());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.RoundTrip(wire));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(num_receipts));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_LoopbackIngest)->Arg(1)->Arg(64)->Arg(1024)
+    ->Threads(1)->Threads(8)->UseRealTime();
+
+void BM_LoopbackHealth(benchmark::State& state) {
+  static LoopbackServer* server = new LoopbackServer;
+  const std::string wire = "GET /v1/health HTTP/1.1\r\nHost: bench\r\n\r\n";
+  LoopbackClient client(server->port());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.RoundTrip(wire));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LoopbackHealth);
+
+}  // namespace
+}  // namespace churnlab

@@ -40,8 +40,10 @@ churnlab::Status Run(const char* csv_path) {
   options.folds = 5;
   options.onset_month = scenario.population.attrition.onset_month;
 
+  CHURNLAB_ASSIGN_OR_RETURN(const eval::StabilityGridSearch search,
+                            eval::StabilityGridSearch::Make(options));
   CHURNLAB_ASSIGN_OR_RETURN(const eval::GridSearchResult result,
-                            eval::StabilityGridSearch::Run(dataset, options));
+                            search.Run(dataset));
   const double search_seconds = stopwatch.LapSeconds();
 
   std::printf("=== Parameter search: 5-fold CV over (window span, alpha) ===\n\n");

@@ -1,0 +1,233 @@
+#!/usr/bin/env bash
+# End-to-end check of the HTTP scoring front end (serve-http):
+#
+#   1. starts serve-http over a freshly simulated dataset
+#   2. exercises every endpoint and asserts the error taxonomy on the wire
+#      (200/400/404/405/409/413 plus the Prometheus exposition)
+#   3. floods the server with concurrent ingest clients and asserts both
+#      overload shedding (429 + Retry-After at a configured admission
+#      bound) and lossless coalesced ingestion at generous bounds
+#   4. drains via SIGTERM and asserts the final snapshot flush
+#   5. builds and runs the net test suites under ThreadSanitizer and
+#      AddressSanitizer+UBSan (skip with CHURNLAB_HTTP_NO_SANITIZERS=1)
+#
+# Usage: scripts/check_http.sh [build_dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+CLI="${BUILD_DIR}/tools/churnlab"
+if [[ ! -x "${CLI}" ]]; then
+  echo "check_http: ${CLI} not found; run:" >&2
+  echo "  cmake -B ${BUILD_DIR} && cmake --build ${BUILD_DIR} --target churnlab_cli" >&2
+  exit 1
+fi
+command -v curl >/dev/null || { echo "check_http: curl not found" >&2; exit 1; }
+
+WORK_DIR=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  [[ -n "${SERVER_PID}" ]] && kill "${SERVER_PID}" 2>/dev/null || true
+  rm -rf "${WORK_DIR}"
+}
+trap cleanup EXIT
+
+DATASET="${WORK_DIR}/http.clb"
+"${CLI}" simulate --out "${DATASET}" --loyal 40 --defecting 40 --seed 9 \
+    > /dev/null
+
+# Starts serve-http with the given extra flags on an ephemeral port; sets
+# SERVER_PID and PORT.
+start_server() {
+  local log="$1"; shift
+  "${CLI}" serve-http --data "${DATASET}" --port 0 "$@" > "${log}" 2>&1 &
+  SERVER_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT=$(sed -n 's#.*serving on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' \
+           "${log}" | head -1)
+    [[ -n "${PORT}" ]] && break
+    kill -0 "${SERVER_PID}" 2>/dev/null || {
+      echo "check_http: server died during startup:" >&2
+      cat "${log}" >&2
+      exit 1
+    }
+    sleep 0.1
+  done
+  [[ -n "${PORT}" ]] || { echo "check_http: no port in ${log}" >&2; exit 1; }
+}
+
+stop_server() {
+  [[ -n "${SERVER_PID}" ]] || return 0
+  kill "${SERVER_PID}" 2>/dev/null || true
+  wait "${SERVER_PID}" 2>/dev/null || true
+  SERVER_PID=""
+}
+
+# http <method> <path> [body]: prints "<status>"; response body lands in
+# ${WORK_DIR}/reply.
+http() {
+  local method="$1" path="$2" body="${3:-}"
+  if [[ -n "${body}" ]]; then
+    curl -s -o "${WORK_DIR}/reply" -w '%{http_code}' -X "${method}" \
+         -d "${body}" "http://127.0.0.1:${PORT}${path}"
+  else
+    curl -s -o "${WORK_DIR}/reply" -w '%{http_code}' -X "${method}" \
+         "http://127.0.0.1:${PORT}${path}"
+  fi
+}
+
+expect_status() {
+  local want="$1" got="$2" what="$3"
+  if [[ "${got}" != "${want}" ]]; then
+    echo "check_http: ${what}: want HTTP ${want}, got ${got}" >&2
+    cat "${WORK_DIR}/reply" >&2 || true
+    exit 1
+  fi
+}
+
+expect_reply_contains() {
+  local needle="$1" what="$2"
+  grep -q -- "${needle}" "${WORK_DIR}/reply" || {
+    echo "check_http: ${what}: reply lacks '${needle}'" >&2
+    cat "${WORK_DIR}/reply" >&2
+    exit 1
+  }
+}
+
+echo "== endpoint matrix =="
+SNAPSHOT="${WORK_DIR}/fleet.snap"
+start_server "${WORK_DIR}/server.log" --snapshot-out "${SNAPSHOT}"
+
+expect_status 200 "$(http GET /v1/health)" "GET /v1/health"
+expect_reply_contains '"receipts_total"' "health body"
+
+BATCH='{"receipts":[{"customer":1,"day":3,"spend":4.5,"items":[7,9]},{"customer":2,"day":3}]}'
+expect_status 200 "$(http POST /v1/ingest "${BATCH}")" "POST /v1/ingest"
+expect_reply_contains '"receipts_ingested":2' "ingest report"
+expect_reply_contains '"sequence":' "ingest sequence"
+
+expect_status 200 "$(http GET /v1/customers/1)" "GET /v1/customers/1"
+expect_reply_contains '"stability"' "customer body"
+expect_status 404 "$(http GET /v1/customers/999999)" "unknown customer"
+expect_status 400 "$(http GET /v1/customers/abc)" "malformed customer id"
+expect_status 404 "$(http GET /nope)" "unknown path"
+expect_status 405 "$(http DELETE /v1/health)" "wrong method"
+expect_status 400 "$(http POST /v1/ingest '{"receipts":[{"x":1}]}')" \
+    "malformed ingest"
+expect_reply_contains 'receipt 0' "parse reason in 400 body"
+
+expect_status 200 "$(http GET /metrics)" "GET /metrics"
+expect_reply_contains 'churnlab_net_requests_total' "net counters exported"
+expect_reply_contains '# TYPE churnlab_net_requests_total counter' \
+    "exposition TYPE header"
+
+expect_status 200 "$(http POST /v1/snapshot)" "POST /v1/snapshot"
+[[ -s "${SNAPSHOT}" ]] || { echo "check_http: snapshot not written" >&2; exit 1; }
+
+echo "== graceful drain (SIGTERM) =="
+rm -f "${SNAPSHOT}"
+kill -TERM "${SERVER_PID}"
+wait "${SERVER_PID}" || { echo "check_http: drain exit != 0" >&2; exit 1; }
+SERVER_PID=""
+grep -q "drained:" "${WORK_DIR}/server.log" || {
+  echo "check_http: drain summary missing:" >&2
+  cat "${WORK_DIR}/server.log" >&2
+  exit 1
+}
+[[ -s "${SNAPSHOT}" ]] || {
+  echo "check_http: drain did not flush a snapshot" >&2
+  exit 1
+}
+
+echo "== overload shedding at a configured bound =="
+# max-pending-mb 0 admits no ingest bytes at all: every ingest must shed
+# with 429 + Retry-After while read-only endpoints keep serving.
+start_server "${WORK_DIR}/shed.log" --max-pending-mb 0 --retry-after 7
+SHED_CLIENTS=8
+SHED_REQUESTS=5
+shed_pids=()
+for c in $(seq 1 "${SHED_CLIENTS}"); do
+  (
+    for _ in $(seq 1 "${SHED_REQUESTS}"); do
+      curl -s -o /dev/null -w '%{http_code}:%{header_json}\n' \
+           -X POST -d "${BATCH}" "http://127.0.0.1:${PORT}/v1/ingest"
+    done
+  ) > "${WORK_DIR}/shed_codes.${c}" &
+  shed_pids+=($!)
+done
+for pid in "${shed_pids[@]}"; do wait "${pid}"; done
+cat "${WORK_DIR}"/shed_codes.* > "${WORK_DIR}/shed_codes"
+sheds=$(grep -c '^429:' "${WORK_DIR}/shed_codes" || true)
+total=$((SHED_CLIENTS * SHED_REQUESTS))
+if [[ "${sheds}" -ne "${total}" ]]; then
+  echo "check_http: want ${total} sheds at zero admission, got ${sheds}" >&2
+  exit 1
+fi
+grep -q '"retry-after"' "${WORK_DIR}/shed_codes" || {
+  echo "check_http: 429 responses lack Retry-After" >&2
+  exit 1
+}
+expect_status 200 "$(http GET /v1/health)" "health while shedding"
+expect_reply_contains '"receipts_total":0' "sheds never reached the fleet"
+stop_server
+echo "   ${sheds}/${total} floods shed with 429"
+
+echo "== concurrent ingest flood (coalesced, lossless) =="
+start_server "${WORK_DIR}/flood.log" --coalesce-batch 1024
+FLOOD_CLIENTS=8
+FLOOD_REQUESTS=25
+FLOOD_RECEIPTS=250   # 8 * 25 * 250 = 50,000 receipts
+flood_pids=()
+for c in $(seq 1 "${FLOOD_CLIENTS}"); do
+  (
+    for r in $(seq 1 "${FLOOD_REQUESTS}"); do
+      body='{"receipts":['
+      for i in $(seq 1 "${FLOOD_RECEIPTS}"); do
+        [[ "${i}" -gt 1 ]] && body+=','
+        body+="{\"customer\":$((c * 100000 + i % 50)),\"day\":$((r * 3))}"
+      done
+      body+=']}'
+      code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d "${body}" \
+             "http://127.0.0.1:${PORT}/v1/ingest")
+      [[ "${code}" == "200" ]] || {
+        echo "check_http: flood request got HTTP ${code}" >&2
+        exit 1
+      }
+    done
+  ) &
+  flood_pids+=($!)
+done
+for pid in "${flood_pids[@]}"; do
+  wait "${pid}" || { echo "check_http: flood client failed" >&2; exit 1; }
+done
+expect_status 200 "$(http GET /v1/health)" "health after flood"
+want_receipts=$((FLOOD_CLIENTS * FLOOD_REQUESTS * FLOOD_RECEIPTS))
+expect_reply_contains "\"receipts_total\":${want_receipts}" \
+    "flood ingested losslessly"
+expect_status 200 "$(http GET /metrics)" "metrics after flood"
+expect_reply_contains 'churnlab_net_coalesced_batches_total' \
+    "coalescer counters exported"
+stop_server
+echo "   ${want_receipts} receipts ingested across ${FLOOD_CLIENTS} clients"
+
+if [[ "${CHURNLAB_HTTP_NO_SANITIZERS:-0}" != "1" ]]; then
+  echo "== net suites under sanitizers =="
+  NET_TARGETS=(http_parser_test net_json_test net_admission_test
+               net_coalescer_test net_server_test)
+  NET_FILTER='Http|ParseReceiptBatch|AdmissionGate|Router|IngestCoalescer|WriteBatchReportJson|WriteCustomerJson|WriteHealthJson|WriteErrorJson|WriteSnapshotJson'
+  JOBS=$(nproc 2>/dev/null || echo 2)
+  for sanitizer in thread address; do
+    build_dir="build-${sanitizer}san"
+    echo "-- ${sanitizer} sanitizer (${build_dir}) --"
+    cmake -B "${build_dir}" -S . \
+      -DCHURNLAB_SANITIZE="${sanitizer}" \
+      -DCHURNLAB_BUILD_BENCHMARKS=OFF \
+      -DCHURNLAB_BUILD_EXAMPLES=OFF \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "${build_dir}" -j "${JOBS}" --target "${NET_TARGETS[@]}"
+    (cd "${build_dir}" && ctest --output-on-failure -R "${NET_FILTER}")
+  done
+fi
+
+echo "check_http: OK"

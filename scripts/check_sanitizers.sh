@@ -24,9 +24,11 @@ TARGETS=(thread_pool_test significance_test significance_equivalence_test
          grid_search_test bootstrap_test parallel_determinism_test
          serve_test serve_determinism_test serve_memory_test arena_test
          facade_test failpoint_test serve_fault_test snapshot_fuzz_test
-         telemetry_concurrency_test flight_recorder_test)
+         telemetry_concurrency_test flight_recorder_test
+         http_parser_test net_json_test net_admission_test
+         net_coalescer_test net_server_test)
 # gtest registers tests by suite name, so filter on those.
-TEST_FILTER='ThreadPool|ParallelFor|Significance|Stability|OnlineScorer|GridSearch|Bootstrap|ParallelDeterminism|CustomerStateStore|ScoringFleet|FleetSnapshot|ServeDeterminism|ServeMemory|BlockArena|Facade|Failpoint|RetryPolicy|RetryWithBackoff|ServeFault|SnapshotFuzz|TelemetryConcurrency|FlightRecorder'
+TEST_FILTER='ThreadPool|ParallelFor|Significance|Stability|OnlineScorer|GridSearch|Bootstrap|ParallelDeterminism|CustomerStateStore|ScoringFleet|FleetSnapshot|ServeDeterminism|ServeMemory|BlockArena|Facade|Failpoint|RetryPolicy|RetryWithBackoff|ServeFault|SnapshotFuzz|TelemetryConcurrency|FlightRecorder|Http|ParseReceiptBatch|AdmissionGate|Router|IngestCoalescer|WriteBatchReportJson|WriteCustomerJson|WriteHealthJson|WriteErrorJson|WriteSnapshotJson'
 
 for sanitizer in "${SANITIZERS[@]}"; do
   build_dir="build-${sanitizer}san"

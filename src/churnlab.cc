@@ -88,12 +88,38 @@ Result<FleetHandle> FleetHandle::Restore(const std::string& path,
                                          const Dataset& dataset,
                                          size_t num_threads,
                                          StateLayout layout) {
+  return OpenSnapshot(path, dataset, num_threads, layout);
+}
+
+Result<FleetHandle> OpenSnapshot(const std::string& path,
+                                 const Dataset& dataset, size_t num_threads,
+                                 StateLayout layout) {
   CHURNLAB_ASSIGN_OR_RETURN(
       serve::ScoringFleet fleet,
       serve::ScoringFleet::RestoreFromFile(path, &dataset.taxonomy(),
                                            num_threads, layout));
   return FleetHandle(std::move(fleet));
 }
+
+// ---------------------------------------------------------------------------
+// ServerHandle
+// ---------------------------------------------------------------------------
+
+Result<ServerHandle> ServerHandle::Make(Options options, FleetHandle fleet) {
+  auto owned_fleet = std::make_unique<FleetHandle>(std::move(fleet));
+  net::FleetBackend::Options backend_options;
+  backend_options.snapshot_path = std::move(options.snapshot_path);
+  backend_options.snapshot_append = options.snapshot_append;
+  auto backend = std::make_unique<net::FleetBackend>(
+      &owned_fleet->fleet_, std::move(backend_options));
+  CHURNLAB_ASSIGN_OR_RETURN(
+      std::unique_ptr<net::HttpServer> server,
+      net::HttpServer::Make(std::move(options.http), backend.get()));
+  return ServerHandle(std::move(owned_fleet), std::move(backend),
+                      std::move(server));
+}
+
+Status ServerHandle::Start() { return server_->Start(); }
 
 // ---------------------------------------------------------------------------
 // EvalRunner

@@ -21,6 +21,7 @@
 /// here under churnlab::api so facade users need no subsystem includes.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 
@@ -35,6 +36,9 @@
 #include "eval/metrics.h"
 #include "eval/report.h"
 #include "eval/threshold.h"
+#include "net/backend.h"
+#include "net/server.h"
+#include "net/status_http.h"
 #include "retail/dataset.h"
 #include "serve/fleet.h"
 
@@ -123,6 +127,7 @@ class ScorerHandle {
 // ---------------------------------------------------------------------------
 
 using serve::BatchReport;
+using serve::CustomerQuery;
 using serve::FleetAlert;
 using serve::FleetHealth;
 using serve::FleetOptions;
@@ -185,6 +190,12 @@ class FleetHandle {
   /// operations, like Health().
   StateMemoryStats Memory() const { return fleet_.MemoryUsage(); }
 
+  /// One customer's latest stability plus state-memory bytes; NotFound for
+  /// a customer the fleet has never seen. Locks only the customer's shard.
+  Result<CustomerQuery> QueryCustomer(CustomerId customer) {
+    return fleet_.QueryCustomer(customer);
+  }
+
   /// Writes a versioned, CRC-framed snapshot of the full fleet state
   /// (truncating `path`).
   Status SaveSnapshot(const std::string& path) const;
@@ -203,10 +214,102 @@ class FleetHandle {
       size_t num_threads = 0, StateLayout layout = StateLayout::kCompact);
 
  private:
+  friend class ServerHandle;
+  friend Result<FleetHandle> OpenSnapshot(const std::string& path,
+                                          const Dataset& dataset,
+                                          size_t num_threads,
+                                          StateLayout layout);
+
   explicit FleetHandle(serve::ScoringFleet fleet)
       : fleet_(std::move(fleet)) {}
 
   serve::ScoringFleet fleet_;
+};
+
+/// The canonical snapshot-open path, shared by `serve-replay --resume`, the
+/// HTTP server, and FleetHandle::Restore: understands both bare "CHLFLEET"
+/// snapshots and append-mode "CHLFGENS" generation files, falls back to the
+/// newest valid generation on a torn or corrupted tail, and reports that
+/// fallback uniformly (the `snapshot_generation_fallback` structured event
+/// plus the `churnlab.serve.snapshot_fallbacks` counter).
+Result<FleetHandle> OpenSnapshot(
+    const std::string& path, const Dataset& dataset, size_t num_threads = 0,
+    StateLayout layout = StateLayout::kCompact);
+
+// ---------------------------------------------------------------------------
+// Network serving
+// ---------------------------------------------------------------------------
+
+using net::AdmissionGate;
+using net::HttpParser;
+using net::IngestCoalescer;
+using net::ServerOptions;
+using net::StatusToHttp;
+
+/// \brief The HTTP/1.1 scoring front end over a FleetHandle
+/// (docs/API.md "HTTP API").
+///
+/// Endpoints: POST /v1/ingest (coalesced, admission-controlled), GET
+/// /v1/customers/{id}, GET /v1/health, GET /metrics (Prometheus), POST
+/// /v1/snapshot. The handle owns the fleet; stopping the server (drain)
+/// flushes a final snapshot to `snapshot_path` when one is configured.
+///
+/// \code
+///   auto server = churnlab::api::ServerHandle::Make(
+///       {.http = {.port = 8080}, .snapshot_path = "fleet.snap"},
+///       std::move(fleet)).ValueOrDie();
+///   server.Start().Abort("serve-http");
+///   server.InstallSignalHandler().Abort("serve-http");
+///   server.Wait().Abort("serve-http");  // returns after SIGTERM drain
+/// \endcode
+class ServerHandle {
+ public:
+  struct Options {
+    net::ServerOptions http;
+    /// Drain-time / POST /v1/snapshot destination; empty disables both.
+    std::string snapshot_path;
+    /// Append generations (crash-tolerant) versus truncate-and-write.
+    bool snapshot_append = true;
+  };
+
+  static Result<ServerHandle> Make(Options options, FleetHandle fleet);
+
+  /// Binds, listens, and starts serving (returns immediately).
+  Status Start();
+
+  /// The bound port (useful with an ephemeral `http.port = 0`).
+  uint16_t port() const { return server_->port(); }
+
+  /// Routes SIGTERM/SIGINT to a graceful drain (one server per process).
+  Status InstallSignalHandler() { return server_->InstallSignalHandler(); }
+
+  /// Begins a graceful drain: acceptor stops, in-flight requests finish,
+  /// a final snapshot is flushed. Thread-safe.
+  void RequestDrain() { server_->RequestDrain(); }
+
+  /// Blocks until the drain completed; returns the final flush's status.
+  Status Wait() { return server_->Wait(); }
+
+  /// RequestDrain + Wait.
+  Status Shutdown() { return server_->Shutdown(); }
+
+  /// The served fleet. Safe to inspect after Wait()/Shutdown(); while the
+  /// server is running, use the HTTP endpoints instead.
+  FleetHandle& fleet() { return *fleet_; }
+
+ private:
+  ServerHandle(std::unique_ptr<FleetHandle> fleet,
+               std::unique_ptr<net::FleetBackend> backend,
+               std::unique_ptr<net::HttpServer> server)
+      : fleet_(std::move(fleet)),
+        backend_(std::move(backend)),
+        server_(std::move(server)) {}
+
+  // Held as pointers so the handle stays movable while the server keeps
+  // stable addresses for the backend and fleet.
+  std::unique_ptr<FleetHandle> fleet_;
+  std::unique_ptr<net::FleetBackend> backend_;
+  std::unique_ptr<net::HttpServer> server_;
 };
 
 // ---------------------------------------------------------------------------

@@ -25,6 +25,9 @@ enum class StatusCode : char {
   /// The operation requires state the object is not in (e.g. finishing a
   /// stream that never saw an observation).
   kFailedPrecondition = 9,
+  /// A bounded resource (admission quota, queue capacity) is exhausted;
+  /// the caller should back off and retry (HTTP 429, see docs/API.md).
+  kResourceExhausted = 10,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -91,6 +94,9 @@ class Status {
   static Status FailedPrecondition(std::string message) {
     return Status(StatusCode::kFailedPrecondition, std::move(message));
   }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
 
   /// True iff the status is success.
   bool ok() const { return state_ == nullptr; }
@@ -120,6 +126,9 @@ class Status {
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
   bool IsFailedPrecondition() const {
     return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
   }
 
   /// "OK" or "<code name>: <message>".

@@ -1,23 +1,23 @@
 #include "core/explanation.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace churnlab {
 namespace core {
 
-ExplanationEngine::ExplanationEngine(SignificanceOptions significance_options,
+ExplanationEngine::ExplanationEngine(StabilityComputer computer,
                                      ExplanationOptions options)
-    : significance_options_(significance_options), options_(options) {}
+    : computer_(std::move(computer)), options_(options) {}
 
 std::vector<WindowExplanation> ExplanationEngine::Explain(
     const WindowedHistory& history) const {
   std::vector<WindowExplanation> explanations;
   explanations.reserve(history.windows.size());
 
-  StabilityComputer computer(significance_options_);
   const Window* previous_window = nullptr;
 
-  const StabilitySeries series = computer.ComputeWithCallback(
+  const StabilitySeries series = computer_.ComputeWithCallback(
       history,
       [&](int32_t k, const SignificanceTracker& tracker, const Window& window) {
         WindowExplanation explanation;

@@ -58,7 +58,10 @@ struct ExplanationOptions {
 /// the drop contributed by a missing symbol equals its significance share.
 class ExplanationEngine {
  public:
-  explicit ExplanationEngine(SignificanceOptions significance_options,
+  /// Takes an already-validated StabilityComputer (from
+  /// StabilityComputer::Make), so there is no unchecked-options path into
+  /// the engine.
+  explicit ExplanationEngine(StabilityComputer computer,
                              ExplanationOptions options = {});
 
   /// Computes the stability series and an explanation per window.
@@ -67,7 +70,7 @@ class ExplanationEngine {
   const ExplanationOptions& options() const { return options_; }
 
  private:
-  SignificanceOptions significance_options_;
+  StabilityComputer computer_;
   ExplanationOptions options_;
 };
 

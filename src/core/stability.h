@@ -45,15 +45,11 @@ struct StabilitySeries {
 class StabilityComputer {
  public:
   /// Validates the significance options (alpha > 0, clamp >= 0, lambda in
-  /// (0, 1) for kEwma). Preferred constructor, per the library-wide
-  /// `static Result<T> Make(Options)` convention (docs/API.md).
+  /// (0, 1) for kEwma). The only way to construct one, per the library-wide
+  /// `static Result<T> Make(Options)` convention (docs/API.md): invalid
+  /// options surface as a Status instead of propagating into NaN
+  /// stabilities.
   static Result<StabilityComputer> Make(SignificanceOptions options);
-
-  /// Deprecated: construct via Make() so invalid options surface as a
-  /// Status instead of propagating into NaN stabilities. Kept public for
-  /// internal callers that have already validated options.
-  explicit StabilityComputer(SignificanceOptions options)
-      : options_(options) {}
 
   /// Computes the stability series of `history`. The companion overload
   /// also exposes the tracker state at each window for explanation.
@@ -69,6 +65,9 @@ class StabilityComputer {
   const SignificanceOptions& options() const { return options_; }
 
  private:
+  explicit StabilityComputer(SignificanceOptions options)
+      : options_(options) {}
+
   SignificanceOptions options_;
 };
 

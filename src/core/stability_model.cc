@@ -39,12 +39,12 @@ Result<StabilityModel> StabilityModel::Make(StabilityModelOptions options) {
   if (options.window_span_months <= 0) {
     return Status::InvalidArgument("window_span_months must be positive");
   }
-  // Surface bad significance options eagerly.
-  CHURNLAB_ASSIGN_OR_RETURN(const SignificanceTracker tracker,
-                            SignificanceTracker::Make(options.significance));
-  (void)tracker;
+  // Surface bad significance options eagerly; the computer built here is
+  // reused by every scoring call.
+  CHURNLAB_ASSIGN_OR_RETURN(StabilityComputer computer,
+                            StabilityComputer::Make(options.significance));
   if (options.num_threads == 0) options.num_threads = 1;
-  return StabilityModel(options);
+  return StabilityModel(options, std::move(computer));
 }
 
 Result<Windower> StabilityModel::MakeWindower(
@@ -93,7 +93,7 @@ Result<ScoreMatrix> StabilityModel::ScoreDataset(
           "churnlab.core.score_customer_us",
           obs::HistogramOptions::ExponentialLatency());
 
-  const StabilityComputer computer(options_.significance);
+  const StabilityComputer& computer = computer_;
   const auto score_one = [&](size_t row) {
     CHURNLAB_SPAN("core.score_customer");
     obs::ScopedLatency latency(score_customer_us);
@@ -132,7 +132,7 @@ Result<StabilitySeries> StabilityModel::ScoreCustomer(
   }
   const auto history = windower.Build(
       receipts, [&](retail::ItemId item) { return mapper.Map(item); });
-  return StabilityComputer(options_.significance).Compute(history);
+  return computer_.Compute(history);
 }
 
 Result<CustomerReport> StabilityModel::AnalyzeCustomer(
@@ -149,7 +149,7 @@ Result<CustomerReport> StabilityModel::AnalyzeCustomer(
   const auto history = windower.Build(
       receipts, [&](retail::ItemId item) { return mapper.Map(item); });
 
-  const ExplanationEngine engine(options_.significance, options_.explanation);
+  const ExplanationEngine engine(computer_, options_.explanation);
   const std::vector<WindowExplanation> explanations = engine.Explain(history);
 
   CustomerReport report;

@@ -3,6 +3,7 @@
 
 #include <string>
 #include <vector>
+#include <utility>
 
 #include "common/result.h"
 #include "core/explanation.h"
@@ -131,12 +132,14 @@ class StabilityModel {
   const StabilityModelOptions& options() const { return options_; }
 
  private:
-  explicit StabilityModel(StabilityModelOptions options)
-      : options_(options) {}
+  StabilityModel(StabilityModelOptions options, StabilityComputer computer)
+      : options_(options), computer_(std::move(computer)) {}
 
   Result<Windower> MakeWindower(const retail::Dataset& dataset) const;
 
   StabilityModelOptions options_;
+  /// Built once at Make time from the validated significance options.
+  StabilityComputer computer_;
 };
 
 }  // namespace core

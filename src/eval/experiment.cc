@@ -80,22 +80,17 @@ Result<std::vector<WindowAuroc>> AurocPerWindow(
   return series;
 }
 
-Result<Figure1Result> ExperimentRunner::RunFigure1(
-    const Figure1Options& options) {
+Result<Figure1Result> ExperimentRunner::Run() const {
   CHURNLAB_ASSIGN_OR_RETURN(const retail::Dataset dataset,
-                            datagen::MakePaperDataset(options.scenario));
-  return RunFigure1OnDataset(dataset, options);
+                            datagen::MakePaperDataset(options_.scenario));
+  return RunOnDataset(dataset);
 }
 
-Result<Figure1Result> ExperimentRunner::RunFigure1OnDataset(
-    const retail::Dataset& dataset, const Figure1Options& options) {
+Result<Figure1Result> ExperimentRunner::RunOnDataset(
+    const retail::Dataset& dataset) const {
   CHURNLAB_SPAN("eval.figure1");
-  if (options.stability.window_span_months !=
-      options.rfm.features.window_span_months) {
-    return Status::InvalidArgument(
-        "stability and RFM models must share one window span so their "
-        "AUROC series are comparable");
-  }
+  // The matching-window-span invariant was established by Make.
+  const Figure1Options& options = options_;
 
   // Four coarse phases: score stability, AUROC it, score RFM, AUROC it.
   obs::ProgressLogger progress("evaluate", 4);
@@ -199,15 +194,6 @@ Result<ExperimentRunner> ExperimentRunner::Make(Figure1Options options) {
       core::StabilityModel::Make(options.stability).status());
   CHURNLAB_RETURN_NOT_OK(rfm::RfmModel::Make(options.rfm).status());
   return ExperimentRunner(std::move(options));
-}
-
-Result<Figure1Result> ExperimentRunner::Run() const {
-  return RunFigure1(options_);
-}
-
-Result<Figure1Result> ExperimentRunner::RunOnDataset(
-    const retail::Dataset& dataset) const {
-  return RunFigure1OnDataset(dataset, options_);
 }
 
 }  // namespace eval

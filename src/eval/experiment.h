@@ -93,13 +93,6 @@ class ExperimentRunner {
 
   const Figure1Options& options() const { return options_; }
 
-  /// Deprecated: one-shot forms predating the Make convention; they
-  /// revalidate the options on every call. Prefer Make(options) then
-  /// Run() / RunOnDataset(dataset).
-  static Result<Figure1Result> RunFigure1(const Figure1Options& options);
-  static Result<Figure1Result> RunFigure1OnDataset(
-      const retail::Dataset& dataset, const Figure1Options& options);
-
  private:
   explicit ExperimentRunner(Figure1Options options)
       : options_(std::move(options)) {}

@@ -16,7 +16,7 @@ namespace churnlab {
 namespace eval {
 
 Result<ForecastResult> StabilityForecaster::Run(
-    const retail::Dataset& dataset, const ForecastOptions& options) {
+    const retail::Dataset& dataset) const {
   CHURNLAB_SPAN("eval.forecast");
   static obs::Counter* const forecast_runs =
       obs::MetricsRegistry::Global().GetCounter("churnlab.eval.forecast_runs");
@@ -25,16 +25,9 @@ Result<ForecastResult> StabilityForecaster::Run(
           "churnlab.eval.fold_ms",
           obs::HistogramOptions::ExponentialLatency());
   forecast_runs->Increment();
-  if (options.decision_month <= 0 || options.horizon_months <= 0) {
-    return Status::InvalidArgument(
-        "decision_month and horizon_months must be positive");
-  }
-  if (options.feature_windows < 1) {
-    return Status::InvalidArgument("feature_windows must be >= 1");
-  }
-  if (options.cv_folds < 2) {
-    return Status::InvalidArgument("cv_folds must be >= 2");
-  }
+  // Option invariants (positive months, feature_windows >= 1, cv_folds >= 2)
+  // were established by Make; only dataset-dependent checks remain here.
+  const ForecastOptions& options = options_;
 
   CHURNLAB_ASSIGN_OR_RETURN(const core::StabilityModel model,
                             core::StabilityModel::Make(options.stability));
@@ -202,11 +195,6 @@ Result<StabilityForecaster> StabilityForecaster::Make(
   CHURNLAB_RETURN_NOT_OK(
       core::StabilityModel::Make(options.stability).status());
   return StabilityForecaster(std::move(options));
-}
-
-Result<ForecastResult> StabilityForecaster::Run(
-    const retail::Dataset& dataset) const {
-  return Run(dataset, options_);
 }
 
 }  // namespace eval

@@ -78,11 +78,6 @@ class StabilityForecaster {
 
   const ForecastOptions& options() const { return options_; }
 
-  /// Deprecated: one-shot form predating the Make convention; revalidates
-  /// the options on every call. Prefer Make(options) then Run(dataset).
-  static Result<ForecastResult> Run(const retail::Dataset& dataset,
-                                    const ForecastOptions& options);
-
  private:
   explicit StabilityForecaster(ForecastOptions options)
       : options_(std::move(options)) {}

@@ -100,7 +100,7 @@ Result<GridSearchCell> EvaluateCell(
 }  // namespace
 
 Result<GridSearchResult> StabilityGridSearch::Run(
-    const retail::Dataset& dataset, const GridSearchOptions& options) {
+    const retail::Dataset& dataset) const {
   CHURNLAB_SPAN("eval.grid_search");
   static obs::Counter* const cells_evaluated =
       obs::MetricsRegistry::Global().GetCounter(
@@ -111,12 +111,9 @@ Result<GridSearchResult> StabilityGridSearch::Run(
           obs::HistogramOptions::ExponentialLatency());
   static obs::Gauge* const eval_threads =
       obs::MetricsRegistry::Global().GetGauge("churnlab.eval.threads");
-  if (options.window_spans_months.empty() || options.alphas.empty()) {
-    return Status::InvalidArgument("empty parameter grid");
-  }
-  if (options.folds < 2) {
-    return Status::InvalidArgument("folds must be >= 2");
-  }
+  // Grid shape and fold count were validated by Make; only dataset-dependent
+  // checks remain here.
+  const GridSearchOptions& options = options_;
   const size_t num_threads = options.num_threads == 0 ? 1
                                                       : options.num_threads;
   eval_threads->Set(static_cast<double>(num_threads));
@@ -207,11 +204,6 @@ Result<StabilityGridSearch> StabilityGridSearch::Make(
     return Status::InvalidArgument("folds must be >= 2");
   }
   return StabilityGridSearch(std::move(options));
-}
-
-Result<GridSearchResult> StabilityGridSearch::Run(
-    const retail::Dataset& dataset) const {
-  return Run(dataset, options_);
 }
 
 }  // namespace eval

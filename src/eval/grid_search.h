@@ -63,11 +63,6 @@ class StabilityGridSearch {
 
   const GridSearchOptions& options() const { return options_; }
 
-  /// Deprecated: one-shot form predating the Make convention; revalidates
-  /// the options on every call. Prefer Make(options) then Run(dataset).
-  static Result<GridSearchResult> Run(const retail::Dataset& dataset,
-                                      const GridSearchOptions& options);
-
  private:
   explicit StabilityGridSearch(GridSearchOptions options)
       : options_(std::move(options)) {}

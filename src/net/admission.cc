@@ -1,0 +1,52 @@
+#include "net/admission.h"
+
+#include "common/failpoint.h"
+
+namespace churnlab {
+namespace net {
+
+void AdmissionGate::Ticket::Release() {
+  if (gate_ != nullptr) {
+    gate_->Release(bytes_);
+    gate_ = nullptr;
+  }
+}
+
+Result<AdmissionGate::Ticket> AdmissionGate::Admit(size_t body_bytes) {
+  CHURNLAB_FAILPOINT("net.overload");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (inflight_ >= options_.max_inflight_requests) {
+    return Status::ResourceExhausted(
+        "admission bound reached: " + std::to_string(inflight_) +
+        " requests in flight");
+  }
+  if (pending_bytes_ + body_bytes > options_.max_pending_bytes) {
+    return Status::ResourceExhausted(
+        "admission bound reached: " +
+        std::to_string(pending_bytes_ + body_bytes) +
+        " pending body bytes exceed " +
+        std::to_string(options_.max_pending_bytes));
+  }
+  ++inflight_;
+  pending_bytes_ += body_bytes;
+  return Ticket(this, body_bytes);
+}
+
+void AdmissionGate::Release(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  --inflight_;
+  pending_bytes_ -= bytes;
+}
+
+size_t AdmissionGate::inflight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inflight_;
+}
+
+size_t AdmissionGate::pending_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_bytes_;
+}
+
+}  // namespace net
+}  // namespace churnlab

@@ -1,0 +1,89 @@
+#ifndef CHURNLAB_NET_ADMISSION_H_
+#define CHURNLAB_NET_ADMISSION_H_
+
+#include <cstddef>
+#include <mutex>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace churnlab {
+namespace net {
+
+/// \brief Bounded admission control for request bodies.
+///
+/// Every request acquires a Ticket before its body is processed; the gate
+/// enforces two global bounds — concurrently admitted requests and the sum
+/// of their body bytes — so a flood degrades into fast 429 responses
+/// instead of unbounded queueing (the "never OOM" contract of docs/API.md
+/// "Overload"). Release is RAII: dropping the Ticket returns its capacity.
+///
+/// Overload returns ResourceExhausted, which StatusToHttp maps to 429; the
+/// server attaches `Retry-After: retry_after_seconds`. The gate also hits
+/// the `net.overload` failpoint on every admission attempt, so tests can
+/// force shedding without building real pressure.
+class AdmissionGate {
+ public:
+  struct Options {
+    /// Concurrently admitted requests (ingest requests in flight).
+    size_t max_inflight_requests = 64;
+    /// Sum of admitted request-body bytes.
+    size_t max_pending_bytes = 32u << 20;
+    /// Advisory client backoff attached to 429/503 responses.
+    int retry_after_seconds = 1;
+  };
+
+  explicit AdmissionGate(Options options) : options_(options) {}
+
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept
+        : gate_(other.gate_), bytes_(other.bytes_) {
+      other.gate_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        gate_ = other.gate_;
+        bytes_ = other.bytes_;
+        other.gate_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    bool admitted() const { return gate_ != nullptr; }
+
+   private:
+    friend class AdmissionGate;
+    Ticket(AdmissionGate* gate, size_t bytes) : gate_(gate), bytes_(bytes) {}
+    void Release();
+
+    AdmissionGate* gate_ = nullptr;
+    size_t bytes_ = 0;
+  };
+
+  /// Admits a request carrying `body_bytes`, or ResourceExhausted when
+  /// either bound would be exceeded. Thread-safe.
+  Result<Ticket> Admit(size_t body_bytes);
+
+  size_t inflight() const;
+  size_t pending_bytes() const;
+  const Options& options() const { return options_; }
+
+ private:
+  void Release(size_t bytes);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  size_t inflight_ = 0;
+  size_t pending_bytes_ = 0;
+};
+
+}  // namespace net
+}  // namespace churnlab
+
+#endif  // CHURNLAB_NET_ADMISSION_H_

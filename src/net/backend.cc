@@ -1,0 +1,48 @@
+#include "net/backend.h"
+
+#include "common/macros.h"
+
+namespace churnlab {
+namespace net {
+
+Result<serve::BatchReport> FleetBackend::Ingest(
+    std::span<const retail::Receipt> receipts) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fleet_->IngestBatch(receipts);
+}
+
+Result<serve::CustomerQuery> FleetBackend::Customer(
+    retail::CustomerId customer) {
+  // Deliberately not under mutex_: QueryCustomer takes only the customer's
+  // shard lock, so reads stay responsive while a large ingest runs.
+  return fleet_->QueryCustomer(customer);
+}
+
+Result<serve::FleetHealth> FleetBackend::Health() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fleet_->HealthReport();
+}
+
+Result<serve::StateMemoryStats> FleetBackend::Memory() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fleet_->MemoryUsage();
+}
+
+Result<std::string> FleetBackend::Snapshot() {
+  if (options_.snapshot_path.empty()) {
+    return Status::FailedPrecondition(
+        "no snapshot path configured (start the server with one to enable "
+        "POST /v1/snapshot and the drain-time flush)");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (options_.snapshot_append) {
+    CHURNLAB_RETURN_NOT_OK(
+        fleet_->AppendSnapshotToFile(options_.snapshot_path));
+  } else {
+    CHURNLAB_RETURN_NOT_OK(fleet_->SaveSnapshotToFile(options_.snapshot_path));
+  }
+  return options_.snapshot_path;
+}
+
+}  // namespace net
+}  // namespace churnlab

@@ -1,0 +1,74 @@
+#ifndef CHURNLAB_NET_BACKEND_H_
+#define CHURNLAB_NET_BACKEND_H_
+
+#include <mutex>
+#include <span>
+#include <string>
+
+#include "common/result.h"
+#include "retail/types.h"
+#include "serve/fleet.h"
+
+namespace churnlab {
+namespace net {
+
+/// \brief What the HTTP front end needs from a scoring engine.
+///
+/// An abstract seam (rather than serve::ScoringFleet directly) so the net
+/// layer never depends on the churnlab::api facade — the facade depends on
+/// net, and tests can serve a scripted backend without a fleet.
+///
+/// Thread contract: Ingest, Health, Memory and Snapshot are mutually
+/// serialized by the implementation; Customer may run concurrently with
+/// any of them (FleetBackend satisfies this with one operation mutex plus
+/// the fleet's own per-shard locking for Customer).
+class ScoringBackend {
+ public:
+  virtual ~ScoringBackend() = default;
+
+  virtual Result<serve::BatchReport> Ingest(
+      std::span<const retail::Receipt> receipts) = 0;
+  virtual Result<serve::CustomerQuery> Customer(
+      retail::CustomerId customer) = 0;
+  virtual Result<serve::FleetHealth> Health() = 0;
+  virtual Result<serve::StateMemoryStats> Memory() = 0;
+  /// Flushes fleet state to the configured snapshot destination and
+  /// returns its path.
+  virtual Result<std::string> Snapshot() = 0;
+};
+
+/// ScoringBackend over a borrowed serve::ScoringFleet. Fleet operations
+/// are "call between operations" (fleet.h), so every mutating entry point
+/// runs under one mutex; Customer bypasses it because QueryCustomer
+/// synchronizes on its shard's own lock.
+class FleetBackend final : public ScoringBackend {
+ public:
+  struct Options {
+    /// Snapshot destination; empty disables POST /v1/snapshot and the
+    /// drain-time flush (FailedPrecondition).
+    std::string snapshot_path;
+    /// Append a generation (crash-tolerant CHLFGENS, the default) versus
+    /// truncating with a bare snapshot.
+    bool snapshot_append = true;
+  };
+
+  FleetBackend(serve::ScoringFleet* fleet, Options options)
+      : fleet_(fleet), options_(std::move(options)) {}
+
+  Result<serve::BatchReport> Ingest(
+      std::span<const retail::Receipt> receipts) override;
+  Result<serve::CustomerQuery> Customer(retail::CustomerId customer) override;
+  Result<serve::FleetHealth> Health() override;
+  Result<serve::StateMemoryStats> Memory() override;
+  Result<std::string> Snapshot() override;
+
+ private:
+  serve::ScoringFleet* fleet_;
+  Options options_;
+  std::mutex mutex_;
+};
+
+}  // namespace net
+}  // namespace churnlab
+
+#endif  // CHURNLAB_NET_BACKEND_H_

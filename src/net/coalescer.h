@@ -1,0 +1,96 @@
+#ifndef CHURNLAB_NET_COALESCER_H_
+#define CHURNLAB_NET_COALESCER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "net/backend.h"
+#include "retail/types.h"
+#include "serve/fleet.h"
+
+namespace churnlab {
+namespace net {
+
+/// \brief Merges concurrent small ingest requests into large deterministic
+/// fleet batches.
+///
+/// Requests enqueue under one mutex, which assigns every receipt a global
+/// *arrival sequence number* — the enqueue order IS the ingestion order.
+/// The first waiter becomes the leader: it drains the queue (up to
+/// Options::max_batch_receipts per round), concatenates the drained
+/// requests into one IngestBatch in sequence order, runs it against the
+/// backend once, then demultiplexes the merged BatchReport back into
+/// per-request slices (serve::SliceBatchReport) and wakes each waiter.
+/// Followers block until their slice is ready. When the queue still holds
+/// requests after a round the leader keeps going; otherwise leadership is
+/// released to the next arrival.
+///
+/// Determinism: per-customer monitor state depends only on that customer's
+/// observation order, and batch boundaries are invisible to it — so a
+/// fleet fed through the coalescer ends byte-identical to an offline
+/// replay of the same receipts in arrival-sequence order, regardless of
+/// how requests interleaved or how rounds were cut. Each response carries
+/// its first receipt's sequence number so an external observer can
+/// reconstruct the arrival order.
+///
+/// Backpressure: receipts buffered but not yet ingested are bounded by
+/// Options::max_queue_receipts; beyond it Ingest fails fast with
+/// ResourceExhausted (HTTP 429) instead of queueing unboundedly.
+class IngestCoalescer {
+ public:
+  struct Options {
+    /// Largest merged batch handed to the backend in one round.
+    size_t max_batch_receipts = 8192;
+    /// Bound on receipts waiting to be ingested (excess -> 429).
+    size_t max_queue_receipts = 65536;
+  };
+
+  /// One request's demultiplexed result.
+  struct Outcome {
+    serve::BatchReport report;
+    /// Arrival sequence number of the request's first receipt (sequence
+    /// numbers start at 0 and increment once per receipt).
+    uint64_t first_sequence = 0;
+  };
+
+  IngestCoalescer(Options options, ScoringBackend* backend);
+
+  /// Ingests `receipts` as part of a coalesced batch; blocks until the
+  /// batch containing them completed. An empty request is a cheap no-op
+  /// (sequence of the next receipt to arrive, empty report). Thread-safe.
+  Result<Outcome> Ingest(std::vector<retail::Receipt> receipts);
+
+  /// Receipts enqueued but not yet handed to the backend.
+  size_t pending_receipts() const;
+
+ private:
+  struct PendingRequest {
+    std::vector<retail::Receipt> receipts;
+    uint64_t first_sequence = 0;
+    bool done = false;
+    Status status;
+    serve::BatchReport slice;
+  };
+
+  /// Drains and ingests rounds until the queue is empty. Called by the
+  /// leader with `lock` held; unlocks around the backend call.
+  void RunLeader(std::unique_lock<std::mutex>* lock);
+
+  Options options_;
+  ScoringBackend* backend_;
+  mutable std::mutex mutex_;
+  std::condition_variable done_cv_;
+  std::deque<PendingRequest*> queue_;
+  size_t queued_receipts_ = 0;
+  uint64_t next_sequence_ = 0;
+  bool leader_active_ = false;
+};
+
+}  // namespace net
+}  // namespace churnlab
+
+#endif  // CHURNLAB_NET_COALESCER_H_

@@ -1,0 +1,261 @@
+#include "net/http.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "net/status_http.h"
+
+namespace churnlab {
+namespace net {
+
+namespace {
+
+/// RFC 7230 token characters (method and header-name alphabet).
+bool IsTokenChar(char c) {
+  if (c >= 'a' && c <= 'z') return true;
+  if (c >= 'A' && c <= 'Z') return true;
+  if (c >= '0' && c <= '9') return true;
+  switch (c) {
+    case '!':
+    case '#':
+    case '$':
+    case '%':
+    case '&':
+    case '\'':
+    case '*':
+    case '+':
+    case '-':
+    case '.':
+    case '^':
+    case '_':
+    case '`':
+    case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsToken(std::string_view text) {
+  if (text.empty()) return false;
+  return std::all_of(text.begin(), text.end(), IsTokenChar);
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out;
+  out.reserve(128 + response.body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status_code);
+  out += ' ';
+  out += HttpReasonPhrase(response.status_code);
+  out += "\r\n";
+  if (!response.content_type.empty()) {
+    out += "Content-Type: ";
+    out += response.content_type;
+    out += "\r\n";
+  }
+  out += "Content-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\n";
+  for (const auto& [key, value] : response.headers) {
+    out += key;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+Status HttpParser::Feed(std::string_view bytes) {
+  if (state_ == State::kError) {
+    return Status::FailedPrecondition(
+        "HTTP parser is poisoned by an earlier error");
+  }
+  buffer_.append(bytes);
+  for (;;) {
+    switch (state_) {
+      case State::kHeader: {
+        const size_t header_end = buffer_.find("\r\n\r\n");
+        if (header_end == std::string::npos) {
+          // Bound the unparsed header section; a peer that streams an
+          // endless request line / header block is cut off here.
+          if (buffer_.size() > limits_.max_header_bytes) {
+            state_ = State::kError;
+            return Status::OutOfRange("HTTP header section exceeds " +
+                                      std::to_string(
+                                          limits_.max_header_bytes) +
+                                      " bytes");
+          }
+          const size_t line_end = buffer_.find("\r\n");
+          if (line_end == std::string::npos &&
+              buffer_.size() > limits_.max_request_line) {
+            state_ = State::kError;
+            return Status::OutOfRange("HTTP request line exceeds " +
+                                      std::to_string(
+                                          limits_.max_request_line) +
+                                      " bytes");
+          }
+          return Status::OK();  // Need more bytes.
+        }
+        if (header_end + 4 > limits_.max_header_bytes) {
+          state_ = State::kError;
+          return Status::OutOfRange(
+              "HTTP header section exceeds " +
+              std::to_string(limits_.max_header_bytes) + " bytes");
+        }
+        const Status status = ParseHeaderSection(header_end);
+        if (!status.ok()) {
+          state_ = State::kError;
+          return status;
+        }
+        buffer_.erase(0, header_end + 4);
+        state_ = content_length_ == 0 ? State::kComplete : State::kBody;
+        break;
+      }
+      case State::kBody: {
+        if (buffer_.size() < content_length_) return Status::OK();
+        request_.body.assign(buffer_, 0, content_length_);
+        buffer_.erase(0, content_length_);
+        state_ = State::kComplete;
+        break;
+      }
+      case State::kComplete:
+        // Pipelined bytes stay buffered until TakeRequest + Continue.
+        return Status::OK();
+      case State::kError:
+        return Status::FailedPrecondition("unreachable");
+    }
+  }
+}
+
+Status HttpParser::ParseHeaderSection(size_t header_end) {
+  const std::string_view section(buffer_.data(), header_end);
+  const size_t line_end = section.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? section
+                                         : section.substr(0, line_end);
+  if (request_line.size() > limits_.max_request_line) {
+    return Status::OutOfRange("HTTP request line exceeds " +
+                              std::to_string(limits_.max_request_line) +
+                              " bytes");
+  }
+
+  // Request line: METHOD SP request-target SP HTTP/1.minor
+  const size_t method_end = request_line.find(' ');
+  if (method_end == std::string_view::npos) {
+    return Status::InvalidArgument("malformed HTTP request line");
+  }
+  const size_t target_end = request_line.find(' ', method_end + 1);
+  if (target_end == std::string_view::npos ||
+      request_line.find(' ', target_end + 1) != std::string_view::npos) {
+    return Status::InvalidArgument("malformed HTTP request line");
+  }
+  const std::string_view method = request_line.substr(0, method_end);
+  const std::string_view target =
+      request_line.substr(method_end + 1, target_end - method_end - 1);
+  const std::string_view version = request_line.substr(target_end + 1);
+  if (!IsToken(method)) {
+    return Status::InvalidArgument("malformed HTTP method");
+  }
+  if (target.empty()) {
+    return Status::InvalidArgument("empty HTTP request target");
+  }
+  HttpRequest request;
+  if (version == "HTTP/1.1") {
+    request.version_minor = 1;
+  } else if (version == "HTTP/1.0") {
+    request.version_minor = 0;
+  } else {
+    return Status::InvalidArgument("unsupported HTTP version '" +
+                                   std::string(version) + "'");
+  }
+  request.method = std::string(method);
+  request.target = std::string(target);
+  const size_t query_pos = target.find('?');
+  request.path = std::string(target.substr(0, query_pos));
+  if (query_pos != std::string_view::npos) {
+    request.query = std::string(target.substr(query_pos + 1));
+  }
+
+  // Header fields.
+  bool have_content_length = false;
+  size_t cursor = line_end == std::string_view::npos ? section.size()
+                                                     : line_end + 2;
+  while (cursor < section.size()) {
+    size_t end = section.find("\r\n", cursor);
+    if (end == std::string_view::npos) end = section.size();
+    const std::string_view line = section.substr(cursor, end - cursor);
+    cursor = end + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("malformed HTTP header field");
+    }
+    const std::string_view raw_name = line.substr(0, colon);
+    if (!IsToken(raw_name)) {
+      return Status::InvalidArgument("malformed HTTP header name");
+    }
+    std::string name = AsciiToLower(raw_name);
+    std::string value(StripAsciiWhitespace(line.substr(colon + 1)));
+    if (name == "content-length") {
+      // The length is untrusted: parse strictly and clamp against the
+      // configured bound BEFORE any body storage is reserved.
+      Result<uint64_t> parsed = ParseUint64(value);
+      if (!parsed.ok()) {
+        return Status::InvalidArgument("malformed Content-Length '" + value +
+                                       "'");
+      }
+      if (have_content_length &&
+          *parsed != static_cast<uint64_t>(content_length_)) {
+        return Status::InvalidArgument("conflicting Content-Length headers");
+      }
+      if (*parsed > limits_.max_body_bytes) {
+        return Status::OutOfRange(
+            "request body of " + value + " bytes exceeds the " +
+            std::to_string(limits_.max_body_bytes) + "-byte bound");
+      }
+      content_length_ = static_cast<size_t>(*parsed);
+      have_content_length = true;
+    } else if (name == "transfer-encoding") {
+      return Status::NotImplemented(
+          "Transfer-Encoding is not supported; use Content-Length");
+    }
+    request.headers.emplace_back(std::move(name), std::move(value));
+  }
+  if (!have_content_length) content_length_ = 0;
+
+  request.keep_alive = request.version_minor >= 1;
+  if (const std::string* connection = request.FindHeader("connection")) {
+    const std::string lowered = AsciiToLower(*connection);
+    if (lowered == "close") {
+      request.keep_alive = false;
+    } else if (lowered == "keep-alive") {
+      request.keep_alive = true;
+    }
+  }
+  request_ = std::move(request);
+  return Status::OK();
+}
+
+HttpRequest HttpParser::TakeRequest() {
+  HttpRequest request = std::move(request_);
+  request_ = HttpRequest();
+  content_length_ = 0;
+  state_ = State::kHeader;
+  return request;
+}
+
+}  // namespace net
+}  // namespace churnlab

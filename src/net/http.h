@@ -1,0 +1,128 @@
+#ifndef CHURNLAB_NET_HTTP_H_
+#define CHURNLAB_NET_HTTP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace churnlab {
+namespace net {
+
+/// One parsed HTTP/1.x request.
+struct HttpRequest {
+  std::string method;  ///< Upper-case as received ("GET", "POST").
+  std::string target;  ///< Raw request-target, query string included.
+  std::string path;    ///< `target` up to the first '?'.
+  std::string query;   ///< `target` after the first '?', or empty.
+  /// 0 for HTTP/1.0, 1 for HTTP/1.1 (anything else is rejected).
+  int version_minor = 1;
+  /// Header fields in arrival order, names ASCII-lower-cased.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// Connection semantics after this request: HTTP/1.1 defaults to
+  /// keep-alive, HTTP/1.0 to close, either overridden by a Connection
+  /// header.
+  bool keep_alive = true;
+
+  /// First header with `name` (must be given lower-case); nullptr if
+  /// absent.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+/// One HTTP response under construction by a handler.
+struct HttpResponse {
+  int status_code = 200;
+  std::string content_type = "application/json";
+  /// Extra headers (e.g. Retry-After); Content-Type/Length, Connection and
+  /// the status line are emitted by SerializeResponse.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+};
+
+/// Renders `response` as an HTTP/1.1 wire message. `keep_alive` controls
+/// the Connection header (the server echoes the request's semantics, or
+/// forces close while draining).
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
+
+/// \brief Incremental HTTP/1.1 request parser.
+///
+/// Feed() accepts bytes in arbitrary fragments (a request line torn across
+/// recv() boundaries is reassembled) and buffers at most one in-progress
+/// request plus any pipelined bytes behind it. All lengths derived from the
+/// wire are untrusted: the header section is bounded by
+/// Limits::max_header_bytes *before* it is parsed, and a Content-Length
+/// larger than Limits::max_body_bytes is rejected at header-complete time,
+/// before any body storage is reserved — a hostile 2^60 Content-Length
+/// costs nothing.
+///
+/// Errors are sticky and carry the taxonomy the server maps to wire codes
+/// through StatusToHttp: malformed syntax -> InvalidArgument (400),
+/// oversized line/header/body -> OutOfRange (413), Transfer-Encoding
+/// (unsupported) -> NotImplemented (501).
+///
+/// \code
+///   HttpParser parser({});
+///   CHURNLAB_RETURN_NOT_OK(parser.Feed(bytes));
+///   while (parser.HasRequest()) {
+///     HttpRequest request = parser.TakeRequest();
+///     ...handle...
+///     CHURNLAB_RETURN_NOT_OK(parser.Continue());  // pipelined follow-ups
+///   }
+/// \endcode
+class HttpParser {
+ public:
+  struct Limits {
+    /// Request line (method + target + version) byte bound.
+    size_t max_request_line = 4096;
+    /// Whole header section (request line included) byte bound.
+    size_t max_header_bytes = 16384;
+    /// Content-Length bound; larger bodies are rejected without
+    /// allocation.
+    size_t max_body_bytes = 8u << 20;
+  };
+
+  explicit HttpParser(Limits limits) : limits_(limits) {}
+
+  /// Appends bytes and parses as far as possible. Stops consuming once a
+  /// full request is ready (HasRequest()), leaving pipelined bytes
+  /// buffered. After an error the parser is poisoned: the connection must
+  /// be closed.
+  Status Feed(std::string_view bytes);
+
+  /// Resumes parsing buffered (pipelined) bytes after TakeRequest().
+  Status Continue() { return Feed({}); }
+
+  /// True once a complete request is parsed and waiting.
+  bool HasRequest() const { return state_ == State::kComplete; }
+
+  /// Hands over the parsed request and resets for the next one. HasRequest
+  /// must be true.
+  HttpRequest TakeRequest();
+
+  /// Bytes buffered but not yet consumed (pipelined tail).
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  enum class State : uint8_t { kHeader, kBody, kComplete, kError };
+
+  /// Parses the header section in buffer_[0, header_end) and transitions
+  /// to kBody / kComplete.
+  Status ParseHeaderSection(size_t header_end);
+
+  Limits limits_;
+  State state_ = State::kHeader;
+  std::string buffer_;
+  size_t content_length_ = 0;
+  HttpRequest request_;
+};
+
+}  // namespace net
+}  // namespace churnlab
+
+#endif  // CHURNLAB_NET_HTTP_H_

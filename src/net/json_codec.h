@@ -1,0 +1,58 @@
+#ifndef CHURNLAB_NET_JSON_CODEC_H_
+#define CHURNLAB_NET_JSON_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "retail/types.h"
+#include "serve/fleet.h"
+
+namespace churnlab {
+namespace net {
+
+/// \brief Parses a POST /v1/ingest body.
+///
+/// Expected shape (field order free, unknown keys rejected):
+/// \code
+///   {"receipts": [{"customer": 17, "day": 360, "spend": 12.5,
+///                  "items": [3, 19]}, ...]}
+/// \endcode
+/// `spend` and `items` are optional per receipt; `customer` and `day` are
+/// required. A dedicated iterative scanner — NOT the general obs::ParseJson
+/// (which recurses on nesting and has no depth cap) — so a hostile body of
+/// 1M open brackets is rejected in O(1) stack. `max_receipts` bounds the
+/// batch (OutOfRange beyond it); syntax and shape errors are
+/// InvalidArgument, which the server maps to 400 with the parse reason in
+/// the error body (quarantine-style: the reason names the offending
+/// receipt index).
+Result<std::vector<retail::Receipt>> ParseReceiptBatch(std::string_view body,
+                                                       size_t max_receipts);
+
+/// {"receipts_ingested":N,"new_customers":N,"sequence":S,
+///  "alerts":[...],"rejected":[...],"poisoned":[...]}
+/// `sequence` is the arrival sequence number assigned to the request's
+/// first receipt by the coalescer — replaying receipts in sequence order
+/// reproduces the server's fleet state byte-for-byte.
+std::string WriteBatchReportJson(const serve::BatchReport& report,
+                                 uint64_t first_sequence);
+
+/// {"customer":id,"shard":s,"stability":x,"state_bytes":b}
+std::string WriteCustomerJson(const serve::CustomerQuery& query);
+
+/// Fleet health as JSON: aggregates plus one entry per shard.
+std::string WriteHealthJson(const serve::FleetHealth& health);
+
+/// {"error":{"code":"<StatusCodeToString>","message":"..."}}
+std::string WriteErrorJson(const Status& status);
+
+/// {"ok":true,"path":"..."} for POST /v1/snapshot.
+std::string WriteSnapshotJson(std::string_view path);
+
+}  // namespace net
+}  // namespace churnlab
+
+#endif  // CHURNLAB_NET_JSON_CODEC_H_

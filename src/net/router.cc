@@ -1,0 +1,67 @@
+#include "net/router.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "net/json_codec.h"
+#include "net/status_http.h"
+
+namespace churnlab {
+namespace net {
+
+void Router::Add(std::string method, std::string pattern, Handler handler) {
+  Route route;
+  route.method = std::move(method);
+  route.pattern = std::move(pattern);
+  for (const std::string_view segment : Split(route.pattern, '/')) {
+    route.segments.emplace_back(segment);
+  }
+  route.handler = std::move(handler);
+  routes_.push_back(std::move(route));
+}
+
+bool Router::MatchPath(const Route& route, std::string_view path,
+                       std::vector<std::string>* params) {
+  const std::vector<std::string_view> segments = Split(path, '/');
+  if (segments.size() != route.segments.size()) return false;
+  params->clear();
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const std::string& pattern_segment = route.segments[i];
+    if (!pattern_segment.empty() && pattern_segment.front() == '{' &&
+        pattern_segment.back() == '}') {
+      if (segments[i].empty()) return false;  // "{id}" needs a value.
+      params->emplace_back(segments[i]);
+    } else if (pattern_segment != segments[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+HttpResponse Router::Dispatch(const HttpRequest& request) const {
+  std::vector<std::string> params;
+  std::vector<std::string> allowed;
+  for (const Route& route : routes_) {
+    if (!MatchPath(route, request.path, &params)) continue;
+    if (route.method == request.method) {
+      return route.handler(request, params);
+    }
+    allowed.push_back(route.method);
+  }
+  HttpResponse response;
+  if (!allowed.empty()) {
+    response.status_code = 405;
+    response.headers.emplace_back("Allow", Join(allowed, ", "));
+    response.body = WriteErrorJson(Status::InvalidArgument(
+        "method " + request.method + " is not allowed for " + request.path));
+  } else {
+    const Status not_found =
+        Status::NotFound("no route for " + request.path);
+    response.status_code = StatusToHttp(not_found);
+    response.body = WriteErrorJson(not_found);
+  }
+  return response;
+}
+
+}  // namespace net
+}  // namespace churnlab

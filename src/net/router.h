@@ -1,0 +1,50 @@
+#ifndef CHURNLAB_NET_ROUTER_H_
+#define CHURNLAB_NET_ROUTER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/http.h"
+
+namespace churnlab {
+namespace net {
+
+/// \brief Method + path-pattern dispatch for the HTTP server.
+///
+/// Patterns are literal segments with `{name}` placeholders capturing one
+/// segment: "/v1/customers/{id}" matches "/v1/customers/42" and hands the
+/// handler params = {"42"}. An unknown path yields 404; a known path with
+/// the wrong method yields 405 with an Allow header listing the methods
+/// that would have matched. Both error bodies are built through the same
+/// error JSON as every endpoint.
+class Router {
+ public:
+  /// `params` holds the captured segments in pattern order.
+  using Handler = std::function<HttpResponse(
+      const HttpRequest& request, const std::vector<std::string>& params)>;
+
+  void Add(std::string method, std::string pattern, Handler handler);
+
+  /// Routes `request` to the matching handler, or builds the 404/405
+  /// response.
+  HttpResponse Dispatch(const HttpRequest& request) const;
+
+ private:
+  struct Route {
+    std::string method;
+    std::string pattern;
+    std::vector<std::string> segments;  ///< pattern split on '/'.
+    Handler handler;
+  };
+
+  static bool MatchPath(const Route& route, std::string_view path,
+                        std::vector<std::string>* params);
+
+  std::vector<Route> routes_;
+};
+
+}  // namespace net
+}  // namespace churnlab
+
+#endif  // CHURNLAB_NET_ROUTER_H_

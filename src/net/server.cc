@@ -1,0 +1,476 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "net/json_codec.h"
+#include "net/status_http.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/structured_log.h"
+
+namespace churnlab {
+namespace net {
+
+namespace {
+
+struct NetMetrics {
+  obs::Counter* requests;
+  obs::Counter* connections;
+  obs::Counter* shed;
+  obs::Counter* parse_errors;
+  obs::Counter* bytes_read;
+  obs::Counter* bytes_written;
+  obs::Counter* responses_2xx;
+  obs::Counter* responses_4xx;
+  obs::Counter* responses_5xx;
+  obs::Counter* drains;
+  obs::Gauge* connections_active;
+  obs::Gauge* inflight;
+  obs::Histogram* request_us;
+};
+
+const NetMetrics& Metrics() {
+  static const NetMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return NetMetrics{
+        registry.GetCounter("churnlab.net.requests"),
+        registry.GetCounter("churnlab.net.connections"),
+        registry.GetCounter("churnlab.net.shed"),
+        registry.GetCounter("churnlab.net.parse_errors"),
+        registry.GetCounter("churnlab.net.bytes_read"),
+        registry.GetCounter("churnlab.net.bytes_written"),
+        registry.GetCounter("churnlab.net.responses_2xx"),
+        registry.GetCounter("churnlab.net.responses_4xx"),
+        registry.GetCounter("churnlab.net.responses_5xx"),
+        registry.GetCounter("churnlab.net.drains"),
+        registry.GetGauge("churnlab.net.connections_active"),
+        registry.GetGauge("churnlab.net.inflight"),
+        registry.GetHistogram("churnlab.net.request_us",
+                              obs::HistogramOptions::ExponentialLatency()),
+    };
+  }();
+  return metrics;
+}
+
+uint32_t RequestSite() {
+  static const uint32_t kSite =
+      obs::FlightRecorder::RegisterSite("net.request");
+  return kSite;
+}
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Write fd for the installed signal handler; one server per process.
+std::atomic<int> g_signal_drain_fd{-1};
+
+extern "C" void OnDrainSignal(int) {
+  const int fd = g_signal_drain_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 'q';
+    // Best effort: the pipe is non-blocking and a full pipe already means
+    // a drain is pending.
+    [[maybe_unused]] const ssize_t rc = ::write(fd, &byte, 1);
+  }
+}
+
+Status SendAll(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  Metrics().bytes_written->Increment(bytes.size());
+  return Status::OK();
+}
+
+}  // namespace
+
+HttpServer::HttpServer(ServerOptions options, ScoringBackend* backend)
+    : options_(std::move(options)),
+      backend_(backend),
+      gate_(options_.admission),
+      coalescer_(options_.coalescer, backend) {}
+
+Result<std::unique_ptr<HttpServer>> HttpServer::Make(ServerOptions options,
+                                                     ScoringBackend* backend) {
+  if (backend == nullptr) {
+    return Status::InvalidArgument("HttpServer needs a backend");
+  }
+  if (options.num_threads == 0) options.num_threads = 1;
+  if (options.poll_interval_ms <= 0) options.poll_interval_ms = 100;
+  if (options.limits.max_body_bytes == 0 ||
+      options.limits.max_header_bytes == 0 ||
+      options.limits.max_request_line == 0) {
+    return Status::InvalidArgument("HTTP parser limits must be positive");
+  }
+  std::unique_ptr<HttpServer> server(
+      new HttpServer(std::move(options), backend));
+  server->BuildRoutes();
+  return server;
+}
+
+void HttpServer::BuildRoutes() {
+  router_.Add("POST", "/v1/ingest",
+              [this](const HttpRequest& request,
+                     const std::vector<std::string>&) {
+                return HandleIngest(request);
+              });
+  router_.Add(
+      "GET", "/v1/customers/{id}",
+      [this](const HttpRequest&, const std::vector<std::string>& params) {
+        const Result<uint64_t> id = ParseUint64(params[0]);
+        if (!id.ok() ||
+            *id > std::numeric_limits<retail::CustomerId>::max()) {
+          return ErrorResponse(Status::InvalidArgument(
+              "'" + params[0] + "' is not a customer id"));
+        }
+        const Result<serve::CustomerQuery> query =
+            backend_->Customer(static_cast<retail::CustomerId>(*id));
+        if (!query.ok()) return ErrorResponse(query.status());
+        HttpResponse response;
+        response.body = WriteCustomerJson(*query);
+        return response;
+      });
+  router_.Add("GET", "/v1/health",
+              [this](const HttpRequest&, const std::vector<std::string>&) {
+                const Result<serve::FleetHealth> health = backend_->Health();
+                if (!health.ok()) return ErrorResponse(health.status());
+                HttpResponse response;
+                response.body = WriteHealthJson(*health);
+                return response;
+              });
+  router_.Add("GET", "/metrics",
+              [](const HttpRequest&, const std::vector<std::string>&) {
+                HttpResponse response;
+                response.content_type =
+                    "text/plain; version=0.0.4; charset=utf-8";
+                response.body = obs::ExportPrometheusGlobal();
+                return response;
+              });
+  router_.Add("POST", "/v1/snapshot",
+              [this](const HttpRequest&, const std::vector<std::string>&) {
+                const Result<std::string> path = backend_->Snapshot();
+                if (!path.ok()) return ErrorResponse(path.status());
+                HttpResponse response;
+                response.body = WriteSnapshotJson(*path);
+                return response;
+              });
+}
+
+HttpResponse HttpServer::ErrorResponse(const Status& status) const {
+  HttpResponse response;
+  response.status_code = StatusToHttp(status);
+  response.body = WriteErrorJson(status);
+  if (response.status_code == 429 || response.status_code == 503) {
+    response.headers.emplace_back(
+        "Retry-After", std::to_string(gate_.options().retry_after_seconds));
+  }
+  return response;
+}
+
+HttpResponse HttpServer::HandleIngest(const HttpRequest& request) {
+  if (draining()) {
+    Metrics().shed->Increment();
+    return ErrorResponse(
+        Status::Cancelled("server is draining; retry against a peer"));
+  }
+  Result<AdmissionGate::Ticket> ticket = gate_.Admit(request.body.size());
+  if (!ticket.ok()) {
+    if (ticket.status().IsResourceExhausted()) Metrics().shed->Increment();
+    return ErrorResponse(ticket.status());
+  }
+  Result<std::vector<retail::Receipt>> receipts =
+      ParseReceiptBatch(request.body, options_.max_receipts_per_request);
+  if (!receipts.ok()) return ErrorResponse(receipts.status());
+  Result<IngestCoalescer::Outcome> outcome =
+      coalescer_.Ingest(std::move(*receipts));
+  if (!outcome.ok()) {
+    if (outcome.status().IsResourceExhausted()) Metrics().shed->Increment();
+    return ErrorResponse(outcome.status());
+  }
+  HttpResponse response;
+  response.body =
+      WriteBatchReportJson(outcome->report, outcome->first_sequence);
+  return response;
+}
+
+HttpResponse HttpServer::HandleRequest(const HttpRequest& request) {
+  const NetMetrics& metrics = Metrics();
+  metrics.requests->Increment();
+  metrics.inflight->Add(1.0);
+  HttpResponse response;
+  {
+    obs::FlightSpan span(RequestSite());
+    obs::ScopedLatency latency(metrics.request_us);
+    response = router_.Dispatch(request);
+  }
+  metrics.inflight->Add(-1.0);
+  if (response.status_code < 400) {
+    metrics.responses_2xx->Increment();
+  } else if (response.status_code < 500) {
+    metrics.responses_4xx->Increment();
+  } else {
+    metrics.responses_5xx->Increment();
+  }
+  return response;
+}
+
+Status HttpServer::ServeConnection(int fd) {
+  HttpParser parser(options_.limits);
+  char buffer[8192];
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, options_.poll_interval_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (rc == 0) {
+      // Idle tick: the only work is noticing a drain and closing.
+      if (draining()) return Status::OK();
+      continue;
+    }
+    CHURNLAB_FAILPOINT_KEYED("net.read", static_cast<uint64_t>(fd));
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n == 0) return Status::OK();  // Peer closed.
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    Metrics().bytes_read->Increment(static_cast<uint64_t>(n));
+    CHURNLAB_FAILPOINT_KEYED("net.parse", static_cast<uint64_t>(fd));
+    Status parsed = parser.Feed({buffer, static_cast<size_t>(n)});
+    for (;;) {
+      if (!parsed.ok()) {
+        // Best-effort error response; the connection closes either way
+        // because the parser cannot resynchronize mid-stream.
+        Metrics().parse_errors->Increment();
+        HttpResponse response = ErrorResponse(parsed);
+        if (response.status_code < 500) {
+          Metrics().responses_4xx->Increment();
+        } else {
+          Metrics().responses_5xx->Increment();
+        }
+        (void)SendAll(fd, SerializeResponse(response, /*keep_alive=*/false));
+        return parsed;
+      }
+      if (!parser.HasRequest()) break;
+      const HttpRequest request = parser.TakeRequest();
+      const HttpResponse response = HandleRequest(request);
+      const bool keep_alive = request.keep_alive && !draining();
+      CHURNLAB_RETURN_NOT_OK(
+          SendAll(fd, SerializeResponse(response, keep_alive)));
+      if (!keep_alive) return Status::OK();
+      parsed = parser.Continue();  // Pipelined follow-ups.
+    }
+  }
+}
+
+Status HttpServer::Start() {
+  if (started_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  if (::pipe(drain_pipe_) != 0) return Errno("pipe");
+  for (const int fd : drain_pipe_) {
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  }
+  // Non-blocking write end: RequestDrain (and the signal handler) must
+  // never block on a full pipe.
+  ::fcntl(drain_pipe_[1], F_SETFL, O_NONBLOCK);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+               sizeof(enable));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(),
+                  &address.sin_addr) != 1) {
+    return Status::InvalidArgument("'" + options_.bind_address +
+                                   "' is not an IPv4 address");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    return Errno("bind");
+  }
+  if (::listen(listen_fd_, 128) != 0) return Errno("listen");
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  acceptor_ = std::thread(&HttpServer::AcceptLoop, this);
+  started_.store(true, std::memory_order_relaxed);
+  obs::LogEvent(LogLevel::kInfo, "net_server_started", __FILE__, __LINE__)
+      .Str("bind", options_.bind_address)
+      .Uint("port", port_)
+      .Uint("threads", options_.num_threads);
+  return Status::OK();
+}
+
+void HttpServer::AcceptLoop() {
+  const NetMetrics& metrics = Metrics();
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {drain_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      drain_status_ = Errno("poll");
+      break;
+    }
+    if (fds[1].revents != 0) break;  // Drain requested.
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == ECONNABORTED) {
+        continue;
+      }
+      drain_status_ = Errno("accept");
+      break;
+    }
+    const auto accept_gate = []() -> Status {
+      CHURNLAB_FAILPOINT("net.accept");
+      return Status::OK();
+    };
+    if (const Status admitted = accept_gate(); !admitted.ok()) {
+      obs::LogEvent(LogLevel::kWarning, "net_accept_fault", __FILE__,
+                    __LINE__)
+          .Str("status", admitted.ToString());
+      ::close(fd);
+      continue;
+    }
+    metrics.connections->Increment();
+    metrics.connections_active->Add(1.0);
+    pool_->Submit([this, fd, &metrics] {
+      Status status;
+      try {
+        status = ServeConnection(fd);
+      } catch (const std::exception& e) {
+        status = Status::Internal(std::string("connection task: ") +
+                                  e.what());
+      }
+      if (!status.ok()) {
+        obs::LogEvent(LogLevel::kWarning, "net_connection_error", __FILE__,
+                      __LINE__)
+            .Uint("fd", static_cast<uint64_t>(fd))
+            .Str("status", status.ToString());
+      }
+      ::close(fd);
+      metrics.connections_active->Add(-1.0);
+    });
+  }
+
+  // Drain sequence: stop accepting, finish in-flight connections, flush a
+  // final snapshot so a restart resumes from everything this process
+  // ingested.
+  draining_.store(true, std::memory_order_relaxed);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  try {
+    pool_->WaitIdle();
+  } catch (const std::exception& e) {
+    if (drain_status_.ok()) {
+      drain_status_ = Status::Internal(
+          std::string("connection task threw during drain: ") + e.what());
+    }
+  }
+  const Result<std::string> snapshot = backend_->Snapshot();
+  if (snapshot.ok()) {
+    obs::LogEvent(LogLevel::kInfo, "net_drain_snapshot", __FILE__, __LINE__)
+        .Str("path", *snapshot);
+  } else if (!snapshot.status().IsFailedPrecondition()) {
+    if (drain_status_.ok()) drain_status_ = snapshot.status();
+  }
+  // FailedPrecondition means "no snapshot destination configured": a clean
+  // drain with nothing to flush.
+  metrics.drains->Increment();
+  obs::LogEvent(LogLevel::kInfo, "net_server_drained", __FILE__, __LINE__)
+      .Str("status", drain_status_.ToString());
+}
+
+void HttpServer::RequestDrain() {
+  if (drain_pipe_[1] < 0) return;
+  const char byte = 'q';
+  [[maybe_unused]] const ssize_t rc = ::write(drain_pipe_[1], &byte, 1);
+}
+
+Status HttpServer::Wait() {
+  if (!started_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("server was never started");
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  return drain_status_;
+}
+
+Status HttpServer::Shutdown() {
+  RequestDrain();
+  return Wait();
+}
+
+Status HttpServer::InstallSignalHandler() {
+  if (!started_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition(
+        "start the server before installing signal handlers");
+  }
+  int expected = -1;
+  if (!g_signal_drain_fd.compare_exchange_strong(
+          expected, drain_pipe_[1], std::memory_order_relaxed)) {
+    return Status::AlreadyExists(
+        "another server already owns the process signal handlers");
+  }
+  struct sigaction action{};
+  action.sa_handler = OnDrainSignal;
+  ::sigemptyset(&action.sa_mask);
+  if (::sigaction(SIGTERM, &action, nullptr) != 0 ||
+      ::sigaction(SIGINT, &action, nullptr) != 0) {
+    return Errno("sigaction");
+  }
+  return Status::OK();
+}
+
+HttpServer::~HttpServer() {
+  if (started_.load(std::memory_order_relaxed)) {
+    RequestDrain();
+    if (acceptor_.joinable()) acceptor_.join();
+  }
+  // Disarm the signal handler's pipe reference before closing the fd.
+  int mine = drain_pipe_[1];
+  g_signal_drain_fd.compare_exchange_strong(mine, -1,
+                                            std::memory_order_relaxed);
+  for (int& fd : drain_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+}  // namespace net
+}  // namespace churnlab

@@ -1,0 +1,137 @@
+#ifndef CHURNLAB_NET_SERVER_H_
+#define CHURNLAB_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "net/admission.h"
+#include "net/backend.h"
+#include "net/coalescer.h"
+#include "net/http.h"
+#include "net/router.h"
+
+namespace churnlab {
+namespace net {
+
+struct ServerOptions {
+  /// IPv4 address to bind (dotted quad).
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port, readable via port() after
+  /// Start().
+  uint16_t port = 0;
+  /// Connection worker threads; also the bound on concurrently *served*
+  /// connections (accepted connections beyond it queue on the pool).
+  size_t num_threads = 8;
+  /// Wire-parsing bounds (untrusted lengths are clamped against these).
+  HttpParser::Limits limits;
+  /// Admission control (429 shedding) for request bodies.
+  AdmissionGate::Options admission;
+  /// Ingest coalescing bounds.
+  IngestCoalescer::Options coalescer;
+  /// Receipts accepted per ingest request (OutOfRange -> 413 beyond it).
+  size_t max_receipts_per_request = 100000;
+  /// Idle-connection poll tick; also the drain-notice latency bound for
+  /// connections parked in keep-alive.
+  int poll_interval_ms = 100;
+};
+
+/// \brief Dependency-free blocking HTTP/1.1 server over a ScoringBackend.
+///
+/// One acceptor thread multiplexes the listen socket and a self-pipe drain
+/// signal through poll(2); each accepted connection is served start to
+/// finish by a ThreadPool task (keep-alive and pipelining included).
+/// Overload never allocates proportionally to attacker input: body sizes
+/// are clamped by the parser, request admission is bounded by the
+/// AdmissionGate, and ingest buffering is bounded by the coalescer.
+///
+/// Graceful drain: RequestDrain() (or SIGTERM/SIGINT after
+/// InstallSignalHandler, which writes the self-pipe — async-signal-safe)
+/// stops the acceptor, lets in-flight requests finish (new requests get
+/// 503 + Retry-After, responses switch to Connection: close), then flushes
+/// a final snapshot through the backend. Wait() returns that flush's
+/// status.
+///
+/// Failpoint sites: net.accept (per accepted connection), net.read (per
+/// recv, key = connection fd), net.parse (per parsed buffer, key =
+/// connection fd), net.overload (per admission attempt).
+class HttpServer {
+ public:
+  /// Validates options and builds the routing table. `backend` is borrowed
+  /// and must outlive the server.
+  static Result<std::unique_ptr<HttpServer>> Make(ServerOptions options,
+                                                  ScoringBackend* backend);
+
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and starts the acceptor thread.
+  Status Start();
+
+  /// The bound port (after Start; meaningful when options.port was 0).
+  uint16_t port() const { return port_; }
+
+  /// Begins a graceful drain. Thread-safe and idempotent; also the target
+  /// of the installed signal handler.
+  void RequestDrain();
+
+  /// Blocks until the drain completed; returns the final snapshot flush's
+  /// status ("no snapshot path" is reported OK: there is nothing to
+  /// flush).
+  Status Wait();
+
+  /// RequestDrain() + Wait().
+  Status Shutdown();
+
+  /// Routes SIGTERM and SIGINT to RequestDrain() of this server. At most
+  /// one server per process may install handlers (AlreadyExists
+  /// otherwise); they stay installed for the process lifetime.
+  Status InstallSignalHandler();
+
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  HttpServer(ServerOptions options, ScoringBackend* backend);
+
+  void BuildRoutes();
+  /// Acceptor thread body: poll listen fd + drain pipe, dispatch
+  /// connections, then run the drain sequence.
+  void AcceptLoop();
+  /// Serves one connection until close/error/drain. Returns the terminal
+  /// status (connection close is OK).
+  Status ServeConnection(int fd);
+  /// Handles one parsed request (routing, metrics, flight span).
+  HttpResponse HandleRequest(const HttpRequest& request);
+  HttpResponse HandleIngest(const HttpRequest& request);
+  /// StatusToHttp + error JSON + Retry-After on 429/503.
+  HttpResponse ErrorResponse(const Status& status) const;
+
+  ServerOptions options_;
+  ScoringBackend* backend_;
+  AdmissionGate gate_;
+  IngestCoalescer coalescer_;
+  Router router_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread acceptor_;
+  int listen_fd_ = -1;
+  int drain_pipe_[2] = {-1, -1};
+  uint16_t port_ = 0;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> started_{false};
+  /// Final snapshot flush status, written by the acceptor thread before it
+  /// exits and read by Wait() after join.
+  Status drain_status_;
+};
+
+}  // namespace net
+}  // namespace churnlab
+
+#endif  // CHURNLAB_NET_SERVER_H_

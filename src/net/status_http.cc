@@ -1,0 +1,64 @@
+#include "net/status_http.h"
+
+namespace churnlab {
+namespace net {
+
+int StatusCodeToHttp(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kFailedPrecondition:
+      return 409;
+    case StatusCode::kOutOfRange:
+      return 413;
+    case StatusCode::kResourceExhausted:
+      return 429;
+    case StatusCode::kNotImplemented:
+      return 501;
+    case StatusCode::kCancelled:
+      return 503;
+    case StatusCode::kIOError:
+    case StatusCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+int StatusToHttp(const Status& status) {
+  return StatusCodeToHttp(status.code());
+}
+
+std::string_view HttpReasonPhrase(int http_status) {
+  switch (http_status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 409:
+      return "Conflict";
+    case 413:
+      return "Payload Too Large";
+    case 429:
+      return "Too Many Requests";
+    case 500:
+      return "Internal Server Error";
+    case 501:
+      return "Not Implemented";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+}  // namespace net
+}  // namespace churnlab

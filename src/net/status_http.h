@@ -1,0 +1,32 @@
+#ifndef CHURNLAB_NET_STATUS_HTTP_H_
+#define CHURNLAB_NET_STATUS_HTTP_H_
+
+#include <string_view>
+
+#include "common/status.h"
+
+namespace churnlab {
+namespace net {
+
+/// The single source of truth for mapping the library's error taxonomy onto
+/// HTTP status codes (docs/API.md "Error taxonomy"). Every endpoint builds
+/// its error responses through this function, so a given StatusCode always
+/// produces the same wire status:
+///
+///   kOk                 -> 200   kNotImplemented     -> 501
+///   kInvalidArgument    -> 400   kInternal           -> 500
+///   kNotFound           -> 404   kCancelled          -> 503 (draining)
+///   kAlreadyExists      -> 409   kFailedPrecondition -> 409
+///   kOutOfRange         -> 413   kResourceExhausted  -> 429 (overload)
+///   kIOError            -> 500
+int StatusToHttp(const Status& status);
+int StatusCodeToHttp(StatusCode code);
+
+/// Canonical reason phrase for the status codes this server emits
+/// ("Not Found", "Too Many Requests", ...); "Unknown" otherwise.
+std::string_view HttpReasonPhrase(int http_status);
+
+}  // namespace net
+}  // namespace churnlab
+
+#endif  // CHURNLAB_NET_STATUS_HTTP_H_

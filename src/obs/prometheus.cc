@@ -47,6 +47,29 @@ constexpr MetricHelpEntry kInventory[] = {
     {"churnlab.eval.threads",
      "worker threads of the last parallel evaluation sweep"},
     {"churnlab.failpoint.triggered", "injected faults fired"},
+    {"churnlab.net.bytes_read", "bytes received from HTTP clients"},
+    {"churnlab.net.bytes_written", "bytes sent to HTTP clients"},
+    {"churnlab.net.coalesced_batch_receipts",
+     "receipts per coalesced ingest batch"},
+    {"churnlab.net.coalesced_batches",
+     "merged ingest batches submitted by the coalescer leader"},
+    {"churnlab.net.coalesced_requests",
+     "ingest requests folded into coalesced batches"},
+    {"churnlab.net.connections", "TCP connections accepted"},
+    {"churnlab.net.connections_active", "connections currently being served"},
+    {"churnlab.net.drains", "graceful drains completed"},
+    {"churnlab.net.inflight", "HTTP requests currently being handled"},
+    {"churnlab.net.parse_errors",
+     "connections dropped on malformed or oversized HTTP input"},
+    {"churnlab.net.pending_receipts",
+     "receipts queued in the ingest coalescer"},
+    {"churnlab.net.request_us", "per-request handling latency in microseconds"},
+    {"churnlab.net.requests", "HTTP requests dispatched"},
+    {"churnlab.net.responses_2xx", "HTTP responses with 2xx status"},
+    {"churnlab.net.responses_4xx", "HTTP responses with 4xx status"},
+    {"churnlab.net.responses_5xx", "HTTP responses with 5xx status"},
+    {"churnlab.net.shed",
+     "requests shed by admission control or the drain gate (429/503)"},
     {"churnlab.obs.flight_events_recorded",
      "events recorded by the flight recorder (including overwritten ones)"},
     {"churnlab.obs.snapshots_taken",

@@ -657,6 +657,58 @@ Result<ScoringFleet> ScoringFleet::Restore(BinaryReader* reader,
   return fleet;
 }
 
+BatchReport SliceBatchReport(const BatchReport& merged, size_t begin_index,
+                             size_t end_index) {
+  BatchReport slice;
+  if (end_index < begin_index) end_index = begin_index;
+  for (const FleetAlert& alert : merged.alerts) {
+    if (alert.batch_index < begin_index || alert.batch_index >= end_index) {
+      continue;
+    }
+    FleetAlert rebased = alert;
+    rebased.batch_index -= begin_index;
+    slice.alerts.push_back(std::move(rebased));
+  }
+  for (const RejectedReceipt& rejected : merged.rejected) {
+    if (rejected.batch_index < begin_index ||
+        rejected.batch_index >= end_index) {
+      continue;
+    }
+    RejectedReceipt rebased = rejected;
+    rebased.batch_index -= begin_index;
+    slice.rejected.push_back(std::move(rebased));
+  }
+  // Every receipt of the range was either ingested or rejected; the merged
+  // report's counts cannot be attributed to a sub-span directly, but the
+  // range size minus its rejections can. new_customers stays 0: "first
+  // touch" is a property of the whole coalesced batch, not of the sub-span
+  // (documented in the header).
+  slice.receipts_ingested = (end_index - begin_index) - slice.rejected.size();
+  slice.poisoned = merged.poisoned;
+  return slice;
+}
+
+Result<CustomerQuery> ScoringFleet::QueryCustomer(
+    retail::CustomerId customer) {
+  if (customer == retail::kInvalidCustomer) {
+    return Status::InvalidArgument("invalid customer id");
+  }
+  const size_t shard = store_.ShardOf(customer);
+  return store_.WithShard(
+      shard,
+      [&](CustomerStateStore::ShardAccessor& access)
+          -> Result<CustomerQuery> {
+        CHURNLAB_ASSIGN_OR_RETURN(CustomerStateStore::CustomerRef state,
+                                  access.Find(customer));
+        CustomerQuery query;
+        query.customer = customer;
+        query.shard = shard;
+        query.stability = state.last_stability();
+        query.state_bytes = state.MemoryUsage();
+        return query;
+      });
+}
+
 Result<ScoringFleet> ScoringFleet::RestoreFromFile(
     const std::string& path, const retail::Taxonomy* taxonomy,
     size_t num_threads, StateLayout layout) {

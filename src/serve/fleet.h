@@ -121,6 +121,31 @@ struct BatchReport {
   std::vector<PoisonedShard> poisoned;
 };
 
+/// The slice of a merged BatchReport belonging to receipts
+/// [begin_index, end_index) of the ingested span. Alerts and rejections are
+/// filtered to the range and their batch_index rebased by -begin_index, so
+/// a caller that contributed that sub-span of a coalesced batch sees the
+/// same report it would have received from ingesting the sub-span alone
+/// (the network layer's ingest coalescer demultiplexes responses with
+/// this). receipts_ingested counts the range's receipts minus its
+/// rejections; new_customers is not attributable to a sub-span and is
+/// reported as 0; poisoned is fleet-global and copied whole.
+BatchReport SliceBatchReport(const BatchReport& merged, size_t begin_index,
+                             size_t end_index);
+
+/// Point-in-time view of one customer (see ScoringFleet::QueryCustomer).
+struct CustomerQuery {
+  retail::CustomerId customer = retail::kInvalidCustomer;
+  /// Shard holding the customer's state.
+  size_t shard = 0;
+  /// Stability of the most recently closed window (1.0 before any window
+  /// has closed — "no evidence of change").
+  double stability = 1.0;
+  /// Bytes of state attributable to this customer (scalar slot + live
+  /// counter blocks; shared per-shard tables excluded).
+  size_t state_bytes = 0;
+};
+
 /// \brief Batched multi-customer scoring service over a sharded state
 /// store.
 ///
@@ -205,6 +230,14 @@ class ScoringFleet {
   /// (obs::SetDetailedTiming). Same calling convention as HealthReport:
   /// between fleet operations, not concurrently with one.
   StateMemoryStats MemoryUsage() const;
+
+  /// Point-in-time view of one customer: latest stability plus state-memory
+  /// bytes (the payload of the network front end's GET /v1/customers/{id}).
+  /// NotFound for a customer the fleet has never seen. Locks only the
+  /// customer's shard, so it may run concurrently with operations touching
+  /// other shards — but, like HealthReport, not concurrently with a fleet
+  /// operation that may touch the same shard.
+  Result<CustomerQuery> QueryCustomer(retail::CustomerId customer);
 
   /// Serializes the full fleet — versioned header with every option, then
   /// one length- and CRC32-framed frame per shard — so Restore continues

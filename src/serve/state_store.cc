@@ -484,6 +484,17 @@ CustomerStateStore::ShardAccessor::GetOrCreate(retail::CustomerId customer) {
   return CustomerRef(store_, &shard, slot);
 }
 
+Result<CustomerStateStore::CustomerRef>
+CustomerStateStore::ShardAccessor::Find(retail::CustomerId customer) {
+  Shard& shard = *store_->shards_[shard_index_];
+  const auto it = shard.index.find(customer);
+  if (it == shard.index.end()) {
+    return Status::NotFound("customer " + std::to_string(customer) +
+                            " is not held by the fleet");
+  }
+  return CustomerRef(store_, &shard, it->second);
+}
+
 size_t CustomerStateStore::ShardAccessor::size() const {
   return ShardSize(*store_->shards_[shard_index_], store_->options_.layout);
 }

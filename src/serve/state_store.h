@@ -186,6 +186,11 @@ class CustomerStateStore {
     /// path (injected faults surface as FailpointException).
     CustomerRef GetOrCreate(retail::CustomerId customer);
 
+    /// Handle to an existing customer's state; NotFound without creating
+    /// one (the read-only counterpart of GetOrCreate, used by the network
+    /// front end's GET /v1/customers/{id}).
+    Result<CustomerRef> Find(retail::CustomerId customer);
+
     /// Customers in this shard.
     size_t size() const;
     /// The id stored at `slot` (creation order, slot < size()).

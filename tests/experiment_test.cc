@@ -48,7 +48,7 @@ TEST(AurocPerWindow, FailsWithoutLabels) {
 
 TEST(ExperimentRunner, Figure1ShapeMatchesPaper) {
   const Figure1Result result =
-      ExperimentRunner::RunFigure1(SmallOptions()).ValueOrDie();
+      ExperimentRunner::Make(SmallOptions()).ValueOrDie().Run().ValueOrDie();
   ASSERT_FALSE(result.rows.empty());
   EXPECT_EQ(result.onset_month, 18);
 
@@ -76,7 +76,7 @@ TEST(ExperimentRunner, Figure1RowsAreWithinReportRange) {
   options.first_report_month = 16;
   options.last_report_month = 20;
   const Figure1Result result =
-      ExperimentRunner::RunFigure1(options).ValueOrDie();
+      ExperimentRunner::Make(options).ValueOrDie().Run().ValueOrDie();
   ASSERT_EQ(result.rows.size(), 3u);  // months 16, 18, 20
 }
 
@@ -86,16 +86,17 @@ TEST(ExperimentRunner, MismatchedWindowSpansRejected) {
   options.rfm.features.window_span_months = 3;
   const retail::Dataset dataset =
       datagen::MakePaperDataset(options.scenario).ValueOrDie();
-  EXPECT_TRUE(ExperimentRunner::RunFigure1OnDataset(dataset, options)
-                  .status()
-                  .IsInvalidArgument());
+  // The invariant is enforced at Make time now; there is no unchecked
+  // one-shot path left to smuggle mismatched spans through.
+  (void)dataset;
+  EXPECT_TRUE(ExperimentRunner::Make(options).status().IsInvalidArgument());
 }
 
 TEST(ExperimentRunner, BootstrapIntervalsBracketEstimates) {
   Figure1Options options = SmallOptions();
   options.bootstrap_resamples = 100;
   const Figure1Result result =
-      ExperimentRunner::RunFigure1(options).ValueOrDie();
+      ExperimentRunner::Make(options).ValueOrDie().Run().ValueOrDie();
   ASSERT_FALSE(result.rows.empty());
   for (const Figure1Row& row : result.rows) {
     EXPECT_LE(row.stability_auroc_lower, row.stability_auroc);
@@ -107,7 +108,7 @@ TEST(ExperimentRunner, BootstrapIntervalsBracketEstimates) {
 
 TEST(ExperimentRunner, StatsCarriedThrough) {
   const Figure1Result result =
-      ExperimentRunner::RunFigure1(SmallOptions()).ValueOrDie();
+      ExperimentRunner::Make(SmallOptions()).ValueOrDie().Run().ValueOrDie();
   EXPECT_EQ(result.stats.num_customers, 300u);
   EXPECT_EQ(result.stats.num_loyal, 150u);
   EXPECT_EQ(result.stats.num_defecting, 150u);

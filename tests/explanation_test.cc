@@ -22,10 +22,10 @@ WindowedHistory FromSets(const std::vector<std::vector<Symbol>>& sets) {
   return history;
 }
 
-SignificanceOptions Alpha2() {
+StabilityComputer Alpha2() {
   SignificanceOptions options;
   options.alpha = 2.0;
-  return options;
+  return StabilityComputer::Make(options).ValueOrDie();
 }
 
 TEST(ExplanationEngine, ArgmaxMissingProductMatchesPaperDefinition) {

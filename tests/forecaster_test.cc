@@ -2,11 +2,23 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
+#include "common/macros.h"
 #include "datagen/scenario.h"
 
 namespace churnlab {
 namespace eval {
 namespace {
+
+
+/// Make-then-Run in one step, mirroring how callers now use the API.
+Result<ForecastResult> Forecast(const retail::Dataset& dataset,
+                                ForecastOptions options) {
+  CHURNLAB_ASSIGN_OR_RETURN(const StabilityForecaster forecaster,
+                            StabilityForecaster::Make(std::move(options)));
+  return forecaster.Run(dataset);
+}
 
 retail::Dataset MakeSpreadOnsetDataset() {
   datagen::PaperScenarioConfig config;
@@ -26,7 +38,7 @@ TEST(StabilityForecaster, PartitionsCohortsByOnset) {
   options.decision_month = 16;
   options.horizon_months = 6;
   const ForecastResult result =
-      StabilityForecaster::Run(dataset, options).ValueOrDie();
+      Forecast(dataset, options).ValueOrDie();
   EXPECT_EQ(result.num_loyal, 300u);
   EXPECT_GT(result.num_future_defectors, 0u);
   EXPECT_GT(result.num_already_defecting, 0u);
@@ -41,7 +53,7 @@ TEST(StabilityForecaster, ShortLeadBucketCarriesSignal) {
   options.decision_month = 16;
   options.horizon_months = 6;
   const ForecastResult result =
-      StabilityForecaster::Run(dataset, options).ValueOrDie();
+      Forecast(dataset, options).ValueOrDie();
   ASSERT_EQ(result.by_lead.size(), 6u);
   // Lead-1 defectors have 4 months of smoldering losses behind them.
   ASSERT_GT(result.by_lead[0].num_defectors, 10u);
@@ -56,7 +68,7 @@ TEST(StabilityForecaster, LongLeadNearChance) {
   options.decision_month = 14;
   options.horizon_months = 6;
   const ForecastResult result =
-      StabilityForecaster::Run(dataset, options).ValueOrDie();
+      Forecast(dataset, options).ValueOrDie();
   // Defectors 6 months out have not changed behaviour at all yet.
   const auto& far = result.by_lead.back();
   if (far.num_defectors > 20) {
@@ -68,21 +80,21 @@ TEST(StabilityForecaster, ValidationErrors) {
   const retail::Dataset dataset = MakeSpreadOnsetDataset();
   ForecastOptions bad_decision;
   bad_decision.decision_month = 0;
-  EXPECT_FALSE(StabilityForecaster::Run(dataset, bad_decision).ok());
+  EXPECT_FALSE(Forecast(dataset, bad_decision).ok());
 
   ForecastOptions bad_features;
   bad_features.feature_windows = 0;
-  EXPECT_FALSE(StabilityForecaster::Run(dataset, bad_features).ok());
+  EXPECT_FALSE(Forecast(dataset, bad_features).ok());
 
   ForecastOptions too_early;
   too_early.decision_month = 2;   // only one complete window
   too_early.feature_windows = 3;  // needs three
-  EXPECT_FALSE(StabilityForecaster::Run(dataset, too_early).ok());
+  EXPECT_FALSE(Forecast(dataset, too_early).ok());
 
   ForecastOptions bad_folds;
   bad_folds.decision_month = 16;
   bad_folds.cv_folds = 1;
-  EXPECT_FALSE(StabilityForecaster::Run(dataset, bad_folds).ok());
+  EXPECT_FALSE(Forecast(dataset, bad_folds).ok());
 }
 
 TEST(StabilityForecaster, TooFewExamplesFails) {
@@ -94,7 +106,7 @@ TEST(StabilityForecaster, TooFewExamplesFails) {
       datagen::MakePaperDataset(config).ValueOrDie();
   ForecastOptions options;
   options.decision_month = 16;
-  EXPECT_FALSE(StabilityForecaster::Run(dataset, options).ok());
+  EXPECT_FALSE(Forecast(dataset, options).ok());
 }
 
 TEST(StabilityForecaster, StabilityOnlyFeaturesStillRun) {
@@ -103,7 +115,7 @@ TEST(StabilityForecaster, StabilityOnlyFeaturesStillRun) {
   options.decision_month = 16;
   options.use_visit_counts = false;
   const ForecastResult result =
-      StabilityForecaster::Run(dataset, options).ValueOrDie();
+      Forecast(dataset, options).ValueOrDie();
   EXPECT_GE(result.auroc, 0.0);
   EXPECT_LE(result.auroc, 1.0);
 }

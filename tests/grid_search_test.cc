@@ -2,11 +2,23 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
+#include "common/macros.h"
 #include "datagen/scenario.h"
 
 namespace churnlab {
 namespace eval {
 namespace {
+
+
+/// Make-then-Run in one step, mirroring how callers now use the API.
+Result<GridSearchResult> Search(const retail::Dataset& dataset,
+                                GridSearchOptions options) {
+  CHURNLAB_ASSIGN_OR_RETURN(const StabilityGridSearch search,
+                            StabilityGridSearch::Make(std::move(options)));
+  return search.Run(dataset);
+}
 
 retail::Dataset MakeDataset() {
   datagen::PaperScenarioConfig config;
@@ -28,7 +40,7 @@ GridSearchOptions SmallGrid() {
 TEST(StabilityGridSearch, EvaluatesEveryCell) {
   const retail::Dataset dataset = MakeDataset();
   const GridSearchResult result =
-      StabilityGridSearch::Run(dataset, SmallGrid()).ValueOrDie();
+      Search(dataset, SmallGrid()).ValueOrDie();
   ASSERT_EQ(result.cells.size(), 4u);
   for (const GridSearchCell& cell : result.cells) {
     EXPECT_GE(cell.mean_auroc, 0.0);
@@ -40,7 +52,7 @@ TEST(StabilityGridSearch, EvaluatesEveryCell) {
 TEST(StabilityGridSearch, BestCellIsArgmax) {
   const retail::Dataset dataset = MakeDataset();
   const GridSearchResult result =
-      StabilityGridSearch::Run(dataset, SmallGrid()).ValueOrDie();
+      Search(dataset, SmallGrid()).ValueOrDie();
   for (const GridSearchCell& cell : result.cells) {
     EXPECT_LE(cell.mean_auroc, result.best.mean_auroc);
   }
@@ -49,16 +61,16 @@ TEST(StabilityGridSearch, BestCellIsArgmax) {
 TEST(StabilityGridSearch, PostOnsetObjectiveBeatsChance) {
   const retail::Dataset dataset = MakeDataset();
   const GridSearchResult result =
-      StabilityGridSearch::Run(dataset, SmallGrid()).ValueOrDie();
+      Search(dataset, SmallGrid()).ValueOrDie();
   EXPECT_GT(result.best.mean_auroc, 0.65);
 }
 
 TEST(StabilityGridSearch, DeterministicGivenSeed) {
   const retail::Dataset dataset = MakeDataset();
   const GridSearchResult a =
-      StabilityGridSearch::Run(dataset, SmallGrid()).ValueOrDie();
+      Search(dataset, SmallGrid()).ValueOrDie();
   const GridSearchResult b =
-      StabilityGridSearch::Run(dataset, SmallGrid()).ValueOrDie();
+      Search(dataset, SmallGrid()).ValueOrDie();
   ASSERT_EQ(a.cells.size(), b.cells.size());
   for (size_t i = 0; i < a.cells.size(); ++i) {
     EXPECT_DOUBLE_EQ(a.cells[i].mean_auroc, b.cells[i].mean_auroc);
@@ -69,15 +81,15 @@ TEST(StabilityGridSearch, ValidationErrors) {
   const retail::Dataset dataset = MakeDataset();
   GridSearchOptions empty_grid = SmallGrid();
   empty_grid.alphas.clear();
-  EXPECT_FALSE(StabilityGridSearch::Run(dataset, empty_grid).ok());
+  EXPECT_FALSE(Search(dataset, empty_grid).ok());
 
   GridSearchOptions bad_folds = SmallGrid();
   bad_folds.folds = 1;
-  EXPECT_FALSE(StabilityGridSearch::Run(dataset, bad_folds).ok());
+  EXPECT_FALSE(Search(dataset, bad_folds).ok());
 
   GridSearchOptions late_onset = SmallGrid();
   late_onset.onset_month = 100;  // no windows in objective horizon
-  EXPECT_FALSE(StabilityGridSearch::Run(dataset, late_onset).ok());
+  EXPECT_FALSE(Search(dataset, late_onset).ok());
 }
 
 }  // namespace

@@ -1,0 +1,244 @@
+// Adversarial coverage of the incremental HTTP/1.1 parser: torn reads,
+// hostile lengths, pipelining, and protocol-error taxonomy. The parser is
+// the first thing untrusted bytes touch, so every rejection path must be
+// cheap and every accept path must survive arbitrary recv() fragmentation.
+
+#include "net/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace churnlab {
+namespace net {
+namespace {
+
+HttpParser::Limits DefaultLimits() { return HttpParser::Limits{}; }
+
+TEST(HttpParser, ParsesSimpleGet) {
+  HttpParser parser(DefaultLimits());
+  ASSERT_TRUE(parser.Feed("GET /v1/health HTTP/1.1\r\nHost: x\r\n\r\n").ok());
+  ASSERT_TRUE(parser.HasRequest());
+  const HttpRequest request = parser.TakeRequest();
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.path, "/v1/health");
+  EXPECT_TRUE(request.query.empty());
+  EXPECT_EQ(request.version_minor, 1);
+  EXPECT_TRUE(request.keep_alive);
+  ASSERT_NE(request.FindHeader("host"), nullptr);
+  EXPECT_EQ(*request.FindHeader("host"), "x");
+}
+
+TEST(HttpParser, SplitsQueryFromPath) {
+  HttpParser parser(DefaultLimits());
+  ASSERT_TRUE(parser.Feed("GET /v1/health?verbose=1&x=2 HTTP/1.1\r\n\r\n").ok());
+  ASSERT_TRUE(parser.HasRequest());
+  const HttpRequest request = parser.TakeRequest();
+  EXPECT_EQ(request.path, "/v1/health");
+  EXPECT_EQ(request.query, "verbose=1&x=2");
+  EXPECT_EQ(request.target, "/v1/health?verbose=1&x=2");
+}
+
+TEST(HttpParser, HeaderNamesAreLowercased) {
+  HttpParser parser(DefaultLimits());
+  ASSERT_TRUE(
+      parser.Feed("GET / HTTP/1.1\r\nCoNtEnT-TyPe: text/plain\r\n\r\n").ok());
+  ASSERT_TRUE(parser.HasRequest());
+  const HttpRequest request = parser.TakeRequest();
+  ASSERT_NE(request.FindHeader("content-type"), nullptr);
+  EXPECT_EQ(*request.FindHeader("content-type"), "text/plain");
+}
+
+TEST(HttpParser, ReassemblesRequestTornAcrossEveryByteBoundary) {
+  const std::string wire =
+      "POST /v1/ingest HTTP/1.1\r\n"
+      "Content-Length: 11\r\n"
+      "\r\n"
+      "hello world"
+      "GET /v1/health HTTP/1.1\r\n\r\n";
+  // Feed one byte at a time — the worst torn-read pattern recv can produce.
+  HttpParser parser(DefaultLimits());
+  std::vector<HttpRequest> requests;
+  for (const char byte : wire) {
+    ASSERT_TRUE(parser.Feed(std::string_view(&byte, 1)).ok());
+    while (parser.HasRequest()) {
+      requests.push_back(parser.TakeRequest());
+      ASSERT_TRUE(parser.Continue().ok());
+    }
+  }
+  ASSERT_EQ(requests.size(), 2u);
+  EXPECT_EQ(requests[0].method, "POST");
+  EXPECT_EQ(requests[0].body, "hello world");
+  EXPECT_EQ(requests[1].method, "GET");
+  EXPECT_EQ(requests[1].path, "/v1/health");
+}
+
+TEST(HttpParser, PipelinedRequestsDrainInOrder) {
+  HttpParser parser(DefaultLimits());
+  ASSERT_TRUE(parser
+                  .Feed("GET /a HTTP/1.1\r\n\r\n"
+                        "GET /b HTTP/1.1\r\n\r\n"
+                        "GET /c HTTP/1.1\r\n\r\n")
+                  .ok());
+  std::vector<std::string> paths;
+  while (parser.HasRequest()) {
+    paths.push_back(parser.TakeRequest().path);
+    ASSERT_TRUE(parser.Continue().ok());
+  }
+  EXPECT_EQ(paths, (std::vector<std::string>{"/a", "/b", "/c"}));
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(HttpParser, HostileContentLengthRejectedWithoutBodyAllocation) {
+  HttpParser parser(DefaultLimits());
+  // A 2^60-ish length must be rejected the moment headers complete, long
+  // before any body byte arrives — nothing should be reserved for it.
+  const Status status = parser.Feed(
+      "POST /v1/ingest HTTP/1.1\r\n"
+      "Content-Length: 1152921504606846976\r\n"
+      "\r\n");
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsOutOfRange()) << status.ToString();
+  // The parser buffered only the header section it was fed.
+  EXPECT_LE(parser.buffered_bytes(), 256u);
+}
+
+TEST(HttpParser, NonNumericContentLengthRejected) {
+  HttpParser parser(DefaultLimits());
+  const Status status = parser.Feed(
+      "POST / HTTP/1.1\r\nContent-Length: 12abc\r\n\r\n");
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+}
+
+TEST(HttpParser, ConflictingContentLengthsRejected) {
+  HttpParser parser(DefaultLimits());
+  const Status status = parser.Feed(
+      "POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\n");
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+}
+
+TEST(HttpParser, TransferEncodingUnsupported) {
+  HttpParser parser(DefaultLimits());
+  const Status status = parser.Feed(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotImplemented) << status.ToString();
+}
+
+TEST(HttpParser, OversizedHeaderSectionRejected) {
+  HttpParser::Limits limits;
+  limits.max_header_bytes = 128;
+  HttpParser parser(limits);
+  std::string wire = "GET / HTTP/1.1\r\n";
+  wire += "X-Filler: " + std::string(200, 'a') + "\r\n\r\n";
+  const Status status = parser.Feed(wire);
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsOutOfRange()) << status.ToString();
+}
+
+TEST(HttpParser, OversizedRequestLineRejected) {
+  HttpParser::Limits limits;
+  limits.max_request_line = 64;
+  HttpParser parser(limits);
+  const std::string wire =
+      "GET /" + std::string(100, 'x') + " HTTP/1.1\r\n\r\n";
+  const Status status = parser.Feed(wire);
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsOutOfRange()) << status.ToString();
+}
+
+TEST(HttpParser, BodyLargerThanLimitRejectedEvenWhenDeclaredHonestly) {
+  HttpParser::Limits limits;
+  limits.max_body_bytes = 16;
+  HttpParser parser(limits);
+  const Status status = parser.Feed(
+      "POST / HTTP/1.1\r\nContent-Length: 17\r\n\r\n");
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsOutOfRange()) << status.ToString();
+}
+
+TEST(HttpParser, MalformedRequestLineRejected) {
+  for (const char* wire : {
+           "GET\r\n\r\n",
+           "GET /\r\n\r\n",
+           "GET / HTTP/2.0\r\n\r\n",
+           "GET / HTTP/1.7\r\n\r\n",
+           " GET / HTTP/1.1\r\n\r\n",
+           "G@T / HTTP/1.1\r\n\r\n",
+       }) {
+    HttpParser parser(DefaultLimits());
+    const Status status = parser.Feed(wire);
+    ASSERT_FALSE(status.ok()) << wire;
+    EXPECT_TRUE(status.IsInvalidArgument()) << wire << ": "
+                                            << status.ToString();
+  }
+}
+
+TEST(HttpParser, MalformedHeaderRejected) {
+  for (const char* wire : {
+           "GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",
+           "GET / HTTP/1.1\r\n: empty-name\r\n\r\n",
+           "GET / HTTP/1.1\r\nBad Name: v\r\n\r\n",
+       }) {
+    HttpParser parser(DefaultLimits());
+    const Status status = parser.Feed(wire);
+    ASSERT_FALSE(status.ok()) << wire;
+    EXPECT_TRUE(status.IsInvalidArgument()) << wire << ": "
+                                            << status.ToString();
+  }
+}
+
+TEST(HttpParser, ErrorIsSticky) {
+  HttpParser parser(DefaultLimits());
+  ASSERT_FALSE(parser.Feed("BROKEN\r\n\r\n").ok());
+  // A poisoned parser refuses everything after, even valid requests.
+  EXPECT_FALSE(parser.Feed("GET / HTTP/1.1\r\n\r\n").ok());
+  EXPECT_FALSE(parser.HasRequest());
+}
+
+TEST(HttpParser, KeepAliveSemantics) {
+  struct Case {
+    const char* wire;
+    bool keep_alive;
+  };
+  const Case cases[] = {
+      {"GET / HTTP/1.1\r\n\r\n", true},
+      {"GET / HTTP/1.0\r\n\r\n", false},
+      {"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true},
+      {"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n", false},
+  };
+  for (const Case& test_case : cases) {
+    HttpParser parser(DefaultLimits());
+    ASSERT_TRUE(parser.Feed(test_case.wire).ok()) << test_case.wire;
+    ASSERT_TRUE(parser.HasRequest()) << test_case.wire;
+    EXPECT_EQ(parser.TakeRequest().keep_alive, test_case.keep_alive)
+        << test_case.wire;
+  }
+}
+
+TEST(HttpResponse, SerializeCarriesStatusHeadersAndLength) {
+  HttpResponse response;
+  response.status_code = 429;
+  response.body = "{\"error\":{}}";
+  response.headers.emplace_back("Retry-After", "1");
+  const std::string wire = SerializeResponse(response, /*keep_alive=*/false);
+  EXPECT_NE(wire.find("HTTP/1.1 429 "), std::string::npos) << wire;
+  EXPECT_NE(wire.find("Content-Length: 12\r\n"), std::string::npos) << wire;
+  EXPECT_NE(wire.find("Retry-After: 1\r\n"), std::string::npos) << wire;
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos) << wire;
+  EXPECT_NE(wire.find("\r\n\r\n{\"error\":{}}"), std::string::npos) << wire;
+}
+
+TEST(HttpResponse, SerializeKeepAlive) {
+  HttpResponse response;
+  const std::string wire = SerializeResponse(response, /*keep_alive=*/true);
+  EXPECT_NE(wire.find("Connection: keep-alive\r\n"), std::string::npos)
+      << wire;
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace churnlab

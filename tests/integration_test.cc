@@ -132,7 +132,7 @@ TEST(Integration, BothModelsBeatChanceAfterOnsetOnFreshScenario) {
   eval::Figure1Options options;
   options.scenario = scenario;
   const eval::Figure1Result result =
-      eval::ExperimentRunner::RunFigure1(options).ValueOrDie();
+      eval::ExperimentRunner::Make(options).ValueOrDie().Run().ValueOrDie();
   double stability_at_24 = 0.0;
   double rfm_at_24 = 0.0;
   for (const eval::Figure1Row& row : result.rows) {
@@ -154,7 +154,7 @@ TEST(Integration, GridSearchPrefersInformativeWindows) {
   options.folds = 4;
   options.onset_month = 18;
   const eval::GridSearchResult result =
-      eval::StabilityGridSearch::Run(dataset, options).ValueOrDie();
+      eval::StabilityGridSearch::Make(options).ValueOrDie().Run(dataset).ValueOrDie();
   // alpha = 1 weighs every seen product equally forever; alpha = 2 adapts.
   // Both should beat chance post-onset.
   for (const eval::GridSearchCell& cell : result.cells) {

@@ -198,7 +198,8 @@ TEST(ModelProperties, SymbolRelabelingPreservesStabilitySeries) {
     }
     SignificanceOptions significance;
     significance.alpha = 2.0;
-    const StabilityComputer computer(significance);
+    const StabilityComputer computer =
+        StabilityComputer::Make(significance).ValueOrDie();
     const StabilitySeries series_a = computer.Compute(original);
     const StabilitySeries series_b = computer.Compute(relabeled);
     ASSERT_EQ(series_a.size(), series_b.size());

@@ -1,0 +1,218 @@
+// Admission control, route dispatch, and the shared status->HTTP mapping.
+// These are the pieces that decide whether a request is processed at all,
+// so the bounds and the taxonomy must hold exactly.
+
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/admission.h"
+#include "net/router.h"
+#include "net/status_http.h"
+
+namespace churnlab {
+namespace net {
+namespace {
+
+AdmissionGate::Options SmallGate(size_t inflight, size_t bytes) {
+  AdmissionGate::Options options;
+  options.max_inflight_requests = inflight;
+  options.max_pending_bytes = bytes;
+  return options;
+}
+
+TEST(AdmissionGate, AdmitsWithinBounds) {
+  AdmissionGate gate(SmallGate(2, 100));
+  Result<AdmissionGate::Ticket> first = gate.Admit(40);
+  Result<AdmissionGate::Ticket> second = gate.Admit(40);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(first->admitted());
+  EXPECT_EQ(gate.inflight(), 2u);
+  EXPECT_EQ(gate.pending_bytes(), 80u);
+}
+
+TEST(AdmissionGate, ShedsBeyondInflightBound) {
+  AdmissionGate gate(SmallGate(1, 1000));
+  Result<AdmissionGate::Ticket> first = gate.Admit(1);
+  ASSERT_TRUE(first.ok());
+  const Result<AdmissionGate::Ticket> second = gate.Admit(1);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted)
+      << second.status().ToString();
+}
+
+TEST(AdmissionGate, ShedsBeyondByteBound) {
+  AdmissionGate gate(SmallGate(10, 100));
+  Result<AdmissionGate::Ticket> first = gate.Admit(60);
+  ASSERT_TRUE(first.ok());
+  const Result<AdmissionGate::Ticket> second = gate.Admit(60);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  // A request that still fits is admitted — the bound is on the sum.
+  EXPECT_TRUE(gate.Admit(40).ok());
+}
+
+TEST(AdmissionGate, TicketReleasesOnDestruction) {
+  AdmissionGate gate(SmallGate(1, 100));
+  {
+    Result<AdmissionGate::Ticket> ticket = gate.Admit(50);
+    ASSERT_TRUE(ticket.ok());
+    EXPECT_EQ(gate.inflight(), 1u);
+    EXPECT_EQ(gate.pending_bytes(), 50u);
+  }
+  EXPECT_EQ(gate.inflight(), 0u);
+  EXPECT_EQ(gate.pending_bytes(), 0u);
+  EXPECT_TRUE(gate.Admit(100).ok());
+}
+
+TEST(AdmissionGate, MovedFromTicketReleasesOnlyOnce) {
+  AdmissionGate gate(SmallGate(4, 1000));
+  Result<AdmissionGate::Ticket> admitted = gate.Admit(10);
+  ASSERT_TRUE(admitted.ok());
+  AdmissionGate::Ticket moved = std::move(*admitted);
+  EXPECT_TRUE(moved.admitted());
+  EXPECT_EQ(gate.inflight(), 1u);
+  {
+    AdmissionGate::Ticket inner = std::move(moved);
+    EXPECT_FALSE(moved.admitted());  // NOLINT(bugprone-use-after-move)
+    EXPECT_EQ(gate.inflight(), 1u);
+  }
+  EXPECT_EQ(gate.inflight(), 0u);
+}
+
+TEST(AdmissionGate, ConcurrentAdmitsNeverExceedBounds) {
+  AdmissionGate gate(SmallGate(8, 8 * 64));
+  std::vector<std::thread> threads;
+  threads.reserve(16);
+  for (int t = 0; t < 16; ++t) {
+    threads.emplace_back([&gate] {
+      for (int i = 0; i < 500; ++i) {
+        Result<AdmissionGate::Ticket> ticket = gate.Admit(64);
+        if (ticket.ok()) {
+          EXPECT_LE(gate.inflight(), 8u);
+          EXPECT_LE(gate.pending_bytes(), 8u * 64u);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(gate.inflight(), 0u);
+  EXPECT_EQ(gate.pending_bytes(), 0u);
+}
+
+TEST(StatusToHttp, CoversTheWholeTaxonomy) {
+  const std::pair<StatusCode, int> expected[] = {
+      {StatusCode::kOk, 200},
+      {StatusCode::kInvalidArgument, 400},
+      {StatusCode::kNotFound, 404},
+      {StatusCode::kAlreadyExists, 409},
+      {StatusCode::kFailedPrecondition, 409},
+      {StatusCode::kOutOfRange, 413},
+      {StatusCode::kResourceExhausted, 429},
+      {StatusCode::kNotImplemented, 501},
+      {StatusCode::kCancelled, 503},
+      {StatusCode::kIOError, 500},
+      {StatusCode::kInternal, 500},
+  };
+  for (const auto& [code, http] : expected) {
+    EXPECT_EQ(StatusCodeToHttp(code), http)
+        << StatusCodeToString(code) << " should map to " << http;
+  }
+  EXPECT_EQ(StatusToHttp(Status::OK()), 200);
+  EXPECT_EQ(StatusToHttp(Status::NotFound("x")), 404);
+}
+
+TEST(HttpReasonPhrase, KnownPhrases) {
+  EXPECT_EQ(HttpReasonPhrase(200), "OK");
+  EXPECT_EQ(HttpReasonPhrase(404), "Not Found");
+  EXPECT_EQ(HttpReasonPhrase(429), "Too Many Requests");
+  EXPECT_EQ(HttpReasonPhrase(503), "Service Unavailable");
+}
+
+HttpRequest MakeRequest(std::string method, std::string path) {
+  HttpRequest request;
+  request.method = std::move(method);
+  request.path = std::move(path);
+  request.target = request.path;
+  return request;
+}
+
+TEST(Router, DispatchesLiteralAndPlaceholderRoutes) {
+  Router router;
+  router.Add("GET", "/v1/health",
+             [](const HttpRequest&, const std::vector<std::string>&) {
+               HttpResponse response;
+               response.body = "health";
+               return response;
+             });
+  router.Add("GET", "/v1/customers/{id}",
+             [](const HttpRequest&, const std::vector<std::string>& params) {
+               HttpResponse response;
+               response.body = "customer:" + params.at(0);
+               return response;
+             });
+  EXPECT_EQ(router.Dispatch(MakeRequest("GET", "/v1/health")).body, "health");
+  const HttpResponse customer =
+      router.Dispatch(MakeRequest("GET", "/v1/customers/42"));
+  EXPECT_EQ(customer.status_code, 200);
+  EXPECT_EQ(customer.body, "customer:42");
+}
+
+TEST(Router, UnknownPathIs404WithErrorBody) {
+  Router router;
+  router.Add("GET", "/v1/health",
+             [](const HttpRequest&, const std::vector<std::string>&) {
+               return HttpResponse{};
+             });
+  const HttpResponse response =
+      router.Dispatch(MakeRequest("GET", "/nope"));
+  EXPECT_EQ(response.status_code, 404);
+  EXPECT_NE(response.body.find("\"error\""), std::string::npos)
+      << response.body;
+}
+
+TEST(Router, WrongMethodIs405WithAllowHeader) {
+  Router router;
+  router.Add("GET", "/v1/health",
+             [](const HttpRequest&, const std::vector<std::string>&) {
+               return HttpResponse{};
+             });
+  router.Add("POST", "/v1/health",
+             [](const HttpRequest&, const std::vector<std::string>&) {
+               return HttpResponse{};
+             });
+  const HttpResponse response =
+      router.Dispatch(MakeRequest("DELETE", "/v1/health"));
+  EXPECT_EQ(response.status_code, 405);
+  bool has_allow = false;
+  for (const auto& [name, value] : response.headers) {
+    if (name == "Allow") {
+      has_allow = true;
+      EXPECT_NE(value.find("GET"), std::string::npos) << value;
+      EXPECT_NE(value.find("POST"), std::string::npos) << value;
+    }
+  }
+  EXPECT_TRUE(has_allow);
+}
+
+TEST(Router, PlaceholderMatchesExactlyOneSegment) {
+  Router router;
+  router.Add("GET", "/v1/customers/{id}",
+             [](const HttpRequest&, const std::vector<std::string>&) {
+               return HttpResponse{};
+             });
+  EXPECT_EQ(router.Dispatch(MakeRequest("GET", "/v1/customers")).status_code,
+            404);
+  EXPECT_EQ(
+      router.Dispatch(MakeRequest("GET", "/v1/customers/1/extra")).status_code,
+      404);
+  EXPECT_EQ(router.Dispatch(MakeRequest("GET", "/v1/customers/1")).status_code,
+            200);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace churnlab

@@ -1,0 +1,236 @@
+// Ingest coalescing: concurrent requests must merge into backend batches
+// whose concatenation is exactly the arrival-sequence order, with each
+// request getting back precisely its own slice of the merged report. This
+// is the property the server's byte-identical-replay guarantee rests on.
+
+#include "net/coalescer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/backend.h"
+
+namespace churnlab {
+namespace net {
+namespace {
+
+// Records every batch the coalescer hands to the backend. The coalescer
+// contractually serializes Ingest calls (leader-based), so no internal
+// locking is needed; an atomic flag asserts that contract instead.
+class RecordingBackend final : public ScoringBackend {
+ public:
+  Result<serve::BatchReport> Ingest(
+      std::span<const retail::Receipt> receipts) override {
+    EXPECT_FALSE(ingest_active_.exchange(true))
+        << "backend Ingest reentered concurrently";
+    batches_.emplace_back(receipts.begin(), receipts.end());
+    serve::BatchReport report;
+    report.receipts_ingested = receipts.size();
+    // Tag every receipt position with an alert so slice demultiplexing is
+    // observable: each request must get back alerts for exactly its own
+    // receipts, rebased to its own indices.
+    for (size_t i = 0; i < receipts.size(); ++i) {
+      serve::FleetAlert alert;
+      alert.customer = receipts[i].customer;
+      alert.batch_index = i;
+      report.alerts.push_back(alert);
+    }
+    ingest_active_.store(false);
+    return report;
+  }
+
+  Result<serve::CustomerQuery> Customer(retail::CustomerId customer) override {
+    serve::CustomerQuery query;
+    query.customer = customer;
+    return query;
+  }
+  Result<serve::FleetHealth> Health() override {
+    return serve::FleetHealth{};
+  }
+  Result<serve::StateMemoryStats> Memory() override {
+    return serve::StateMemoryStats{};
+  }
+  Result<std::string> Snapshot() override { return std::string("unused"); }
+
+  const std::vector<std::vector<retail::Receipt>>& batches() const {
+    return batches_;
+  }
+  std::vector<retail::Receipt> Concatenated() const {
+    std::vector<retail::Receipt> all;
+    for (const auto& batch : batches_) {
+      all.insert(all.end(), batch.begin(), batch.end());
+    }
+    return all;
+  }
+
+ private:
+  std::vector<std::vector<retail::Receipt>> batches_;
+  std::atomic<bool> ingest_active_{false};
+};
+
+retail::Receipt MakeReceipt(retail::CustomerId customer, retail::Day day) {
+  retail::Receipt receipt;
+  receipt.customer = customer;
+  receipt.day = day;
+  return receipt;
+}
+
+TEST(IngestCoalescer, SingleRequestPassesThrough) {
+  RecordingBackend backend;
+  IngestCoalescer coalescer(IngestCoalescer::Options{}, &backend);
+  const Result<IngestCoalescer::Outcome> outcome =
+      coalescer.Ingest({MakeReceipt(1, 10), MakeReceipt(2, 10)});
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->first_sequence, 0u);
+  EXPECT_EQ(outcome->report.receipts_ingested, 2u);
+  ASSERT_EQ(backend.batches().size(), 1u);
+  EXPECT_EQ(backend.batches()[0].size(), 2u);
+  EXPECT_EQ(coalescer.pending_receipts(), 0u);
+}
+
+TEST(IngestCoalescer, EmptyRequestIsCheapNoOp) {
+  RecordingBackend backend;
+  IngestCoalescer coalescer(IngestCoalescer::Options{}, &backend);
+  const Result<IngestCoalescer::Outcome> outcome = coalescer.Ingest({});
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->report.receipts_ingested, 0u);
+  EXPECT_TRUE(backend.batches().empty());
+}
+
+TEST(IngestCoalescer, SequencesAreContiguousPerRequest) {
+  RecordingBackend backend;
+  IngestCoalescer coalescer(IngestCoalescer::Options{}, &backend);
+  const Result<IngestCoalescer::Outcome> first =
+      coalescer.Ingest({MakeReceipt(1, 1), MakeReceipt(1, 2)});
+  const Result<IngestCoalescer::Outcome> second =
+      coalescer.Ingest({MakeReceipt(2, 1)});
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->first_sequence, 0u);
+  EXPECT_EQ(second->first_sequence, 2u);
+}
+
+TEST(IngestCoalescer, ConcurrentRequestsMergeWithoutLossOrReorder) {
+  RecordingBackend backend;
+  IngestCoalescer::Options options;
+  options.max_batch_receipts = 64;  // force multiple rounds
+  IngestCoalescer coalescer(options, &backend);
+
+  constexpr int kThreads = 8;
+  constexpr int kRequestsPerThread = 50;
+  constexpr int kReceiptsPerRequest = 5;
+
+  struct RequestRecord {
+    uint64_t first_sequence = 0;
+    std::vector<retail::Receipt> receipts;
+    size_t reported_ingested = 0;
+    std::vector<size_t> alert_indices;
+  };
+  std::vector<std::vector<RequestRecord>> records(kThreads);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRequestsPerThread; ++r) {
+        std::vector<retail::Receipt> receipts;
+        receipts.reserve(kReceiptsPerRequest);
+        for (int i = 0; i < kReceiptsPerRequest; ++i) {
+          // Distinct customer per (thread, request, position) so receipts
+          // are globally identifiable.
+          const auto customer = static_cast<retail::CustomerId>(
+              t * 1000000 + r * 100 + i);
+          receipts.push_back(MakeReceipt(customer, 1));
+        }
+        Result<IngestCoalescer::Outcome> outcome =
+            coalescer.Ingest(receipts);
+        ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+        RequestRecord record;
+        record.first_sequence = outcome->first_sequence;
+        record.receipts = std::move(receipts);
+        record.reported_ingested = outcome->report.receipts_ingested;
+        for (const serve::FleetAlert& alert : outcome->report.alerts) {
+          record.alert_indices.push_back(alert.batch_index);
+        }
+        records[t].push_back(std::move(record));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Reconstruct the arrival order from the per-request sequence numbers.
+  std::map<uint64_t, const RequestRecord*> by_sequence;
+  size_t total_receipts = 0;
+  for (const auto& thread_records : records) {
+    for (const RequestRecord& record : thread_records) {
+      EXPECT_EQ(record.reported_ingested, record.receipts.size());
+      // The demultiplexed slice covers exactly this request's receipts,
+      // rebased to local indices 0..n-1.
+      ASSERT_EQ(record.alert_indices.size(), record.receipts.size());
+      for (size_t i = 0; i < record.alert_indices.size(); ++i) {
+        EXPECT_EQ(record.alert_indices[i], i);
+      }
+      EXPECT_TRUE(by_sequence.emplace(record.first_sequence, &record).second)
+          << "duplicate first_sequence " << record.first_sequence;
+      total_receipts += record.receipts.size();
+    }
+  }
+
+  // Sequences tile [0, total) contiguously: request k starts where k-1
+  // ended.
+  uint64_t expected_sequence = 0;
+  std::vector<retail::Receipt> arrival_order;
+  arrival_order.reserve(total_receipts);
+  for (const auto& [sequence, record] : by_sequence) {
+    EXPECT_EQ(sequence, expected_sequence);
+    expected_sequence += record->receipts.size();
+    arrival_order.insert(arrival_order.end(), record->receipts.begin(),
+                         record->receipts.end());
+  }
+  EXPECT_EQ(expected_sequence, total_receipts);
+
+  // The backend saw exactly the arrival order, merely cut into rounds.
+  const std::vector<retail::Receipt> ingested = backend.Concatenated();
+  ASSERT_EQ(ingested.size(), total_receipts);
+  for (size_t i = 0; i < total_receipts; ++i) {
+    EXPECT_EQ(ingested[i].customer, arrival_order[i].customer) << "at " << i;
+  }
+  for (const auto& batch : backend.batches()) {
+    EXPECT_LE(batch.size(), options.max_batch_receipts);
+  }
+  EXPECT_EQ(coalescer.pending_receipts(), 0u);
+}
+
+TEST(IngestCoalescer, OversizedQueueShedsWithResourceExhausted) {
+  RecordingBackend backend;
+  IngestCoalescer::Options options;
+  options.max_queue_receipts = 4;
+  IngestCoalescer coalescer(options, &backend);
+  // A single request larger than the whole queue bound is rejected before
+  // any sequence is assigned or any receipt buffered.
+  std::vector<retail::Receipt> oversized;
+  for (int i = 0; i < 5; ++i) oversized.push_back(MakeReceipt(1, 1));
+  const Result<IngestCoalescer::Outcome> outcome =
+      coalescer.Ingest(std::move(oversized));
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kResourceExhausted)
+      << outcome.status().ToString();
+  EXPECT_EQ(coalescer.pending_receipts(), 0u);
+  EXPECT_TRUE(backend.batches().empty());
+  // The next in-bounds request still starts at sequence 0: shed requests
+  // never consume sequence numbers.
+  const Result<IngestCoalescer::Outcome> ok_outcome =
+      coalescer.Ingest({MakeReceipt(1, 1)});
+  ASSERT_TRUE(ok_outcome.ok());
+  EXPECT_EQ(ok_outcome->first_sequence, 0u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace churnlab

@@ -1,0 +1,201 @@
+// Ingest-body parsing and response rendering for the HTTP front end. The
+// parser is the quarantine boundary for malformed client JSON, so error
+// messages must name the offending receipt and hostile shapes must fail
+// fast without deep recursion or large allocation.
+
+#include "net/json_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace churnlab {
+namespace net {
+namespace {
+
+TEST(ParseReceiptBatch, ParsesFullReceipts) {
+  const Result<std::vector<retail::Receipt>> parsed = ParseReceiptBatch(
+      R"({"receipts":[{"customer":17,"day":360,"spend":12.5,"items":[3,19]},)"
+      R"({"customer":2,"day":1}]})",
+      /*max_receipts=*/100);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const std::vector<retail::Receipt>& receipts = *parsed;
+  ASSERT_EQ(receipts.size(), 2u);
+  EXPECT_EQ(receipts[0].customer, 17u);
+  EXPECT_EQ(receipts[0].day, 360);
+  EXPECT_DOUBLE_EQ(receipts[0].spend, 12.5);
+  EXPECT_EQ(receipts[0].items, (std::vector<retail::ItemId>{3, 19}));
+  EXPECT_EQ(receipts[1].customer, 2u);
+  EXPECT_EQ(receipts[1].day, 1);
+  EXPECT_TRUE(receipts[1].items.empty());
+}
+
+TEST(ParseReceiptBatch, FieldOrderIsFree) {
+  const Result<std::vector<retail::Receipt>> parsed = ParseReceiptBatch(
+      R"({"receipts":[{"items":[5],"day":7,"spend":1.0,"customer":9}]})",
+      /*max_receipts=*/10);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ((*parsed)[0].customer, 9u);
+  EXPECT_EQ((*parsed)[0].day, 7);
+}
+
+TEST(ParseReceiptBatch, ToleratesWhitespace) {
+  const Result<std::vector<retail::Receipt>> parsed = ParseReceiptBatch(
+      " { \"receipts\" : [ { \"customer\" : 1 , \"day\" : 2 } ] } ",
+      /*max_receipts=*/10);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->size(), 1u);
+}
+
+TEST(ParseReceiptBatch, EmptyBatchIsValid) {
+  const Result<std::vector<retail::Receipt>> parsed =
+      ParseReceiptBatch(R"({"receipts":[]})", /*max_receipts=*/10);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(ParseReceiptBatch, UnknownKeyRejectedWithReceiptIndex) {
+  const Result<std::vector<retail::Receipt>> parsed = ParseReceiptBatch(
+      R"({"receipts":[{"customer":1,"day":2},{"customer":3,"day":4,"x":5}]})",
+      /*max_receipts=*/10);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument());
+  EXPECT_NE(parsed.status().message().find("receipt 1"), std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(ParseReceiptBatch, MissingRequiredFieldRejected) {
+  for (const char* body : {
+           R"({"receipts":[{"day":2}]})",       // no customer
+           R"({"receipts":[{"customer":1}]})",  // no day
+       }) {
+    const Result<std::vector<retail::Receipt>> parsed =
+        ParseReceiptBatch(body, /*max_receipts=*/10);
+    ASSERT_FALSE(parsed.ok()) << body;
+    EXPECT_TRUE(parsed.status().IsInvalidArgument()) << body;
+    EXPECT_NE(parsed.status().message().find("receipt 0"), std::string::npos)
+        << parsed.status().ToString();
+  }
+}
+
+TEST(ParseReceiptBatch, SyntaxErrorsRejected) {
+  for (const char* body : {
+           "",
+           "null",
+           "[]",
+           R"({"receipts":)",
+           R"({"receipts":[{"customer":1,"day":2})",
+           R"({"receipts":[{"customer":,"day":2}]})",
+           R"({"wrong":[]})",
+       }) {
+    const Result<std::vector<retail::Receipt>> parsed =
+        ParseReceiptBatch(body, /*max_receipts=*/10);
+    ASSERT_FALSE(parsed.ok()) << "accepted: " << body;
+    EXPECT_TRUE(parsed.status().IsInvalidArgument())
+        << body << ": " << parsed.status().ToString();
+  }
+}
+
+TEST(ParseReceiptBatch, TrailingBytesRejected) {
+  const Result<std::vector<retail::Receipt>> parsed = ParseReceiptBatch(
+      R"({"receipts":[{"customer":1,"day":2}]} extra)", /*max_receipts=*/10);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument())
+      << parsed.status().ToString();
+}
+
+TEST(ParseReceiptBatch, BatchBeyondLimitIsOutOfRange) {
+  std::string body = R"({"receipts":[)";
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) body += ',';
+    body += R"({"customer":1,"day":2})";
+  }
+  body += "]}";
+  ASSERT_TRUE(ParseReceiptBatch(body, /*max_receipts=*/4).ok());
+  const Result<std::vector<retail::Receipt>> parsed =
+      ParseReceiptBatch(body, /*max_receipts=*/3);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsOutOfRange()) << parsed.status().ToString();
+}
+
+TEST(ParseReceiptBatch, HostileNestingFailsFast) {
+  // A megabyte of open brackets must be rejected by shape checking, not
+  // recursed into — the scanner is iterative with O(1) stack.
+  std::string body = R"({"receipts":)";
+  body.append(1u << 20, '[');
+  const Result<std::vector<retail::Receipt>> parsed =
+      ParseReceiptBatch(body, /*max_receipts=*/10);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument())
+      << parsed.status().ToString();
+}
+
+TEST(WriteBatchReportJson, CarriesCountsAndSequence) {
+  serve::BatchReport report;
+  report.receipts_ingested = 41;
+  report.new_customers = 3;
+  const std::string json = WriteBatchReportJson(report, /*first_sequence=*/777);
+  EXPECT_NE(json.find("\"receipts_ingested\":41"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"new_customers\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sequence\":777"), std::string::npos) << json;
+}
+
+TEST(WriteBatchReportJson, QuarantineReasonsSurface) {
+  serve::BatchReport report;
+  serve::RejectedReceipt rejected;
+  rejected.customer = 5;
+  rejected.batch_index = 2;
+  rejected.day = 9;
+  rejected.reason = Status::InvalidArgument("day moves backwards");
+  report.rejected.push_back(rejected);
+  const std::string json = WriteBatchReportJson(report, 0);
+  EXPECT_NE(json.find("day moves backwards"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"customer\":5"), std::string::npos) << json;
+}
+
+TEST(WriteCustomerJson, CarriesAllFields) {
+  serve::CustomerQuery query;
+  query.customer = 12;
+  query.shard = 4;
+  query.stability = 0.75;
+  query.state_bytes = 96;
+  const std::string json = WriteCustomerJson(query);
+  EXPECT_NE(json.find("\"customer\":12"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"shard\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("0.75"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"state_bytes\":96"), std::string::npos) << json;
+}
+
+TEST(WriteHealthJson, CarriesAggregatesAndShards) {
+  serve::FleetHealth health;
+  health.receipts_total = 100;
+  health.customers_total = 7;
+  health.poisoned_shards = 1;
+  serve::ShardHealthStats shard;
+  shard.shard = 0;
+  shard.receipts = 100;
+  health.shards.push_back(shard);
+  const std::string json = WriteHealthJson(health);
+  EXPECT_NE(json.find("\"receipts_total\":100"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"customers_total\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"poisoned_shards\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"shards\""), std::string::npos) << json;
+}
+
+TEST(WriteErrorJson, UsesStatusCodeNameAndEscapesMessage) {
+  const std::string json =
+      WriteErrorJson(Status::InvalidArgument("bad \"quote\" here"));
+  EXPECT_NE(json.find("\"error\""), std::string::npos) << json;
+  EXPECT_NE(json.find("Invalid argument"), std::string::npos) << json;
+  EXPECT_NE(json.find("\\\"quote\\\""), std::string::npos) << json;
+}
+
+TEST(WriteSnapshotJson, CarriesPath) {
+  const std::string json = WriteSnapshotJson("/tmp/fleet.snap");
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("/tmp/fleet.snap"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace churnlab

@@ -141,7 +141,8 @@ TEST_P(OnlineBatchEquivalenceTest, MatchesBatchPipeline) {
       [](retail::ItemId item) { return item; });
   SignificanceOptions significance;
   significance.alpha = alpha;
-  const StabilitySeries batch = StabilityComputer(significance).Compute(history);
+  const StabilitySeries batch =
+      StabilityComputer::Make(significance).ValueOrDie().Compute(history);
 
   // Streaming result.
   OnlineStabilityScorer::Options online_options;

@@ -33,10 +33,10 @@ TEST(ParallelDeterminism, GridSearchCellsBitwiseEqual) {
   options.folds = 3;
   options.num_threads = 1;
   const GridSearchResult sequential =
-      StabilityGridSearch::Run(dataset, options).ValueOrDie();
+      StabilityGridSearch::Make(options).ValueOrDie().Run(dataset).ValueOrDie();
   options.num_threads = 4;
   const GridSearchResult parallel =
-      StabilityGridSearch::Run(dataset, options).ValueOrDie();
+      StabilityGridSearch::Make(options).ValueOrDie().Run(dataset).ValueOrDie();
 
   ASSERT_EQ(sequential.cells.size(), parallel.cells.size());
   for (size_t i = 0; i < sequential.cells.size(); ++i) {
@@ -59,11 +59,11 @@ TEST(ParallelDeterminism, Figure1RowsBitwiseEqual) {
   options.bootstrap_resamples = 60;
   options.num_threads = 1;
   const Figure1Result sequential =
-      ExperimentRunner::RunFigure1OnDataset(dataset, options).ValueOrDie();
+      ExperimentRunner::Make(options).ValueOrDie().RunOnDataset(dataset).ValueOrDie();
   options.num_threads = 4;
   options.stability.num_threads = 4;  // model scoring sweep too
   const Figure1Result parallel =
-      ExperimentRunner::RunFigure1OnDataset(dataset, options).ValueOrDie();
+      ExperimentRunner::Make(options).ValueOrDie().RunOnDataset(dataset).ValueOrDie();
 
   ASSERT_EQ(sequential.rows.size(), parallel.rows.size());
   ASSERT_FALSE(sequential.rows.empty());

@@ -19,7 +19,7 @@ TEST_P(Figure1SeedSweep, QualitativeShapeHolds) {
   options.scenario.population.num_defecting = 150;
   options.scenario.seed = GetParam();
   const Figure1Result result =
-      ExperimentRunner::RunFigure1(options).ValueOrDie();
+      ExperimentRunner::Make(options).ValueOrDie().Run().ValueOrDie();
 
   double stability_pre = -1.0;   // month 14
   double stability_plus2 = -1.0; // month 20 (onset + 2)

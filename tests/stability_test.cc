@@ -33,7 +33,7 @@ SignificanceOptions Alpha(double alpha) {
 }
 
 TEST(StabilityComputer, FirstWindowHasNoHistoryAndStabilityOne) {
-  const StabilityComputer computer(Alpha(2.0));
+  const StabilityComputer computer = StabilityComputer::Make(Alpha(2.0)).ValueOrDie();
   const StabilitySeries series = computer.Compute(FromSets({{1, 2}}));
   ASSERT_EQ(series.size(), 1u);
   EXPECT_FALSE(series.points[0].has_history);
@@ -44,7 +44,7 @@ TEST(StabilityComputer, FirstWindowHasNoHistoryAndStabilityOne) {
 TEST(StabilityComputer, AllProductsPresentGivesStabilityOne) {
   // Paper: "If all products are contained in window k, the stability of the
   // customer is equal to 1."
-  const StabilityComputer computer(Alpha(2.0));
+  const StabilityComputer computer = StabilityComputer::Make(Alpha(2.0)).ValueOrDie();
   const StabilitySeries series =
       computer.Compute(FromSets({{1, 2, 3}, {1, 2, 3}, {1, 2, 3}}));
   for (size_t k = 1; k < series.size(); ++k) {
@@ -54,7 +54,7 @@ TEST(StabilityComputer, AllProductsPresentGivesStabilityOne) {
 }
 
 TEST(StabilityComputer, EmptyWindowAfterHistoryGivesZero) {
-  const StabilityComputer computer(Alpha(2.0));
+  const StabilityComputer computer = StabilityComputer::Make(Alpha(2.0)).ValueOrDie();
   const StabilitySeries series = computer.Compute(FromSets({{1, 2}, {}}));
   ASSERT_EQ(series.size(), 2u);
   EXPECT_TRUE(series.points[1].has_history);
@@ -64,7 +64,7 @@ TEST(StabilityComputer, EmptyWindowAfterHistoryGivesZero) {
 TEST(StabilityComputer, HandComputedTwoProductCase) {
   // Windows: {a,b}, {a} -> at k=1: S(a)=S(b)=2^(2*1-1)=2.
   // Stability_1 = S(a) / (S(a)+S(b)) = 0.5.
-  const StabilityComputer computer(Alpha(2.0));
+  const StabilityComputer computer = StabilityComputer::Make(Alpha(2.0)).ValueOrDie();
   const StabilitySeries series = computer.Compute(FromSets({{1, 2}, {1}}));
   ASSERT_EQ(series.size(), 2u);
   EXPECT_DOUBLE_EQ(series.points[1].present_significance, 2.0);
@@ -76,7 +76,7 @@ TEST(StabilityComputer, DecreaseProportionalToMissingSignificance) {
   // Build a long-standing habit a (4 windows) and a newcomer b (1 window),
   // then drop each in turn. Dropping the significant product must hurt
   // more. Windows: {a},{a},{a},{a,b}, then test {b} vs {a}.
-  const StabilityComputer computer(Alpha(2.0));
+  const StabilityComputer computer = StabilityComputer::Make(Alpha(2.0)).ValueOrDie();
   const StabilitySeries drop_a =
       computer.Compute(FromSets({{1}, {1}, {1}, {1, 2}, {2}}));
   const StabilitySeries drop_b =
@@ -89,7 +89,7 @@ TEST(StabilityComputer, DecreaseProportionalToMissingSignificance) {
 
 TEST(StabilityComputer, NewProductsDoNotInflateStability) {
   // A never-before-seen product contributes S = 0 to the numerator.
-  const StabilityComputer computer(Alpha(2.0));
+  const StabilityComputer computer = StabilityComputer::Make(Alpha(2.0)).ValueOrDie();
   const StabilitySeries with_new =
       computer.Compute(FromSets({{1}, {1, 99}}));
   const StabilitySeries without_new = computer.Compute(FromSets({{1}, {1}}));
@@ -100,7 +100,7 @@ TEST(StabilityComputer, NewProductsDoNotInflateStability) {
 TEST(StabilityComputer, RecoveryAfterMissedWindow) {
   // Miss one window, then resume: stability dips then climbs back as the
   // missing window's penalty decays.
-  const StabilityComputer computer(Alpha(2.0));
+  const StabilityComputer computer = StabilityComputer::Make(Alpha(2.0)).ValueOrDie();
   const StabilitySeries series =
       computer.Compute(FromSets({{1}, {1}, {}, {1}, {1}, {1}}));
   EXPECT_DOUBLE_EQ(series.points[2].stability, 0.0);
@@ -111,7 +111,7 @@ TEST(StabilityComputer, RecoveryAfterMissedWindow) {
 TEST(StabilityComputer, RobustToDuplicateSymbolsInWindow) {
   // Windows are contractually deduplicated, but a duplicated symbol must
   // not double-count significance (stability would exceed 1).
-  const StabilityComputer computer(Alpha(2.0));
+  const StabilityComputer computer = StabilityComputer::Make(Alpha(2.0)).ValueOrDie();
   WindowedHistory history = FromSets({{1, 2}, {1}});
   history.windows[0].symbols = {1, 1, 2};  // malformed on purpose
   history.windows[1].symbols = {1, 1};
@@ -120,7 +120,7 @@ TEST(StabilityComputer, RobustToDuplicateSymbolsInWindow) {
 }
 
 TEST(StabilityComputer, CallbackSeesPreAdvanceTrackerState) {
-  const StabilityComputer computer(Alpha(2.0));
+  const StabilityComputer computer = StabilityComputer::Make(Alpha(2.0)).ValueOrDie();
   std::vector<int32_t> windows_seen;
   computer.ComputeWithCallback(
       FromSets({{1}, {1}, {1}}),
@@ -146,7 +146,8 @@ TEST_P(StabilityBoundsTest, StabilityStaysInUnitInterval) {
         set.push_back(static_cast<Symbol>(rng.NextUint64(10)));
       }
     }
-    const StabilityComputer computer(Alpha(alpha));
+    const StabilityComputer computer =
+        StabilityComputer::Make(Alpha(alpha)).ValueOrDie();
     const StabilitySeries series = computer.Compute(FromSets(sets));
     for (const StabilityPoint& point : series.points) {
       EXPECT_GE(point.stability, 0.0);

@@ -10,6 +10,7 @@
 //   forecast      out-of-fold AUROC of future-defection prediction
 //   gridsearch    5-fold CV search over (window span, alpha)
 //   serve-replay  replay a dataset through the sharded scoring fleet
+//   serve-http    run the HTTP/1.1 scoring front end over a fleet
 //
 // Datasets are addressed by path: `x.clb` loads the binary format, any
 // other value is treated as a CSV prefix (x.receipts.csv / x.taxonomy.csv /
@@ -411,12 +412,13 @@ Status RunServeReplay(int argc, const char* const* argv) {
   CHURNLAB_ASSIGN_OR_RETURN(options.layout,
                             api::ParseStateLayout(state_layout));
 
+  // --resume shares api::OpenSnapshot with serve-http, so a corrupt tail
+  // generation falls back (and is reported) identically in both paths.
   Result<api::FleetHandle> fleet =
       resume.empty()
           ? api::FleetHandle::Make(options, dataset)
-          : api::FleetHandle::Restore(resume, dataset,
-                                      static_cast<size_t>(threads),
-                                      options.layout);
+          : api::OpenSnapshot(resume, dataset, static_cast<size_t>(threads),
+                              options.layout);
   CHURNLAB_RETURN_NOT_OK(fleet.status());
 
   // Day-ordered replay. AllReceipts is (customer, day)-sorted; the stable
@@ -535,11 +537,159 @@ Status RunServeReplay(int argc, const char* const* argv) {
   return Status::OK();
 }
 
+Status RunServeHttp(int argc, const char* const* argv) {
+  FlagParser parser(
+      "churnlab serve-http: run the HTTP/1.1 scoring front end over a "
+      "sharded fleet (POST /v1/ingest, GET /v1/customers/{id}, GET "
+      "/v1/health, GET /metrics, POST /v1/snapshot)");
+  std::string data, bind, snapshot_out, resume, failpoints, state_layout;
+  double alpha, beta;
+  int64_t window, port, retry_after, poll_ms, max_shard_retries;
+  uint64_t threads, net_threads, shards;
+  uint64_t max_body_mb, max_inflight, max_pending_mb;
+  uint64_t coalesce_batch, coalesce_queue, max_request_receipts;
+  bool products, snapshot_append;
+  parser.AddString("data", "", "dataset path (.clb) or CSV prefix; supplies "
+                   "the product taxonomy the fleet scores against", &data);
+  parser.AddString("bind", "127.0.0.1", "IPv4 address to bind", &bind);
+  parser.AddInt64("port", 8080, "TCP port (0 = ephemeral)", &port);
+  parser.AddUint64("net-threads", 8, "connection worker threads",
+                   &net_threads);
+  parser.AddUint64("threads", 1, "fleet scoring threads", &threads);
+  parser.AddUint64("shards", 16, "state-store shards", &shards);
+  parser.AddDouble("alpha", 2.0, "significance alpha", &alpha);
+  parser.AddDouble("beta", 0.6, "low-stability alert threshold", &beta);
+  parser.AddInt64("window", 2, "window span in months", &window);
+  parser.AddBool("products", false,
+                 "observe raw products instead of taxonomy segments",
+                 &products);
+  parser.AddString("state-layout", "compact",
+                   "customer-state storage: compact (SoA + arena) or heap",
+                   &state_layout);
+  parser.AddInt64("max-shard-retries", 2,
+                  "retries per failed shard task before the shard is "
+                  "poisoned",
+                  &max_shard_retries);
+  parser.AddString("resume", "",
+                   "restore the fleet from this snapshot before serving",
+                   &resume);
+  parser.AddString("snapshot-out", "",
+                   "snapshot destination for POST /v1/snapshot and the "
+                   "drain-time flush (empty disables both)",
+                   &snapshot_out);
+  parser.AddBool("snapshot-append", true,
+                 "append snapshot generations instead of truncating",
+                 &snapshot_append);
+  parser.AddUint64("max-body-mb", 8, "largest accepted request body (MiB)",
+                   &max_body_mb);
+  parser.AddUint64("max-inflight", 64,
+                   "admission bound on concurrent requests (429 beyond it)",
+                   &max_inflight);
+  parser.AddUint64("max-pending-mb", 32,
+                   "admission bound on admitted-but-unfinished body bytes "
+                   "(MiB)",
+                   &max_pending_mb);
+  parser.AddInt64("retry-after", 1,
+                  "Retry-After seconds advertised on 429/503", &retry_after);
+  parser.AddUint64("coalesce-batch", 8192,
+                   "receipts per merged ingest batch", &coalesce_batch);
+  parser.AddUint64("coalesce-queue", 65536,
+                   "receipts queued in the coalescer before shedding",
+                   &coalesce_queue);
+  parser.AddUint64("max-request-receipts", 100000,
+                   "receipts accepted per ingest request (413 beyond it)",
+                   &max_request_receipts);
+  parser.AddInt64("poll-ms", 100, "idle-connection poll tick (ms)", &poll_ms);
+  parser.AddString("failpoints", "",
+                   "fault-injection spec, e.g. 'net.read=error@every(100)' "
+                   "(docs/ROBUSTNESS.md)",
+                   &failpoints);
+  CHURNLAB_RETURN_NOT_OK(parser.Parse(argc, argv, 2));
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("--port must be in [0, 65535]");
+  }
+  if (retry_after <= 0) {
+    return Status::InvalidArgument("--retry-after must be positive");
+  }
+  if (poll_ms <= 0) {
+    return Status::InvalidArgument("--poll-ms must be positive");
+  }
+  if (max_shard_retries < 0) {
+    return Status::InvalidArgument("--max-shard-retries must be >= 0");
+  }
+  if (!failpoints.empty()) {
+    CHURNLAB_RETURN_NOT_OK(
+        api::FailpointRegistry::Global().ArmFromSpec(failpoints));
+  }
+  CHURNLAB_ASSIGN_OR_RETURN(const api::Dataset dataset, LoadDataset(data));
+
+  api::FleetOptions options;
+  options.scorer.significance.alpha = alpha;
+  options.scorer.window_span_days =
+      static_cast<api::Day>(window) * api::kDaysPerMonth;
+  options.policy.beta = beta;
+  options.num_shards = static_cast<size_t>(shards);
+  options.num_threads = static_cast<size_t>(threads);
+  options.granularity = products ? api::Granularity::kProduct
+                                 : api::Granularity::kSegment;
+  options.shard_retry.max_retries = static_cast<int>(max_shard_retries);
+  CHURNLAB_ASSIGN_OR_RETURN(options.layout,
+                            api::ParseStateLayout(state_layout));
+
+  // --resume shares api::OpenSnapshot with serve-replay, so a corrupt tail
+  // generation falls back (and is reported) identically in both paths.
+  Result<api::FleetHandle> fleet =
+      resume.empty()
+          ? api::FleetHandle::Make(options, dataset)
+          : api::OpenSnapshot(resume, dataset, static_cast<size_t>(threads),
+                              options.layout);
+  CHURNLAB_RETURN_NOT_OK(fleet.status());
+
+  api::ServerHandle::Options server_options;
+  server_options.http.bind_address = bind;
+  server_options.http.port = static_cast<uint16_t>(port);
+  server_options.http.num_threads = static_cast<size_t>(net_threads);
+  server_options.http.limits.max_body_bytes =
+      static_cast<size_t>(max_body_mb) * 1024 * 1024;
+  server_options.http.admission.max_inflight_requests =
+      static_cast<size_t>(max_inflight);
+  server_options.http.admission.max_pending_bytes =
+      static_cast<size_t>(max_pending_mb) * 1024 * 1024;
+  server_options.http.admission.retry_after_seconds =
+      static_cast<int>(retry_after);
+  server_options.http.coalescer.max_batch_receipts =
+      static_cast<size_t>(coalesce_batch);
+  server_options.http.coalescer.max_queue_receipts =
+      static_cast<size_t>(coalesce_queue);
+  server_options.http.max_receipts_per_request =
+      static_cast<size_t>(max_request_receipts);
+  server_options.http.poll_interval_ms = static_cast<int>(poll_ms);
+  server_options.snapshot_path = snapshot_out;
+  server_options.snapshot_append = snapshot_append;
+
+  CHURNLAB_ASSIGN_OR_RETURN(
+      api::ServerHandle server,
+      api::ServerHandle::Make(std::move(server_options), std::move(*fleet)));
+  CHURNLAB_RETURN_NOT_OK(server.Start());
+  CHURNLAB_RETURN_NOT_OK(server.InstallSignalHandler());
+  std::printf("serving on http://%s:%u (SIGTERM or SIGINT drains)\n",
+              bind.c_str(), static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+  CHURNLAB_RETURN_NOT_OK(server.Wait());
+
+  const api::FleetHealth health = server.fleet().Health();
+  std::printf("drained: %zu customers, %llu receipts, %zu shards poisoned\n",
+              health.customers_total,
+              static_cast<unsigned long long>(health.receipts_total),
+              health.poisoned_shards);
+  return Status::OK();
+}
+
 int Main(int argc, const char* const* argv) {
   const std::string usage =
       "usage: churnlab "
       "<simulate|stats|score|explain|profile|evaluate|forecast|gridsearch|"
-      "serve-replay> [flags]\n       churnlab <subcommand> --help\n"
+      "serve-replay|serve-http> [flags]\n       churnlab <subcommand> --help\n"
       "global flags: --verbose (progress logs), --trace (profile table on "
       "stderr),\n"
       "              --metrics-out=<path> (telemetry JSON), "
@@ -674,6 +824,8 @@ int Main(int argc, const char* const* argv) {
       status = RunGridSearch(argc, argv);
     } else if (command == "serve-replay") {
       status = RunServeReplay(argc, argv);
+    } else if (command == "serve-http") {
+      status = RunServeHttp(argc, argv);
     } else {
       std::fprintf(stderr, "unknown subcommand '%s'\n%s", command.c_str(),
                    usage.c_str());
