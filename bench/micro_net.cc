@@ -115,6 +115,7 @@ BENCHMARK(BM_WriteBatchReportJson);
 class NullBackend final : public net::ScoringBackend {
  public:
   Result<serve::BatchReport> Ingest(
+      uint64_t /*first_sequence*/,
       std::span<const retail::Receipt> receipts) override {
     serve::BatchReport report;
     report.receipts_ingested = receipts.size();

@@ -7,6 +7,7 @@
 // threads on a multi-core box to measure fan-out speedup.
 
 #include <algorithm>
+#include <filesystem>
 #include <span>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "obs/flight_recorder.h"
 #include "retail/dataset.h"
 #include "serve/fleet.h"
+#include "serve/journal.h"
 #include "serve/state_store.h"
 
 namespace churnlab {
@@ -242,6 +244,120 @@ BENCHMARK(BM_FleetMemory)
     ->Args({1, 1 << 20})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
+
+// One 256-receipt journal frame per coalesced round.
+std::vector<retail::Receipt> JournalFrameReceipts() {
+  std::vector<retail::Receipt> frame(256);
+  for (size_t i = 0; i < frame.size(); ++i) {
+    frame[i].customer = static_cast<retail::CustomerId>(i % 512);
+    frame[i].day = 1;
+    frame[i].spend = 2.5;
+    frame[i].items = {static_cast<retail::ItemId>(i % 7),
+                      static_cast<retail::ItemId>(20 + i % 3)};
+  }
+  return frame;
+}
+
+// Write-ahead append + round flush: the latency the journal adds to every
+// acknowledged coalesced round, per fsync policy (arg 0: none, 1: batch,
+// 2: always). Under kBatch the Sync per iteration mirrors the server's
+// one-fsync-per-round batch-ack discipline.
+void BM_JournalAppend(benchmark::State& state) {
+  const serve::FsyncPolicy policy =
+      state.range(0) == 0   ? serve::FsyncPolicy::kNone
+      : state.range(0) == 1 ? serve::FsyncPolicy::kBatch
+                            : serve::FsyncPolicy::kAlways;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "churnlab_bench_journal")
+          .string();
+  std::filesystem::remove_all(dir);
+  serve::JournalOptions options;
+  options.directory = dir;
+  options.fsync = policy;
+  auto journal_result = serve::IngestJournal::Open(options);
+  journal_result.status().Abort("journal");
+  serve::IngestJournal& journal = journal_result.ValueOrDie();
+  const std::vector<retail::Receipt> frame = JournalFrameReceipts();
+  for (auto _ : state) {
+    journal.Append(journal.next_sequence(), frame).Abort("append");
+    journal.Sync().Abort("sync");
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(frame.size()));
+  journal.Close();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_JournalAppend)->Arg(0)->Arg(1)->Arg(2);
+
+// Checkpoint at the head: the periodic-snapshot tick's journal half
+// (checkpoint record tmp+fsync+rename plus truncating fully-covered
+// segments).
+void BM_JournalCheckpoint(benchmark::State& state) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "churnlab_bench_journal_ckpt")
+          .string();
+  std::filesystem::remove_all(dir);
+  serve::JournalOptions options;
+  options.directory = dir;
+  options.fsync = serve::FsyncPolicy::kNone;
+  options.max_segment_bytes = 64 << 10;  // exercise rotation + truncation
+  auto journal_result = serve::IngestJournal::Open(options);
+  journal_result.status().Abort("journal");
+  serve::IngestJournal& journal = journal_result.ValueOrDie();
+  const std::vector<retail::Receipt> frame = JournalFrameReceipts();
+  serve::SnapshotRef ref;
+  ref.kind = serve::SnapshotRef::Kind::kGeneration;
+  ref.size = 4096;
+  ref.crc = 0x12345678;
+  for (auto _ : state) {
+    for (int i = 0; i < 4; ++i) {
+      journal.Append(journal.next_sequence(), frame).Abort("append");
+    }
+    journal.Checkpoint(journal.next_sequence(), ref).Abort("checkpoint");
+  }
+  state.SetItemsProcessed(state.iterations());
+  journal.Close();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_JournalCheckpoint);
+
+// Crash-recovery scan: reopening a journal of `range(0)` 64-receipt frames
+// read-only and decoding every frame — the startup cost --recover pays per
+// un-checkpointed frame.
+void BM_JournalRecoveryScan(benchmark::State& state) {
+  const size_t num_frames = static_cast<size_t>(state.range(0));
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "churnlab_bench_journal_scan")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::vector<retail::Receipt> frame = JournalFrameReceipts();
+  frame.resize(64);
+  {
+    serve::JournalOptions options;
+    options.directory = dir;
+    options.fsync = serve::FsyncPolicy::kNone;
+    auto journal_result = serve::IngestJournal::Open(options);
+    journal_result.status().Abort("journal");
+    serve::IngestJournal& journal = journal_result.ValueOrDie();
+    for (size_t i = 0; i < num_frames; ++i) {
+      journal.Append(journal.next_sequence(), frame).Abort("append");
+    }
+  }
+  for (auto _ : state) {
+    serve::JournalOptions options;
+    options.directory = dir;
+    options.recover = true;
+    options.read_only = true;
+    serve::JournalRecovery recovery;
+    auto scanned = serve::IngestJournal::Open(options, &recovery);
+    scanned.status().Abort("scan");
+    benchmark::DoNotOptimize(recovery.frames.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(num_frames * frame.size()));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_JournalRecoveryScan)->Arg(64)->Arg(1024);
 
 }  // namespace
 }  // namespace churnlab

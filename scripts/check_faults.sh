@@ -20,8 +20,9 @@ fi
 JOBS=$(nproc 2>/dev/null || echo 2)
 
 FAULT_TARGETS=(failpoint_test serve_fault_test snapshot_fuzz_test
+               journal_test journal_fuzz_test
                thread_pool_test serve_test serve_determinism_test)
-FAULT_FILTER='Failpoint|RetryPolicy|RetryWithBackoff|ServeFault|SnapshotFuzz|ThreadPool'
+FAULT_FILTER='Failpoint|RetryPolicy|RetryWithBackoff|ServeFault|SnapshotFuzz|Journal|ThreadPool'
 # Output-neutral delay faults: they reshuffle thread timing without changing
 # results, which is exactly what the determinism suites should survive under
 # TSan. The serve determinism tests assert byte-identical output themselves.
@@ -93,5 +94,12 @@ grep -q '"churnlab.failpoint.triggered":' "${WORK}/faulty1.metrics.json" \
 if grep -q '"churnlab.failpoint.triggered":0[,}]' "${WORK}/faulty1.metrics.json"; then
   echo "FAIL: failpoints armed but never triggered"; exit 1
 fi
+
+# --- Durability: kill -9 crash-recovery chaos harness -----------------------
+# The sanitizer journal suites already ran above via the fault suites'
+# build dirs; check_crash.sh re-running them would rebuild nothing new, so
+# the harness here covers the process-death matrix only.
+echo "== crash-recovery chaos harness =="
+CHURNLAB_CRASH_NO_SANITIZERS=1 "$(dirname "$0")/check_crash.sh" build 2
 
 echo "== fault checks: OK =="

@@ -101,22 +101,111 @@ Result<FleetHandle> OpenSnapshot(const std::string& path,
   return FleetHandle(std::move(fleet));
 }
 
+Result<RecoveredFleet> RecoverFleet(const std::string& journal_dir,
+                                    const std::string& snapshot_path,
+                                    FleetOptions fresh_options,
+                                    const Dataset& dataset,
+                                    size_t num_threads, StateLayout layout) {
+  serve::JournalOptions journal_options;
+  journal_options.directory = journal_dir;
+  journal_options.recover = true;
+  journal_options.read_only = true;
+  serve::JournalRecovery recovery;
+  CHURNLAB_ASSIGN_OR_RETURN(
+      serve::IngestJournal journal,
+      serve::IngestJournal::Open(journal_options, &recovery));
+  CHURNLAB_ASSIGN_OR_RETURN(
+      serve::ScoringFleet fleet,
+      serve::ScoringFleet::Recover(recovery, snapshot_path,
+                                   std::move(fresh_options),
+                                   &dataset.taxonomy(), num_threads, layout));
+  recovery.frames.clear();
+  recovery.frames.shrink_to_fit();
+  return RecoveredFleet{FleetHandle(std::move(fleet)), std::move(recovery)};
+}
+
 // ---------------------------------------------------------------------------
 // ServerHandle
 // ---------------------------------------------------------------------------
 
 Result<ServerHandle> ServerHandle::Make(Options options, FleetHandle fleet) {
   auto owned_fleet = std::make_unique<FleetHandle>(std::move(fleet));
+  std::unique_ptr<serve::IngestJournal> journal;
+  if (!options.journal_dir.empty()) {
+    serve::JournalOptions journal_options;
+    journal_options.directory = options.journal_dir;
+    journal_options.fsync = options.journal_fsync;
+    CHURNLAB_ASSIGN_OR_RETURN(serve::IngestJournal opened,
+                              serve::IngestJournal::Open(journal_options));
+    journal = std::make_unique<serve::IngestJournal>(std::move(opened));
+  }
+  return Assemble(std::move(options), std::move(owned_fleet),
+                  std::move(journal));
+}
+
+Result<ServerHandle> ServerHandle::Recover(Options options,
+                                           FleetOptions fleet_options,
+                                           const Dataset& dataset,
+                                           size_t num_threads,
+                                           StateLayout layout,
+                                           JournalRecovery* recovery_out) {
+  if (options.journal_dir.empty()) {
+    return Status::InvalidArgument(
+        "ServerHandle::Recover requires a journal directory");
+  }
+  serve::JournalOptions journal_options;
+  journal_options.directory = options.journal_dir;
+  journal_options.fsync = options.journal_fsync;
+  journal_options.recover = true;
+  serve::JournalRecovery recovery;
+  CHURNLAB_ASSIGN_OR_RETURN(
+      serve::IngestJournal opened,
+      serve::IngestJournal::Open(journal_options, &recovery));
+  CHURNLAB_ASSIGN_OR_RETURN(
+      serve::ScoringFleet fleet,
+      serve::ScoringFleet::Recover(recovery, options.snapshot_path,
+                                   std::move(fleet_options),
+                                   &dataset.taxonomy(), num_threads, layout));
+  recovery.frames.clear();
+  recovery.frames.shrink_to_fit();
+  if (recovery_out != nullptr) *recovery_out = recovery;
+  auto owned_fleet = std::make_unique<FleetHandle>(
+      FleetHandle(std::move(fleet)));
+  auto journal = std::make_unique<serve::IngestJournal>(std::move(opened));
+  return Assemble(std::move(options), std::move(owned_fleet),
+                  std::move(journal));
+}
+
+Result<ServerHandle> ServerHandle::Assemble(
+    Options options, std::unique_ptr<FleetHandle> fleet,
+    std::unique_ptr<serve::IngestJournal> journal) {
+  if (journal != nullptr) {
+    if (options.snapshot_path.empty()) {
+      return Status::InvalidArgument(
+          "journaling requires a snapshot path for checkpoints");
+    }
+    if (!options.snapshot_append) {
+      return Status::InvalidArgument(
+          "journaling requires append-mode snapshots: a truncating "
+          "snapshot destroys the generation the journal checkpoint "
+          "refers to");
+    }
+    // Arrival-sequence numbering continues where the journal stops, so a
+    // recovered server's journal frames extend the crashed server's
+    // sequence space with no gap or overlap.
+    options.http.coalescer.first_sequence = journal->next_sequence();
+  }
   net::FleetBackend::Options backend_options;
   backend_options.snapshot_path = std::move(options.snapshot_path);
   backend_options.snapshot_append = options.snapshot_append;
+  backend_options.journal = journal.get();
   auto backend = std::make_unique<net::FleetBackend>(
-      &owned_fleet->fleet_, std::move(backend_options));
+      &fleet->fleet_, std::move(backend_options));
   CHURNLAB_ASSIGN_OR_RETURN(
       std::unique_ptr<net::HttpServer> server,
       net::HttpServer::Make(std::move(options.http), backend.get()));
-  return ServerHandle(std::move(owned_fleet), std::move(backend),
-                      std::move(server));
+  return ServerHandle(std::move(fleet), std::move(journal),
+                      std::move(backend), std::move(server));
 }
 
 Status ServerHandle::Start() { return server_->Start(); }

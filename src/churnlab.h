@@ -138,6 +138,17 @@ using serve::ShardHealthStats;
 using serve::StateLayout;
 using serve::StateLayoutToString;
 using serve::StateMemoryStats;
+/// Durable ingest journal (docs/ROBUSTNESS.md §Durability): the
+/// write-ahead log the HTTP server appends every coalesced batch to
+/// before applying or acknowledging it, plus the recovery summary a
+/// crash restart produces.
+using serve::FsyncPolicy;
+using serve::FsyncPolicyToString;
+using serve::IngestJournal;
+using serve::JournalOptions;
+using serve::JournalRecovery;
+using serve::ParseFsyncPolicy;
+using serve::SnapshotRef;
 using MonitorPolicy = core::MonitorPolicy;
 using StabilityAlert = core::StabilityAlert;
 /// Fault injection (docs/ROBUSTNESS.md): arm failpoints programmatically or
@@ -146,6 +157,13 @@ using StabilityAlert = core::StabilityAlert;
 /// retries through FleetOptions::shard_retry.
 using churnlab::FailpointRegistry;
 using churnlab::RetryPolicy;
+
+class FleetHandle;
+struct RecoveredFleet;
+Result<RecoveredFleet> RecoverFleet(
+    const std::string& journal_dir, const std::string& snapshot_path,
+    FleetOptions fresh_options, const Dataset& dataset, size_t num_threads,
+    StateLayout layout);
 
 /// \brief Streaming multi-customer serving: sharded per-customer state,
 /// batched ingestion, alerting, and bit-identical snapshot/restore.
@@ -219,6 +237,13 @@ class FleetHandle {
                                           const Dataset& dataset,
                                           size_t num_threads,
                                           StateLayout layout);
+  friend struct RecoveredFleet;
+  friend Result<RecoveredFleet> RecoverFleet(const std::string& journal_dir,
+                                             const std::string& snapshot_path,
+                                             FleetOptions fresh_options,
+                                             const Dataset& dataset,
+                                             size_t num_threads,
+                                             StateLayout layout);
 
   explicit FleetHandle(serve::ScoringFleet fleet)
       : fleet_(std::move(fleet)) {}
@@ -235,6 +260,28 @@ class FleetHandle {
 Result<FleetHandle> OpenSnapshot(
     const std::string& path, const Dataset& dataset, size_t num_threads = 0,
     StateLayout layout = StateLayout::kCompact);
+
+/// A fleet rebuilt from a journal by RecoverFleet, plus the recovery
+/// summary (watermark, replayed frame/receipt counts, next sequence; the
+/// replayed frames themselves are released after the rebuild).
+struct RecoveredFleet {
+  FleetHandle fleet;
+  JournalRecovery recovery;
+};
+
+/// Read-only crash recovery for offline tools (`serve-replay --recover`):
+/// opens `journal_dir` without mutating it, restores the checkpointed
+/// snapshot generation from `snapshot_path` (or a fresh fleet built from
+/// `fresh_options` when no checkpoint was ever written), and replays every
+/// journal frame above the durable watermark in arrival-sequence order.
+/// The result is byte-identical to the fleet the crashed server held after
+/// its last journaled batch. Torn trailing frames are discarded (counted
+/// in the recovery summary); any interior corruption or sequence gap is a
+/// hard DataLoss error, never a silent skip.
+Result<RecoveredFleet> RecoverFleet(
+    const std::string& journal_dir, const std::string& snapshot_path,
+    FleetOptions fresh_options, const Dataset& dataset,
+    size_t num_threads = 0, StateLayout layout = StateLayout::kCompact);
 
 // ---------------------------------------------------------------------------
 // Network serving
@@ -269,10 +316,34 @@ class ServerHandle {
     /// Drain-time / POST /v1/snapshot destination; empty disables both.
     std::string snapshot_path;
     /// Append generations (crash-tolerant) versus truncate-and-write.
+    /// Must stay true when a journal is configured: checkpoints name the
+    /// exact snapshot generation they cover, and a truncating snapshot
+    /// would destroy the previous checkpoint's bytes mid-write.
     bool snapshot_append = true;
+    /// Durable ingest journal directory; empty disables journaling. When
+    /// set, every coalesced ingest batch is appended (and synced per
+    /// `journal_fsync`) BEFORE it is applied or acknowledged, and every
+    /// snapshot doubles as a checkpoint that truncates the journal.
+    /// Requires a snapshot_path and snapshot_append.
+    std::string journal_dir;
+    /// When to fsync journal appends (serve::FsyncPolicy).
+    serve::FsyncPolicy journal_fsync = serve::FsyncPolicy::kBatch;
   };
 
   static Result<ServerHandle> Make(Options options, FleetHandle fleet);
+
+  /// Crash recovery: opens `options.journal_dir` for replay + append,
+  /// rebuilds the fleet from the checkpointed snapshot generation in
+  /// `options.snapshot_path` plus the journal frames above the durable
+  /// watermark (see RecoverFleet), and returns a server whose arrival
+  /// sequence numbering continues where the crashed process stopped.
+  /// `fleet_options` seeds a fresh fleet when no checkpoint was written
+  /// before the crash. When `recovery_out` is non-null it receives the
+  /// recovery summary (frames released).
+  static Result<ServerHandle> Recover(
+      Options options, FleetOptions fleet_options, const Dataset& dataset,
+      size_t num_threads = 0, StateLayout layout = StateLayout::kCompact,
+      JournalRecovery* recovery_out = nullptr);
 
   /// Binds, listens, and starts serving (returns immediately).
   Status Start();
@@ -299,15 +370,24 @@ class ServerHandle {
 
  private:
   ServerHandle(std::unique_ptr<FleetHandle> fleet,
+               std::unique_ptr<serve::IngestJournal> journal,
                std::unique_ptr<net::FleetBackend> backend,
                std::unique_ptr<net::HttpServer> server)
       : fleet_(std::move(fleet)),
+        journal_(std::move(journal)),
         backend_(std::move(backend)),
         server_(std::move(server)) {}
 
+  /// Shared tail of Make and Recover: validates journal/snapshot option
+  /// coupling and wires fleet -> backend -> server.
+  static Result<ServerHandle> Assemble(
+      Options options, std::unique_ptr<FleetHandle> fleet,
+      std::unique_ptr<serve::IngestJournal> journal);
+
   // Held as pointers so the handle stays movable while the server keeps
-  // stable addresses for the backend and fleet.
+  // stable addresses for the backend, journal, and fleet.
   std::unique_ptr<FleetHandle> fleet_;
+  std::unique_ptr<serve::IngestJournal> journal_;
   std::unique_ptr<net::FleetBackend> backend_;
   std::unique_ptr<net::HttpServer> server_;
 };

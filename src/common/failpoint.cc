@@ -61,6 +61,20 @@ Status ParseAction(std::string_view text, FailpointConfig* config) {
     config->action = FailpointAction::kDelay;
     return Status::OK();
   }
+  if (text == "abort") {
+    config->action = FailpointAction::kAbort;
+    return Status::OK();
+  }
+  if (ParseCall(text, "abort", &arg)) {
+    uint64_t code = 0;
+    CHURNLAB_ASSIGN_OR_RETURN(code, ParseUint64(arg));
+    if (code == 0 || code > 255) {
+      return Status::InvalidArgument("abort(code) needs code in [1, 255]");
+    }
+    config->abort_code = static_cast<int>(code);
+    config->action = FailpointAction::kAbort;
+    return Status::OK();
+  }
   return Status::InvalidArgument("unknown failpoint action '" +
                                  std::string(text) + "'");
 }
@@ -116,6 +130,8 @@ std::string_view FailpointActionToString(FailpointAction action) {
       return "corrupt-bytes";
     case FailpointAction::kDelay:
       return "delay";
+    case FailpointAction::kAbort:
+      return "abort";
   }
   return "unknown";
 }
@@ -195,6 +211,11 @@ Status Failpoint::Act(const FailpointConfig& config, uint64_t fire,
             static_cast<char>(1u << (mixed % 8));
       }
       return Status::OK();
+    case FailpointAction::kAbort:
+      // The observer above already ran (flight-recorder dump attempted);
+      // now die without flushing anything else, like a kill -9 landing
+      // exactly here.
+      std::_Exit(config.abort_code);
   }
   return Status::OK();
 }

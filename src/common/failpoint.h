@@ -28,6 +28,12 @@ namespace churnlab {
 ///   - *corrupt-bytes*: the site deterministically flips one bit of a byte
 ///                      buffer it is about to write/consume
 ///   - *delay(ms)*:     the site sleeps for `ms` milliseconds
+///   - *abort[(code)]*: the process exits immediately via std::_Exit with
+///                      the given nonzero status (default 42) — no atexit
+///                      handlers, no buffered-stream flush. The trigger
+///                      observer runs first, so the flight recorder gets a
+///                      chance to dump. This is how the crash harness
+///                      simulates kill -9 at an exact instruction boundary.
 ///
 /// Trigger schedules are deterministic — `always`, `every(N)` (hits N, 2N,
 /// ...), `nth(K)` (hit K only) — so an injected fault replays bit-identically
@@ -52,6 +58,7 @@ enum class FailpointAction {
   kThrow,         ///< the site throws FailpointException
   kCorruptBytes,  ///< CorruptBytes() flips one bit of the buffer
   kDelay,         ///< the site sleeps for delay_ms
+  kAbort,         ///< the process _Exit()s with abort_code (crash injection)
 };
 
 std::string_view FailpointActionToString(FailpointAction action);
@@ -75,6 +82,9 @@ struct FailpointConfig {
   FailpointAction action = FailpointAction::kError;
   /// Sleep duration for the *delay* action.
   double delay_ms = 0.0;
+  /// Exit status for the *abort* action; must be in [1, 255] so the parent
+  /// can always distinguish an injected crash from a clean exit.
+  int abort_code = 42;
 
   enum class Schedule {
     kAlways,  ///< every matching hit fires
@@ -182,6 +192,7 @@ class FailpointRegistry {
   ///   spec   := entry (';' entry)*
   ///   entry  := site '=' action ('@' modifier)*
   ///   action := 'error' | 'throw' | 'corrupt-bytes' | 'delay(' ms ')'
+  ///             | 'abort' | 'abort(' code ')'
   ///   mod    := 'always' | 'every(' N ')' | 'nth(' N ')' | 'key(' K ')'
   ///             | 'limit(' M ')'
   ///

@@ -29,6 +29,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Failed precondition";
     case StatusCode::kResourceExhausted:
       return "Resource exhausted";
+    case StatusCode::kDataLoss:
+      return "Data loss";
   }
   return "Unknown";
 }

@@ -28,6 +28,10 @@ enum class StatusCode : char {
   /// A bounded resource (admission quota, queue capacity) is exhausted;
   /// the caller should back off and retry (HTTP 429, see docs/API.md).
   kResourceExhausted = 10,
+  /// Unrecoverable loss or corruption of durable data (an interior journal
+  /// frame failing its CRC, a truncated non-tail segment). Distinct from
+  /// kIOError: retrying cannot help, the bytes are gone.
+  kDataLoss = 11,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -97,6 +101,9 @@ class Status {
   static Status ResourceExhausted(std::string message) {
     return Status(StatusCode::kResourceExhausted, std::move(message));
   }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
+  }
 
   /// True iff the status is success.
   bool ok() const { return state_ == nullptr; }
@@ -130,6 +137,7 @@ class Status {
   bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
   }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

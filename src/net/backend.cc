@@ -6,9 +6,20 @@ namespace churnlab {
 namespace net {
 
 Result<serve::BatchReport> FleetBackend::Ingest(
-    std::span<const retail::Receipt> receipts) {
+    uint64_t first_sequence, std::span<const retail::Receipt> receipts) {
   std::lock_guard<std::mutex> lock(mutex_);
-  return fleet_->IngestBatch(receipts);
+  // Write-ahead: the batch must be journaled before the fleet applies it.
+  // Under FsyncPolicy::kAlways the append is durable when it returns; under
+  // kBatch the Sync below makes the whole round durable before any of its
+  // responses are sent (the coalescer acks only after Ingest returns).
+  if (options_.journal != nullptr) {
+    CHURNLAB_RETURN_NOT_OK(options_.journal->Append(first_sequence, receipts));
+  }
+  Result<serve::BatchReport> report = fleet_->IngestBatch(receipts);
+  if (options_.journal != nullptr && report.ok()) {
+    CHURNLAB_RETURN_NOT_OK(options_.journal->Sync());
+  }
+  return report;
 }
 
 Result<serve::CustomerQuery> FleetBackend::Customer(
@@ -34,12 +45,29 @@ Result<std::string> FleetBackend::Snapshot() {
         "no snapshot path configured (start the server with one to enable "
         "POST /v1/snapshot and the drain-time flush)");
   }
+  if (options_.journal != nullptr && !options_.snapshot_append) {
+    // A truncating snapshot destroys the previous checkpoint's bytes before
+    // the new checkpoint record lands — a crash in that window would leave
+    // nothing to recover from. Journaling therefore requires the
+    // append-mode generation format (enforced at startup too).
+    return Status::InvalidArgument(
+        "journaling requires append-mode snapshots");
+  }
   std::lock_guard<std::mutex> lock(mutex_);
+  serve::SnapshotRef ref;
   if (options_.snapshot_append) {
-    CHURNLAB_RETURN_NOT_OK(
-        fleet_->AppendSnapshotToFile(options_.snapshot_path));
+    CHURNLAB_ASSIGN_OR_RETURN(
+        ref, fleet_->AppendSnapshotGeneration(options_.snapshot_path));
   } else {
-    CHURNLAB_RETURN_NOT_OK(fleet_->SaveSnapshotToFile(options_.snapshot_path));
+    CHURNLAB_ASSIGN_OR_RETURN(
+        ref, fleet_->SaveSnapshotWithRef(options_.snapshot_path));
+  }
+  if (options_.journal != nullptr) {
+    // Under the mutex every journaled receipt is applied, so the journal's
+    // next sequence IS the snapshot's watermark; segments at or below it
+    // are truncated.
+    CHURNLAB_RETURN_NOT_OK(options_.journal->Checkpoint(
+        options_.journal->next_sequence(), ref));
   }
   return options_.snapshot_path;
 }

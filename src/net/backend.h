@@ -26,8 +26,12 @@ class ScoringBackend {
  public:
   virtual ~ScoringBackend() = default;
 
+  /// Ingests one coalesced batch. `first_sequence` is the arrival sequence
+  /// number of the batch's first receipt (the coalescer's rounds are
+  /// sequence-contiguous), which a journaling backend persists with the
+  /// batch so crash recovery can replay in arrival order.
   virtual Result<serve::BatchReport> Ingest(
-      std::span<const retail::Receipt> receipts) = 0;
+      uint64_t first_sequence, std::span<const retail::Receipt> receipts) = 0;
   virtual Result<serve::CustomerQuery> Customer(
       retail::CustomerId customer) = 0;
   virtual Result<serve::FleetHealth> Health() = 0;
@@ -50,12 +54,20 @@ class FleetBackend final : public ScoringBackend {
     /// Append a generation (crash-tolerant CHLFGENS, the default) versus
     /// truncating with a bare snapshot.
     bool snapshot_append = true;
+    /// Write-ahead ingest journal (borrowed; may be null). When set, every
+    /// batch is appended — and, under FsyncPolicy::kAlways/kBatch, made
+    /// durable — before Ingest returns, and Snapshot() checkpoints the
+    /// journal at the applied-sequence watermark after flushing the
+    /// snapshot. The journal's own sequence tracking enforces that batches
+    /// arrive contiguous.
+    serve::IngestJournal* journal = nullptr;
   };
 
   FleetBackend(serve::ScoringFleet* fleet, Options options)
       : fleet_(fleet), options_(std::move(options)) {}
 
   Result<serve::BatchReport> Ingest(
+      uint64_t first_sequence,
       std::span<const retail::Receipt> receipts) override;
   Result<serve::CustomerQuery> Customer(retail::CustomerId customer) override;
   Result<serve::FleetHealth> Health() override;

@@ -34,7 +34,9 @@ const CoalescerMetrics& Metrics() {
 }  // namespace
 
 IngestCoalescer::IngestCoalescer(Options options, ScoringBackend* backend)
-    : options_(options), backend_(backend) {}
+    : options_(options),
+      backend_(backend),
+      next_sequence_(options.first_sequence) {}
 
 Result<IngestCoalescer::Outcome> IngestCoalescer::Ingest(
     std::vector<retail::Receipt> receipts) {
@@ -98,9 +100,13 @@ void IngestCoalescer::RunLeader(std::unique_lock<std::mutex>* lock) {
                     std::make_move_iterator(entry->receipts.end()));
       entry->receipts.clear();
     }
+    // The round's receipts are sequence-contiguous (requests drain in
+    // enqueue order), so the first entry's sequence numbers the whole
+    // merged batch for the backend's write-ahead journal.
     Result<serve::BatchReport> report =
-        merged.empty() ? Result<serve::BatchReport>(serve::BatchReport{})
-                       : backend_->Ingest(merged);
+        merged.empty()
+            ? Result<serve::BatchReport>(serve::BatchReport{})
+            : backend_->Ingest(round.front()->first_sequence, merged);
     metrics.batches->Increment();
     metrics.requests->Increment(round.size());
     metrics.batch_receipts->Record(static_cast<double>(round_receipts));

@@ -47,6 +47,10 @@ class IngestCoalescer {
     size_t max_batch_receipts = 8192;
     /// Bound on receipts waiting to be ingested (excess -> 429).
     size_t max_queue_receipts = 65536;
+    /// Sequence number assigned to the first receipt to arrive. A server
+    /// recovering from a journal seeds this with the recovered next
+    /// sequence so the global arrival numbering continues unbroken.
+    uint64_t first_sequence = 0;
   };
 
   /// One request's demultiplexed result.

@@ -210,16 +210,19 @@ Status HttpParser::ParseHeaderSection(size_t header_end) {
     std::string name = AsciiToLower(raw_name);
     std::string value(StripAsciiWhitespace(line.substr(colon + 1)));
     if (name == "content-length") {
+      // Request-smuggling hygiene (RFC 9112 §6.3): ANY repeated
+      // Content-Length is rejected, even when the copies agree — two
+      // parsers disagreeing on which copy wins is exactly how a desynced
+      // body is smuggled past a front proxy.
+      if (have_content_length) {
+        return Status::InvalidArgument("duplicate Content-Length headers");
+      }
       // The length is untrusted: parse strictly and clamp against the
       // configured bound BEFORE any body storage is reserved.
       Result<uint64_t> parsed = ParseUint64(value);
       if (!parsed.ok()) {
         return Status::InvalidArgument("malformed Content-Length '" + value +
                                        "'");
-      }
-      if (have_content_length &&
-          *parsed != static_cast<uint64_t>(content_length_)) {
-        return Status::InvalidArgument("conflicting Content-Length headers");
       }
       if (*parsed > limits_.max_body_bytes) {
         return Status::OutOfRange(

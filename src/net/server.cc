@@ -7,7 +7,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <limits>
@@ -79,8 +81,24 @@ Status Errno(const char* what) {
 
 /// Write fd for the installed signal handler; one server per process.
 std::atomic<int> g_signal_drain_fd{-1};
+/// Termination signals seen by the handler. The first requests a graceful
+/// drain; the second forces an immediate exit (an operator hitting Ctrl-C
+/// twice means NOW, not "after the drain finishes").
+std::atomic<int> g_signal_count{0};
 
 extern "C" void OnDrainSignal(int) {
+  const int count =
+      g_signal_count.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (count >= 2) {
+    // Everything here must be async-signal-safe: a raw write(2) of a
+    // preformatted structured-log line, then _exit. No flushing, no locks.
+    static constexpr char kForced[] =
+        "{\"level\":\"error\",\"event\":\"drain_forced\",\"reason\":"
+        "\"second termination signal during drain\"}\n";
+    [[maybe_unused]] const ssize_t rc =
+        ::write(STDERR_FILENO, kForced, sizeof(kForced) - 1);
+    ::_exit(3);
+  }
   const int fd = g_signal_drain_fd.load(std::memory_order_relaxed);
   if (fd >= 0) {
     const char byte = 'q';
@@ -338,14 +356,48 @@ Status HttpServer::Start() {
 
 void HttpServer::AcceptLoop() {
   const NetMetrics& metrics = Metrics();
+  using Clock = std::chrono::steady_clock;
+  const bool periodic = options_.snapshot_interval_ms > 0;
+  const auto interval = std::chrono::milliseconds(
+      periodic ? options_.snapshot_interval_ms : 0);
+  Clock::time_point next_snapshot = Clock::now() + interval;
   for (;;) {
+    int timeout = -1;
+    if (periodic) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              next_snapshot - Clock::now())
+              .count();
+      timeout = remaining <= 0
+                    ? 0
+                    : static_cast<int>(std::min<long long>(
+                          remaining, std::numeric_limits<int>::max()));
+    }
     pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {drain_pipe_[0], POLLIN, 0}};
-    const int rc = ::poll(fds, 2, -1);
+    const int rc = ::poll(fds, 2, timeout);
     if (rc < 0) {
       if (errno == EINTR) continue;
       drain_status_ = Errno("poll");
       break;
     }
+    if (periodic && Clock::now() >= next_snapshot) {
+      // Periodic checkpoint: flush a snapshot generation (the backend
+      // serializes against in-flight ingests) and, when journaling,
+      // truncate the journal at its watermark. Deadline-based, so steady
+      // accept traffic cannot starve the tick.
+      next_snapshot = Clock::now() + interval;
+      const Result<std::string> snapshot = backend_->Snapshot();
+      if (snapshot.ok()) {
+        obs::LogEvent(LogLevel::kInfo, "net_periodic_snapshot", __FILE__,
+                      __LINE__)
+            .Str("path", *snapshot);
+      } else if (!snapshot.status().IsFailedPrecondition()) {
+        obs::LogEvent(LogLevel::kWarning, "net_periodic_snapshot_failed",
+                      __FILE__, __LINE__)
+            .Str("status", snapshot.status().ToString());
+      }
+    }
+    if (rc == 0) continue;  // Timeout tick only.
     if (fds[1].revents != 0) break;  // Drain requested.
     if ((fds[0].revents & POLLIN) == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);

@@ -39,6 +39,11 @@ struct ServerOptions {
   /// Idle-connection poll tick; also the drain-notice latency bound for
   /// connections parked in keep-alive.
   int poll_interval_ms = 100;
+  /// Periodic snapshot/checkpoint interval, run on the acceptor thread
+  /// (<= 0 disables). With a journaling backend each tick flushes a
+  /// snapshot generation and truncates the journal at its watermark,
+  /// bounding replay work after a crash.
+  int snapshot_interval_ms = 0;
 };
 
 /// \brief Dependency-free blocking HTTP/1.1 server over a ScoringBackend.

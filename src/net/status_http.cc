@@ -24,6 +24,7 @@ int StatusCodeToHttp(StatusCode code) {
       return 503;
     case StatusCode::kIOError:
     case StatusCode::kInternal:
+    case StatusCode::kDataLoss:
       return 500;
   }
   return 500;

@@ -47,6 +47,21 @@ constexpr MetricHelpEntry kInventory[] = {
     {"churnlab.eval.threads",
      "worker threads of the last parallel evaluation sweep"},
     {"churnlab.failpoint.triggered", "injected faults fired"},
+    {"churnlab.journal.appended_bytes",
+     "bytes appended to write-ahead journal segments"},
+    {"churnlab.journal.appended_frames",
+     "batch frames appended to the write-ahead journal"},
+    {"churnlab.journal.checkpoints", "journal checkpoints written"},
+    {"churnlab.journal.discarded_tail_frames",
+     "torn tail frames discarded during journal recovery"},
+    {"churnlab.journal.fsync_us",
+     "journal fsync latency in microseconds"},
+    {"churnlab.journal.recovered_frames",
+     "frames replayed from the journal during recovery"},
+    {"churnlab.journal.recovered_receipts",
+     "receipts replayed from the journal during recovery"},
+    {"churnlab.journal.truncated_segments",
+     "journal segments deleted by checkpoint truncation"},
     {"churnlab.net.bytes_read", "bytes received from HTTP clients"},
     {"churnlab.net.bytes_written", "bytes sent to HTTP clients"},
     {"churnlab.net.coalesced_batch_receipts",

@@ -583,17 +583,45 @@ Status ScoringFleet::SaveSnapshotToFile(const std::string& path) const {
 }
 
 Status ScoringFleet::AppendSnapshotToFile(const std::string& path) const {
-  return RetryWithBackoff(options_.shard_retry, [&]() -> Status {
-    BinaryWriter snapshot;
-    CHURNLAB_RETURN_NOT_OK(SaveSnapshot(&snapshot));
-    const std::string& payload = snapshot.buffer();
-    BinaryWriter generation;
-    generation.WriteBytes(kGenerationMagic, kSnapshotMagicSize);
-    generation.WriteVarint(payload.size());
-    generation.WriteVarint(Crc32(payload.data(), payload.size()));
-    generation.WriteBytes(payload.data(), payload.size());
-    return generation.AppendToFile(path);
-  });
+  return AppendSnapshotGeneration(path).status();
+}
+
+Result<SnapshotRef> ScoringFleet::AppendSnapshotGeneration(
+    const std::string& path) const {
+  SnapshotRef ref;
+  const Status written =
+      RetryWithBackoff(options_.shard_retry, [&]() -> Status {
+        BinaryWriter snapshot;
+        CHURNLAB_RETURN_NOT_OK(SaveSnapshot(&snapshot));
+        const std::string& payload = snapshot.buffer();
+        ref.kind = SnapshotRef::Kind::kGeneration;
+        ref.size = payload.size();
+        ref.crc = Crc32(payload.data(), payload.size());
+        BinaryWriter generation;
+        generation.WriteBytes(kGenerationMagic, kSnapshotMagicSize);
+        generation.WriteVarint(payload.size());
+        generation.WriteVarint(ref.crc);
+        generation.WriteBytes(payload.data(), payload.size());
+        return generation.AppendToFile(path);
+      });
+  if (!written.ok()) return written;
+  return ref;
+}
+
+Result<SnapshotRef> ScoringFleet::SaveSnapshotWithRef(
+    const std::string& path) const {
+  SnapshotRef ref;
+  const Status written =
+      RetryWithBackoff(options_.shard_retry, [&]() -> Status {
+        BinaryWriter writer;
+        CHURNLAB_RETURN_NOT_OK(SaveSnapshot(&writer));
+        ref.kind = SnapshotRef::Kind::kBare;
+        ref.size = writer.buffer().size();
+        ref.crc = Crc32(writer.buffer().data(), writer.buffer().size());
+        return writer.SaveToFile(path);
+      });
+  if (!written.ok()) return written;
+  return ref;
 }
 
 Result<ScoringFleet> ScoringFleet::Restore(BinaryReader* reader,
@@ -789,6 +817,123 @@ Result<ScoringFleet> ScoringFleet::RestoreFromFile(
   }
   BinaryReader newest_reader(std::move(newest));
   return Restore(&newest_reader, taxonomy, num_threads, layout);
+}
+
+namespace {
+
+/// Loads the bare snapshot payload a journal checkpoint names. For a bare
+/// file the whole content must match `ref`; for a generation file the
+/// matching generation is searched for (a torn tail ends the scan — the
+/// checkpointed generation always precedes it, so a tear can only hide an
+/// orphan generation that was never checkpointed).
+Result<std::string> LoadSnapshotByRef(const std::string& path,
+                                      const SnapshotRef& ref) {
+  CHURNLAB_ASSIGN_OR_RETURN(BinaryReader reader,
+                            BinaryReader::OpenFile(path));
+  if (reader.remaining() < kSnapshotMagicSize) {
+    return Status::DataLoss("snapshot '" + path +
+                            "' is too short for the journal checkpoint");
+  }
+  if (ref.kind == SnapshotRef::Kind::kBare) {
+    CHURNLAB_ASSIGN_OR_RETURN(std::string payload,
+                              reader.ReadBytes(reader.remaining()));
+    if (payload.size() != ref.size ||
+        Crc32(payload.data(), payload.size()) != ref.crc) {
+      return Status::DataLoss(
+          "snapshot '" + path +
+          "' does not match the journal checkpoint's size/CRC");
+    }
+    return payload;
+  }
+  CHURNLAB_ASSIGN_OR_RETURN(std::string magic,
+                            reader.ReadBytes(kSnapshotMagicSize));
+  if (magic != std::string_view(kGenerationMagic, kSnapshotMagicSize)) {
+    return Status::DataLoss("snapshot '" + path +
+                            "' is not the generation file the journal "
+                            "checkpoint references");
+  }
+  for (;;) {
+    const Result<uint64_t> size = reader.ReadVarint();
+    if (!size.ok()) break;
+    const Result<uint64_t> crc = reader.ReadVarint();
+    if (!crc.ok()) break;
+    Result<std::string> payload = reader.ReadBytes(*size);
+    if (!payload.ok()) break;
+    if (*size == ref.size && *crc == ref.crc &&
+        Crc32(payload->data(), payload->size()) == ref.crc) {
+      return std::move(*payload);
+    }
+    if (reader.AtEnd()) break;
+    const Result<std::string> next_magic = reader.ReadBytes(
+        std::min<size_t>(kSnapshotMagicSize, reader.remaining()));
+    if (!next_magic.ok() ||
+        *next_magic !=
+            std::string_view(kGenerationMagic, kSnapshotMagicSize)) {
+      break;
+    }
+  }
+  return Status::DataLoss(
+      "snapshot '" + path +
+      "' holds no generation matching the journal checkpoint");
+}
+
+}  // namespace
+
+Result<ScoringFleet> ScoringFleet::Recover(
+    const JournalRecovery& recovery, const std::string& snapshot_path,
+    const FleetOptions& fresh_options, const retail::Taxonomy* taxonomy,
+    size_t num_threads, StateLayout layout) {
+  CHURNLAB_SPAN("serve.recover");
+  Result<ScoringFleet> base = [&]() -> Result<ScoringFleet> {
+    if (recovery.snapshot.kind == SnapshotRef::Kind::kNone) {
+      if (recovery.watermark != 0) {
+        return Status::DataLoss(
+            "journal checkpoint has watermark " +
+            std::to_string(recovery.watermark) +
+            " but references no snapshot");
+      }
+      FleetOptions options = fresh_options;
+      if (num_threads > 0) options.num_threads = num_threads;
+      options.layout = layout;
+      return Make(options, taxonomy);
+    }
+    if (snapshot_path.empty()) {
+      return Status::InvalidArgument(
+          "journal checkpoint references a snapshot but no snapshot path "
+          "was given");
+    }
+    CHURNLAB_ASSIGN_OR_RETURN(
+        std::string payload,
+        LoadSnapshotByRef(snapshot_path, recovery.snapshot));
+    BinaryReader snapshot(std::move(payload));
+    return Restore(&snapshot, taxonomy, num_threads, layout);
+  }();
+  if (!base.ok()) {
+    return base.status().WithContext("recovering fleet base state");
+  }
+  ScoringFleet fleet = std::move(base).ValueOrDie();
+
+  // Replay the journaled batches exactly as the coalescer applied them.
+  // Sequence order fully determines fleet state, so the recovered fleet's
+  // snapshot is byte-identical to the crashed server's would have been.
+  uint64_t replayed_receipts = 0;
+  for (const JournalFrame& frame : recovery.frames) {
+    Result<BatchReport> report = fleet.IngestBatch(frame.receipts);
+    if (!report.ok()) {
+      return report.status().WithContext(
+          "replaying journal frame at sequence " +
+          std::to_string(frame.first_sequence));
+    }
+    replayed_receipts += frame.receipts.size();
+  }
+  obs::LogEvent(LogLevel::kInfo, "journal_replay_complete", __FILE__,
+                __LINE__)
+      .Uint("frames", recovery.frames.size())
+      .Uint("receipts", replayed_receipts)
+      .Uint("watermark", recovery.watermark)
+      .Uint("next_sequence", recovery.next_sequence)
+      .Uint("customers", fleet.NumCustomers());
+  return fleet;
 }
 
 }  // namespace serve

@@ -16,6 +16,7 @@
 #include "obs/metrics.h"
 #include "retail/taxonomy.h"
 #include "retail/types.h"
+#include "serve/journal.h"
 #include "serve/state_store.h"
 
 namespace churnlab {
@@ -252,6 +253,14 @@ class ScoringFleet {
   /// newest valid generation, so a torn tail from a crashed writer loses at
   /// most the last append.
   Status AppendSnapshotToFile(const std::string& path) const;
+  /// As AppendSnapshotToFile, additionally returning the exact identity
+  /// (size + CRC32) of the appended generation so a journal checkpoint can
+  /// name it. Recovery then restores *that* generation — never a newer
+  /// orphan one whose receipts are still in the journal.
+  Result<SnapshotRef> AppendSnapshotGeneration(const std::string& path) const;
+  /// As SaveSnapshotToFile (bare, truncating "CHLFLEET" format), returning
+  /// the snapshot's identity for a journal checkpoint.
+  Result<SnapshotRef> SaveSnapshotWithRef(const std::string& path) const;
 
   /// Rebuilds a fleet from a snapshot. Options are read from the snapshot
   /// header; `taxonomy` is borrowed as in Make. Threads and the storage
@@ -268,6 +277,22 @@ class ScoringFleet {
   /// structured warning and counts on churnlab.serve.snapshot_fallbacks.
   static Result<ScoringFleet> RestoreFromFile(
       const std::string& path, const retail::Taxonomy* taxonomy,
+      size_t num_threads = 0, StateLayout layout = StateLayout::kCompact);
+
+  /// Crash recovery (docs/ROBUSTNESS.md §Durability): rebuilds the fleet a
+  /// crashed server would have reached, from the journal scan `recovery`
+  /// (IngestJournal::Open) plus the checkpointed snapshot.
+  ///
+  /// The base state is the snapshot `recovery.snapshot` names — the exact
+  /// generation of `snapshot_path` whose size and CRC match (DataLoss when
+  /// absent), or a fresh fleet built from `fresh_options` when the journal
+  /// was never checkpointed against a snapshot. Journal frames are then
+  /// replayed through IngestBatch in sequence order, reproducing the
+  /// pre-crash state byte-for-byte (arrival sequence fully determines
+  /// fleet state; coalesced batch boundaries do not).
+  static Result<ScoringFleet> Recover(
+      const JournalRecovery& recovery, const std::string& snapshot_path,
+      const FleetOptions& fresh_options, const retail::Taxonomy* taxonomy,
       size_t num_threads = 0, StateLayout layout = StateLayout::kCompact);
 
  private:

@@ -227,11 +227,51 @@ TEST_F(FailpointTest, ArmFromSpecRejectsMalformedEntries) {
   for (const char* bad :
        {"no-equals", "site=", "site=unknown-action", "site=error@unknown",
         "site=delay(oops)", "site=error@every(zero)", "site=error@every(0)",
-        "site=delay"}) {
+        "site=delay", "site=abort(0)", "site=abort(256)", "site=abort(oops)",
+        "site=abort()"}) {
     const Status status = registry.ArmFromSpec(bad);
     EXPECT_TRUE(status.IsInvalidArgument()) << "spec: " << bad << " -> "
                                             << status.ToString();
   }
+}
+
+TEST_F(FailpointTest, AbortActionKillsTheProcessWithItsExitCode) {
+  // The chaos-harness primitive: firing must end the process immediately
+  // (std::_Exit — no atexit flushes, like a kill -9 landing on that line),
+  // with the configured exit code observable by the supervising script.
+  EXPECT_EXIT(
+      {
+        Failpoint* fp = FailpointRegistry::Global().Get("fp_test.abort");
+        FailpointConfig config;
+        config.action = FailpointAction::kAbort;
+        (void)fp;
+        fp->Arm(config);
+        (void)fp->Evaluate();
+      },
+      testing::ExitedWithCode(42), "");
+  EXPECT_EXIT(
+      {
+        ASSERT_TRUE(FailpointRegistry::Global()
+                        .ArmFromSpec("fp_test.abort_spec=abort(7)@nth(2)")
+                        .ok());
+        Failpoint* fp = FailpointRegistry::Global().Get("fp_test.abort_spec");
+        (void)fp->Evaluate();  // hit 1: schedule not yet due
+        (void)fp->Evaluate();  // hit 2: aborts
+        std::_Exit(99);        // unreachable when the failpoint fired
+      },
+      testing::ExitedWithCode(7), "");
+}
+
+TEST_F(FailpointTest, AbortSpecParsesWithoutFiringOnArm) {
+  FailpointRegistry& registry = FailpointRegistry::Global();
+  // Arming alone must never abort — only an Evaluate hit may.
+  ASSERT_TRUE(registry.ArmFromSpec("fp_test.abort_armed=abort").ok());
+  ASSERT_TRUE(
+      registry.ArmFromSpec("fp_test.abort_coded=abort(255)@key(4)").ok());
+  EXPECT_TRUE(registry.Get("fp_test.abort_armed")->armed());
+  EXPECT_TRUE(registry.Get("fp_test.abort_coded")->armed());
+  // A keyed abort ignores non-matching keys entirely.
+  EXPECT_TRUE(registry.Get("fp_test.abort_coded")->Evaluate(3).ok());
 }
 
 TEST_F(FailpointTest, ArmFromEnvReadsTheSpecVariable) {

@@ -119,6 +119,46 @@ TEST(HttpParser, ConflictingContentLengthsRejected) {
   EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
 }
 
+TEST(HttpParser, DuplicateAgreeingContentLengthsRejected) {
+  // Request-smuggling hygiene (RFC 9112 §6.3): even IDENTICAL repeated
+  // Content-Length copies are rejected — a lenient front proxy and a
+  // lenient origin can disagree about which copy wins, desyncing bodies.
+  HttpParser parser(DefaultLimits());
+  const Status status = parser.Feed(
+      "POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\n"
+      "abcd");
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_NE(status.ToString().find("duplicate Content-Length"),
+            std::string::npos)
+      << status.ToString();
+}
+
+TEST(HttpParser, DuplicateContentLengthAcrossCaseVariantsRejected) {
+  // Header names are lowercased before comparison, so casing tricks don't
+  // dodge the duplicate check.
+  HttpParser parser(DefaultLimits());
+  const Status status = parser.Feed(
+      "POST / HTTP/1.1\r\ncontent-length: 4\r\nCONTENT-LENGTH: 4\r\n\r\n");
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+}
+
+TEST(HttpParser, DuplicateContentLengthSplitAcrossFeedsRejected) {
+  // The duplicate must be caught even when the header section arrives one
+  // byte at a time — the check runs on the parsed section, not the feed.
+  HttpParser parser(DefaultLimits());
+  const std::string wire =
+      "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 12\r\n\r\n";
+  Status status = Status::OK();
+  for (char c : wire) {
+    status = parser.Feed(std::string_view(&c, 1));
+    if (!status.ok()) break;
+  }
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+}
+
 TEST(HttpParser, TransferEncodingUnsupported) {
   HttpParser parser(DefaultLimits());
   const Status status = parser.Feed(

@@ -1,0 +1,362 @@
+// Unit tests for the durable ingest journal: append/scan round trips,
+// sequence-contiguity enforcement, segment rotation, checkpoint +
+// truncation, fresh-open safety, read-only scans, and fleet recovery
+// (checkpoint + replay == uninterrupted ingest, byte for byte).
+
+#include "serve/journal.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/binary_io.h"
+#include "serve/fleet.h"
+
+namespace churnlab {
+namespace serve {
+namespace {
+
+using retail::CustomerId;
+using retail::Day;
+using retail::Receipt;
+
+std::string FreshDir(const std::string& name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(path);
+  return path;
+}
+
+std::vector<Receipt> MakeReceipts(uint64_t first, size_t count) {
+  std::vector<Receipt> receipts;
+  receipts.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Receipt receipt;
+    receipt.customer = static_cast<CustomerId>(1 + (first + i) % 7);
+    receipt.day = static_cast<Day>((first + i) / 7);
+    receipt.spend = 1.25 * static_cast<double>(i + 1);
+    receipt.items = {static_cast<retail::ItemId>(100 + i % 3), 200};
+    receipts.push_back(std::move(receipt));
+  }
+  return receipts;
+}
+
+TEST(JournalTest, FreshOpenAppendScanRoundTrips) {
+  const std::string dir = FreshDir("journal_roundtrip");
+  JournalOptions options;
+  options.directory = dir;
+  options.fsync = FsyncPolicy::kNone;
+  {
+    auto journal = IngestJournal::Open(options).ValueOrDie();
+    EXPECT_EQ(journal.next_sequence(), 0u);
+    ASSERT_TRUE(journal.Append(0, MakeReceipts(0, 3)).ok());
+    ASSERT_TRUE(journal.Append(3, MakeReceipts(3, 2)).ok());
+    EXPECT_EQ(journal.next_sequence(), 5u);
+    ASSERT_TRUE(journal.Sync().ok());
+  }
+  options.recover = true;
+  JournalRecovery recovery;
+  auto journal = IngestJournal::Open(options, &recovery).ValueOrDie();
+  EXPECT_EQ(recovery.watermark, 0u);
+  EXPECT_EQ(recovery.snapshot.kind, SnapshotRef::Kind::kNone);
+  ASSERT_EQ(recovery.frames.size(), 2u);
+  EXPECT_EQ(recovery.frames[0].first_sequence, 0u);
+  EXPECT_EQ(recovery.frames[0].receipts.size(), 3u);
+  EXPECT_EQ(recovery.frames[1].first_sequence, 3u);
+  EXPECT_EQ(recovery.next_sequence, 5u);
+  EXPECT_EQ(recovery.discarded_tail_frames, 0u);
+  // Receipt payloads round-trip exactly.
+  const std::vector<Receipt> expected = MakeReceipts(0, 3);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(recovery.frames[0].receipts[i].customer, expected[i].customer);
+    EXPECT_EQ(recovery.frames[0].receipts[i].day, expected[i].day);
+    EXPECT_EQ(recovery.frames[0].receipts[i].spend, expected[i].spend);
+    EXPECT_EQ(recovery.frames[0].receipts[i].items, expected[i].items);
+  }
+  // Appending resumes at the recovered sequence.
+  ASSERT_TRUE(journal.Append(5, MakeReceipts(5, 1)).ok());
+  EXPECT_EQ(journal.next_sequence(), 6u);
+}
+
+TEST(JournalTest, OpenWithoutRecoverRefusesExistingFrames) {
+  const std::string dir = FreshDir("journal_refuse");
+  JournalOptions options;
+  options.directory = dir;
+  options.fsync = FsyncPolicy::kNone;
+  {
+    auto journal = IngestJournal::Open(options).ValueOrDie();
+    ASSERT_TRUE(journal.Append(0, MakeReceipts(0, 2)).ok());
+  }
+  const Result<IngestJournal> reopened = IngestJournal::Open(options);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsFailedPrecondition())
+      << reopened.status().ToString();
+}
+
+TEST(JournalTest, AppendEnforcesSequenceContiguity) {
+  const std::string dir = FreshDir("journal_contiguity");
+  JournalOptions options;
+  options.directory = dir;
+  options.fsync = FsyncPolicy::kNone;
+  auto journal = IngestJournal::Open(options).ValueOrDie();
+  ASSERT_TRUE(journal.Append(0, MakeReceipts(0, 4)).ok());
+  EXPECT_TRUE(journal.Append(3, MakeReceipts(3, 1))
+                  .IsInvalidArgument());  // overlap
+  EXPECT_TRUE(journal.Append(5, MakeReceipts(5, 1))
+                  .IsInvalidArgument());  // gap
+  ASSERT_TRUE(journal.Append(4, MakeReceipts(4, 1)).ok());
+}
+
+TEST(JournalTest, SegmentsRotateAndCheckpointTruncates) {
+  const std::string dir = FreshDir("journal_rotate");
+  JournalOptions options;
+  options.directory = dir;
+  options.fsync = FsyncPolicy::kNone;
+  options.max_segment_bytes = 256;  // force frequent rotation
+  uint64_t sequence = 0;
+  {
+    auto journal = IngestJournal::Open(options).ValueOrDie();
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(journal.Append(sequence, MakeReceipts(sequence, 5)).ok());
+      sequence += 5;
+    }
+    size_t segments = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      segments += entry.path().extension() == ".chlj" ? 1 : 0;
+    }
+    EXPECT_GT(segments, 3u);
+
+    // Checkpoint at a mid-stream watermark: only fully-covered segments go.
+    SnapshotRef ref;
+    ref.kind = SnapshotRef::Kind::kBare;
+    ref.size = 123;
+    ref.crc = 456;
+    ASSERT_TRUE(journal.Checkpoint(50, ref).ok());
+  }
+  options.recover = true;
+  JournalRecovery recovery;
+  auto journal = IngestJournal::Open(options, &recovery).ValueOrDie();
+  EXPECT_EQ(recovery.watermark, 50u);
+  EXPECT_EQ(recovery.snapshot.kind, SnapshotRef::Kind::kBare);
+  EXPECT_EQ(recovery.snapshot.size, 123u);
+  EXPECT_EQ(recovery.snapshot.crc, 456u);
+  ASSERT_FALSE(recovery.frames.empty());
+  // Frames resume exactly at the watermark and reach the end.
+  EXPECT_EQ(recovery.frames.front().first_sequence, 50u);
+  EXPECT_EQ(recovery.next_sequence, sequence);
+}
+
+TEST(JournalTest, CheckpointAtHeadDropsEverySegment) {
+  const std::string dir = FreshDir("journal_truncate_all");
+  JournalOptions options;
+  options.directory = dir;
+  options.fsync = FsyncPolicy::kNone;
+  {
+    auto journal = IngestJournal::Open(options).ValueOrDie();
+    ASSERT_TRUE(journal.Append(0, MakeReceipts(0, 8)).ok());
+    SnapshotRef ref;
+    ref.kind = SnapshotRef::Kind::kGeneration;
+    ref.size = 7;
+    ref.crc = 9;
+    ASSERT_TRUE(journal.Checkpoint(journal.next_sequence(), ref).ok());
+  }
+  options.recover = true;
+  JournalRecovery recovery;
+  auto journal = IngestJournal::Open(options, &recovery).ValueOrDie();
+  EXPECT_EQ(recovery.watermark, 8u);
+  EXPECT_TRUE(recovery.frames.empty());
+  EXPECT_EQ(recovery.next_sequence, 8u);
+  // The sequence space continues after the truncation.
+  ASSERT_TRUE(journal.Append(8, MakeReceipts(8, 1)).ok());
+}
+
+TEST(JournalTest, ReadOnlyScanDoesNotMutate) {
+  const std::string dir = FreshDir("journal_readonly");
+  JournalOptions options;
+  options.directory = dir;
+  options.fsync = FsyncPolicy::kNone;
+  {
+    auto journal = IngestJournal::Open(options).ValueOrDie();
+    ASSERT_TRUE(journal.Append(0, MakeReceipts(0, 4)).ok());
+  }
+  // Corrupt the tail by appending garbage: a read-only scan must report
+  // the torn tail but leave the file bytes alone.
+  const std::string segment = dir + "/seg-000000001.chlj";
+  struct stat before {};
+  {
+    std::FILE* file = std::fopen(segment.c_str(), "ab");
+    ASSERT_NE(file, nullptr);
+    std::fputs("torn", file);
+    std::fclose(file);
+    ASSERT_EQ(::stat(segment.c_str(), &before), 0);
+  }
+  JournalOptions read_only = options;
+  read_only.recover = true;
+  read_only.read_only = true;
+  JournalRecovery recovery;
+  auto journal = IngestJournal::Open(read_only, &recovery).ValueOrDie();
+  ASSERT_EQ(recovery.frames.size(), 1u);
+  EXPECT_GT(recovery.discarded_tail_bytes, 0u);
+  EXPECT_TRUE(journal.Append(4, MakeReceipts(4, 1)).IsFailedPrecondition());
+  struct stat after {};
+  ASSERT_EQ(::stat(segment.c_str(), &after), 0);
+  EXPECT_EQ(before.st_size, after.st_size);
+
+  // A writable recovery truncates the torn tail in place.
+  JournalOptions writable = options;
+  writable.recover = true;
+  JournalRecovery repair;
+  auto repaired = IngestJournal::Open(writable, &repair).ValueOrDie();
+  ASSERT_EQ(::stat(segment.c_str(), &after), 0);
+  EXPECT_LT(after.st_size, before.st_size);
+  ASSERT_TRUE(repaired.Append(4, MakeReceipts(4, 1)).ok());
+}
+
+TEST(JournalTest, ParseFsyncPolicyRoundTrips) {
+  EXPECT_EQ(ParseFsyncPolicy("always").ValueOrDie(), FsyncPolicy::kAlways);
+  EXPECT_EQ(ParseFsyncPolicy("batch").ValueOrDie(), FsyncPolicy::kBatch);
+  EXPECT_EQ(ParseFsyncPolicy("none").ValueOrDie(), FsyncPolicy::kNone);
+  EXPECT_FALSE(ParseFsyncPolicy("sometimes").ok());
+  EXPECT_EQ(FsyncPolicyToString(FsyncPolicy::kAlways), "always");
+  EXPECT_EQ(FsyncPolicyToString(FsyncPolicy::kBatch), "batch");
+  EXPECT_EQ(FsyncPolicyToString(FsyncPolicy::kNone), "none");
+}
+
+// ---------------------------------------------------------------------------
+// Fleet recovery: checkpoint + journal replay == uninterrupted ingest.
+// ---------------------------------------------------------------------------
+
+FleetOptions RecoveryFleetOptions() {
+  FleetOptions options;
+  options.scorer.window_span_days = 30;
+  options.num_shards = 4;
+  options.num_threads = 1;
+  options.granularity = retail::Granularity::kProduct;
+  options.policy.beta = 0.5;
+  options.policy.warmup_windows = 1;
+  return options;
+}
+
+std::string BareSnapshotOf(const ScoringFleet& fleet) {
+  BinaryWriter writer;
+  EXPECT_TRUE(fleet.SaveSnapshot(&writer).ok());
+  return writer.buffer();
+}
+
+TEST(JournalRecoveryTest, ReplayReproducesUninterruptedStateByteForByte) {
+  const std::string dir = FreshDir("journal_recovery");
+  const std::string snapshot_path =
+      testing::TempDir() + "/journal_recovery.gens";
+  std::filesystem::remove(snapshot_path);
+
+  // The "server": ingest 3 batches, checkpoint after the second, ingest a
+  // third, then "crash" (drop the fleet without another checkpoint).
+  JournalOptions options;
+  options.directory = dir;
+  options.fsync = FsyncPolicy::kNone;
+  {
+    auto journal = IngestJournal::Open(options).ValueOrDie();
+    auto fleet =
+        ScoringFleet::Make(RecoveryFleetOptions(), nullptr).ValueOrDie();
+    uint64_t sequence = 0;
+    for (int batch = 0; batch < 3; ++batch) {
+      const std::vector<Receipt> receipts =
+          MakeReceipts(sequence, 40);
+      ASSERT_TRUE(journal.Append(sequence, receipts).ok());
+      ASSERT_TRUE(fleet.IngestBatch(receipts).ok());
+      sequence += receipts.size();
+      if (batch == 1) {
+        Result<SnapshotRef> ref =
+            fleet.AppendSnapshotGeneration(snapshot_path);
+        ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+        ASSERT_TRUE(journal.Checkpoint(sequence, *ref).ok());
+      }
+    }
+  }
+
+  // The oracle: the same receipts, uninterrupted.
+  auto oracle =
+      ScoringFleet::Make(RecoveryFleetOptions(), nullptr).ValueOrDie();
+  ASSERT_TRUE(oracle.IngestBatch(MakeReceipts(0, 120)).ok());
+
+  // Recovery: checkpointed generation + frames above the watermark.
+  options.recover = true;
+  options.read_only = true;
+  JournalRecovery recovery;
+  auto journal = IngestJournal::Open(options, &recovery).ValueOrDie();
+  EXPECT_EQ(recovery.watermark, 80u);
+  EXPECT_EQ(recovery.next_sequence, 120u);
+  ASSERT_EQ(recovery.frames.size(), 1u);
+  Result<ScoringFleet> recovered = ScoringFleet::Recover(
+      recovery, snapshot_path, RecoveryFleetOptions(), nullptr);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(BareSnapshotOf(*recovered), BareSnapshotOf(oracle));
+}
+
+TEST(JournalRecoveryTest, RecoverRestoresCheckpointedGenerationNotNewest) {
+  const std::string dir = FreshDir("journal_ckpt_generation");
+  const std::string snapshot_path =
+      testing::TempDir() + "/journal_ckpt_generation.gens";
+  std::filesystem::remove(snapshot_path);
+
+  JournalOptions options;
+  options.directory = dir;
+  options.fsync = FsyncPolicy::kNone;
+  {
+    auto journal = IngestJournal::Open(options).ValueOrDie();
+    auto fleet =
+        ScoringFleet::Make(RecoveryFleetOptions(), nullptr).ValueOrDie();
+    const std::vector<Receipt> first = MakeReceipts(0, 30);
+    ASSERT_TRUE(journal.Append(0, first).ok());
+    ASSERT_TRUE(fleet.IngestBatch(first).ok());
+    Result<SnapshotRef> ref = fleet.AppendSnapshotGeneration(snapshot_path);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    ASSERT_TRUE(journal.Checkpoint(30, *ref).ok());
+
+    // More ingest, then an ORPHAN generation: appended to the snapshot
+    // file but crashed before its Checkpoint landed. Its receipts still
+    // sit in the journal; restoring the orphan would double-apply them.
+    const std::vector<Receipt> second = MakeReceipts(30, 25);
+    ASSERT_TRUE(journal.Append(30, second).ok());
+    ASSERT_TRUE(fleet.IngestBatch(second).ok());
+    ASSERT_TRUE(fleet.AppendSnapshotGeneration(snapshot_path).ok());
+    // crash here: no Checkpoint for the orphan
+  }
+
+  auto oracle =
+      ScoringFleet::Make(RecoveryFleetOptions(), nullptr).ValueOrDie();
+  ASSERT_TRUE(oracle.IngestBatch(MakeReceipts(0, 55)).ok());
+
+  options.recover = true;
+  options.read_only = true;
+  JournalRecovery recovery;
+  auto journal = IngestJournal::Open(options, &recovery).ValueOrDie();
+  EXPECT_EQ(recovery.watermark, 30u);
+  Result<ScoringFleet> recovered = ScoringFleet::Recover(
+      recovery, snapshot_path, RecoveryFleetOptions(), nullptr);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(BareSnapshotOf(*recovered), BareSnapshotOf(oracle));
+}
+
+TEST(JournalRecoveryTest, FreshJournalRecoversToFreshFleet) {
+  const std::string dir = FreshDir("journal_recover_fresh");
+  JournalOptions options;
+  options.directory = dir;
+  options.fsync = FsyncPolicy::kNone;
+  options.recover = true;
+  JournalRecovery recovery;
+  auto journal = IngestJournal::Open(options, &recovery).ValueOrDie();
+  EXPECT_EQ(recovery.next_sequence, 0u);
+  Result<ScoringFleet> recovered =
+      ScoringFleet::Recover(recovery, "", RecoveryFleetOptions(), nullptr);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->NumCustomers(), 0u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace churnlab

@@ -26,9 +26,11 @@ namespace {
 class RecordingBackend final : public ScoringBackend {
  public:
   Result<serve::BatchReport> Ingest(
+      uint64_t first_sequence,
       std::span<const retail::Receipt> receipts) override {
     EXPECT_FALSE(ingest_active_.exchange(true))
         << "backend Ingest reentered concurrently";
+    batch_sequences_.push_back(first_sequence);
     batches_.emplace_back(receipts.begin(), receipts.end());
     serve::BatchReport report;
     report.receipts_ingested = receipts.size();
@@ -61,6 +63,10 @@ class RecordingBackend final : public ScoringBackend {
   const std::vector<std::vector<retail::Receipt>>& batches() const {
     return batches_;
   }
+  /// First-sequence tag of each backend batch, in call order.
+  const std::vector<uint64_t>& batch_sequences() const {
+    return batch_sequences_;
+  }
   std::vector<retail::Receipt> Concatenated() const {
     std::vector<retail::Receipt> all;
     for (const auto& batch : batches_) {
@@ -71,6 +77,7 @@ class RecordingBackend final : public ScoringBackend {
 
  private:
   std::vector<std::vector<retail::Receipt>> batches_;
+  std::vector<uint64_t> batch_sequences_;
   std::atomic<bool> ingest_active_{false};
 };
 
@@ -229,6 +236,44 @@ TEST(IngestCoalescer, OversizedQueueShedsWithResourceExhausted) {
       coalescer.Ingest({MakeReceipt(1, 1)});
   ASSERT_TRUE(ok_outcome.ok());
   EXPECT_EQ(ok_outcome->first_sequence, 0u);
+}
+
+TEST(IngestCoalescer, BackendBatchesCarryContiguousFirstSequences) {
+  RecordingBackend backend;
+  IngestCoalescer coalescer(IngestCoalescer::Options{}, &backend);
+  ASSERT_TRUE(coalescer.Ingest({MakeReceipt(1, 1), MakeReceipt(2, 1)}).ok());
+  ASSERT_TRUE(coalescer.Ingest({MakeReceipt(3, 2)}).ok());
+  ASSERT_TRUE(coalescer.Ingest({MakeReceipt(4, 3), MakeReceipt(5, 3),
+                                MakeReceipt(6, 3)}).ok());
+  // Each backend batch's tag is the sequence of its first receipt; across
+  // batches the tags cover the receipt stream with no gap or overlap —
+  // the property the write-ahead journal's contiguity check rides on.
+  uint64_t expected = 0;
+  ASSERT_EQ(backend.batch_sequences().size(), backend.batches().size());
+  for (size_t i = 0; i < backend.batches().size(); ++i) {
+    EXPECT_EQ(backend.batch_sequences()[i], expected);
+    expected += backend.batches()[i].size();
+  }
+  EXPECT_EQ(expected, 6u);
+}
+
+TEST(IngestCoalescer, FirstSequenceOptionSeedsTheNumbering) {
+  // A recovered server continues the crashed server's sequence space: the
+  // coalescer starts numbering at the journal's recovered next sequence.
+  RecordingBackend backend;
+  IngestCoalescer::Options options;
+  options.first_sequence = 1000;
+  IngestCoalescer coalescer(options, &backend);
+  const Result<IngestCoalescer::Outcome> first =
+      coalescer.Ingest({MakeReceipt(1, 1), MakeReceipt(2, 1)});
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->first_sequence, 1000u);
+  const Result<IngestCoalescer::Outcome> second =
+      coalescer.Ingest({MakeReceipt(3, 2)});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->first_sequence, 1002u);
+  ASSERT_FALSE(backend.batch_sequences().empty());
+  EXPECT_EQ(backend.batch_sequences().front(), 1000u);
 }
 
 }  // namespace

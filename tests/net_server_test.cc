@@ -15,7 +15,9 @@
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -29,6 +31,7 @@
 #include "common/failpoint.h"
 #include "net/backend.h"
 #include "serve/fleet.h"
+#include "serve/journal.h"
 
 namespace churnlab {
 namespace net {
@@ -550,6 +553,108 @@ TEST(HttpServerTest, FloodCoalescingMatchesOfflineReplayByteForByte) {
   EXPECT_EQ(SnapshotOf(server.fleet()), SnapshotOf(offline))
       << "coalesced server state diverged from arrival-order replay ("
       << shed_count.load() << " sheds during flood)";
+}
+
+// The durability property end to end through the HTTP stack: every
+// acknowledged ingest is either captured by the checkpointed snapshot or
+// replayable from the journal, and recovery reproduces the live fleet's
+// state byte-for-byte — without any cooperation from the dying server
+// (nothing here drains before the journal is scanned).
+TEST(HttpServerTest, JournaledIngestRecoversServerStateByteForByte) {
+  const std::string dir = ::testing::TempDir() + "/net_server_journal";
+  const std::string snapshot_path =
+      ::testing::TempDir() + "/net_server_journal_state.snap";
+  std::filesystem::remove_all(dir);
+  std::remove(snapshot_path.c_str());
+
+  serve::JournalOptions journal_options;
+  journal_options.directory = dir;
+  journal_options.fsync = serve::FsyncPolicy::kNone;
+  Result<serve::IngestJournal> journal =
+      serve::IngestJournal::Open(journal_options);
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+
+  serve::ScoringFleet fleet =
+      serve::ScoringFleet::Make(ServerFleetOptions(), nullptr).ValueOrDie();
+  FleetBackend::Options backend_options;
+  backend_options.snapshot_path = snapshot_path;
+  backend_options.snapshot_append = true;
+  backend_options.journal = &*journal;
+  FleetBackend backend(&fleet, backend_options);
+  ServerOptions server_options;
+  server_options.port = 0;
+  std::unique_ptr<HttpServer> server =
+      HttpServer::Make(server_options, &backend).ValueOrDie();
+  ASSERT_TRUE(server->Start().ok());
+
+  // Checkpointed prefix: three receipts, then an explicit snapshot (which
+  // checkpoints the journal at watermark 3 and truncates behind it).
+  const HttpReply first =
+      Call(server->port(), "POST", "/v1/ingest",
+           IngestBody({MakeReceipt(7, 1, {1, 2}), MakeReceipt(8, 1, {3}),
+                       MakeReceipt(7, 40, {1})}));
+  ASSERT_EQ(first.status, 200) << first.body;
+  EXPECT_EQ(JsonUint(first.body, "sequence"), 0u);
+  ASSERT_EQ(Call(server->port(), "POST", "/v1/snapshot").status, 200);
+
+  // Journal-only suffix: acknowledged but never snapshotted.
+  const HttpReply second =
+      Call(server->port(), "POST", "/v1/ingest",
+           IngestBody({MakeReceipt(9, 2, {4}), MakeReceipt(7, 70, {2})}));
+  ASSERT_EQ(second.status, 200) << second.body;
+  EXPECT_EQ(JsonUint(second.body, "sequence"), 3u);
+
+  const std::string oracle = SnapshotOf(fleet);
+
+  // "Crash": scan the on-disk journal read-only while the server is still
+  // live — exactly what a recovering process would find after kill -9.
+  serve::JournalOptions scan_options;
+  scan_options.directory = dir;
+  scan_options.recover = true;
+  scan_options.read_only = true;
+  serve::JournalRecovery recovery;
+  Result<serve::IngestJournal> scan =
+      serve::IngestJournal::Open(scan_options, &recovery);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_EQ(recovery.watermark, 3u);
+  EXPECT_EQ(recovery.next_sequence, 5u);
+  ASSERT_FALSE(recovery.frames.empty());
+  EXPECT_EQ(recovery.frames.front().first_sequence, 3u);
+
+  Result<serve::ScoringFleet> recovered = serve::ScoringFleet::Recover(
+      recovery, snapshot_path, ServerFleetOptions(), nullptr);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(SnapshotOf(*recovered), oracle)
+      << "recovered fleet diverged from the live server's state";
+
+  ASSERT_TRUE(server->Shutdown().ok());
+  server.reset();
+  std::filesystem::remove_all(dir);
+  std::remove(snapshot_path.c_str());
+}
+
+// A second termination signal during a drain means NOW: the process exits
+// immediately with a nonzero status and a structured drain_forced log
+// event, instead of the signal being swallowed while the drain runs.
+TEST(HttpServerTest, SecondTerminationSignalForcesImmediateExit) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_EXIT(
+      {
+        serve::ScoringFleet fleet =
+            serve::ScoringFleet::Make(ServerFleetOptions(), nullptr)
+                .ValueOrDie();
+        FleetBackend backend(&fleet, FleetBackend::Options{});
+        ServerOptions options;
+        options.port = 0;
+        std::unique_ptr<HttpServer> server =
+            HttpServer::Make(options, &backend).ValueOrDie();
+        if (!server->Start().ok()) ::_exit(97);
+        if (!server->InstallSignalHandler().ok()) ::_exit(98);
+        ::raise(SIGTERM);  // first: begins the graceful drain
+        ::raise(SIGTERM);  // second: forced exit from the handler
+        ::_exit(99);       // unreachable
+      },
+      ::testing::ExitedWithCode(3), "drain_forced");
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 //   gridsearch    5-fold CV search over (window span, alpha)
 //   serve-replay  replay a dataset through the sharded scoring fleet
 //   serve-http    run the HTTP/1.1 scoring front end over a fleet
+//   flood         stream a dataset into a running serve-http sequentially
 //
 // Datasets are addressed by path: `x.clb` loads the binary format, any
 // other value is treated as a CSV prefix (x.receipts.csv / x.taxonomy.csv /
@@ -20,9 +21,16 @@
 // (src/churnlab.h); only flag parsing, logging and telemetry plumbing come
 // from elsewhere.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -326,10 +334,10 @@ Status RunServeReplay(int argc, const char* const* argv) {
   FlagParser parser(
       "churnlab serve-replay: replay a dataset through the scoring fleet "
       "in day-ordered batches");
-  std::string data, snapshot_out, resume, failpoints, state_layout;
+  std::string data, snapshot_out, resume, failpoints, state_layout, recover;
   double alpha, beta;
   int64_t window, batch_days, from_day, to_day, max_shard_retries;
-  int64_t mem_budget_mb;
+  int64_t mem_budget_mb, limit_receipts;
   uint64_t threads, shards;
   bool products, finish;
   parser.AddString("data", "", "dataset path (.clb) or CSV prefix", &data);
@@ -349,6 +357,17 @@ Status RunServeReplay(int argc, const char* const* argv) {
   parser.AddString("resume", "",
                    "restore the fleet from this snapshot before replaying",
                    &resume);
+  parser.AddString("recover", "",
+                   "crash recovery: replay this journal directory "
+                   "(read-only) atop the checkpointed generation named in "
+                   "--resume's snapshot file before replaying any --data "
+                   "receipts; see docs/ROBUSTNESS.md §Durability",
+                   &recover);
+  parser.AddInt64("limit-receipts", -1,
+                  "replay only the first N receipts of the day-ordered "
+                  "stream (-1 = all, 0 = none); an offline oracle for a "
+                  "server's state after its Nth arrival sequence number",
+                  &limit_receipts);
   parser.AddInt64("from-day", 0,
                   "replay only receipts on or after this day (for resuming "
                   "a mid-stream snapshot)",
@@ -393,6 +412,14 @@ Status RunServeReplay(int argc, const char* const* argv) {
   if (mem_budget_mb < 0) {
     return Status::InvalidArgument("--mem-budget-mb must be >= 0");
   }
+  if (limit_receipts < -1) {
+    return Status::InvalidArgument("--limit-receipts must be >= -1");
+  }
+  if (!recover.empty() && resume.empty()) {
+    return Status::InvalidArgument(
+        "--recover requires --resume (the snapshot file the journal's "
+        "checkpoints name generations in)");
+  }
   if (!failpoints.empty()) {
     CHURNLAB_RETURN_NOT_OK(
         api::FailpointRegistry::Global().ArmFromSpec(failpoints));
@@ -412,13 +439,36 @@ Status RunServeReplay(int argc, const char* const* argv) {
   CHURNLAB_ASSIGN_OR_RETURN(options.layout,
                             api::ParseStateLayout(state_layout));
 
-  // --resume shares api::OpenSnapshot with serve-http, so a corrupt tail
-  // generation falls back (and is reported) identically in both paths.
-  Result<api::FleetHandle> fleet =
-      resume.empty()
-          ? api::FleetHandle::Make(options, dataset)
-          : api::OpenSnapshot(resume, dataset, static_cast<size_t>(threads),
+  Result<api::FleetHandle> fleet = Status::Internal("fleet not built");
+  if (!recover.empty()) {
+    // Crash recovery: checkpointed generation + journal frames above the
+    // watermark, byte-identical to the crashed server's post-replay state.
+    Result<api::RecoveredFleet> recovered = api::RecoverFleet(
+        recover, resume, options, dataset, static_cast<size_t>(threads),
+        options.layout);
+    CHURNLAB_RETURN_NOT_OK(recovered.status());
+    std::printf("recovered journal %s: watermark=%llu frames=%zu "
+                "receipts=%llu discarded-tail-frames=%zu "
+                "next-sequence=%llu\n",
+                recover.c_str(),
+                static_cast<unsigned long long>(
+                    recovered->recovery.watermark),
+                recovered->recovery.frames_scanned,
+                static_cast<unsigned long long>(
+                    recovered->recovery.next_sequence -
+                    recovered->recovery.watermark),
+                recovered->recovery.discarded_tail_frames,
+                static_cast<unsigned long long>(
+                    recovered->recovery.next_sequence));
+    fleet = std::move(recovered->fleet);
+  } else if (resume.empty()) {
+    fleet = api::FleetHandle::Make(options, dataset);
+  } else {
+    // --resume shares api::OpenSnapshot with serve-http, so a corrupt tail
+    // generation falls back (and is reported) identically in both paths.
+    fleet = api::OpenSnapshot(resume, dataset, static_cast<size_t>(threads),
                               options.layout);
+  }
   CHURNLAB_RETURN_NOT_OK(fleet.status());
 
   // Day-ordered replay. AllReceipts is (customer, day)-sorted; the stable
@@ -435,6 +485,14 @@ Status RunServeReplay(int argc, const char* const* argv) {
                    [](const api::Receipt& a, const api::Receipt& b) {
                      return a.day < b.day;
                    });
+  // --limit-receipts N cuts the stream after the server's Nth arrival
+  // sequence number: a sequential flood client sends this exact ordering,
+  // so the truncated replay is the fault-free oracle for a recovered
+  // server whose journal reached sequence N.
+  if (limit_receipts >= 0 &&
+      static_cast<size_t>(limit_receipts) < replay.size()) {
+    replay.resize(static_cast<size_t>(limit_receipts));
+  }
 
   // Rate-limited progress: receipts/s, batches done, ETA. ProgressLogger
   // emits kInfo events, so a default (non --verbose) run stays quiet.
@@ -543,12 +601,14 @@ Status RunServeHttp(int argc, const char* const* argv) {
       "sharded fleet (POST /v1/ingest, GET /v1/customers/{id}, GET "
       "/v1/health, GET /metrics, POST /v1/snapshot)");
   std::string data, bind, snapshot_out, resume, failpoints, state_layout;
+  std::string journal, journal_fsync;
   double alpha, beta;
   int64_t window, port, retry_after, poll_ms, max_shard_retries;
+  int64_t snapshot_interval_ms;
   uint64_t threads, net_threads, shards;
   uint64_t max_body_mb, max_inflight, max_pending_mb;
   uint64_t coalesce_batch, coalesce_queue, max_request_receipts;
-  bool products, snapshot_append;
+  bool products, snapshot_append, recover;
   parser.AddString("data", "", "dataset path (.clb) or CSV prefix; supplies "
                    "the product taxonomy the fleet scores against", &data);
   parser.AddString("bind", "127.0.0.1", "IPv4 address to bind", &bind);
@@ -580,6 +640,27 @@ Status RunServeHttp(int argc, const char* const* argv) {
   parser.AddBool("snapshot-append", true,
                  "append snapshot generations instead of truncating",
                  &snapshot_append);
+  parser.AddString("journal", "",
+                   "durable ingest journal directory: every coalesced batch "
+                   "is appended and synced BEFORE it is applied or "
+                   "acknowledged; snapshots checkpoint and truncate it "
+                   "(requires --snapshot-out and --snapshot-append; empty "
+                   "disables)",
+                   &journal);
+  parser.AddString("journal-fsync", "batch",
+                   "journal durability: always (fsync per append), batch "
+                   "(one fsync per coalesced round, before acks), none "
+                   "(page cache only)",
+                   &journal_fsync);
+  parser.AddBool("recover", false,
+                 "crash recovery: replay the --journal directory atop its "
+                 "checkpointed --snapshot-out generation, then serve with "
+                 "the sequence numbering continued", &recover);
+  parser.AddInt64("snapshot-interval-ms", 0,
+                  "periodic snapshot/checkpoint interval (<= 0 disables); "
+                  "with --journal each tick truncates the journal at the "
+                  "new watermark, bounding crash-replay work",
+                  &snapshot_interval_ms);
   parser.AddUint64("max-body-mb", 8, "largest accepted request body (MiB)",
                    &max_body_mb);
   parser.AddUint64("max-inflight", 64,
@@ -617,6 +698,26 @@ Status RunServeHttp(int argc, const char* const* argv) {
   if (max_shard_retries < 0) {
     return Status::InvalidArgument("--max-shard-retries must be >= 0");
   }
+  if (recover && journal.empty()) {
+    return Status::InvalidArgument("--recover requires --journal");
+  }
+  if (!journal.empty() && snapshot_out.empty()) {
+    return Status::InvalidArgument(
+        "--journal requires --snapshot-out (checkpoints need a snapshot "
+        "destination)");
+  }
+  if (!journal.empty() && !snapshot_append) {
+    return Status::InvalidArgument(
+        "--journal requires --snapshot-append: checkpoints name a snapshot "
+        "generation, which a truncating snapshot would destroy");
+  }
+  if (recover && !resume.empty()) {
+    return Status::InvalidArgument(
+        "--recover and --resume are exclusive: recovery restores the "
+        "generation the journal checkpoint names, not the newest one");
+  }
+  CHURNLAB_ASSIGN_OR_RETURN(const api::FsyncPolicy fsync_policy,
+                            api::ParseFsyncPolicy(journal_fsync));
   if (!failpoints.empty()) {
     CHURNLAB_RETURN_NOT_OK(
         api::FailpointRegistry::Global().ArmFromSpec(failpoints));
@@ -635,15 +736,6 @@ Status RunServeHttp(int argc, const char* const* argv) {
   options.shard_retry.max_retries = static_cast<int>(max_shard_retries);
   CHURNLAB_ASSIGN_OR_RETURN(options.layout,
                             api::ParseStateLayout(state_layout));
-
-  // --resume shares api::OpenSnapshot with serve-replay, so a corrupt tail
-  // generation falls back (and is reported) identically in both paths.
-  Result<api::FleetHandle> fleet =
-      resume.empty()
-          ? api::FleetHandle::Make(options, dataset)
-          : api::OpenSnapshot(resume, dataset, static_cast<size_t>(threads),
-                              options.layout);
-  CHURNLAB_RETURN_NOT_OK(fleet.status());
 
   api::ServerHandle::Options server_options;
   server_options.http.bind_address = bind;
@@ -664,20 +756,54 @@ Status RunServeHttp(int argc, const char* const* argv) {
   server_options.http.max_receipts_per_request =
       static_cast<size_t>(max_request_receipts);
   server_options.http.poll_interval_ms = static_cast<int>(poll_ms);
+  server_options.http.snapshot_interval_ms =
+      static_cast<int>(snapshot_interval_ms);
   server_options.snapshot_path = snapshot_out;
   server_options.snapshot_append = snapshot_append;
+  server_options.journal_dir = journal;
+  server_options.journal_fsync = fsync_policy;
 
-  CHURNLAB_ASSIGN_OR_RETURN(
-      api::ServerHandle server,
-      api::ServerHandle::Make(std::move(server_options), std::move(*fleet)));
-  CHURNLAB_RETURN_NOT_OK(server.Start());
-  CHURNLAB_RETURN_NOT_OK(server.InstallSignalHandler());
+  Result<api::ServerHandle> server = Status::Internal("server not built");
+  if (recover) {
+    api::JournalRecovery recovery;
+    server = api::ServerHandle::Recover(std::move(server_options), options,
+                                        dataset,
+                                        static_cast<size_t>(threads),
+                                        options.layout, &recovery);
+    CHURNLAB_RETURN_NOT_OK(server.status());
+    std::printf("recovered journal %s: watermark=%llu frames=%zu "
+                "receipts=%llu discarded-tail-frames=%zu "
+                "next-sequence=%llu\n",
+                journal.c_str(),
+                static_cast<unsigned long long>(recovery.watermark),
+                recovery.frames_scanned,
+                static_cast<unsigned long long>(recovery.next_sequence -
+                                                recovery.watermark),
+                recovery.discarded_tail_frames,
+                static_cast<unsigned long long>(recovery.next_sequence));
+  } else {
+    // --resume shares api::OpenSnapshot with serve-replay, so a corrupt
+    // tail generation falls back (and is reported) identically in both
+    // paths.
+    Result<api::FleetHandle> fleet =
+        resume.empty()
+            ? api::FleetHandle::Make(options, dataset)
+            : api::OpenSnapshot(resume, dataset,
+                                static_cast<size_t>(threads),
+                                options.layout);
+    CHURNLAB_RETURN_NOT_OK(fleet.status());
+    server = api::ServerHandle::Make(std::move(server_options),
+                                     std::move(*fleet));
+  }
+  CHURNLAB_RETURN_NOT_OK(server.status());
+  CHURNLAB_RETURN_NOT_OK(server->Start());
+  CHURNLAB_RETURN_NOT_OK(server->InstallSignalHandler());
   std::printf("serving on http://%s:%u (SIGTERM or SIGINT drains)\n",
-              bind.c_str(), static_cast<unsigned>(server.port()));
+              bind.c_str(), static_cast<unsigned>(server->port()));
   std::fflush(stdout);
-  CHURNLAB_RETURN_NOT_OK(server.Wait());
+  CHURNLAB_RETURN_NOT_OK(server->Wait());
 
-  const api::FleetHealth health = server.fleet().Health();
+  const api::FleetHealth health = server->fleet().Health();
   std::printf("drained: %zu customers, %llu receipts, %zu shards poisoned\n",
               health.customers_total,
               static_cast<unsigned long long>(health.receipts_total),
@@ -685,11 +811,240 @@ Status RunServeHttp(int argc, const char* const* argv) {
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// flood: sequential HTTP ingest client (the chaos harness's load source)
+// ---------------------------------------------------------------------------
+
+/// Minimal blocking HTTP/1.1 client over one keep-alive connection. Only
+/// what the flood loop needs: POST, read status + Content-Length + body.
+class FloodConnection {
+ public:
+  ~FloodConnection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Connect(const std::string& host, uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      return Status::IOError(std::string("socket: ") + std::strerror(errno));
+    }
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+      return Status::InvalidArgument("bad IPv4 address '" + host + "'");
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address),
+                  sizeof(address)) != 0) {
+      return Status::IOError("connect " + host + ":" +
+                             std::to_string(port) + ": " +
+                             std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  /// POSTs `body` to `path`; returns the response body after checking the
+  /// status code is 200. Any transport error is IOError (a killed server
+  /// surfaces here as a reset or EOF).
+  Result<std::string> Post(const std::string& path, const std::string& body) {
+    std::string request = "POST " + path + " HTTP/1.1\r\n" +
+                          "Host: flood\r\n" +
+                          "Content-Type: application/json\r\n" +
+                          "Content-Length: " + std::to_string(body.size()) +
+                          "\r\n\r\n" + body;
+    CHURNLAB_RETURN_NOT_OK(WriteAll(request));
+    // Read headers.
+    size_t header_end;
+    while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+      CHURNLAB_RETURN_NOT_OK(ReadMore());
+    }
+    const std::string headers = buffer_.substr(0, header_end);
+    buffer_.erase(0, header_end + 4);
+    int status_code = 0;
+    if (std::sscanf(headers.c_str(), "HTTP/1.%*d %d", &status_code) != 1) {
+      return Status::IOError("malformed HTTP response status line");
+    }
+    size_t content_length = 0;
+    const std::string lowered = AsciiToLower(headers);
+    const size_t cl = lowered.find("content-length:");
+    if (cl != std::string::npos) {
+      content_length = static_cast<size_t>(
+          std::atoll(lowered.c_str() + cl + std::strlen("content-length:")));
+    }
+    while (buffer_.size() < content_length) {
+      CHURNLAB_RETURN_NOT_OK(ReadMore());
+    }
+    std::string response_body = buffer_.substr(0, content_length);
+    buffer_.erase(0, content_length);
+    if (status_code != 200) {
+      return Status::IOError("HTTP " + std::to_string(status_code) + ": " +
+                             response_body);
+    }
+    return response_body;
+  }
+
+ private:
+  Status WriteAll(const std::string& bytes) {
+    size_t written = 0;
+    while (written < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + written,
+                               bytes.size() - written, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(std::string("send: ") + std::strerror(errno));
+      }
+      written += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status ReadMore() {
+    char chunk[16384];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) return Status::OK();
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IOError("server closed the connection mid-response");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return Status::OK();
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+Status RunFlood(int argc, const char* const* argv) {
+  FlagParser parser(
+      "churnlab flood: stream a dataset's receipts into a running "
+      "serve-http instance over one connection, in the same day-ordered "
+      "sequence serve-replay uses — so the Nth receipt sent carries "
+      "arrival sequence number N and `serve-replay --limit-receipts N` is "
+      "its offline oracle. Acknowledged sequences are appended to "
+      "--acks-out as they return, making the log crash-accurate.");
+  std::string data, host, acks_out;
+  int64_t port, request_receipts, limit_receipts;
+  parser.AddString("data", "", "dataset path (.clb) or CSV prefix", &data);
+  parser.AddString("host", "127.0.0.1", "server IPv4 address", &host);
+  parser.AddInt64("port", 8080, "server TCP port", &port);
+  parser.AddInt64("request-receipts", 256,
+                  "receipts per POST /v1/ingest request", &request_receipts);
+  parser.AddInt64("limit-receipts", -1,
+                  "send only the first N receipts of the day-ordered "
+                  "stream (-1 = all)", &limit_receipts);
+  parser.AddString("acks-out", "",
+                   "append one 'ack seq=S count=N end=E' line per "
+                   "acknowledged request (flushed immediately; empty "
+                   "disables)",
+                   &acks_out);
+  CHURNLAB_RETURN_NOT_OK(parser.Parse(argc, argv, 2));
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("--port must be in [1, 65535]");
+  }
+  if (request_receipts <= 0) {
+    return Status::InvalidArgument("--request-receipts must be positive");
+  }
+  if (limit_receipts < -1) {
+    return Status::InvalidArgument("--limit-receipts must be >= -1");
+  }
+  CHURNLAB_ASSIGN_OR_RETURN(const api::Dataset dataset, LoadDataset(data));
+
+  // The same day-ordered stream serve-replay builds, so sequence numbers
+  // line up between the live server and the offline oracle.
+  const std::span<const api::Receipt> all = dataset.store().AllReceipts();
+  std::vector<api::Receipt> replay(all.begin(), all.end());
+  std::stable_sort(replay.begin(), replay.end(),
+                   [](const api::Receipt& a, const api::Receipt& b) {
+                     return a.day < b.day;
+                   });
+  if (limit_receipts >= 0 &&
+      static_cast<size_t>(limit_receipts) < replay.size()) {
+    replay.resize(static_cast<size_t>(limit_receipts));
+  }
+
+  std::FILE* acks = nullptr;
+  if (!acks_out.empty()) {
+    acks = std::fopen(acks_out.c_str(), "a");
+    if (acks == nullptr) {
+      return Status::IOError("cannot open --acks-out " + acks_out + ": " +
+                             std::strerror(errno));
+    }
+  }
+  FloodConnection connection;
+  Status status = connection.Connect(host, static_cast<uint16_t>(port));
+  size_t sent = 0, requests = 0;
+  uint64_t acked_end = 0;
+  while (status.ok() && sent < replay.size()) {
+    const size_t count = std::min(static_cast<size_t>(request_receipts),
+                                  replay.size() - sent);
+    std::string body = "{\"receipts\":[";
+    for (size_t i = 0; i < count; ++i) {
+      const api::Receipt& receipt = replay[sent + i];
+      if (i > 0) body += ',';
+      // %.17g round-trips every finite double exactly: the server must
+      // parse the same spend bits the offline oracle reads from the
+      // dataset, or recovered-vs-oracle snapshots would differ.
+      char spend[40];
+      std::snprintf(spend, sizeof(spend), "%.17g", receipt.spend);
+      body += "{\"customer\":" + std::to_string(receipt.customer) +
+              ",\"day\":" + std::to_string(receipt.day) +
+              ",\"spend\":" + spend +
+              ",\"items\":[";
+      for (size_t j = 0; j < receipt.items.size(); ++j) {
+        if (j > 0) body += ',';
+        body += std::to_string(receipt.items[j]);
+      }
+      body += "]}";
+    }
+    body += "]}";
+    Result<std::string> response = connection.Post("/v1/ingest", body);
+    if (!response.ok()) {
+      status = response.status();
+      break;
+    }
+    // The ingest reply's "sequence" field numbers the request's first
+    // receipt; log it only AFTER the server acknowledged (journaled +
+    // applied) so the acks file never over-claims across a crash.
+    uint64_t sequence = 0;
+    const size_t marker = response->find("\"sequence\":");
+    if (marker == std::string::npos) {
+      status = Status::Internal("ingest reply lacks a sequence field: " +
+                                *response);
+      break;
+    }
+    sequence = static_cast<uint64_t>(std::atoll(
+        response->c_str() + marker + std::strlen("\"sequence\":")));
+    acked_end = sequence + count;
+    if (acks != nullptr) {
+      std::fprintf(acks, "ack seq=%llu count=%zu end=%llu\n",
+                   static_cast<unsigned long long>(sequence), count,
+                   static_cast<unsigned long long>(acked_end));
+      std::fflush(acks);
+    }
+    sent += count;
+    ++requests;
+  }
+  if (acks != nullptr) std::fclose(acks);
+  if (!status.ok()) {
+    return status.WithContext("flood stopped after " +
+                              std::to_string(requests) +
+                              " acknowledged requests (acked-sequence-end " +
+                              std::to_string(acked_end) + ")");
+  }
+  std::printf("flooded %zu receipts in %zu requests, "
+              "acked-sequence-end=%llu\n",
+              sent, requests, static_cast<unsigned long long>(acked_end));
+  return Status::OK();
+}
+
 int Main(int argc, const char* const* argv) {
   const std::string usage =
       "usage: churnlab "
       "<simulate|stats|score|explain|profile|evaluate|forecast|gridsearch|"
-      "serve-replay|serve-http> [flags]\n       churnlab <subcommand> --help\n"
+      "serve-replay|serve-http|flood> [flags]\n"
+      "       churnlab <subcommand> --help\n"
       "global flags: --verbose (progress logs), --trace (profile table on "
       "stderr),\n"
       "              --metrics-out=<path> (telemetry JSON), "
@@ -826,6 +1181,8 @@ int Main(int argc, const char* const* argv) {
       status = RunServeReplay(argc, argv);
     } else if (command == "serve-http") {
       status = RunServeHttp(argc, argv);
+    } else if (command == "flood") {
+      status = RunFlood(argc, argv);
     } else {
       std::fprintf(stderr, "unknown subcommand '%s'\n%s", command.c_str(),
                    usage.c_str());
